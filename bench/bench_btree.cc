@@ -1,0 +1,116 @@
+// Substrate micro-benchmarks: the in-memory B+-tree backing the element
+// index and the SB-tree — insert/lookup/scan across node fan-outs
+// (design-decision ablation #4 in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+
+namespace lazyxml {
+namespace {
+
+BTreeOptions Caps(int64_t c) {
+  BTreeOptions o;
+  o.leaf_capacity = static_cast<size_t>(c);
+  o.internal_capacity = static_cast<size_t>(c);
+  return o;
+}
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+    Random rng(7);
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.InsertOrAssign(rng.Next(), i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(i, i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+  Random rng(11);
+  std::vector<uint64_t> keys;
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t k = rng.Next();
+    if (tree.Insert(k, i).ok()) keys.push_back(k);
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(keys[cursor]));
+    cursor = (cursor + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BTreeScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+  for (int64_t i = 0; i < n; ++i) {
+    benchmark::DoNotOptimize(tree.Insert(i, i));
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = tree.Begin(); it.Valid(); it.Next()) sum += it.value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeErase(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(i, i));
+    }
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Erase(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<std::pair<uint64_t, uint64_t>> input;
+  for (int64_t i = 0; i < n; ++i) {
+    input.emplace_back(static_cast<uint64_t>(i), static_cast<uint64_t>(i));
+  }
+  for (auto _ : state) {
+    BTree<uint64_t, uint64_t> tree(Caps(state.range(1)));
+    benchmark::DoNotOptimize(tree.BuildFrom(input));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+const std::vector<std::vector<int64_t>> kSweep = {{100000},
+                                                  {8, 16, 64, 256}};
+
+BENCHMARK(BM_BTreeInsertRandom)->ArgsProduct(kSweep);
+BENCHMARK(BM_BTreeInsertSequential)->ArgsProduct(kSweep);
+BENCHMARK(BM_BTreeLookup)->ArgsProduct(kSweep);
+BENCHMARK(BM_BTreeScan)->ArgsProduct(kSweep);
+BENCHMARK(BM_BTreeErase)->ArgsProduct(kSweep);
+BENCHMARK(BM_BTreeBulkLoad)->ArgsProduct(kSweep);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

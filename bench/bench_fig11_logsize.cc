@@ -1,0 +1,95 @@
+// Figure 11: update-log size (a) and building time (b) as the number of
+// inserted segments grows, for balanced and nested ER-trees. Worst case
+// for the tag-list: every segment contains every tag.
+//
+// Paper shape to reproduce: the tag-list grows superlinearly (O(T N^2))
+// and dominates the total; the SB-tree grows linearly; the nested shape
+// is costlier than the balanced one.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "xmlgen/join_workload.h"
+
+namespace lazyxml {
+namespace {
+
+constexpr uint32_t kNumTags = 8;
+
+// Insertion plan where every segment carries one element of each of the
+// kNumTags tags (the paper's worst case for tag-list growth).
+std::vector<SegmentInsertion> AllTagsPlan(uint32_t segments,
+                                          ErTreeShape shape) {
+  std::string body;
+  for (uint32_t t = 0; t < kNumTags; ++t) {
+    body += StringPrintf("<t%u>x</t%u>", t, t);
+  }
+  std::vector<SegmentInsertion> plan;
+  if (shape == ErTreeShape::kBalanced) {
+    // One top segment with one hole per child, children flat under it.
+    std::string top = "<seg>" + body;
+    std::vector<uint64_t> holes;
+    for (uint32_t i = 1; i < segments; ++i) {
+      top += "<h>";
+      holes.push_back(top.size());
+      top += "</h>";
+    }
+    top += "</seg>";
+    plan.push_back(SegmentInsertion{std::move(top), 0});
+    uint64_t shift = 0;
+    const std::string child = "<seg>" + body + "</seg>";
+    for (uint64_t hole : holes) {
+      plan.push_back(SegmentInsertion{child, hole + shift});
+      shift += child.size();
+    }
+  } else {
+    // A chain: each segment's hole hosts the next.
+    uint64_t gp = 0;
+    for (uint32_t i = 0; i < segments; ++i) {
+      std::string text = "<seg>" + body;
+      uint64_t hole = 0;
+      if (i + 1 < segments) {
+        text += "<h>";
+        hole = text.size();
+        text += "</h>";
+      }
+      text += "</seg>";
+      plan.push_back(SegmentInsertion{std::move(text), gp});
+      gp += hole;
+    }
+  }
+  return plan;
+}
+
+void BM_BuildUpdateLog(benchmark::State& state) {
+  const uint32_t segments = static_cast<uint32_t>(state.range(0));
+  const ErTreeShape shape =
+      state.range(1) == 0 ? ErTreeShape::kBalanced : ErTreeShape::kNested;
+  const auto plan = AllTagsPlan(segments, shape);
+
+  size_t sb_bytes = 0;
+  size_t tag_bytes = 0;
+  for (auto _ : state) {
+    auto db = bench::BuildDatabase(plan, LogMode::kLazyDynamic);
+    benchmark::DoNotOptimize(db.get());
+    auto stats = db->Stats();
+    sb_bytes = stats.sb_tree_bytes;
+    tag_bytes = stats.tag_list_bytes;
+  }
+  state.counters["segments"] = segments;
+  state.counters["sb_tree_KB"] = static_cast<double>(sb_bytes) / 1024.0;
+  state.counters["tag_list_KB"] = static_cast<double>(tag_bytes) / 1024.0;
+  state.counters["total_KB"] =
+      static_cast<double>(sb_bytes + tag_bytes) / 1024.0;
+  state.SetLabel(shape == ErTreeShape::kBalanced ? "balanced" : "nested");
+}
+
+BENCHMARK(BM_BuildUpdateLog)
+    ->ArgsProduct({{50, 100, 150, 200, 250, 300, 350}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

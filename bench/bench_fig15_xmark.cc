@@ -1,0 +1,174 @@
+// Figures 14 and 15: the XMark query table (Q1-Q5 XPath expressions and
+// result cardinalities) and per-query elapsed time for LS, LD and STD over
+// an XMark-style document chopped into 100 balanced segments.
+//
+// Paper shape to reproduce: for all five queries LD beats STD and LS is
+// the slowest (it pays the deferred sorting/building at query time). The
+// paper's document is 100 MB / ~3M elements on 2005 hardware; scale here
+// defaults to ~per-machine-minute size and is overridable:
+//   LAZYXML_XMARK_PERSONS=25000 ./bench_fig15_xmark
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+namespace fig15 {
+
+struct XMarkQuery {
+  const char* id;
+  const char* anc;
+  const char* desc;
+};
+constexpr XMarkQuery kQueries[] = {
+    {"Q1", "person", "phone"},   {"Q2", "profile", "interest"},
+    {"Q3", "watches", "watch"},  {"Q4", "person", "watch"},
+    {"Q5", "person", "interest"}};
+
+uint32_t NumPersons() {
+  const char* env = std::getenv("LAZYXML_XMARK_PERSONS");
+  return env != nullptr ? static_cast<uint32_t>(std::atoi(env)) : 8000;
+}
+
+struct Fixture {
+  ChopPlan plan;
+  std::string document;
+  std::unique_ptr<LazyDatabase> ld;
+  std::unique_ptr<RelabelingIndex> traditional;
+};
+
+// Built once; the paper's "slightly modified to increase cross-segment
+// joins" dataset is approximated with per-person multiplicities high
+// enough that person subtrees span segment boundaries when chopped.
+const Fixture& GetFixture() {
+  static Fixture* f = [] {
+    auto* fx = new Fixture();
+    XMarkConfig cfg;
+    cfg.num_persons = NumPersons();
+    cfg.num_items = cfg.num_persons / 5;
+    cfg.num_open_auctions = cfg.num_persons / 4;
+    cfg.num_closed_auctions = cfg.num_persons / 8;
+    cfg.profile_probability = 1.0;
+    cfg.watches_probability = 1.0;
+    cfg.min_phones = 1;
+    cfg.max_phones = 4;
+    cfg.min_interests = 1;
+    cfg.max_interests = 6;
+    cfg.min_watches = 1;
+    cfg.max_watches = 8;
+    auto doc = XMarkGenerator(cfg).Generate();
+    LAZYXML_CHECK(doc.ok());
+    fx->document = std::move(doc).ValueOrDie();
+    ChopConfig chop;
+    chop.num_segments = 100;
+    chop.shape = ErTreeShape::kBalanced;
+    auto plan = BuildChopPlan(fx->document, chop);
+    LAZYXML_CHECK(plan.ok());
+    fx->plan = std::move(plan).ValueOrDie();
+    fx->ld = bench::BuildDatabase(fx->plan.insertions,
+                                  LogMode::kLazyDynamic);
+    fx->traditional = bench::BuildTraditionalIndex(fx->document);
+    return fx;
+  }();
+  return *f;
+}
+
+const XMarkQuery& QueryFor(const benchmark::State& state) {
+  return kQueries[state.range(0)];
+}
+
+void Annotate(benchmark::State& state, const XMarkQuery& q, size_t pairs) {
+  state.counters["cardinality"] = static_cast<double>(pairs);
+  state.SetLabel(std::string(q.id) + ":" + q.anc + "//" + q.desc);
+}
+
+void BM_Fig15_LD(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const XMarkQuery& q = QueryFor(state);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = bench::RunLazyQuery(f.ld.get(), q.anc, q.desc);
+    benchmark::DoNotOptimize(pairs);
+  }
+  Annotate(state, q, pairs);
+}
+
+void BM_Fig15_LS(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const XMarkQuery& q = QueryFor(state);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto db = bench::BuildDatabase(f.plan.insertions, LogMode::kLazyStatic);
+    const auto t0 = std::chrono::steady_clock::now();
+    pairs = bench::RunLazyQuery(db.get(), q.anc, q.desc);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    benchmark::DoNotOptimize(pairs);
+  }
+  Annotate(state, q, pairs);
+}
+
+void BM_Fig15_STD(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const XMarkQuery& q = QueryFor(state);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = bench::RunStdQuery(f.ld.get(), q.anc, q.desc);
+    benchmark::DoNotOptimize(pairs);
+  }
+  Annotate(state, q, pairs);
+}
+
+// Extension beyond the paper: STD over a traditional eagerly-relabeled
+// global index.
+void BM_Fig15_STDIDX(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const XMarkQuery& q = QueryFor(state);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = bench::RunStdIndexQuery(*f.traditional, q.anc, q.desc);
+    benchmark::DoNotOptimize(pairs);
+  }
+  Annotate(state, q, pairs);
+}
+
+BENCHMARK(BM_Fig15_LD)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig15_LS)
+    ->DenseRange(0, 4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_Fig15_STD)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig15_STDIDX)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace fig15
+}  // namespace lazyxml
+
+// Prints the Fig. 14 table before the timing runs.
+int main(int argc, char** argv) {
+  const auto& f = lazyxml::fig15::GetFixture();
+  std::printf("Figure 14 — XMark queries (document: %zu bytes, %zu "
+              "segments):\n",
+              f.document.size(), f.plan.insertions.size());
+  std::printf("%-6s %-22s %s\n", "Query", "XPath expression",
+              "Result cardinality");
+  for (const auto& q : lazyxml::fig15::kQueries) {
+    const size_t n =
+        lazyxml::bench::RunStdIndexQuery(*f.traditional, q.anc, q.desc);
+    std::printf("%-6s %-22s %zu\n", q.id,
+                (std::string(q.anc) + "//" + q.desc).c_str(), n);
+  }
+  std::printf("\n");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

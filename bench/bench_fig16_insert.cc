@@ -1,0 +1,135 @@
+// Figure 16: elapsed time to insert one segment into documents of growing
+// size — the lazy approach (LD) vs the traditional start/end-position
+// labeling that must relabel every subsequent element. The paper plots
+// this in logscale: the traditional curve grows with document size, LD
+// stays flat.
+//
+// Methodology: the inserted segment lands at the document midpoint, so
+// roughly half the elements change their global position (the paper's
+// "average case"). Each timed sample inserts the segment and the removal
+// that undoes it runs outside the timer.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/parser.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+namespace {
+
+// One registration-form-sized segment (~20-30 elements, paper §1).
+const char* kSegment =
+    "<person id=\"pnew\"><name>New Person</name>"
+    "<emailaddress>new@example.net</emailaddress>"
+    "<phone>+1 (555) 0100000</phone><phone>+1 (555) 0100001</phone>"
+    "<address><street>1 Lazy St</street><city>Baltimore</city>"
+    "<country>United States</country><zipcode>21201</zipcode></address>"
+    "<profile income=\"50000.00\"><interest category=\"category0\"/>"
+    "<interest category=\"category1\"/><business>No</business>"
+    "<age>30</age></profile>"
+    "<watches><watch open_auction=\"open_auction0\"/>"
+    "<watch open_auction=\"open_auction1\"/></watches></person>";
+
+struct Fixture {
+  std::string document;
+  uint64_t insert_at = 0;  // midpoint, snapped to an element boundary
+  size_t num_elements = 0;
+};
+
+const Fixture& FixtureFor(uint32_t persons) {
+  static std::map<uint32_t, Fixture>* cache = new std::map<uint32_t, Fixture>();
+  auto it = cache->find(persons);
+  if (it == cache->end()) {
+    Fixture f;
+    XMarkConfig cfg;
+    cfg.num_persons = persons;
+    cfg.num_items = persons / 5;
+    cfg.num_open_auctions = persons / 4;
+    auto doc = XMarkGenerator(cfg).Generate();
+    LAZYXML_CHECK(doc.ok());
+    f.document = std::move(doc).ValueOrDie();
+    // Snap the midpoint to the nearest following element start so the
+    // splice is valid.
+    TagDict dict;
+    auto parsed = ParseFragment(f.document, &dict);
+    LAZYXML_CHECK(parsed.ok());
+    f.num_elements = parsed.ValueOrDie().records.size();
+    const uint64_t mid = f.document.size() / 2;
+    for (const ElementRecord& r : parsed.ValueOrDie().records) {
+      if (r.start >= mid) {
+        f.insert_at = r.start;
+        break;
+      }
+    }
+    it = cache->emplace(persons, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_Fig16_LazyDynamic(benchmark::State& state) {
+  const Fixture& f = FixtureFor(static_cast<uint32_t>(state.range(0)));
+  ChopConfig chop;
+  chop.num_segments = 100;
+  chop.shape = ErTreeShape::kBalanced;
+  auto plan = BuildChopPlan(f.document, chop);
+  LAZYXML_CHECK(plan.ok());
+  auto db = bench::BuildDatabase(plan.ValueOrDie().insertions,
+                                 LogMode::kLazyDynamic);
+  const size_t seg_len = std::string(kSegment).size();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = db->InsertSegment(kSegment, f.insert_at);
+    const auto t1 = std::chrono::steady_clock::now();
+    LAZYXML_CHECK(r.ok());
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    LAZYXML_CHECK(db->RemoveSegment(f.insert_at, seg_len).ok());  // undo
+  }
+  state.counters["elements"] = static_cast<double>(f.num_elements);
+  state.counters["doc_MB"] =
+      static_cast<double>(f.document.size()) / (1024.0 * 1024.0);
+  state.SetLabel("LD");
+}
+
+void BM_Fig16_Traditional(benchmark::State& state) {
+  const Fixture& f = FixtureFor(static_cast<uint32_t>(state.range(0)));
+  auto idx = bench::BuildTraditionalIndex(f.document);
+  const size_t seg_len = std::string(kSegment).size();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    LAZYXML_CHECK(idx->InsertSegment(kSegment, f.insert_at).ok());
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    LAZYXML_CHECK(idx->RemoveSegment(f.insert_at, seg_len).ok());  // undo
+  }
+  state.counters["elements"] = static_cast<double>(f.num_elements);
+  state.counters["doc_MB"] =
+      static_cast<double>(f.document.size()) / (1024.0 * 1024.0);
+  state.SetLabel("traditional");
+}
+
+// Document sizes: ~9k .. ~290k elements (persons sweep).
+const std::vector<std::vector<int64_t>> kSizes = {{250, 500, 1000, 2000,
+                                                   4000, 8000}};
+
+BENCHMARK(BM_Fig16_LazyDynamic)
+    ->ArgsProduct(kSizes)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(20);
+BENCHMARK(BM_Fig16_Traditional)
+    ->ArgsProduct(kSizes)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,222 @@
+// Figure 17: per-element insertion time for the lazy approaches (LD, LS)
+// against the PRIME labeling scheme, varying (a) the number of elements
+// in the inserted segment, (b) the number of distinct tag names in it,
+// and (c) — LD only — the number of segments already in the database.
+//
+// Reported time is *per element*: segment insertion time divided by the
+// element count (exactly the paper's methodology), so curves are directly
+// comparable with PRIME's per-element inserts.
+//
+// Paper shape to reproduce: LS <= LD << PRIME; per-element time falls
+// with segment size (fixed cost amortized), rises with tag count (more
+// path lists) and with segment count (gp renumbering); nested ER-trees
+// slightly worse than balanced (longer paths).
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "labeling/prime_labeling.h"
+
+namespace lazyxml {
+namespace {
+
+// Fragment with `elements` elements over `tags` distinct tag names: a
+// root plus a flat run of children cycling through the alphabet.
+std::string MakeFragment(uint32_t elements, uint32_t tags) {
+  std::string out = "<t0>";
+  for (uint32_t i = 1; i < elements; ++i) {
+    out += StringPrintf("<t%u></t%u>", i % tags, i % tags);
+  }
+  out += "</t0>";
+  return out;
+}
+
+// Base database: `segments` segments, each holding every tag, chained
+// (nested) or star-shaped (balanced). Same construction as Fig. 11.
+std::vector<SegmentInsertion> BasePlan(uint32_t segments, uint32_t tags,
+                                       ErTreeShape shape) {
+  std::string body;
+  for (uint32_t t = 0; t < tags; ++t) {
+    body += StringPrintf("<t%u>x</t%u>", t, t);
+  }
+  std::vector<SegmentInsertion> plan;
+  if (shape == ErTreeShape::kBalanced) {
+    std::string top = "<seg>" + body;
+    std::vector<uint64_t> holes;
+    for (uint32_t i = 1; i < segments; ++i) {
+      top += "<h>";
+      holes.push_back(top.size());
+      top += "</h>";
+    }
+    top += "</seg>";
+    plan.push_back(SegmentInsertion{std::move(top), 0});
+    uint64_t shift = 0;
+    const std::string child = "<seg>" + body + "</seg>";
+    for (uint64_t hole : holes) {
+      plan.push_back(SegmentInsertion{child, hole + shift});
+      shift += child.size();
+    }
+  } else {
+    uint64_t gp = 0;
+    for (uint32_t i = 0; i < segments; ++i) {
+      std::string text = "<seg>" + body;
+      uint64_t hole = 0;
+      if (i + 1 < segments) {
+        text += "<h>";
+        hole = text.size();
+        text += "</h>";
+      }
+      text += "</seg>";
+      plan.push_back(SegmentInsertion{std::move(text), gp});
+      gp += hole;
+    }
+  }
+  return plan;
+}
+
+// Lazy side: insert the fragment right after the top segment's "<seg>",
+// time it, undo, report time / element count.
+void RunLazy(benchmark::State& state, LogMode mode, uint32_t elements,
+             uint32_t tags, uint32_t segments, ErTreeShape shape) {
+  const auto plan = BasePlan(segments, /*tags=*/8, shape);
+  const std::string fragment = MakeFragment(elements, tags);
+  auto db = bench::BuildDatabase(plan, mode);
+  const uint64_t at = 5;  // just inside the top segment's root element
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = db->InsertSegment(fragment, at);
+    const auto t1 = std::chrono::steady_clock::now();
+    LAZYXML_CHECK(r.ok());
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           elements);
+    LAZYXML_CHECK(db->RemoveSegment(at, fragment.size()).ok());
+  }
+  state.counters["elements"] = elements;
+  state.counters["tags"] = tags;
+  state.counters["segments"] = segments;
+  state.SetLabel(std::string(LogModeName(mode)) + "/" +
+                 ErTreeShapeName(shape));
+}
+
+// PRIME side: same fragment inserted element-by-element into a labeled
+// base document; K is the simultaneous-congruence group size.
+void RunPrime(benchmark::State& state, uint32_t elements, uint32_t tags,
+              uint32_t k) {
+  const std::string fragment = MakeFragment(elements, tags);
+  // Base document roughly matching the lazy base (100 segments x 8 tags).
+  std::string base = "<root>";
+  for (int i = 0; i < 100; ++i) {
+    for (int t = 0; t < 8; ++t) base += StringPrintf("<t%d>x</t%d>", t, t);
+  }
+  base += "</root>";
+  PrimeLabelingOptions opts;
+  opts.group_size = k;
+  for (auto _ : state) {
+    PrimeLabeling pl(opts);
+    LAZYXML_CHECK(pl.BuildFromDocument(base).ok());
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = pl.InsertFragment(fragment, /*parent=*/0, /*prev=*/0);
+    const auto t1 = std::chrono::steady_clock::now();
+    LAZYXML_CHECK(r.ok());
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           elements);
+  }
+  state.counters["elements"] = elements;
+  state.counters["tags"] = tags;
+  state.counters["K"] = k;
+  state.SetLabel("PRIME(K=" + std::to_string(k) + ")");
+}
+
+// --- (a) vary the number of elements in the inserted segment -------------
+
+void BM_Fig17a_LD(benchmark::State& state) {
+  RunLazy(state, LogMode::kLazyDynamic,
+          static_cast<uint32_t>(state.range(0)), 8, 100,
+          state.range(1) == 0 ? ErTreeShape::kBalanced
+                              : ErTreeShape::kNested);
+}
+void BM_Fig17a_LS(benchmark::State& state) {
+  RunLazy(state, LogMode::kLazyStatic,
+          static_cast<uint32_t>(state.range(0)), 8, 100,
+          state.range(1) == 0 ? ErTreeShape::kBalanced
+                              : ErTreeShape::kNested);
+}
+void BM_Fig17a_PRIME(benchmark::State& state) {
+  RunPrime(state, static_cast<uint32_t>(state.range(0)), 8,
+           static_cast<uint32_t>(state.range(1)));
+}
+
+BENCHMARK(BM_Fig17a_LD)
+    ->ArgsProduct({{10, 50, 100, 500, 1000}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+BENCHMARK(BM_Fig17a_LS)
+    ->ArgsProduct({{10, 50, 100, 500, 1000}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+BENCHMARK(BM_Fig17a_PRIME)
+    ->ArgsProduct({{10, 50, 100, 500, 1000}, {6, 24}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+// --- (b) vary the number of distinct tag names ---------------------------
+
+void BM_Fig17b_LD(benchmark::State& state) {
+  RunLazy(state, LogMode::kLazyDynamic, 200,
+          static_cast<uint32_t>(state.range(0)), 100,
+          state.range(1) == 0 ? ErTreeShape::kBalanced
+                              : ErTreeShape::kNested);
+}
+void BM_Fig17b_LS(benchmark::State& state) {
+  RunLazy(state, LogMode::kLazyStatic, 200,
+          static_cast<uint32_t>(state.range(0)), 100,
+          state.range(1) == 0 ? ErTreeShape::kBalanced
+                              : ErTreeShape::kNested);
+}
+void BM_Fig17b_PRIME(benchmark::State& state) {
+  RunPrime(state, 200, static_cast<uint32_t>(state.range(0)), 6);
+}
+
+BENCHMARK(BM_Fig17b_LD)
+    ->ArgsProduct({{1, 5, 10, 20, 40}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+BENCHMARK(BM_Fig17b_LS)
+    ->ArgsProduct({{1, 5, 10, 20, 40}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+BENCHMARK(BM_Fig17b_PRIME)
+    ->ArgsProduct({{1, 5, 10, 20, 40}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+// --- (c) LD insert time vs number of segments ----------------------------
+
+void BM_Fig17c_LD(benchmark::State& state) {
+  RunLazy(state, LogMode::kLazyDynamic, 100, 8,
+          static_cast<uint32_t>(state.range(0)),
+          state.range(1) == 0 ? ErTreeShape::kBalanced
+                              : ErTreeShape::kNested);
+}
+
+BENCHMARK(BM_Fig17c_LD)
+    ->ArgsProduct({{50, 100, 150, 200, 250, 300}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

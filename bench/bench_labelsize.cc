@@ -1,0 +1,115 @@
+// Label-storage study (extension): quantifies §1/§2's motivation — any
+// immutable labeling needs Ω(N)-bit labels [4], while the lazy scheme
+// keeps constant-size (sid, start, end, level) records. Series:
+//  * interval/lazy: bytes per element of the positional record (constant);
+//  * ORDPATH: varint-encoded label bytes per element, before and after a
+//    hot-spot insertion storm (carets stretch labels);
+//  * PRIME: bignum label bytes per element (products along root paths).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "labeling/ordpath.h"
+#include "labeling/prime_labeling.h"
+#include "xmlgen/synthetic_generator.h"
+
+namespace lazyxml {
+namespace {
+
+std::string DocFor(int64_t elements) {
+  SyntheticConfig cfg;
+  cfg.target_elements = static_cast<uint64_t>(elements);
+  cfg.seed = 21;
+  cfg.max_depth = 10;
+  return SyntheticGenerator(cfg).Generate().ValueOrDie();
+}
+
+void BM_LabelBytes_Interval(benchmark::State& state) {
+  const std::string doc = DocFor(state.range(0));
+  std::unique_ptr<LazyDatabase> db;
+  for (auto _ : state) {
+    db = std::make_unique<LazyDatabase>();
+    LAZYXML_CHECK(db->InsertSegment(doc, 0).ok());
+    benchmark::DoNotOptimize(db.get());
+  }
+  const auto stats = db->Stats();
+  // (sid, start) key + (end, level) value per record.
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(sizeof(SegmentId) + 2 * sizeof(uint64_t) +
+                          sizeof(uint32_t));
+  state.counters["elements"] = static_cast<double>(stats.num_elements);
+  state.SetLabel("interval(lazy)");
+}
+
+void BM_LabelBytes_OrdPath(benchmark::State& state) {
+  const std::string doc = DocFor(state.range(0));
+  const bool churn = state.range(1) != 0;
+  std::unique_ptr<OrdPathLabeling> lab;
+  for (auto _ : state) {
+    lab = std::make_unique<OrdPathLabeling>();
+    LAZYXML_CHECK(lab->BuildFromDocument(doc).ok());
+    if (churn) {
+      // Hot spot: 200 inserts squeezed into the same sibling gap — every
+      // bisection of an exhausted gap spills into carets, stretching the
+      // labels (the update-cost/label-size tax of immutable schemes).
+      auto kids = lab->ChildrenOf(0).ValueOrDie();
+      LAZYXML_CHECK(!kids.empty());
+      const OrdPathLabeling::NodeId left = kids[0];
+      OrdPathLabeling::NodeId right;
+      if (kids.size() >= 2) {
+        right = kids[1];
+      } else {
+        auto anchor = lab->InsertElement("anchor", 0, left,
+                                         OrdPathLabeling::kNoNode);
+        LAZYXML_CHECK(anchor.ok());
+        right = anchor.ValueOrDie();
+      }
+      for (int i = 0; i < 200; ++i) {
+        auto r = lab->InsertElement("hot", 0, left, right);
+        LAZYXML_CHECK(r.ok());
+        right = r.ValueOrDie();
+      }
+    }
+    benchmark::DoNotOptimize(lab.get());
+  }
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(lab->TotalLabelBytes()) /
+      static_cast<double>(lab->num_nodes());
+  state.counters["max_components"] =
+      static_cast<double>(lab->MaxLabelComponents());
+  state.counters["elements"] = static_cast<double>(lab->num_nodes());
+  state.SetLabel(churn ? "ordpath+hotspot" : "ordpath");
+}
+
+void BM_LabelBytes_Prime(benchmark::State& state) {
+  const std::string doc = DocFor(state.range(0));
+  std::unique_ptr<PrimeLabeling> lab;
+  for (auto _ : state) {
+    lab = std::make_unique<PrimeLabeling>();
+    LAZYXML_CHECK(lab->BuildFromDocument(doc).ok());
+    benchmark::DoNotOptimize(lab.get());
+  }
+  state.counters["bytes_per_elem"] =
+      static_cast<double>(lab->MemoryBytes()) /
+      static_cast<double>(lab->num_nodes());
+  state.counters["elements"] = static_cast<double>(lab->num_nodes());
+  state.SetLabel("prime");
+}
+
+BENCHMARK(BM_LabelBytes_Interval)
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({50000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LabelBytes_OrdPath)
+    ->ArgsProduct({{1000, 10000, 50000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LabelBytes_Prime)
+    ->Args({1000})
+    ->Args({10000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Quickstart: build a lazy XML database from scratch, run updates and a
+// structural join, and inspect the update log.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/lazy_database.h"
+
+using lazyxml::LazyDatabase;
+using lazyxml::LazyJoinOptions;
+
+int main() {
+  LazyDatabase db;  // LD mode: everything incrementally maintained
+
+  // 1. The database starts as an empty super document. Insert a first
+  //    document (segment) at position 0.
+  const char* catalog =
+      "<catalog><book><title>Lazy XML</title></book></catalog>";
+  auto first = db.InsertSegment(catalog, 0);
+  if (!first.ok()) {
+    std::fprintf(stderr, "insert failed: %s\n",
+                 first.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted segment %llu (%zu bytes)\n",
+              static_cast<unsigned long long>(first.ValueOrDie()),
+              std::string(catalog).size());
+
+  // 2. Batch-insert another book *inside* the catalog element — only its
+  //    global position and text are needed; no existing label changes.
+  const char* new_book =
+      "<book><title>Structural Joins</title><author>ALK</author></book>";
+  const uint64_t gp = 9;  // right after "<catalog>"
+  auto second = db.InsertSegment(new_book, gp);
+  if (!second.ok()) {
+    std::fprintf(stderr, "insert failed: %s\n",
+                 second.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted segment %llu at position %llu\n",
+              static_cast<unsigned long long>(second.ValueOrDie()),
+              static_cast<unsigned long long>(gp));
+
+  // 3. Structural join: catalog//title via Lazy-Join.
+  auto join = db.JoinByName("book", "title");
+  if (!join.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 join.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("book//title produced %zu pairs "
+              "(%llu cross-segment, %llu in-segment)\n",
+              join.ValueOrDie().pairs.size(),
+              static_cast<unsigned long long>(
+                  join.ValueOrDie().stats.cross_segment_pairs),
+              static_cast<unsigned long long>(
+                  join.ValueOrDie().stats.in_segment_pairs));
+  for (const auto& p : join.ValueOrDie().pairs) {
+    std::printf("  ancestor (sid=%llu, start=%llu)  "
+                "descendant (sid=%llu, start=%llu)\n",
+                static_cast<unsigned long long>(p.ancestor_sid),
+                static_cast<unsigned long long>(p.ancestor_start),
+                static_cast<unsigned long long>(p.descendant_sid),
+                static_cast<unsigned long long>(p.descendant_start));
+  }
+
+  // 4. Remove the second book again — the update log handles the
+  //    bookkeeping; no element of the first segment is relabeled.
+  auto removed = db.RemoveSegment(gp, std::string(new_book).size());
+  if (!removed.ok()) {
+    std::fprintf(stderr, "remove failed: %s\n", removed.ToString().c_str());
+    return 1;
+  }
+
+  // 5. Inspect the update log.
+  auto stats = db.Stats();
+  std::printf("segments=%zu elements=%zu tags=%zu doc=%llu bytes, "
+              "update log=%zu bytes (SB-tree %zu + tag-list %zu)\n",
+              stats.num_segments, stats.num_elements, stats.num_tags,
+              static_cast<unsigned long long>(stats.super_document_length),
+              stats.update_log_bytes(), stats.sb_tree_bytes,
+              stats.tag_list_bytes);
+
+  auto check = db.CheckInvariants();
+  std::printf("invariants: %s\n", check.ToString().c_str());
+  return check.ok() ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Online registration system: the paper's second §1 scenario. Every
+// submitted form becomes one multi-element segment; cancellations remove
+// the whole segment; queries interleave with the update stream. Compares
+// LD (incremental) and LS (freeze-before-query) maintenance modes.
+//
+//   ./build/examples/registration_system [users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/lazy_database.h"
+
+using namespace lazyxml;
+
+namespace {
+
+std::string MakeForm(Random* rng, int user) {
+  static const char* kOccupations[] = {"engineer", "teacher", "researcher",
+                                       "librarian", "analyst"};
+  std::string form = "<registration>";
+  form += StringPrintf("<id>u%06d</id>", user);
+  form += StringPrintf("<name>User %d</name>", user);
+  form += StringPrintf("<occupation>%s</occupation>",
+                       kOccupations[rng->Uniform(5)]);
+  form += StringPrintf("<email>u%d@example.org</email>", user);
+  const int phones = 1 + static_cast<int>(rng->Uniform(2));
+  for (int i = 0; i < phones; ++i) {
+    form += StringPrintf("<phone>+65 %llu</phone>",
+                         static_cast<unsigned long long>(
+                             10000000 + rng->Uniform(89999999)));
+  }
+  form += "<preferences>";
+  const int prefs = static_cast<int>(rng->Uniform(4));
+  for (int i = 0; i < prefs; ++i) {
+    form += StringPrintf("<topic>t%llu</topic>",
+                         static_cast<unsigned long long>(rng->Uniform(12)));
+  }
+  form += "</preferences>";
+  form += "</registration>";
+  return form;
+}
+
+void RunMode(LogMode mode, int users) {
+  LazyDatabaseOptions opts;
+  opts.mode = mode;
+  LazyDatabase db(opts);
+  Random rng(42);
+  if (!db.InsertSegment("<registrations></registrations>", 0).ok()) return;
+
+  struct Entry {
+    uint64_t gp;
+    size_t len;
+    bool live;
+  };
+  std::vector<Entry> entries;
+  double insert_ms = 0;
+  double query_ms = 0;
+  uint64_t queries = 0;
+  uint64_t cancellations = 0;
+  uint64_t append_at = 15;  // inside <registrations>
+
+  for (int u = 0; u < users; ++u) {
+    const std::string form = MakeForm(&rng, u);
+    Stopwatch sw;
+    if (!db.InsertSegment(form, append_at).ok()) return;
+    insert_ms += sw.ElapsedMillis();
+    entries.push_back(Entry{append_at, form.size(), true});
+    append_at += form.size();
+
+    // Occasionally the most recent user cancels (removing a whole
+    // segment; earlier positions stay valid because we always append).
+    if (rng.Bernoulli(0.08) && entries.back().live) {
+      Entry& e = entries.back();
+      Stopwatch rw;
+      if (!db.RemoveSegment(e.gp, e.len).ok()) return;
+      insert_ms += rw.ElapsedMillis();
+      e.live = false;
+      append_at -= e.len;
+      ++cancellations;
+    }
+
+    // Periodic reporting query. In LS mode this is where the deferred
+    // sorting/building happens — the measured trade-off of §5.
+    if (u % 50 == 49) {
+      Stopwatch qw;
+      auto r = db.JoinByName("registration", "phone");
+      query_ms += qw.ElapsedMillis();
+      ++queries;
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  auto stats = db.Stats();
+  std::printf("%s: %5zu segments, %6zu elements, %u cancellations | "
+              "updates %.2f ms | %llu queries %.2f ms | log %s\n",
+              LogModeName(mode), stats.num_segments, stats.num_elements,
+              static_cast<unsigned>(cancellations), insert_ms,
+              static_cast<unsigned long long>(queries), query_ms,
+              HumanBytes(stats.update_log_bytes()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int users = argc > 1 ? std::atoi(argv[1]) : 2000;
+  std::printf("registration system, %d users, LD vs LS maintenance:\n",
+              users);
+  RunMode(LogMode::kLazyDynamic, users);
+  RunMode(LogMode::kLazyStatic, users);
+  return 0;
+}

@@ -1,0 +1,605 @@
+// An in-memory B+-tree.
+//
+// Backs both the element index (composite (tid,sid,start,end,level) keys,
+// paper §3.4) and the SB-tree over segment ids (paper §3.2). Values live in
+// the leaves; leaves are doubly chained for range scans. Keys are unique.
+//
+// The tree is a class template so the two indexes share one audited
+// implementation; node capacities are runtime options so benches can sweep
+// fan-out.
+
+#ifndef LAZYXML_BTREE_BTREE_H_
+#define LAZYXML_BTREE_BTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lazyxml {
+
+/// Runtime knobs for a BTree instance.
+struct BTreeOptions {
+  /// Maximum records per leaf node (>= 2).
+  size_t leaf_capacity = 64;
+  /// Maximum children per internal node (>= 3).
+  size_t internal_capacity = 64;
+};
+
+/// A unique-key in-memory B+-tree with ordered iteration.
+///
+/// \tparam Key     totally ordered by \p Compare
+/// \tparam Value   any movable type
+/// \tparam Compare strict weak order over Key (default std::less)
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class BTree {
+  struct Node;
+
+ public:
+  /// Constructs an empty tree.
+  explicit BTree(BTreeOptions options = {}, Compare cmp = Compare())
+      : options_(options), cmp_(cmp) {
+    LAZYXML_CHECK(options_.leaf_capacity >= 2);
+    LAZYXML_CHECK(options_.internal_capacity >= 3);
+    root_ = std::make_unique<Node>(/*is_leaf=*/true);
+    first_leaf_ = root_.get();
+    last_leaf_ = root_.get();
+  }
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  /// Forward iterator over (key, value) records in key order. Invalidated
+  /// by any mutation of the tree.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    /// True while the iterator points at a record.
+    bool Valid() const { return leaf_ != nullptr && index_ < leaf_->keys.size(); }
+
+    /// Key at the cursor; requires Valid().
+    const Key& key() const { return leaf_->keys[index_]; }
+
+    /// Value at the cursor; requires Valid().
+    Value& value() const { return leaf_->values[index_]; }
+
+    /// Advances to the next record (possibly becoming invalid).
+    void Next() {
+      LAZYXML_DCHECK(Valid());
+      ++index_;
+      if (index_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        index_ = 0;
+      }
+    }
+
+    bool operator==(const Iterator& o) const {
+      if (!Valid() && !o.Valid()) return true;
+      return leaf_ == o.leaf_ && index_ == o.index_;
+    }
+    bool operator!=(const Iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class BTree;
+    Iterator(Node* leaf, size_t index) : leaf_(leaf), index_(index) {
+      // Normalize an off-the-end position within a leaf.
+      while (leaf_ != nullptr && index_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        index_ = 0;
+        if (leaf_ == nullptr) break;
+        if (!leaf_->keys.empty()) break;
+      }
+    }
+
+    Node* leaf_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  /// Inserts a new record; AlreadyExists if the key is present.
+  Status Insert(const Key& key, Value value) {
+    InsertResult r = InsertRec(root_.get(), key, std::move(value),
+                               /*assign=*/false);
+    if (r.duplicate) return Status::AlreadyExists("duplicate key");
+    FinishInsert(std::move(r));
+    ++size_;
+    return Status::OK();
+  }
+
+  /// Inserts or overwrites. Returns true iff a new record was created.
+  bool InsertOrAssign(const Key& key, Value value) {
+    InsertResult r = InsertRec(root_.get(), key, std::move(value),
+                               /*assign=*/true);
+    if (r.duplicate) return false;
+    FinishInsert(std::move(r));
+    ++size_;
+    return true;
+  }
+
+  /// Pointer to the value for `key`, or nullptr. The pointer is valid
+  /// until the next mutation.
+  Value* Find(const Key& key) {
+    Node* n = root_.get();
+    while (!n->is_leaf) n = n->children[ChildIndex(n, key)].get();
+    const size_t i = LowerBoundIndex(n, key);
+    if (i < n->keys.size() && !cmp_(key, n->keys[i])) return &n->values[i];
+    return nullptr;
+  }
+  const Value* Find(const Key& key) const {
+    return const_cast<BTree*>(this)->Find(key);
+  }
+
+  /// True iff `key` is present.
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Removes a record; NotFound if absent.
+  Status Erase(const Key& key) {
+    bool erased = false;
+    EraseRec(root_.get(), key, &erased);
+    if (!erased) return Status::NotFound("key not in tree");
+    --size_;
+    // Collapse a root with a single child.
+    while (!root_->is_leaf && root_->keys.empty()) {
+      std::unique_ptr<Node> child = std::move(root_->children[0]);
+      root_ = std::move(child);
+    }
+    return Status::OK();
+  }
+
+  /// Iterator at the first record.
+  Iterator Begin() const { return Iterator(first_leaf_, 0); }
+
+  /// Invalid iterator (end of scan).
+  Iterator End() const { return Iterator(nullptr, 0); }
+
+  /// First record with key >= `key` (or End()).
+  Iterator LowerBound(const Key& key) const {
+    Node* n = root_.get();
+    while (!n->is_leaf) n = n->children[ChildIndex(n, key)].get();
+    return Iterator(n, LowerBoundIndex(n, key));
+  }
+
+  /// First record with key > `key` (or End()).
+  Iterator UpperBound(const Key& key) const {
+    Iterator it = LowerBound(key);
+    if (it.Valid() && !cmp_(key, it.key()) && !cmp_(it.key(), key)) it.Next();
+    return it;
+  }
+
+  /// Visits every record in [lo, hi) in order; `fn` returning false stops
+  /// the scan early.
+  void ScanRange(const Key& lo, const Key& hi,
+                 const std::function<bool(const Key&, Value&)>& fn) const {
+    for (Iterator it = LowerBound(lo); it.Valid(); it.Next()) {
+      if (!cmp_(it.key(), hi)) break;
+      if (!fn(it.key(), it.value())) break;
+    }
+  }
+
+  /// Number of records.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 for a lone leaf).
+  size_t height() const {
+    size_t h = 1;
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      n = n->children[0].get();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Removes everything.
+  void Clear() {
+    root_ = std::make_unique<Node>(/*is_leaf=*/true);
+    first_leaf_ = root_.get();
+    last_leaf_ = root_.get();
+    size_ = 0;
+  }
+
+  /// Bulk-loads the tree from records sorted strictly ascending by key,
+  /// replacing any current content. O(n): leaves are packed left to
+  /// right and internal levels built bottom-up — much faster than n
+  /// individual inserts (used by LS-mode freezes and index rebuilds).
+  Status BuildFrom(std::vector<std::pair<Key, Value>> sorted) {
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (!cmp_(sorted[i - 1].first, sorted[i].first)) {
+        return Status::InvalidArgument(
+            "BuildFrom requires strictly ascending keys");
+      }
+    }
+    Clear();
+    if (sorted.empty()) return Status::OK();
+    // Pack leaves; if the tail would underflow, rebalance the last two.
+    std::vector<std::unique_ptr<Node>> level;
+    std::vector<Key> level_first;  // smallest key under each node
+    const size_t cap = options_.leaf_capacity;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t take = std::min(cap, sorted.size() - i);
+      const size_t left_after = sorted.size() - i - take;
+      if (left_after > 0 && left_after < MinLeafKeys()) {
+        take = sorted.size() - i - MinLeafKeys();  // leave a legal tail
+      }
+      auto leaf = std::make_unique<Node>(/*is_leaf=*/true);
+      leaf->keys.reserve(take);
+      leaf->values.reserve(take);
+      for (size_t k = 0; k < take; ++k, ++i) {
+        leaf->keys.push_back(std::move(sorted[i].first));
+        leaf->values.push_back(std::move(sorted[i].second));
+      }
+      if (!level.empty()) {
+        level.back()->next = leaf.get();
+        leaf->prev = level.back().get();
+      }
+      level_first.push_back(leaf->keys.front());
+      level.push_back(std::move(leaf));
+    }
+    first_leaf_ = level.front().get();
+    last_leaf_ = level.back().get();
+    size_ = sorted.size();
+    // Build internal levels until one node remains.
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> parents;
+      std::vector<Key> parents_first;
+      const size_t icap = options_.internal_capacity;
+      for (size_t i = 0; i < level.size();) {
+        size_t take = std::min(icap, level.size() - i);
+        const size_t left_after = level.size() - i - take;
+        if (left_after > 0 && left_after < MinInternalChildren()) {
+          take = level.size() - i - MinInternalChildren();
+        }
+        auto parent = std::make_unique<Node>(/*is_leaf=*/false);
+        parents_first.push_back(level_first[i]);
+        for (size_t k = 0; k < take; ++k, ++i) {
+          if (k > 0) parent->keys.push_back(level_first[i]);
+          parent->children.push_back(std::move(level[i]));
+        }
+        parents.push_back(std::move(parent));
+      }
+      level = std::move(parents);
+      level_first = std::move(parents_first);
+    }
+    root_ = std::move(level.front());
+    return Status::OK();
+  }
+
+  /// Approximate heap footprint in bytes (for the Fig. 11 space study).
+  size_t MemoryBytes() const { return MemoryBytesRec(root_.get()); }
+
+  /// Verifies every structural invariant; used by tests after random
+  /// operation sequences. Returns Internal on the first violation.
+  Status CheckInvariants() const {
+    size_t counted = 0;
+    const Key* prev = nullptr;
+    LAZYXML_RETURN_NOT_OK(
+        CheckRec(root_.get(), /*is_root=*/true, nullptr, nullptr, &counted,
+                 &prev));
+    LAZYXML_CHECK_OR_INTERNAL(counted == size_, "size mismatch");
+    // Leaf chain must cover exactly the records, in order.
+    size_t chained = 0;
+    const Key* last = nullptr;
+    for (const Node* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      LAZYXML_CHECK_OR_INTERNAL(leaf->is_leaf, "non-leaf in chain");
+      for (const Key& k : leaf->keys) {
+        if (last != nullptr) {
+          LAZYXML_CHECK_OR_INTERNAL(cmp_(*last, k), "chain out of order");
+        }
+        last = &k;
+        ++chained;
+      }
+    }
+    LAZYXML_CHECK_OR_INTERNAL(chained == size_, "leaf chain size mismatch");
+    return Status::OK();
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal: keys.size()+1
+    std::vector<Value> values;                    // leaf: keys.size()
+    Node* next = nullptr;                         // leaf chain
+    Node* prev = nullptr;
+  };
+
+  struct InsertResult {
+    bool duplicate = false;
+    // When a split propagates: the separator and the new right sibling.
+    bool split = false;
+    Key separator{};
+    std::unique_ptr<Node> right;
+  };
+
+  size_t LowerBoundIndex(const Node* n, const Key& key) const {
+    return static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key, cmp_) -
+        n->keys.begin());
+  }
+
+  // Child to descend into: first separator > key goes left of it; equal
+  // separators route right (separator is the smallest key of the right
+  // subtree).
+  size_t ChildIndex(const Node* n, const Key& key) const {
+    return static_cast<size_t>(
+        std::upper_bound(n->keys.begin(), n->keys.end(), key, cmp_) -
+        n->keys.begin());
+  }
+
+  void FinishInsert(InsertResult r) {
+    if (!r.split) return;
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(std::move(r.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(r.right));
+    root_ = std::move(new_root);
+  }
+
+  InsertResult InsertRec(Node* n, const Key& key, Value value, bool assign) {
+    InsertResult out;
+    if (n->is_leaf) {
+      const size_t i = LowerBoundIndex(n, key);
+      if (i < n->keys.size() && !cmp_(key, n->keys[i])) {
+        if (assign) n->values[i] = std::move(value);
+        out.duplicate = true;
+        return out;
+      }
+      n->keys.insert(n->keys.begin() + i, key);
+      n->values.insert(n->values.begin() + i, std::move(value));
+      if (n->keys.size() > options_.leaf_capacity) SplitLeaf(n, &out);
+      return out;
+    }
+    const size_t ci = ChildIndex(n, key);
+    InsertResult child = InsertRec(n->children[ci].get(), key,
+                                   std::move(value), assign);
+    if (child.duplicate) {
+      out.duplicate = true;
+      return out;
+    }
+    if (child.split) {
+      n->keys.insert(n->keys.begin() + ci, std::move(child.separator));
+      n->children.insert(n->children.begin() + ci + 1, std::move(child.right));
+      if (n->children.size() > options_.internal_capacity) {
+        SplitInternal(n, &out);
+      }
+    }
+    return out;
+  }
+
+  void SplitLeaf(Node* n, InsertResult* out) {
+    const size_t mid = n->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*is_leaf=*/true);
+    right->keys.assign(std::make_move_iterator(n->keys.begin() + mid),
+                       std::make_move_iterator(n->keys.end()));
+    right->values.assign(std::make_move_iterator(n->values.begin() + mid),
+                         std::make_move_iterator(n->values.end()));
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    // Splice into leaf chain.
+    right->next = n->next;
+    right->prev = n;
+    if (n->next != nullptr) n->next->prev = right.get();
+    n->next = right.get();
+    if (last_leaf_ == n) last_leaf_ = right.get();
+    out->split = true;
+    out->separator = right->keys.front();
+    out->right = std::move(right);
+  }
+
+  void SplitInternal(Node* n, InsertResult* out) {
+    // Move the upper half of children to a new right node; the median key
+    // moves up as the separator.
+    const size_t mid_key = n->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*is_leaf=*/false);
+    out->separator = std::move(n->keys[mid_key]);
+    right->keys.assign(std::make_move_iterator(n->keys.begin() + mid_key + 1),
+                       std::make_move_iterator(n->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(n->children.begin() + mid_key + 1),
+        std::make_move_iterator(n->children.end()));
+    n->keys.resize(mid_key);
+    n->children.resize(mid_key + 1);
+    out->split = true;
+    out->right = std::move(right);
+  }
+
+  size_t MinLeafKeys() const { return options_.leaf_capacity / 2; }
+  size_t MinInternalChildren() const {
+    return (options_.internal_capacity + 1) / 2;
+  }
+
+  // Erases `key` under `n`; on return the caller rebalances `n`'s children
+  // if one underflowed.
+  void EraseRec(Node* n, const Key& key, bool* erased) {
+    if (n->is_leaf) {
+      const size_t i = LowerBoundIndex(n, key);
+      if (i < n->keys.size() && !cmp_(key, n->keys[i])) {
+        n->keys.erase(n->keys.begin() + i);
+        n->values.erase(n->values.begin() + i);
+        *erased = true;
+      }
+      return;
+    }
+    const size_t ci = ChildIndex(n, key);
+    Node* child = n->children[ci].get();
+    EraseRec(child, key, erased);
+    if (!*erased) return;
+    const bool underflow =
+        child->is_leaf ? child->keys.size() < MinLeafKeys()
+                       : child->children.size() < MinInternalChildren();
+    if (underflow) Rebalance(n, ci);
+  }
+
+  // Fixes an underflowing child `ci` of internal node `n` by borrowing from
+  // a sibling or merging with one.
+  void Rebalance(Node* n, size_t ci) {
+    Node* child = n->children[ci].get();
+    Node* left = ci > 0 ? n->children[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < n->children.size() ? n->children[ci + 1].get()
+                                              : nullptr;
+    if (child->is_leaf) {
+      if (left != nullptr && left->keys.size() > MinLeafKeys()) {
+        // Borrow rightmost record of left sibling.
+        child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+        child->values.insert(child->values.begin(),
+                             std::move(left->values.back()));
+        left->keys.pop_back();
+        left->values.pop_back();
+        n->keys[ci - 1] = child->keys.front();
+        return;
+      }
+      if (right != nullptr && right->keys.size() > MinLeafKeys()) {
+        // Borrow leftmost record of right sibling.
+        child->keys.push_back(std::move(right->keys.front()));
+        child->values.push_back(std::move(right->values.front()));
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        n->keys[ci] = right->keys.front();
+        return;
+      }
+      // Merge with a sibling (prefer left so indices shift predictably).
+      if (left != nullptr) {
+        MergeLeaves(n, ci - 1);
+      } else if (right != nullptr) {
+        MergeLeaves(n, ci);
+      }
+      return;
+    }
+    // Internal child.
+    if (left != nullptr && left->children.size() > MinInternalChildren()) {
+      // Rotate through the parent separator.
+      child->keys.insert(child->keys.begin(), std::move(n->keys[ci - 1]));
+      n->keys[ci - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+      return;
+    }
+    if (right != nullptr && right->children.size() > MinInternalChildren()) {
+      child->keys.push_back(std::move(n->keys[ci]));
+      n->keys[ci] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+      return;
+    }
+    if (left != nullptr) {
+      MergeInternal(n, ci - 1);
+    } else if (right != nullptr) {
+      MergeInternal(n, ci);
+    }
+  }
+
+  // Merges leaf children li and li+1 of `n` into li.
+  void MergeLeaves(Node* n, size_t li) {
+    Node* l = n->children[li].get();
+    Node* r = n->children[li + 1].get();
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    l->values.insert(l->values.end(),
+                     std::make_move_iterator(r->values.begin()),
+                     std::make_move_iterator(r->values.end()));
+    l->next = r->next;
+    if (r->next != nullptr) r->next->prev = l;
+    if (last_leaf_ == r) last_leaf_ = l;
+    n->keys.erase(n->keys.begin() + li);
+    n->children.erase(n->children.begin() + li + 1);
+  }
+
+  // Merges internal children li and li+1 of `n` into li, pulling down the
+  // separator between them.
+  void MergeInternal(Node* n, size_t li) {
+    Node* l = n->children[li].get();
+    Node* r = n->children[li + 1].get();
+    l->keys.push_back(std::move(n->keys[li]));
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    l->children.insert(l->children.end(),
+                       std::make_move_iterator(r->children.begin()),
+                       std::make_move_iterator(r->children.end()));
+    n->keys.erase(n->keys.begin() + li);
+    n->children.erase(n->children.begin() + li + 1);
+  }
+
+  size_t MemoryBytesRec(const Node* n) const {
+    size_t bytes = sizeof(Node) + n->keys.capacity() * sizeof(Key) +
+                   n->values.capacity() * sizeof(Value) +
+                   n->children.capacity() * sizeof(std::unique_ptr<Node>);
+    for (const auto& c : n->children) bytes += MemoryBytesRec(c.get());
+    return bytes;
+  }
+
+  Status CheckRec(const Node* n, bool is_root, const Key* lo, const Key* hi,
+                  size_t* counted, const Key** prev) const {
+    // Keys strictly ascending within the node and within (lo, hi].
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (i > 0) {
+        LAZYXML_CHECK_OR_INTERNAL(cmp_(n->keys[i - 1], n->keys[i]),
+                                  "node keys out of order");
+      }
+      if (lo != nullptr) {
+        LAZYXML_CHECK_OR_INTERNAL(!cmp_(n->keys[i], *lo),
+                                  "key below subtree lower bound");
+      }
+      if (hi != nullptr) {
+        LAZYXML_CHECK_OR_INTERNAL(cmp_(n->keys[i], *hi),
+                                  "key above subtree upper bound");
+      }
+    }
+    if (n->is_leaf) {
+      LAZYXML_CHECK_OR_INTERNAL(n->values.size() == n->keys.size(),
+                                "leaf arity mismatch");
+      if (!is_root) {
+        LAZYXML_CHECK_OR_INTERNAL(n->keys.size() >= MinLeafKeys(),
+                                  "leaf underflow");
+      }
+      LAZYXML_CHECK_OR_INTERNAL(n->keys.size() <= options_.leaf_capacity,
+                                "leaf overflow");
+      for (const Key& k : n->keys) {
+        if (*prev != nullptr) {
+          LAZYXML_CHECK_OR_INTERNAL(cmp_(**prev, k), "global order violated");
+        }
+        *prev = &k;
+        ++*counted;
+      }
+      return Status::OK();
+    }
+    LAZYXML_CHECK_OR_INTERNAL(n->children.size() == n->keys.size() + 1,
+                              "internal arity mismatch");
+    if (!is_root) {
+      LAZYXML_CHECK_OR_INTERNAL(n->children.size() >= MinInternalChildren(),
+                                "internal underflow");
+    }
+    LAZYXML_CHECK_OR_INTERNAL(n->children.size() <= options_.internal_capacity,
+                              "internal overflow");
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      const Key* clo = i == 0 ? lo : &n->keys[i - 1];
+      const Key* chi = i == n->keys.size() ? hi : &n->keys[i];
+      LAZYXML_RETURN_NOT_OK(
+          CheckRec(n->children[i].get(), false, clo, chi, counted, prev));
+    }
+    return Status::OK();
+  }
+
+  BTreeOptions options_;
+  Compare cmp_;
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;
+  Node* last_leaf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_BTREE_BTREE_H_

@@ -1,0 +1,289 @@
+#include "common/bignum.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lazyxml {
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v & 0xffffffffu));
+    if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+  }
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+uint64_t BigUint::Low64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint out;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::operator-(const BigUint& other) const {
+  LAZYXML_CHECK(Compare(other) >= 0);
+  BigUint out;
+  out.limbs_.reserve(limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += (int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<uint32_t>(diff));
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::MulSmall(uint64_t m) const {
+  return *this * BigUint(m);
+}
+
+BigUint BigUint::ShiftLeftBits(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigUint out = *this;
+    if (bits == 0) return out;
+  }
+  if (IsZero()) return BigUint();
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v & 0xffffffffu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+Result<std::pair<BigUint, BigUint>> BigUint::DivMod(const BigUint& dividend,
+                                                    const BigUint& divisor) {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("BigUint division by zero");
+  }
+  if (dividend.Compare(divisor) < 0) {
+    return std::make_pair(BigUint(), dividend);
+  }
+  if (divisor.FitsUint64()) {
+    // Fast path: single-word divisor, one pass over the limbs.
+    const uint64_t d = divisor.Low64();
+    BigUint quotient;
+    quotient.limbs_.assign(dividend.limbs_.size(), 0);
+    unsigned __int128 rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      rem = (rem << 32) | dividend.limbs_[i];
+      quotient.limbs_[i] = static_cast<uint32_t>(rem / d);
+      rem %= d;
+    }
+    quotient.Trim();
+    return std::make_pair(std::move(quotient),
+                          BigUint(static_cast<uint64_t>(rem)));
+  }
+  // Binary long division: O(bits) shift-subtract passes. Slower than Knuth
+  // algorithm D but simple and fast enough for PRIME-sized operands.
+  const size_t shift = dividend.BitLength() - divisor.BitLength();
+  BigUint remainder = dividend;
+  BigUint quotient;
+  quotient.limbs_.assign(shift / 32 + 1, 0);
+  for (size_t s = shift + 1; s-- > 0;) {
+    BigUint shifted = divisor.ShiftLeftBits(s);
+    if (remainder.Compare(shifted) >= 0) {
+      remainder = remainder - shifted;
+      quotient.limbs_[s / 32] |= (uint32_t{1} << (s % 32));
+    }
+  }
+  quotient.Trim();
+  return std::make_pair(std::move(quotient), std::move(remainder));
+}
+
+Result<uint64_t> BigUint::ModSmall(uint64_t m) const {
+  if (m == 0) return Status::InvalidArgument("BigUint mod zero");
+  // Horner over limbs, high to low: r = (r * 2^32 + limb) mod m, using
+  // 128-bit intermediates.
+  unsigned __int128 r = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    r = ((r << 32) | limbs_[i]) % m;
+  }
+  return static_cast<uint64_t>(r);
+}
+
+Result<bool> BigUint::DivisibleBy(const BigUint& divisor) const {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("divisibility by zero");
+  }
+  if (divisor.FitsUint64()) {
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t r, ModSmall(divisor.Low64()));
+    return r == 0;
+  }
+  LAZYXML_ASSIGN_OR_RETURN(auto qr, DivMod(*this, divisor));
+  return qr.second.IsZero();
+}
+
+Result<BigUint> BigUint::FromDecimalString(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  BigUint out;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit in decimal string");
+    }
+    out = out.MulSmall(10) + BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (IsZero()) return "0";
+  // Repeated division by 10^9 (chunks of 9 digits).
+  std::vector<uint32_t> work(limbs_.begin(), limbs_.end());
+  std::string out;
+  constexpr uint64_t kChunk = 1000000000ull;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    char buf[16];
+    if (work.empty()) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(rem));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%09llu",
+                    static_cast<unsigned long long>(rem));
+    }
+    out.insert(0, buf);
+  }
+  return out;
+}
+
+uint64_t MulMod64(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+Result<uint64_t> ModInverse(uint64_t a, uint64_t m) {
+  if (m == 0) return Status::InvalidArgument("ModInverse: zero modulus");
+  // Extended Euclid on signed 128-bit to avoid overflow.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    __int128 q = r / new_r;
+    __int128 tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  if (r != 1) {
+    return Status::InvalidArgument("ModInverse: not invertible");
+  }
+  if (t < 0) t += m;
+  return static_cast<uint64_t>(t);
+}
+
+Result<BigUint> CrtSolve(const std::vector<uint64_t>& primes,
+                         const std::vector<uint64_t>& residues) {
+  if (primes.size() != residues.size()) {
+    return Status::InvalidArgument("CrtSolve: size mismatch");
+  }
+  if (primes.empty()) {
+    return Status::InvalidArgument("CrtSolve: empty system");
+  }
+  BigUint modulus(1);
+  for (uint64_t p : primes) {
+    if (p == 0) return Status::InvalidArgument("CrtSolve: zero modulus");
+    modulus = modulus.MulSmall(p);
+  }
+  BigUint x;  // zero
+  for (size_t i = 0; i < primes.size(); ++i) {
+    // M_i = M / p_i; term = r_i * M_i * (M_i^{-1} mod p_i).
+    LAZYXML_ASSIGN_OR_RETURN(auto qr, BigUint::DivMod(modulus,
+                                                      BigUint(primes[i])));
+    const BigUint& mi = qr.first;
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t mi_mod_p, mi.ModSmall(primes[i]));
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t inv, ModInverse(mi_mod_p, primes[i]));
+    const uint64_t coeff = MulMod64(residues[i] % primes[i], inv, primes[i]);
+    x = x + mi.MulSmall(coeff);
+  }
+  LAZYXML_ASSIGN_OR_RETURN(auto xr, BigUint::DivMod(x, modulus));
+  return xr.second;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,110 @@
+// Arbitrary-precision unsigned integers.
+//
+// Substrate for the PRIME labeling baseline (Wu/Lee/Hsu, ICDE 2004): node
+// labels are products of primes along the root path and the order table
+// stores simultaneous-congruence (CRT) values, both of which overflow
+// machine words almost immediately. Only the operations PRIME needs are
+// provided; this is not a general bignum library.
+
+#ifndef LAZYXML_COMMON_BIGNUM_H_
+#define LAZYXML_COMMON_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Unsigned big integer in base 2^32 (little-endian limbs, no leading zero
+/// limb except for the value zero which has no limbs).
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine word.
+  explicit BigUint(uint64_t v);
+
+  /// Parses a decimal string ("123456..."). Fails on empty input or
+  /// non-digit characters.
+  static Result<BigUint> FromDecimalString(std::string_view s);
+
+  /// Decimal rendering; "0" for zero.
+  std::string ToDecimalString() const;
+
+  /// True iff the value is zero.
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  /// The low 64 bits (truncating). Mostly for tests.
+  uint64_t Low64() const;
+
+  /// True iff the value fits in 64 bits.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+
+  // -- Arithmetic -----------------------------------------------------------
+
+  BigUint operator+(const BigUint& other) const;
+
+  /// Subtraction; requires *this >= other (checked, aborts otherwise —
+  /// negative values cannot arise in PRIME).
+  BigUint operator-(const BigUint& other) const;
+
+  BigUint operator*(const BigUint& other) const;
+
+  /// Multiplication by a machine word.
+  BigUint MulSmall(uint64_t m) const;
+
+  /// Quotient and remainder; `divisor` must be nonzero.
+  static Result<std::pair<BigUint, BigUint>> DivMod(const BigUint& dividend,
+                                                    const BigUint& divisor);
+
+  /// Remainder modulo a machine word; `m` must be nonzero.
+  Result<uint64_t> ModSmall(uint64_t m) const;
+
+  /// True iff `divisor` (nonzero) divides *this exactly. The PRIME
+  /// ancestor test: label(desc) divisible by label(anc).
+  Result<bool> DivisibleBy(const BigUint& divisor) const;
+
+  // -- Comparisons ----------------------------------------------------------
+
+  int Compare(const BigUint& other) const;
+  bool operator==(const BigUint& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigUint& other) const { return Compare(other) != 0; }
+  bool operator<(const BigUint& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigUint& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigUint& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigUint& other) const { return Compare(other) >= 0; }
+
+  /// Approximate heap footprint, for the space experiments.
+  size_t MemoryBytes() const { return limbs_.capacity() * sizeof(uint32_t); }
+
+ private:
+  void Trim();
+  BigUint ShiftLeftBits(size_t bits) const;
+
+  std::vector<uint32_t> limbs_;
+};
+
+/// Solves the simultaneous congruences x ≡ residues[i] (mod primes[i]) for
+/// pairwise-distinct primes, returning the unique x in [0, Π primes).
+/// This is the "simultaneous congruence value" PRIME recomputes on insert.
+Result<BigUint> CrtSolve(const std::vector<uint64_t>& primes,
+                         const std::vector<uint64_t>& residues);
+
+/// Modular inverse of a mod m (m prime or gcd(a,m)==1); fails if the
+/// inverse does not exist.
+Result<uint64_t> ModInverse(uint64_t a, uint64_t m);
+
+/// (a * b) mod m without overflow for 64-bit operands.
+uint64_t MulMod64(uint64_t a, uint64_t b, uint64_t m);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_BIGNUM_H_

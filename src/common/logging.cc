@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace lazyxml {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (static_cast<int>(level) < g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               message.c_str());
+}
+
+void FatalCheckFailure(const char* file, int line, const char* expr) {
+  LogMessage(LogLevel::kError, file, line,
+             std::string("CHECK failed: ") + expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lazyxml

@@ -1,0 +1,77 @@
+// Minimal leveled logging + debug assertions.
+//
+// The library itself logs nothing at INFO by default; examples and benches
+// use LAZYXML_LOG for progress lines. LAZYXML_DCHECK compiles out in
+// release builds (it guards internal invariants only, never input
+// validation — inputs are validated with Status returns).
+
+#ifndef LAZYXML_COMMON_LOGGING_H_
+#define LAZYXML_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lazyxml {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Writes one formatted line to stderr: "[LEVEL file:line] message".
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Stream-style collector so call sites can write `... << x << y`.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr);
+
+}  // namespace internal
+}  // namespace lazyxml
+
+#define LAZYXML_LOG(level)                                      \
+  ::lazyxml::internal::LogStream(::lazyxml::LogLevel::k##level, \
+                                 __FILE__, __LINE__)
+
+/// Hard invariant check, active in all builds. Use sparingly (corruption
+/// would otherwise propagate silently).
+#define LAZYXML_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::lazyxml::internal::FatalCheckFailure(__FILE__, __LINE__, #expr); \
+  } while (false)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define LAZYXML_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define LAZYXML_DCHECK(expr) LAZYXML_CHECK(expr)
+#endif
+
+#endif  // LAZYXML_COMMON_LOGGING_H_

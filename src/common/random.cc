@@ -1,0 +1,78 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace lazyxml {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used only to expand the user seed into the 128-bit state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // All-zero state is a fixed point.
+}
+
+uint64_t Random::Next() {
+  const uint64_t a = s0_;
+  uint64_t b = s1_;
+  const uint64_t result = Rotl(a + b, 17) + a;
+  b ^= a;
+  s0_ = Rotl(a, 49) ^ b ^ (b << 21);
+  s1_ = Rotl(b, 28);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF on the (approximate) continuous Zipf distribution; accurate
+  // enough for workload skew and avoids precomputing n harmonic terms.
+  const double alpha = 1.0 - theta;
+  const double zeta_n = (std::pow(static_cast<double>(n), alpha) - 1.0) / alpha;
+  const double u = NextDouble();
+  const double x = std::pow(u * alpha * zeta_n + 1.0, 1.0 / alpha) - 1.0;
+  uint64_t rank = static_cast<uint64_t>(x);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+}  // namespace lazyxml

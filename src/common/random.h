@@ -1,0 +1,58 @@
+// Deterministic, seedable PRNG used by generators, tests and benches.
+// Everything in this repo that is "random" goes through Xoroshiro128pp so
+// runs are reproducible from a seed.
+
+#ifndef LAZYXML_COMMON_RANDOM_H_
+#define LAZYXML_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lazyxml {
+
+/// xoroshiro128++ by Blackman & Vigna: small, fast, high quality, and —
+/// unlike std::mt19937 — bit-identical across standard libraries.
+class Random {
+ public:
+  /// Seeds the generator; the same seed yields the same stream everywhere.
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipfian rank in [0, n) with exponent `theta`; rank 0 is hottest.
+  /// Used for skewed tag selection in generators.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_RANDOM_H_

@@ -1,0 +1,84 @@
+// Result<T>: a value-or-Status, in the style of arrow::Result.
+
+#ifndef LAZYXML_COMMON_RESULT_H_
+#define LAZYXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lazyxml {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// \code
+///   Result<TagId> r = dict.Intern("person");
+///   if (!r.ok()) return r.status();
+///   TagId tid = r.ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure. An OK status is a caller bug
+  /// and is converted to an Internal error.
+  Result(Status status) {  // NOLINT(runtime/explicit)
+    if (status.ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    } else {
+      repr_ = std::move(status);
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The held value, or `fallback` on failure.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace lazyxml
+
+/// Evaluates a Result-returning expression; on failure propagates its
+/// status, on success binds the value to `lhs`.
+#define LAZYXML_ASSIGN_OR_RETURN(lhs, expr)            \
+  LAZYXML_ASSIGN_OR_RETURN_IMPL_(                      \
+      LAZYXML_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define LAZYXML_CONCAT_INNER_(a, b) a##b
+#define LAZYXML_CONCAT_(a, b) LAZYXML_CONCAT_INNER_(a, b)
+#define LAZYXML_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // LAZYXML_COMMON_RESULT_H_

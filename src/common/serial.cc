@@ -1,0 +1,72 @@
+#include "common/serial.h"
+
+#include "common/strings.h"
+
+namespace lazyxml {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buf_.append(s);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption(
+        StringPrintf("snapshot truncated: need %zu bytes at offset %zu of "
+                     "%zu",
+                     n, pos_, data_.size()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  LAZYXML_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  LAZYXML_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  LAZYXML_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> ByteReader::GetString() {
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+  if (len > data_.size()) {
+    return Status::Corruption("snapshot string length exceeds file size");
+  }
+  LAZYXML_RETURN_NOT_OK(Need(len));
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,59 @@
+// Bounds-checked binary encoding helpers for snapshot files: fixed-width
+// little-endian integers and length-prefixed byte strings. Readers return
+// Status on truncation/corruption instead of reading garbage.
+
+#ifndef LAZYXML_COMMON_SERIAL_H_
+#define LAZYXML_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Appends binary fields to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Length-prefixed (u64) byte string.
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads binary fields from a view; every read is bounds-checked.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  /// Length-prefixed byte string (copies out).
+  Result<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_SERIAL_H_

@@ -1,0 +1,146 @@
+// Status: error propagation without exceptions, in the style of
+// RocksDB/Arrow. Library code returns Status (or Result<T>) instead of
+// throwing; callers chain with LAZYXML_RETURN_NOT_OK.
+
+#ifndef LAZYXML_COMMON_STATUS_H_
+#define LAZYXML_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lazyxml {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Key / segment / tag does not exist.
+  kAlreadyExists = 3,     ///< Duplicate insertion.
+  kOutOfRange = 4,        ///< Position outside the super document.
+  kCorruption = 5,        ///< Internal invariant violated / bad input data.
+  kNotSupported = 6,      ///< Feature intentionally unimplemented.
+  kParseError = 7,        ///< XML text is not well formed.
+  kInternal = 8,          ///< Bug in this library.
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// An OK-or-error value. Cheap to pass around: the OK state carries no
+/// allocation; error states carry a small heap payload with code + message.
+///
+/// Typical use:
+/// \code
+///   Status s = index.Insert(rec);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Constructs an OK status (explicit spelling).
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context ("while inserting segment 7: ...") to the message.
+  /// OK statuses stay OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(new State{code, std::move(msg)}) {}
+
+  std::unique_ptr<State> state_;  // nullptr means OK.
+};
+
+}  // namespace lazyxml
+
+/// Propagates a non-OK Status from the current function.
+#define LAZYXML_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::lazyxml::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Returns Status::Internal if `cond` is false. For internal invariants.
+#define LAZYXML_CHECK_OR_INTERNAL(cond, msg)        \
+  do {                                              \
+    if (!(cond)) return ::lazyxml::Status::Internal(msg); \
+  } while (false)
+
+#endif  // LAZYXML_COMMON_STATUS_H_

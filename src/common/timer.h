@@ -1,0 +1,47 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef LAZYXML_COMMON_TIMER_H_
+#define LAZYXML_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lazyxml {
+
+/// A simple monotonic stopwatch. Start() resets; Elapsed*() read without
+/// stopping, so one timer can bracket several phases.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  /// (Re)starts the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Nanoseconds since the last Start().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Microseconds since the last Start().
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Milliseconds since the last Start(), as a double for table output.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Seconds since the last Start().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_TIMER_H_

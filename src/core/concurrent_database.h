@@ -1,0 +1,119 @@
+// ConcurrentLazyDatabase: a thread-safe facade over LazyDatabase.
+//
+// The paper names concurrency as future work (§6). This wrapper provides
+// the sound baseline a deployment needs: a reader-writer lock where
+// structural updates and maintenance are exclusive and queries run
+// concurrently. One subtlety: in LS mode a "query" performs the deferred
+// freeze (sorting the tag-list, building the segment B+-tree), i.e. it
+// mutates — so LS queries take the exclusive lock, while LD queries,
+// which touch nothing mutable, share it. Segment-granular locking
+// (disjoint segments commute) is the natural next refinement.
+//
+// Liveness note: std::shared_mutex implementations may prefer readers;
+// an unbounded stream of overlapping readers can starve writers. Pace
+// readers (or batch writes) in workloads with sustained full-speed query
+// load.
+
+#ifndef LAZYXML_CORE_CONCURRENT_DATABASE_H_
+#define LAZYXML_CORE_CONCURRENT_DATABASE_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "core/path_query.h"
+#include "core/twig_query.h"
+
+namespace lazyxml {
+
+/// Thread-safe lazy XML database.
+class ConcurrentLazyDatabase {
+ public:
+  explicit ConcurrentLazyDatabase(LazyDatabaseOptions options = {})
+      : db_(options), lazy_static_(options.mode == LogMode::kLazyStatic) {}
+  ConcurrentLazyDatabase(const ConcurrentLazyDatabase&) = delete;
+  ConcurrentLazyDatabase& operator=(const ConcurrentLazyDatabase&) = delete;
+
+  // -- Updates (exclusive) ----------------------------------------------------
+
+  Result<SegmentId> InsertSegment(std::string_view text, uint64_t gp) {
+    std::unique_lock lock(mu_);
+    return db_.InsertSegment(text, gp);
+  }
+
+  Status RemoveSegment(uint64_t gp, uint64_t length) {
+    std::unique_lock lock(mu_);
+    return db_.RemoveSegment(gp, length);
+  }
+
+  Status CompactAll() {
+    std::unique_lock lock(mu_);
+    return db_.CompactAll();
+  }
+
+  // -- Queries (shared in LD; exclusive in LS, where they freeze) -----------
+
+  Result<LazyJoinResult> JoinByName(std::string_view anc,
+                                    std::string_view desc,
+                                    const LazyJoinOptions& options = {}) {
+    if (lazy_static_) {
+      std::unique_lock lock(mu_);
+      return db_.JoinByName(anc, desc, options);
+    }
+    std::shared_lock lock(mu_);
+    return db_.JoinByName(anc, desc, options);
+  }
+
+  Result<std::vector<JoinPair>> JoinGlobal(std::string_view anc,
+                                           std::string_view desc,
+                                           const LazyJoinOptions& options = {}) {
+    if (lazy_static_) {
+      std::unique_lock lock(mu_);
+      return db_.JoinGlobal(anc, desc, options);
+    }
+    std::shared_lock lock(mu_);
+    return db_.JoinGlobal(anc, desc, options);
+  }
+
+  Result<PathQueryResult> Path(std::string_view expr) {
+    if (lazy_static_) {
+      std::unique_lock lock(mu_);
+      return EvaluatePath(&db_, expr);
+    }
+    std::shared_lock lock(mu_);
+    return EvaluatePath(&db_, expr);
+  }
+
+  Result<TwigQueryResult> Twig(std::string_view expr) {
+    if (lazy_static_) {
+      std::unique_lock lock(mu_);
+      return EvaluateTwig(&db_, expr);
+    }
+    std::shared_lock lock(mu_);
+    return EvaluateTwig(&db_, expr);
+  }
+
+  LazyDatabaseStats Stats() {
+    std::shared_lock lock(mu_);
+    return db_.Stats();
+  }
+
+  Status CheckInvariants() {
+    std::shared_lock lock(mu_);
+    return db_.CheckInvariants();
+  }
+
+  /// Exclusive access escape hatch for bulk setup (single-threaded phases).
+  LazyDatabase& UnsynchronizedAccess() { return db_; }
+
+ private:
+  std::shared_mutex mu_;
+  LazyDatabase db_;
+  const bool lazy_static_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_CONCURRENT_DATABASE_H_

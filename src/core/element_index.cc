@@ -1,0 +1,113 @@
+#include "core/element_index.h"
+
+namespace lazyxml {
+
+Status ElementIndex::InsertRecords(SegmentId sid,
+                                   std::span<const ElementRecord> records) {
+  for (const ElementRecord& r : records) {
+    LAZYXML_RETURN_NOT_OK(
+        tree_.Insert(Key{r.tid, sid, r.start}, Val{r.end, r.level}));
+  }
+  return Status::OK();
+}
+
+std::vector<LocalElement> ElementIndex::GetElements(TagId tid,
+                                                    SegmentId sid) const {
+  std::vector<LocalElement> out;
+  const Key lo{tid, sid, 0};
+  const Key hi{tid, sid + 1, 0};
+  tree_.ScanRange(lo, hi, [&out](const Key& k, Val& v) {
+    out.push_back(LocalElement{k.start, v.end, v.level});
+    return true;
+  });
+  return out;
+}
+
+uint64_t ElementIndex::CountElements(TagId tid, SegmentId sid) const {
+  uint64_t n = 0;
+  const Key lo{tid, sid, 0};
+  const Key hi{tid, sid + 1, 0};
+  tree_.ScanRange(lo, hi, [&n](const Key&, Val&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool ElementIndex::FindInnermostContaining(SegmentId sid,
+                                           std::span<const TagId> tags,
+                                           uint64_t f,
+                                           LocalElement* out) const {
+  bool found = false;
+  LocalElement best;
+  for (TagId tid : tags) {
+    const Key lo{tid, sid, 0};
+    const Key hi{tid, sid + 1, 0};
+    // The innermost container has the greatest start among elements with
+    // start < f < end; a linear scan bounded by start < f suffices (the
+    // index has no end-ordered access path, mirroring the paper).
+    tree_.ScanRange(lo, hi, [&](const Key& k, Val& v) {
+      if (k.start >= f) return false;
+      if (v.end > f && (!found || k.start > best.start)) {
+        best = LocalElement{k.start, v.end, v.level};
+        found = true;
+      }
+      return true;
+    });
+  }
+  if (found && out != nullptr) *out = best;
+  return found;
+}
+
+Result<RemovedCounts> ElementIndex::DeleteSegment(SegmentId sid,
+                                                  std::span<const TagId> tags) {
+  RemovedCounts counts;
+  for (TagId tid : tags) {
+    std::vector<Key> doomed;
+    const Key lo{tid, sid, 0};
+    const Key hi{tid, sid + 1, 0};
+    tree_.ScanRange(lo, hi, [&doomed, tid, sid](const Key& k, Val&) {
+      doomed.push_back(Key{tid, sid, k.start});
+      return true;
+    });
+    for (const Key& k : doomed) {
+      LAZYXML_RETURN_NOT_OK(tree_.Erase(k));
+    }
+    if (!doomed.empty()) counts[tid] = doomed.size();
+  }
+  return counts;
+}
+
+Result<RemovedCounts> ElementIndex::DeleteRange(SegmentId sid,
+                                                std::span<const TagId> tags,
+                                                uint64_t begin, uint64_t end) {
+  // Two passes so a straddle anywhere aborts before anything is deleted.
+  std::vector<std::pair<TagId, Key>> doomed;
+  for (TagId tid : tags) {
+    const Key lo{tid, sid, 0};
+    const Key hi{tid, sid + 1, 0};
+    Status straddle = Status::OK();
+    tree_.ScanRange(lo, hi, [&](const Key& k, Val& v) {
+      const bool starts_inside = k.start >= begin && k.start < end;
+      const bool ends_inside = v.end > begin && v.end <= end;
+      if (starts_inside && ends_inside) {
+        doomed.emplace_back(tid, Key{tid, sid, k.start});
+      } else if (starts_inside != ends_inside &&
+                 !(k.start < begin && v.end > end)) {
+        straddle = Status::Corruption(
+            "removal range splits an element record");
+        return false;
+      }
+      return true;
+    });
+    LAZYXML_RETURN_NOT_OK(straddle);
+  }
+  RemovedCounts counts;
+  for (const auto& [tid, k] : doomed) {
+    LAZYXML_RETURN_NOT_OK(tree_.Erase(k));
+    ++counts[tid];
+  }
+  return counts;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,105 @@
+// ElementIndex: the B+-tree of element records (paper §3.4).
+//
+// The paper keys the tree by the full tuple (tid, sid, start, end,
+// LevelNum); since an element is already univocally identified by
+// (sid, start), we key by (tid, sid, start) and carry (end, level) as the
+// value — same ordering, same scans, smaller comparisons. `start`/`end`
+// are the element's *frozen local* offsets in its segment; they are never
+// touched by later updates, which is the whole point of the lazy scheme.
+
+#ifndef LAZYXML_CORE_ELEMENT_INDEX_H_
+#define LAZYXML_CORE_ELEMENT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "core/segment.h"
+#include "xml/element_record.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// One element in a segment's frozen coordinates.
+struct LocalElement {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint32_t level = 0;  ///< absolute level in the super document
+
+  bool Contains(const LocalElement& o) const {
+    return start < o.start && end > o.end;
+  }
+  bool operator==(const LocalElement& o) const {
+    return start == o.start && end == o.end && level == o.level;
+  }
+};
+
+/// Per-tag counts of deleted records, reported to the tag-list.
+using RemovedCounts = std::map<TagId, uint64_t>;
+
+/// The element index.
+class ElementIndex {
+ public:
+  explicit ElementIndex(BTreeOptions options = {}) : tree_(options) {}
+
+  /// Indexes a parsed segment's records (local offsets, absolute levels).
+  Status InsertRecords(SegmentId sid, std::span<const ElementRecord> records);
+
+  /// All (tid, sid) elements in ascending frozen start order.
+  std::vector<LocalElement> GetElements(TagId tid, SegmentId sid) const;
+
+  /// Number of (tid, sid) elements.
+  uint64_t CountElements(TagId tid, SegmentId sid) const;
+
+  /// Innermost element of (any tag in `tags`, sid) strictly containing
+  /// frozen offset `f`; returns false if none. Used to find the depth of
+  /// a splice point.
+  bool FindInnermostContaining(SegmentId sid, std::span<const TagId> tags,
+                               uint64_t f, LocalElement* out) const;
+
+  /// Deletes every record of segment `sid` (whose tags are `tags`);
+  /// returns per-tag deletion counts (paper §3.4: needed to decide which
+  /// tag-list paths to drop).
+  Result<RemovedCounts> DeleteSegment(SegmentId sid,
+                                      std::span<const TagId> tags);
+
+  /// Deletes records of `sid` lying entirely inside the frozen interval
+  /// [begin, end); per-tag counts returned. A record straddling the
+  /// boundary means the removal splits an element: Corruption.
+  Result<RemovedCounts> DeleteRange(SegmentId sid,
+                                    std::span<const TagId> tags,
+                                    uint64_t begin, uint64_t end);
+
+  /// Total records.
+  size_t size() const { return tree_.size(); }
+
+  /// Approximate heap footprint.
+  size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+
+  /// Structural invariants of the backing tree (tests).
+  Status CheckInvariants() const { return tree_.CheckInvariants(); }
+
+ private:
+  struct Key {
+    TagId tid = 0;
+    SegmentId sid = 0;
+    uint64_t start = 0;
+    bool operator<(const Key& o) const {
+      return std::tie(tid, sid, start) < std::tie(o.tid, o.sid, o.start);
+    }
+  };
+  struct Val {
+    uint64_t end = 0;
+    uint32_t level = 0;
+  };
+
+  BTree<Key, Val> tree_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_ELEMENT_INDEX_H_

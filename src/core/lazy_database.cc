@@ -1,0 +1,314 @@
+#include "core/lazy_database.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+
+LazyDatabase::LazyDatabase(LazyDatabaseOptions options)
+    : options_(options),
+      log_(UpdateLog::Options{options.mode, options.sb_tree_options}),
+      index_(options.element_index_options) {}
+
+Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
+                                              uint64_t gp) {
+  // Parse first: a malformed segment must not touch any structure.
+  ParseOptions popts;
+  popts.require_single_root = true;
+  auto parsed_r = ParseFragment(text, &dict_, popts);
+  if (!parsed_r.ok()) {
+    return parsed_r.status().WithContext("inserting segment");
+  }
+  ParsedFragment parsed = std::move(parsed_r).ValueOrDie();
+
+  LAZYXML_ASSIGN_OR_RETURN(UpdateLog::InsertInfo info,
+                           log_.AddSegment(gp, text.size()));
+
+  // Depth of the splice point: the innermost parent-segment element
+  // containing it (via the parent's nesting summary), else the parent's
+  // own splice depth (recursively established at its insertion).
+  const uint32_t base_level =
+      info.parent->LevelAt(info.frozen_point, info.parent->base_level);
+  info.node->base_level = base_level;
+  info.node->distinct_tags = parsed.distinct_tags;
+  if (base_level > 0) {
+    for (ElementRecord& r : parsed.records) r.level += base_level;
+  }
+
+  // Build the segment's nesting summary (records are in preorder; parent
+  // links fall out of an interval stack).
+  info.node->summary.reserve(parsed.records.size());
+  {
+    std::vector<uint32_t> stack;
+    for (uint32_t i = 0; i < parsed.records.size(); ++i) {
+      const ElementRecord& r = parsed.records[i];
+      while (!stack.empty() &&
+             parsed.records[stack.back()].end <= r.start) {
+        stack.pop_back();
+      }
+      NestingEntry e;
+      e.start = r.start;
+      e.end = r.end;
+      e.level = r.level;
+      e.parent = stack.empty() ? kNoParentEntry : stack.back();
+      info.node->summary.push_back(e);
+      stack.push_back(i);
+    }
+  }
+
+  LAZYXML_RETURN_NOT_OK(index_.InsertRecords(info.sid, parsed.records));
+
+  // Tag-list: one path entry per distinct tag, with occurrence counts
+  // (paper §3.3: counts decide when a path dies on deletion).
+  std::map<TagId, uint64_t> counts;
+  for (const ElementRecord& r : parsed.records) ++counts[r.tid];
+  for (const auto& [tid, count] : counts) {
+    LAZYXML_RETURN_NOT_OK(
+        log_.tag_list().AddEntry(tid, info.path, count, log_));
+  }
+  return info.sid;
+}
+
+Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
+  LAZYXML_ASSIGN_OR_RETURN(UpdateLog::RemovalEffects effects,
+                           log_.CollectRemovalEffects(gp, length));
+  // Element index first (it needs the pre-removal frozen intervals), then
+  // the tag-list (it needs the per-tag deletion counts and the
+  // pre-removal global positions), then the tree mutation.
+  for (const auto& partial : effects.partial) {
+    LAZYXML_ASSIGN_OR_RETURN(
+        RemovedCounts counts,
+        index_.DeleteRange(partial.sid, partial.tags, partial.frozen_begin,
+                           partial.frozen_end));
+    for (const auto& [tid, count] : counts) {
+      LAZYXML_RETURN_NOT_OK(
+          log_.tag_list().RemoveOccurrences(tid, partial.sid, count, log_));
+    }
+  }
+  for (const auto& full : effects.full) {
+    LAZYXML_ASSIGN_OR_RETURN(RemovedCounts counts,
+                             index_.DeleteSegment(full.sid, full.tags));
+    for (const auto& [tid, count] : counts) {
+      LAZYXML_RETURN_NOT_OK(
+          log_.tag_list().RemoveOccurrences(tid, full.sid, count, log_));
+    }
+  }
+  return log_.ApplyRemoval(effects);
+}
+
+Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
+  for (size_t i = 0; i < plan.size(); ++i) {
+    auto r = InsertSegment(plan[i].text, plan[i].gp);
+    if (!r.ok()) {
+      return r.status().WithContext(
+          StringPrintf("applying plan step %zu", i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
+  SegmentNode* top = log_.NodeOf(sid);
+  if (top == nullptr) {
+    return Status::NotFound("segment does not exist");
+  }
+  if (top->sid == kRootSegmentId) {
+    return Status::InvalidArgument("cannot collapse the dummy root");
+  }
+  const uint64_t base_gp = top->gp;
+
+  // 1. Globalize every element of the subtree into the new segment's
+  //    frozen coordinates (current global offsets relative to the top).
+  struct NewRecord {
+    TagId tid;
+    ElementRecord rec;
+  };
+  std::vector<NewRecord> records;
+  std::vector<std::pair<SegmentId, std::vector<TagId>>> old_segments;
+  std::vector<SegmentNode*> work{top};
+  while (!work.empty()) {
+    SegmentNode* n = work.back();
+    work.pop_back();
+    old_segments.emplace_back(n->sid, n->distinct_tags);
+    for (TagId tid : n->distinct_tags) {
+      for (const LocalElement& e : index_.GetElements(tid, n->sid)) {
+        ElementRecord r;
+        r.tid = tid;
+        r.start = n->FrozenToGlobal(e.start, true) - base_gp;
+        r.end = n->FrozenToGlobal(e.end, false) - base_gp;
+        r.level = e.level;
+        records.push_back(NewRecord{tid, r});
+      }
+    }
+    for (SegmentNode* c : n->children) work.push_back(c);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const NewRecord& a, const NewRecord& b) {
+              return a.rec.start < b.rec.start;
+            });
+
+  // 2. Retire the old records and tag-list entries (resolver still knows
+  //    the old segments at this point).
+  for (const auto& [old_sid, tags] : old_segments) {
+    LAZYXML_ASSIGN_OR_RETURN(RemovedCounts counts,
+                             index_.DeleteSegment(old_sid, tags));
+    for (const auto& [tid, count] : counts) {
+      LAZYXML_RETURN_NOT_OK(
+          log_.tag_list().RemoveOccurrences(tid, old_sid, count, log_));
+    }
+  }
+
+  // 3. Structural collapse, then re-key everything into the new segment.
+  LAZYXML_ASSIGN_OR_RETURN(UpdateLog::InsertInfo info,
+                           log_.CollapseSubtree(sid));
+  info.node->summary.reserve(records.size());
+  std::map<TagId, uint64_t> counts;
+  {
+    std::vector<uint32_t> stack;
+    for (uint32_t i = 0; i < records.size(); ++i) {
+      const ElementRecord& r = records[i].rec;
+      while (!stack.empty() &&
+             records[stack.back()].rec.end <= r.start) {
+        stack.pop_back();
+      }
+      NestingEntry e;
+      e.start = r.start;
+      e.end = r.end;
+      e.level = r.level;
+      e.parent = stack.empty() ? kNoParentEntry : stack.back();
+      info.node->summary.push_back(e);
+      stack.push_back(i);
+      ++counts[records[i].tid];
+      LAZYXML_RETURN_NOT_OK(index_.InsertRecords(
+          info.sid, std::span<const ElementRecord>(&r, 1)));
+    }
+  }
+  for (const auto& [tid, count] : counts) {
+    info.node->distinct_tags.push_back(tid);
+    LAZYXML_RETURN_NOT_OK(
+        log_.tag_list().AddEntry(tid, info.path, count, log_));
+  }
+  return info.sid;
+}
+
+Status LazyDatabase::CompactAll() {
+  // Snapshot the top-level sids first: collapsing mutates the child list.
+  std::vector<SegmentId> tops;
+  for (const SegmentNode* c : log_.root()->children) tops.push_back(c->sid);
+  for (SegmentId sid : tops) {
+    LAZYXML_RETURN_NOT_OK(CollapseSubtree(sid).status());
+  }
+  return Status::OK();
+}
+
+Result<LazyJoinResult> LazyDatabase::JoinByName(
+    std::string_view ancestor_tag, std::string_view descendant_tag,
+    const LazyJoinOptions& options) {
+  log_.Freeze();  // no-op in LD / when already clean
+  auto a = dict_.Lookup(ancestor_tag);
+  auto d = dict_.Lookup(descendant_tag);
+  if (!a.ok() || !d.ok()) return LazyJoinResult{};  // unknown tag: empty
+  return LazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), options);
+}
+
+Result<JoinPair> LazyDatabase::ToGlobalPair(const LazyJoinPair& pair) const {
+  SegmentNode* a = log_.NodeOf(pair.ancestor_sid);
+  SegmentNode* d = log_.NodeOf(pair.descendant_sid);
+  if (a == nullptr || d == nullptr) {
+    return Status::NotFound("join pair references a dead segment");
+  }
+  return JoinPair{a->FrozenToGlobal(pair.ancestor_start, true),
+                  d->FrozenToGlobal(pair.descendant_start, true)};
+}
+
+Result<std::vector<JoinPair>> LazyDatabase::JoinGlobal(
+    std::string_view ancestor_tag, std::string_view descendant_tag,
+    const LazyJoinOptions& options) {
+  LAZYXML_ASSIGN_OR_RETURN(LazyJoinResult lazy,
+                           JoinByName(ancestor_tag, descendant_tag, options));
+  std::vector<JoinPair> out;
+  out.reserve(lazy.pairs.size());
+  for (const LazyJoinPair& p : lazy.pairs) {
+    LAZYXML_ASSIGN_OR_RETURN(JoinPair g, ToGlobalPair(p));
+    out.push_back(g);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<GlobalElement>> LazyDatabase::MaterializeGlobalElements(
+    std::string_view tag) {
+  log_.Freeze();
+  auto tid_r = dict_.Lookup(tag);
+  if (!tid_r.ok()) return std::vector<GlobalElement>{};
+  const TagId tid = tid_r.ValueOrDie();
+  std::vector<GlobalElement> out;
+  for (const TagListEntry& e : log_.tag_list().EntriesFor(tid)) {
+    SegmentNode* node = log_.NodeOf(e.sid());
+    if (node == nullptr) {
+      return Status::Internal("tag-list references a dead segment");
+    }
+    for (const LocalElement& el : index_.GetElements(tid, e.sid())) {
+      out.push_back(GlobalElement{node->FrozenToGlobal(el.start, true),
+                                  node->FrozenToGlobal(el.end, false),
+                                  el.level});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LazyDatabaseStats LazyDatabase::Stats() const {
+  LazyDatabaseStats s;
+  s.num_segments = log_.num_segments();
+  s.num_elements = index_.size();
+  s.num_tags = dict_.size();
+  s.super_document_length = log_.super_document_length();
+  s.sb_tree_bytes = log_.SbTreeMemoryBytes();
+  s.tag_list_bytes = log_.TagListMemoryBytes();
+  s.element_index_bytes = index_.MemoryBytes();
+  return s;
+}
+
+Status LazyDatabase::CheckInvariants() const {
+  LAZYXML_RETURN_NOT_OK(log_.CheckInvariants());
+  LAZYXML_RETURN_NOT_OK(index_.CheckInvariants());
+  // Tag-list occurrence counts must agree with the element index, every
+  // path must start at the dummy root and end at a live segment, and the
+  // chain must follow parent links.
+  Status deep = Status::OK();
+  log_.tag_list().ForEachEntry([&](TagId tid, const TagListEntry& e) {
+    const SegmentNode* node = log_.NodeOf(e.sid());
+    if (node == nullptr) {
+      deep = Status::Internal("tag-list entry for a dead segment");
+      return false;
+    }
+    if (e.path.front() != kRootSegmentId) {
+      deep = Status::Internal("tag-list path does not start at the root");
+      return false;
+    }
+    const SegmentNode* walk = node;
+    for (size_t i = e.path.size(); i-- > 0;) {
+      if (walk == nullptr || walk->sid != e.path[i]) {
+        deep = Status::Internal("tag-list path does not match parent chain");
+        return false;
+      }
+      walk = walk->parent;
+    }
+    const uint64_t indexed = index_.CountElements(tid, e.sid());
+    if (indexed != e.count) {
+      deep = Status::Internal(StringPrintf(
+          "tag-list count %llu != element index count %llu for tag %u",
+          static_cast<unsigned long long>(e.count),
+          static_cast<unsigned long long>(indexed), tid));
+      return false;
+    }
+    return true;
+  });
+  return deep;
+}
+
+}  // namespace lazyxml

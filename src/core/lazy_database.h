@@ -1,0 +1,143 @@
+// LazyDatabase: the user-facing facade over the lazy XML store — update
+// log (SB-tree + tag-list), element index and tag dictionary — exposing
+// the paper's two operations (insert/remove a segment given only its
+// global position and length/text, §3.3) and segment-aware structural
+// joins (§4).
+//
+// Typical use:
+// \code
+//   LazyDatabase db;                                 // LD mode
+//   auto sid = db.InsertSegment(xml_text, /*gp=*/0); // batch insert
+//   auto result = db.JoinByName("person", "phone");  // A//D join
+// \endcode
+
+#ifndef LAZYXML_CORE_LAZY_DATABASE_H_
+#define LAZYXML_CORE_LAZY_DATABASE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/element_index.h"
+#include "core/lazy_join.h"
+#include "core/update_log.h"
+#include "join/global_element.h"
+#include "xml/tag_dict.h"
+#include "xmlgen/join_workload.h"
+
+namespace lazyxml {
+
+/// Facade configuration.
+struct LazyDatabaseOptions {
+  /// LD (fully incremental) vs LS (freeze before query) — paper §5.1.
+  LogMode mode = LogMode::kLazyDynamic;
+  BTreeOptions element_index_options;
+  BTreeOptions sb_tree_options;
+};
+
+/// Space/size snapshot (drives Fig. 11).
+struct LazyDatabaseStats {
+  size_t num_segments = 0;
+  size_t num_elements = 0;
+  size_t num_tags = 0;
+  uint64_t super_document_length = 0;
+  size_t sb_tree_bytes = 0;
+  size_t tag_list_bytes = 0;
+  size_t element_index_bytes = 0;
+
+  size_t update_log_bytes() const { return sb_tree_bytes + tag_list_bytes; }
+};
+
+/// The lazy XML database.
+class LazyDatabase {
+ public:
+  explicit LazyDatabase(LazyDatabaseOptions options = {});
+  LazyDatabase(const LazyDatabase&) = delete;
+  LazyDatabase& operator=(const LazyDatabase&) = delete;
+
+  // -- Updates (paper §3.3) --------------------------------------------------
+
+  /// Inserts segment `text` (a well-formed single-rooted document) at
+  /// global position `gp` of the super document. Returns the new sid.
+  Result<SegmentId> InsertSegment(std::string_view text, uint64_t gp);
+
+  /// Removes the region [gp, gp+length) — any combination of containment
+  /// and left/right intersection with existing segments (paper Fig. 6) as
+  /// long as no element is split.
+  Status RemoveSegment(uint64_t gp, uint64_t length);
+
+  /// Applies a whole insertion plan (generator / chopper output).
+  Status ApplyPlan(std::span<const SegmentInsertion> plan);
+
+  // -- Maintenance (paper §1 "maintenance hours", §5.3 collapse) -------------
+
+  /// Collapses segment `sid` and all its descendants into one fresh
+  /// segment spanning the same text: element records are re-keyed into
+  /// the new segment's (current-global-relative) frozen coordinates, the
+  /// tag-list is rewritten, the old subtree leaves the SB-tree. Reduces N
+  /// where query overhead has grown (paper §5.3). Returns the new sid.
+  Result<SegmentId> CollapseSubtree(SegmentId sid);
+
+  /// Collapses every top-level segment: afterwards the update log holds
+  /// one segment per document under the dummy root — the "update log can
+  /// be periodically cleared" maintenance action of §1.
+  Status CompactAll();
+
+  // -- Queries (paper §4) ------------------------------------------------------
+
+  /// Lazy-Join of `ancestor_tag` // `descendant_tag`. Unknown tags yield
+  /// an empty result. In LS mode this triggers the freeze (sorting the
+  /// tag-list and building the sid B+-tree) — the cost the LS curves pay
+  /// at query time in §5.3.
+  Result<LazyJoinResult> JoinByName(std::string_view ancestor_tag,
+                                    std::string_view descendant_tag,
+                                    const LazyJoinOptions& options = {});
+
+  /// Same join, results canonicalized to global start offsets and sorted
+  /// (for cross-implementation comparisons).
+  Result<std::vector<JoinPair>> JoinGlobal(std::string_view ancestor_tag,
+                                           std::string_view descendant_tag,
+                                           const LazyJoinOptions& options = {});
+
+  /// All elements with `tag` in global coordinates, document order — the
+  /// input a traditional (STD) join consumes.
+  Result<std::vector<GlobalElement>> MaterializeGlobalElements(
+      std::string_view tag);
+
+  /// Canonicalizes one lazy pair to global start offsets.
+  Result<JoinPair> ToGlobalPair(const LazyJoinPair& pair) const;
+
+  /// LS mode: performs the pre-query work explicitly (benches time it).
+  void Freeze() { log_.Freeze(); }
+
+  // -- Introspection -----------------------------------------------------------
+
+  const UpdateLog& update_log() const { return log_; }
+  const ElementIndex& element_index() const { return index_; }
+  const TagDict& tag_dict() const { return dict_; }
+
+  /// Mutable access for snapshot restore (core/snapshot.h); not part of
+  /// the stable API — going around the facade invalidates its invariants
+  /// unless you restore a complete consistent state.
+  UpdateLog& mutable_update_log() { return log_; }
+  ElementIndex& mutable_element_index() { return index_; }
+  TagDict& mutable_tag_dict() { return dict_; }
+
+  LazyDatabaseStats Stats() const;
+
+  /// Deep integrity check: ER-tree structure, both B+-trees, tag-list
+  /// counts vs element-index counts. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  LazyDatabaseOptions options_;
+  UpdateLog log_;
+  ElementIndex index_;
+  TagDict dict_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_LAZY_DATABASE_H_

@@ -1,0 +1,204 @@
+#include "core/lazy_join.h"
+
+#include <algorithm>
+
+#include "join/global_element.h"
+#include "join/stack_tree.h"
+
+namespace lazyxml {
+
+namespace {
+
+// Splice position of `anc`'s child on the path to the segment `path` ends
+// at; 0 + false if `anc` is not on the path (not an ancestor).
+bool FindSplicePos(const UpdateLog& log, const std::vector<SegmentId>& path,
+                   SegmentId anc, uint64_t* p_out) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] == anc) {
+      auto node = log.FindSegment(path[i + 1]);
+      if (!node.ok()) return false;
+      *p_out = node.ValueOrDie()->lp;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct StackEntry {
+  const SegmentNode* seg = nullptr;
+  std::vector<LocalElement> elems;  // A-elements, frozen order
+  size_t live = 0;                  // prune cursor into elems
+  uint64_t cached_p = 0;            // splice pos toward the entry above
+  bool has_cached_p = false;
+};
+
+}  // namespace
+
+Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
+                                const ElementIndex& index, TagId ancestor_tid,
+                                TagId descendant_tid,
+                                const LazyJoinOptions& options) {
+  if (!log.frozen()) {
+    return Status::Internal("LazyJoin on an unfrozen LS update log");
+  }
+  if (!log.tag_list().sorted()) {
+    return Status::Internal("LazyJoin on an unsorted tag-list");
+  }
+  LazyJoinResult out;
+  const auto sl_a = log.tag_list().EntriesFor(ancestor_tid);
+  const auto sl_d = log.tag_list().EntriesFor(descendant_tid);
+  if (sl_a.empty() || sl_d.empty()) return out;
+
+  std::vector<StackEntry> stack;
+  size_t ia = 0;
+  // One-entry cache: an in-segment join's A-scan is immediately reused by
+  // the push attempt of the same segment on the next round.
+  SegmentId fetch_cache_sid = ~SegmentId{0};
+  std::vector<LocalElement> fetch_cache;
+
+  for (size_t id = 0; id < sl_d.size(); ++id) {
+    const TagListEntry& de = sl_d[id];
+    LAZYXML_ASSIGN_OR_RETURN(SegmentNode * sd, log.FindSegment(de.sid()));
+
+    // Step 1 (pop): segments ending at or before sd's start are done —
+    // SL_D is position-ordered, so they can never contain a later segment.
+    while (!stack.empty() && sd->gp >= stack.back().seg->end()) {
+      stack.pop_back();
+    }
+
+    // Step 2 (push): consume A-segments positioned before sd. Each either
+    // contains sd (candidate ancestor: push) or is disjoint (skip — it
+    // ends before sd starts, so it ends before everything later too).
+    while (ia < sl_a.size()) {
+      const TagListEntry& ae = sl_a[ia];
+      LAZYXML_ASSIGN_OR_RETURN(SegmentNode * sa, log.FindSegment(ae.sid()));
+      if (sa->gp >= sd->gp) break;
+      ++ia;
+      if (!sa->ContainsSegment(*sd)) {
+        ++out.stats.segments_skipped;
+        continue;
+      }
+      if (options.optimize_stack && sa->children.empty()) {
+        // No child segments: no descendant segments, no cross joins.
+        ++out.stats.segments_skipped;
+        continue;
+      }
+      std::vector<LocalElement> elems;
+      if (fetch_cache_sid == ae.sid()) {
+        elems = std::move(fetch_cache);
+        fetch_cache_sid = ~SegmentId{0};
+      } else {
+        elems = index.GetElements(ancestor_tid, ae.sid());
+        out.stats.elements_fetched += elems.size();
+      }
+      if (options.optimize_stack) {
+        // Keep only elements straddling at least one child splice
+        // position — the only ones Proposition 3(2) can ever satisfy.
+        std::vector<uint64_t> splices;
+        splices.reserve(sa->children.size());
+        for (const SegmentNode* c : sa->children) splices.push_back(c->lp);
+        std::erase_if(elems, [&splices](const LocalElement& a) {
+          auto it = std::upper_bound(splices.begin(), splices.end(), a.start);
+          return it == splices.end() || *it >= a.end;
+        });
+        if (elems.empty()) {
+          ++out.stats.segments_skipped;
+          continue;
+        }
+      }
+      if (!stack.empty()) {
+        // Cache the splice position of the previous top toward the new
+        // top: every future descendant segment handled while the new top
+        // lives enters the previous top through this same child. Also
+        // prune previous-top elements that end at or before it — splice
+        // positions only grow, so they are dead.
+        StackEntry& below = stack.back();
+        uint64_t p = 0;
+        if (FindSplicePos(log, ae.path, below.seg->sid, &p)) {
+          below.cached_p = p;
+          below.has_cached_p = true;
+          if (options.optimize_stack) {
+            while (below.live < below.elems.size() &&
+                   below.elems[below.live].end <= p) {
+              ++below.live;
+            }
+          }
+        }
+      }
+      StackEntry entry;
+      entry.seg = sa;
+      entry.elems = std::move(elems);
+      stack.push_back(std::move(entry));
+      ++out.stats.segments_pushed;
+    }
+
+    // Step 3 (join generation): every stack entry contains sd; emit cross
+    // joins by Proposition 3(2), then in-segment joins if sd itself also
+    // carries A-elements.
+    std::vector<LocalElement> delems;
+    bool delems_loaded = false;
+    auto load_delems = [&]() {
+      if (!delems_loaded) {
+        delems = index.GetElements(descendant_tid, de.sid());
+        out.stats.elements_fetched += delems.size();
+        delems_loaded = true;
+      }
+    };
+
+    for (size_t si = 0; si < stack.size(); ++si) {
+      StackEntry& e = stack[si];
+      uint64_t p = 0;
+      if (si + 1 < stack.size()) {
+        if (!e.has_cached_p) continue;
+        p = e.cached_p;
+      } else {
+        if (!FindSplicePos(log, de.path, e.seg->sid, &p)) continue;
+      }
+      const bool is_top = (si + 1 == stack.size());
+      for (size_t ei = e.live; ei < e.elems.size(); ++ei) {
+        const LocalElement& a = e.elems[ei];
+        if (a.start >= p) break;  // frozen order: no later element straddles
+        if (a.end <= p) {
+          if (options.optimize_stack && is_top && ei == e.live) {
+            ++e.live;  // dead for every future splice position too
+          }
+          continue;
+        }
+        load_delems();
+        for (const LocalElement& d : delems) {
+          if (options.parent_child && a.level + 1 != d.level) continue;
+          out.pairs.push_back(LazyJoinPair{e.seg->sid, a.start, de.sid(),
+                                           d.start});
+          ++out.stats.cross_segment_pairs;
+        }
+      }
+    }
+
+    // In-segment joins: sd appears in SL_A too iff the current A cursor
+    // points at the very same segment (both lists are position-ordered).
+    if (ia < sl_a.size() && sl_a[ia].sid() == de.sid()) {
+      std::vector<LocalElement> aelems =
+          index.GetElements(ancestor_tid, de.sid());
+      out.stats.elements_fetched += aelems.size();
+      load_delems();
+      // Frozen local coordinates nest properly within one segment, so any
+      // traditional structural join applies (paper §4.2); Stack-Tree-Desc
+      // is used as in the paper, directly over the frozen coordinates.
+      const SegmentId sid = de.sid();
+      StackTreeDescVisit(
+          aelems, delems, options.parent_child,
+          [&out, sid](const LocalElement& a, const LocalElement& d) {
+            out.pairs.push_back(LazyJoinPair{sid, a.start, sid, d.start});
+            ++out.stats.in_segment_pairs;
+          });
+      // Keep the scan for the Step 2 push attempt of the same segment.
+      fetch_cache_sid = sid;
+      fetch_cache = std::move(aelems);
+      // Do not advance ia: the same segment is also a cross-join ancestor
+      // candidate for later descendant segments (Step 2 next round).
+    }
+  }
+  return out;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,91 @@
+// Lazy-Join (paper §4.2, Fig. 9): the segment-aware structural join.
+//
+// Works directly on the update log: merges the two *segment* lists from
+// the tag-list (not element lists), keeps a stack of ancestor segments,
+// and uses Proposition 3 to generate cross-segment joins — an A-element
+// `a` of segment S is an ancestor of every element of a descendant
+// segment T iff a's frozen interval straddles P_T^S, the splice position
+// of S's child on the path to T. In-segment joins run Stack-Tree-Desc on
+// the frozen local coordinates. Elements are identified by
+// (segment id, frozen start); nothing global is ever computed, which is
+// why updates never invalidate query structures.
+//
+// Optimizations (paper Fig. 9, toggleable for the ablation bench):
+//  * segments without child segments are never pushed (they cannot host
+//    cross joins);
+//  * pushed segments keep only elements that straddle at least one child
+//    splice position;
+//  * stack-top elements ending before the current splice position are
+//    pruned (splice positions only grow, so they are dead for good);
+//  * P values for non-top stack entries are cached at push time (the path
+//    from a stack entry to any future descendant segment enters through
+//    the same child while the entry above it remains on the stack).
+
+#ifndef LAZYXML_CORE_LAZY_JOIN_H_
+#define LAZYXML_CORE_LAZY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/element_index.h"
+#include "core/update_log.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// Lazy-Join knobs.
+struct LazyJoinOptions {
+  /// Emit only parent-child pairs (containment + level difference 1).
+  /// Note: the paper restricts parent-child cross joins to the stack top
+  /// via Proposition 3(1); an element of a *grandparent* segment can be a
+  /// direct parent when the intermediate segment splices at top level, so
+  /// this implementation checks every stack entry and filters by level,
+  /// which is correct in that edge case too.
+  bool parent_child = false;
+  /// The Fig. 9 stack optimizations; off = the unoptimized §4.2 variant
+  /// (ablation).
+  bool optimize_stack = true;
+};
+
+/// One join result in lazy coordinates: elements identified by
+/// (segment id, frozen start offset).
+struct LazyJoinPair {
+  SegmentId ancestor_sid = 0;
+  uint64_t ancestor_start = 0;
+  SegmentId descendant_sid = 0;
+  uint64_t descendant_start = 0;
+
+  bool operator==(const LazyJoinPair& o) const {
+    return ancestor_sid == o.ancestor_sid &&
+           ancestor_start == o.ancestor_start &&
+           descendant_sid == o.descendant_sid &&
+           descendant_start == o.descendant_start;
+  }
+};
+
+/// Join instrumentation (drives the §5.3 analyses).
+struct LazyJoinStats {
+  uint64_t cross_segment_pairs = 0;
+  uint64_t in_segment_pairs = 0;
+  uint64_t segments_pushed = 0;
+  uint64_t segments_skipped = 0;  ///< A-segments never pushed
+  uint64_t elements_fetched = 0;  ///< element-index records read
+};
+
+/// Result of a Lazy-Join.
+struct LazyJoinResult {
+  std::vector<LazyJoinPair> pairs;
+  LazyJoinStats stats;
+};
+
+/// Joins `ancestor_tid` // `descendant_tid` over the log + element index.
+/// The log must be serviceable (LD always; LS after Freeze()).
+Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
+                                const ElementIndex& index,
+                                TagId ancestor_tid, TagId descendant_tid,
+                                const LazyJoinOptions& options = {});
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_LAZY_JOIN_H_

@@ -1,0 +1,150 @@
+#include "core/path_query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "xml/scanner.h"
+
+namespace lazyxml {
+
+namespace {
+
+struct RefHash {
+  size_t operator()(const LazyElementRef& r) const {
+    return std::hash<uint64_t>()(r.sid * 0x9e3779b97f4a7c15ull ^ r.start);
+  }
+};
+
+}  // namespace
+
+Result<std::vector<PathStep>> ParsePathExpression(std::string_view expr) {
+  std::vector<PathStep> steps;
+  size_t i = 0;
+  bool next_axis_descendant = true;
+  bool axis_seen = false;
+  while (i < expr.size()) {
+    if (expr[i] == '/') {
+      if (axis_seen && steps.empty()) {
+        return Status::InvalidArgument("path may start with at most one axis");
+      }
+      if (i + 1 < expr.size() && expr[i + 1] == '/') {
+        next_axis_descendant = true;
+        i += 2;
+      } else {
+        next_axis_descendant = false;
+        i += 1;
+      }
+      axis_seen = true;
+      if (i >= expr.size() || expr[i] == '/') {
+        return Status::InvalidArgument("empty path step");
+      }
+      continue;
+    }
+    const size_t begin = i;
+    if (!IsNameStartChar(expr[i])) {
+      return Status::InvalidArgument(
+          StringPrintf("invalid tag character at offset %zu", i));
+    }
+    while (i < expr.size() && IsNameChar(expr[i])) ++i;
+    if (i < expr.size() && expr[i] != '/') {
+      return Status::InvalidArgument(
+          StringPrintf("invalid character '%c' in path", expr[i]));
+    }
+    PathStep step;
+    step.tag.assign(expr.substr(begin, i - begin));
+    step.descendant_axis = next_axis_descendant;
+    steps.push_back(std::move(step));
+    axis_seen = false;
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("empty path expression");
+  }
+  return steps;
+}
+
+Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
+                                     const std::vector<PathStep>& steps,
+                                     const LazyJoinOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("EvaluatePath: null database");
+  }
+  if (steps.empty()) {
+    return Status::InvalidArgument("EvaluatePath: empty path");
+  }
+  PathQueryResult out;
+
+  if (steps.size() == 1) {
+    // Single step: every element of the tag, straight off the tag-list +
+    // element index.
+    db->Freeze();
+    auto tid = db->tag_dict().Lookup(steps[0].tag);
+    if (!tid.ok()) return out;  // unknown tag: empty result
+    for (const TagListEntry& e :
+         db->update_log().tag_list().EntriesFor(tid.ValueOrDie())) {
+      for (const LocalElement& el :
+           db->element_index().GetElements(tid.ValueOrDie(), e.sid())) {
+        out.elements.push_back(LazyElementRef{e.sid(), el.start});
+      }
+    }
+    std::sort(out.elements.begin(), out.elements.end());
+    return out;
+  }
+
+  // Pipeline of binary joins: after stage i, `frontier` holds the
+  // elements matching the path prefix ending at step i.
+  std::unordered_set<LazyElementRef, RefHash> frontier;
+  bool frontier_is_everything = true;  // step 0 imposes no upper filter
+  for (size_t i = 1; i < steps.size(); ++i) {
+    LazyJoinOptions jopts = options;
+    jopts.parent_child = !steps[i].descendant_axis;
+    LAZYXML_ASSIGN_OR_RETURN(
+        LazyJoinResult joined,
+        db->JoinByName(steps[i - 1].tag, steps[i].tag, jopts));
+    out.intermediate_pairs += joined.pairs.size();
+    std::unordered_set<LazyElementRef, RefHash> next;
+    for (const LazyJoinPair& p : joined.pairs) {
+      const LazyElementRef anc{p.ancestor_sid, p.ancestor_start};
+      if (frontier_is_everything || frontier.count(anc) > 0) {
+        next.insert(LazyElementRef{p.descendant_sid, p.descendant_start});
+      }
+    }
+    frontier = std::move(next);
+    frontier_is_everything = false;
+    if (frontier.empty()) break;  // no matches can appear downstream
+  }
+  out.elements.assign(frontier.begin(), frontier.end());
+  std::sort(out.elements.begin(), out.elements.end());
+  return out;
+}
+
+Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
+                                     const LazyJoinOptions& options) {
+  LAZYXML_ASSIGN_OR_RETURN(std::vector<PathStep> steps,
+                           ParsePathExpression(expr));
+  return EvaluatePath(db, steps, options);
+}
+
+Result<std::vector<GlobalElement>> EvaluatePathHolistic(
+    LazyDatabase* db, const std::vector<PathStep>& steps) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("EvaluatePathHolistic: null database");
+  }
+  std::vector<PathStackStep> prepared(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    LAZYXML_ASSIGN_OR_RETURN(prepared[i].elements,
+                             db->MaterializeGlobalElements(steps[i].tag));
+    prepared[i].descendant_axis = steps[i].descendant_axis;
+  }
+  LAZYXML_ASSIGN_OR_RETURN(PathStackResult r, PathStack(prepared));
+  return std::move(r.matches);
+}
+
+Result<std::vector<GlobalElement>> EvaluatePathHolistic(
+    LazyDatabase* db, std::string_view expr) {
+  LAZYXML_ASSIGN_OR_RETURN(std::vector<PathStep> steps,
+                           ParsePathExpression(expr));
+  return EvaluatePathHolistic(db, steps);
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,80 @@
+// Path-expression evaluation over the lazy store.
+//
+// Structural joins are "a core operation in optimizing XML path queries"
+// (paper §1): a path like person//profile/interest decomposes into a
+// pipeline of binary structural joins whose intermediate results chain by
+// element identity. This module provides that pipeline over Lazy-Join:
+// a tiny path parser ("a//b/c", '/' = child axis, '//' = descendant
+// axis) and an evaluator returning the matching final-step elements in
+// lazy (segment id, frozen start) identity.
+
+#ifndef LAZYXML_CORE_PATH_QUERY_H_
+#define LAZYXML_CORE_PATH_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "join/path_stack.h"
+
+namespace lazyxml {
+
+/// One step of a parsed path expression.
+struct PathStep {
+  std::string tag;
+  /// True for '//' (ancestor-descendant), false for '/' (parent-child).
+  /// The flag describes the axis *leading into* this step; it is ignored
+  /// on the first step (which selects all elements of the tag).
+  bool descendant_axis = true;
+};
+
+/// Parses "a//b/c" (a leading "//" or "/" is allowed and ignored for the
+/// first step). Fails on empty steps or malformed separators.
+Result<std::vector<PathStep>> ParsePathExpression(std::string_view expr);
+
+/// An element in lazy identity.
+struct LazyElementRef {
+  SegmentId sid = 0;
+  uint64_t start = 0;
+
+  bool operator<(const LazyElementRef& o) const {
+    return sid != o.sid ? sid < o.sid : start < o.start;
+  }
+  bool operator==(const LazyElementRef& o) const {
+    return sid == o.sid && start == o.start;
+  }
+};
+
+/// Result of a path query.
+struct PathQueryResult {
+  /// Matching final-step elements, deduplicated, sorted by (sid, start).
+  std::vector<LazyElementRef> elements;
+  /// Join pairs produced across all pipeline stages (work measure).
+  uint64_t intermediate_pairs = 0;
+};
+
+/// Evaluates a parsed path over `db` by chaining Lazy-Joins.
+Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
+                                     const std::vector<PathStep>& steps,
+                                     const LazyJoinOptions& options = {});
+
+/// Convenience: parse + evaluate.
+Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
+                                     const LazyJoinOptions& options = {});
+
+/// Alternative strategy: evaluates the path holistically with PathStack
+/// (Bruno et al. [2]) over element lists materialized in global
+/// coordinates — one merge pass, no intermediate pair lists. Returns the
+/// matching final-step elements with global labels. Used as a
+/// cross-check and raced against the pipeline in bench_ablation.
+Result<std::vector<GlobalElement>> EvaluatePathHolistic(
+    LazyDatabase* db, const std::vector<PathStep>& steps);
+Result<std::vector<GlobalElement>> EvaluatePathHolistic(
+    LazyDatabase* db, std::string_view expr);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_PATH_QUERY_H_

@@ -1,0 +1,258 @@
+#include "core/snapshot.h"
+
+#include <fstream>
+
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lazyxml {
+
+namespace {
+
+constexpr char kMagic[] = "LZXMLSNP";
+constexpr uint32_t kVersion = 1;
+
+void SerializeSegment(const SegmentNode& node, const ElementIndex& index,
+                      ByteWriter* w) {
+  w->PutU64(node.sid);
+  w->PutU64(node.parent->sid);
+  w->PutU64(node.gp);
+  w->PutU64(node.l);
+  w->PutU64(node.lp);
+  w->PutU32(node.base_level);
+  w->PutU64(node.gaps.size());
+  for (const FrozenGap& g : node.gaps) {
+    w->PutU64(g.begin);
+    w->PutU64(g.end);
+  }
+  w->PutU32(static_cast<uint32_t>(node.distinct_tags.size()));
+  for (TagId tid : node.distinct_tags) w->PutU32(tid);
+  w->PutU64(node.summary.size());
+  for (const NestingEntry& e : node.summary) {
+    w->PutU64(e.start);
+    w->PutU64(e.end);
+    w->PutU32(e.parent);
+    w->PutU32(e.level);
+  }
+  // Element records, grouped by tag.
+  for (TagId tid : node.distinct_tags) {
+    const auto elems = index.GetElements(tid, node.sid);
+    w->PutU64(elems.size());
+    for (const LocalElement& e : elems) {
+      w->PutU64(e.start);
+      w->PutU64(e.end);
+      w->PutU32(e.level);
+    }
+  }
+}
+
+void SerializeSubtree(const SegmentNode& node, const ElementIndex& index,
+                      ByteWriter* w) {
+  SerializeSegment(node, index, w);
+  for (const SegmentNode* c : node.children) {
+    SerializeSubtree(*c, index, w);
+  }
+}
+
+size_t CountSubtree(const SegmentNode& node) {
+  size_t n = 1;
+  for (const SegmentNode* c : node.children) n += CountSubtree(*c);
+  return n;
+}
+
+}  // namespace
+
+Result<std::string> SerializeDatabase(const LazyDatabase& db) {
+  const UpdateLog& log = db.update_log();
+  if (!log.frozen()) {
+    return Status::InvalidArgument(
+        "serialize requires a serviceable log; query or Freeze() first");
+  }
+  ByteWriter w;
+  w.PutString(kMagic);
+  w.PutU32(kVersion);
+  w.PutU8(log.mode() == LogMode::kLazyDynamic ? 0 : 1);
+
+  // Tag dictionary (dense ids, first-seen order).
+  const TagDict& dict = db.tag_dict();
+  w.PutU32(static_cast<uint32_t>(dict.size()));
+  for (TagId t = 0; t < dict.size(); ++t) {
+    w.PutString(dict.Name(t));
+  }
+
+  // ER-tree preorder (excluding the dummy root), with per-segment
+  // element records.
+  w.PutU64(log.super_document_length());
+  size_t segments = 0;
+  for (const SegmentNode* c : log.root()->children) {
+    segments += CountSubtree(*c);
+  }
+  w.PutU64(segments);
+  for (const SegmentNode* c : log.root()->children) {
+    SerializeSubtree(*c, db.element_index(), &w);
+  }
+
+  // Tag-list entries.
+  w.PutU64(log.tag_list().num_entries());
+  log.tag_list().ForEachEntry([&](TagId tid, const TagListEntry& e) {
+    w.PutU32(tid);
+    w.PutU64(e.count);
+    w.PutU32(static_cast<uint32_t>(e.path.size()));
+    for (SegmentId sid : e.path) w.PutU64(sid);
+    return true;
+  });
+  return w.TakeBuffer();
+}
+
+Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
+    std::string_view data, const LazyDatabaseOptions& options) {
+  ByteReader r(data);
+  LAZYXML_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != kMagic) {
+    return Status::Corruption("not a lazyxml snapshot (bad magic)");
+  }
+  LAZYXML_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kVersion) {
+    return Status::NotSupported(
+        StringPrintf("snapshot version %u not supported", version));
+  }
+  LAZYXML_ASSIGN_OR_RETURN(uint8_t mode, r.GetU8());
+  if (mode > 1) return Status::Corruption("bad maintenance mode");
+
+  LazyDatabaseOptions opts = options;
+  opts.mode = mode == 0 ? LogMode::kLazyDynamic : LogMode::kLazyStatic;
+  auto db = std::make_unique<LazyDatabase>(opts);
+  UpdateLog& log = db->mutable_update_log();
+  TagDict& dict = db->mutable_tag_dict();
+
+  LAZYXML_ASSIGN_OR_RETURN(uint32_t num_tags, r.GetU32());
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    LAZYXML_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    if (name.empty()) return Status::Corruption("empty tag name");
+    if (dict.Intern(name) != t) {
+      return Status::Corruption("tag ids are not dense in snapshot");
+    }
+  }
+
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t root_len, r.GetU64());
+  log.RestoreRootLength(root_len);
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t num_segments, r.GetU64());
+  for (uint64_t s = 0; s < num_segments; ++s) {
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t sid, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t parent_sid, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t gp, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t l, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t lp, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint32_t base_level, r.GetU32());
+    LAZYXML_ASSIGN_OR_RETURN(
+        SegmentNode * node,
+        log.RestoreSegment(sid, parent_sid, gp, l, lp, base_level));
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t num_gaps, r.GetU64());
+    for (uint64_t g = 0; g < num_gaps; ++g) {
+      LAZYXML_ASSIGN_OR_RETURN(uint64_t begin, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(uint64_t end, r.GetU64());
+      if (begin >= end) return Status::Corruption("bad gap interval");
+      node->AddGap(begin, end);
+    }
+    LAZYXML_ASSIGN_OR_RETURN(uint32_t num_dtags, r.GetU32());
+    for (uint32_t t = 0; t < num_dtags; ++t) {
+      LAZYXML_ASSIGN_OR_RETURN(uint32_t tid, r.GetU32());
+      if (tid >= dict.size()) return Status::Corruption("bad tag id");
+      node->distinct_tags.push_back(tid);
+    }
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t num_summary, r.GetU64());
+    if (num_summary > r.remaining() / 24) {
+      return Status::Corruption("summary count exceeds snapshot size");
+    }
+    node->summary.reserve(num_summary);
+    for (uint64_t i = 0; i < num_summary; ++i) {
+      NestingEntry e;
+      LAZYXML_ASSIGN_OR_RETURN(e.start, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(e.end, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(e.parent, r.GetU32());
+      LAZYXML_ASSIGN_OR_RETURN(e.level, r.GetU32());
+      if (e.parent != kNoParentEntry && e.parent >= i) {
+        return Status::Corruption("summary parent out of order");
+      }
+      node->summary.push_back(e);
+    }
+    for (TagId tid : node->distinct_tags) {
+      LAZYXML_ASSIGN_OR_RETURN(uint64_t num_elems, r.GetU64());
+      if (num_elems > r.remaining() / 20) {
+        return Status::Corruption("element count exceeds snapshot size");
+      }
+      std::vector<ElementRecord> records;
+      records.reserve(num_elems);
+      for (uint64_t i = 0; i < num_elems; ++i) {
+        ElementRecord rec;
+        rec.tid = tid;
+        LAZYXML_ASSIGN_OR_RETURN(rec.start, r.GetU64());
+        LAZYXML_ASSIGN_OR_RETURN(rec.end, r.GetU64());
+        LAZYXML_ASSIGN_OR_RETURN(rec.level, r.GetU32());
+        if (rec.start >= rec.end) {
+          return Status::Corruption("bad element interval");
+        }
+        records.push_back(rec);
+      }
+      LAZYXML_RETURN_NOT_OK(
+          db->mutable_element_index().InsertRecords(sid, records));
+    }
+  }
+
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t num_entries, r.GetU64());
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    LAZYXML_ASSIGN_OR_RETURN(uint32_t tid, r.GetU32());
+    if (tid >= dict.size()) {
+      return Status::Corruption("tag-list entry with unknown tag id");
+    }
+    LAZYXML_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+    LAZYXML_ASSIGN_OR_RETURN(uint32_t path_len, r.GetU32());
+    if (path_len == 0) return Status::Corruption("empty tag-list path");
+    if (static_cast<uint64_t>(path_len) > r.remaining() / 8) {
+      return Status::Corruption("path length exceeds snapshot size");
+    }
+    std::vector<SegmentId> path;
+    path.reserve(path_len);
+    for (uint32_t p = 0; p < path_len; ++p) {
+      LAZYXML_ASSIGN_OR_RETURN(uint64_t sid, r.GetU64());
+      path.push_back(sid);
+    }
+    LAZYXML_RETURN_NOT_OK(
+        log.tag_list()
+            .AddEntry(tid, std::move(path), count, log)
+            .WithContext("restoring tag-list"));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after snapshot");
+  }
+  LAZYXML_RETURN_NOT_OK(
+      db->CheckInvariants().WithContext("snapshot failed validation"));
+  return db;
+}
+
+Status SaveSnapshot(const LazyDatabase& db, const std::string& path) {
+  LAZYXML_ASSIGN_OR_RETURN(std::string blob, SerializeDatabase(db));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open snapshot file for writing: " + path);
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  if (!out) {
+    return Status::Internal("short write to snapshot file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LazyDatabase>> LoadSnapshot(
+    const std::string& path, const LazyDatabaseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open snapshot file: " + path);
+  }
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return DeserializeDatabase(blob, options);
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,42 @@
+// Snapshot persistence for LazyDatabase.
+//
+// The paper keeps the update log purely in memory and relies on
+// maintenance-hours rebuilds (§1); a store anyone deploys also wants to
+// survive a restart. A snapshot serializes the full logical state — tag
+// dictionary, ER-tree geometry (with gaps and nesting summaries), element
+// records and tag-list entries — into one self-describing binary blob,
+// and loads back into an equivalent database (same sids, same frozen
+// coordinates, same query results). Corrupted or truncated input yields
+// Status::Corruption, never UB.
+
+#ifndef LAZYXML_CORE_SNAPSHOT_H_
+#define LAZYXML_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+
+namespace lazyxml {
+
+/// Serializes the database into a snapshot blob.
+Result<std::string> SerializeDatabase(const LazyDatabase& db);
+
+/// Reconstructs a database from a snapshot blob. The maintenance mode is
+/// taken from the snapshot; `options` supplies the B+-tree tuning.
+Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
+    std::string_view data, const LazyDatabaseOptions& options = {});
+
+/// Serialize + write to `path` (atomically via rename is the caller's
+/// concern; this is a plain write).
+Status SaveSnapshot(const LazyDatabase& db, const std::string& path);
+
+/// Read `path` + deserialize.
+Result<std::unique_ptr<LazyDatabase>> LoadSnapshot(
+    const std::string& path, const LazyDatabaseOptions& options = {});
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_SNAPSHOT_H_

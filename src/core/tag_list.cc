@@ -1,0 +1,147 @@
+#include "core/tag_list.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace lazyxml {
+
+std::vector<TagListEntry>& TagList::ListFor(TagId tid) {
+  if (tid >= lists_.size()) lists_.resize(tid + 1);
+  return lists_[tid];
+}
+
+Status TagList::AddEntry(TagId tid, std::vector<SegmentId> path,
+                         uint64_t count, const SegmentGpResolver& resolver) {
+  if (path.empty()) {
+    return Status::InvalidArgument("tag-list entry with empty path");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("tag-list entry with zero count");
+  }
+  if (!resolver.SegmentExists(path.back())) {
+    return Status::NotFound("tag-list entry for a nonexistent segment");
+  }
+  auto& list = ListFor(tid);
+  TagListEntry entry{std::move(path), count};
+  if (!keep_sorted_) {
+    list.push_back(std::move(entry));
+    frozen_clean_ = false;
+    return Status::OK();
+  }
+  const uint64_t gp = resolver.GlobalPositionOf(entry.sid());
+  auto it = std::lower_bound(
+      list.begin(), list.end(), gp,
+      [&resolver](const TagListEntry& e, uint64_t target) {
+        return resolver.GlobalPositionOf(e.sid()) < target;
+      });
+  if (it != list.end() && it->sid() == entry.sid()) {
+    return Status::AlreadyExists(
+        StringPrintf("tag %u already has an entry for segment %llu", tid,
+                     static_cast<unsigned long long>(entry.sid())));
+  }
+  list.insert(it, std::move(entry));
+  return Status::OK();
+}
+
+Status TagList::RemoveOccurrences(TagId tid, SegmentId sid, uint64_t removed,
+                                  const SegmentGpResolver& resolver) {
+  if (tid >= lists_.size()) {
+    return Status::NotFound("tag has no list");
+  }
+  if (!resolver.SegmentExists(sid)) {
+    return Status::NotFound("segment does not exist");
+  }
+  auto& list = lists_[tid];
+  auto it = list.end();
+  if (sorted()) {
+    const uint64_t gp = resolver.GlobalPositionOf(sid);
+    it = std::lower_bound(
+        list.begin(), list.end(), gp,
+        [&resolver](const TagListEntry& e, uint64_t target) {
+          return resolver.GlobalPositionOf(e.sid()) < target;
+        });
+    if (it != list.end() && it->sid() != sid) it = list.end();
+  } else {
+    it = std::find_if(list.begin(), list.end(),
+                      [sid](const TagListEntry& e) { return e.sid() == sid; });
+  }
+  if (it == list.end()) {
+    return Status::NotFound(StringPrintf(
+        "no tag-list entry for tag %u in segment %llu", tid,
+        static_cast<unsigned long long>(sid)));
+  }
+  if (it->count < removed) {
+    return Status::InvalidArgument("removing more occurrences than tracked");
+  }
+  it->count -= removed;
+  if (it->count == 0) list.erase(it);
+  return Status::OK();
+}
+
+void TagList::DropSegment(SegmentId sid) {
+  for (auto& list : lists_) {
+    list.erase(std::remove_if(
+                   list.begin(), list.end(),
+                   [sid](const TagListEntry& e) { return e.sid() == sid; }),
+               list.end());
+  }
+}
+
+std::span<const TagListEntry> TagList::EntriesFor(TagId tid) const {
+  if (tid >= lists_.size()) return {};
+  return lists_[tid];
+}
+
+void TagList::Freeze(const SegmentGpResolver& resolver) {
+  if (keep_sorted_ || frozen_clean_) return;
+  for (auto& list : lists_) {
+    std::sort(list.begin(), list.end(),
+              [&resolver](const TagListEntry& a, const TagListEntry& b) {
+                return resolver.GlobalPositionOf(a.sid()) <
+                       resolver.GlobalPositionOf(b.sid());
+              });
+  }
+  frozen_clean_ = true;
+}
+
+void TagList::ForEachEntry(
+    const std::function<bool(TagId, const TagListEntry&)>& fn) const {
+  for (TagId tid = 0; tid < lists_.size(); ++tid) {
+    for (const TagListEntry& e : lists_[tid]) {
+      if (!fn(tid, e)) return;
+    }
+  }
+}
+
+size_t TagList::num_tags() const {
+  size_t n = 0;
+  for (const auto& list : lists_) {
+    if (!list.empty()) ++n;
+  }
+  return n;
+}
+
+size_t TagList::num_entries() const {
+  size_t n = 0;
+  for (const auto& list : lists_) n += list.size();
+  return n;
+}
+
+size_t TagList::MemoryBytes() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<TagListEntry>);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(TagListEntry);
+    for (const TagListEntry& e : list) {
+      bytes += e.path.capacity() * sizeof(SegmentId);
+    }
+  }
+  return bytes;
+}
+
+void TagList::Clear() {
+  lists_.clear();
+  frozen_clean_ = false;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,114 @@
+// TagList: the inverted list mapping element tags to the segments that
+// contain them (paper §3.2, Fig. 4).
+//
+// For every tag id, the list holds one entry per segment with ≥1 element
+// of that tag. An entry stores the segment's *path* — the sid chain from
+// the dummy root down to the segment in the ER-tree — plus the number of
+// occurrences of the tag in the segment (used at deletion time to decide
+// when the entry dies, paper §3.3). Lists are ordered by the segments'
+// current global positions; updates shift positions but never reorder
+// surviving entries, so the order is maintained with ordinary binary
+// searches against live positions.
+//
+// Two maintenance modes (paper §5.1):
+//  * sorted (LD, lazy dynamic): entries inserted in position order;
+//  * unsorted (LS, lazy static): entries appended; Freeze() sorts all
+//    lists at query time — cheaper updates, costlier first query.
+
+#ifndef LAZYXML_CORE_TAG_LIST_H_
+#define LAZYXML_CORE_TAG_LIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/segment.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// Resolves a segment id to its current global position. Implemented by
+/// UpdateLog; injected so TagList stays independently testable.
+class SegmentGpResolver {
+ public:
+  virtual ~SegmentGpResolver() = default;
+  /// Current global position of `sid`. `sid` must exist.
+  virtual uint64_t GlobalPositionOf(SegmentId sid) const = 0;
+  /// True iff `sid` currently exists.
+  virtual bool SegmentExists(SegmentId sid) const = 0;
+};
+
+/// One tag-list entry: a segment (identified by the last sid of `path`)
+/// that contains `count` elements of the list's tag.
+struct TagListEntry {
+  /// Root-to-segment sid chain in the ER-tree (paper Fig. 4).
+  std::vector<SegmentId> path;
+  /// Occurrences of the tag in the segment.
+  uint64_t count = 0;
+
+  SegmentId sid() const { return path.back(); }
+};
+
+/// The tag-list.
+class TagList {
+ public:
+  /// `keep_sorted=true` is the LD mode; false is LS (call Freeze() before
+  /// reading).
+  explicit TagList(bool keep_sorted = true) : keep_sorted_(keep_sorted) {}
+
+  /// Adds an entry for (tid, path.back()) with `count` occurrences.
+  /// `path` must be the full root path (front() == kRootSegmentId chain).
+  Status AddEntry(TagId tid, std::vector<SegmentId> path, uint64_t count,
+                  const SegmentGpResolver& resolver);
+
+  /// Subtracts `removed` occurrences from the (tid, sid) entry, erasing it
+  /// when the count reaches zero. NotFound if absent, InvalidArgument if
+  /// over-subtracted.
+  Status RemoveOccurrences(TagId tid, SegmentId sid, uint64_t removed,
+                           const SegmentGpResolver& resolver);
+
+  /// Drops every entry whose segment is `sid` across all tags (used when a
+  /// whole segment dies and per-tag counts are already known to vanish).
+  void DropSegment(SegmentId sid);
+
+  /// The list for `tid`, ordered by current global position (must be
+  /// sorted: LD always, LS after Freeze()).
+  std::span<const TagListEntry> EntriesFor(TagId tid) const;
+
+  /// LS mode: sorts every list by current global position. No-op in LD.
+  void Freeze(const SegmentGpResolver& resolver);
+
+  /// True if lists are ordered (LD, or LS after Freeze with no appends
+  /// since).
+  bool sorted() const { return keep_sorted_ || frozen_clean_; }
+
+  /// Visits every entry (tests / integrity checks); `fn` returning false
+  /// stops the walk.
+  void ForEachEntry(
+      const std::function<bool(TagId, const TagListEntry&)>& fn) const;
+
+  /// Number of tags with a non-empty list.
+  size_t num_tags() const;
+
+  /// Total entries across all lists.
+  size_t num_entries() const;
+
+  /// Approximate heap footprint (the paper's O(T N^2) structure, Fig. 11).
+  size_t MemoryBytes() const;
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  std::vector<TagListEntry>& ListFor(TagId tid);
+
+  bool keep_sorted_;
+  bool frozen_clean_ = false;
+  std::vector<std::vector<TagListEntry>> lists_;  // indexed by tid
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_TAG_LIST_H_

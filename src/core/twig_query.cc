@@ -1,0 +1,248 @@
+#include "core/twig_query.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "xml/scanner.h"
+
+namespace lazyxml {
+
+namespace {
+
+struct RefHash {
+  size_t operator()(const LazyElementRef& r) const {
+    return std::hash<uint64_t>()(r.sid * 0x9e3779b97f4a7c15ull ^ r.start);
+  }
+};
+
+using RefSet = std::unordered_set<LazyElementRef, RefHash>;
+
+// ---- Parsing --------------------------------------------------------------
+
+struct Cursor {
+  std::string_view s;
+  size_t i = 0;
+
+  bool AtEnd() const { return i >= s.size(); }
+  char Peek() const { return s[i]; }
+};
+
+Result<std::string> ParseTag(Cursor* c) {
+  if (c->AtEnd() || !IsNameStartChar(c->Peek())) {
+    return Status::InvalidArgument(
+        StringPrintf("expected tag name at offset %zu", c->i));
+  }
+  const size_t begin = c->i;
+  while (!c->AtEnd() && IsNameChar(c->Peek())) ++c->i;
+  return std::string(c->s.substr(begin, c->i - begin));
+}
+
+// Parses an axis ('//' or '/'); `required` controls whether absence is an
+// error. Returns descendant_axis.
+Result<bool> ParseAxis(Cursor* c, bool* present) {
+  *present = false;
+  if (c->AtEnd() || c->Peek() != '/') return true;
+  *present = true;
+  ++c->i;
+  if (!c->AtEnd() && c->Peek() == '/') {
+    ++c->i;
+    return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<TwigNode>> ParseRelPath(Cursor* c, int depth);
+
+// step := tag predicate*
+Result<std::unique_ptr<TwigNode>> ParseStep(Cursor* c, int depth) {
+  if (depth > 32) {
+    return Status::InvalidArgument("twig nesting too deep");
+  }
+  auto node = std::make_unique<TwigNode>();
+  LAZYXML_ASSIGN_OR_RETURN(node->tag, ParseTag(c));
+  while (!c->AtEnd() && c->Peek() == '[') {
+    ++c->i;
+    LAZYXML_ASSIGN_OR_RETURN(auto pred, ParseRelPath(c, depth + 1));
+    if (c->AtEnd() || c->Peek() != ']') {
+      return Status::InvalidArgument("unterminated predicate (missing ']')");
+    }
+    ++c->i;
+    node->children.push_back(std::move(pred));
+    node->on_main_path.push_back(0);
+  }
+  return node;
+}
+
+// relpath := axis? step (axis step)*
+Result<std::unique_ptr<TwigNode>> ParseRelPath(Cursor* c, int depth) {
+  bool present = false;
+  LAZYXML_ASSIGN_OR_RETURN(bool axis, ParseAxis(c, &present));
+  LAZYXML_ASSIGN_OR_RETURN(auto head, ParseStep(c, depth));
+  head->descendant_axis = axis;
+  TwigNode* tail = head.get();
+  for (;;) {
+    bool more = false;
+    LAZYXML_ASSIGN_OR_RETURN(bool next_axis, ParseAxis(c, &more));
+    if (!more) break;
+    LAZYXML_ASSIGN_OR_RETURN(auto step, ParseStep(c, depth));
+    step->descendant_axis = next_axis;
+    TwigNode* next = step.get();
+    tail->children.push_back(std::move(step));
+    tail->on_main_path.push_back(1);
+    tail = next;
+  }
+  return head;
+}
+
+// ---- Evaluation -----------------------------------------------------------
+
+class TwigEvaluator {
+ public:
+  TwigEvaluator(LazyDatabase* db, const LazyJoinOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<TwigQueryResult> Run(const TwigNode& root) {
+    TwigQueryResult out;
+    LAZYXML_ASSIGN_OR_RETURN(RefSet root_set, MatchSet(root));
+    // Top-down refinement along the main path.
+    const TwigNode* node = &root;
+    RefSet frontier = std::move(root_set);
+    for (;;) {
+      const TwigNode* next = nullptr;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (node->on_main_path[i]) {
+          next = node->children[i].get();
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      LAZYXML_ASSIGN_OR_RETURN(const JoinCacheEntry* join,
+                               JoinFor(node->tag, next->tag,
+                                       next->descendant_axis));
+      LAZYXML_ASSIGN_OR_RETURN(RefSet next_set, MatchSet(*next));
+      RefSet refined;
+      for (const LazyJoinPair& p : join->pairs) {
+        const LazyElementRef anc{p.ancestor_sid, p.ancestor_start};
+        const LazyElementRef desc{p.descendant_sid, p.descendant_start};
+        if (frontier.count(anc) > 0 && next_set.count(desc) > 0) {
+          refined.insert(desc);
+        }
+      }
+      frontier = std::move(refined);
+      node = next;
+      if (frontier.empty()) break;
+    }
+    out.elements.assign(frontier.begin(), frontier.end());
+    std::sort(out.elements.begin(), out.elements.end());
+    out.intermediate_pairs = pairs_;
+    out.joins = joins_;
+    return out;
+  }
+
+ private:
+  struct JoinCacheEntry {
+    std::vector<LazyJoinPair> pairs;
+  };
+
+  // All elements of `tag` as a RefSet.
+  Result<RefSet> AllOf(const std::string& tag) {
+    RefSet out;
+    db_->Freeze();
+    auto tid = db_->tag_dict().Lookup(tag);
+    if (!tid.ok()) return out;
+    for (const TagListEntry& e :
+         db_->update_log().tag_list().EntriesFor(tid.ValueOrDie())) {
+      for (const LocalElement& el :
+           db_->element_index().GetElements(tid.ValueOrDie(), e.sid())) {
+        out.insert(LazyElementRef{e.sid(), el.start});
+      }
+    }
+    return out;
+  }
+
+  Result<const JoinCacheEntry*> JoinFor(const std::string& anc,
+                                        const std::string& desc,
+                                        bool descendant_axis) {
+    auto key = std::make_tuple(anc, desc, descendant_axis);
+    auto it = join_cache_.find(key);
+    if (it == join_cache_.end()) {
+      LazyJoinOptions jopts = options_;
+      jopts.parent_child = !descendant_axis;
+      LAZYXML_ASSIGN_OR_RETURN(LazyJoinResult r,
+                               db_->JoinByName(anc, desc, jopts));
+      pairs_ += r.pairs.size();
+      ++joins_;
+      it = join_cache_
+               .emplace(std::move(key), JoinCacheEntry{std::move(r.pairs)})
+               .first;
+    }
+    return &it->second;
+  }
+
+  // Bottom-up match set: elements of node.tag satisfying every branch.
+  Result<RefSet> MatchSet(const TwigNode& node) {
+    LAZYXML_ASSIGN_OR_RETURN(RefSet set, AllOf(node.tag));
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (set.empty()) break;
+      const TwigNode& child = *node.children[i];
+      LAZYXML_ASSIGN_OR_RETURN(RefSet child_set, MatchSet(child));
+      LAZYXML_ASSIGN_OR_RETURN(
+          const JoinCacheEntry* join,
+          JoinFor(node.tag, child.tag, child.descendant_axis));
+      RefSet kept;
+      for (const LazyJoinPair& p : join->pairs) {
+        const LazyElementRef anc{p.ancestor_sid, p.ancestor_start};
+        const LazyElementRef desc{p.descendant_sid, p.descendant_start};
+        if (child_set.count(desc) > 0 && set.count(anc) > 0) {
+          kept.insert(anc);
+        }
+      }
+      set = std::move(kept);
+    }
+    return set;
+  }
+
+  LazyDatabase* db_;
+  LazyJoinOptions options_;
+  std::map<std::tuple<std::string, std::string, bool>, JoinCacheEntry>
+      join_cache_;
+  uint64_t pairs_ = 0;
+  uint64_t joins_ = 0;
+};
+
+}  // namespace
+
+size_t TwigNode::CountNodes() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c->CountNodes();
+  return n;
+}
+
+Result<std::unique_ptr<TwigNode>> ParseTwigExpression(std::string_view expr) {
+  Cursor c{expr, 0};
+  LAZYXML_ASSIGN_OR_RETURN(auto root, ParseRelPath(&c, 0));
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument(
+        StringPrintf("trailing characters at offset %zu in twig", c.i));
+  }
+  return root;
+}
+
+Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, const TwigNode& root,
+                                     const LazyJoinOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("EvaluateTwig: null database");
+  }
+  TwigEvaluator eval(db, options);
+  return eval.Run(root);
+}
+
+Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, std::string_view expr,
+                                     const LazyJoinOptions& options) {
+  LAZYXML_ASSIGN_OR_RETURN(auto root, ParseTwigExpression(expr));
+  return EvaluateTwig(db, *root, options);
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,71 @@
+// Twig (branching) pattern queries over the lazy store.
+//
+// Path queries cover a//b/c chains; real XML queries branch:
+// person[profile//interest]/watches//watch asks for watch elements under
+// persons that *also* have an interest. This module parses a bracketed
+// twig syntax and evaluates the pattern bottom-up with semi-joins: each
+// query node's match set is its tag's elements filtered by the existence
+// of a matching (child/descendant) partner per branch — every existence
+// test is one Lazy-Join, so the whole twig runs on lazy labels without
+// materializing global positions.
+//
+// Syntax:   step        := tag predicate*
+//           predicate   := '[' relpath ']'
+//           relpath     := ('//' | '/')? step (('//' | '/') step)*
+//           twig        := relpath
+// The *last* step of the outermost path is the output node. Example:
+//   person[profile//interest][address/city]//watch
+// returns watch elements under matching persons.
+
+#ifndef LAZYXML_CORE_TWIG_QUERY_H_
+#define LAZYXML_CORE_TWIG_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "core/path_query.h"
+
+namespace lazyxml {
+
+/// One node of a parsed twig pattern.
+struct TwigNode {
+  std::string tag;
+  /// Axis leading into this node from its parent node (ignored at root).
+  bool descendant_axis = true;
+  /// Predicate branches plus (for inner main-path nodes) the next main
+  /// step; the *output* node is the main path's last step.
+  std::vector<std::unique_ptr<TwigNode>> children;
+  /// True on the main-path child (at most one per node).
+  std::vector<uint8_t> on_main_path;
+
+  size_t CountNodes() const;
+};
+
+/// Parses the twig syntax above.
+Result<std::unique_ptr<TwigNode>> ParseTwigExpression(std::string_view expr);
+
+/// Twig evaluation result.
+struct TwigQueryResult {
+  /// Output-node elements on at least one full match, sorted.
+  std::vector<LazyElementRef> elements;
+  /// Lazy-Join pairs generated across all semi-joins (work measure).
+  uint64_t intermediate_pairs = 0;
+  /// Semi-joins executed.
+  uint64_t joins = 0;
+};
+
+/// Evaluates a parsed twig over `db`.
+Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, const TwigNode& root,
+                                     const LazyJoinOptions& options = {});
+
+/// Convenience: parse + evaluate.
+Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, std::string_view expr,
+                                     const LazyJoinOptions& options = {});
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_TWIG_QUERY_H_

@@ -1,0 +1,416 @@
+#include "core/update_log.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace lazyxml {
+
+const char* LogModeName(LogMode mode) {
+  switch (mode) {
+    case LogMode::kLazyDynamic:
+      return "LD";
+    case LogMode::kLazyStatic:
+      return "LS";
+  }
+  return "?";
+}
+
+UpdateLog::UpdateLog() : UpdateLog(Options{}) {}
+
+UpdateLog::UpdateLog(Options options)
+    : options_(options),
+      sb_tree_(options.sb_tree_options),
+      tag_list_(options.mode == LogMode::kLazyDynamic) {
+  auto root = std::make_unique<SegmentNode>();
+  root->sid = kRootSegmentId;
+  root_ = root.get();
+  nodes_.emplace(kRootSegmentId, std::move(root));
+  if (options_.mode == LogMode::kLazyDynamic) {
+    LAZYXML_CHECK(sb_tree_.Insert(kRootSegmentId, root_).ok());
+  } else {
+    sb_dirty_ = true;
+  }
+}
+
+Result<UpdateLog::InsertInfo> UpdateLog::AddSegment(uint64_t gp,
+                                                    uint64_t length) {
+  if (length == 0) {
+    return Status::InvalidArgument("cannot insert an empty segment");
+  }
+  if (gp > root_->l) {
+    return Status::OutOfRange(StringPrintf(
+        "insert position %llu beyond super document length %llu",
+        static_cast<unsigned long long>(gp),
+        static_cast<unsigned long long>(root_->l)));
+  }
+  // Step 1 (paper Fig. 5, AddNewSegment_Start): shift the global position
+  // of every segment starting at or after the insertion point. (The paper
+  // says strictly after; at-the-point segments must shift too, or two
+  // segments would share a position.)
+  for (auto& [sid, node] : nodes_) {
+    if (node.get() != root_ && node->gp >= gp) node->gp += length;
+  }
+  // Step 2: descend the ER-tree growing lengths, to the deepest segment
+  // whose interior contains the insertion point.
+  SegmentNode* parent = root_;
+  parent->l += length;
+  for (;;) {
+    SegmentNode* next = nullptr;
+    // Children are ordered by gp; the candidate is the last child
+    // starting before the point.
+    auto it = std::upper_bound(
+        parent->children.begin(), parent->children.end(), gp,
+        [](uint64_t g, const SegmentNode* c) { return g < c->gp; });
+    if (it != parent->children.begin()) {
+      SegmentNode* cand = *(it - 1);
+      // cand->l has not been grown yet, so its span is still the
+      // pre-insertion one; interior containment is exactly the paper's
+      // "is an ancestor of new" test specialized to a zero-width point.
+      if (cand->ContainsPoint(gp)) next = cand;
+    }
+    if (next == nullptr) break;
+    parent = next;
+    parent->l += length;
+  }
+  // Step 3: local (frozen) position within the parent — Definition 2,
+  // generalized to survive deletions via the gap map.
+  const uint64_t frozen_point = parent->FrozenPos(gp);
+
+  auto owned = std::make_unique<SegmentNode>();
+  SegmentNode* node = owned.get();
+  node->sid = next_sid_++;
+  node->gp = gp;
+  node->l = length;
+  node->lp = frozen_point;
+  node->parent = parent;
+  auto pos = std::upper_bound(
+      parent->children.begin(), parent->children.end(), gp,
+      [](uint64_t g, const SegmentNode* c) { return g < c->gp; });
+  parent->children.insert(pos, node);
+  nodes_.emplace(node->sid, std::move(owned));
+  if (options_.mode == LogMode::kLazyDynamic) {
+    LAZYXML_RETURN_NOT_OK(sb_tree_.Insert(node->sid, node));
+  } else {
+    sb_dirty_ = true;
+  }
+
+  InsertInfo info;
+  info.sid = node->sid;
+  info.node = node;
+  info.parent = parent;
+  info.frozen_point = frozen_point;
+  for (SegmentNode* n = node; n != nullptr; n = n->parent) {
+    info.path.push_back(n->sid);
+  }
+  std::reverse(info.path.begin(), info.path.end());
+  return info;
+}
+
+void UpdateLog::CollectSubtree(const SegmentNode* node,
+                               RemovalEffects* out) const {
+  out->full.push_back(
+      RemovalEffects::FullRemoval{node->sid, node->distinct_tags});
+  for (const SegmentNode* c : node->children) CollectSubtree(c, out);
+}
+
+Status UpdateLog::CollectRec(const SegmentNode* node, uint64_t lo,
+                             uint64_t hi, RemovalEffects* out) const {
+  // [lo, hi) is already clamped to this node's span.
+  const uint64_t a = node->FrozenPos(lo);
+  const uint64_t b = node->FrozenPos(hi);
+  if (a < b) {
+    out->partial.push_back(RemovalEffects::PartialRemoval{
+        node->sid, a, b, node->distinct_tags});
+  }
+  for (const SegmentNode* c : node->children) {
+    if (c->end() <= lo || c->gp >= hi) continue;  // disjoint
+    if (lo <= c->gp && c->end() <= hi) {
+      CollectSubtree(c, out);  // fully removed (black nodes, Fig. 6)
+    } else {
+      LAZYXML_RETURN_NOT_OK(
+          CollectRec(c, std::max(lo, c->gp), std::min(hi, c->end()), out));
+    }
+  }
+  return Status::OK();
+}
+
+Result<UpdateLog::RemovalEffects> UpdateLog::CollectRemovalEffects(
+    uint64_t gp, uint64_t length) const {
+  if (length == 0) {
+    return Status::InvalidArgument("cannot remove an empty region");
+  }
+  if (gp + length > root_->l) {
+    return Status::OutOfRange(StringPrintf(
+        "removal [%llu, %llu) beyond super document length %llu",
+        static_cast<unsigned long long>(gp),
+        static_cast<unsigned long long>(gp + length),
+        static_cast<unsigned long long>(root_->l)));
+  }
+  RemovalEffects out;
+  out.gp = gp;
+  out.length = length;
+  LAZYXML_RETURN_NOT_OK(CollectRec(root_, gp, gp + length, &out));
+  return out;
+}
+
+Status UpdateLog::ApplyRec(
+    SegmentNode* node, uint64_t lo, uint64_t hi,
+    const std::unordered_map<SegmentId, std::pair<uint64_t, uint64_t>>&
+        partial_by_sid) {
+  node->l -= hi - lo;
+  auto gap = partial_by_sid.find(node->sid);
+  if (gap != partial_by_sid.end()) {
+    node->AddGap(gap->second.first, gap->second.second);
+  }
+  // Recurse into partially-overlapped children using pre-removal
+  // coordinates; fully-contained children are detached afterwards.
+  for (SegmentNode* c : node->children) {
+    if (c->end() <= lo || c->gp >= hi) continue;
+    if (lo <= c->gp && c->end() <= hi) continue;  // full removal
+    const uint64_t clo = std::max(lo, c->gp);
+    const uint64_t chi = std::min(hi, c->end());
+    LAZYXML_RETURN_NOT_OK(ApplyRec(c, clo, chi, partial_by_sid));
+  }
+  return Status::OK();
+}
+
+void UpdateLog::DeleteSubtree(SegmentNode* node) {
+  // Children vectors die with their owners; erase bottom-up.
+  for (SegmentNode* c : node->children) DeleteSubtree(c);
+  if (options_.mode == LogMode::kLazyDynamic) {
+    LAZYXML_CHECK(sb_tree_.Erase(node->sid).ok());
+  } else {
+    sb_dirty_ = true;
+  }
+  nodes_.erase(node->sid);
+}
+
+Status UpdateLog::ApplyRemoval(const RemovalEffects& effects) {
+  const uint64_t lo = effects.gp;
+  const uint64_t hi = effects.gp + effects.length;
+  if (hi > root_->l) {
+    return Status::OutOfRange("removal effects stale: region beyond document");
+  }
+  std::unordered_map<SegmentId, std::pair<uint64_t, uint64_t>> partial_by_sid;
+  for (const auto& p : effects.partial) {
+    partial_by_sid.emplace(p.sid, std::make_pair(p.frozen_begin,
+                                                 p.frozen_end));
+  }
+  // Phase 1: lengths, gaps, right-intersection starts (pre-shift coords).
+  LAZYXML_RETURN_NOT_OK(ApplyRec(root_, lo, hi, partial_by_sid));
+  // Phase 2: detach and delete fully-removed subtrees.
+  for (const auto& f : effects.full) {
+    SegmentNode* node = NodeOf(f.sid);
+    if (node == nullptr) continue;  // deleted with an ancestor already
+    SegmentNode* parent = node->parent;
+    if (parent != nullptr) {
+      auto it = std::find(parent->children.begin(), parent->children.end(),
+                          node);
+      if (it != parent->children.end()) parent->children.erase(it);
+    }
+    DeleteSubtree(node);
+  }
+  // Phase 3: global position sweep. Survivors starting at or after the
+  // removed region shift left by its length (paper Fig. 7,
+  // RemoveSegment_Start; >= so a segment starting exactly at the region
+  // end moves too). Survivors starting *inside* the region are
+  // right-intersected at some depth — their surviving suffix begins where
+  // the removal began. (Fig. 7 lines 17-20 intend this; the printed
+  // arithmetic is self-referential, and a per-level fix-up would misplace
+  // nested right intersections, so one global sweep settles everything.)
+  for (auto& [sid, node] : nodes_) {
+    if (node.get() == root_) continue;
+    if (node->gp >= hi) {
+      node->gp -= effects.length;
+    } else if (node->gp > lo) {
+      node->gp = lo;
+    }
+  }
+  return Status::OK();
+}
+
+Result<SegmentNode*> UpdateLog::RestoreSegment(SegmentId sid,
+                                               SegmentId parent_sid,
+                                               uint64_t gp, uint64_t l,
+                                               uint64_t lp,
+                                               uint32_t base_level) {
+  if (sid == kRootSegmentId) {
+    return Status::InvalidArgument("cannot restore the dummy root");
+  }
+  if (nodes_.count(sid) > 0) {
+    return Status::Corruption("snapshot restores a duplicate segment id");
+  }
+  SegmentNode* parent = NodeOf(parent_sid);
+  if (parent == nullptr) {
+    return Status::Corruption("snapshot references a missing parent");
+  }
+  if (!parent->children.empty() &&
+      parent->children.back()->end() > gp) {
+    return Status::Corruption("snapshot children out of position order");
+  }
+  auto owned = std::make_unique<SegmentNode>();
+  SegmentNode* node = owned.get();
+  node->sid = sid;
+  node->gp = gp;
+  node->l = l;
+  node->lp = lp;
+  node->base_level = base_level;
+  node->parent = parent;
+  parent->children.push_back(node);
+  nodes_.emplace(sid, std::move(owned));
+  if (options_.mode == LogMode::kLazyDynamic) {
+    LAZYXML_RETURN_NOT_OK(sb_tree_.Insert(sid, node));
+  } else {
+    sb_dirty_ = true;
+  }
+  if (sid >= next_sid_) next_sid_ = sid + 1;
+  // The dummy root's length is the super-document length; restoring a
+  // top-level segment implies the root already spans it (the snapshot
+  // stores the root length explicitly via RestoreRootLength).
+  return node;
+}
+
+Result<UpdateLog::InsertInfo> UpdateLog::CollapseSubtree(SegmentId sid) {
+  SegmentNode* old_node = NodeOf(sid);
+  if (old_node == nullptr) {
+    return Status::NotFound("segment does not exist");
+  }
+  if (old_node == root_) {
+    return Status::InvalidArgument("cannot collapse the dummy root");
+  }
+  auto owned = std::make_unique<SegmentNode>();
+  SegmentNode* node = owned.get();
+  node->sid = next_sid_++;
+  node->gp = old_node->gp;
+  node->l = old_node->l;
+  node->lp = old_node->lp;
+  node->base_level = old_node->base_level;
+  node->parent = old_node->parent;
+
+  SegmentNode* parent = old_node->parent;
+  auto it = std::find(parent->children.begin(), parent->children.end(),
+                      old_node);
+  LAZYXML_CHECK_OR_INTERNAL(it != parent->children.end(),
+                            "collapse target missing from its parent");
+  *it = node;
+  DeleteSubtree(old_node);
+  nodes_.emplace(node->sid, std::move(owned));
+  if (options_.mode == LogMode::kLazyDynamic) {
+    LAZYXML_RETURN_NOT_OK(sb_tree_.Insert(node->sid, node));
+  } else {
+    sb_dirty_ = true;
+  }
+
+  InsertInfo info;
+  info.sid = node->sid;
+  info.node = node;
+  info.parent = parent;
+  info.frozen_point = node->lp;
+  for (SegmentNode* n = node; n != nullptr; n = n->parent) {
+    info.path.push_back(n->sid);
+  }
+  std::reverse(info.path.begin(), info.path.end());
+  return info;
+}
+
+Result<SegmentNode*> UpdateLog::FindSegment(SegmentId sid) const {
+  if (options_.mode == LogMode::kLazyStatic && sb_dirty_) {
+    return Status::Internal("LS update log queried before Freeze()");
+  }
+  SegmentNode* const* found = sb_tree_.Find(sid);
+  if (found == nullptr) {
+    return Status::NotFound(StringPrintf(
+        "segment %llu not in SB-tree", static_cast<unsigned long long>(sid)));
+  }
+  return *found;
+}
+
+uint64_t UpdateLog::GlobalPositionOf(SegmentId sid) const {
+  SegmentNode* n = NodeOf(sid);
+  LAZYXML_CHECK(n != nullptr);
+  return n->gp;
+}
+
+SegmentNode* UpdateLog::NodeOf(SegmentId sid) const {
+  auto it = nodes_.find(sid);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Result<std::vector<SegmentId>> UpdateLog::PathOf(SegmentId sid) const {
+  SegmentNode* n = NodeOf(sid);
+  if (n == nullptr) {
+    return Status::NotFound("segment does not exist");
+  }
+  std::vector<SegmentId> path;
+  for (; n != nullptr; n = n->parent) path.push_back(n->sid);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void UpdateLog::Freeze() {
+  if (options_.mode == LogMode::kLazyDynamic) return;
+  if (sb_dirty_) {
+    // "The B+-tree [is] generated from scratch just before querying"
+    // (paper §5.1) — bulk-loaded in one pass.
+    std::vector<std::pair<SegmentId, SegmentNode*>> sorted;
+    sorted.reserve(nodes_.size());
+    for (auto& [sid, node] : nodes_) sorted.emplace_back(sid, node.get());
+    std::sort(sorted.begin(), sorted.end());
+    LAZYXML_CHECK(sb_tree_.BuildFrom(std::move(sorted)).ok());
+    sb_dirty_ = false;
+  }
+  tag_list_.Freeze(*this);
+}
+
+size_t UpdateLog::SbTreeMemoryBytes() const {
+  size_t bytes = sb_tree_.MemoryBytes();
+  for (const auto& [sid, node] : nodes_) bytes += node->MemoryBytes();
+  return bytes;
+}
+
+Status UpdateLog::CheckRec(const SegmentNode* node, size_t* counted) const {
+  ++*counted;
+  uint64_t children_width = 0;
+  const SegmentNode* prev = nullptr;
+  for (const SegmentNode* c : node->children) {
+    LAZYXML_CHECK_OR_INTERNAL(c->parent == node, "broken parent link");
+    LAZYXML_CHECK_OR_INTERNAL(c->gp >= node->gp && c->end() <= node->end(),
+                              "child outside parent span");
+    if (prev != nullptr) {
+      LAZYXML_CHECK_OR_INTERNAL(prev->end() <= c->gp,
+                                "children overlap or out of order");
+      LAZYXML_CHECK_OR_INTERNAL(prev->lp <= c->lp,
+                                "child frozen positions out of order");
+    }
+    children_width += c->l;
+    prev = c;
+    LAZYXML_RETURN_NOT_OK(CheckRec(c, counted));
+  }
+  LAZYXML_CHECK_OR_INTERNAL(children_width <= node->l,
+                            "children wider than parent");
+  // Gaps disjoint and ascending.
+  for (size_t i = 1; i < node->gaps.size(); ++i) {
+    LAZYXML_CHECK_OR_INTERNAL(node->gaps[i - 1].end < node->gaps[i].begin,
+                              "gaps overlap or touch");
+  }
+  LAZYXML_CHECK_OR_INTERNAL(nodes_.count(node->sid) == 1,
+                            "tree node missing from ownership map");
+  return Status::OK();
+}
+
+Status UpdateLog::CheckInvariants() const {
+  size_t counted = 0;
+  LAZYXML_RETURN_NOT_OK(CheckRec(root_, &counted));
+  LAZYXML_CHECK_OR_INTERNAL(counted == nodes_.size(),
+                            "unreachable segments in ownership map");
+  if (options_.mode == LogMode::kLazyDynamic || !sb_dirty_) {
+    LAZYXML_CHECK_OR_INTERNAL(sb_tree_.size() == nodes_.size(),
+                              "SB-tree out of sync with segments");
+    LAZYXML_RETURN_NOT_OK(sb_tree_.CheckInvariants());
+  }
+  return Status::OK();
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,206 @@
+// UpdateLog: the in-memory structure at the heart of the lazy scheme
+// (paper §3) — the SB-tree (a B+-tree over segment ids whose leaves form
+// the ER-tree of segment containment) plus the tag-list.
+//
+// Update semantics follow the paper's Figures 5 and 7, with three fixes
+// the pseudo-code needs to be executable:
+//  * insertions at a position equal to an existing segment's start shift
+//    that segment too (Fig. 5 line 1 says strictly greater, which would
+//    leave two segments claiming one position);
+//  * Fig. 7's right-intersection bookkeeping (lines 17-20) is
+//    self-referential as printed; the intended semantics — the surviving
+//    suffix of the child starts where the removed region started — is what
+//    is implemented;
+//  * removals that take part of a segment's own text leave *gaps* in its
+//    frozen coordinate space; these are tracked per segment (see
+//    segment.h) so local positions stay consistent, which the paper's
+//    Definition 2 invariance argument silently assumes.
+//
+// LS vs LD (paper §5.1): in lazy-dynamic mode the sid B+-tree and the
+// tag-list are maintained on every update; in lazy-static mode updates
+// only maintain the ER-tree and append unsorted tag-list entries, and
+// Freeze() builds the B+-tree and sorts the lists just before querying.
+
+#ifndef LAZYXML_CORE_UPDATE_LOG_H_
+#define LAZYXML_CORE_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "core/segment.h"
+#include "core/tag_list.h"
+
+namespace lazyxml {
+
+/// Maintenance mode (paper §5.1).
+enum class LogMode {
+  kLazyDynamic,  ///< LD: everything incrementally maintained
+  kLazyStatic,   ///< LS: ER-tree only; Freeze() finishes before queries
+};
+
+/// Human-readable mode name ("LD"/"LS").
+const char* LogModeName(LogMode mode);
+
+/// The update log.
+class UpdateLog : public SegmentGpResolver {
+ public:
+  struct Options {
+    LogMode mode = LogMode::kLazyDynamic;
+    BTreeOptions sb_tree_options;
+  };
+
+  UpdateLog();  // default options
+  explicit UpdateLog(Options options);
+  UpdateLog(const UpdateLog&) = delete;
+  UpdateLog& operator=(const UpdateLog&) = delete;
+
+  /// Outcome of AddSegment, with everything the caller (LazyDatabase)
+  /// needs to index the segment's elements and update the tag-list.
+  struct InsertInfo {
+    SegmentId sid = 0;
+    SegmentNode* node = nullptr;
+    SegmentNode* parent = nullptr;
+    /// Root-to-new-segment sid chain (the tag-list path, paper Fig. 4).
+    std::vector<SegmentId> path;
+    /// Frozen splice offset within the parent (== node->lp).
+    uint64_t frozen_point = 0;
+  };
+
+  /// Registers a segment of `length` characters inserted at global
+  /// position `gp` (paper Fig. 5): shifts affected global positions,
+  /// finds the parent segment, computes the local position, creates the
+  /// node. The caller fills in base_level / distinct_tags afterwards.
+  Result<InsertInfo> AddSegment(uint64_t gp, uint64_t length);
+
+  /// What a removal of [gp, gp+length) touches. Computed as a pure
+  /// pre-pass so the element index can be cleaned with frozen intervals
+  /// before the tree is mutated.
+  struct RemovalEffects {
+    /// Segments whose text lies entirely inside the removed region
+    /// (paper Fig. 6 black nodes), with their distinct tags.
+    struct FullRemoval {
+      SegmentId sid;
+      std::vector<TagId> tags;
+    };
+    /// Segments losing part of their own text (gray nodes): the frozen
+    /// interval [begin, end) removed from them.
+    struct PartialRemoval {
+      SegmentId sid;
+      uint64_t frozen_begin;
+      uint64_t frozen_end;
+      std::vector<TagId> tags;
+    };
+    std::vector<FullRemoval> full;
+    std::vector<PartialRemoval> partial;
+    uint64_t gp = 0;
+    uint64_t length = 0;
+  };
+
+  /// Pre-pass for a removal; the log is not modified.
+  Result<RemovalEffects> CollectRemovalEffects(uint64_t gp,
+                                               uint64_t length) const;
+
+  /// Snapshot restore: re-creates segment `sid` with explicit geometry
+  /// under `parent_sid` (which must already exist), appending it as the
+  /// parent's next child — callers restore in ER-tree preorder with
+  /// siblings in position order. Bypasses the positional insertion
+  /// algorithm; the caller fills gaps/tags/summary on the returned node.
+  Result<SegmentNode*> RestoreSegment(SegmentId sid, SegmentId parent_sid,
+                                      uint64_t gp, uint64_t l, uint64_t lp,
+                                      uint32_t base_level);
+
+  /// Snapshot restore: sets the super-document (dummy root) length.
+  void RestoreRootLength(uint64_t length) { root_->l = length; }
+
+  /// Replaces segment `sid`'s whole subtree with one fresh leaf segment
+  /// covering the same global range (no children, no gaps) — the
+  /// structural half of collapsing nested segments (paper §5.3: "nested
+  /// segments can be collapsed together in order to reduce the overall
+  /// number of segments"). The caller re-keys element records and
+  /// tag-list entries. Fails on the dummy root.
+  Result<InsertInfo> CollapseSubtree(SegmentId sid);
+
+  /// Applies a removal previously collected by CollectRemovalEffects
+  /// (paper Fig. 7 semantics): shortens/gaps intersected segments, deletes
+  /// contained subtrees, shifts later global positions.
+  Status ApplyRemoval(const RemovalEffects& effects);
+
+  /// The segment for `sid` via the SB-tree (the structure the paper's
+  /// queries pay for). In LS mode the log must be frozen first.
+  Result<SegmentNode*> FindSegment(SegmentId sid) const;
+
+  /// The dummy root (sid 0, paper §3.1).
+  SegmentNode* root() const { return root_; }
+
+  /// SegmentGpResolver: current global position of `sid` (internal
+  /// bookkeeping path; always fresh in both modes).
+  uint64_t GlobalPositionOf(SegmentId sid) const override;
+  bool SegmentExists(SegmentId sid) const override {
+    return nodes_.count(sid) > 0;
+  }
+
+  /// Internal (always-fresh) lookup; prefer FindSegment on query paths.
+  SegmentNode* NodeOf(SegmentId sid) const;
+
+  /// Root-to-segment sid chain.
+  Result<std::vector<SegmentId>> PathOf(SegmentId sid) const;
+
+  /// Number of real segments (the paper's N; excludes the dummy root).
+  size_t num_segments() const { return nodes_.size() - 1; }
+
+  /// Total super-document length in characters.
+  uint64_t super_document_length() const { return root_->l; }
+
+  LogMode mode() const { return options_.mode; }
+
+  /// The tag-list (caller maintains it via LazyDatabase).
+  TagList& tag_list() { return tag_list_; }
+  const TagList& tag_list() const { return tag_list_; }
+
+  /// LS mode: builds the sid B+-tree and sorts the tag-list. No-op in LD.
+  void Freeze();
+
+  /// True when FindSegment / tag-list reads are serviceable.
+  bool frozen() const {
+    return options_.mode == LogMode::kLazyDynamic || !sb_dirty_;
+  }
+
+  /// Approximate SB-tree footprint: B+-tree nodes plus ER-tree leaves
+  /// (Fig. 11's "SB-tree" series).
+  size_t SbTreeMemoryBytes() const;
+
+  /// Approximate tag-list footprint (Fig. 11's "tag-list" series).
+  size_t TagListMemoryBytes() const { return tag_list_.MemoryBytes(); }
+
+  /// Verifies ER-tree structural invariants: child ordering/disjointness,
+  /// span containment, parent links, length accounting, SB-tree/ownership
+  /// agreement. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  Status CollectRec(const SegmentNode* node, uint64_t lo, uint64_t hi,
+                    RemovalEffects* out) const;
+  void CollectSubtree(const SegmentNode* node, RemovalEffects* out) const;
+  Status ApplyRec(SegmentNode* node, uint64_t lo, uint64_t hi,
+                  const std::unordered_map<SegmentId,
+                                           std::pair<uint64_t, uint64_t>>&
+                      partial_by_sid);
+  void DeleteSubtree(SegmentNode* node);
+  Status CheckRec(const SegmentNode* node, size_t* counted) const;
+
+  Options options_;
+  std::unordered_map<SegmentId, std::unique_ptr<SegmentNode>> nodes_;
+  BTree<SegmentId, SegmentNode*> sb_tree_;
+  bool sb_dirty_ = false;
+  TagList tag_list_;
+  SegmentNode* root_ = nullptr;
+  SegmentId next_sid_ = 1;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_UPDATE_LOG_H_

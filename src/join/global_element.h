@@ -1,0 +1,50 @@
+// GlobalElement: an element in super-document (global) coordinates — the
+// common currency of the structural join algorithms and baselines.
+
+#ifndef LAZYXML_JOIN_GLOBAL_ELEMENT_H_
+#define LAZYXML_JOIN_GLOBAL_ELEMENT_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace lazyxml {
+
+/// One element with global region label (start, end, level).
+struct GlobalElement {
+  uint64_t start = 0;  ///< global offset of '<' of the start tag
+  uint64_t end = 0;    ///< global offset one past '>' of the end tag
+  uint32_t level = 0;  ///< absolute depth (outermost element = 1)
+
+  /// Strict ancestor-of test.
+  bool Contains(const GlobalElement& o) const {
+    return start < o.start && end > o.end;
+  }
+
+  bool operator<(const GlobalElement& o) const {
+    return std::tie(start, end) < std::tie(o.start, o.end);
+  }
+  bool operator==(const GlobalElement& o) const {
+    return start == o.start && end == o.end && level == o.level;
+  }
+};
+
+/// One A//D (or A/D) join result, identified by global start offsets —
+/// stable across store implementations, so lazy and baseline results can
+/// be compared directly in tests.
+struct JoinPair {
+  uint64_t ancestor_start = 0;
+  uint64_t descendant_start = 0;
+
+  bool operator<(const JoinPair& o) const {
+    return std::tie(descendant_start, ancestor_start) <
+           std::tie(o.descendant_start, o.ancestor_start);
+  }
+  bool operator==(const JoinPair& o) const {
+    return ancestor_start == o.ancestor_start &&
+           descendant_start == o.descendant_start;
+  }
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_JOIN_GLOBAL_ELEMENT_H_

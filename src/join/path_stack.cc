@@ -1,0 +1,125 @@
+#include "join/path_stack.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lazyxml {
+
+namespace {
+
+struct Entry {
+  GlobalElement elem;
+  bool valid = false;  // a valid chain through the previous steps exists
+};
+
+struct StepStack {
+  std::vector<Entry> entries;
+  // Bookkeeping for O(1) validity probes.
+  uint64_t valid_count = 0;
+  std::map<uint32_t, uint64_t> valid_levels;  // level -> valid entries
+
+  void Push(const GlobalElement& e, bool valid) {
+    entries.push_back(Entry{e, valid});
+    if (valid) {
+      ++valid_count;
+      ++valid_levels[e.level];
+    }
+  }
+
+  void PopDeadBefore(uint64_t start) {
+    while (!entries.empty() && entries.back().elem.end <= start) {
+      const Entry& top = entries.back();
+      if (top.valid) {
+        --valid_count;
+        auto it = valid_levels.find(top.elem.level);
+        if (--it->second == 0) valid_levels.erase(it);
+      }
+      entries.pop_back();
+    }
+  }
+
+  // Valid entries excluding a possible same-start entry (two streams can
+  // carry the same element when tags repeat along the path; an element is
+  // never its own strict ancestor).
+  bool HasValidAncestorFor(const GlobalElement& e, bool descendant_axis) const {
+    uint64_t count;
+    if (descendant_axis) {
+      count = valid_count;
+      if (!entries.empty() && entries.back().valid &&
+          entries.back().elem.start == e.start) {
+        --count;
+      }
+    } else {
+      if (e.level == 0) return false;
+      auto it = valid_levels.find(e.level - 1);
+      count = it == valid_levels.end() ? 0 : it->second;
+      if (!entries.empty() && entries.back().valid &&
+          entries.back().elem.start == e.start &&
+          entries.back().elem.level + 1 == e.level) {
+        --count;
+      }
+    }
+    return count > 0;
+  }
+};
+
+}  // namespace
+
+Result<PathStackResult> PathStack(const std::vector<PathStackStep>& steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("PathStack: empty pattern");
+  }
+  PathStackResult out;
+  const size_t n = steps.size();
+  std::vector<size_t> cursor(n, 0);
+  std::vector<StepStack> stacks(n);
+
+  for (;;) {
+    // Next event: smallest start among stream heads; shallower step on
+    // ties (the same element may appear in several streams).
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (cursor[i] >= steps[i].elements.size()) continue;
+      if (best == n || steps[i].elements[cursor[i]].start <
+                           steps[best].elements[cursor[best]].start) {
+        best = i;
+      }
+    }
+    if (best == n) break;
+    const GlobalElement& e = steps[best].elements[cursor[best]];
+    ++cursor[best];
+    ++out.stats.elements_scanned;
+
+    // Clean every stack of entries that ended before this element.
+    for (StepStack& s : stacks) s.PopDeadBefore(e.start);
+
+    bool valid;
+    if (best == 0) {
+      valid = true;
+    } else {
+      valid = stacks[best - 1].HasValidAncestorFor(
+          e, steps[best].descendant_axis);
+    }
+    if (best + 1 == n) {
+      if (valid) out.matches.push_back(e);
+      // Leaf elements never carry later matches; no need to push.
+      continue;
+    }
+    // Skip hopeless pushes on AD-only prefixes? An invalid entry can
+    // never become valid (validity is fixed at push time), but it still
+    // occupies stack space; pushing only valid entries is both correct
+    // and cheaper — an element that has no valid chain cannot lend one.
+    if (valid) {
+      stacks[best].Push(e, true);
+      ++out.stats.pushes;
+    }
+    // Invalid inner elements are dropped entirely.
+  }
+
+  std::sort(out.matches.begin(), out.matches.end());
+  out.matches.erase(std::unique(out.matches.begin(), out.matches.end()),
+                    out.matches.end());
+  return out;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,55 @@
+// PathStack — the linear-path case of the holistic twig join of Bruno,
+// Koudas & Srivastava, "Holistic Twig Joins: Optimal XML Pattern
+// Matching" (SIGMOD 2002), reference [2] of the paper.
+//
+// Evaluates a whole path pattern q1 axis q2 axis ... qn in one merge pass
+// over the n element streams, keeping one stack per step: each pushed
+// element records whether a valid ancestor chain exists at push time, so
+// no quadratic intermediate pair lists are ever built (the weakness of a
+// pairwise join pipeline the holistic approach was invented to fix).
+//
+// This reproduction returns the set of final-step elements on at least
+// one valid chain — the same semantics as core/path_query.h — plus basic
+// work counters, so the two strategies can be verified against each other
+// and raced in bench_ablation.
+
+#ifndef LAZYXML_JOIN_PATH_STACK_H_
+#define LAZYXML_JOIN_PATH_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "join/global_element.h"
+
+namespace lazyxml {
+
+/// One step of the path pattern for PathStack.
+struct PathStackStep {
+  /// Elements with this step's tag, sorted by start offset.
+  std::vector<GlobalElement> elements;
+  /// Axis leading *into* this step: true = ancestor-descendant ('//'),
+  /// false = parent-child ('/'). Ignored for the first step.
+  bool descendant_axis = true;
+};
+
+/// PathStack statistics.
+struct PathStackStats {
+  uint64_t elements_scanned = 0;
+  uint64_t pushes = 0;
+};
+
+/// Result: final-step elements matching the whole path (deduplicated,
+/// sorted by start), plus stats.
+struct PathStackResult {
+  std::vector<GlobalElement> matches;
+  PathStackStats stats;
+};
+
+/// Runs PathStack over the prepared streams. Streams must be sorted by
+/// start offset and regions must nest properly.
+Result<PathStackResult> PathStack(const std::vector<PathStackStep>& steps);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_JOIN_PATH_STACK_H_

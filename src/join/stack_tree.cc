@@ -1,0 +1,126 @@
+#include "join/stack_tree.h"
+
+#include <algorithm>
+
+namespace lazyxml {
+
+namespace {
+
+inline bool Emits(const GlobalElement& a, const GlobalElement& d,
+                  bool parent_child) {
+  if (!(a.start < d.start && a.end > d.end)) return false;
+  return !parent_child || a.level + 1 == d.level;
+}
+
+}  // namespace
+
+std::vector<JoinPair> StackTreeDesc(
+    const std::vector<GlobalElement>& ancestors,
+    const std::vector<GlobalElement>& descendants,
+    const StructuralJoinOptions& options) {
+  std::vector<JoinPair> out;
+  std::vector<GlobalElement> stack;
+  size_t a = 0;
+  size_t d = 0;
+  while (d < descendants.size()) {
+    if (a < ancestors.size() &&
+        ancestors[a].start <= descendants[d].start) {
+      // The next event is an ancestor-list element: clear dead stack
+      // entries (an entry ending exactly where the next element starts is
+      // dead too — elements are often byte-adjacent), then push it.
+      while (!stack.empty() && stack.back().end <= ancestors[a].start) {
+        stack.pop_back();
+      }
+      stack.push_back(ancestors[a]);
+      ++a;
+      continue;
+    }
+    // The next event is a descendant-list element: clear dead entries and
+    // join it with the whole stack (every live entry contains it).
+    while (!stack.empty() && stack.back().end <= descendants[d].start) {
+      stack.pop_back();
+    }
+    for (const GlobalElement& s : stack) {
+      if (Emits(s, descendants[d], options.parent_child)) {
+        out.push_back(JoinPair{s.start, descendants[d].start});
+      }
+    }
+    ++d;
+  }
+  return out;
+}
+
+std::vector<JoinPair> StackTreeAnc(
+    const std::vector<GlobalElement>& ancestors,
+    const std::vector<GlobalElement>& descendants,
+    const StructuralJoinOptions& options) {
+  // Each stack entry defers its output: `self` holds pairs whose ancestor
+  // is the entry itself; `inherit` holds already-ordered pairs of popped
+  // descendants of the entry (their ancestors start later, so they are
+  // appended after `self` when this entry is finally emitted).
+  struct Entry {
+    GlobalElement elem;
+    std::vector<JoinPair> self;
+    std::vector<JoinPair> inherit;
+  };
+  std::vector<JoinPair> out;
+  std::vector<Entry> stack;
+
+  auto pop = [&]() {
+    Entry top = std::move(stack.back());
+    stack.pop_back();
+    if (stack.empty()) {
+      out.insert(out.end(), top.self.begin(), top.self.end());
+      out.insert(out.end(), top.inherit.begin(), top.inherit.end());
+    } else {
+      auto& dst = stack.back().inherit;
+      dst.insert(dst.end(), top.self.begin(), top.self.end());
+      dst.insert(dst.end(), top.inherit.begin(), top.inherit.end());
+    }
+  };
+
+  size_t a = 0;
+  size_t d = 0;
+  while (d < descendants.size()) {
+    if (a < ancestors.size() &&
+        ancestors[a].start <= descendants[d].start) {
+      while (!stack.empty() &&
+             stack.back().elem.end <= ancestors[a].start) {
+        pop();
+      }
+      stack.push_back(Entry{ancestors[a], {}, {}});
+      ++a;
+      continue;
+    }
+    while (!stack.empty() &&
+           stack.back().elem.end <= descendants[d].start) {
+      pop();
+    }
+    for (Entry& s : stack) {
+      if (Emits(s.elem, descendants[d], options.parent_child)) {
+        s.self.push_back(JoinPair{s.elem.start, descendants[d].start});
+      }
+    }
+    ++d;
+  }
+  while (!stack.empty()) pop();
+  return out;
+}
+
+std::vector<JoinPair> NaiveStructuralJoin(
+    const std::vector<GlobalElement>& ancestors,
+    const std::vector<GlobalElement>& descendants,
+    const StructuralJoinOptions& options) {
+  std::vector<JoinPair> out;
+  for (const GlobalElement& d : descendants) {
+    for (const GlobalElement& a : ancestors) {
+      if (Emits(a, d, options.parent_child)) {
+        out.push_back(JoinPair{a.start, d.start});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lazyxml

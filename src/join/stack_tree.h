@@ -1,0 +1,83 @@
+// Stack-based structural joins over region-labeled element lists —
+// Stack-Tree-Desc and Stack-Tree-Anc from Al-Khalifa et al., "Structural
+// Joins: A Primitive for Efficient XML Query Pattern Matching" (ICDE
+// 2002). Stack-Tree-Desc is the paper's STD baseline and also performs
+// Lazy-Join's in-segment joins; a naive quadratic join acts as the test
+// oracle.
+
+#ifndef LAZYXML_JOIN_STACK_TREE_H_
+#define LAZYXML_JOIN_STACK_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "join/global_element.h"
+
+namespace lazyxml {
+
+/// Options for the structural join algorithms.
+struct StructuralJoinOptions {
+  /// When true, emit only parent-child pairs (containment + level
+  /// difference of exactly one) instead of all ancestor-descendant pairs.
+  bool parent_child = false;
+};
+
+/// Stack-Tree-Desc: merges `ancestors` x `descendants` (each sorted by
+/// start offset, properly nested regions) and returns every
+/// ancestor-descendant pair, sorted by descendant.
+///
+/// Time O(|A| + |D| + output); space O(max nesting depth).
+std::vector<JoinPair> StackTreeDesc(const std::vector<GlobalElement>& ancestors,
+                                    const std::vector<GlobalElement>& descendants,
+                                    const StructuralJoinOptions& options = {});
+
+/// Generic Stack-Tree-Desc core over any element type exposing
+/// start/end/level members (GlobalElement, LocalElement, ...) — the same
+/// algorithm without forcing a copy into GlobalElement. `emit(a, d)` is
+/// called for each pair, descendants-major order.
+template <typename Element, typename Emit>
+void StackTreeDescVisit(const std::vector<Element>& ancestors,
+                        const std::vector<Element>& descendants,
+                        bool parent_child, Emit&& emit) {
+  std::vector<const Element*> stack;
+  size_t a = 0;
+  size_t d = 0;
+  while (d < descendants.size()) {
+    if (a < ancestors.size() &&
+        ancestors[a].start <= descendants[d].start) {
+      while (!stack.empty() && stack.back()->end <= ancestors[a].start) {
+        stack.pop_back();
+      }
+      stack.push_back(&ancestors[a]);
+      ++a;
+      continue;
+    }
+    while (!stack.empty() && stack.back()->end <= descendants[d].start) {
+      stack.pop_back();
+    }
+    for (const Element* s : stack) {
+      if (s->start < descendants[d].start && s->end > descendants[d].end &&
+          (!parent_child || s->level + 1 == descendants[d].level)) {
+        emit(*s, descendants[d]);
+      }
+    }
+    ++d;
+  }
+}
+
+/// Stack-Tree-Anc: same join, output sorted by ancestor. Uses the
+/// self-list / inherit-list bookkeeping from the original paper.
+std::vector<JoinPair> StackTreeAnc(const std::vector<GlobalElement>& ancestors,
+                                   const std::vector<GlobalElement>& descendants,
+                                   const StructuralJoinOptions& options = {});
+
+/// O(|A| * |D|) reference implementation (test oracle). Output sorted by
+/// descendant.
+std::vector<JoinPair> NaiveStructuralJoin(
+    const std::vector<GlobalElement>& ancestors,
+    const std::vector<GlobalElement>& descendants,
+    const StructuralJoinOptions& options = {});
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_JOIN_STACK_TREE_H_

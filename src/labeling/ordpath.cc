@@ -1,0 +1,372 @@
+#include "labeling/ordpath.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+
+namespace {
+
+using Span = std::span<const int64_t>;
+
+bool IsOdd(int64_t v) { return (v & 1) != 0; }
+
+// Largest odd strictly below b.
+int64_t OddBelow(int64_t b) { return IsOdd(b) ? b - 2 : b - 1; }
+// Smallest odd strictly above a.
+int64_t OddAbove(int64_t a) { return IsOdd(a) ? a + 2 : a + 1; }
+
+// An odd ordinal strictly inside (a, b), near the middle for balance;
+// requires OddAbove(a) < b.
+int64_t OddBetween(int64_t a, int64_t b) {
+  int64_t mid = a + (b - a) / 2;
+  if (!IsOdd(mid)) ++mid;
+  if (mid <= a) mid += 2;
+  if (mid >= b) mid -= 2;
+  LAZYXML_DCHECK(mid > a && mid < b && IsOdd(mid));
+  return mid;
+}
+
+// Core of the ORDPATH careting rules: a component suffix strictly between
+// `lo` (when has_lo) and `hi` (when has_hi), both relative to the same
+// already-shared prefix. Complete labels end in an odd component and even
+// carets are always followed by more components, which the cases below
+// preserve.
+std::vector<int64_t> BetweenSuffix(Span lo, bool has_lo, Span hi,
+                                   bool has_hi) {
+  if (!has_lo && !has_hi) return {1};
+  if (!has_lo || lo.empty()) {
+    // Anything below hi (or a fresh {1} when hi is absent too).
+    if (!has_hi) return {1};
+    LAZYXML_CHECK(!hi.empty());
+    return {OddBelow(hi[0])};
+  }
+  if (!has_hi) {
+    return {OddAbove(lo[0])};
+  }
+  LAZYXML_CHECK(!hi.empty());
+  const int64_t a = lo[0];
+  const int64_t b = hi[0];
+  if (a == b) {
+    std::vector<int64_t> rest = BetweenSuffix(
+        lo.subspan(1), true, hi.subspan(1), true);
+    rest.insert(rest.begin(), a);
+    return rest;
+  }
+  LAZYXML_CHECK(a < b);
+  if (OddAbove(a) < b) {
+    return {OddBetween(a, b)};
+  }
+  if (b - a == 2) {
+    // Only the even a+1 fits: caret and restart (e.g. between 5 and 7
+    // comes 6.1).
+    return {a + 1, 1};
+  }
+  // Adjacent (b == a + 1).
+  if (lo.size() > 1) {
+    // Extend after lo underneath its own head (odd-with-carets or caret).
+    std::vector<int64_t> rest =
+        BetweenSuffix(lo.subspan(1), true, {}, false);
+    rest.insert(rest.begin(), a);
+    return rest;
+  }
+  // lo is the single complete component a (odd); b = a+1 is a caret on
+  // the hi side, so slot in below hi's continuation.
+  std::vector<int64_t> rest = BetweenSuffix({}, false, hi.subspan(1), true);
+  rest.insert(rest.begin(), b);
+  return rest;
+}
+
+Span SuffixAfter(const OrdPathLabel& parent, const OrdPathLabel& label) {
+  return Span(label.components()).subspan(parent.components().size());
+}
+
+}  // namespace
+
+OrdPathLabel OrdPathLabel::FromComponents(std::vector<int64_t> comps) {
+  OrdPathLabel l;
+  l.comps_ = std::move(comps);
+  return l;
+}
+
+uint32_t OrdPathLabel::Level() const {
+  uint32_t n = 0;
+  for (int64_t c : comps_) {
+    if (IsOdd(c)) ++n;
+  }
+  return n;
+}
+
+bool OrdPathLabel::IsAncestorOf(const OrdPathLabel& other) const {
+  if (comps_.size() >= other.comps_.size()) return false;
+  return std::equal(comps_.begin(), comps_.end(), other.comps_.begin());
+}
+
+int OrdPathLabel::Compare(const OrdPathLabel& other) const {
+  const size_t n = std::min(comps_.size(), other.comps_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (comps_[i] != other.comps_[i]) {
+      return comps_[i] < other.comps_[i] ? -1 : 1;
+    }
+  }
+  if (comps_.size() == other.comps_.size()) return 0;
+  return comps_.size() < other.comps_.size() ? -1 : 1;  // prefix first
+}
+
+OrdPathLabel OrdPathLabel::FirstChild() const {
+  OrdPathLabel l = *this;
+  l.comps_.push_back(1);
+  return l;
+}
+
+OrdPathLabel OrdPathLabel::After(const OrdPathLabel& parent,
+                                 const OrdPathLabel& sibling) {
+  LAZYXML_CHECK(parent.IsAncestorOf(sibling) || parent.comps_.empty());
+  OrdPathLabel l = parent;
+  auto rest = BetweenSuffix(SuffixAfter(parent, sibling), true, {}, false);
+  l.comps_.insert(l.comps_.end(), rest.begin(), rest.end());
+  return l;
+}
+
+OrdPathLabel OrdPathLabel::Before(const OrdPathLabel& parent,
+                                  const OrdPathLabel& sibling) {
+  LAZYXML_CHECK(parent.IsAncestorOf(sibling) || parent.comps_.empty());
+  OrdPathLabel l = parent;
+  auto rest = BetweenSuffix({}, false, SuffixAfter(parent, sibling), true);
+  l.comps_.insert(l.comps_.end(), rest.begin(), rest.end());
+  return l;
+}
+
+Result<OrdPathLabel> OrdPathLabel::Between(const OrdPathLabel& parent,
+                                           const OrdPathLabel& left,
+                                           const OrdPathLabel& right) {
+  if (!(left < right)) {
+    return Status::InvalidArgument("Between: left must precede right");
+  }
+  OrdPathLabel l = parent;
+  auto rest = BetweenSuffix(SuffixAfter(parent, left), true,
+                            SuffixAfter(parent, right), true);
+  l.comps_.insert(l.comps_.end(), rest.begin(), rest.end());
+  return l;
+}
+
+std::string OrdPathLabel::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < comps_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(comps_[i]);
+  }
+  return out;
+}
+
+size_t OrdPathLabel::EncodedBytes() const {
+  size_t bytes = 0;
+  for (int64_t c : comps_) {
+    // ZigZag then LEB128 length.
+    uint64_t z = (static_cast<uint64_t>(c) << 1) ^
+                 static_cast<uint64_t>(c >> 63);
+    do {
+      ++bytes;
+      z >>= 7;
+    } while (z != 0);
+  }
+  return bytes;
+}
+
+// --- OrdPathLabeling -------------------------------------------------------
+
+Status OrdPathLabeling::BuildFromDocument(std::string_view text) {
+  nodes_.clear();
+  roots_.clear();
+  ParseOptions opts;
+  opts.require_single_root = true;
+  auto parsed = ParseFragment(text, &dict_, opts);
+  if (!parsed.ok()) return parsed.status();
+  const auto& records = parsed.ValueOrDie().records;
+  if (records.empty()) return Status::InvalidArgument("empty document");
+  nodes_.resize(records.size());
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < records.size(); ++i) {
+    while (!stack.empty() && records[stack.back()].end <= records[i].start) {
+      stack.pop_back();
+    }
+    Node& n = nodes_[i];
+    n.tid = records[i].tid;
+    if (stack.empty()) {
+      n.parent = kNoNode;
+      n.label = OrdPathLabel::FromComponents({1});
+      roots_.push_back(i);
+    } else {
+      Node& p = nodes_[stack.back()];
+      n.parent = stack.back();
+      // Initial allocation: odd ordinals 1, 3, 5, ...
+      std::vector<int64_t> comps = p.label.components();
+      comps.push_back(static_cast<int64_t>(2 * p.children.size() + 1));
+      n.label = OrdPathLabel::FromComponents(std::move(comps));
+      p.children.push_back(i);
+    }
+    stack.push_back(i);
+  }
+  return Status::OK();
+}
+
+Result<OrdPathLabeling::NodeId> OrdPathLabeling::InsertElement(
+    std::string_view name, NodeId parent, NodeId left, NodeId right) {
+  if (parent >= nodes_.size()) {
+    return Status::InvalidArgument("InsertElement: bad parent");
+  }
+  Node& p = nodes_[parent];
+  auto child_pos = [&](NodeId c) -> Result<size_t> {
+    auto it = std::find(p.children.begin(), p.children.end(), c);
+    if (it == p.children.end()) {
+      return Status::InvalidArgument("sibling is not a child of parent");
+    }
+    return static_cast<size_t>(it - p.children.begin());
+  };
+
+  OrdPathLabel label;
+  size_t insert_index = 0;
+  if (p.children.empty()) {
+    if (left != kNoNode || right != kNoNode) {
+      return Status::InvalidArgument("parent has no children");
+    }
+    label = p.label.FirstChild();
+    insert_index = 0;
+  } else if (left == kNoNode && right == kNoNode) {
+    label = OrdPathLabel::After(p.label, nodes_[p.children.back()].label);
+    insert_index = p.children.size();
+  } else if (left == kNoNode) {
+    LAZYXML_ASSIGN_OR_RETURN(size_t ri, child_pos(right));
+    if (ri == 0) {
+      label = OrdPathLabel::Before(p.label, nodes_[right].label);
+      insert_index = 0;
+    } else {
+      LAZYXML_ASSIGN_OR_RETURN(
+          label, OrdPathLabel::Between(p.label,
+                                       nodes_[p.children[ri - 1]].label,
+                                       nodes_[right].label));
+      insert_index = ri;
+    }
+  } else if (right == kNoNode) {
+    LAZYXML_ASSIGN_OR_RETURN(size_t li, child_pos(left));
+    if (li + 1 == p.children.size()) {
+      label = OrdPathLabel::After(p.label, nodes_[left].label);
+      insert_index = p.children.size();
+    } else {
+      LAZYXML_ASSIGN_OR_RETURN(
+          label, OrdPathLabel::Between(p.label, nodes_[left].label,
+                                       nodes_[p.children[li + 1]].label));
+      insert_index = li + 1;
+    }
+  } else {
+    LAZYXML_ASSIGN_OR_RETURN(size_t li, child_pos(left));
+    LAZYXML_ASSIGN_OR_RETURN(size_t ri, child_pos(right));
+    if (ri != li + 1) {
+      return Status::InvalidArgument("left/right are not adjacent siblings");
+    }
+    LAZYXML_ASSIGN_OR_RETURN(
+        label, OrdPathLabel::Between(p.label, nodes_[left].label,
+                                     nodes_[right].label));
+    insert_index = ri;
+  }
+
+  const NodeId id = nodes_.size();
+  Node n;
+  n.label = std::move(label);
+  n.tid = dict_.Intern(name);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.insert(
+      nodes_[parent].children.begin() + static_cast<ptrdiff_t>(insert_index),
+      id);
+  return id;
+}
+
+Result<OrdPathLabeling::NodeId> OrdPathLabeling::InsertFragment(
+    std::string_view text, NodeId parent, NodeId left, NodeId right) {
+  ParseOptions opts;
+  opts.require_single_root = true;
+  auto parsed = ParseFragment(text, &dict_, opts);
+  if (!parsed.ok()) return parsed.status();
+  const auto& records = parsed.ValueOrDie().records;
+  if (records.empty()) return Status::InvalidArgument("empty fragment");
+  std::vector<NodeId> mapped(records.size(), kNoNode);
+  std::vector<size_t> stack;
+  NodeId root_id = kNoNode;
+  for (size_t i = 0; i < records.size(); ++i) {
+    while (!stack.empty() && records[stack.back()].end <= records[i].start) {
+      stack.pop_back();
+    }
+    NodeId id;
+    if (stack.empty()) {
+      LAZYXML_ASSIGN_OR_RETURN(
+          id, InsertElement(dict_.Name(records[i].tid), parent, left, right));
+      root_id = id;
+    } else {
+      // Append as last child of the mapped parent.
+      LAZYXML_ASSIGN_OR_RETURN(
+          id, InsertElement(dict_.Name(records[i].tid), mapped[stack.back()],
+                            kNoNode, kNoNode));
+    }
+    mapped[i] = id;
+    stack.push_back(i);
+  }
+  return root_id;
+}
+
+Result<bool> OrdPathLabeling::IsAncestor(NodeId a, NodeId d) const {
+  if (a >= nodes_.size() || d >= nodes_.size()) {
+    return Status::InvalidArgument("IsAncestor: bad node id");
+  }
+  return nodes_[a].label.IsAncestorOf(nodes_[d].label);
+}
+
+Result<bool> OrdPathLabeling::Precedes(NodeId x, NodeId y) const {
+  if (x >= nodes_.size() || y >= nodes_.size()) {
+    return Status::InvalidArgument("Precedes: bad node id");
+  }
+  return nodes_[x].label.Compare(nodes_[y].label) < 0;
+}
+
+Result<const OrdPathLabel*> OrdPathLabeling::Label(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("Label: bad node id");
+  }
+  return &nodes_[n].label;
+}
+
+Result<uint32_t> OrdPathLabeling::LevelOf(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("LevelOf: bad node id");
+  }
+  return nodes_[n].label.Level();
+}
+
+Result<std::vector<OrdPathLabeling::NodeId>> OrdPathLabeling::ChildrenOf(
+    NodeId n) const {
+  if (n == kNoNode) return roots_;
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("ChildrenOf: bad node id");
+  }
+  return nodes_[n].children;
+}
+
+size_t OrdPathLabeling::TotalLabelBytes() const {
+  size_t bytes = 0;
+  for (const Node& n : nodes_) bytes += n.label.EncodedBytes();
+  return bytes;
+}
+
+size_t OrdPathLabeling::MaxLabelComponents() const {
+  size_t longest = 0;
+  for (const Node& n : nodes_) {
+    longest = std::max(longest, n.label.components().size());
+  }
+  return longest;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,143 @@
+// ORDPATH labels — O'Neil et al., "ORDPATHs: Insert-Friendly XML Node
+// Labels" (SIGMOD 2004), reference [8] of the paper.
+//
+// A label is a sequence of integer components. Initial allocation uses
+// only odd ordinals (1, 3, 5, ...); insertions between existing siblings
+// spill into even "caret" components that extend the label without
+// claiming a tree level, so existing labels never change. A node X is an
+// ancestor of Y iff X's label is a proper prefix of Y's (complete labels
+// always end in an odd component, carets are always followed by more
+// components, so prefix == ancestry). Document order is component-wise
+// lexicographic with prefixes first (preorder).
+//
+// Built here as a second immutable-labeling baseline beside PRIME: it
+// demonstrates the §1/§2 storage-overhead story — label length grows with
+// depth and with insert-heavy workloads (the Ω(N)-bits result of [4]
+// applies to any immutable scheme).
+
+#ifndef LAZYXML_LABELING_ORDPATH_H_
+#define LAZYXML_LABELING_ORDPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// One ORDPATH label.
+class OrdPathLabel {
+ public:
+  /// The empty label (super-root; ancestor of everything).
+  OrdPathLabel() = default;
+
+  /// From explicit components (tests).
+  static OrdPathLabel FromComponents(std::vector<int64_t> comps);
+
+  const std::vector<int64_t>& components() const { return comps_; }
+
+  /// Number of tree levels = number of odd components (carets don't
+  /// count).
+  uint32_t Level() const;
+
+  /// True iff *this is a proper ancestor of `other` (proper prefix).
+  bool IsAncestorOf(const OrdPathLabel& other) const;
+
+  /// Document-order comparison: lexicographic, prefixes first.
+  int Compare(const OrdPathLabel& other) const;
+  bool operator<(const OrdPathLabel& o) const { return Compare(o) < 0; }
+  bool operator==(const OrdPathLabel& o) const { return comps_ == o.comps_; }
+  bool operator!=(const OrdPathLabel& o) const { return !(*this == o); }
+
+  /// First-child label of *this (appends ordinal 1).
+  OrdPathLabel FirstChild() const;
+
+  /// A label sorting strictly after `sibling` under the same parent.
+  static OrdPathLabel After(const OrdPathLabel& parent,
+                            const OrdPathLabel& sibling);
+
+  /// A label sorting strictly before `sibling` under the same parent.
+  static OrdPathLabel Before(const OrdPathLabel& parent,
+                             const OrdPathLabel& sibling);
+
+  /// A label strictly between two siblings of `parent` (left < right).
+  static Result<OrdPathLabel> Between(const OrdPathLabel& parent,
+                                      const OrdPathLabel& left,
+                                      const OrdPathLabel& right);
+
+  /// "1.5.6.1" — dotted rendering.
+  std::string ToString() const;
+
+  /// Bytes of a simple varint (LEB128-with-sign) encoding — the storage
+  /// cost tracked by the label-size study. (The original paper uses a
+  /// tuned prefix-free bit encoding; varint preserves the growth shape.)
+  size_t EncodedBytes() const;
+
+  size_t MemoryBytes() const {
+    return comps_.capacity() * sizeof(int64_t) + sizeof(*this);
+  }
+
+ private:
+  std::vector<int64_t> comps_;
+};
+
+/// ORDPATH labeling of one document, with order-preserving insertion.
+class OrdPathLabeling {
+ public:
+  using NodeId = uint64_t;
+  static constexpr NodeId kNoNode = ~0ull;
+
+  OrdPathLabeling() = default;
+  OrdPathLabeling(const OrdPathLabeling&) = delete;
+  OrdPathLabeling& operator=(const OrdPathLabeling&) = delete;
+
+  /// Parses and labels a single-rooted document (odd ordinals only).
+  Status BuildFromDocument(std::string_view text);
+
+  /// Inserts a new leaf with tag `name` under `parent`, positioned
+  /// between `left` and `right` (either may be kNoNode for first/last;
+  /// both kNoNode appends as only/last child). Existing labels are
+  /// untouched — the immutability contract.
+  Result<NodeId> InsertElement(std::string_view name, NodeId parent,
+                               NodeId left, NodeId right);
+
+  /// Parses a fragment, inserting its elements under `parent` between
+  /// `left` and `right`. Returns the fragment root's node.
+  Result<NodeId> InsertFragment(std::string_view text, NodeId parent,
+                                NodeId left, NodeId right);
+
+  Result<bool> IsAncestor(NodeId a, NodeId d) const;
+  Result<bool> Precedes(NodeId x, NodeId y) const;
+  Result<const OrdPathLabel*> Label(NodeId n) const;
+  Result<uint32_t> LevelOf(NodeId n) const;
+
+  /// Children of `n` in document order (kNoNode for the root list).
+  Result<std::vector<NodeId>> ChildrenOf(NodeId n) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total encoded label bytes (the storage-overhead metric).
+  size_t TotalLabelBytes() const;
+
+  /// Longest label, in components.
+  size_t MaxLabelComponents() const;
+
+ private:
+  struct Node {
+    OrdPathLabel label;
+    TagId tid = kInvalidTagId;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;  // document order
+  };
+
+  TagDict dict_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> roots_;  // single element after BuildFromDocument
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_LABELING_ORDPATH_H_

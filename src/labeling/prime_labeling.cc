@@ -1,0 +1,238 @@
+#include "labeling/prime_labeling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+
+PrimeLabeling::PrimeLabeling(PrimeLabelingOptions options)
+    : options_(options) {
+  LAZYXML_CHECK(options_.group_size >= 1);
+  LAZYXML_CHECK(options_.group_seq_gap >= 2);
+  // Ranks go up to 2K+1 (a group's maximum size just before it splits);
+  // SC mod p must recover the rank, so only primes > 2K+1 are usable.
+  const uint64_t min_prime = 2 * options_.group_size + 2;
+  while (true) {
+    // Peek by consuming: the supply is exclusively ours.
+    const uint64_t p = primes_.NextPrime();
+    if (p > min_prime) {
+      first_usable_prime_ = p;
+      break;
+    }
+  }
+}
+
+uint64_t PrimeLabeling::TakePrime() {
+  if (first_usable_prime_ != 0) {
+    const uint64_t p = first_usable_prime_;
+    first_usable_prime_ = 0;
+    return p;
+  }
+  return primes_.NextPrime();
+}
+
+Status PrimeLabeling::RecomputeGroupSc(GroupList::iterator g) {
+  std::vector<uint64_t> primes;
+  std::vector<uint64_t> residues;
+  primes.reserve(g->members.size());
+  residues.reserve(g->members.size());
+  for (size_t i = 0; i < g->members.size(); ++i) {
+    primes.push_back(nodes_[g->members[i]].self_prime);
+    residues.push_back(i + 1);  // rank, guaranteed < every member prime
+  }
+  auto sc = CrtSolve(primes, residues);
+  if (!sc.ok()) return sc.status();
+  g->sc = std::move(sc).ValueOrDie();
+  ++crt_recomputations_;
+  return Status::OK();
+}
+
+void PrimeLabeling::RenumberGroupSeqs() {
+  uint64_t seq = options_.group_seq_gap;
+  for (Group& g : groups_) {
+    g.seq = seq;
+    seq += options_.group_seq_gap;
+  }
+  ++seq_renumbers_;
+}
+
+Status PrimeLabeling::SplitGroupIfNeeded(GroupList::iterator g) {
+  if (g->members.size() <= 2 * options_.group_size) return Status::OK();
+  const size_t half = g->members.size() / 2;
+  Group right;
+  right.members.assign(g->members.begin() + half, g->members.end());
+  g->members.resize(half);
+  // Sequence number between g and its successor; renumber on exhaustion.
+  auto after = std::next(g);
+  const uint64_t hi =
+      after == groups_.end() ? g->seq + 2 * options_.group_seq_gap
+                             : after->seq;
+  if (hi <= g->seq + 1) {
+    auto right_it = groups_.insert(after, std::move(right));
+    for (NodeId id : right_it->members) nodes_[id].group = right_it;
+    RenumberGroupSeqs();
+    ++group_splits_;
+    LAZYXML_RETURN_NOT_OK(RecomputeGroupSc(g));
+    return RecomputeGroupSc(right_it);
+  }
+  right.seq = g->seq + (hi - g->seq) / 2;
+  auto right_it = groups_.insert(after, std::move(right));
+  for (NodeId id : right_it->members) nodes_[id].group = right_it;
+  ++group_splits_;
+  LAZYXML_RETURN_NOT_OK(RecomputeGroupSc(g));
+  return RecomputeGroupSc(right_it);
+}
+
+Status PrimeLabeling::BuildFromDocument(std::string_view text) {
+  nodes_.clear();
+  groups_.clear();
+  crt_recomputations_ = group_splits_ = seq_renumbers_ = 0;
+  ParseOptions opts;
+  opts.require_single_root = true;
+  auto parsed_r = ParseFragment(text, &dict_, opts);
+  if (!parsed_r.ok()) return parsed_r.status();
+  const auto& records = parsed_r.ValueOrDie().records;
+  if (records.empty()) return Status::InvalidArgument("empty document");
+
+  nodes_.reserve(records.size());
+  // Records are in preorder; recover parent links with an interval stack.
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < records.size(); ++i) {
+    while (!stack.empty() && records[stack.back()].end <= records[i].start) {
+      stack.pop_back();
+    }
+    Node n;
+    n.self_prime = TakePrime();
+    n.tid = records[i].tid;
+    n.parent = stack.empty() ? kNoNode : static_cast<NodeId>(stack.back());
+    n.label = n.parent == kNoNode
+                  ? BigUint(n.self_prime)
+                  : nodes_[n.parent].label.MulSmall(n.self_prime);
+    nodes_.push_back(std::move(n));
+    stack.push_back(i);
+  }
+  // Chunk into groups of K and solve each group's congruences.
+  uint64_t seq = options_.group_seq_gap;
+  for (size_t i = 0; i < nodes_.size(); i += options_.group_size) {
+    Group g;
+    g.seq = seq;
+    seq += options_.group_seq_gap;
+    const size_t hi = std::min(nodes_.size(),
+                               i + static_cast<size_t>(options_.group_size));
+    for (size_t j = i; j < hi; ++j) g.members.push_back(j);
+    groups_.push_back(std::move(g));
+    auto it = std::prev(groups_.end());
+    for (NodeId id : it->members) nodes_[id].group = it;
+    LAZYXML_RETURN_NOT_OK(RecomputeGroupSc(it));
+  }
+  return Status::OK();
+}
+
+Result<PrimeLabeling::NodeId> PrimeLabeling::InsertElement(
+    std::string_view name, NodeId parent, NodeId prev) {
+  if (parent >= nodes_.size() || prev >= nodes_.size()) {
+    return Status::InvalidArgument("InsertElement: bad node id");
+  }
+  Node n;
+  n.self_prime = TakePrime();
+  n.tid = dict_.Intern(name);
+  n.parent = parent;
+  n.label = nodes_[parent].label.MulSmall(n.self_prime);
+
+  GroupList::iterator g = nodes_[prev].group;
+  auto pos = std::find(g->members.begin(), g->members.end(), prev);
+  LAZYXML_CHECK_OR_INTERNAL(pos != g->members.end(),
+                            "prev missing from its group");
+  const size_t index = static_cast<size_t>(pos - g->members.begin()) + 1;
+  n.group = g;
+  const NodeId id = nodes_.size();
+  nodes_.push_back(std::move(n));
+  g->members.insert(g->members.begin() + index, id);
+  LAZYXML_RETURN_NOT_OK(RecomputeGroupSc(g));
+  LAZYXML_RETURN_NOT_OK(SplitGroupIfNeeded(g));
+  return id;
+}
+
+Result<PrimeLabeling::NodeId> PrimeLabeling::InsertFragment(
+    std::string_view text, NodeId parent, NodeId prev) {
+  ParseOptions opts;
+  opts.require_single_root = true;
+  auto parsed_r = ParseFragment(text, &dict_, opts);
+  if (!parsed_r.ok()) return parsed_r.status();
+  const auto& records = parsed_r.ValueOrDie().records;
+  if (records.empty()) return Status::InvalidArgument("empty fragment");
+
+  std::vector<NodeId> mapped(records.size(), kNoNode);
+  std::vector<size_t> stack;
+  NodeId doc_prev = prev;
+  NodeId root_id = kNoNode;
+  for (size_t i = 0; i < records.size(); ++i) {
+    while (!stack.empty() && records[stack.back()].end <= records[i].start) {
+      stack.pop_back();
+    }
+    const NodeId p = stack.empty() ? parent : mapped[stack.back()];
+    LAZYXML_ASSIGN_OR_RETURN(
+        NodeId id, InsertElement(dict_.Name(records[i].tid), p, doc_prev));
+    mapped[i] = id;
+    if (i == 0) root_id = id;
+    doc_prev = id;
+    stack.push_back(i);
+  }
+  return root_id;
+}
+
+Result<bool> PrimeLabeling::IsAncestor(NodeId a, NodeId d) const {
+  if (a >= nodes_.size() || d >= nodes_.size()) {
+    return Status::InvalidArgument("IsAncestor: bad node id");
+  }
+  if (a == d) return false;
+  return nodes_[d].label.DivisibleBy(nodes_[a].label);
+}
+
+Result<uint64_t> PrimeLabeling::GroupRank(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("GroupRank: bad node id");
+  }
+  return nodes_[n].group->sc.ModSmall(nodes_[n].self_prime);
+}
+
+Result<bool> PrimeLabeling::Precedes(NodeId x, NodeId y) const {
+  if (x >= nodes_.size() || y >= nodes_.size()) {
+    return Status::InvalidArgument("Precedes: bad node id");
+  }
+  const Group& gx = *nodes_[x].group;
+  const Group& gy = *nodes_[y].group;
+  if (gx.seq != gy.seq) return gx.seq < gy.seq;
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t rx, GroupRank(x));
+  LAZYXML_ASSIGN_OR_RETURN(uint64_t ry, GroupRank(y));
+  return rx < ry;
+}
+
+Result<uint64_t> PrimeLabeling::SelfPrime(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("SelfPrime: bad node id");
+  }
+  return nodes_[n].self_prime;
+}
+
+Result<const BigUint*> PrimeLabeling::Label(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("Label: bad node id");
+  }
+  return &nodes_[n].label;
+}
+
+size_t PrimeLabeling::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) bytes += n.label.MemoryBytes();
+  for (const Group& g : groups_) {
+    bytes += sizeof(Group) + g.members.capacity() * sizeof(NodeId) +
+             g.sc.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,132 @@
+// PrimeLabeling: the prime-number labeling scheme of Wu, Lee & Hsu
+// (ICDE 2004) — the immutable-labeling baseline of the paper's Fig. 17.
+//
+// Every node gets a distinct prime as its *self label*; its full label is
+// the product of the self labels on its root path, so X is an ancestor of
+// Y iff label(X) divides label(Y). Document order is maintained *outside*
+// the labels by a table of simultaneous-congruence (CRT) values: nodes are
+// grouped K at a time, each group stores the unique SC with
+// SC ≡ rank(n) (mod self(n)) for every member, where rank(n) is the node's
+// 1-based position within the group. Global order is (group sequence
+// number, rank). Recovering rank as SC mod p requires rank < p, so the
+// supply skips primes ≤ 2K+2 (a group holds at most 2K+1 members before it
+// splits).
+//
+// An insertion never relabels existing nodes, but it must recompute the
+// CRT value of the group it lands in (and of both halves when the group
+// splits) — the bignum work that dominates PRIME's insert cost in Fig. 17,
+// and what the lazy paper measures against.
+
+#ifndef LAZYXML_LABELING_PRIME_LABELING_H_
+#define LAZYXML_LABELING_PRIME_LABELING_H_
+
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <vector>
+
+#include "common/bignum.h"
+#include "common/result.h"
+#include "labeling/primes.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// PRIME knobs.
+struct PrimeLabelingOptions {
+  /// K: primes sharing one simultaneous-congruence value (paper Fig. 17).
+  uint32_t group_size = 6;
+  /// Spacing of group sequence numbers; splits bisect gaps and exhausting
+  /// a gap triggers a (cheap, CRT-free) sequence renumbering.
+  uint64_t group_seq_gap = 1 << 20;
+};
+
+/// The PRIME labeling structure over one document.
+class PrimeLabeling {
+ public:
+  /// Stable node handle (index; nodes are never removed).
+  using NodeId = uint64_t;
+  static constexpr NodeId kNoNode = ~0ull;
+
+  explicit PrimeLabeling(PrimeLabelingOptions options = {});
+  PrimeLabeling(const PrimeLabeling&) = delete;
+  PrimeLabeling& operator=(const PrimeLabeling&) = delete;
+
+  /// Parses `text` (single-rooted) and labels every element. Replaces any
+  /// previous content. Node 0 is the document root element.
+  Status BuildFromDocument(std::string_view text);
+
+  /// Inserts one new leaf element with tag `name`, as a child of `parent`,
+  /// immediately after node `prev` in document order (`prev` may be the
+  /// parent itself to insert as its first child). Returns the new node.
+  Result<NodeId> InsertElement(std::string_view name, NodeId parent,
+                               NodeId prev);
+
+  /// Parses a fragment and inserts all its elements one by one (the way
+  /// PRIME must ingest a segment), the fragment root becoming a child of
+  /// `parent` placed right after `prev` in document order.
+  Result<NodeId> InsertFragment(std::string_view text, NodeId parent,
+                                NodeId prev);
+
+  /// True iff `a` is a proper ancestor of `d` — the divisibility test.
+  Result<bool> IsAncestor(NodeId a, NodeId d) const;
+
+  /// The node's rank within its group, recovered from the group's
+  /// simultaneous congruence: SC mod self-prime.
+  Result<uint64_t> GroupRank(NodeId n) const;
+
+  /// True iff `x` precedes `y` in document order (group seq, then rank).
+  Result<bool> Precedes(NodeId x, NodeId y) const;
+
+  /// The node's self prime.
+  Result<uint64_t> SelfPrime(NodeId n) const;
+
+  /// The node's full label (product along root path).
+  Result<const BigUint*> Label(NodeId n) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Label + SC-table heap footprint — the storage-overhead story the
+  /// paper tells about immutable schemes.
+  size_t MemoryBytes() const;
+
+  // -- Instrumentation (read by bench_fig17) --------------------------------
+  uint64_t crt_recomputations() const { return crt_recomputations_; }
+  uint64_t group_splits() const { return group_splits_; }
+  uint64_t seq_renumbers() const { return seq_renumbers_; }
+
+ private:
+  struct Group {
+    std::vector<NodeId> members;  // document order; rank = index + 1
+    BigUint sc;
+    uint64_t seq = 0;  // gap-spaced global ordering of groups
+  };
+  using GroupList = std::list<Group>;
+
+  struct Node {
+    uint64_t self_prime = 0;
+    BigUint label;
+    NodeId parent = kNoNode;
+    TagId tid = kInvalidTagId;
+    GroupList::iterator group;
+  };
+
+  Status RecomputeGroupSc(GroupList::iterator g);
+  Status SplitGroupIfNeeded(GroupList::iterator g);
+  void RenumberGroupSeqs();
+  uint64_t TakePrime();
+
+  PrimeLabelingOptions options_;
+  PrimeSupply primes_;
+  uint64_t first_usable_prime_ = 0;
+  TagDict dict_;
+  std::vector<Node> nodes_;
+  GroupList groups_;
+  uint64_t crt_recomputations_ = 0;
+  uint64_t group_splits_ = 0;
+  uint64_t seq_renumbers_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_LABELING_PRIME_LABELING_H_

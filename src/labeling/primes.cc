@@ -1,0 +1,43 @@
+#include "labeling/primes.h"
+
+#include <cmath>
+
+namespace lazyxml {
+
+std::vector<uint64_t> GeneratePrimes(size_t count) {
+  std::vector<uint64_t> primes;
+  if (count == 0) return primes;
+  primes.reserve(count);
+  // Upper bound on the n-th prime: n (ln n + ln ln n) for n >= 6.
+  size_t bound = 16;
+  if (count >= 6) {
+    const double n = static_cast<double>(count);
+    bound = static_cast<size_t>(n * (std::log(n) + std::log(std::log(n)))) + 8;
+  }
+  for (;;) {
+    std::vector<bool> composite(bound + 1, false);
+    primes.clear();
+    for (size_t i = 2; i <= bound && primes.size() < count; ++i) {
+      if (composite[i]) continue;
+      primes.push_back(i);
+      for (size_t j = i * i; j <= bound; j += i) composite[j] = true;
+    }
+    if (primes.size() >= count) return primes;
+    bound *= 2;  // Bound estimate too tight; retry larger.
+  }
+}
+
+uint64_t PrimeSupply::NextPrime() {
+  if (next_index_ >= primes_.size()) {
+    Extend(next_index_ + 1);
+  }
+  return primes_[next_index_++];
+}
+
+void PrimeSupply::Extend(size_t at_least) {
+  size_t target = primes_.size() == 0 ? 1024 : primes_.size() * 2;
+  if (target < at_least) target = at_least;
+  primes_ = GeneratePrimes(target);
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,37 @@
+// Prime generation for the PRIME labeling scheme.
+
+#ifndef LAZYXML_LABELING_PRIMES_H_
+#define LAZYXML_LABELING_PRIMES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lazyxml {
+
+/// Returns the first `count` primes (2, 3, 5, ...) via a segmentless
+/// Eratosthenes sieve with an over-approximated bound.
+std::vector<uint64_t> GeneratePrimes(size_t count);
+
+/// Incremental prime supply: NextPrime() hands out 2, 3, 5, ... extending
+/// the sieve on demand. Used by PrimeLabeling to label new nodes.
+class PrimeSupply {
+ public:
+  PrimeSupply() = default;
+
+  /// The next unused prime.
+  uint64_t NextPrime();
+
+  /// Number of primes handed out so far.
+  size_t consumed() const { return next_index_; }
+
+ private:
+  void Extend(size_t at_least);
+
+  std::vector<uint64_t> primes_;
+  size_t next_index_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_LABELING_PRIMES_H_

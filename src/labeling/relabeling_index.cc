@@ -1,0 +1,116 @@
+#include "labeling/relabeling_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+
+Status RelabelingIndex::BuildFromDocument(std::string_view text) {
+  tree_.Clear();
+  doc_len_ = 0;
+  ParseOptions opts;
+  opts.require_single_root = false;  // super documents are multi-rooted
+  auto parsed = ParseFragment(text, &dict_, opts);
+  if (!parsed.ok()) return parsed.status();
+  for (const ElementRecord& r : parsed.ValueOrDie().records) {
+    LAZYXML_RETURN_NOT_OK(
+        tree_.Insert(Key{r.tid, r.start}, Val{r.end, r.level}));
+  }
+  doc_len_ = text.size();
+  return Status::OK();
+}
+
+Status RelabelingIndex::InsertSegment(std::string_view text, uint64_t gp) {
+  if (gp > doc_len_) {
+    return Status::OutOfRange(
+        StringPrintf("insert position %llu beyond document length %llu",
+                     static_cast<unsigned long long>(gp),
+                     static_cast<unsigned long long>(doc_len_)));
+  }
+  // Depth of the insertion point: number of elements spanning gp.
+  uint32_t base_level = 0;
+  for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+    if (it.key().start < gp && it.value().end > gp) {
+      base_level = std::max(base_level, it.value().level);
+    }
+  }
+  ParseOptions opts;
+  opts.require_single_root = true;  // segments are valid documents
+  opts.base_offset = gp;
+  opts.base_level = base_level;
+  auto parsed = ParseFragment(text, &dict_, opts);
+  if (!parsed.ok()) return parsed.status();
+  const uint64_t len = text.size();
+
+  // The traditional cost: drain, relabel, rebuild. Shifting start offsets
+  // changes B+-tree keys, so the index cannot be patched in place.
+  std::vector<std::pair<Key, Val>> all;
+  all.reserve(tree_.size() + parsed.ValueOrDie().records.size());
+  for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+    Key k = it.key();
+    Val v = it.value();
+    if (k.start >= gp) {
+      k.start += len;
+      v.end += len;
+    } else if (v.end > gp) {
+      v.end += len;  // element spans the insertion point
+    }
+    all.emplace_back(k, v);
+  }
+  for (const ElementRecord& r : parsed.ValueOrDie().records) {
+    all.emplace_back(Key{r.tid, r.start}, Val{r.end, r.level});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  LAZYXML_RETURN_NOT_OK(tree_.BuildFrom(std::move(all)));
+  doc_len_ += len;
+  return Status::OK();
+}
+
+Status RelabelingIndex::RemoveSegment(uint64_t gp, uint64_t len) {
+  if (gp + len > doc_len_) {
+    return Status::OutOfRange("removal region beyond document");
+  }
+  const uint64_t hi = gp + len;
+  std::vector<std::pair<Key, Val>> kept;
+  kept.reserve(tree_.size());
+  for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+    Key k = it.key();
+    Val v = it.value();
+    const bool inside = k.start >= gp && v.end <= hi;
+    if (inside) continue;
+    const bool straddles_left = k.start < gp && v.end > gp && v.end <= hi;
+    const bool straddles_right = k.start >= gp && k.start < hi && v.end > hi;
+    if (straddles_left || straddles_right) {
+      return Status::Corruption(
+          "removal region splits an element; document would be malformed");
+    }
+    if (k.start >= hi) {
+      k.start -= len;
+      v.end -= len;
+    } else if (v.end >= hi) {
+      v.end -= len;  // element spans the whole removed region
+    }
+    kept.emplace_back(k, v);
+  }
+  LAZYXML_RETURN_NOT_OK(tree_.BuildFrom(std::move(kept)));
+  doc_len_ -= len;
+  return Status::OK();
+}
+
+Result<std::vector<GlobalElement>> RelabelingIndex::GetElements(
+    std::string_view name) const {
+  LAZYXML_ASSIGN_OR_RETURN(TagId tid, dict_.Lookup(name));
+  std::vector<GlobalElement> out;
+  const Key lo{tid, 0};
+  const Key hi{tid + 1, 0};
+  tree_.ScanRange(lo, hi, [&out](const Key& k, Val& v) {
+    out.push_back(GlobalElement{k.start, v.end, v.level});
+    return true;
+  });
+  return out;
+}
+
+}  // namespace lazyxml

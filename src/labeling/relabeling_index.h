@@ -1,0 +1,79 @@
+// RelabelingIndex: the "traditional approach" baseline of Fig. 16 —
+// elements labeled by their (global start, global end, level) region, kept
+// in a B+-tree keyed (tid, start). Inserting a segment at position gp
+// forces every record at or after gp to be relabeled (+len), i.e. the
+// index is rebuilt — exactly the cost the lazy scheme exists to avoid.
+
+#ifndef LAZYXML_LABELING_RELABELING_INDEX_H_
+#define LAZYXML_LABELING_RELABELING_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "join/global_element.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// Eagerly-relabeled global element index (traditional region labeling).
+class RelabelingIndex {
+ public:
+  RelabelingIndex() = default;
+
+  /// Parses `text` and indexes every element with global positions.
+  /// Replaces any previous content.
+  Status BuildFromDocument(std::string_view text);
+
+  /// Inserts a well-formed fragment at global position `gp`: parses it,
+  /// shifts the labels of every existing element at/after `gp` by the
+  /// fragment length (and the end labels of elements spanning `gp`), then
+  /// adds the fragment's elements. O(total elements) by design — this is
+  /// the baseline cost being measured.
+  Status InsertSegment(std::string_view text, uint64_t gp);
+
+  /// Removes the region [gp, gp+len): deletes elements fully inside it and
+  /// shifts labels of later elements left. Elements straddling the region
+  /// boundary make the removal invalid (Corruption).
+  Status RemoveSegment(uint64_t gp, uint64_t len);
+
+  /// All elements with tag `name`, in global document order.
+  Result<std::vector<GlobalElement>> GetElements(std::string_view name) const;
+
+  /// Number of indexed elements.
+  size_t size() const { return tree_.size(); }
+
+  /// Total document length in characters tracked so far.
+  uint64_t document_length() const { return doc_len_; }
+
+  const TagDict& tag_dict() const { return dict_; }
+
+  /// Approximate index heap footprint.
+  size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+
+ private:
+  struct Key {
+    TagId tid;
+    uint64_t start;
+    bool operator<(const Key& o) const {
+      return std::tie(tid, start) < std::tie(o.tid, o.start);
+    }
+  };
+  struct Val {
+    uint64_t end;
+    uint32_t level;
+  };
+
+  using Tree = BTree<Key, Val>;
+
+  Tree tree_;
+  TagDict dict_;
+  uint64_t doc_len_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_LABELING_RELABELING_INDEX_H_

@@ -1,0 +1,48 @@
+// ElementRecord: the positional label of one element.
+//
+// Positions are byte offsets in the text the element was parsed from. In
+// the lazy scheme those offsets are *local* to the segment and frozen at
+// insertion time (paper §3.4: key = (tid, sid, start, end, LevelNum)); in
+// the baselines they are global and mutable.
+
+#ifndef LAZYXML_XML_ELEMENT_RECORD_H_
+#define LAZYXML_XML_ELEMENT_RECORD_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// One element's positional label.
+///
+/// `start` is the offset of the '<' of the start tag; `end` is the offset
+/// one past the '>' of the end tag (or of the self-closing tag). An element
+/// a contains b iff a.start < b.start && a.end > b.end — simple integer
+/// comparisons, the property interval labeling exists for.
+struct ElementRecord {
+  TagId tid = kInvalidTagId;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint32_t level = 0;  ///< Depth; the outermost parsed element has level 1.
+
+  /// Containment test (strict ancestor-of).
+  bool Contains(const ElementRecord& other) const {
+    return start < other.start && end > other.end;
+  }
+
+  /// Document-order comparison (by start offset; ancestors sort before
+  /// their descendants, which matches preorder).
+  bool operator<(const ElementRecord& other) const {
+    return std::tie(start, end) < std::tie(other.start, other.end);
+  }
+  bool operator==(const ElementRecord& other) const {
+    return tid == other.tid && start == other.start && end == other.end &&
+           level == other.level;
+  }
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XML_ELEMENT_RECORD_H_

@@ -1,0 +1,131 @@
+#include "xml/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "xml/scanner.h"
+
+namespace lazyxml {
+
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
+                                     const ParseOptions& options) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("ParseFragment: null dictionary");
+  }
+  ParsedFragment out;
+  XmlScanner scanner(text, options.base_offset);
+
+  // Open-element stack: index into out.records plus the tag name bytes for
+  // the end-tag match (names alias `text`, which outlives the parse).
+  struct Open {
+    size_t record_index;
+    std::string_view name;
+  };
+  std::vector<Open> stack;
+
+  for (;;) {
+    LAZYXML_ASSIGN_OR_RETURN(XmlToken tok, scanner.Next());
+    if (tok.kind == XmlTokenKind::kEndOfInput) break;
+    switch (tok.kind) {
+      case XmlTokenKind::kStartTag:
+      case XmlTokenKind::kEmptyTag: {
+        if (stack.size() >= options.max_depth) {
+          return Status::ParseError(
+              StringPrintf("maximum depth %u exceeded", options.max_depth));
+        }
+        ElementRecord rec;
+        rec.tid = dict->Intern(tok.name);
+        rec.start = tok.begin;
+        rec.level =
+            options.base_level + static_cast<uint32_t>(stack.size()) + 1;
+        out.max_level = std::max(out.max_level, rec.level);
+        if (stack.empty()) {
+          ++out.root_count;
+          if (options.require_single_root && out.root_count > 1) {
+            return Status::ParseError("multiple top-level elements");
+          }
+        }
+        out.records.push_back(rec);
+        if (tok.kind == XmlTokenKind::kEmptyTag) {
+          out.records.back().end = tok.end;
+        } else {
+          stack.push_back(Open{out.records.size() - 1, tok.name});
+        }
+        break;
+      }
+      case XmlTokenKind::kEndTag: {
+        if (stack.empty()) {
+          return Status::ParseError(
+              StringPrintf("unmatched end tag </%.*s>",
+                           static_cast<int>(tok.name.size()),
+                           tok.name.data()));
+        }
+        if (stack.back().name != tok.name) {
+          return Status::ParseError(StringPrintf(
+              "mismatched end tag: expected </%.*s>, found </%.*s>",
+              static_cast<int>(stack.back().name.size()),
+              stack.back().name.data(), static_cast<int>(tok.name.size()),
+              tok.name.data()));
+        }
+        out.records[stack.back().record_index].end = tok.end;
+        stack.pop_back();
+        break;
+      }
+      case XmlTokenKind::kText: {
+        if (stack.empty() && !options.allow_top_level_text) {
+          const uint64_t local_begin = tok.begin - options.base_offset;
+          const std::string_view content =
+              text.substr(static_cast<size_t>(local_begin),
+                          static_cast<size_t>(tok.end - tok.begin));
+          if (!IsAllWhitespace(content)) {
+            return Status::ParseError("character data outside any element");
+          }
+        }
+        break;
+      }
+      case XmlTokenKind::kComment:
+      case XmlTokenKind::kProcessing:
+      case XmlTokenKind::kDoctype:
+      case XmlTokenKind::kCData:
+        break;  // Structure-irrelevant; positions don't index into these.
+      case XmlTokenKind::kEndOfInput:
+        break;  // unreachable
+    }
+  }
+  if (!stack.empty()) {
+    return Status::ParseError(
+        StringPrintf("%zu unclosed element(s); first is <%.*s>", stack.size(),
+                     static_cast<int>(stack.back().name.size()),
+                     stack.back().name.data()));
+  }
+
+  // Records were appended in start-tag order == ascending start offset ==
+  // document order; no sort needed. Collect the distinct tags.
+  out.distinct_tags.reserve(8);
+  for (const ElementRecord& r : out.records) out.distinct_tags.push_back(r.tid);
+  std::sort(out.distinct_tags.begin(), out.distinct_tags.end());
+  out.distinct_tags.erase(
+      std::unique(out.distinct_tags.begin(), out.distinct_tags.end()),
+      out.distinct_tags.end());
+  return out;
+}
+
+bool IsWellFormedDocument(std::string_view text) {
+  TagDict dict;
+  ParseOptions opts;
+  opts.require_single_root = true;
+  return ParseFragment(text, &dict, opts).ok();
+}
+
+}  // namespace lazyxml

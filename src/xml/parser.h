@@ -1,0 +1,72 @@
+// Document/fragment parser: turns XML text into positional ElementRecords
+// (byte-accurate start/end offsets + depth), checking well-formedness.
+//
+// This is what runs when a segment is inserted: the segment text is parsed
+// once, its records go to the element index with *local* offsets, and its
+// distinct tags go to the tag-list (paper §3.3–3.4).
+
+#ifndef LAZYXML_XML_PARSER_H_
+#define LAZYXML_XML_PARSER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/element_record.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// Parser knobs.
+struct ParseOptions {
+  /// When false, a fragment with more than one top-level element is a
+  /// ParseError. Segments in the paper are valid documents (single root),
+  /// but the super document body is naturally multi-rooted.
+  bool require_single_root = false;
+
+  /// When false, non-whitespace character data outside any element is a
+  /// ParseError.
+  bool allow_top_level_text = false;
+
+  /// Nesting guard against pathological inputs. The parser itself is
+  /// iterative (its stack is a vector), so this can be generous; deeply
+  /// nested ER-tree experiments chain tens of thousands of elements.
+  uint32_t max_depth = 1 << 20;
+
+  /// Added to every element's level: the depth of the insertion point in
+  /// the super document, so segment records carry absolute LevelNum
+  /// (paper §3.4).
+  uint32_t base_level = 0;
+
+  /// Added to every element's start/end offset.
+  uint64_t base_offset = 0;
+};
+
+/// Result of parsing one document or fragment.
+struct ParsedFragment {
+  /// Records in document order (ascending start offset).
+  std::vector<ElementRecord> records;
+  /// Number of top-level elements.
+  uint32_t root_count = 0;
+  /// Deepest element level encountered (includes base_level).
+  uint32_t max_level = 0;
+  /// Distinct tag ids present, ascending.
+  std::vector<TagId> distinct_tags;
+};
+
+/// Parses `text`, interning tag names into `dict`.
+///
+/// Checks: tags balanced and properly nested, names valid, markup
+/// terminated, depth bounded, root arity per options. Positions reported
+/// are `base_offset`-shifted byte offsets into `text`.
+Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
+                                     const ParseOptions& options = {});
+
+/// Convenience: true iff `text` parses as a well-formed single-rooted
+/// document.
+bool IsWellFormedDocument(std::string_view text);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XML_PARSER_H_

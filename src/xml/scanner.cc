@@ -1,0 +1,166 @@
+#include "xml/scanner.h"
+
+#include "common/strings.h"
+
+namespace lazyxml {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+Result<XmlToken> XmlScanner::Next() {
+  if (pos_ >= text_.size()) {
+    if (done_) {
+      return Status::ParseError("scan past end of input");
+    }
+    done_ = true;
+    XmlToken t;
+    t.kind = XmlTokenKind::kEndOfInput;
+    t.begin = t.end = base_ + pos_;
+    return t;
+  }
+  if (text_[pos_] == '<') return ScanMarkup();
+  // Character data up to the next '<' or end of input.
+  XmlToken t;
+  t.kind = XmlTokenKind::kText;
+  t.begin = base_ + pos_;
+  while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+  t.end = base_ + pos_;
+  return t;
+}
+
+Result<XmlToken> XmlScanner::ScanMarkup() {
+  const uint64_t start = pos_;
+  // pos_ points at '<'.
+  if (pos_ + 1 >= text_.size()) {
+    return Status::ParseError(
+        StringPrintf("dangling '<' at offset %llu",
+                     static_cast<unsigned long long>(base_ + pos_)));
+  }
+  const char c = text_[pos_ + 1];
+  if (c == '?') {
+    // Processing instruction: scan to "?>".
+    size_t close = text_.find("?>", pos_ + 2);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated processing instruction");
+    }
+    XmlToken t;
+    t.kind = XmlTokenKind::kProcessing;
+    t.begin = base_ + start;
+    pos_ = close + 2;
+    t.end = base_ + pos_;
+    return t;
+  }
+  if (c == '!') {
+    if (text_.substr(pos_, 4) == "<!--") {
+      size_t close = text_.find("-->", pos_ + 4);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated comment");
+      }
+      XmlToken t;
+      t.kind = XmlTokenKind::kComment;
+      t.begin = base_ + start;
+      pos_ = close + 3;
+      t.end = base_ + pos_;
+      return t;
+    }
+    if (text_.substr(pos_, 9) == "<![CDATA[") {
+      size_t close = text_.find("]]>", pos_ + 9);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated CDATA section");
+      }
+      XmlToken t;
+      t.kind = XmlTokenKind::kCData;
+      t.begin = base_ + start;
+      pos_ = close + 3;
+      t.end = base_ + pos_;
+      return t;
+    }
+    // <!DOCTYPE ...> or other declaration: scan to matching '>' honoring
+    // nested '[' ... ']' internal subsets.
+    size_t p = pos_ + 2;
+    int bracket_depth = 0;
+    while (p < text_.size()) {
+      if (text_[p] == '[') ++bracket_depth;
+      if (text_[p] == ']') --bracket_depth;
+      if (text_[p] == '>' && bracket_depth <= 0) break;
+      ++p;
+    }
+    if (p >= text_.size()) {
+      return Status::ParseError("unterminated <! declaration");
+    }
+    XmlToken t;
+    t.kind = XmlTokenKind::kDoctype;
+    t.begin = base_ + start;
+    pos_ = p + 1;
+    t.end = base_ + pos_;
+    return t;
+  }
+  return ScanTag();
+}
+
+Result<XmlToken> XmlScanner::ScanTag() {
+  const uint64_t start = pos_;
+  size_t p = pos_ + 1;
+  const bool is_end_tag = p < text_.size() && text_[p] == '/';
+  if (is_end_tag) ++p;
+  if (p >= text_.size() || !IsNameStartChar(text_[p])) {
+    return Status::ParseError(
+        StringPrintf("invalid tag name at offset %llu",
+                     static_cast<unsigned long long>(base_ + p)));
+  }
+  const size_t name_begin = p;
+  while (p < text_.size() && IsNameChar(text_[p])) ++p;
+  const std::string_view name = text_.substr(name_begin, p - name_begin);
+  // Scan attributes/whitespace until '>'; quoted values may contain '>'.
+  bool self_closing = false;
+  while (p < text_.size()) {
+    const char c = text_[p];
+    if (c == '"' || c == '\'') {
+      size_t close = text_.find(c, p + 1);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated attribute value");
+      }
+      p = close + 1;
+      continue;
+    }
+    if (c == '/' && p + 1 < text_.size() && text_[p + 1] == '>') {
+      self_closing = true;
+      p += 2;
+      break;
+    }
+    if (c == '>') {
+      ++p;
+      break;
+    }
+    if (c == '<') {
+      return Status::ParseError(
+          StringPrintf("'<' inside tag at offset %llu",
+                       static_cast<unsigned long long>(base_ + p)));
+    }
+    ++p;
+  }
+  if (p > text_.size() ||
+      (text_[p - 1] != '>')) {
+    return Status::ParseError("unterminated tag");
+  }
+  if (is_end_tag && self_closing) {
+    return Status::ParseError("'</name/>' is not a valid tag");
+  }
+  XmlToken t;
+  t.kind = is_end_tag ? XmlTokenKind::kEndTag
+                      : (self_closing ? XmlTokenKind::kEmptyTag
+                                      : XmlTokenKind::kStartTag);
+  t.name = name;
+  t.begin = base_ + start;
+  pos_ = p;
+  t.end = base_ + pos_;
+  return t;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,75 @@
+// XmlScanner: a pull (StAX-style) tokenizer over XML text.
+//
+// Non-validating, namespace-oblivious, entity-oblivious — the lazy scheme
+// only needs tag names and byte-accurate tag boundaries. Attributes are
+// scanned over but not materialized (the paper treats attributes as
+// subelements; generators here emit subelements directly).
+
+#ifndef LAZYXML_XML_SCANNER_H_
+#define LAZYXML_XML_SCANNER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Token kinds produced by XmlScanner.
+enum class XmlTokenKind {
+  kStartTag,     ///< <name ...>   (self_closing == false)
+  kEmptyTag,     ///< <name ... /> (a start+end in one token)
+  kEndTag,       ///< </name>
+  kText,         ///< character data between tags
+  kComment,      ///< <!-- ... -->
+  kProcessing,   ///< <? ... ?>
+  kDoctype,      ///< <!DOCTYPE ...> (also any other <!...> construct)
+  kCData,        ///< <![CDATA[ ... ]]>
+  kEndOfInput,
+};
+
+/// One scanned token. `name` is only meaningful for tag tokens; `begin` /
+/// `end` are byte offsets of the whole token in the input.
+struct XmlToken {
+  XmlTokenKind kind = XmlTokenKind::kEndOfInput;
+  std::string_view name;  ///< tag name for Start/Empty/End tags
+  uint64_t begin = 0;     ///< offset of the first byte of the token
+  uint64_t end = 0;       ///< offset one past the last byte of the token
+};
+
+/// Streaming tokenizer. The input view must outlive the scanner; returned
+/// token names alias the input.
+class XmlScanner {
+ public:
+  /// Scans `text` from offset 0. `base_offset` is added to every reported
+  /// position, so a segment can be scanned in its local coordinates while
+  /// reporting super-document positions (or vice versa).
+  explicit XmlScanner(std::string_view text, uint64_t base_offset = 0)
+      : text_(text), base_(base_offset) {}
+
+  /// Produces the next token, or ParseError on malformed markup.
+  /// kEndOfInput is returned exactly once at the end.
+  Result<XmlToken> Next();
+
+  /// Byte offset of the scan cursor (without base offset).
+  uint64_t cursor() const { return pos_; }
+
+ private:
+  Result<XmlToken> ScanMarkup();
+  Result<XmlToken> ScanTag();
+
+  std::string_view text_;
+  uint64_t base_;
+  uint64_t pos_ = 0;
+  bool done_ = false;
+};
+
+/// True for characters allowed to start an XML name (ASCII subset).
+bool IsNameStartChar(char c);
+
+/// True for characters allowed inside an XML name (ASCII subset).
+bool IsNameChar(char c);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XML_SCANNER_H_

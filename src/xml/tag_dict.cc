@@ -1,0 +1,34 @@
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+TagId TagDict::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const TagId tid = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), tid);
+  return tid;
+}
+
+Result<TagId> TagDict::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown tag: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string_view TagDict::Name(TagId tid) const {
+  if (tid >= names_.size()) return {};
+  return names_[tid];
+}
+
+size_t TagDict::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& n : names_) bytes += n.capacity() + sizeof(std::string);
+  bytes += ids_.size() * (sizeof(std::string) + sizeof(TagId) + 16);
+  return bytes;
+}
+
+}  // namespace lazyxml

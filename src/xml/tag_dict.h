@@ -1,0 +1,54 @@
+// Tag dictionary: interns element names to dense integer tag ids (tid).
+// The element index and the tag-list key everything by tid (paper §3.2,
+// §3.4); names appear only at the API boundary.
+
+#ifndef LAZYXML_XML_TAG_DICT_H_
+#define LAZYXML_XML_TAG_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Dense integer identifier for an element tag name.
+using TagId = uint32_t;
+
+/// Sentinel for "no tag".
+inline constexpr TagId kInvalidTagId = 0xffffffffu;
+
+/// Bidirectional tag-name <-> TagId map. Ids are assigned densely from 0 in
+/// first-seen order and never recycled.
+class TagDict {
+ public:
+  TagDict() = default;
+  TagDict(const TagDict&) = delete;
+  TagDict& operator=(const TagDict&) = delete;
+
+  /// Returns the id for `name`, interning it if new.
+  TagId Intern(std::string_view name);
+
+  /// Returns the id for `name`; NotFound if it was never interned.
+  Result<TagId> Lookup(std::string_view name) const;
+
+  /// The name for an id; empty view for out-of-range ids.
+  std::string_view Name(TagId tid) const;
+
+  /// Number of distinct tags (the paper's T).
+  size_t size() const { return names_.size(); }
+
+  /// Approximate heap footprint.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, TagId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XML_TAG_DICT_H_

@@ -1,0 +1,162 @@
+#include "xmlgen/chopper.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+
+namespace {
+
+Result<ChopPlan> ChopBalanced(std::string_view doc,
+                              const std::vector<ElementRecord>& records,
+                              uint32_t num_segments, bool allow_fewer) {
+  const uint32_t carve_target = num_segments - 1;
+  const ElementRecord& root = records.front();
+  // Greedy disjoint pick of preorder subtrees near doc_size/K bytes,
+  // relaxing the size cap until enough candidates exist.
+  uint64_t cap = std::max<uint64_t>(doc.size() / num_segments, 16) * 2;
+  std::vector<const ElementRecord*> picked;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    picked.clear();
+    uint64_t next_free = root.start + 1;  // strictly inside the root
+    for (const ElementRecord& r : records) {
+      if (&r == &root) continue;
+      if (r.start < next_free) continue;
+      if (r.end >= root.end) continue;
+      const uint64_t size = r.end - r.start;
+      if (size > cap) continue;
+      picked.push_back(&r);
+      next_free = r.end;
+      if (picked.size() == carve_target) break;
+    }
+    if (picked.size() == carve_target) break;
+    cap *= 2;
+    if (cap > doc.size()) {
+      // Even whole-sibling subtrees don't suffice; give up below.
+      if (attempt > 4 && picked.size() < carve_target) break;
+    }
+  }
+  if (picked.size() < carve_target && !(allow_fewer && !picked.empty())) {
+    return Status::InvalidArgument(StringPrintf(
+        "document has too few disjoint subtrees for %u balanced segments",
+        num_segments));
+  }
+
+  ChopPlan plan;
+  // Top segment: the document minus the carved byte ranges.
+  std::string top;
+  top.reserve(doc.size());
+  uint64_t cursor = 0;
+  for (const ElementRecord* r : picked) {
+    top.append(doc.substr(cursor, r->start - cursor));
+    cursor = r->end;
+  }
+  top.append(doc.substr(cursor));
+  plan.insertions.push_back(SegmentInsertion{std::move(top), 0});
+  // Carved subtrees in document order: with all earlier ones re-inserted
+  // and all later ones still missing (they start after this one ends),
+  // each goes back at its original offset.
+  for (const ElementRecord* r : picked) {
+    plan.insertions.push_back(SegmentInsertion{
+        std::string(doc.substr(r->start, r->end - r->start)), r->start});
+  }
+  return plan;
+}
+
+Result<ChopPlan> ChopNested(std::string_view doc,
+                            const std::vector<ElementRecord>& records,
+                            uint32_t num_segments, bool allow_fewer) {
+  // Deepest root-to-leaf element chain.
+  size_t deepest = 0;
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].level > records[deepest].level) deepest = i;
+  }
+  // Ancestors of the deepest element, outermost first (preorder: every
+  // ancestor precedes it and spans it).
+  std::vector<const ElementRecord*> chain;
+  for (size_t i = 0; i <= deepest; ++i) {
+    if (records[i].start <= records[deepest].start &&
+        records[i].end >= records[deepest].end) {
+      chain.push_back(&records[i]);
+    }
+  }
+  // chain[0] is the document root element; cuts must be strictly inside,
+  // so K-1 cut elements come from chain[1..].
+  if (chain.size() < num_segments) {
+    if (!allow_fewer || chain.size() < 2) {
+      return Status::InvalidArgument(StringPrintf(
+          "document depth %zu cannot support %u nested segments "
+          "(generate with spine_depth >= num_segments)",
+          chain.size(), num_segments));
+    }
+    num_segments = static_cast<uint32_t>(chain.size());
+  }
+  // Pick K-1 cut elements spread evenly along the chain below the root.
+  std::vector<const ElementRecord*> cuts;
+  const size_t avail = chain.size() - 1;
+  const uint32_t need = num_segments - 1;
+  for (uint32_t i = 0; i < need; ++i) {
+    const size_t idx = 1 + (static_cast<size_t>(i) * avail) / need;
+    cuts.push_back(chain[idx]);
+  }
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.size() != need) {
+    return Status::Internal("nested chop picked duplicate cut elements");
+  }
+
+  ChopPlan plan;
+  // Segment i = (enclosing region) minus (next cut's bytes); the last
+  // segment is the innermost cut whole.
+  uint64_t region_start = 0;
+  uint64_t region_end = doc.size();
+  for (uint32_t i = 0; i <= need; ++i) {
+    std::string text;
+    if (i < need) {
+      const ElementRecord* cut = cuts[i];
+      text.append(doc.substr(region_start, cut->start - region_start));
+      text.append(doc.substr(cut->end, region_end - cut->end));
+      plan.insertions.push_back(SegmentInsertion{std::move(text),
+                                                 region_start});
+      region_start = cut->start;
+      region_end = cut->end;
+    } else {
+      text.assign(doc.substr(region_start, region_end - region_start));
+      plan.insertions.push_back(SegmentInsertion{std::move(text),
+                                                 region_start});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<ChopPlan> BuildChopPlan(std::string_view document,
+                               const ChopConfig& config) {
+  if (config.num_segments < 2) {
+    return Status::InvalidArgument("need at least 2 segments");
+  }
+  TagDict dict;
+  ParseOptions opts;
+  opts.require_single_root = true;
+  auto parsed = ParseFragment(document, &dict, opts);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("chopping document");
+  }
+  const auto& records = parsed.ValueOrDie().records;
+  if (records.empty()) {
+    return Status::InvalidArgument("cannot chop an empty document");
+  }
+  switch (config.shape) {
+    case ErTreeShape::kBalanced:
+      return ChopBalanced(document, records, config.num_segments,
+                          config.allow_fewer);
+    case ErTreeShape::kNested:
+      return ChopNested(document, records, config.num_segments,
+                        config.allow_fewer);
+  }
+  return Status::InvalidArgument("unknown chop shape");
+}
+
+}  // namespace lazyxml

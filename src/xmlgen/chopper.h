@@ -1,0 +1,55 @@
+// Chopper: splits one XML document into a sequence of segment insertions
+// that reconstruct it, with a chosen ER-tree shape (paper §5.1: "we
+// chopped the data sets into many small segments and inserted these
+// segments into an initially dummy XML document").
+//
+//  * balanced: one big top segment plus K-1 disjoint element subtrees
+//    carved out and re-inserted as its children (a star — the paper's
+//    "more reasonable real situation");
+//  * nested: a root-to-leaf chain of K nested element subtrees, each
+//    segment directly containing the next (the paper's worst case; the
+//    document must be at least K deep — see SyntheticConfig::spine_depth).
+
+#ifndef LAZYXML_XMLGEN_CHOPPER_H_
+#define LAZYXML_XMLGEN_CHOPPER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xmlgen/join_workload.h"
+
+namespace lazyxml {
+
+/// Chopper knobs.
+struct ChopConfig {
+  /// Number of segments to produce (>= 2).
+  uint32_t num_segments = 50;
+  ErTreeShape shape = ErTreeShape::kBalanced;
+  /// When true, a document that cannot support `num_segments` (e.g. a
+  /// shallow document under a nested chop) yields as many segments as it
+  /// can instead of failing.
+  bool allow_fewer = false;
+};
+
+/// The insertion plan plus what was achieved.
+struct ChopPlan {
+  /// Apply in order (each gp is valid at its own insertion time).
+  std::vector<SegmentInsertion> insertions;
+
+  /// Segments actually produced (== config unless allow_fewer kicked in).
+  uint32_t num_segments() const {
+    return static_cast<uint32_t>(insertions.size());
+  }
+};
+
+/// Builds a chop plan for `document` (must be well-formed,
+/// single-rooted). Fails if the document cannot support the requested
+/// shape (e.g. nested chop deeper than the document).
+Result<ChopPlan> BuildChopPlan(std::string_view document,
+                               const ChopConfig& config);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XMLGEN_CHOPPER_H_

@@ -1,0 +1,82 @@
+// SyntheticGenerator: controllable random XML documents.
+//
+// Replaces the IBM AlphaWorks XML Generator the paper used for its
+// synthetic datasets (the tool is no longer distributed). The paper only
+// needs documents "with the characteristics we need" — controlled element
+// counts, tag alphabets, nesting depth and segment-friendly shapes — all of
+// which are direct knobs here. Deterministic given the seed.
+
+#ifndef LAZYXML_XMLGEN_SYNTHETIC_GENERATOR_H_
+#define LAZYXML_XMLGEN_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Knobs for SyntheticGenerator.
+struct SyntheticConfig {
+  /// PRNG seed; identical configs+seeds produce identical documents.
+  uint64_t seed = 42;
+
+  /// Approximate number of elements to emit (the generator stops opening
+  /// new elements once reached; the actual count may exceed by at most the
+  /// current open path). Must be >= 1.
+  uint64_t target_elements = 1000;
+
+  /// Distinct tag names (t0, t1, ...). Must be >= 1.
+  uint32_t num_tags = 8;
+
+  /// Tag selection skew (0 = uniform; larger = more skew toward t0).
+  double tag_skew = 0.0;
+
+  /// Maximum element nesting depth (>= 1).
+  uint32_t max_depth = 12;
+
+  /// Children per element drawn uniformly from [min_fanout, max_fanout].
+  uint32_t min_fanout = 1;
+  uint32_t max_fanout = 5;
+
+  /// Probability that an element carries character content.
+  double text_probability = 0.5;
+
+  /// Character-content length drawn uniformly from [min, max].
+  uint32_t min_text_len = 5;
+  uint32_t max_text_len = 40;
+
+  /// Name of the single root element.
+  std::string root_tag = "root";
+
+  /// When > 0, the document additionally contains a "spine": a chain of
+  /// `spine_depth` nested elements (tag "spine") hanging under the root,
+  /// each carrying a little sibling content. Needed to chop a document
+  /// into a deeply *nested* ER-tree (paper §5: nested vs balanced).
+  uint32_t spine_depth = 0;
+};
+
+/// Generates random XML documents per a SyntheticConfig.
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(SyntheticConfig config);
+
+  /// Produces one well-formed single-rooted document. Each call advances
+  /// the PRNG, so successive calls give different documents.
+  Result<std::string> Generate();
+
+ private:
+  void EmitElement(std::string* out, uint32_t depth, uint64_t* remaining);
+  void EmitSpine(std::string* out, uint32_t levels);
+  std::string PickTag();
+  void EmitText(std::string* out);
+
+  SyntheticConfig config_;
+  Random rng_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XMLGEN_SYNTHETIC_GENERATOR_H_

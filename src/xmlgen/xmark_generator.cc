@@ -1,0 +1,277 @@
+#include "xmlgen/xmark_generator.h"
+
+#include "common/strings.h"
+
+namespace lazyxml {
+
+namespace {
+
+// A tiny word list in the spirit of xmlgen's Shakespeare excerpts.
+constexpr const char* kWords[] = {
+    "auction",  "gold",    "silver",   "vintage", "rare",   "estate",
+    "antique",  "modern",  "classic",  "mint",    "signed", "original",
+    "limited",  "edition", "preceded", "summer",  "winter", "harvest",
+    "northern", "quiet",   "bright",   "amber",   "cobalt", "ivory"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kFirstNames[] = {"Ada",   "Ben",  "Chen", "Dana",
+                                       "Eli",   "Fumi", "Gita", "Hugo",
+                                       "Ines",  "Jun",  "Kofi", "Lena"};
+constexpr const char* kLastNames[] = {"Moreau", "Nakata", "Okafor", "Petrov",
+                                      "Quint",  "Rossi",  "Silva",  "Tanaka",
+                                      "Ueda",   "Varga",  "Weiss",  "Xu"};
+constexpr const char* kCities[] = {"Genova", "Singapore", "Shanghai",
+                                   "Baltimore", "Lisbon", "Kyoto"};
+constexpr const char* kCountries[] = {"Italy", "Singapore", "China",
+                                      "United States", "Portugal", "Japan"};
+
+}  // namespace
+
+XMarkGenerator::XMarkGenerator(XMarkConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+void XMarkGenerator::EmitWords(std::string* out, uint32_t min_words,
+                               uint32_t max_words) {
+  const uint32_t n =
+      static_cast<uint32_t>(rng_.UniformRange(min_words, max_words));
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(kWords[rng_.Uniform(kNumWords)]);
+  }
+}
+
+double XMarkGenerator::MeanElementsPerPerson() const {
+  const double phones =
+      (config_.min_phones + config_.max_phones) / 2.0;
+  const double interests =
+      (config_.min_interests + config_.max_interests) / 2.0;
+  const double watches =
+      (config_.min_watches + config_.max_watches) / 2.0;
+  // person + name + emailaddress + address(5) + phones
+  //  + profile_probability * (profile + interests + business + age)
+  //  + watches_probability * (watches + watch*)
+  return 1 + 1 + 1 + 5 + phones +
+         config_.profile_probability * (1 + interests + 2) +
+         config_.watches_probability * (1 + watches);
+}
+
+void XMarkGenerator::EmitPerson(std::string* out, uint32_t id) {
+  out->append(StringPrintf("<person id=\"person%u\">", id));
+  out->append("<name>");
+  out->append(kFirstNames[rng_.Uniform(12)]);
+  out->push_back(' ');
+  out->append(kLastNames[rng_.Uniform(12)]);
+  out->append("</name>");
+  out->append(StringPrintf("<emailaddress>mailto:p%u@example.net"
+                           "</emailaddress>",
+                           id));
+  const uint32_t phones = static_cast<uint32_t>(
+      rng_.UniformRange(config_.min_phones, config_.max_phones));
+  for (uint32_t i = 0; i < phones; ++i) {
+    out->append(StringPrintf("<phone>+%llu (%llu) %llu</phone>",
+                             static_cast<unsigned long long>(rng_.Uniform(99)),
+                             static_cast<unsigned long long>(rng_.Uniform(999)),
+                             static_cast<unsigned long long>(
+                                 rng_.Uniform(9999999) + 1000000)));
+  }
+  const size_t city = rng_.Uniform(6);
+  out->append("<address>");
+  out->append(StringPrintf("<street>%llu ",
+                           static_cast<unsigned long long>(
+                               rng_.Uniform(99) + 1)));
+  EmitWords(out, 1, 2);
+  out->append(" St</street>");
+  out->append("<city>").append(kCities[city]).append("</city>");
+  out->append("<country>").append(kCountries[city]).append("</country>");
+  out->append(StringPrintf("<zipcode>%llu</zipcode>",
+                           static_cast<unsigned long long>(
+                               rng_.Uniform(89999) + 10000)));
+  out->append("</address>");
+  if (rng_.Bernoulli(config_.profile_probability)) {
+    out->append(StringPrintf("<profile income=\"%.2f\">",
+                             20000.0 + rng_.NextDouble() * 80000.0));
+    const uint32_t interests = static_cast<uint32_t>(
+        rng_.UniformRange(config_.min_interests, config_.max_interests));
+    for (uint32_t i = 0; i < interests; ++i) {
+      out->append(StringPrintf(
+          "<interest category=\"category%llu\"/>",
+          static_cast<unsigned long long>(
+              rng_.Uniform(config_.num_categories ? config_.num_categories
+                                                  : 1))));
+    }
+    out->append("<business>");
+    out->append(rng_.Bernoulli(0.3) ? "Yes" : "No");
+    out->append("</business>");
+    out->append(StringPrintf("<age>%llu</age>",
+                             static_cast<unsigned long long>(
+                                 rng_.Uniform(60) + 18)));
+    out->append("</profile>");
+  }
+  if (rng_.Bernoulli(config_.watches_probability)) {
+    out->append("<watches>");
+    const uint32_t watches = static_cast<uint32_t>(
+        rng_.UniformRange(config_.min_watches, config_.max_watches));
+    for (uint32_t i = 0; i < watches; ++i) {
+      out->append(StringPrintf(
+          "<watch open_auction=\"open_auction%llu\"/>",
+          static_cast<unsigned long long>(
+              rng_.Uniform(config_.num_open_auctions
+                               ? config_.num_open_auctions
+                               : 1))));
+    }
+    out->append("</watches>");
+  }
+  out->append("</person>");
+}
+
+void XMarkGenerator::EmitItem(std::string* out, uint32_t id,
+                              const char* region) {
+  out->append(StringPrintf("<item id=\"item%u\">", id));
+  out->append("<location>").append(region).append("</location>");
+  out->append("<quantity>1</quantity>");
+  out->append("<name>");
+  EmitWords(out, 2, 4);
+  out->append("</name>");
+  out->append("<payment>Creditcard</payment>");
+  out->append("<description><text>");
+  EmitWords(out, 8, 30);
+  out->append("</text></description>");
+  out->append("<shipping>Will ship internationally</shipping>");
+  out->append(StringPrintf(
+      "<incategory category=\"category%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_categories ? config_.num_categories : 1))));
+  out->append("</item>");
+}
+
+void XMarkGenerator::EmitCategory(std::string* out, uint32_t id) {
+  out->append(StringPrintf("<category id=\"category%u\">", id));
+  out->append("<name>");
+  EmitWords(out, 1, 3);
+  out->append("</name>");
+  out->append("<description><text>");
+  EmitWords(out, 5, 20);
+  out->append("</text></description>");
+  out->append("</category>");
+}
+
+void XMarkGenerator::EmitOpenAuction(std::string* out, uint32_t id) {
+  out->append(StringPrintf("<open_auction id=\"open_auction%u\">", id));
+  out->append(StringPrintf("<initial>%.2f</initial>",
+                           1.0 + rng_.NextDouble() * 200.0));
+  const uint32_t bidders = static_cast<uint32_t>(rng_.Uniform(4));
+  for (uint32_t i = 0; i < bidders; ++i) {
+    out->append("<bidder>");
+    out->append(StringPrintf("<date>%02llu/%02llu/2004</date>",
+                             static_cast<unsigned long long>(
+                                 rng_.Uniform(12) + 1),
+                             static_cast<unsigned long long>(
+                                 rng_.Uniform(28) + 1)));
+    out->append(StringPrintf(
+        "<personref person=\"person%llu\"/>",
+        static_cast<unsigned long long>(
+            rng_.Uniform(config_.num_persons ? config_.num_persons : 1))));
+    out->append(StringPrintf("<increase>%.2f</increase>",
+                             1.5 + rng_.NextDouble() * 20.0));
+    out->append("</bidder>");
+  }
+  out->append(StringPrintf("<current>%.2f</current>",
+                           10.0 + rng_.NextDouble() * 500.0));
+  out->append(StringPrintf(
+      "<itemref item=\"item%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_items ? config_.num_items : 1))));
+  out->append(StringPrintf(
+      "<seller person=\"person%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_persons ? config_.num_persons : 1))));
+  out->append("<quantity>1</quantity>");
+  out->append("<type>Regular</type>");
+  out->append("<interval><start>01/01/2004</start>"
+              "<end>12/31/2004</end></interval>");
+  out->append("</open_auction>");
+}
+
+void XMarkGenerator::EmitClosedAuction(std::string* out, uint32_t id) {
+  out->append("<closed_auction>");
+  out->append(StringPrintf(
+      "<seller person=\"person%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_persons ? config_.num_persons : 1))));
+  out->append(StringPrintf(
+      "<buyer person=\"person%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_persons ? config_.num_persons : 1))));
+  out->append(StringPrintf(
+      "<itemref item=\"item%llu\"/>",
+      static_cast<unsigned long long>(
+          rng_.Uniform(config_.num_items ? config_.num_items : 1))));
+  out->append(StringPrintf("<price>%.2f</price>",
+                           5.0 + rng_.NextDouble() * 800.0));
+  out->append(StringPrintf("<date>%02llu/%02llu/2004</date>",
+                           static_cast<unsigned long long>(
+                               rng_.Uniform(12) + 1),
+                           static_cast<unsigned long long>(
+                               rng_.Uniform(28) + 1)));
+  out->append("<quantity>1</quantity>");
+  out->append("<type>Regular</type>");
+  out->append(StringPrintf("(id %u)", id));
+  out->append("</closed_auction>");
+}
+
+Result<std::string> XMarkGenerator::Generate() {
+  std::string out;
+  out.reserve(static_cast<size_t>(config_.num_persons) * 520 +
+              static_cast<size_t>(config_.num_items) * 260 +
+              static_cast<size_t>(config_.num_open_auctions) * 380 + 4096);
+  out.append("<site>");
+
+  out.append("<regions>");
+  static constexpr const char* kRegions[] = {"africa", "asia", "europe",
+                                             "namerica", "samerica"};
+  const uint32_t per_region = config_.num_items / 5;
+  uint32_t item_id = 0;
+  for (const char* region : kRegions) {
+    out.append("<").append(region).append(">");
+    const uint32_t n = (region == kRegions[4])
+                           ? config_.num_items - 4 * per_region
+                           : per_region;
+    for (uint32_t i = 0; i < n; ++i) EmitItem(&out, item_id++, region);
+    out.append("</").append(region).append(">");
+  }
+  out.append("</regions>");
+
+  out.append("<categories>");
+  for (uint32_t i = 0; i < config_.num_categories; ++i) {
+    EmitCategory(&out, i);
+  }
+  out.append("</categories>");
+
+  out.append("<catgraph>");
+  for (uint32_t i = 0; i + 1 < config_.num_categories; ++i) {
+    out.append(StringPrintf("<edge from=\"category%u\" to=\"category%u\"/>",
+                            i, i + 1));
+  }
+  out.append("</catgraph>");
+
+  out.append("<people>");
+  for (uint32_t i = 0; i < config_.num_persons; ++i) EmitPerson(&out, i);
+  out.append("</people>");
+
+  out.append("<open_auctions>");
+  for (uint32_t i = 0; i < config_.num_open_auctions; ++i) {
+    EmitOpenAuction(&out, i);
+  }
+  out.append("</open_auctions>");
+
+  out.append("<closed_auctions>");
+  for (uint32_t i = 0; i < config_.num_closed_auctions; ++i) {
+    EmitClosedAuction(&out, i);
+  }
+  out.append("</closed_auctions>");
+
+  out.append("</site>");
+  return out;
+}
+
+}  // namespace lazyxml

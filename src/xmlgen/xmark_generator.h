@@ -1,0 +1,73 @@
+// XMarkGenerator: auction-site documents in the shape of the XMark
+// benchmark (xml-benchmark.org).
+//
+// Replaces the XMark `xmlgen` tool (no network access here). Emits the
+// subset of the XMark schema the paper's Fig. 14 queries touch —
+// site/people/person/{name,emailaddress,phone,address,profile/interest,
+// watches/watch,...} plus regions/items, categories and auctions for bulk —
+// with per-person multiplicities as knobs, mirroring the paper's "slightly
+// modified to increase the number of cross-segment joins" dataset.
+
+#ifndef LAZYXML_XMLGEN_XMARK_GENERATOR_H_
+#define LAZYXML_XMLGEN_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Size/shape knobs for XMarkGenerator.
+struct XMarkConfig {
+  uint64_t seed = 7;
+
+  /// Entity counts. Defaults give a small smoke-test document; benches
+  /// scale these up (the paper's 100 MB document has ~25k persons).
+  uint32_t num_persons = 100;
+  uint32_t num_items = 40;
+  uint32_t num_categories = 10;
+  uint32_t num_open_auctions = 30;
+  uint32_t num_closed_auctions = 20;
+
+  /// Per-person multiplicities, drawn uniformly from [min, max].
+  uint32_t min_phones = 1;
+  uint32_t max_phones = 3;
+  uint32_t min_interests = 0;
+  uint32_t max_interests = 5;
+  uint32_t min_watches = 0;
+  uint32_t max_watches = 8;
+
+  /// Probability a person has a profile / a watches list at all.
+  double profile_probability = 0.9;
+  double watches_probability = 0.8;
+};
+
+/// Generates XMark-shaped auction documents.
+class XMarkGenerator {
+ public:
+  explicit XMarkGenerator(XMarkConfig config);
+
+  /// Produces one well-formed <site> document.
+  Result<std::string> Generate();
+
+  /// Rough element count per average person subtree with this config;
+  /// benches use it to size documents.
+  double MeanElementsPerPerson() const;
+
+ private:
+  void EmitPerson(std::string* out, uint32_t id);
+  void EmitItem(std::string* out, uint32_t id, const char* region);
+  void EmitCategory(std::string* out, uint32_t id);
+  void EmitOpenAuction(std::string* out, uint32_t id);
+  void EmitClosedAuction(std::string* out, uint32_t id);
+  void EmitWords(std::string* out, uint32_t min_words, uint32_t max_words);
+
+  XMarkConfig config_;
+  Random rng_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_XMLGEN_XMARK_GENERATOR_H_

@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+
+namespace lazyxml {
+namespace {
+
+BTreeOptions Caps(size_t c) {
+  BTreeOptions o;
+  o.leaf_capacity = c;
+  o.internal_capacity = std::max<size_t>(c, 3);  // 3 is the internal minimum
+  return o;
+}
+
+TEST(BTreeBulkLoadTest, EmptyInput) {
+  BTree<int, int> t;
+  ASSERT_TRUE(t.BuildFrom({}).ok());
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeBulkLoadTest, SingleRecord) {
+  BTree<int, int> t(Caps(4));
+  ASSERT_TRUE(t.BuildFrom({{5, 50}}).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeBulkLoadTest, RejectsUnsortedAndDuplicates) {
+  BTree<int, int> t;
+  EXPECT_TRUE(t.BuildFrom({{2, 0}, {1, 0}}).IsInvalidArgument());
+  EXPECT_TRUE(t.BuildFrom({{1, 0}, {1, 0}}).IsInvalidArgument());
+}
+
+TEST(BTreeBulkLoadTest, ReplacesExistingContent) {
+  BTree<int, int> t(Caps(4));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Insert(i, i).ok());
+  }
+  ASSERT_TRUE(t.BuildFrom({{100, 1}, {200, 2}}).ok());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Find(10), nullptr);
+  EXPECT_EQ(*t.Find(200), 2);
+}
+
+class BulkLoadSweep : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(BulkLoadSweep, InvariantsAndContentAcrossSizes) {
+  const auto [cap, n] = GetParam();
+  BTree<uint64_t, uint64_t> t(Caps(cap));
+  std::vector<std::pair<uint64_t, uint64_t>> input;
+  for (uint64_t i = 0; i < n; ++i) input.emplace_back(i * 3, i);
+  ASSERT_TRUE(t.BuildFrom(input).ok());
+  ASSERT_TRUE(t.CheckInvariants().ok()) << "cap=" << cap << " n=" << n;
+  EXPECT_EQ(t.size(), n);
+  uint64_t count = 0;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), count * 3);
+    EXPECT_EQ(it.value(), count);
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  // Mutations after a bulk load behave normally.
+  if (n > 0) {
+    ASSERT_TRUE(t.Insert(1, 999).ok());
+    ASSERT_TRUE(t.Erase(0).ok());
+    ASSERT_TRUE(t.CheckInvariants().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BulkLoadSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(2, 1),
+                      std::make_pair<size_t, size_t>(2, 2),
+                      std::make_pair<size_t, size_t>(2, 3),
+                      std::make_pair<size_t, size_t>(3, 10),
+                      std::make_pair<size_t, size_t>(4, 4),
+                      std::make_pair<size_t, size_t>(4, 5),
+                      std::make_pair<size_t, size_t>(4, 100),
+                      std::make_pair<size_t, size_t>(7, 343),
+                      std::make_pair<size_t, size_t>(64, 10000),
+                      std::make_pair<size_t, size_t>(64, 65)),
+    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>>& info) {
+      return "cap" + std::to_string(info.param.first) + "_n" +
+             std::to_string(info.param.second);
+    });
+
+TEST(BTreeBulkLoadTest, MatchesIncrementalTreeOnRandomData) {
+  Random rng(55);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 5000; ++i) model[rng.Next() % 100000] = rng.Next();
+  std::vector<std::pair<uint64_t, uint64_t>> sorted(model.begin(),
+                                                    model.end());
+  BTree<uint64_t, uint64_t> bulk(Caps(16));
+  ASSERT_TRUE(bulk.BuildFrom(sorted).ok());
+  ASSERT_TRUE(bulk.CheckInvariants().ok());
+  for (const auto& [k, v] : model) {
+    ASSERT_NE(bulk.Find(k), nullptr);
+    EXPECT_EQ(*bulk.Find(k), v);
+  }
+  // Lower bound probes agree with the model.
+  for (int probe = 0; probe < 500; ++probe) {
+    uint64_t q = rng.Next() % 110000;
+    auto ti = bulk.LowerBound(q);
+    auto mi = model.lower_bound(q);
+    if (mi == model.end()) {
+      EXPECT_FALSE(ti.Valid());
+    } else {
+      ASSERT_TRUE(ti.Valid());
+      EXPECT_EQ(ti.key(), mi->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,120 @@
+// Property tests: random operation sequences against std::map as the
+// model, across a sweep of node capacities.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+
+namespace lazyxml {
+namespace {
+
+struct Caps {
+  size_t leaf;
+  size_t internal;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<Caps> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
+  const Caps caps = GetParam();
+  BTreeOptions opts;
+  opts.leaf_capacity = caps.leaf;
+  opts.internal_capacity = caps.internal;
+  BTree<uint64_t, uint64_t> tree(opts);
+  std::map<uint64_t, uint64_t> model;
+  Random rng(caps.leaf * 1000 + caps.internal);
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t key = rng.Uniform(500);  // small domain: many collisions
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // insert
+        const uint64_t val = rng.Next();
+        Status s = tree.Insert(key, val);
+        if (model.count(key)) {
+          EXPECT_TRUE(s.IsAlreadyExists());
+        } else {
+          EXPECT_TRUE(s.ok());
+          model[key] = val;
+        }
+        break;
+      }
+      case 2: {  // erase
+        Status s = tree.Erase(key);
+        if (model.count(key)) {
+          EXPECT_TRUE(s.ok());
+          model.erase(key);
+        } else {
+          EXPECT_TRUE(s.IsNotFound());
+        }
+        break;
+      }
+      case 3: {  // lookup
+        uint64_t* v = tree.Find(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), model.size());
+  // Full scan equals the model.
+  auto it = tree.Begin();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_P(BTreePropertyTest, LowerBoundMatchesModel) {
+  const Caps caps = GetParam();
+  BTreeOptions opts;
+  opts.leaf_capacity = caps.leaf;
+  opts.internal_capacity = caps.internal;
+  BTree<uint64_t, uint64_t> tree(opts);
+  std::map<uint64_t, uint64_t> model;
+  Random rng(caps.leaf * 7919 + caps.internal);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = rng.Uniform(10000);
+    if (tree.Insert(k, k * 2).ok()) model[k] = k * 2;
+  }
+  for (int probe = 0; probe < 1000; ++probe) {
+    const uint64_t q = rng.Uniform(10100);
+    auto ti = tree.LowerBound(q);
+    auto mi = model.lower_bound(q);
+    if (mi == model.end()) {
+      EXPECT_FALSE(ti.Valid());
+    } else {
+      ASSERT_TRUE(ti.Valid());
+      EXPECT_EQ(ti.key(), mi->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, BTreePropertyTest,
+    ::testing::Values(Caps{2, 3}, Caps{3, 3}, Caps{4, 4}, Caps{8, 8},
+                      Caps{64, 64}, Caps{5, 17}, Caps{17, 5}),
+    [](const ::testing::TestParamInfo<Caps>& info) {
+      return "leaf" + std::to_string(info.param.leaf) + "_int" +
+             std::to_string(info.param.internal);
+    });
+
+}  // namespace
+}  // namespace lazyxml

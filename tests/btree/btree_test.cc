@@ -1,0 +1,273 @@
+#include "btree/btree.h"
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+using IntTree = BTree<int, std::string>;
+
+BTreeOptions SmallNodes() {
+  BTreeOptions o;
+  o.leaf_capacity = 4;
+  o.internal_capacity = 4;
+  return o;
+}
+
+TEST(BTreeTest, EmptyTree) {
+  IntTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_FALSE(t.Begin().Valid());
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Contains(1));
+  EXPECT_TRUE(t.Erase(1).IsNotFound());
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertFindSingle) {
+  IntTree t;
+  ASSERT_TRUE(t.Insert(5, "five").ok());
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), "five");
+  EXPECT_EQ(t.Find(4), nullptr);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  IntTree t;
+  ASSERT_TRUE(t.Insert(5, "a").ok());
+  EXPECT_TRUE(t.Insert(5, "b").IsAlreadyExists());
+  EXPECT_EQ(*t.Find(5), "a");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, InsertOrAssignOverwrites) {
+  IntTree t;
+  EXPECT_TRUE(t.InsertOrAssign(5, "a"));
+  EXPECT_FALSE(t.InsertOrAssign(5, "b"));
+  EXPECT_EQ(*t.Find(5), "b");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, SplitsOnOverflow) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert(i, std::to_string(i)).ok());
+    ASSERT_TRUE(t.CheckInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_GT(t.height(), 2u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(t.Find(i), nullptr) << i;
+    EXPECT_EQ(*t.Find(i), std::to_string(i));
+  }
+}
+
+TEST(BTreeTest, ReverseInsertionOrder) {
+  IntTree t(SmallNodes());
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_TRUE(t.Insert(i, "v").ok());
+  }
+  ASSERT_TRUE(t.CheckInvariants().ok());
+  int expect = 0;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expect++);
+  }
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(BTreeTest, IterationInOrder) {
+  IntTree t(SmallNodes());
+  for (int i : {7, 1, 9, 3, 5, 8, 2, 0, 6, 4}) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  std::vector<int> keys;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) keys.push_back(it.key());
+  EXPECT_EQ(keys, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BTreeTest, LowerUpperBound) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 50; i += 5) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  EXPECT_EQ(t.LowerBound(0).key(), 0);
+  EXPECT_EQ(t.LowerBound(1).key(), 5);
+  EXPECT_EQ(t.LowerBound(5).key(), 5);
+  EXPECT_EQ(t.LowerBound(44).key(), 45);
+  EXPECT_EQ(t.LowerBound(45).key(), 45);
+  EXPECT_FALSE(t.LowerBound(46).Valid());
+  EXPECT_EQ(t.UpperBound(5).key(), 10);
+  EXPECT_EQ(t.UpperBound(6).key(), 10);
+  EXPECT_FALSE(t.UpperBound(45).Valid());
+}
+
+TEST(BTreeTest, ScanRangeHalfOpen) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  std::vector<int> seen;
+  t.ScanRange(5, 10, [&seen](const int& k, std::string&) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{5, 6, 7, 8, 9}));
+}
+
+TEST(BTreeTest, ScanRangeEarlyStop) {
+  IntTree t;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  int visits = 0;
+  t.ScanRange(0, 20, [&visits](const int&, std::string&) {
+    return ++visits < 3;
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(BTreeTest, EraseLeafSimple) {
+  IntTree t;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  ASSERT_TRUE(t.Erase(5).ok());
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_TRUE(t.Erase(5).IsNotFound());
+  ASSERT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, EraseAllAscending) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(t.Erase(i).ok()) << i;
+    ASSERT_TRUE(t.CheckInvariants().ok()) << "after erase " << i;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+}
+
+TEST(BTreeTest, EraseAllDescending) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  for (int i = 59; i >= 0; --i) {
+    ASSERT_TRUE(t.Erase(i).ok()) << i;
+    ASSERT_TRUE(t.CheckInvariants().ok()) << "after erase " << i;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BTreeTest, EraseMiddleOutTriggersBorrowsAndMerges) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  // Erase every other key, then the rest.
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(t.Erase(i).ok());
+    ASSERT_TRUE(t.CheckInvariants().ok());
+  }
+  for (int i = 1; i < 200; i += 2) {
+    ASSERT_TRUE(t.Erase(i).ok());
+    ASSERT_TRUE(t.CheckInvariants().ok());
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BTreeTest, ClearResets) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_FALSE(t.Begin().Valid());
+  ASSERT_TRUE(t.Insert(1, "y").ok());
+  EXPECT_EQ(*t.Find(1), "y");
+}
+
+TEST(BTreeTest, CompositeTupleKeys) {
+  // The element-index key shape: (tid, sid, start).
+  using Key = std::tuple<uint32_t, uint64_t, uint64_t>;
+  BTree<Key, int> t;
+  ASSERT_TRUE(t.Insert({1, 10, 100}, 1).ok());
+  ASSERT_TRUE(t.Insert({1, 10, 50}, 2).ok());
+  ASSERT_TRUE(t.Insert({1, 11, 5}, 3).ok());
+  ASSERT_TRUE(t.Insert({0, 99, 99}, 4).ok());
+  std::vector<int> order;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    order.push_back(it.value());
+  }
+  EXPECT_EQ(order, (std::vector<int>{4, 2, 1, 3}));
+  // Prefix scan over (1, 10, *).
+  std::vector<int> scanned;
+  t.ScanRange({1, 10, 0}, {1, 11, 0}, [&scanned](const Key&, int& v) {
+    scanned.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(scanned, (std::vector<int>{2, 1}));
+}
+
+TEST(BTreeTest, CustomComparatorDescending) {
+  BTree<int, int, std::greater<int>> t;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert(i, i).ok());
+  }
+  int prev = 100;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_LT(it.key(), prev);
+    prev = it.key();
+  }
+  ASSERT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, MoveOnlyValues) {
+  BTree<int, std::unique_ptr<int>> t;
+  ASSERT_TRUE(t.Insert(1, std::make_unique<int>(11)).ok());
+  ASSERT_TRUE(t.Insert(2, std::make_unique<int>(22)).ok());
+  EXPECT_EQ(**t.Find(1), 11);
+  ASSERT_TRUE(t.Erase(1).ok());
+  EXPECT_EQ(t.Find(1), nullptr);
+}
+
+TEST(BTreeTest, ValuePointerAllowsMutation) {
+  IntTree t;
+  ASSERT_TRUE(t.Insert(1, "a").ok());
+  *t.Find(1) += "b";
+  EXPECT_EQ(*t.Find(1), "ab");
+}
+
+TEST(BTreeTest, MemoryBytesGrowsWithContent) {
+  IntTree t(SmallNodes());
+  const size_t empty_bytes = t.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  EXPECT_GT(t.MemoryBytes(), empty_bytes);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  IntTree t(SmallNodes());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Insert(i, "x").ok());
+  }
+  // capacity 4 => height around log_2..4(1000); must be well below 1000.
+  EXPECT_LE(t.height(), 12u);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,220 @@
+#include "common/bignum.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace lazyxml {
+namespace {
+
+TEST(BigUintTest, ZeroBasics) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.Low64(), 0u);
+  EXPECT_EQ(z.ToDecimalString(), "0");
+  EXPECT_EQ(BigUint(0).ToDecimalString(), "0");
+}
+
+TEST(BigUintTest, FromUint64RoundTrip) {
+  for (uint64_t v : {1ull, 7ull, 4294967295ull, 4294967296ull,
+                     18446744073709551615ull}) {
+    BigUint b(v);
+    EXPECT_EQ(b.Low64(), v);
+    EXPECT_EQ(b.ToDecimalString(), std::to_string(v));
+    EXPECT_TRUE(b.FitsUint64());
+  }
+}
+
+TEST(BigUintTest, DecimalStringRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  auto r = BigUint::FromDecimalString(big);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().ToDecimalString(), big);
+  EXPECT_FALSE(r.ValueOrDie().FitsUint64());
+}
+
+TEST(BigUintTest, FromDecimalStringRejectsBadInput) {
+  EXPECT_FALSE(BigUint::FromDecimalString("").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("12a3").ok());
+  EXPECT_FALSE(BigUint::FromDecimalString("-5").ok());
+}
+
+TEST(BigUintTest, AdditionWithCarries) {
+  BigUint a(0xffffffffffffffffull);
+  BigUint b(1);
+  EXPECT_EQ((a + b).ToDecimalString(), "18446744073709551616");
+  EXPECT_EQ((a + BigUint()).ToDecimalString(), a.ToDecimalString());
+}
+
+TEST(BigUintTest, SubtractionWithBorrows) {
+  auto big = BigUint::FromDecimalString("18446744073709551616").ValueOrDie();
+  EXPECT_EQ((big - BigUint(1)).ToDecimalString(), "18446744073709551615");
+  EXPECT_TRUE((big - big).IsZero());
+}
+
+TEST(BigUintTest, MultiplicationSchoolbook) {
+  auto a = BigUint::FromDecimalString("12345678901234567890").ValueOrDie();
+  auto b = BigUint::FromDecimalString("98765432109876543210").ValueOrDie();
+  EXPECT_EQ((a * b).ToDecimalString(),
+            "1219326311370217952237463801111263526900");
+  EXPECT_TRUE((a * BigUint()).IsZero());
+  EXPECT_EQ((a * BigUint(1)).ToDecimalString(), a.ToDecimalString());
+}
+
+TEST(BigUintTest, MulSmallMatchesMul) {
+  auto a = BigUint::FromDecimalString("999999999999999999999").ValueOrDie();
+  EXPECT_EQ(a.MulSmall(123456789).ToDecimalString(),
+            (a * BigUint(123456789)).ToDecimalString());
+}
+
+TEST(BigUintTest, DivModBySmallAndBig) {
+  auto a = BigUint::FromDecimalString("1000000000000000000000007").ValueOrDie();
+  auto qr = BigUint::DivMod(a, BigUint(13)).ValueOrDie();
+  // a = 13*q + r
+  BigUint recomposed = qr.first.MulSmall(13) + qr.second;
+  EXPECT_EQ(recomposed.ToDecimalString(), a.ToDecimalString());
+  EXPECT_LT(qr.second.Low64(), 13u);
+
+  auto divisor =
+      BigUint::FromDecimalString("340282366920938463463374607431").ValueOrDie();
+  auto qr2 = BigUint::DivMod(a, divisor).ValueOrDie();
+  BigUint r2 = qr2.first * divisor + qr2.second;
+  EXPECT_EQ(r2.ToDecimalString(), a.ToDecimalString());
+  EXPECT_TRUE(qr2.second < divisor);
+}
+
+TEST(BigUintTest, DivModDividendSmallerThanDivisor) {
+  auto qr = BigUint::DivMod(BigUint(5), BigUint(100)).ValueOrDie();
+  EXPECT_TRUE(qr.first.IsZero());
+  EXPECT_EQ(qr.second.Low64(), 5u);
+}
+
+TEST(BigUintTest, DivModByZeroFails) {
+  EXPECT_FALSE(BigUint::DivMod(BigUint(5), BigUint()).ok());
+  EXPECT_FALSE(BigUint(5).ModSmall(0).ok());
+  EXPECT_FALSE(BigUint(5).DivisibleBy(BigUint()).ok());
+}
+
+TEST(BigUintTest, ModSmall) {
+  auto a = BigUint::FromDecimalString("123456789012345678901").ValueOrDie();
+  // Cross-check against DivMod.
+  auto qr = BigUint::DivMod(a, BigUint(97)).ValueOrDie();
+  EXPECT_EQ(a.ModSmall(97).ValueOrDie(), qr.second.Low64());
+  EXPECT_EQ(BigUint(100).ModSmall(7).ValueOrDie(), 2u);
+}
+
+TEST(BigUintTest, DivisibleByPrimeProducts) {
+  // label(Y) = 2*3*5*7, label(X) = 2*3 -> X ancestor of Y.
+  BigUint y(2 * 3 * 5 * 7);
+  BigUint x(2 * 3);
+  BigUint z(11);
+  EXPECT_TRUE(y.DivisibleBy(x).ValueOrDie());
+  EXPECT_FALSE(y.DivisibleBy(z).ValueOrDie());
+}
+
+TEST(BigUintTest, Comparisons) {
+  BigUint a(100);
+  BigUint b(200);
+  auto big = BigUint::FromDecimalString("99999999999999999999").ValueOrDie();
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a < big);
+  EXPECT_TRUE(big > b);
+}
+
+TEST(BigUintTest, BitLength) {
+  EXPECT_EQ(BigUint(1).BitLength(), 1u);
+  EXPECT_EQ(BigUint(2).BitLength(), 2u);
+  EXPECT_EQ(BigUint(255).BitLength(), 8u);
+  EXPECT_EQ(BigUint(256).BitLength(), 9u);
+  EXPECT_EQ(BigUint(1ull << 40).BitLength(), 41u);
+}
+
+TEST(BigUintTest, RandomizedDivModInvariant) {
+  Random rng(99);
+  for (int i = 0; i < 200; ++i) {
+    BigUint a(rng.Next());
+    a = a * BigUint(rng.Next()) + BigUint(rng.Next());
+    BigUint d(rng.Uniform(1 << 20) + 1);
+    auto qr = BigUint::DivMod(a, d).ValueOrDie();
+    EXPECT_EQ((qr.first * d + qr.second).ToDecimalString(),
+              a.ToDecimalString());
+    EXPECT_TRUE(qr.second < d);
+  }
+}
+
+TEST(ModInverseTest, BasicInverses) {
+  for (uint64_t m : {7ull, 97ull, 1000003ull}) {
+    for (uint64_t a = 1; a < 7; ++a) {
+      uint64_t inv = ModInverse(a, m).ValueOrDie();
+      EXPECT_EQ(MulMod64(a, inv, m), 1u) << a << " mod " << m;
+    }
+  }
+}
+
+TEST(ModInverseTest, NotInvertible) {
+  EXPECT_FALSE(ModInverse(6, 9).ok());
+  EXPECT_FALSE(ModInverse(4, 0).ok());
+}
+
+TEST(MulMod64Test, NoOverflow) {
+  const uint64_t big = 0xfffffffffffffff0ull;
+  EXPECT_EQ(MulMod64(big, big, 1000000007ull),
+            static_cast<uint64_t>(
+                (static_cast<unsigned __int128>(big) * big) % 1000000007ull));
+}
+
+TEST(CrtSolveTest, SmallSystem) {
+  // x ≡ 2 (mod 3), x ≡ 3 (mod 5), x ≡ 2 (mod 7)  ->  x = 23 (Sun Tzu).
+  auto x = CrtSolve({3, 5, 7}, {2, 3, 2}).ValueOrDie();
+  EXPECT_EQ(x.ToDecimalString(), "23");
+}
+
+TEST(CrtSolveTest, ResiduesRecoverable) {
+  std::vector<uint64_t> primes{101, 103, 107, 109, 113, 127};
+  std::vector<uint64_t> residues{1, 2, 3, 4, 5, 6};
+  auto x = CrtSolve(primes, residues).ValueOrDie();
+  for (size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(x.ModSmall(primes[i]).ValueOrDie(), residues[i]);
+  }
+}
+
+TEST(CrtSolveTest, RejectsBadInput) {
+  EXPECT_FALSE(CrtSolve({}, {}).ok());
+  EXPECT_FALSE(CrtSolve({3, 5}, {1}).ok());
+  EXPECT_FALSE(CrtSolve({3, 0}, {1, 1}).ok());
+}
+
+TEST(CrtSolveTest, LargePrimesLargeSystem) {
+  std::vector<uint64_t> primes;
+  std::vector<uint64_t> residues;
+  uint64_t p = 1000003;
+  // Take 24 primes above 10^6 (trial division).
+  auto is_prime = [](uint64_t n) {
+    for (uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) return false;
+    }
+    return true;
+  };
+  while (primes.size() < 24) {
+    if (is_prime(p)) {
+      primes.push_back(p);
+      residues.push_back(primes.size());
+    }
+    p += 2;
+  }
+  auto x = CrtSolve(primes, residues).ValueOrDie();
+  for (size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(x.ModSmall(primes[i]).ValueOrDie(), residues[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

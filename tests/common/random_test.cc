@@ -1,0 +1,129 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformRespectsBound) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+  EXPECT_EQ(r.Uniform(0), 0u);
+  EXPECT_EQ(r.Uniform(1), 0u);
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random r(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = r.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRate) {
+  Random r(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RandomTest, ZipfSkewsTowardZero) {
+  Random r(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[r.Zipf(10, 0.9)];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+  // All ranks in range.
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(r.Zipf(10, 0.9), 10u);
+}
+
+TEST(RandomTest, ZipfDegenerate) {
+  Random r(29);
+  EXPECT_EQ(r.Zipf(0, 0.9), 0u);
+  EXPECT_EQ(r.Zipf(1, 0.9), 0u);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Random r(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RandomTest, ShuffleEmptyAndSingleton) {
+  Random r(37);
+  std::vector<int> empty;
+  r.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  r.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace lazyxml

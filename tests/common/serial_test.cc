@@ -1,0 +1,71 @@
+#include "common/serial.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(SerialTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutString("hello");
+  w.PutString("");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 0xab);
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().ValueOrDie(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.GetString().ValueOrDie(), "hello");
+  EXPECT_EQ(r.GetString().ValueOrDie(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(w.buffer()[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(w.buffer()[3]), 0x01);
+}
+
+TEST(SerialTest, TruncationDetected) {
+  ByteWriter w;
+  w.PutU64(42);
+  for (size_t cut = 0; cut < 8; ++cut) {
+    ByteReader r(std::string_view(w.buffer()).substr(0, cut));
+    EXPECT_TRUE(r.GetU64().status().IsCorruption()) << cut;
+  }
+}
+
+TEST(SerialTest, StringLengthBeyondFileDetected) {
+  ByteWriter w;
+  w.PutU64(1000000);  // claims a huge string
+  w.PutU8('x');
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(SerialTest, BinaryStringContentsPreserved) {
+  std::string bin;
+  for (int i = 0; i < 256; ++i) bin.push_back(static_cast<char>(i));
+  ByteWriter w;
+  w.PutString(bin);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString().ValueOrDie(), bin);
+}
+
+TEST(SerialTest, RemainingTracksConsumption) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace lazyxml

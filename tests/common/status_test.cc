@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  Status s = Status::NotFound("key 42 missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "key 42 missing");
+  EXPECT_EQ(s.ToString(), "NotFound: key 42 missing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad bytes");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad bytes");
+  EXPECT_EQ(s, copy);
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::NotFound("gone");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+  s = Status::OK();  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::NotFound("a");
+  s = Status::Internal("b");
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_EQ(s.message(), "b");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::ParseError("unexpected '<'");
+  Status c = s.WithContext("inserting segment 7");
+  EXPECT_TRUE(c.IsParseError());
+  EXPECT_EQ(c.message(), "inserting segment 7: unexpected '<'");
+}
+
+TEST(StatusTest, WithContextOnOkStaysOk) {
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    LAZYXML_RETURN_NOT_OK(Status::OutOfRange("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsOutOfRange());
+  auto passes = []() -> Status {
+    LAZYXML_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(passes().IsInternal());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,165 @@
+#include "core/element_index.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+std::vector<ElementRecord> Parse(std::string_view text, TagDict* dict,
+                                 uint32_t base_level = 0) {
+  ParseOptions opts;
+  opts.base_level = base_level;
+  auto f = ParseFragment(text, dict, opts);
+  EXPECT_TRUE(f.ok());
+  return f.ValueOrDie().records;
+}
+
+TEST(ElementIndexTest, InsertAndGetSortedByStart) {
+  TagDict dict;
+  ElementIndex idx;
+  auto recs = Parse("<a><b/><b/><b/></a>", &dict);
+  ASSERT_TRUE(idx.InsertRecords(7, recs).ok());
+  const TagId b = dict.Lookup("b").ValueOrDie();
+  auto elems = idx.GetElements(b, 7);
+  ASSERT_EQ(elems.size(), 3u);
+  EXPECT_LT(elems[0].start, elems[1].start);
+  EXPECT_LT(elems[1].start, elems[2].start);
+  EXPECT_EQ(idx.size(), 4u);
+}
+
+TEST(ElementIndexTest, SegmentsIsolated) {
+  TagDict dict;
+  ElementIndex idx;
+  ASSERT_TRUE(idx.InsertRecords(1, Parse("<a><b/></a>", &dict)).ok());
+  ASSERT_TRUE(idx.InsertRecords(2, Parse("<a><b/><b/></a>", &dict)).ok());
+  const TagId b = dict.Lookup("b").ValueOrDie();
+  EXPECT_EQ(idx.GetElements(b, 1).size(), 1u);
+  EXPECT_EQ(idx.GetElements(b, 2).size(), 2u);
+  EXPECT_EQ(idx.GetElements(b, 3).size(), 0u);
+  EXPECT_EQ(idx.CountElements(b, 2), 2u);
+}
+
+TEST(ElementIndexTest, DuplicateRecordRejected) {
+  TagDict dict;
+  ElementIndex idx;
+  auto recs = Parse("<a/>", &dict);
+  ASSERT_TRUE(idx.InsertRecords(1, recs).ok());
+  EXPECT_TRUE(idx.InsertRecords(1, recs).IsAlreadyExists());
+}
+
+TEST(ElementIndexTest, FindInnermostContaining) {
+  TagDict dict;
+  ElementIndex idx;
+  //                      0    5    10   15   20   25   30
+  auto recs = Parse("<a><b><c></c><c></c></b></a>", &dict);
+  // a=[0,28) b=[3,24) c1=[6,13) c2=[13,20)
+  ASSERT_TRUE(idx.InsertRecords(4, recs).ok());
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie(),
+                          dict.Lookup("c").ValueOrDie()};
+  LocalElement out;
+  ASSERT_TRUE(idx.FindInnermostContaining(4, tags, 8, &out));
+  EXPECT_EQ(out.start, 6u);  // inside c1
+  EXPECT_EQ(out.level, 3u);
+  ASSERT_TRUE(idx.FindInnermostContaining(4, tags, 15, &out));
+  EXPECT_EQ(out.start, 13u);  // inside c2
+  ASSERT_TRUE(idx.FindInnermostContaining(4, tags, 22, &out));
+  EXPECT_EQ(out.start, 3u);  // only b and a contain; b is innermost
+  EXPECT_EQ(out.level, 2u);
+  ASSERT_TRUE(idx.FindInnermostContaining(4, tags, 26, &out));
+  EXPECT_EQ(out.level, 1u);  // only a
+  EXPECT_FALSE(idx.FindInnermostContaining(4, tags, 0, &out));  // boundary
+  EXPECT_FALSE(idx.FindInnermostContaining(9, tags, 8, &out));  // wrong sid
+}
+
+TEST(ElementIndexTest, DeleteSegmentReturnsPerTagCounts) {
+  TagDict dict;
+  ElementIndex idx;
+  ASSERT_TRUE(idx.InsertRecords(1, Parse("<a><b/><b/><c/></a>", &dict)).ok());
+  ASSERT_TRUE(idx.InsertRecords(2, Parse("<a><b/></a>", &dict)).ok());
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie(),
+                          dict.Lookup("c").ValueOrDie()};
+  auto counts = idx.DeleteSegment(1, tags).ValueOrDie();
+  EXPECT_EQ(counts[dict.Lookup("a").ValueOrDie()], 1u);
+  EXPECT_EQ(counts[dict.Lookup("b").ValueOrDie()], 2u);
+  EXPECT_EQ(counts[dict.Lookup("c").ValueOrDie()], 1u);
+  EXPECT_EQ(idx.size(), 2u);  // segment 2 untouched
+  EXPECT_EQ(idx.GetElements(dict.Lookup("b").ValueOrDie(), 2).size(), 1u);
+}
+
+TEST(ElementIndexTest, DeleteRangeRemovesOnlyFullyInside) {
+  TagDict dict;
+  ElementIndex idx;
+  // a=[0,22) b1=[3,7) b2=[7,11) b3=[11,15) c=[15,19)
+  ASSERT_TRUE(idx.InsertRecords(1, Parse("<a><b/><b/><b/><c/></a>", &dict))
+                  .ok());
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie(),
+                          dict.Lookup("c").ValueOrDie()};
+  auto counts = idx.DeleteRange(1, tags, 7, 15).ValueOrDie();
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[dict.Lookup("b").ValueOrDie()], 2u);
+  auto bs = idx.GetElements(dict.Lookup("b").ValueOrDie(), 1);
+  ASSERT_EQ(bs.size(), 1u);
+  EXPECT_EQ(bs[0].start, 3u);
+  // The spanning <a> survives.
+  EXPECT_EQ(idx.GetElements(dict.Lookup("a").ValueOrDie(), 1).size(), 1u);
+}
+
+TEST(ElementIndexTest, DeleteRangeDetectsStraddle) {
+  TagDict dict;
+  ElementIndex idx;
+  ASSERT_TRUE(idx.InsertRecords(1, Parse("<a><b/><c/></a>", &dict)).ok());
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie(),
+                          dict.Lookup("c").ValueOrDie()};
+  // b=[3,7) c=[7,11): range [5,9) splits both.
+  auto r = idx.DeleteRange(1, tags, 5, 9);
+  EXPECT_TRUE(r.status().IsCorruption());
+  // Nothing was deleted (two-pass semantics).
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(ElementIndexTest, DeleteRangeEmptyRange) {
+  TagDict dict;
+  ElementIndex idx;
+  ASSERT_TRUE(idx.InsertRecords(1, Parse("<a><b/></a>", &dict)).ok());
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie()};
+  auto counts = idx.DeleteRange(1, tags, 1, 1).ValueOrDie();
+  EXPECT_TRUE(counts.empty());
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(ElementIndexTest, LevelsPreserved) {
+  TagDict dict;
+  ElementIndex idx;
+  ASSERT_TRUE(
+      idx.InsertRecords(1, Parse("<a><b><c/></b></a>", &dict, 5)).ok());
+  auto cs = idx.GetElements(dict.Lookup("c").ValueOrDie(), 1);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].level, 8u);  // base 5 + depth 3
+}
+
+TEST(ElementIndexTest, InvariantsHoldAfterChurn) {
+  TagDict dict;
+  ElementIndex idx;
+  for (SegmentId sid = 1; sid <= 30; ++sid) {
+    ASSERT_TRUE(
+        idx.InsertRecords(sid, Parse("<a><b/><c><b/></c></a>", &dict)).ok());
+  }
+  std::vector<TagId> tags{dict.Lookup("a").ValueOrDie(),
+                          dict.Lookup("b").ValueOrDie(),
+                          dict.Lookup("c").ValueOrDie()};
+  for (SegmentId sid = 2; sid <= 30; sid += 2) {
+    ASSERT_TRUE(idx.DeleteSegment(sid, tags).ok());
+  }
+  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_EQ(idx.size(), 15u * 4u);
+}
+
+}  // namespace
+}  // namespace lazyxml

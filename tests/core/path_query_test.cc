@@ -1,0 +1,214 @@
+#include "core/path_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/synthetic_generator.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+namespace {
+
+// Ground truth: evaluate the path over parsed text.
+std::vector<uint64_t> OraclePathStarts(const std::string& doc,
+                                       const std::vector<PathStep>& steps) {
+  std::vector<std::vector<GlobalElement>> by_step;
+  for (const PathStep& s : steps) {
+    by_step.push_back(testutil::ElementsOf(doc, s.tag));
+  }
+  std::vector<GlobalElement> cur = by_step[0];
+  for (size_t i = 1; i < steps.size(); ++i) {
+    std::vector<GlobalElement> next;
+    for (const GlobalElement& d : by_step[i]) {
+      for (const GlobalElement& a : cur) {
+        if (!a.Contains(d)) continue;
+        if (!steps[i].descendant_axis && a.level + 1 != d.level) continue;
+        next.push_back(d);
+        break;
+      }
+    }
+    cur = std::move(next);
+  }
+  std::set<uint64_t> dedup;
+  for (const GlobalElement& e : cur) dedup.insert(e.start);
+  return std::vector<uint64_t>(dedup.begin(), dedup.end());
+}
+
+std::vector<uint64_t> GlobalStarts(const LazyDatabase& db,
+                                   const PathQueryResult& r) {
+  std::vector<uint64_t> out;
+  for (const LazyElementRef& e : r.elements) {
+    SegmentNode* n = db.update_log().NodeOf(e.sid);
+    EXPECT_NE(n, nullptr);
+    out.push_back(n->FrozenToGlobal(e.start, true));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PathParseTest, BasicForms) {
+  auto steps = ParsePathExpression("a//b/c").ValueOrDie();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].tag, "a");
+  EXPECT_EQ(steps[1].tag, "b");
+  EXPECT_TRUE(steps[1].descendant_axis);
+  EXPECT_EQ(steps[2].tag, "c");
+  EXPECT_FALSE(steps[2].descendant_axis);
+}
+
+TEST(PathParseTest, LeadingAxisAllowed) {
+  EXPECT_TRUE(ParsePathExpression("//a").ok());
+  EXPECT_TRUE(ParsePathExpression("/a").ok());
+  EXPECT_EQ(ParsePathExpression("//a//b").ValueOrDie().size(), 2u);
+}
+
+TEST(PathParseTest, SingleStep) {
+  auto steps = ParsePathExpression("person").ValueOrDie();
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].tag, "person");
+}
+
+TEST(PathParseTest, Rejections) {
+  EXPECT_FALSE(ParsePathExpression("").ok());
+  EXPECT_FALSE(ParsePathExpression("//").ok());
+  EXPECT_FALSE(ParsePathExpression("a//").ok());
+  EXPECT_FALSE(ParsePathExpression("a///b").ok());
+  EXPECT_FALSE(ParsePathExpression("a//b c").ok());
+  EXPECT_FALSE(ParsePathExpression("1bad").ok());
+  EXPECT_FALSE(ParsePathExpression("////a").ok());
+}
+
+TEST(PathQueryTest, SingleStepListsAllElements) {
+  LazyDatabase db;
+  std::string doc = "<a><b/><c><b/></c></a>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluatePath(&db, "b").ValueOrDie();
+  EXPECT_EQ(GlobalStarts(db, r),
+            OraclePathStarts(doc, ParsePathExpression("b").ValueOrDie()));
+  EXPECT_EQ(r.elements.size(), 2u);
+}
+
+TEST(PathQueryTest, UnknownTagEmpty) {
+  LazyDatabase db;
+  ASSERT_TRUE(db.InsertSegment("<a><b/></a>", 0).ok());
+  EXPECT_TRUE(EvaluatePath(&db, "zz").ValueOrDie().elements.empty());
+  EXPECT_TRUE(EvaluatePath(&db, "a//zz").ValueOrDie().elements.empty());
+  EXPECT_TRUE(EvaluatePath(&db, "zz//b").ValueOrDie().elements.empty());
+}
+
+TEST(PathQueryTest, TwoStepMatchesJoin) {
+  LazyDatabase db;
+  std::string doc = "<a><b><c/></b><c/><b><b><c/></b></b></a>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluatePath(&db, "b//c").ValueOrDie();
+  EXPECT_EQ(GlobalStarts(db, r),
+            OraclePathStarts(doc, ParsePathExpression("b//c").ValueOrDie()));
+}
+
+TEST(PathQueryTest, ThreeStepChainFilters) {
+  LazyDatabase db;
+  // c under b under a matches; c under b NOT under a must not.
+  std::string doc = "<r><a><b><c/></b></a><b><c/></b></r>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluatePath(&db, "a//b//c").ValueOrDie();
+  auto want =
+      OraclePathStarts(doc, ParsePathExpression("a//b//c").ValueOrDie());
+  EXPECT_EQ(GlobalStarts(db, r), want);
+  EXPECT_EQ(r.elements.size(), 1u);
+}
+
+TEST(PathQueryTest, ChildAxisFiltersLevels) {
+  LazyDatabase db;
+  std::string doc = "<a><b/><x><b/></x></a>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto direct = EvaluatePath(&db, "a/b").ValueOrDie();
+  EXPECT_EQ(direct.elements.size(), 1u);
+  auto any = EvaluatePath(&db, "a//b").ValueOrDie();
+  EXPECT_EQ(any.elements.size(), 2u);
+  EXPECT_EQ(GlobalStarts(db, direct),
+            OraclePathStarts(doc, ParsePathExpression("a/b").ValueOrDie()));
+}
+
+TEST(PathQueryTest, DeduplicatesAcrossMultipleAncestors) {
+  LazyDatabase db;
+  // One c under two nested b ancestors: it must be reported once.
+  std::string doc = "<a><b><b><c/></b></b></a>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluatePath(&db, "b//c").ValueOrDie();
+  EXPECT_EQ(r.elements.size(), 1u);
+  EXPECT_GE(r.intermediate_pairs, 2u);
+}
+
+TEST(PathQueryTest, AcrossSegments) {
+  LazyDatabase db;
+  std::string shadow;
+  auto insert = [&](std::string_view text, uint64_t gp) {
+    ASSERT_TRUE(db.InsertSegment(text, gp).ok());
+    testutil::SpliceInsert(&shadow, text, gp);
+  };
+  insert("<a><b></b></a>", 0);
+  insert("<b><c/></b>", 6);       // inside the inner <b>
+  insert("<c></c>", 6 + 3);       // inside the spliced segment's <b>
+  for (const char* expr : {"a//b//c", "a//c", "b//c", "a/b", "b/c"}) {
+    auto r = EvaluatePath(&db, expr).ValueOrDie();
+    EXPECT_EQ(GlobalStarts(db, r),
+              OraclePathStarts(shadow,
+                               ParsePathExpression(expr).ValueOrDie()))
+        << expr;
+  }
+}
+
+TEST(PathQueryTest, XMarkChoppedPaths) {
+  XMarkConfig cfg;
+  cfg.num_persons = 80;
+  cfg.profile_probability = 1.0;
+  cfg.watches_probability = 1.0;
+  cfg.min_interests = 1;
+  cfg.min_watches = 1;
+  const std::string doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  ChopConfig chop;
+  chop.num_segments = 20;
+  auto plan = BuildChopPlan(doc, chop).ValueOrDie();
+  LazyDatabase db;
+  ASSERT_TRUE(db.ApplyPlan(plan.insertions).ok());
+  for (const char* expr :
+       {"person//interest", "person/profile/interest", "site//person//watch",
+        "people/person/watches/watch", "person//profile"}) {
+    auto r = EvaluatePath(&db, expr).ValueOrDie();
+    auto want = OraclePathStarts(doc,
+                                 ParsePathExpression(expr).ValueOrDie());
+    EXPECT_EQ(GlobalStarts(db, r), want) << expr;
+    EXPECT_FALSE(r.elements.empty()) << expr;
+  }
+}
+
+TEST(PathQueryTest, SyntheticRandomPaths) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 600;
+  cfg.num_tags = 3;
+  cfg.seed = 31;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  ChopConfig chop;
+  chop.num_segments = 8;
+  auto plan = BuildChopPlan(doc, chop).ValueOrDie();
+  LazyDatabase db;
+  ASSERT_TRUE(db.ApplyPlan(plan.insertions).ok());
+  for (const char* expr : {"t0//t1//t2", "t1/t1", "t2//t0/t1",
+                           "root//t0//t0"}) {
+    auto r = EvaluatePath(&db, expr).ValueOrDie();
+    EXPECT_EQ(GlobalStarts(db, r),
+              OraclePathStarts(doc, ParsePathExpression(expr).ValueOrDie()))
+        << expr;
+  }
+}
+
+TEST(PathQueryTest, NullDatabaseRejected) {
+  EXPECT_TRUE(EvaluatePath(nullptr, "a//b").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,189 @@
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(SegmentNodeTest, ContainsPointStrictInterior) {
+  SegmentNode s;
+  s.gp = 10;
+  s.l = 20;
+  EXPECT_FALSE(s.ContainsPoint(10));  // boundary belongs to the parent
+  EXPECT_TRUE(s.ContainsPoint(11));
+  EXPECT_TRUE(s.ContainsPoint(29));
+  EXPECT_FALSE(s.ContainsPoint(30));
+}
+
+TEST(SegmentNodeTest, ContainsRangePerDefinition1) {
+  SegmentNode s;
+  s.gp = 10;
+  s.l = 20;
+  EXPECT_TRUE(s.ContainsRange(11, 5));
+  EXPECT_FALSE(s.ContainsRange(10, 5));   // equal start: not contained
+  EXPECT_FALSE(s.ContainsRange(25, 5));   // equal end: not contained
+  EXPECT_FALSE(s.ContainsRange(5, 40));   // swallows s
+  EXPECT_FALSE(s.ContainsRange(40, 5));   // disjoint
+}
+
+TEST(SegmentNodeTest, FrozenPosNoChildrenNoGaps) {
+  SegmentNode s;
+  s.gp = 100;
+  s.l = 50;
+  EXPECT_EQ(s.FrozenPos(100), 0u);
+  EXPECT_EQ(s.FrozenPos(123), 23u);
+  EXPECT_EQ(s.FrozenPos(150), 50u);
+}
+
+TEST(SegmentNodeTest, FrozenPosSkipsChildWidths) {
+  // Parent [0, 100); child of width 30 spliced at frozen 20.
+  SegmentNode parent;
+  parent.gp = 0;
+  parent.l = 100;
+  SegmentNode child;
+  child.gp = 20;
+  child.l = 30;
+  child.lp = 20;
+  parent.children.push_back(&child);
+  EXPECT_EQ(parent.FrozenPos(10), 10u);   // before the child
+  EXPECT_EQ(parent.FrozenPos(20), 20u);   // exactly at the splice
+  EXPECT_EQ(parent.FrozenPos(35), 20u);   // inside child -> splice point
+  EXPECT_EQ(parent.FrozenPos(50), 20u);   // child end boundary -> frozen 20
+  EXPECT_EQ(parent.FrozenPos(51), 21u);   // one past the child
+  EXPECT_EQ(parent.FrozenPos(100), 70u);  // parent end
+}
+
+TEST(SegmentNodeTest, FrozenPosMultipleChildren) {
+  SegmentNode parent;
+  parent.gp = 0;
+  parent.l = 100;
+  SegmentNode c1;
+  c1.gp = 10;
+  c1.l = 20;
+  c1.lp = 10;
+  SegmentNode c2;
+  c2.gp = 50;
+  c2.l = 10;
+  c2.lp = 30;  // 50 actual - 20 of c1
+  parent.children = {&c1, &c2};
+  EXPECT_EQ(parent.FrozenPos(5), 5u);
+  EXPECT_EQ(parent.FrozenPos(40), 20u);   // past c1: 40-20
+  EXPECT_EQ(parent.FrozenPos(55), 30u);   // inside c2
+  EXPECT_EQ(parent.FrozenPos(70), 40u);   // past both: 70-20-10
+}
+
+TEST(SegmentNodeTest, FrozenPosAccountsForGaps) {
+  // Segment originally 100 frozen bytes; [30, 40) was removed.
+  SegmentNode s;
+  s.gp = 0;
+  s.l = 90;
+  s.AddGap(30, 40);
+  EXPECT_EQ(s.FrozenPos(10), 10u);
+  EXPECT_EQ(s.FrozenPos(30), 40u);  // the gap has zero width: lands past it
+  EXPECT_EQ(s.FrozenPos(31), 41u);
+  EXPECT_EQ(s.FrozenPos(90), 100u);
+}
+
+TEST(SegmentNodeTest, FrozenPosGapsAndChildrenInterleaved) {
+  // Frozen layout: [0,10) own, child at 10, [10,20) own, gap [20,30),
+  // [30,50) own. Child width 5. Current widths: 10 + 5 + 10 + 0 + 20 = 45.
+  SegmentNode s;
+  s.gp = 0;
+  s.l = 45;
+  SegmentNode c;
+  c.gp = 10;
+  c.l = 5;
+  c.lp = 10;
+  s.children.push_back(&c);
+  s.AddGap(20, 30);
+  EXPECT_EQ(s.FrozenPos(5), 5u);
+  EXPECT_EQ(s.FrozenPos(12), 10u);  // inside child
+  EXPECT_EQ(s.FrozenPos(18), 13u);  // 18-5(child)=13
+  EXPECT_EQ(s.FrozenPos(25), 30u);  // 25-5=20 -> at gap -> skips to 30
+  EXPECT_EQ(s.FrozenPos(30), 35u);  // 30-5=25 own bytes -> 25+10(gap)=35
+  EXPECT_EQ(s.FrozenPos(45), 50u);
+}
+
+TEST(SegmentNodeTest, FrozenToGlobalInvertsFrozenPos) {
+  SegmentNode s;
+  s.gp = 200;
+  s.l = 45;
+  SegmentNode c;
+  c.gp = 210;
+  c.l = 5;
+  c.lp = 10;
+  s.children.push_back(&c);
+  s.AddGap(20, 30);
+  // Round-trip every surviving own frozen offset.
+  for (uint64_t frozen : {0u, 5u, 13u, 19u, 31u, 40u, 50u}) {
+    if (frozen >= 20 && frozen < 30) continue;  // inside the gap
+    const uint64_t g = s.FrozenToGlobal(frozen, /*include=*/false);
+    EXPECT_EQ(s.FrozenPos(g), frozen) << frozen;
+  }
+}
+
+TEST(SegmentNodeTest, FrozenToGlobalBoundarySemantics) {
+  SegmentNode s;
+  s.gp = 0;
+  s.l = 40;
+  SegmentNode c;
+  c.gp = 10;
+  c.l = 20;
+  c.lp = 10;
+  s.children.push_back(&c);
+  // A start offset at the splice point is pushed right by the child...
+  EXPECT_EQ(s.FrozenToGlobal(10, /*include_splice_at_boundary=*/true), 30u);
+  // ...an end offset at the splice point is not.
+  EXPECT_EQ(s.FrozenToGlobal(10, /*include_splice_at_boundary=*/false), 10u);
+}
+
+TEST(SegmentNodeTest, GapWidthBefore) {
+  SegmentNode s;
+  s.AddGap(10, 20);
+  s.AddGap(40, 45);
+  EXPECT_EQ(s.GapWidthBefore(5), 0u);
+  EXPECT_EQ(s.GapWidthBefore(10), 0u);
+  EXPECT_EQ(s.GapWidthBefore(20), 10u);
+  EXPECT_EQ(s.GapWidthBefore(30), 10u);
+  EXPECT_EQ(s.GapWidthBefore(45), 15u);
+  EXPECT_EQ(s.GapWidthBefore(100), 15u);
+}
+
+TEST(SegmentNodeTest, AddGapMergesOverlaps) {
+  SegmentNode s;
+  s.AddGap(10, 20);
+  s.AddGap(30, 40);
+  s.AddGap(15, 35);  // bridges both
+  ASSERT_EQ(s.gaps.size(), 1u);
+  EXPECT_EQ(s.gaps[0].begin, 10u);
+  EXPECT_EQ(s.gaps[0].end, 40u);
+}
+
+TEST(SegmentNodeTest, AddGapMergesAdjacent) {
+  SegmentNode s;
+  s.AddGap(10, 20);
+  s.AddGap(20, 30);
+  ASSERT_EQ(s.gaps.size(), 1u);
+  EXPECT_EQ(s.gaps[0].begin, 10u);
+  EXPECT_EQ(s.gaps[0].end, 30u);
+}
+
+TEST(SegmentNodeTest, AddGapKeepsDisjointSorted) {
+  SegmentNode s;
+  s.AddGap(50, 60);
+  s.AddGap(10, 20);
+  s.AddGap(30, 40);
+  ASSERT_EQ(s.gaps.size(), 3u);
+  EXPECT_EQ(s.gaps[0].begin, 10u);
+  EXPECT_EQ(s.gaps[1].begin, 30u);
+  EXPECT_EQ(s.gaps[2].begin, 50u);
+}
+
+TEST(SegmentNodeTest, AddGapIgnoresEmpty) {
+  SegmentNode s;
+  s.AddGap(10, 10);
+  EXPECT_TRUE(s.gaps.empty());
+}
+
+}  // namespace
+}  // namespace lazyxml

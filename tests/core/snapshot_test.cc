@@ -1,0 +1,191 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/path_query.h"
+#include "tests/testutil.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/synthetic_generator.h"
+
+namespace lazyxml {
+namespace {
+
+std::unique_ptr<LazyDatabase> BuildSample(LogMode mode, std::string* shadow) {
+  LazyDatabaseOptions opts;
+  opts.mode = mode;
+  auto db = std::make_unique<LazyDatabase>(opts);
+  auto insert = [&](std::string_view text, uint64_t gp) {
+    EXPECT_TRUE(db->InsertSegment(text, gp).ok());
+    testutil::SpliceInsert(shadow, text, gp);
+  };
+  insert("<a><b/><w></w><b/></a>", 0);
+  insert("<c><b/><d/></c>", 10);  // inside <w>
+  insert("<d></d>", 13);          // inside the spliced <c>
+  // A deletion so gaps are exercised: remove the first <b/> of segment 1.
+  EXPECT_TRUE(db->RemoveSegment(3, 4).ok());
+  testutil::SpliceRemove(shadow, 3, 4);
+  return db;
+}
+
+void ExpectEquivalent(LazyDatabase* a, LazyDatabase* b,
+                      const std::string& shadow) {
+  auto sa = a->Stats();
+  auto sb = b->Stats();
+  EXPECT_EQ(sa.num_segments, sb.num_segments);
+  EXPECT_EQ(sa.num_elements, sb.num_elements);
+  EXPECT_EQ(sa.num_tags, sb.num_tags);
+  EXPECT_EQ(sa.super_document_length, sb.super_document_length);
+  for (const char* tag : {"a", "b", "c", "d", "w"}) {
+    auto ea = a->MaterializeGlobalElements(tag).ValueOrDie();
+    auto eb = b->MaterializeGlobalElements(tag).ValueOrDie();
+    EXPECT_EQ(ea, eb) << tag;
+    auto want = testutil::ElementsOf(shadow, tag);
+    ASSERT_EQ(eb.size(), want.size()) << tag;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(eb[i], want[i]) << tag;
+    }
+  }
+  EXPECT_EQ(a->JoinGlobal("a", "b").ValueOrDie(),
+            b->JoinGlobal("a", "b").ValueOrDie());
+  EXPECT_EQ(a->JoinGlobal("c", "d").ValueOrDie(),
+            b->JoinGlobal("c", "d").ValueOrDie());
+}
+
+TEST(SnapshotTest, RoundTripLazyDynamic) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  EXPECT_EQ(restored->update_log().mode(), LogMode::kLazyDynamic);
+  ASSERT_TRUE(restored->CheckInvariants().ok());
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+}
+
+TEST(SnapshotTest, RoundTripLazyStatic) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyStatic, &shadow);
+  db->Freeze();  // serialization requires a serviceable log
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  EXPECT_EQ(restored->update_log().mode(), LogMode::kLazyStatic);
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+}
+
+TEST(SnapshotTest, UnfrozenLsRejected) {
+  LazyDatabaseOptions opts;
+  opts.mode = LogMode::kLazyStatic;
+  LazyDatabase db(opts);
+  ASSERT_TRUE(db.InsertSegment("<a/>", 0).ok());
+  EXPECT_TRUE(SerializeDatabase(db).status().IsInvalidArgument());
+}
+
+TEST(SnapshotTest, RestoredDatabaseAcceptsFurtherUpdates) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  // Insert after restore: sids must not collide.
+  const uint64_t at = shadow.find("<w>") + 3;
+  ASSERT_TRUE(restored->InsertSegment("<b><d/></b>", at).ok());
+  testutil::SpliceInsert(&shadow, "<b><d/></b>", at);
+  ASSERT_TRUE(restored->CheckInvariants().ok());
+  auto got = restored->JoinGlobal("b", "d").ValueOrDie();
+  EXPECT_EQ(got, testutil::OracleJoin(shadow, "b", "d"));
+  // Compaction still works too.
+  ASSERT_TRUE(restored->CompactAll().ok());
+  EXPECT_EQ(restored->JoinGlobal("b", "d").ValueOrDie(),
+            testutil::OracleJoin(shadow, "b", "d"));
+}
+
+TEST(SnapshotTest, RoundTripChoppedDocument) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 900;
+  cfg.num_tags = 4;
+  cfg.seed = 51;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  ChopConfig chop;
+  chop.num_segments = 25;
+  auto plan = BuildChopPlan(doc, chop).ValueOrDie();
+  LazyDatabase db;
+  ASSERT_TRUE(db.ApplyPlan(plan.insertions).ok());
+  auto blob = SerializeDatabase(db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  for (const char* expr : {"t0//t1", "root//t2/t3", "t1//t1"}) {
+    auto a = EvaluatePath(&db, expr).ValueOrDie();
+    auto b = EvaluatePath(restored.get(), expr).ValueOrDie();
+    EXPECT_EQ(a.elements.size(), b.elements.size()) << expr;
+  }
+}
+
+TEST(SnapshotTest, SaveAndLoadFile) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  const std::string path = ::testing::TempDir() + "/lazyxml_snapshot.bin";
+  ASSERT_TRUE(SaveSnapshot(*db, path).ok());
+  auto restored = LoadSnapshot(path).ValueOrDie();
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+  std::remove(path.c_str());
+  EXPECT_TRUE(LoadSnapshot(path).status().IsNotFound());
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  EXPECT_TRUE(DeserializeDatabase("").status().IsCorruption());
+  EXPECT_TRUE(DeserializeDatabase("not a snapshot at all")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(SnapshotTest, RejectsBadMagicAndVersion) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  {
+    std::string tampered = blob;
+    tampered[8] = 'X';  // inside the magic bytes
+    EXPECT_TRUE(DeserializeDatabase(tampered).status().IsCorruption());
+  }
+  {
+    std::string tampered = blob;
+    tampered[16] = 99;  // version field
+    auto s = DeserializeDatabase(tampered).status();
+    EXPECT_TRUE(s.IsNotSupported() || s.IsCorruption());
+  }
+}
+
+TEST(SnapshotTest, TruncationAtEveryPrefixFailsCleanly) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  Random rng(13);
+  for (int i = 0; i < 60; ++i) {
+    const size_t cut = rng.Uniform(blob.size());
+    auto r = DeserializeDatabase(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << cut;
+  }
+}
+
+TEST(SnapshotTest, RandomByteFlipsNeverCrash) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  Random rng(29);
+  for (int round = 0; round < 200; ++round) {
+    std::string tampered = blob;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      tampered[rng.Uniform(tampered.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto r = DeserializeDatabase(tampered);
+    if (r.ok()) {
+      // A flip that survives decoding must still yield a consistent DB.
+      EXPECT_TRUE(r.ValueOrDie()->CheckInvariants().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

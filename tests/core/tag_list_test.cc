@@ -1,0 +1,208 @@
+#include "core/tag_list.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+// Test resolver: a mutable sid -> gp map.
+class MapResolver : public SegmentGpResolver {
+ public:
+  uint64_t GlobalPositionOf(SegmentId sid) const override {
+    return gps_.at(sid);
+  }
+  bool SegmentExists(SegmentId sid) const override {
+    return gps_.count(sid) > 0;
+  }
+  std::map<SegmentId, uint64_t> gps_;
+};
+
+TEST(TagListTest, AddEntriesSortedByGp) {
+  MapResolver r;
+  r.gps_ = {{0, 0}, {1, 100}, {2, 50}, {3, 200}};
+  TagList tl(/*keep_sorted=*/true);
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 5, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 2}, 3, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 3}, 1, r).ok());
+  auto list = tl.EntriesFor(0);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].sid(), 2u);
+  EXPECT_EQ(list[1].sid(), 1u);
+  EXPECT_EQ(list[2].sid(), 3u);
+  EXPECT_TRUE(tl.sorted());
+}
+
+TEST(TagListTest, DuplicateSegmentEntryRejected) {
+  MapResolver r;
+  r.gps_ = {{1, 10}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 5, r).ok());
+  EXPECT_TRUE(tl.AddEntry(0, {0, 1}, 2, r).IsAlreadyExists());
+}
+
+TEST(TagListTest, RejectsEmptyPathOrZeroCount) {
+  MapResolver r;
+  TagList tl;
+  EXPECT_TRUE(tl.AddEntry(0, {}, 5, r).IsInvalidArgument());
+  r.gps_ = {{1, 10}};
+  EXPECT_TRUE(tl.AddEntry(0, {0, 1}, 0, r).IsInvalidArgument());
+}
+
+TEST(TagListTest, SeparateListsPerTag) {
+  MapResolver r;
+  r.gps_ = {{1, 10}, {2, 20}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(5, {0, 2}, 2, r).ok());
+  EXPECT_EQ(tl.EntriesFor(0).size(), 1u);
+  EXPECT_EQ(tl.EntriesFor(5).size(), 1u);
+  EXPECT_TRUE(tl.EntriesFor(3).empty());
+  EXPECT_TRUE(tl.EntriesFor(99).empty());
+  EXPECT_EQ(tl.num_tags(), 2u);
+  EXPECT_EQ(tl.num_entries(), 2u);
+}
+
+TEST(TagListTest, RemoveOccurrencesDecrementsAndErases) {
+  MapResolver r;
+  r.gps_ = {{1, 10}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 5, r).ok());
+  ASSERT_TRUE(tl.RemoveOccurrences(0, 1, 2, r).ok());
+  ASSERT_EQ(tl.EntriesFor(0).size(), 1u);
+  EXPECT_EQ(tl.EntriesFor(0)[0].count, 3u);
+  ASSERT_TRUE(tl.RemoveOccurrences(0, 1, 3, r).ok());
+  EXPECT_TRUE(tl.EntriesFor(0).empty());
+}
+
+TEST(TagListTest, RemoveOccurrencesErrors) {
+  MapResolver r;
+  r.gps_ = {{1, 10}};
+  TagList tl;
+  EXPECT_TRUE(tl.RemoveOccurrences(9, 1, 1, r).IsNotFound());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 2, r).ok());
+  EXPECT_TRUE(tl.RemoveOccurrences(0, 2, 1, r).IsNotFound());
+  EXPECT_TRUE(tl.RemoveOccurrences(0, 1, 5, r).IsInvalidArgument());
+}
+
+TEST(TagListTest, OrderTracksLivePositions) {
+  // Entries added, then segment positions shift (as updates do); lookups
+  // against live positions must still find entries.
+  MapResolver r;
+  r.gps_ = {{1, 10}, {2, 20}, {3, 30}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 2}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 3}, 1, r).ok());
+  // A later insertion shifts everything at/after 20 by +100; order
+  // among survivors is preserved.
+  r.gps_[2] = 120;
+  r.gps_[3] = 130;
+  ASSERT_TRUE(tl.RemoveOccurrences(0, 3, 1, r).ok());
+  ASSERT_EQ(tl.EntriesFor(0).size(), 2u);
+  EXPECT_EQ(tl.EntriesFor(0)[1].sid(), 2u);
+}
+
+TEST(TagListTest, DropSegmentRemovesAcrossTags) {
+  MapResolver r;
+  r.gps_ = {{1, 10}, {2, 20}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(1, {0, 1}, 2, r).ok());
+  ASSERT_TRUE(tl.AddEntry(1, {0, 2}, 3, r).ok());
+  tl.DropSegment(1);
+  EXPECT_TRUE(tl.EntriesFor(0).empty());
+  ASSERT_EQ(tl.EntriesFor(1).size(), 1u);
+  EXPECT_EQ(tl.EntriesFor(1)[0].sid(), 2u);
+}
+
+TEST(TagListTest, UnsortedModeAppendsThenFreezes) {
+  MapResolver r;
+  r.gps_ = {{1, 100}, {2, 50}, {3, 10}};
+  TagList tl(/*keep_sorted=*/false);
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 2}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 3}, 1, r).ok());
+  EXPECT_FALSE(tl.sorted());
+  // Appended in arrival order.
+  EXPECT_EQ(tl.EntriesFor(0)[0].sid(), 1u);
+  tl.Freeze(r);
+  EXPECT_TRUE(tl.sorted());
+  EXPECT_EQ(tl.EntriesFor(0)[0].sid(), 3u);
+  EXPECT_EQ(tl.EntriesFor(0)[1].sid(), 2u);
+  EXPECT_EQ(tl.EntriesFor(0)[2].sid(), 1u);
+  // A new append dirties it again.
+  r.gps_[4] = 5;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 4}, 1, r).ok());
+  EXPECT_FALSE(tl.sorted());
+}
+
+TEST(TagListTest, RemoveWorksInUnsortedMode) {
+  MapResolver r;
+  r.gps_ = {{1, 100}, {2, 50}};
+  TagList tl(/*keep_sorted=*/false);
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 2, r).ok());
+  ASSERT_TRUE(tl.AddEntry(0, {0, 2}, 2, r).ok());
+  ASSERT_TRUE(tl.RemoveOccurrences(0, 1, 2, r).ok());
+  ASSERT_EQ(tl.EntriesFor(0).size(), 1u);
+  EXPECT_EQ(tl.EntriesFor(0)[0].sid(), 2u);
+}
+
+TEST(TagListTest, PathsStoredVerbatim) {
+  MapResolver r;
+  r.gps_ = {{6, 10}};
+  TagList tl;
+  std::vector<SegmentId> path{0, 1, 2, 3, 4, 6};
+  ASSERT_TRUE(tl.AddEntry(0, path, 1, r).ok());
+  EXPECT_EQ(tl.EntriesFor(0)[0].path, path);
+}
+
+TEST(TagListTest, MemoryGrowsQuadraticallyWithNestedPaths) {
+  // The O(T N^2) story: deeper paths cost more per entry.
+  MapResolver r;
+  TagList shallow;
+  TagList nested;
+  for (SegmentId s = 1; s <= 50; ++s) {
+    r.gps_[s] = s * 10;
+    ASSERT_TRUE(shallow.AddEntry(0, {0, s}, 1, r).ok());
+    std::vector<SegmentId> chain;
+    for (SegmentId k = 0; k <= s; ++k) chain.push_back(k);
+    ASSERT_TRUE(nested.AddEntry(0, std::move(chain), 1, r).ok());
+  }
+  EXPECT_GT(nested.MemoryBytes(), 2 * shallow.MemoryBytes());
+}
+
+TEST(TagListTest, ClearEmptiesEverything) {
+  MapResolver r;
+  r.gps_ = {{1, 10}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  tl.Clear();
+  EXPECT_EQ(tl.num_entries(), 0u);
+  EXPECT_TRUE(tl.EntriesFor(0).empty());
+}
+
+TEST(TagListTest, ForEachEntryVisitsAll) {
+  MapResolver r;
+  r.gps_ = {{1, 10}, {2, 20}};
+  TagList tl;
+  ASSERT_TRUE(tl.AddEntry(0, {0, 1}, 1, r).ok());
+  ASSERT_TRUE(tl.AddEntry(3, {0, 2}, 2, r).ok());
+  int seen = 0;
+  tl.ForEachEntry([&seen](TagId, const TagListEntry&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 2);
+  // Early stop.
+  seen = 0;
+  tl.ForEachEntry([&seen](TagId, const TagListEntry&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace lazyxml

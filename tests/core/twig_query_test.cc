@@ -1,0 +1,252 @@
+#include "core/twig_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/synthetic_generator.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+namespace {
+
+// Text-level oracle: recursive twig matching over parsed records.
+std::vector<GlobalElement> OracleMatch(const std::string& doc,
+                                       const TwigNode& node) {
+  std::vector<GlobalElement> set = testutil::ElementsOf(doc, node.tag);
+  for (const auto& child : node.children) {
+    std::vector<GlobalElement> child_set = OracleMatch(doc, *child);
+    std::vector<GlobalElement> kept;
+    for (const GlobalElement& a : set) {
+      for (const GlobalElement& d : child_set) {
+        if (!a.Contains(d)) continue;
+        if (!child->descendant_axis && a.level + 1 != d.level) continue;
+        kept.push_back(a);
+        break;
+      }
+    }
+    set = std::move(kept);
+  }
+  return set;
+}
+
+std::vector<uint64_t> OracleTwigStarts(const std::string& doc,
+                                       std::string_view expr) {
+  auto root = ParseTwigExpression(expr).ValueOrDie();
+  std::vector<GlobalElement> frontier = OracleMatch(doc, *root);
+  const TwigNode* node = root.get();
+  for (;;) {
+    const TwigNode* next = nullptr;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (node->on_main_path[i]) next = node->children[i].get();
+    }
+    if (next == nullptr) break;
+    std::vector<GlobalElement> next_set = OracleMatch(doc, *next);
+    std::vector<GlobalElement> refined;
+    for (const GlobalElement& d : next_set) {
+      for (const GlobalElement& a : frontier) {
+        if (!a.Contains(d)) continue;
+        if (!next->descendant_axis && a.level + 1 != d.level) continue;
+        refined.push_back(d);
+        break;
+      }
+    }
+    frontier = std::move(refined);
+    node = next;
+  }
+  std::set<uint64_t> dedup;
+  for (const GlobalElement& e : frontier) dedup.insert(e.start);
+  return std::vector<uint64_t>(dedup.begin(), dedup.end());
+}
+
+std::vector<uint64_t> TwigStarts(const LazyDatabase& db,
+                                 const TwigQueryResult& r) {
+  std::vector<uint64_t> out;
+  for (const LazyElementRef& e : r.elements) {
+    out.push_back(
+        db.update_log().NodeOf(e.sid)->FrozenToGlobal(e.start, true));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TwigParseTest, PlainPath) {
+  auto root = ParseTwigExpression("a//b/c").ValueOrDie();
+  EXPECT_EQ(root->tag, "a");
+  EXPECT_EQ(root->CountNodes(), 3u);
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_TRUE(root->on_main_path[0]);
+  EXPECT_EQ(root->children[0]->tag, "b");
+  EXPECT_FALSE(root->children[0]->children[0]->descendant_axis);
+}
+
+TEST(TwigParseTest, Predicates) {
+  auto root =
+      ParseTwigExpression("person[profile//interest][address/city]//watch")
+          .ValueOrDie();
+  EXPECT_EQ(root->tag, "person");
+  ASSERT_EQ(root->children.size(), 3u);
+  EXPECT_FALSE(root->on_main_path[0]);  // profile branch
+  EXPECT_FALSE(root->on_main_path[1]);  // address branch
+  EXPECT_TRUE(root->on_main_path[2]);   // watch (output)
+  EXPECT_EQ(root->children[0]->tag, "profile");
+  EXPECT_EQ(root->children[0]->children[0]->tag, "interest");
+  EXPECT_EQ(root->children[2]->tag, "watch");
+}
+
+TEST(TwigParseTest, NestedPredicates) {
+  auto root = ParseTwigExpression("a[b[c]//d]").ValueOrDie();
+  EXPECT_EQ(root->CountNodes(), 4u);
+  const TwigNode* b = root->children[0].get();
+  EXPECT_EQ(b->tag, "b");
+  ASSERT_EQ(b->children.size(), 2u);
+  EXPECT_FALSE(b->on_main_path[0]);  // [c]
+  EXPECT_TRUE(b->on_main_path[1]);   // //d inside the predicate path
+}
+
+TEST(TwigParseTest, Rejections) {
+  EXPECT_FALSE(ParseTwigExpression("").ok());
+  EXPECT_FALSE(ParseTwigExpression("a[b").ok());
+  EXPECT_FALSE(ParseTwigExpression("a]b").ok());
+  EXPECT_FALSE(ParseTwigExpression("a[]").ok());
+  EXPECT_FALSE(ParseTwigExpression("a[b]]").ok());
+  EXPECT_FALSE(ParseTwigExpression("a///b").ok());
+  EXPECT_FALSE(ParseTwigExpression("9a").ok());
+}
+
+TEST(TwigQueryTest, PredicateFiltersAncestors) {
+  LazyDatabase db;
+  // Two persons; only the first has an interest; both have watches.
+  std::string doc =
+      "<people>"
+      "<person><interest/><watch/></person>"
+      "<person><watch/></person>"
+      "</people>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluateTwig(&db, "person[interest]//watch").ValueOrDie();
+  EXPECT_EQ(TwigStarts(db, r),
+            OracleTwigStarts(doc, "person[interest]//watch"));
+  EXPECT_EQ(r.elements.size(), 1u);
+}
+
+TEST(TwigQueryTest, MultiplePredicatesAreConjunctive) {
+  LazyDatabase db;
+  std::string doc =
+      "<r>"
+      "<p><x/><y/><out/></p>"
+      "<p><x/><out/></p>"
+      "<p><y/><out/></p>"
+      "</r>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  auto r = EvaluateTwig(&db, "p[x][y]//out").ValueOrDie();
+  EXPECT_EQ(r.elements.size(), 1u);
+  EXPECT_EQ(TwigStarts(db, r), OracleTwigStarts(doc, "p[x][y]//out"));
+}
+
+TEST(TwigQueryTest, OutputIsLastMainStep) {
+  LazyDatabase db;
+  std::string doc = "<a><b><c/></b><b/></a>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  // No predicate: plain path semantics.
+  auto r = EvaluateTwig(&db, "a//b//c").ValueOrDie();
+  EXPECT_EQ(r.elements.size(), 1u);
+  // Root-only twig returns matching roots.
+  auto roots = EvaluateTwig(&db, "b[c]").ValueOrDie();
+  EXPECT_EQ(roots.elements.size(), 1u);
+  EXPECT_EQ(TwigStarts(db, roots), OracleTwigStarts(doc, "b[c]"));
+}
+
+TEST(TwigQueryTest, ChildAxisInPredicate) {
+  LazyDatabase db;
+  std::string doc = "<r><p><q><x/></q></p><p><x/></p></r>";
+  ASSERT_TRUE(db.InsertSegment(doc, 0).ok());
+  // p[/x] -> only the second p has x as a direct child.
+  auto direct = EvaluateTwig(&db, "p[x]").ValueOrDie();
+  EXPECT_EQ(direct.elements.size(), 2u);  // [x] is descendant by default
+  auto strict = EvaluateTwig(&db, "p[/x]").ValueOrDie();
+  EXPECT_EQ(strict.elements.size(), 1u);
+  EXPECT_EQ(TwigStarts(db, strict), OracleTwigStarts(doc, "p[/x]"));
+}
+
+TEST(TwigQueryTest, AcrossSegmentsMatchesOracle) {
+  LazyDatabase db;
+  std::string shadow;
+  auto insert = [&](std::string_view text, uint64_t gp) {
+    ASSERT_TRUE(db.InsertSegment(text, gp).ok());
+    testutil::SpliceInsert(&shadow, text, gp);
+  };
+  insert("<people><w></w></people>", 0);
+  insert("<person><interest/><watches><w2></w2></watches></person>", 11);
+  const uint64_t hole = shadow.find("<w2>") + 4;
+  insert("<watch/>", hole);
+  for (const char* expr :
+       {"person[interest]//watch", "person//watch",
+        "person[watches//watch]", "person[interest][watches]"}) {
+    auto r = EvaluateTwig(&db, expr).ValueOrDie();
+    EXPECT_EQ(TwigStarts(db, r), OracleTwigStarts(shadow, expr)) << expr;
+  }
+}
+
+TEST(TwigQueryTest, XMarkChoppedTwigs) {
+  XMarkConfig cfg;
+  cfg.num_persons = 80;
+  cfg.profile_probability = 0.7;
+  cfg.watches_probability = 0.7;
+  cfg.min_interests = 0;
+  cfg.min_watches = 0;
+  const std::string doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  ChopConfig chop;
+  chop.num_segments = 15;
+  auto plan = BuildChopPlan(doc, chop).ValueOrDie();
+  LazyDatabase db;
+  ASSERT_TRUE(db.ApplyPlan(plan.insertions).ok());
+  for (const char* expr :
+       {"person[profile//interest]//watch",
+        "person[watches]/profile/interest",
+        "person[profile][watches]//phone",
+        "site//person[address/city]//interest"}) {
+    auto r = EvaluateTwig(&db, expr).ValueOrDie();
+    EXPECT_EQ(TwigStarts(db, r), OracleTwigStarts(doc, expr)) << expr;
+  }
+}
+
+TEST(TwigQueryTest, SyntheticRandomTwigs) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 600;
+  cfg.num_tags = 3;
+  cfg.seed = 61;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  ChopConfig chop;
+  chop.num_segments = 8;
+  auto plan = BuildChopPlan(doc, chop).ValueOrDie();
+  LazyDatabase db;
+  ASSERT_TRUE(db.ApplyPlan(plan.insertions).ok());
+  for (const char* expr :
+       {"t0[t1]//t2", "t0[t1//t2]", "t1[t0][t2]", "root[t0]//t1/t2",
+        "t0[t0]//t0"}) {
+    auto r = EvaluateTwig(&db, expr).ValueOrDie();
+    EXPECT_EQ(TwigStarts(db, r), OracleTwigStarts(doc, expr)) << expr;
+  }
+}
+
+TEST(TwigQueryTest, EmptyAndUnknown) {
+  LazyDatabase db;
+  ASSERT_TRUE(db.InsertSegment("<a><b/></a>", 0).ok());
+  EXPECT_TRUE(EvaluateTwig(&db, "a[zz]").ValueOrDie().elements.empty());
+  EXPECT_TRUE(EvaluateTwig(&db, "zz[a]").ValueOrDie().elements.empty());
+  EXPECT_TRUE(EvaluateTwig(nullptr, "a[b]").status().IsInvalidArgument());
+}
+
+TEST(TwigQueryTest, StatsCountJoins) {
+  LazyDatabase db;
+  ASSERT_TRUE(
+      db.InsertSegment("<p><x/><y/><out/></p>", 0).ok());
+  auto r = EvaluateTwig(&db, "p[x][y]//out").ValueOrDie();
+  EXPECT_EQ(r.joins, 3u);  // p-x, p-y, p-out
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,322 @@
+#include "core/update_log.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+// Convenience: insert and return the node.
+SegmentNode* MustAdd(UpdateLog* log, uint64_t gp, uint64_t len) {
+  auto r = log->AddSegment(gp, len);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ValueOrDie().node;
+}
+
+TEST(UpdateLogTest, EmptyLog) {
+  UpdateLog log;
+  EXPECT_EQ(log.num_segments(), 0u);
+  EXPECT_EQ(log.super_document_length(), 0u);
+  EXPECT_EQ(log.root()->sid, kRootSegmentId);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, FirstSegmentUnderRoot) {
+  UpdateLog log;
+  auto r = log.AddSegment(0, 100);
+  ASSERT_TRUE(r.ok());
+  const auto& info = r.ValueOrDie();
+  EXPECT_EQ(info.sid, 1u);
+  EXPECT_EQ(info.parent, log.root());
+  EXPECT_EQ(info.node->gp, 0u);
+  EXPECT_EQ(info.node->l, 100u);
+  EXPECT_EQ(info.node->lp, 0u);
+  EXPECT_EQ(info.path, (std::vector<SegmentId>{0, 1}));
+  EXPECT_EQ(log.super_document_length(), 100u);
+  EXPECT_EQ(log.num_segments(), 1u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, NestedInsertionFindsDeepestParent) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);    // seg1 [0,100)
+  auto* s2 = MustAdd(&log, 50, 20);  // inside seg1
+  EXPECT_EQ(s2->parent->sid, 1u);
+  EXPECT_EQ(s2->lp, 50u);
+  auto* s3 = MustAdd(&log, 55, 5);   // inside seg2
+  EXPECT_EQ(s3->parent->sid, s2->sid);
+  EXPECT_EQ(s3->lp, 5u);
+  // Lengths grew along the path.
+  EXPECT_EQ(log.root()->l, 125u);
+  EXPECT_EQ(log.NodeOf(1)->l, 125u);
+  EXPECT_EQ(s2->l, 25u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, InsertionAtBoundaryGoesToOuterSegment) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  auto* s2 = MustAdd(&log, 100, 50);  // right at seg1's end: sibling
+  EXPECT_EQ(s2->parent->sid, kRootSegmentId);
+  // The dummy root has no text of its own, so every top-level splice is
+  // at frozen position 0 (Definition 2: gp minus left siblings' lengths).
+  EXPECT_EQ(s2->lp, 0u);
+  auto* s3 = MustAdd(&log, 0, 10);  // right at seg1's start: sibling before
+  EXPECT_EQ(s3->parent->sid, kRootSegmentId);
+  EXPECT_EQ(s3->lp, 0u);
+  // seg1 shifted right by 10.
+  EXPECT_EQ(log.NodeOf(1)->gp, 10u);
+  EXPECT_EQ(log.NodeOf(s2->sid)->gp, 110u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, SiblingInsertKeepsLocalPositionsFrozen) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);           // seg1
+  auto* right = MustAdd(&log, 60, 10);  // child of seg1 at frozen 60
+  EXPECT_EQ(right->lp, 60u);
+  auto* left = MustAdd(&log, 30, 20);   // left sibling, child of seg1
+  EXPECT_EQ(left->lp, 30u);
+  // right shifted globally but its frozen position is unchanged.
+  EXPECT_EQ(right->gp, 80u);
+  EXPECT_EQ(right->lp, 60u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, PathReflectsContainmentChain) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  MustAdd(&log, 10, 50);
+  auto r = log.AddSegment(20, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().path, (std::vector<SegmentId>{0, 1, 2, 3}));
+  EXPECT_EQ(log.PathOf(3).ValueOrDie(), (std::vector<SegmentId>{0, 1, 2, 3}));
+  EXPECT_TRUE(log.PathOf(99).status().IsNotFound());
+}
+
+TEST(UpdateLogTest, ChildrenOrderedByGp) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  MustAdd(&log, 80, 5);
+  MustAdd(&log, 20, 5);
+  MustAdd(&log, 50, 5);
+  const auto& children = log.NodeOf(1)->children;
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_LT(children[0]->gp, children[1]->gp);
+  EXPECT_LT(children[1]->gp, children[2]->gp);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, InsertValidation) {
+  UpdateLog log;
+  EXPECT_TRUE(log.AddSegment(0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(log.AddSegment(5, 10).status().IsOutOfRange());
+  MustAdd(&log, 0, 10);
+  EXPECT_TRUE(log.AddSegment(11, 1).status().IsOutOfRange());
+  EXPECT_TRUE(log.AddSegment(10, 1).ok());  // exactly at the end is fine
+}
+
+TEST(UpdateLogTest, FindSegmentThroughSbTree) {
+  UpdateLog log;
+  MustAdd(&log, 0, 10);
+  auto n = log.FindSegment(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.ValueOrDie()->sid, 1u);
+  EXPECT_TRUE(log.FindSegment(42).status().IsNotFound());
+}
+
+TEST(UpdateLogTest, RemoveWholeChildSegment) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);   // seg1
+  MustAdd(&log, 20, 30);   // seg2 inside seg1
+  MustAdd(&log, 25, 10);   // seg3 inside seg2; seg2 now spans [20, 60)
+  // Remove exactly seg2's grown span [20, 60).
+  auto eff = log.CollectRemovalEffects(20, 40).ValueOrDie();
+  ASSERT_EQ(eff.full.size(), 2u);  // seg2 and seg3
+  EXPECT_EQ(eff.full[0].sid, 2u);
+  EXPECT_EQ(eff.full[1].sid, 3u);
+  // seg1 loses no own text (region exactly covers the child splice), so
+  // no partial entry mentions it with a non-empty interval.
+  for (const auto& p : eff.partial) {
+    EXPECT_NE(p.sid, 1u);
+  }
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  EXPECT_EQ(log.num_segments(), 1u);
+  EXPECT_EQ(log.NodeOf(1)->l, 100u);
+  EXPECT_EQ(log.super_document_length(), 100u);
+  EXPECT_EQ(log.NodeOf(2), nullptr);
+  EXPECT_EQ(log.NodeOf(3), nullptr);
+  EXPECT_TRUE(log.FindSegment(2).status().IsNotFound());
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveInsideOneSegmentLeavesGap) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  auto eff = log.CollectRemovalEffects(30, 20).ValueOrDie();
+  EXPECT_TRUE(eff.full.empty());
+  // Both the root (no own text though: [30,50) frozen) and seg1 report.
+  bool seg1_partial = false;
+  for (const auto& p : eff.partial) {
+    if (p.sid == 1) {
+      seg1_partial = true;
+      EXPECT_EQ(p.frozen_begin, 30u);
+      EXPECT_EQ(p.frozen_end, 50u);
+    }
+  }
+  EXPECT_TRUE(seg1_partial);
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  EXPECT_EQ(log.NodeOf(1)->l, 80u);
+  ASSERT_EQ(log.NodeOf(1)->gaps.size(), 1u);
+  EXPECT_EQ(log.NodeOf(1)->gaps[0].begin, 30u);
+  EXPECT_EQ(log.NodeOf(1)->gaps[0].end, 50u);
+  // Frozen coordinates survive: frozen 60 is now at global 40.
+  EXPECT_EQ(log.NodeOf(1)->FrozenToGlobal(60, true), 40u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveLeftIntersection) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);   // seg1
+  MustAdd(&log, 20, 30);   // seg2 = [20, 50)
+  // Remove [40, 70): takes seg2's tail [40,50) and seg1's [50,70).
+  auto eff = log.CollectRemovalEffects(40, 30).ValueOrDie();
+  EXPECT_TRUE(eff.full.empty());
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  EXPECT_EQ(log.NodeOf(2)->gp, 20u);
+  EXPECT_EQ(log.NodeOf(2)->l, 20u);
+  ASSERT_EQ(log.NodeOf(2)->gaps.size(), 1u);
+  EXPECT_EQ(log.NodeOf(2)->gaps[0].begin, 20u);
+  EXPECT_EQ(log.NodeOf(2)->gaps[0].end, 30u);
+  EXPECT_EQ(log.NodeOf(1)->l, 100u);  // grew to 130 with seg2, lost 30
+  // seg1's own gap: frozen [20, 40) — the removed [50,70) maps back past
+  // the child splice at frozen 20.
+  ASSERT_EQ(log.NodeOf(1)->gaps.size(), 1u);
+  EXPECT_EQ(log.NodeOf(1)->gaps[0].begin, 20u);
+  EXPECT_EQ(log.NodeOf(1)->gaps[0].end, 40u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveRightIntersection) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);   // seg1
+  MustAdd(&log, 40, 30);   // seg2 = [40, 70)
+  // Remove [20, 50): seg1's [20,40) plus seg2's head [40,50).
+  auto eff = log.CollectRemovalEffects(20, 30).ValueOrDie();
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  // seg2's surviving suffix starts where the removal began.
+  EXPECT_EQ(log.NodeOf(2)->gp, 20u);
+  EXPECT_EQ(log.NodeOf(2)->l, 20u);
+  ASSERT_EQ(log.NodeOf(2)->gaps.size(), 1u);
+  EXPECT_EQ(log.NodeOf(2)->gaps[0].begin, 0u);
+  EXPECT_EQ(log.NodeOf(2)->gaps[0].end, 10u);
+  EXPECT_EQ(log.NodeOf(1)->l, 100u);  // grew to 130 with seg2, lost 30
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveSpanningMultipleChildren) {
+  // The paper's Fig. 6 shape: removal left-intersects one child, swallows
+  // others, right-intersects another.
+  UpdateLog log;
+  MustAdd(&log, 0, 200);    // seg1, grows to 310 with the inserts below
+  MustAdd(&log, 10, 40);    // seg2 [10,50)
+  MustAdd(&log, 60, 20);    // seg3 [60,80)
+  MustAdd(&log, 90, 40);    // seg4 [90,130)
+  MustAdd(&log, 95, 10);    // seg5 [95,105) inside seg4, which becomes [90,140)
+  // Remove [30, 110): tail of seg2, seg1's own [50,60) and [80,90), all of
+  // seg3 and seg5, head of seg4.
+  auto eff = log.CollectRemovalEffects(30, 80).ValueOrDie();
+  std::vector<SegmentId> fulls;
+  for (const auto& f : eff.full) fulls.push_back(f.sid);
+  EXPECT_EQ(fulls, (std::vector<SegmentId>{3, 5}));
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  EXPECT_EQ(log.NodeOf(3), nullptr);
+  EXPECT_EQ(log.NodeOf(5), nullptr);
+  EXPECT_EQ(log.NodeOf(2)->gp, 10u);
+  EXPECT_EQ(log.NodeOf(2)->l, 20u);   // lost [30,50)
+  EXPECT_EQ(log.NodeOf(4)->gp, 30u);  // right-intersected: starts at lo
+  EXPECT_EQ(log.NodeOf(4)->l, 30u);   // lost [90,110) incl seg5
+  ASSERT_EQ(log.NodeOf(4)->gaps.size(), 1u);
+  EXPECT_EQ(log.NodeOf(4)->gaps[0].begin, 0u);
+  EXPECT_EQ(log.NodeOf(4)->gaps[0].end, 10u);
+  EXPECT_EQ(log.NodeOf(1)->l, 230u);
+  EXPECT_EQ(log.super_document_length(), 230u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveShiftsLaterSegments) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  MustAdd(&log, 20, 10);  // seg2
+  MustAdd(&log, 70, 10);  // seg3
+  auto eff = log.CollectRemovalEffects(20, 10).ValueOrDie();  // kill seg2
+  ASSERT_TRUE(log.ApplyRemoval(eff).ok());
+  EXPECT_EQ(log.NodeOf(3)->gp, 60u);
+  EXPECT_EQ(log.NodeOf(3)->lp, 60u);  // frozen position unchanged
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, RemoveValidation) {
+  UpdateLog log;
+  MustAdd(&log, 0, 50);
+  EXPECT_TRUE(log.CollectRemovalEffects(0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(log.CollectRemovalEffects(40, 20).status().IsOutOfRange());
+}
+
+TEST(UpdateLogTest, InsertAfterRemovalUsesConsistentFrozenCoords) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);  // seg1
+  // Remove seg1's own frozen [30, 50).
+  ASSERT_TRUE(
+      log.ApplyRemoval(log.CollectRemovalEffects(30, 20).ValueOrDie()).ok());
+  // Insert at global 60 == frozen 80 (past the gap).
+  auto* s2 = MustAdd(&log, 60, 10);
+  EXPECT_EQ(s2->parent->sid, 1u);
+  EXPECT_EQ(s2->lp, 80u);
+  EXPECT_TRUE(log.CheckInvariants().ok());
+}
+
+TEST(UpdateLogTest, LazyStaticModeDefersSbTree) {
+  UpdateLog::Options opts;
+  opts.mode = LogMode::kLazyStatic;
+  UpdateLog log(opts);
+  ASSERT_TRUE(log.AddSegment(0, 100).ok());
+  ASSERT_TRUE(log.AddSegment(10, 10).ok());
+  EXPECT_FALSE(log.frozen());
+  EXPECT_TRUE(log.FindSegment(1).status().IsInternal());  // not frozen yet
+  log.Freeze();
+  EXPECT_TRUE(log.frozen());
+  EXPECT_TRUE(log.FindSegment(1).ok());
+  EXPECT_TRUE(log.FindSegment(2).ok());
+  EXPECT_TRUE(log.CheckInvariants().ok());
+  // Another update dirties it again.
+  ASSERT_TRUE(log.AddSegment(5, 5).ok());
+  EXPECT_FALSE(log.frozen());
+  log.Freeze();
+  EXPECT_TRUE(log.FindSegment(3).ok());
+}
+
+TEST(UpdateLogTest, ModeNames) {
+  EXPECT_STREQ(LogModeName(LogMode::kLazyDynamic), "LD");
+  EXPECT_STREQ(LogModeName(LogMode::kLazyStatic), "LS");
+}
+
+TEST(UpdateLogTest, GlobalPositionResolver) {
+  UpdateLog log;
+  MustAdd(&log, 0, 100);
+  MustAdd(&log, 20, 10);
+  EXPECT_EQ(log.GlobalPositionOf(1), 0u);
+  EXPECT_EQ(log.GlobalPositionOf(2), 20u);
+}
+
+TEST(UpdateLogTest, SbTreeMemoryGrowsWithSegments) {
+  UpdateLog log;
+  MustAdd(&log, 0, 1000);
+  const size_t before = log.SbTreeMemoryBytes();
+  for (int i = 0; i < 50; ++i) {
+    MustAdd(&log, 10 + i, 1);
+  }
+  EXPECT_GT(log.SbTreeMemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,136 @@
+// Randomized update property test: a LazyDatabase and a naive text
+// "shadow document" receive the same random insert/remove stream; after
+// every step the database must agree with a fresh parse of the text —
+// element materializations, join results, internal invariants.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/lazy_database.h"
+#include "tests/testutil.h"
+
+namespace lazyxml {
+namespace {
+
+constexpr const char* kTags[] = {"A", "D", "m", "n"};
+
+// Small random well-formed fragment (single root).
+std::string RandomFragment(Random* rng, int depth = 0) {
+  const char* tag = kTags[rng->Uniform(4)];
+  std::string out = std::string("<") + tag + ">";
+  const int children = depth >= 3 ? 0 : static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < children; ++i) {
+    out += RandomFragment(rng, depth + 1);
+  }
+  if (children == 0 && rng->Bernoulli(0.5)) out += "text";
+  out += std::string("</") + tag + ">";
+  return out;
+}
+
+struct RandomOpsParam {
+  uint64_t seed;
+  LogMode mode;
+  double remove_probability;
+};
+
+class RandomOpsTest : public ::testing::TestWithParam<RandomOpsParam> {};
+
+TEST_P(RandomOpsTest, DatabaseTracksShadowDocument) {
+  const RandomOpsParam param = GetParam();
+  Random rng(param.seed);
+  LazyDatabaseOptions opts;
+  opts.mode = param.mode;
+  LazyDatabase db(opts);
+  std::string shadow;
+
+  auto verify_full = [&]() {
+    ASSERT_TRUE(db.CheckInvariants().ok());
+    for (const char* tag : kTags) {
+      auto got = db.MaterializeGlobalElements(tag).ValueOrDie();
+      auto want = testutil::ElementsOf(shadow, tag);
+      ASSERT_EQ(got.size(), want.size()) << tag << " in: " << shadow;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << tag << " #" << i << " in: " << shadow;
+      }
+    }
+    auto join = db.JoinGlobal("A", "D").ValueOrDie();
+    auto want_join = testutil::OracleJoin(shadow, "A", "D");
+    ASSERT_EQ(join, want_join) << shadow;
+    auto self_join = db.JoinGlobal("A", "A").ValueOrDie();
+    ASSERT_EQ(self_join, testutil::OracleJoin(shadow, "A", "A")) << shadow;
+  };
+
+  for (int op = 0; op < 80; ++op) {
+    // Candidate positions: element boundaries and just-inside-open-tag
+    // positions of the current text (all guaranteed splice-safe).
+    TagDict dict;
+    auto parsed = ParseFragment(shadow, &dict).ValueOrDie();
+    const auto& records = parsed.records;
+
+    const bool remove = !records.empty() &&
+                        rng.Bernoulli(param.remove_probability);
+    if (remove) {
+      const ElementRecord& victim =
+          records[rng.Uniform(records.size())];
+      ASSERT_TRUE(db.RemoveSegment(victim.start, victim.end - victim.start)
+                      .ok())
+          << shadow;
+      testutil::SpliceRemove(&shadow, victim.start,
+                             victim.end - victim.start);
+    } else {
+      uint64_t gp = 0;
+      if (!records.empty()) {
+        const ElementRecord& around = records[rng.Uniform(records.size())];
+        switch (rng.Uniform(3)) {
+          case 0:
+            gp = around.start;  // just before the element
+            break;
+          case 1:
+            gp = shadow.find('>', around.start) + 1;  // just inside
+            break;
+          case 2:
+            gp = around.end;  // just after
+            break;
+        }
+      }
+      const std::string frag = RandomFragment(&rng);
+      ASSERT_TRUE(db.InsertSegment(frag, gp).ok())
+          << "gp=" << gp << " frag=" << frag << " in: " << shadow;
+      testutil::SpliceInsert(&shadow, frag, gp);
+    }
+    ASSERT_TRUE(IsWellFormedDocument(shadow) ||
+                ParseFragment(shadow, &dict).ok())
+        << shadow;
+    if (op % 10 == 9) verify_full();
+    // Occasional maintenance: collapse a random segment subtree (never
+    // the dummy root). Queries must be unaffected.
+    if (op % 23 == 22) {
+      const auto& children = db.update_log().root()->children;
+      if (!children.empty()) {
+        const SegmentNode* pick =
+            children[rng.Uniform(children.size())];
+        ASSERT_TRUE(db.CollapseSubtree(pick->sid).ok());
+        verify_full();
+      }
+    }
+  }
+  verify_full();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, RandomOpsTest,
+    ::testing::Values(RandomOpsParam{11, LogMode::kLazyDynamic, 0.25},
+                      RandomOpsParam{22, LogMode::kLazyDynamic, 0.40},
+                      RandomOpsParam{33, LogMode::kLazyDynamic, 0.10},
+                      RandomOpsParam{44, LogMode::kLazyStatic, 0.25},
+                      RandomOpsParam{55, LogMode::kLazyStatic, 0.40},
+                      RandomOpsParam{66, LogMode::kLazyDynamic, 0.50}),
+    [](const ::testing::TestParamInfo<RandomOpsParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             LogModeName(info.param.mode);
+    });
+
+}  // namespace
+}  // namespace lazyxml

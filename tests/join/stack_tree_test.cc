@@ -1,0 +1,158 @@
+#include "join/stack_tree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/testutil.h"
+#include "xmlgen/synthetic_generator.h"
+
+namespace lazyxml {
+namespace {
+
+void ExpectSameSet(std::vector<JoinPair> a, std::vector<JoinPair> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StackTreeDescTest, EmptyInputs) {
+  std::vector<GlobalElement> some{{0, 10, 1}};
+  EXPECT_TRUE(StackTreeDesc({}, {}).empty());
+  EXPECT_TRUE(StackTreeDesc(some, {}).empty());
+  EXPECT_TRUE(StackTreeDesc({}, some).empty());
+}
+
+TEST(StackTreeDescTest, SimpleContainment) {
+  //  <a> <d/> </a>   a=[0,20) d=[3,8)
+  std::vector<GlobalElement> a{{0, 20, 1}};
+  std::vector<GlobalElement> d{{3, 8, 2}};
+  auto out = StackTreeDesc(a, d);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ancestor_start, 0u);
+  EXPECT_EQ(out[0].descendant_start, 3u);
+}
+
+TEST(StackTreeDescTest, DisjointProducesNothing) {
+  std::vector<GlobalElement> a{{0, 10, 1}};
+  std::vector<GlobalElement> d{{10, 20, 1}};
+  EXPECT_TRUE(StackTreeDesc(a, d).empty());
+}
+
+TEST(StackTreeDescTest, NestedAncestorsAllJoin) {
+  // a1 ⊃ a2 ⊃ a3 ⊃ d
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 90, 2}, {20, 80, 3}};
+  std::vector<GlobalElement> d{{30, 40, 4}};
+  auto out = StackTreeDesc(a, d);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StackTreeDescTest, OutputSortedByDescendant) {
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 50, 2}, {60, 90, 2}};
+  std::vector<GlobalElement> d{{20, 30, 3}, {70, 80, 3}, {95, 99, 2}};
+  auto out = StackTreeDesc(a, d);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].descendant_start, out[i].descendant_start);
+  }
+  ExpectSameSet(out, NaiveStructuralJoin(a, d));
+}
+
+TEST(StackTreeDescTest, SameTagSelfJoinExcludesSelf) {
+  // A//A over nested a's: element must not pair with itself.
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 90, 2}, {20, 80, 3}};
+  auto out = StackTreeDesc(a, a);
+  EXPECT_EQ(out.size(), 3u);  // (a1,a2) (a1,a3) (a2,a3)
+  for (const auto& p : out) {
+    EXPECT_NE(p.ancestor_start, p.descendant_start);
+  }
+}
+
+TEST(StackTreeDescTest, ParentChildFiltersByLevel) {
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 90, 2}};
+  std::vector<GlobalElement> d{{20, 30, 3}, {40, 50, 2}};
+  StructuralJoinOptions pc;
+  pc.parent_child = true;
+  auto out = StackTreeDesc(a, d, pc);
+  // (a@2, d@3) and (a@1, d@2).
+  ASSERT_EQ(out.size(), 2u);
+  ExpectSameSet(out, NaiveStructuralJoin(a, d, pc));
+}
+
+TEST(StackTreeAncTest, MatchesDescOnSets) {
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 50, 2}, {60, 90, 2},
+                               {12, 40, 3}};
+  std::vector<GlobalElement> d{{20, 30, 4}, {70, 80, 3}, {95, 99, 2},
+                               {13, 19, 4}};
+  ExpectSameSet(StackTreeAnc(a, d), StackTreeDesc(a, d));
+}
+
+TEST(StackTreeAncTest, OutputSortedByAncestor) {
+  std::vector<GlobalElement> a{{0, 100, 1}, {10, 50, 2}, {60, 90, 2}};
+  std::vector<GlobalElement> d{{20, 30, 3}, {70, 80, 3}};
+  auto out = StackTreeAnc(a, d);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].ancestor_start, out[i].ancestor_start);
+  }
+}
+
+TEST(StackTreeAncTest, DeferredInheritListsOrdering) {
+  // A chain where inner ancestors finish before outer ones: the
+  // self/inherit mechanism must still emit ancestor-ordered output.
+  std::vector<GlobalElement> a{{0, 1000, 1}, {100, 400, 2}, {500, 900, 2},
+                               {510, 800, 3}};
+  std::vector<GlobalElement> d{{150, 160, 3}, {550, 560, 4}, {950, 960, 2}};
+  auto out = StackTreeAnc(a, d);
+  ExpectSameSet(out, NaiveStructuralJoin(a, d));
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].ancestor_start, out[i].ancestor_start);
+  }
+}
+
+// Property sweep: parse generated documents, join two tags with both
+// algorithms, compare to the naive oracle.
+struct SweepParam {
+  uint64_t seed;
+  uint64_t elements;
+  uint32_t tags;
+  bool parent_child;
+};
+
+class StackTreeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StackTreeSweep, AgreesWithOracleOnGeneratedDocs) {
+  const SweepParam p = GetParam();
+  SyntheticConfig cfg;
+  cfg.seed = p.seed;
+  cfg.target_elements = p.elements;
+  cfg.num_tags = p.tags;
+  cfg.max_depth = 10;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  auto a = testutil::ElementsOf(doc, "t0");
+  auto d = testutil::ElementsOf(doc, "t1");
+  StructuralJoinOptions opts;
+  opts.parent_child = p.parent_child;
+  auto oracle = NaiveStructuralJoin(a, d, opts);
+  ExpectSameSet(StackTreeDesc(a, d, opts), oracle);
+  ExpectSameSet(StackTreeAnc(a, d, opts), oracle);
+  // Same-tag self join too.
+  auto self_oracle = NaiveStructuralJoin(a, a, opts);
+  ExpectSameSet(StackTreeDesc(a, a, opts), self_oracle);
+  ExpectSameSet(StackTreeAnc(a, a, opts), self_oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, StackTreeSweep,
+    ::testing::Values(SweepParam{1, 200, 2, false},
+                      SweepParam{2, 500, 3, false},
+                      SweepParam{3, 500, 3, true},
+                      SweepParam{4, 1500, 2, false},
+                      SweepParam{5, 1500, 2, true},
+                      SweepParam{6, 3000, 4, false}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.parent_child ? "_pc" : "_ad");
+    });
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,279 @@
+#include "labeling/ordpath.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/parser.h"
+#include "xmlgen/synthetic_generator.h"
+
+namespace lazyxml {
+namespace {
+
+using NodeId = OrdPathLabeling::NodeId;
+
+OrdPathLabel L(std::vector<int64_t> comps) {
+  return OrdPathLabel::FromComponents(std::move(comps));
+}
+
+TEST(OrdPathLabelTest, LevelCountsOddComponentsOnly) {
+  EXPECT_EQ(L({}).Level(), 0u);
+  EXPECT_EQ(L({1}).Level(), 1u);
+  EXPECT_EQ(L({1, 5, 3}).Level(), 3u);
+  EXPECT_EQ(L({1, 6, 1}).Level(), 2u);      // 6 is a caret
+  EXPECT_EQ(L({1, 6, 2, 1}).Level(), 2u);   // double caret
+}
+
+TEST(OrdPathLabelTest, AncestorIsProperPrefix) {
+  EXPECT_TRUE(L({1}).IsAncestorOf(L({1, 3})));
+  EXPECT_TRUE(L({1, 3}).IsAncestorOf(L({1, 3, 6, 1})));
+  EXPECT_FALSE(L({1, 3}).IsAncestorOf(L({1, 3})));   // not proper
+  EXPECT_FALSE(L({1, 3}).IsAncestorOf(L({1, 5})));
+  EXPECT_FALSE(L({1, 3, 1}).IsAncestorOf(L({1, 3})));
+  EXPECT_TRUE(L({}).IsAncestorOf(L({1})));  // super-root
+}
+
+TEST(OrdPathLabelTest, CompareIsPreorder) {
+  EXPECT_LT(L({1}).Compare(L({1, 1})), 0);     // ancestor first
+  EXPECT_LT(L({1, 1}).Compare(L({1, 3})), 0);  // sibling order
+  EXPECT_LT(L({1, 5}).Compare(L({1, 6, 1})), 0);
+  EXPECT_LT(L({1, 6, 1}).Compare(L({1, 7})), 0);
+  EXPECT_EQ(L({1, 3}).Compare(L({1, 3})), 0);
+  EXPECT_GT(L({3}).Compare(L({1, 99})), 0);
+}
+
+TEST(OrdPathLabelTest, FirstChildAppendsOne) {
+  EXPECT_EQ(L({1, 5}).FirstChild(), L({1, 5, 1}));
+}
+
+TEST(OrdPathLabelTest, AfterAndBefore) {
+  const OrdPathLabel parent = L({1});
+  EXPECT_EQ(OrdPathLabel::After(parent, L({1, 5})), L({1, 7}));
+  EXPECT_EQ(OrdPathLabel::After(parent, L({1, 6, 1})), L({1, 7}));
+  EXPECT_EQ(OrdPathLabel::Before(parent, L({1, 5})), L({1, 3}));
+  EXPECT_EQ(OrdPathLabel::Before(parent, L({1, 1})), L({1, -1}));
+  EXPECT_EQ(OrdPathLabel::Before(parent, L({1, -1})), L({1, -3}));
+}
+
+TEST(OrdPathLabelTest, BetweenCaretsWhenAdjacent) {
+  const OrdPathLabel parent = L({1});
+  // Room: 1 and 7 -> some odd in between.
+  auto mid = OrdPathLabel::Between(parent, L({1, 1}), L({1, 7})).ValueOrDie();
+  EXPECT_LT(L({1, 1}).Compare(mid), 0);
+  EXPECT_LT(mid.Compare(L({1, 7})), 0);
+  // No room: 5 and 7 -> 6.1 caret.
+  auto caret =
+      OrdPathLabel::Between(parent, L({1, 5}), L({1, 7})).ValueOrDie();
+  EXPECT_EQ(caret, L({1, 6, 1}));
+  // Between 5 and 6.1 -> below the caret.
+  auto deeper =
+      OrdPathLabel::Between(parent, L({1, 5}), L({1, 6, 1})).ValueOrDie();
+  EXPECT_LT(L({1, 5}).Compare(deeper), 0);
+  EXPECT_LT(deeper.Compare(L({1, 6, 1})), 0);
+  // Between 6.1 and 7 -> after the caret start.
+  auto after_caret =
+      OrdPathLabel::Between(parent, L({1, 6, 1}), L({1, 7})).ValueOrDie();
+  EXPECT_LT(L({1, 6, 1}).Compare(after_caret), 0);
+  EXPECT_LT(after_caret.Compare(L({1, 7})), 0);
+}
+
+TEST(OrdPathLabelTest, BetweenRejectsBadOrder) {
+  EXPECT_FALSE(
+      OrdPathLabel::Between(L({1}), L({1, 7}), L({1, 5})).ok());
+}
+
+TEST(OrdPathLabelTest, RepeatedBisectionStaysOrderedAndNeverAncestral) {
+  // Hammer one gap: repeatedly insert between 1.5 and the last inserted.
+  const OrdPathLabel parent = L({1});
+  OrdPathLabel left = L({1, 5});
+  OrdPathLabel right = L({1, 7});
+  for (int i = 0; i < 64; ++i) {
+    auto mid = OrdPathLabel::Between(parent, left, right).ValueOrDie();
+    ASSERT_LT(left.Compare(mid), 0) << i;
+    ASSERT_LT(mid.Compare(right), 0) << i;
+    ASSERT_FALSE(left.IsAncestorOf(mid)) << i;
+    ASSERT_FALSE(mid.IsAncestorOf(right)) << i;
+    ASSERT_EQ(mid.Level(), 2u) << i;  // still a sibling level
+    right = mid;  // keep squeezing the same gap
+  }
+}
+
+TEST(OrdPathLabelTest, ToStringAndEncodedBytes) {
+  EXPECT_EQ(L({1, 6, 1}).ToString(), "1.6.1");
+  EXPECT_EQ(L({}).ToString(), "");
+  EXPECT_EQ(L({1}).EncodedBytes(), 1u);
+  EXPECT_GT(L({1, 300, 5}).EncodedBytes(), 3u);  // 300 needs 2 varint bytes
+}
+
+TEST(OrdPathLabelingTest, BuildAssignsOddOrdinals) {
+  OrdPathLabeling lab;
+  // a(0) -> b(1), c(2), d(3)
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/><c/><d/></a>").ok());
+  EXPECT_EQ(*lab.Label(0).ValueOrDie(), L({1}));
+  EXPECT_EQ(*lab.Label(1).ValueOrDie(), L({1, 1}));
+  EXPECT_EQ(*lab.Label(2).ValueOrDie(), L({1, 3}));
+  EXPECT_EQ(*lab.Label(3).ValueOrDie(), L({1, 5}));
+}
+
+TEST(OrdPathLabelingTest, AncestryAndOrderMatchDocument) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(
+      lab.BuildFromDocument("<a><b><c/></b><d><e/><f/></d></a>").ok());
+  TagDict dict;
+  auto f = ParseFragment("<a><b><c/></b><d><e/><f/></d></a>", &dict)
+               .ValueOrDie();
+  for (NodeId i = 0; i < lab.num_nodes(); ++i) {
+    for (NodeId j = 0; j < lab.num_nodes(); ++j) {
+      EXPECT_EQ(lab.IsAncestor(i, j).ValueOrDie(),
+                f.records[i].Contains(f.records[j]))
+          << i << "," << j;
+      if (i != j) {
+        EXPECT_EQ(lab.Precedes(i, j).ValueOrDie(), i < j) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(OrdPathLabelingTest, InsertBetweenSiblingsKeepsEverythingImmutable) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/><c/></a>").ok());
+  const OrdPathLabel b_before = *lab.Label(1).ValueOrDie();
+  const OrdPathLabel c_before = *lab.Label(2).ValueOrDie();
+  NodeId x = lab.InsertElement("x", 0, 1, 2).ValueOrDie();
+  EXPECT_EQ(*lab.Label(1).ValueOrDie(), b_before);
+  EXPECT_EQ(*lab.Label(2).ValueOrDie(), c_before);
+  EXPECT_TRUE(lab.Precedes(1, x).ValueOrDie());
+  EXPECT_TRUE(lab.Precedes(x, 2).ValueOrDie());
+  EXPECT_TRUE(lab.IsAncestor(0, x).ValueOrDie());
+  EXPECT_FALSE(lab.IsAncestor(1, x).ValueOrDie());
+}
+
+TEST(OrdPathLabelingTest, InsertFirstLastAndOnlyChild) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/></a>").ok());
+  NodeId only_into_b =
+      lab.InsertElement("x", 1, OrdPathLabeling::kNoNode,
+                        OrdPathLabeling::kNoNode)
+          .ValueOrDie();
+  EXPECT_TRUE(lab.IsAncestor(1, only_into_b).ValueOrDie());
+  NodeId first = lab.InsertElement("y", 0, OrdPathLabeling::kNoNode, 1)
+                     .ValueOrDie();
+  EXPECT_TRUE(lab.Precedes(first, 1).ValueOrDie());
+  NodeId last = lab.InsertElement("z", 0, 1, OrdPathLabeling::kNoNode)
+                    .ValueOrDie();
+  EXPECT_TRUE(lab.Precedes(1, last).ValueOrDie());
+  EXPECT_TRUE(lab.Precedes(only_into_b, last).ValueOrDie());
+  auto children = lab.ChildrenOf(0).ValueOrDie();
+  EXPECT_EQ(children, (std::vector<NodeId>{first, 1, last}));
+}
+
+TEST(OrdPathLabelingTest, InsertValidation) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/><c/></a>").ok());
+  EXPECT_FALSE(lab.InsertElement("x", 99, 1, 2).ok());
+  EXPECT_FALSE(lab.InsertElement("x", 0, 2, 1).ok());  // non-adjacent order
+  EXPECT_FALSE(lab.InsertElement("x", 1, 2, OrdPathLabeling::kNoNode).ok());
+}
+
+TEST(OrdPathLabelingTest, InsertFragmentBuildsSubtree) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/></a>").ok());
+  NodeId root = lab.InsertFragment("<x><y/><z><w/></z></x>", 0, 1,
+                                   OrdPathLabeling::kNoNode)
+                    .ValueOrDie();
+  const NodeId y = root + 1;
+  const NodeId z = root + 2;
+  const NodeId w = root + 3;
+  EXPECT_TRUE(lab.IsAncestor(0, root).ValueOrDie());
+  EXPECT_TRUE(lab.IsAncestor(root, y).ValueOrDie());
+  EXPECT_TRUE(lab.IsAncestor(z, w).ValueOrDie());
+  EXPECT_FALSE(lab.IsAncestor(y, z).ValueOrDie());
+  EXPECT_TRUE(lab.Precedes(1, root).ValueOrDie());
+  EXPECT_TRUE(lab.Precedes(y, z).ValueOrDie());
+  EXPECT_EQ(lab.LevelOf(w).ValueOrDie(), 4u);
+}
+
+TEST(OrdPathLabelingTest, RandomInsertionStormStaysConsistent) {
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument("<a><b/><c/></a>").ok());
+  Random rng(17);
+  // Repeatedly insert as a child of a random node at a random slot; check
+  // pairwise order against a maintained preorder model.
+  for (int i = 0; i < 200; ++i) {
+    const NodeId parent = rng.Uniform(lab.num_nodes());
+    auto kids = lab.ChildrenOf(parent).ValueOrDie();
+    NodeId left = OrdPathLabeling::kNoNode;
+    NodeId right = OrdPathLabeling::kNoNode;
+    if (!kids.empty()) {
+      const size_t slot = rng.Uniform(kids.size() + 1);
+      if (slot > 0) left = kids[slot - 1];
+      if (slot < kids.size()) right = kids[slot];
+    }
+    ASSERT_TRUE(lab.InsertElement("x", parent, left, right).ok());
+  }
+  // Preorder from the tree structure must agree with label order.
+  std::vector<NodeId> preorder;
+  std::vector<NodeId> dfs = lab.ChildrenOf(OrdPathLabeling::kNoNode)
+                                .ValueOrDie();
+  std::reverse(dfs.begin(), dfs.end());
+  while (!dfs.empty()) {
+    NodeId n = dfs.back();
+    dfs.pop_back();
+    preorder.push_back(n);
+    auto kids = lab.ChildrenOf(n).ValueOrDie();
+    std::reverse(kids.begin(), kids.end());
+    dfs.insert(dfs.end(), kids.begin(), kids.end());
+  }
+  ASSERT_EQ(preorder.size(), lab.num_nodes());
+  for (size_t i = 1; i < preorder.size(); ++i) {
+    ASSERT_TRUE(lab.Precedes(preorder[i - 1], preorder[i]).ValueOrDie())
+        << i;
+  }
+  // Ancestry must agree with the maintained tree structure, spot-checked:
+  // build a structural descendant set for a few nodes and compare.
+  Random probe(23);
+  for (int t = 0; t < 20; ++t) {
+    const NodeId x = probe.Uniform(lab.num_nodes());
+    std::set<NodeId> descendants;
+    std::vector<NodeId> work = lab.ChildrenOf(x).ValueOrDie();
+    while (!work.empty()) {
+      NodeId n = work.back();
+      work.pop_back();
+      descendants.insert(n);
+      auto kids = lab.ChildrenOf(n).ValueOrDie();
+      work.insert(work.end(), kids.begin(), kids.end());
+    }
+    for (int s = 0; s < 50; ++s) {
+      const NodeId y = probe.Uniform(lab.num_nodes());
+      EXPECT_EQ(lab.IsAncestor(x, y).ValueOrDie(),
+                descendants.count(y) > 0)
+          << x << " vs " << y;
+    }
+  }
+  // Label growth: encoded bytes stay sane.
+  EXPECT_GT(lab.TotalLabelBytes(), 0u);
+  EXPECT_LT(lab.MaxLabelComponents(), 64u);
+}
+
+TEST(OrdPathLabelingTest, MatchesIntervalContainmentOnGeneratedDoc) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 400;
+  cfg.seed = 9;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  OrdPathLabeling lab;
+  ASSERT_TRUE(lab.BuildFromDocument(doc).ok());
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  ASSERT_EQ(f.records.size(), lab.num_nodes());
+  for (size_t i = 0; i < f.records.size(); i += 13) {
+    for (size_t j = 0; j < f.records.size(); j += 11) {
+      EXPECT_EQ(lab.IsAncestor(i, j).ValueOrDie(),
+                f.records[i].Contains(f.records[j]));
+    }
+    EXPECT_EQ(lab.LevelOf(i).ValueOrDie(), f.records[i].level);
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,192 @@
+#include "labeling/prime_labeling.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xmlgen/synthetic_generator.h"
+
+namespace lazyxml {
+namespace {
+
+using NodeId = PrimeLabeling::NodeId;
+
+PrimeLabelingOptions WithK(uint32_t k) {
+  PrimeLabelingOptions o;
+  o.group_size = k;
+  return o;
+}
+
+TEST(PrimeLabelingTest, BuildAssignsDistinctPrimes) {
+  PrimeLabeling pl(WithK(3));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/><c><d/></c></a>").ok());
+  ASSERT_EQ(pl.num_nodes(), 4u);
+  std::set<uint64_t> primes;
+  for (NodeId n = 0; n < 4; ++n) {
+    primes.insert(pl.SelfPrime(n).ValueOrDie());
+  }
+  EXPECT_EQ(primes.size(), 4u);
+  // All primes exceed 2K+1 so group ranks are recoverable.
+  for (uint64_t p : primes) EXPECT_GT(p, 7u);
+}
+
+TEST(PrimeLabelingTest, AncestorViaDivisibility) {
+  PrimeLabeling pl(WithK(4));
+  // preorder: a(0) b(1) c(2) d(3) e(4)
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/><c><d/></c><e/></a>").ok());
+  EXPECT_TRUE(pl.IsAncestor(0, 1).ValueOrDie());
+  EXPECT_TRUE(pl.IsAncestor(0, 3).ValueOrDie());
+  EXPECT_TRUE(pl.IsAncestor(2, 3).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(1, 3).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(3, 2).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(2, 4).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(0, 0).ValueOrDie());  // proper ancestry only
+}
+
+TEST(PrimeLabelingTest, DocumentOrderRecoveredFromCongruences) {
+  PrimeLabeling pl(WithK(3));
+  ASSERT_TRUE(
+      pl.BuildFromDocument("<a><b/><c><d/><e/></c><f/><g><h/></g></a>").ok());
+  const size_t n = pl.num_nodes();
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y = 0; y < n; ++y) {
+      EXPECT_EQ(pl.Precedes(x, y).ValueOrDie(), x < y)
+          << x << " vs " << y;
+    }
+  }
+}
+
+TEST(PrimeLabelingTest, GroupRankMatchesPosition) {
+  PrimeLabeling pl(WithK(3));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/><c/><d/><e/><f/><g/></a>").ok());
+  // Groups of 3 in document order: ranks 1..3 then 1..3 ...
+  for (NodeId i = 0; i < pl.num_nodes(); ++i) {
+    EXPECT_EQ(pl.GroupRank(i).ValueOrDie(), i % 3 + 1) << i;
+  }
+}
+
+TEST(PrimeLabelingTest, InsertElementKeepsOrderAndAncestry) {
+  PrimeLabeling pl(WithK(3));
+  // a(0) b(1) c(2)
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/><c/></a>").ok());
+  // Insert x as child of a, right after b in document order.
+  NodeId x = pl.InsertElement("x", 0, 1).ValueOrDie();
+  EXPECT_TRUE(pl.IsAncestor(0, x).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(1, x).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(1, x).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(x, 2).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(0, x).ValueOrDie());
+}
+
+TEST(PrimeLabelingTest, InsertNeverRelabelsExistingNodes) {
+  PrimeLabeling pl(WithK(3));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/><c/></a>").ok());
+  std::vector<uint64_t> primes_before;
+  std::vector<std::string> labels_before;
+  for (NodeId n = 0; n < pl.num_nodes(); ++n) {
+    primes_before.push_back(pl.SelfPrime(n).ValueOrDie());
+    labels_before.push_back(pl.Label(n).ValueOrDie()->ToDecimalString());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pl.InsertElement("x", 0, 1).ok());
+  }
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(pl.SelfPrime(n).ValueOrDie(), primes_before[n]);
+    EXPECT_EQ(pl.Label(n).ValueOrDie()->ToDecimalString(), labels_before[n]);
+  }
+}
+
+TEST(PrimeLabelingTest, ManyInsertsAtSamePointStayOrdered) {
+  PrimeLabeling pl(WithK(2));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/></a>").ok());
+  // Insert 100 children right after <b>; each new node precedes the
+  // previously inserted ones (inserted at the same point).
+  std::vector<NodeId> inserted;
+  for (int i = 0; i < 100; ++i) {
+    inserted.push_back(pl.InsertElement("x", 0, 1).ValueOrDie());
+  }
+  // Later inserts (after b) come before earlier ones.
+  for (size_t i = 1; i < inserted.size(); ++i) {
+    EXPECT_TRUE(pl.Precedes(inserted[i], inserted[i - 1]).ValueOrDie());
+  }
+  EXPECT_GT(pl.group_splits(), 0u);
+}
+
+TEST(PrimeLabelingTest, InsertFragmentBuildsSubtree) {
+  PrimeLabeling pl(WithK(4));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/></a>").ok());
+  NodeId root = pl.InsertFragment("<x><y><z/></y><w/></x>", 0, 1).ValueOrDie();
+  // Fragment nodes are ids 2..5 (x y z w).
+  EXPECT_TRUE(pl.IsAncestor(0, root).ValueOrDie());
+  const NodeId y = root + 1;
+  const NodeId z = root + 2;
+  const NodeId w = root + 3;
+  EXPECT_TRUE(pl.IsAncestor(root, y).ValueOrDie());
+  EXPECT_TRUE(pl.IsAncestor(y, z).ValueOrDie());
+  EXPECT_TRUE(pl.IsAncestor(root, w).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(y, w).ValueOrDie());
+  EXPECT_FALSE(pl.IsAncestor(1, root).ValueOrDie());
+  // Document order: b, x, y, z, w.
+  EXPECT_TRUE(pl.Precedes(1, root).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(root, y).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(y, z).ValueOrDie());
+  EXPECT_TRUE(pl.Precedes(z, w).ValueOrDie());
+}
+
+TEST(PrimeLabelingTest, CrtRecomputationsCountedPerInsert) {
+  PrimeLabeling pl(WithK(6));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/></a>").ok());
+  const uint64_t before = pl.crt_recomputations();
+  ASSERT_TRUE(pl.InsertElement("x", 0, 1).ok());
+  EXPECT_GE(pl.crt_recomputations(), before + 1);
+}
+
+TEST(PrimeLabelingTest, OrderSurvivesAgainstParsedDocument) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 300;
+  cfg.seed = 3;
+  const std::string doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  PrimeLabeling pl(WithK(6));
+  ASSERT_TRUE(pl.BuildFromDocument(doc).ok());
+  // Ancestry must match interval containment from a plain parse.
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  ASSERT_EQ(f.records.size(), pl.num_nodes());
+  for (size_t i = 0; i < f.records.size(); i += 17) {
+    for (size_t j = 0; j < f.records.size(); j += 13) {
+      if (i == j) continue;
+      EXPECT_EQ(pl.IsAncestor(i, j).ValueOrDie(),
+                f.records[i].Contains(f.records[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(PrimeLabelingTest, BadIdsRejected) {
+  PrimeLabeling pl;
+  ASSERT_TRUE(pl.BuildFromDocument("<a/>").ok());
+  EXPECT_FALSE(pl.IsAncestor(0, 5).ok());
+  EXPECT_FALSE(pl.SelfPrime(9).ok());
+  EXPECT_FALSE(pl.GroupRank(9).ok());
+  EXPECT_FALSE(pl.InsertElement("x", 7, 0).ok());
+  EXPECT_FALSE(pl.InsertElement("x", 0, 7).ok());
+}
+
+TEST(PrimeLabelingTest, MemoryGrowsWithLabels) {
+  PrimeLabeling pl(WithK(6));
+  ASSERT_TRUE(pl.BuildFromDocument("<a><b/></a>").ok());
+  const size_t before = pl.MemoryBytes();
+  ASSERT_TRUE(
+      pl.InsertFragment("<x><x><x><x><x><x/></x></x></x></x></x>", 0, 1).ok());
+  EXPECT_GT(pl.MemoryBytes(), before);
+}
+
+TEST(PrimeLabelingTest, RejectsMalformedDocument) {
+  PrimeLabeling pl;
+  EXPECT_TRUE(pl.BuildFromDocument("<a><b>").IsParseError());
+  EXPECT_FALSE(pl.BuildFromDocument("").ok());
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,59 @@
+#include "labeling/primes.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+TEST(PrimesTest, FirstFew) {
+  auto p = GeneratePrimes(10);
+  EXPECT_EQ(p, (std::vector<uint64_t>{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}));
+}
+
+TEST(PrimesTest, CountZeroAndOne) {
+  EXPECT_TRUE(GeneratePrimes(0).empty());
+  EXPECT_EQ(GeneratePrimes(1), std::vector<uint64_t>{2});
+}
+
+TEST(PrimesTest, LargeCountAllPrimeAndAscending) {
+  auto p = GeneratePrimes(10000);
+  ASSERT_EQ(p.size(), 10000u);
+  for (size_t i = 0; i < p.size(); i += 997) {
+    EXPECT_TRUE(IsPrime(p[i])) << p[i];
+  }
+  for (size_t i = 1; i < p.size(); ++i) {
+    EXPECT_LT(p[i - 1], p[i]);
+  }
+  EXPECT_EQ(p[9999], 104729u);  // the 10000th prime
+}
+
+TEST(PrimeSupplyTest, HandsOutPrimesInOrder) {
+  PrimeSupply supply;
+  EXPECT_EQ(supply.NextPrime(), 2u);
+  EXPECT_EQ(supply.NextPrime(), 3u);
+  EXPECT_EQ(supply.NextPrime(), 5u);
+  EXPECT_EQ(supply.consumed(), 3u);
+}
+
+TEST(PrimeSupplyTest, ExtendsBeyondInitialBatch) {
+  PrimeSupply supply;
+  uint64_t last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t p = supply.NextPrime();
+    EXPECT_GT(p, last);
+    last = p;
+  }
+  EXPECT_TRUE(IsPrime(last));
+  EXPECT_EQ(supply.consumed(), 5000u);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,146 @@
+#include "labeling/relabeling_index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace lazyxml {
+namespace {
+
+void ExpectMatchesText(const RelabelingIndex& idx, const std::string& doc,
+                       std::string_view tag) {
+  auto got = idx.GetElements(tag);
+  auto want = testutil::ElementsOf(doc, tag);
+  if (!got.ok()) {
+    EXPECT_TRUE(want.empty());
+    return;
+  }
+  ASSERT_EQ(got.ValueOrDie().size(), want.size()) << tag;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.ValueOrDie()[i], want[i]) << tag << " #" << i;
+  }
+}
+
+TEST(RelabelingIndexTest, BuildFromDocument) {
+  RelabelingIndex idx;
+  const std::string doc = "<a><b><c/></b><b/></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  EXPECT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx.document_length(), doc.size());
+  ExpectMatchesText(idx, doc, "a");
+  ExpectMatchesText(idx, doc, "b");
+  ExpectMatchesText(idx, doc, "c");
+}
+
+TEST(RelabelingIndexTest, UnknownTagIsNotFound) {
+  RelabelingIndex idx;
+  ASSERT_TRUE(idx.BuildFromDocument("<a/>").ok());
+  EXPECT_TRUE(idx.GetElements("zzz").status().IsNotFound());
+}
+
+TEST(RelabelingIndexTest, InsertShiftsSubsequentLabels) {
+  RelabelingIndex idx;
+  std::string doc = "<a><b/><b/></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  // Insert between the two <b/> elements (offset 7).
+  const std::string seg = "<c><d/></c>";
+  ASSERT_TRUE(idx.InsertSegment(seg, 7).ok());
+  testutil::SpliceInsert(&doc, seg, 7);
+  EXPECT_EQ(idx.document_length(), doc.size());
+  for (const char* tag : {"a", "b", "c", "d"}) {
+    ExpectMatchesText(idx, doc, tag);
+  }
+}
+
+TEST(RelabelingIndexTest, InsertAtStartAndEndOfContent) {
+  RelabelingIndex idx;
+  std::string doc = "<a><b/></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  ASSERT_TRUE(idx.InsertSegment("<x/>", 3).ok());  // before <b/>
+  testutil::SpliceInsert(&doc, "<x/>", 3);
+  ASSERT_TRUE(idx.InsertSegment("<y/>", doc.size() - 4).ok());  // before </a>
+  testutil::SpliceInsert(&doc, "<y/>", doc.size() - 4);
+  for (const char* tag : {"a", "b", "x", "y"}) {
+    ExpectMatchesText(idx, doc, tag);
+  }
+}
+
+TEST(RelabelingIndexTest, InsertLevelsAccountForContext) {
+  RelabelingIndex idx;
+  std::string doc = "<a><b></b></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  ASSERT_TRUE(idx.InsertSegment("<c/>", 6).ok());  // inside <b>
+  testutil::SpliceInsert(&doc, "<c/>", 6);
+  auto c = idx.GetElements("c").ValueOrDie();
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].level, 3u);  // a(1) > b(2) > c(3)
+  ExpectMatchesText(idx, doc, "c");
+}
+
+TEST(RelabelingIndexTest, ChainOfInsertsMatchesSplicedText) {
+  RelabelingIndex idx;
+  std::string doc = "<root></root>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  const std::string segs[] = {"<p><q/></p>", "<q><r/><r/></q>", "<p/>"};
+  const uint64_t positions[] = {6, 9, 6};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(idx.InsertSegment(segs[i], positions[i]).ok()) << i;
+    testutil::SpliceInsert(&doc, segs[i], positions[i]);
+  }
+  ASSERT_TRUE(IsWellFormedDocument(doc));
+  for (const char* tag : {"root", "p", "q", "r"}) {
+    ExpectMatchesText(idx, doc, tag);
+  }
+}
+
+TEST(RelabelingIndexTest, RemoveSegmentShiftsBack) {
+  RelabelingIndex idx;
+  std::string doc = "<a><b/><c><d/></c><b/></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  // Remove "<c><d/></c>" at [7, 18).
+  ASSERT_TRUE(idx.RemoveSegment(7, 11).ok());
+  testutil::SpliceRemove(&doc, 7, 11);
+  EXPECT_EQ(idx.document_length(), doc.size());
+  for (const char* tag : {"a", "b"}) {
+    ExpectMatchesText(idx, doc, tag);
+  }
+  EXPECT_TRUE(idx.GetElements("c").ValueOrDie().empty());
+  EXPECT_TRUE(idx.GetElements("d").ValueOrDie().empty());
+}
+
+TEST(RelabelingIndexTest, RemoveRejectsElementSplit) {
+  RelabelingIndex idx;
+  const std::string doc = "<a><b/><c/></a>";
+  ASSERT_TRUE(idx.BuildFromDocument(doc).ok());
+  // Region [5, 9) splits both <b/> and <c/>.
+  EXPECT_TRUE(idx.RemoveSegment(5, 4).IsCorruption());
+}
+
+TEST(RelabelingIndexTest, BoundsChecks) {
+  RelabelingIndex idx;
+  ASSERT_TRUE(idx.BuildFromDocument("<a/>").ok());
+  EXPECT_TRUE(idx.InsertSegment("<b/>", 99).IsOutOfRange());
+  EXPECT_TRUE(idx.RemoveSegment(2, 99).IsOutOfRange());
+}
+
+TEST(RelabelingIndexTest, MalformedSegmentRejected) {
+  RelabelingIndex idx;
+  ASSERT_TRUE(idx.BuildFromDocument("<a></a>").ok());
+  EXPECT_TRUE(idx.InsertSegment("<b>", 3).IsParseError());
+  EXPECT_TRUE(idx.InsertSegment("<b/><c/>", 3).IsParseError());  // two roots
+}
+
+TEST(RelabelingIndexTest, SizeAndMemoryGrow) {
+  RelabelingIndex idx;
+  ASSERT_TRUE(idx.BuildFromDocument("<a></a>").ok());
+  const size_t before = idx.MemoryBytes();
+  std::string seg = "<s>";
+  for (int i = 0; i < 200; ++i) seg += "<t/>";
+  seg += "</s>";
+  ASSERT_TRUE(idx.InsertSegment(seg, 3).ok());
+  EXPECT_EQ(idx.size(), 202u);
+  EXPECT_GT(idx.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,114 @@
+// Robustness: the scanner/parser must never crash, hang or accept
+// garbage silently — any input yields either OK or a clean ParseError,
+// and accepted inputs produce well-nested records.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+void CheckRecordsWellNested(const ParsedFragment& f) {
+  // Starts ascending; any two records either nest or are disjoint.
+  for (size_t i = 1; i < f.records.size(); ++i) {
+    ASSERT_GT(f.records[i].start, f.records[i - 1].start);
+  }
+  for (size_t i = 0; i < f.records.size(); ++i) {
+    for (size_t j = i + 1; j < f.records.size(); ++j) {
+      const auto& a = f.records[i];
+      const auto& b = f.records[j];
+      const bool nested = a.start < b.start && b.end <= a.end;
+      const bool disjoint = a.end <= b.start;
+      ASSERT_TRUE(nested || disjoint) << i << "," << j;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Random rng(1234);
+  for (int round = 0; round < 500; ++round) {
+    const size_t len = rng.Uniform(200);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    TagDict dict;
+    auto r = ParseFragment(input, &dict);
+    if (r.ok()) CheckRecordsWellNested(r.ValueOrDie());
+  }
+}
+
+TEST(ParserFuzzTest, RandomMarkupSoupNeverCrashes) {
+  // Inputs biased toward XML-ish characters hit deeper code paths.
+  static const char* kPieces[] = {"<",   ">",   "</", "/>",  "a",  "bb",
+                                  "=\"", "\"",  "'",  "<!--", "-->", "<![CDATA[",
+                                  "]]>", "<?",  "?>", " ",   "&lt;", "<!"};
+  Random rng(77);
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const int pieces = 1 + static_cast<int>(rng.Uniform(30));
+    for (int i = 0; i < pieces; ++i) {
+      input += kPieces[rng.Uniform(sizeof(kPieces) / sizeof(kPieces[0]))];
+    }
+    TagDict dict;
+    auto r = ParseFragment(input, &dict);
+    if (r.ok()) CheckRecordsWellNested(r.ValueOrDie());
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidDocumentsDegradeGracefully) {
+  const std::string base =
+      "<site><people><person id=\"p1\"><name>Ann</name>"
+      "<!-- note --><phone>123</phone></person></people></site>";
+  Random rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        case 2:
+          mutated.insert(pos, 1, static_cast<char>(rng.Uniform(128)));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    TagDict dict;
+    auto r = ParseFragment(mutated, &dict);
+    if (r.ok()) CheckRecordsWellNested(r.ValueOrDie());
+  }
+}
+
+TEST(ParserFuzzTest, DeepNestingWithinLimitParses) {
+  std::string deep;
+  const int depth = 5000;
+  for (int i = 0; i < depth; ++i) deep += "<a>";
+  for (int i = 0; i < depth; ++i) deep += "</a>";
+  TagDict dict;
+  auto r = ParseFragment(deep, &dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().max_level, static_cast<uint32_t>(depth));
+}
+
+TEST(ParserFuzzTest, PathologicalRepetitionTerminates) {
+  TagDict dict;
+  std::string many_empty;
+  for (int i = 0; i < 50000; ++i) many_empty += "<x/>";
+  auto r = ParseFragment(many_empty, &dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().records.size(), 50000u);
+  EXPECT_EQ(r.ValueOrDie().root_count, 50000u);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,170 @@
+#include "xml/scanner.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+std::vector<XmlToken> ScanAll(std::string_view text, uint64_t base = 0) {
+  XmlScanner s(text, base);
+  std::vector<XmlToken> out;
+  for (;;) {
+    auto t = s.Next();
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok()) break;
+    if (t.ValueOrDie().kind == XmlTokenKind::kEndOfInput) break;
+    out.push_back(t.ValueOrDie());
+  }
+  return out;
+}
+
+TEST(ScannerTest, SimpleElement) {
+  auto toks = ScanAll("<a>hi</a>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, XmlTokenKind::kStartTag);
+  EXPECT_EQ(toks[0].name, "a");
+  EXPECT_EQ(toks[0].begin, 0u);
+  EXPECT_EQ(toks[0].end, 3u);
+  EXPECT_EQ(toks[1].kind, XmlTokenKind::kText);
+  EXPECT_EQ(toks[1].begin, 3u);
+  EXPECT_EQ(toks[1].end, 5u);
+  EXPECT_EQ(toks[2].kind, XmlTokenKind::kEndTag);
+  EXPECT_EQ(toks[2].name, "a");
+  EXPECT_EQ(toks[2].begin, 5u);
+  EXPECT_EQ(toks[2].end, 9u);
+}
+
+TEST(ScannerTest, SelfClosingTag) {
+  auto toks = ScanAll("<a><b/></a>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, XmlTokenKind::kEmptyTag);
+  EXPECT_EQ(toks[1].name, "b");
+  EXPECT_EQ(toks[1].begin, 3u);
+  EXPECT_EQ(toks[1].end, 7u);
+}
+
+TEST(ScannerTest, AttributesSkippedButSpanned) {
+  auto toks = ScanAll("<person id=\"p1\" age='30'>x</person>");
+  EXPECT_EQ(toks[0].kind, XmlTokenKind::kStartTag);
+  EXPECT_EQ(toks[0].name, "person");
+  EXPECT_EQ(toks[0].end, 25u);
+}
+
+TEST(ScannerTest, AttributeValueWithAngleBracket) {
+  auto toks = ScanAll("<a note=\"1 > 0\"><b/></a>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].name, "a");
+  EXPECT_EQ(toks[1].name, "b");
+}
+
+TEST(ScannerTest, SelfClosingWithAttributes) {
+  auto toks = ScanAll("<watch open_auction=\"a1\"/>");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, XmlTokenKind::kEmptyTag);
+  EXPECT_EQ(toks[0].name, "watch");
+}
+
+TEST(ScannerTest, Comment) {
+  auto toks = ScanAll("<a><!-- hi <not a tag> --></a>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, XmlTokenKind::kComment);
+}
+
+TEST(ScannerTest, ProcessingInstruction) {
+  auto toks = ScanAll("<?xml version=\"1.0\"?><a/>");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, XmlTokenKind::kProcessing);
+  EXPECT_EQ(toks[1].kind, XmlTokenKind::kEmptyTag);
+}
+
+TEST(ScannerTest, Doctype) {
+  auto toks = ScanAll("<!DOCTYPE site [ <!ELEMENT a (b)> ]><a/>");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, XmlTokenKind::kDoctype);
+}
+
+TEST(ScannerTest, CData) {
+  auto toks = ScanAll("<a><![CDATA[ <raw> ]]></a>");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, XmlTokenKind::kCData);
+}
+
+TEST(ScannerTest, BaseOffsetShiftsPositions) {
+  auto toks = ScanAll("<a/>", 1000);
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].begin, 1000u);
+  EXPECT_EQ(toks[0].end, 1004u);
+}
+
+TEST(ScannerTest, NameCharacters) {
+  EXPECT_TRUE(IsNameStartChar('a'));
+  EXPECT_TRUE(IsNameStartChar('_'));
+  EXPECT_TRUE(IsNameStartChar(':'));
+  EXPECT_FALSE(IsNameStartChar('1'));
+  EXPECT_FALSE(IsNameStartChar('-'));
+  EXPECT_TRUE(IsNameChar('1'));
+  EXPECT_TRUE(IsNameChar('-'));
+  EXPECT_TRUE(IsNameChar('.'));
+  EXPECT_FALSE(IsNameChar(' '));
+  auto toks = ScanAll("<open_auction><t-1.x:y/></open_auction>");
+  EXPECT_EQ(toks[0].name, "open_auction");
+  EXPECT_EQ(toks[1].name, "t-1.x:y");
+}
+
+TEST(ScannerTest, ErrorDanglingOpen) {
+  XmlScanner s("<a");
+  auto t1 = s.Next();  // start tag never closed
+  EXPECT_FALSE(t1.ok());
+  EXPECT_TRUE(t1.status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorBadTagName) {
+  XmlScanner s("<1a>");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorUnterminatedComment) {
+  XmlScanner s("<!-- forever");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorUnterminatedCData) {
+  XmlScanner s("<![CDATA[ oops");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorUnterminatedPi) {
+  XmlScanner s("<?php forever");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorUnterminatedAttribute) {
+  XmlScanner s("<a x=\"unclosed>");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, ErrorAngleInsideTag) {
+  XmlScanner s("<a <b>>");
+  EXPECT_TRUE(s.Next().status().IsParseError());
+}
+
+TEST(ScannerTest, EndOfInputExactlyOnce) {
+  XmlScanner s("<a/>");
+  ASSERT_TRUE(s.Next().ok());
+  auto eoi = s.Next();
+  ASSERT_TRUE(eoi.ok());
+  EXPECT_EQ(eoi.ValueOrDie().kind, XmlTokenKind::kEndOfInput);
+  EXPECT_FALSE(s.Next().ok());  // scanning past the end is an error
+}
+
+TEST(ScannerTest, EmptyInput) {
+  XmlScanner s("");
+  auto t = s.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.ValueOrDie().kind, XmlTokenKind::kEndOfInput);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,128 @@
+#include "xmlgen/chopper.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+#include "xml/parser.h"
+#include "xmlgen/synthetic_generator.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+namespace {
+
+std::string MakeDoc(uint64_t elements, uint32_t spine = 0) {
+  SyntheticConfig cfg;
+  cfg.target_elements = elements;
+  cfg.spine_depth = spine;
+  cfg.seed = 1234;
+  return SyntheticGenerator(cfg).Generate().ValueOrDie();
+}
+
+TEST(ChopperTest, BalancedPlanReconstructsDocument) {
+  const std::string doc = MakeDoc(800);
+  ChopConfig cfg;
+  cfg.num_segments = 12;
+  cfg.shape = ErTreeShape::kBalanced;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), 12u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+}
+
+TEST(ChopperTest, NestedPlanReconstructsDocument) {
+  const std::string doc = MakeDoc(400, /*spine=*/30);
+  ChopConfig cfg;
+  cfg.num_segments = 12;
+  cfg.shape = ErTreeShape::kNested;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), 12u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+}
+
+TEST(ChopperTest, EverySegmentWellFormed) {
+  const std::string doc = MakeDoc(600, 20);
+  for (ErTreeShape shape : {ErTreeShape::kBalanced, ErTreeShape::kNested}) {
+    ChopConfig cfg;
+    cfg.num_segments = 10;
+    cfg.shape = shape;
+    auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+    for (const auto& ins : plan.insertions) {
+      EXPECT_TRUE(IsWellFormedDocument(ins.text))
+          << ErTreeShapeName(shape);
+    }
+  }
+}
+
+TEST(ChopperTest, BalancedOnXMarkDocument) {
+  XMarkConfig xcfg;
+  xcfg.num_persons = 120;
+  const std::string doc = XMarkGenerator(xcfg).Generate().ValueOrDie();
+  ChopConfig cfg;
+  cfg.num_segments = 40;
+  cfg.shape = ErTreeShape::kBalanced;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), 40u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+}
+
+TEST(ChopperTest, NestedRequiresDepth) {
+  const std::string doc = MakeDoc(50);  // default max depth 12
+  ChopConfig cfg;
+  cfg.num_segments = 100;
+  cfg.shape = ErTreeShape::kNested;
+  EXPECT_TRUE(BuildChopPlan(doc, cfg).status().IsInvalidArgument());
+}
+
+TEST(ChopperTest, AllowFewerCapsNestedChop) {
+  const std::string doc = MakeDoc(200, /*spine=*/8);
+  ChopConfig cfg;
+  cfg.num_segments = 100;  // far deeper than the document
+  cfg.shape = ErTreeShape::kNested;
+  cfg.allow_fewer = true;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_GE(plan.num_segments(), 2u);
+  EXPECT_LT(plan.num_segments(), 100u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+  for (const auto& ins : plan.insertions) {
+    EXPECT_TRUE(IsWellFormedDocument(ins.text));
+  }
+}
+
+TEST(ChopperTest, BalancedWithManySegments) {
+  const std::string doc = MakeDoc(5000);
+  ChopConfig cfg;
+  cfg.num_segments = 100;
+  cfg.shape = ErTreeShape::kBalanced;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), 100u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+}
+
+TEST(ChopperTest, TwoSegmentsMinimum) {
+  const std::string doc = MakeDoc(100);
+  ChopConfig cfg;
+  cfg.num_segments = 2;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), 2u);
+  EXPECT_EQ(testutil::ApplyPlanToString(plan.insertions), doc);
+}
+
+TEST(ChopperTest, RejectsBadInputs) {
+  ChopConfig cfg;
+  cfg.num_segments = 1;
+  EXPECT_TRUE(BuildChopPlan("<a/>", cfg).status().IsInvalidArgument());
+  cfg.num_segments = 4;
+  EXPECT_TRUE(BuildChopPlan("not xml", cfg).status().IsParseError());
+  EXPECT_TRUE(BuildChopPlan("<a/><b/>", cfg).status().IsParseError());
+}
+
+TEST(ChopperTest, FirstInsertionIsTheTopSegmentAtZero) {
+  const std::string doc = MakeDoc(300);
+  ChopConfig cfg;
+  cfg.num_segments = 5;
+  auto plan = BuildChopPlan(doc, cfg).ValueOrDie();
+  EXPECT_EQ(plan.insertions[0].gp, 0u);
+  EXPECT_LT(plan.insertions[0].text.size(), doc.size());
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,160 @@
+#include "xmlgen/join_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+// Ground-truth check: splice the plan into a text document, parse it, and
+// count real A//D pairs and element totals.
+void VerifyPlanAgainstOracle(const JoinWorkloadConfig& cfg) {
+  auto plan_r = BuildJoinWorkload(cfg);
+  ASSERT_TRUE(plan_r.ok()) << plan_r.status().ToString();
+  const JoinWorkloadPlan& plan = plan_r.ValueOrDie();
+  EXPECT_EQ(plan.insertions.size(), cfg.num_segments);
+
+  const std::string doc = testutil::ApplyPlanToString(plan.insertions);
+  ASSERT_TRUE(IsWellFormedDocument(doc));
+
+  const auto a_elems = testutil::ElementsOf(doc, "A");
+  const auto d_elems = testutil::ElementsOf(doc, "D");
+  EXPECT_EQ(a_elems.size(), cfg.num_a_elements) << "A-element total";
+  EXPECT_EQ(d_elems.size(), cfg.num_d_elements) << "D-element total";
+
+  const auto joins = testutil::OracleJoin(doc, "A", "D");
+  EXPECT_EQ(joins.size(), plan.total_joins()) << "join total";
+}
+
+TEST(JoinWorkloadTest, BalancedZeroCross) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 10;
+  cfg.shape = ErTreeShape::kBalanced;
+  cfg.total_joins = 300;
+  cfg.cross_fraction = 0.0;
+  cfg.num_a_elements = 600;
+  cfg.num_d_elements = 600;
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, BalancedAllCross) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 10;
+  cfg.shape = ErTreeShape::kBalanced;
+  cfg.total_joins = 300;
+  cfg.cross_fraction = 1.0;
+  cfg.num_a_elements = 600;
+  cfg.num_d_elements = 600;
+  auto plan = BuildJoinWorkload(cfg).ValueOrDie();
+  EXPECT_EQ(plan.cross_segment_joins, 300u);
+  EXPECT_EQ(plan.in_segment_joins, 0u);
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, BalancedMidCrossExact) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 20;
+  cfg.shape = ErTreeShape::kBalanced;
+  cfg.total_joins = 1000;
+  cfg.cross_fraction = 0.4;
+  cfg.num_a_elements = 2000;
+  cfg.num_d_elements = 2000;
+  auto plan = BuildJoinWorkload(cfg).ValueOrDie();
+  EXPECT_EQ(plan.cross_segment_joins, 400u);
+  EXPECT_EQ(plan.in_segment_joins, 600u);
+  EXPECT_NEAR(plan.achieved_cross_fraction(), 0.4, 1e-9);
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, NestedZeroCross) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 8;
+  cfg.shape = ErTreeShape::kNested;
+  cfg.total_joins = 200;
+  cfg.cross_fraction = 0.0;
+  cfg.num_a_elements = 500;
+  cfg.num_d_elements = 500;
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, NestedCrossCloseToRequested) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 12;
+  cfg.shape = ErTreeShape::kNested;
+  cfg.total_joins = 1000;
+  cfg.cross_fraction = 0.5;
+  cfg.num_a_elements = 2000;
+  cfg.num_d_elements = 2000;
+  auto plan = BuildJoinWorkload(cfg).ValueOrDie();
+  // The chain shape can only hit W*P exactly; must be within 10%.
+  EXPECT_NEAR(plan.achieved_cross_fraction(), 0.5, 0.1);
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, NestedAllCross) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 6;
+  cfg.shape = ErTreeShape::kNested;
+  cfg.total_joins = 500;
+  cfg.cross_fraction = 1.0;
+  cfg.num_a_elements = 1000;
+  cfg.num_d_elements = 1000;
+  auto plan = BuildJoinWorkload(cfg).ValueOrDie();
+  EXPECT_EQ(plan.in_segment_joins, 0u);
+  EXPECT_GE(plan.cross_segment_joins, 450u);
+  VerifyPlanAgainstOracle(cfg);
+}
+
+TEST(JoinWorkloadTest, SweepOfCrossFractions) {
+  for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    for (ErTreeShape shape : {ErTreeShape::kBalanced, ErTreeShape::kNested}) {
+      JoinWorkloadConfig cfg;
+      cfg.num_segments = 15;
+      cfg.shape = shape;
+      cfg.total_joins = 600;
+      cfg.cross_fraction = f;
+      cfg.num_a_elements = 1500;
+      cfg.num_d_elements = 1500;
+      SCOPED_TRACE(std::string(ErTreeShapeName(shape)) + " f=" +
+                   std::to_string(f));
+      VerifyPlanAgainstOracle(cfg);
+    }
+  }
+}
+
+TEST(JoinWorkloadTest, RejectsBadConfigs) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 2;
+  EXPECT_TRUE(BuildJoinWorkload(cfg).status().IsInvalidArgument());
+  cfg.num_segments = 10;
+  cfg.cross_fraction = 1.5;
+  EXPECT_TRUE(BuildJoinWorkload(cfg).status().IsInvalidArgument());
+  cfg.cross_fraction = 0.0;
+  cfg.total_joins = 1000;
+  cfg.num_a_elements = 10;  // way too few for 1000 in-segment pairs
+  EXPECT_TRUE(BuildJoinWorkload(cfg).status().IsInvalidArgument());
+  cfg.num_a_elements = 10000;
+  cfg.num_d_elements = 10;
+  EXPECT_TRUE(BuildJoinWorkload(cfg).status().IsInvalidArgument());
+}
+
+TEST(JoinWorkloadTest, EverySegmentIsAValidDocument) {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = 10;
+  cfg.total_joins = 100;
+  cfg.cross_fraction = 0.5;
+  cfg.num_a_elements = 300;
+  cfg.num_d_elements = 300;
+  for (ErTreeShape shape : {ErTreeShape::kBalanced, ErTreeShape::kNested}) {
+    cfg.shape = shape;
+    auto plan = BuildJoinWorkload(cfg).ValueOrDie();
+    for (const auto& ins : plan.insertions) {
+      EXPECT_TRUE(IsWellFormedDocument(ins.text));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,115 @@
+#include "xmlgen/synthetic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+TEST(SyntheticGeneratorTest, ProducesWellFormedSingleRootedXml) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 500;
+  SyntheticGenerator gen(cfg);
+  auto doc = gen.Generate().ValueOrDie();
+  EXPECT_TRUE(IsWellFormedDocument(doc));
+}
+
+TEST(SyntheticGeneratorTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.seed = 77;
+  cfg.target_elements = 200;
+  auto a = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  auto b = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticGeneratorTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 200;
+  cfg.seed = 1;
+  auto a = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  cfg.seed = 2;
+  auto b = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticGeneratorTest, ElementCountNearTarget) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 1000;
+  cfg.max_depth = 8;
+  auto doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  EXPECT_GE(f.records.size(), 900u);
+  EXPECT_LE(f.records.size(), 1100u);
+}
+
+TEST(SyntheticGeneratorTest, RespectsTagAlphabet) {
+  SyntheticConfig cfg;
+  cfg.num_tags = 4;
+  cfg.target_elements = 500;
+  auto doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  // root + t0..t3 at most.
+  EXPECT_LE(dict.size(), 5u);
+}
+
+TEST(SyntheticGeneratorTest, RespectsMaxDepth) {
+  SyntheticConfig cfg;
+  cfg.max_depth = 5;
+  cfg.target_elements = 2000;
+  auto doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  EXPECT_LE(f.max_level, 6u);  // root (level 1) + max_depth
+}
+
+TEST(SyntheticGeneratorTest, SpineCreatesDeepNesting) {
+  SyntheticConfig cfg;
+  cfg.spine_depth = 50;
+  cfg.target_elements = 100;
+  auto doc = SyntheticGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  EXPECT_TRUE(IsWellFormedDocument(doc));
+  EXPECT_GE(f.max_level, 50u);
+}
+
+TEST(SyntheticGeneratorTest, InvalidConfigsRejected) {
+  {
+    SyntheticConfig cfg;
+    cfg.target_elements = 0;
+    EXPECT_FALSE(SyntheticGenerator(cfg).Generate().ok());
+  }
+  {
+    SyntheticConfig cfg;
+    cfg.num_tags = 0;
+    EXPECT_FALSE(SyntheticGenerator(cfg).Generate().ok());
+  }
+  {
+    SyntheticConfig cfg;
+    cfg.min_fanout = 5;
+    cfg.max_fanout = 2;
+    EXPECT_FALSE(SyntheticGenerator(cfg).Generate().ok());
+  }
+  {
+    SyntheticConfig cfg;
+    cfg.min_text_len = 50;
+    cfg.max_text_len = 10;
+    EXPECT_FALSE(SyntheticGenerator(cfg).Generate().ok());
+  }
+}
+
+TEST(SyntheticGeneratorTest, SuccessiveCallsProduceDifferentDocs) {
+  SyntheticConfig cfg;
+  cfg.target_elements = 100;
+  SyntheticGenerator gen(cfg);
+  auto a = gen.Generate().ValueOrDie();
+  auto b = gen.Generate().ValueOrDie();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,138 @@
+#include "xmlgen/xmark_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+uint64_t CountTag(const ParsedFragment& f, const TagDict& dict,
+                  std::string_view name) {
+  auto tid = dict.Lookup(name);
+  if (!tid.ok()) return 0;
+  uint64_t n = 0;
+  for (const auto& r : f.records) {
+    if (r.tid == tid.ValueOrDie()) ++n;
+  }
+  return n;
+}
+
+TEST(XMarkGeneratorTest, WellFormedSiteDocument) {
+  XMarkConfig cfg;
+  auto doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_TRUE(IsWellFormedDocument(doc));
+  EXPECT_EQ(doc.substr(0, 6), "<site>");
+}
+
+TEST(XMarkGeneratorTest, Deterministic) {
+  XMarkConfig cfg;
+  cfg.seed = 5;
+  auto a = XMarkGenerator(cfg).Generate().ValueOrDie();
+  auto b = XMarkGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+TEST(XMarkGeneratorTest, PersonCountHonored) {
+  XMarkConfig cfg;
+  cfg.num_persons = 250;
+  auto doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  EXPECT_EQ(CountTag(f, dict, "person"), 250u);
+}
+
+TEST(XMarkGeneratorTest, QueryTagsPresentWithPlausibleMultiplicities) {
+  XMarkConfig cfg;
+  cfg.num_persons = 200;
+  cfg.min_phones = 1;
+  cfg.max_phones = 3;
+  cfg.min_interests = 1;
+  cfg.max_interests = 4;
+  cfg.min_watches = 1;
+  cfg.max_watches = 5;
+  cfg.profile_probability = 1.0;
+  cfg.watches_probability = 1.0;
+  auto doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  const uint64_t persons = CountTag(f, dict, "person");
+  const uint64_t phones = CountTag(f, dict, "phone");
+  const uint64_t profiles = CountTag(f, dict, "profile");
+  const uint64_t interests = CountTag(f, dict, "interest");
+  const uint64_t watches_lists = CountTag(f, dict, "watches");
+  const uint64_t watches = CountTag(f, dict, "watch");
+  EXPECT_EQ(persons, 200u);
+  EXPECT_GE(phones, persons);      // >= 1 per person
+  EXPECT_LE(phones, 3 * persons);
+  EXPECT_EQ(profiles, persons);    // probability 1
+  EXPECT_GE(interests, persons);
+  EXPECT_EQ(watches_lists, persons);
+  EXPECT_GE(watches, persons);
+}
+
+TEST(XMarkGeneratorTest, NestingShapeForQueries) {
+  // person must contain phone / interest / watch (the Fig. 14 queries).
+  XMarkConfig cfg;
+  cfg.num_persons = 20;
+  cfg.profile_probability = 1.0;
+  cfg.watches_probability = 1.0;
+  cfg.min_interests = 1;
+  cfg.min_watches = 1;
+  auto doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  TagDict dict;
+  auto f = ParseFragment(doc, &dict).ValueOrDie();
+  const TagId person = dict.Lookup("person").ValueOrDie();
+  const TagId phone = dict.Lookup("phone").ValueOrDie();
+  const TagId interest = dict.Lookup("interest").ValueOrDie();
+  const TagId watch = dict.Lookup("watch").ValueOrDie();
+  // Every phone/interest/watch is inside some person.
+  for (const auto& r : f.records) {
+    if (r.tid != phone && r.tid != interest && r.tid != watch) continue;
+    bool inside = false;
+    for (const auto& p : f.records) {
+      if (p.tid == person && p.Contains(r)) {
+        inside = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside);
+  }
+}
+
+TEST(XMarkGeneratorTest, ZeroAuxiliarySectionsStillValid) {
+  XMarkConfig cfg;
+  cfg.num_items = 0;
+  cfg.num_categories = 0;
+  cfg.num_open_auctions = 0;
+  cfg.num_closed_auctions = 0;
+  cfg.num_persons = 5;
+  auto doc = XMarkGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_TRUE(IsWellFormedDocument(doc));
+}
+
+TEST(XMarkGeneratorTest, MeanElementsPerPersonTracksConfig) {
+  XMarkConfig small;
+  small.min_phones = small.max_phones = 1;
+  small.min_interests = small.max_interests = 0;
+  small.min_watches = small.max_watches = 0;
+  XMarkConfig big;
+  big.min_phones = big.max_phones = 5;
+  big.min_interests = big.max_interests = 10;
+  big.min_watches = big.max_watches = 10;
+  EXPECT_LT(XMarkGenerator(small).MeanElementsPerPerson(),
+            XMarkGenerator(big).MeanElementsPerPerson());
+}
+
+TEST(XMarkGeneratorTest, ScalesRoughlyLinearlyInPersons) {
+  XMarkConfig cfg;
+  cfg.num_persons = 100;
+  auto d1 = XMarkGenerator(cfg).Generate().ValueOrDie();
+  cfg.num_persons = 200;
+  cfg.seed = 7;  // same seed either way
+  auto d2 = XMarkGenerator(cfg).Generate().ValueOrDie();
+  EXPECT_GT(d2.size(), d1.size() * 3 / 2);
+}
+
+}  // namespace
+}  // namespace lazyxml
