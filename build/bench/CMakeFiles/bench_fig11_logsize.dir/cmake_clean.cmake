@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_logsize.dir/bench_fig11_logsize.cc.o"
+  "CMakeFiles/bench_fig11_logsize.dir/bench_fig11_logsize.cc.o.d"
+  "bench_fig11_logsize"
+  "bench_fig11_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

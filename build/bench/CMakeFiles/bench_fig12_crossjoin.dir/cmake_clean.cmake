@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_crossjoin.dir/bench_fig12_crossjoin.cc.o"
+  "CMakeFiles/bench_fig12_crossjoin.dir/bench_fig12_crossjoin.cc.o.d"
+  "bench_fig12_crossjoin"
+  "bench_fig12_crossjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_crossjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

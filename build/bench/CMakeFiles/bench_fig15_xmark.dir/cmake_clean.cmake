@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_xmark.dir/bench_fig15_xmark.cc.o"
+  "CMakeFiles/bench_fig15_xmark.dir/bench_fig15_xmark.cc.o.d"
+  "bench_fig15_xmark"
+  "bench_fig15_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_insert.dir/bench_fig16_insert.cc.o"
+  "CMakeFiles/bench_fig16_insert.dir/bench_fig16_insert.cc.o.d"
+  "bench_fig16_insert"
+  "bench_fig16_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

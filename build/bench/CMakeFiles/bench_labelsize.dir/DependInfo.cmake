@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_labelsize.cc" "bench/CMakeFiles/bench_labelsize.dir/bench_labelsize.cc.o" "gcc" "bench/CMakeFiles/bench_labelsize.dir/bench_labelsize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lazyxml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lazyxml_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/lazyxml_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lazyxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

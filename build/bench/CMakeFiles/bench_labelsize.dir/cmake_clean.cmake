@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_labelsize.dir/bench_labelsize.cc.o"
+  "CMakeFiles/bench_labelsize.dir/bench_labelsize.cc.o.d"
+  "bench_labelsize"
+  "bench_labelsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labelsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

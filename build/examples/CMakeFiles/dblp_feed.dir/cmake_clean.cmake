@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_feed.dir/dblp_feed.cpp.o"
+  "CMakeFiles/dblp_feed.dir/dblp_feed.cpp.o.d"
+  "dblp_feed"
+  "dblp_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registration_system.dir/registration_system.cpp.o"
+  "CMakeFiles/registration_system.dir/registration_system.cpp.o.d"
+  "registration_system"
+  "registration_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registration_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_common.dir/bignum.cc.o"
+  "CMakeFiles/lazyxml_common.dir/bignum.cc.o.d"
+  "CMakeFiles/lazyxml_common.dir/logging.cc.o"
+  "CMakeFiles/lazyxml_common.dir/logging.cc.o.d"
+  "CMakeFiles/lazyxml_common.dir/random.cc.o"
+  "CMakeFiles/lazyxml_common.dir/random.cc.o.d"
+  "CMakeFiles/lazyxml_common.dir/serial.cc.o"
+  "CMakeFiles/lazyxml_common.dir/serial.cc.o.d"
+  "CMakeFiles/lazyxml_common.dir/status.cc.o"
+  "CMakeFiles/lazyxml_common.dir/status.cc.o.d"
+  "CMakeFiles/lazyxml_common.dir/strings.cc.o"
+  "CMakeFiles/lazyxml_common.dir/strings.cc.o.d"
+  "liblazyxml_common.a"
+  "liblazyxml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblazyxml_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/element_index.cc" "src/core/CMakeFiles/lazyxml_core.dir/element_index.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/element_index.cc.o.d"
+  "/root/repo/src/core/lazy_database.cc" "src/core/CMakeFiles/lazyxml_core.dir/lazy_database.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/lazy_database.cc.o.d"
+  "/root/repo/src/core/lazy_join.cc" "src/core/CMakeFiles/lazyxml_core.dir/lazy_join.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/lazy_join.cc.o.d"
+  "/root/repo/src/core/path_query.cc" "src/core/CMakeFiles/lazyxml_core.dir/path_query.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/path_query.cc.o.d"
+  "/root/repo/src/core/segment.cc" "src/core/CMakeFiles/lazyxml_core.dir/segment.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/segment.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/lazyxml_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/tag_list.cc" "src/core/CMakeFiles/lazyxml_core.dir/tag_list.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/tag_list.cc.o.d"
+  "/root/repo/src/core/twig_query.cc" "src/core/CMakeFiles/lazyxml_core.dir/twig_query.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/twig_query.cc.o.d"
+  "/root/repo/src/core/update_log.cc" "src/core/CMakeFiles/lazyxml_core.dir/update_log.cc.o" "gcc" "src/core/CMakeFiles/lazyxml_core.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lazyxml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lazyxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/lazyxml_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_core.dir/element_index.cc.o"
+  "CMakeFiles/lazyxml_core.dir/element_index.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/lazy_database.cc.o"
+  "CMakeFiles/lazyxml_core.dir/lazy_database.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/lazy_join.cc.o"
+  "CMakeFiles/lazyxml_core.dir/lazy_join.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/path_query.cc.o"
+  "CMakeFiles/lazyxml_core.dir/path_query.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/segment.cc.o"
+  "CMakeFiles/lazyxml_core.dir/segment.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/snapshot.cc.o"
+  "CMakeFiles/lazyxml_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/tag_list.cc.o"
+  "CMakeFiles/lazyxml_core.dir/tag_list.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/twig_query.cc.o"
+  "CMakeFiles/lazyxml_core.dir/twig_query.cc.o.d"
+  "CMakeFiles/lazyxml_core.dir/update_log.cc.o"
+  "CMakeFiles/lazyxml_core.dir/update_log.cc.o.d"
+  "liblazyxml_core.a"
+  "liblazyxml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_join.dir/path_stack.cc.o"
+  "CMakeFiles/lazyxml_join.dir/path_stack.cc.o.d"
+  "CMakeFiles/lazyxml_join.dir/stack_tree.cc.o"
+  "CMakeFiles/lazyxml_join.dir/stack_tree.cc.o.d"
+  "liblazyxml_join.a"
+  "liblazyxml_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

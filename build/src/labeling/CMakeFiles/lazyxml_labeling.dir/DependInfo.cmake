@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/ordpath.cc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/ordpath.cc.o" "gcc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/ordpath.cc.o.d"
+  "/root/repo/src/labeling/prime_labeling.cc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/prime_labeling.cc.o" "gcc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/prime_labeling.cc.o.d"
+  "/root/repo/src/labeling/primes.cc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/primes.cc.o" "gcc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/primes.cc.o.d"
+  "/root/repo/src/labeling/relabeling_index.cc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/relabeling_index.cc.o" "gcc" "src/labeling/CMakeFiles/lazyxml_labeling.dir/relabeling_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lazyxml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lazyxml_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

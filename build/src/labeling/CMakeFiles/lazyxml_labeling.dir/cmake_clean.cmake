@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_labeling.dir/ordpath.cc.o"
+  "CMakeFiles/lazyxml_labeling.dir/ordpath.cc.o.d"
+  "CMakeFiles/lazyxml_labeling.dir/prime_labeling.cc.o"
+  "CMakeFiles/lazyxml_labeling.dir/prime_labeling.cc.o.d"
+  "CMakeFiles/lazyxml_labeling.dir/primes.cc.o"
+  "CMakeFiles/lazyxml_labeling.dir/primes.cc.o.d"
+  "CMakeFiles/lazyxml_labeling.dir/relabeling_index.cc.o"
+  "CMakeFiles/lazyxml_labeling.dir/relabeling_index.cc.o.d"
+  "liblazyxml_labeling.a"
+  "liblazyxml_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

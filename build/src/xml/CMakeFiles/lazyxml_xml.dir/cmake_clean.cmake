@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_xml.dir/parser.cc.o"
+  "CMakeFiles/lazyxml_xml.dir/parser.cc.o.d"
+  "CMakeFiles/lazyxml_xml.dir/scanner.cc.o"
+  "CMakeFiles/lazyxml_xml.dir/scanner.cc.o.d"
+  "CMakeFiles/lazyxml_xml.dir/tag_dict.cc.o"
+  "CMakeFiles/lazyxml_xml.dir/tag_dict.cc.o.d"
+  "liblazyxml_xml.a"
+  "liblazyxml_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlgen/chopper.cc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/chopper.cc.o" "gcc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/chopper.cc.o.d"
+  "/root/repo/src/xmlgen/join_workload.cc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/join_workload.cc.o" "gcc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/join_workload.cc.o.d"
+  "/root/repo/src/xmlgen/synthetic_generator.cc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/synthetic_generator.cc.o" "gcc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/synthetic_generator.cc.o.d"
+  "/root/repo/src/xmlgen/xmark_generator.cc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/xmark_generator.cc.o" "gcc" "src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/xmark_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lazyxml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lazyxml_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyxml_xmlgen.dir/chopper.cc.o"
+  "CMakeFiles/lazyxml_xmlgen.dir/chopper.cc.o.d"
+  "CMakeFiles/lazyxml_xmlgen.dir/join_workload.cc.o"
+  "CMakeFiles/lazyxml_xmlgen.dir/join_workload.cc.o.d"
+  "CMakeFiles/lazyxml_xmlgen.dir/synthetic_generator.cc.o"
+  "CMakeFiles/lazyxml_xmlgen.dir/synthetic_generator.cc.o.d"
+  "CMakeFiles/lazyxml_xmlgen.dir/xmark_generator.cc.o"
+  "CMakeFiles/lazyxml_xmlgen.dir/xmark_generator.cc.o.d"
+  "liblazyxml_xmlgen.a"
+  "liblazyxml_xmlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyxml_xmlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

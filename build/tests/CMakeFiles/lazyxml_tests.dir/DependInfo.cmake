@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree/btree_bulkload_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_bulkload_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_bulkload_test.cc.o.d"
+  "/root/repo/tests/btree/btree_property_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_property_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_property_test.cc.o.d"
+  "/root/repo/tests/btree/btree_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/btree/btree_test.cc.o.d"
+  "/root/repo/tests/common/bignum_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/bignum_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/bignum_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/serial_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/serial_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/serial_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/common/strings_test.cc.o.d"
+  "/root/repo/tests/core/compaction_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/compaction_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/compaction_test.cc.o.d"
+  "/root/repo/tests/core/concurrent_database_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/concurrent_database_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/concurrent_database_test.cc.o.d"
+  "/root/repo/tests/core/element_index_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/element_index_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/element_index_test.cc.o.d"
+  "/root/repo/tests/core/lazy_database_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/lazy_database_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/lazy_database_test.cc.o.d"
+  "/root/repo/tests/core/lazy_join_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/lazy_join_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/lazy_join_test.cc.o.d"
+  "/root/repo/tests/core/path_query_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/path_query_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/path_query_test.cc.o.d"
+  "/root/repo/tests/core/segment_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/segment_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/segment_test.cc.o.d"
+  "/root/repo/tests/core/snapshot_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/snapshot_test.cc.o.d"
+  "/root/repo/tests/core/tag_list_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/tag_list_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/tag_list_test.cc.o.d"
+  "/root/repo/tests/core/twig_query_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/twig_query_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/twig_query_test.cc.o.d"
+  "/root/repo/tests/core/update_log_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/core/update_log_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/core/update_log_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/paper_scenarios_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/integration/paper_scenarios_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/integration/paper_scenarios_test.cc.o.d"
+  "/root/repo/tests/integration/random_ops_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/integration/random_ops_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/integration/random_ops_test.cc.o.d"
+  "/root/repo/tests/join/path_stack_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/join/path_stack_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/join/path_stack_test.cc.o.d"
+  "/root/repo/tests/join/stack_tree_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/join/stack_tree_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/join/stack_tree_test.cc.o.d"
+  "/root/repo/tests/labeling/ordpath_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/ordpath_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/ordpath_test.cc.o.d"
+  "/root/repo/tests/labeling/prime_labeling_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/prime_labeling_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/prime_labeling_test.cc.o.d"
+  "/root/repo/tests/labeling/primes_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/primes_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/primes_test.cc.o.d"
+  "/root/repo/tests/labeling/relabeling_index_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/relabeling_index_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/labeling/relabeling_index_test.cc.o.d"
+  "/root/repo/tests/xml/parser_fuzz_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xml/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xml/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/xml/parser_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xml/parser_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xml/parser_test.cc.o.d"
+  "/root/repo/tests/xml/scanner_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xml/scanner_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xml/scanner_test.cc.o.d"
+  "/root/repo/tests/xml/tag_dict_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xml/tag_dict_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xml/tag_dict_test.cc.o.d"
+  "/root/repo/tests/xmlgen/chopper_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/chopper_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/chopper_test.cc.o.d"
+  "/root/repo/tests/xmlgen/join_workload_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/join_workload_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/join_workload_test.cc.o.d"
+  "/root/repo/tests/xmlgen/synthetic_generator_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/synthetic_generator_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/synthetic_generator_test.cc.o.d"
+  "/root/repo/tests/xmlgen/xmark_generator_test.cc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/xmark_generator_test.cc.o" "gcc" "tests/CMakeFiles/lazyxml_tests.dir/xmlgen/xmark_generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lazyxml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/lazyxml_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/lazyxml_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlgen/CMakeFiles/lazyxml_xmlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lazyxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lazyxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
