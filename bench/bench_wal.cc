@@ -1,0 +1,115 @@
+// WAL subsystem benchmark: logical-update throughput through the durable
+// facade under each sync policy, plus the recovery cost of replaying the
+// log those updates leave behind.
+//
+// The interesting comparison is the gap between kNever (in-memory apply +
+// buffered append: the cost of journaling itself), kBatchBytes (amortized
+// fdatasync), and kEveryRecord (one fdatasync per acknowledged update —
+// the durability ceiling). Each timed iteration is one insert/remove pair,
+// i.e. two WAL records.
+
+#include <chrono>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "storage/durable_database.h"
+#include "storage/recovery.h"
+
+namespace lazyxml {
+namespace {
+
+// One registration-form-sized segment (paper §1 scale).
+const char* kSegment =
+    "<person><name>New Person</name>"
+    "<emailaddress>new@example.net</emailaddress>"
+    "<phone>+1 (555) 0100000</phone>"
+    "<address><street>1 Lazy St</street><city>Baltimore</city>"
+    "<zipcode>21201</zipcode></address></person>";
+
+std::string FreshBenchDir(const std::string& name) {
+  const std::string dir = "/tmp/lazyxml_bench_wal_" + name;
+  LAZYXML_CHECK(CreateDirIfMissing(dir).ok());
+  auto names = ListDirectory(dir);
+  LAZYXML_CHECK(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    LAZYXML_CHECK(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+void RunUpdateThroughput(benchmark::State& state, WalSyncPolicy policy) {
+  const std::string dir = FreshBenchDir(WalSyncPolicyName(policy));
+  DurableOptions options;
+  options.wal.sync_policy = policy;
+  auto db = DurableLazyDatabase::Open(dir, options).ValueOrDie();
+  LAZYXML_CHECK(db->InsertSegment("<doc></doc>", 0).ok());
+  const uint64_t hole = 5;  // between <doc> and </doc>
+  const uint64_t seg_len = std::string(kSegment).size();
+  for (auto _ : state) {
+    LAZYXML_CHECK(db->InsertSegment(kSegment, hole).ok());
+    LAZYXML_CHECK(db->RemoveSegment(hole, seg_len).ok());
+  }
+  // Each iteration acknowledges two logical updates.
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["wal_MB"] =
+      static_cast<double>(db->wal().current_segment_bytes()) /
+      (1024.0 * 1024.0);
+  state.SetLabel(WalSyncPolicyName(policy));
+}
+
+void BM_WalUpdate_Never(benchmark::State& state) {
+  RunUpdateThroughput(state, WalSyncPolicy::kNever);
+}
+void BM_WalUpdate_BatchBytes(benchmark::State& state) {
+  RunUpdateThroughput(state, WalSyncPolicy::kBatchBytes);
+}
+void BM_WalUpdate_EveryRecord(benchmark::State& state) {
+  RunUpdateThroughput(state, WalSyncPolicy::kEveryRecord);
+}
+
+BENCHMARK(BM_WalUpdate_Never)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalUpdate_BatchBytes)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalUpdate_EveryRecord)->Unit(benchmark::kMicrosecond);
+
+// Recovery: replay a WAL of `state.range(0)` update records (no snapshot,
+// worst case) into a fresh database.
+void BM_WalRecovery(benchmark::State& state) {
+  const std::string dir = FreshBenchDir("recovery");
+  const int updates = static_cast<int>(state.range(0));
+  {
+    DurableOptions options;
+    options.wal.sync_policy = WalSyncPolicy::kNever;
+    auto db = DurableLazyDatabase::Open(dir, options).ValueOrDie();
+    LAZYXML_CHECK(db->InsertSegment("<doc></doc>", 0).ok());
+    const uint64_t hole = 5;
+    const uint64_t seg_len = std::string(kSegment).size();
+    for (int i = 1; i < updates; i += 2) {
+      LAZYXML_CHECK(db->InsertSegment(kSegment, hole).ok());
+      LAZYXML_CHECK(db->RemoveSegment(hole, seg_len).ok());
+    }
+  }
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto recovered = RecoverDatabase(dir, {});
+    const auto t1 = std::chrono::steady_clock::now();
+    LAZYXML_CHECK(recovered.ok());
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    benchmark::DoNotOptimize(recovered.ValueOrDie().db);
+  }
+  state.counters["records"] =
+      static_cast<double>(updates);
+}
+
+BENCHMARK(BM_WalRecovery)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

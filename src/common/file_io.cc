@@ -1,0 +1,202 @@
+#include "common/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lazyxml {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context, const std::string& path,
+                   int err) {
+  const std::string msg = context + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::IOError(msg);
+}
+
+/// The directory component of `path` ("." when there is none).
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoStatus("stat", path, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp, errno);
+  Status s = WriteAll(fd, data.data(), data.size(), tmp);
+  if (s.ok() && sync && ::fsync(fd) != 0) {
+    s = ErrnoStatus("fsync", tmp, errno);
+  }
+  if (::close(fd) != 0 && s.ok()) {
+    s = ErrnoStatus("close", tmp, errno);
+  }
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  LAZYXML_RETURN_NOT_OK(RenameFile(tmp, path));
+  if (sync) return SyncDirectory(DirnameOf(path));
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  Status s;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    s = ErrnoStatus("fstat", path, errno);
+  } else if (static_cast<uint64_t>(st.st_size) < size) {
+    s = Status::InvalidArgument("truncate would extend " + path);
+  } else if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    s = ErrnoStatus("ftruncate", path, errno);
+  } else if (::fsync(fd) != 0) {
+    s = ErrnoStatus("fsync", path, errno);
+  }
+  ::close(fd);
+  return s;
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", path, errno);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> out;
+  while (struct dirent* e = ::readdir(dir)) {
+    const std::string_view name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.emplace_back(name);
+  }
+  ::closedir(dir);
+  return out;
+}
+
+Status SyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", path, errno);
+  Status s;
+  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir", path, errno);
+  ::close(fd);
+  return s;
+}
+
+Result<std::unique_ptr<AppendFile>> AppendFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("fstat", path, err);
+  }
+  return std::unique_ptr<AppendFile>(
+      new AppendFile(path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IOError("append to closed file: " + path_);
+  LAZYXML_RETURN_NOT_OK(WriteAll(fd_, data.data(), data.size(), path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::IOError("sync of closed file: " + path_);
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_, errno);
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+  return Status::OK();
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,93 @@
+// POSIX file helpers with Status error reporting, for the durability
+// layer (core/snapshot.cc, storage/). Error taxonomy: a path that does
+// not exist is NotFound; any other filesystem failure is IOError; data
+// problems (bad bytes in a file that reads fine) are the caller's
+// Corruption. Durable writes go through WriteFileAtomic: write to a
+// sibling temp file, fsync it, rename over the target, fsync the
+// directory — a crash leaves either the old file or the new one, never a
+// torn mixture.
+
+#ifndef LAZYXML_COMMON_FILE_IO_H_
+#define LAZYXML_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// The file's size in bytes. NotFound if missing.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Reads the whole file. NotFound if missing, IOError on read failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `data` (temp file + fsync + rename +
+/// directory fsync). When `sync` is false the fsyncs are skipped (fast,
+/// for tests and non-durable output); atomicity via rename still holds.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync = true);
+
+/// Deletes `path`. OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Renames `from` to `to`, replacing `to` if present.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Truncates `path` to `size` bytes and fsyncs it (WAL tail repair).
+/// NotFound if missing; InvalidArgument if the file is already shorter.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Creates directory `path` (one level). OK if it already exists.
+Status CreateDirIfMissing(const std::string& path);
+
+/// Entry names in `path` (excluding "." and ".."), unsorted.
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
+
+/// fsyncs a directory so renames/creates inside it are durable.
+Status SyncDirectory(const std::string& path);
+
+/// An append-only file handle (the WAL's write side). Writes go straight
+/// to the OS (no user-space buffer): a record is in the page cache when
+/// Append returns and on stable storage after Sync.
+class AppendFile {
+ public:
+  /// Opens `path` for appending, creating it if missing.
+  static Result<std::unique_ptr<AppendFile>> Open(const std::string& path);
+
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  Status Append(std::string_view data);
+
+  /// fdatasync.
+  Status Sync();
+
+  /// Closes the descriptor; further calls fail. Idempotent.
+  Status Close();
+
+  /// Bytes in the file (initial size + appends through this handle).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_FILE_IO_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kNotSupported = 6,      ///< Feature intentionally unimplemented.
   kParseError = 7,        ///< XML text is not well formed.
   kInternal = 8,          ///< Bug in this library.
+  kIOError = 9,           ///< Filesystem / device failure (durability layer).
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -79,6 +80,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -104,6 +108,7 @@ class Status {
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,0 +1,94 @@
+// TicketSharedMutex: a writer-priority reader/writer lock with a FIFO
+// ticket gate for writers. std::shared_mutex implementations are allowed
+// to prefer readers, so a sustained stream of overlapping readers can
+// starve writers indefinitely (the liveness hazard previously documented
+// in core/concurrent_database.h). Here a writer takes a ticket on
+// arrival; from that moment new readers wait, so the writer gets in as
+// soon as in-flight readers drain, and writers proceed in arrival order.
+// Sustained writers can conversely hold readers out — the right bias for
+// an update log, where updates are short and queries are the long tail.
+//
+// Satisfies SharedLockable, so std::shared_lock / std::unique_lock work.
+
+#ifndef LAZYXML_COMMON_TICKET_RWLOCK_H_
+#define LAZYXML_COMMON_TICKET_RWLOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace lazyxml {
+
+class TicketSharedMutex {
+ public:
+  TicketSharedMutex() = default;
+  TicketSharedMutex(const TicketSharedMutex&) = delete;
+  TicketSharedMutex& operator=(const TicketSharedMutex&) = delete;
+
+  // -- Exclusive (writer) ------------------------------------------------------
+
+  void lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    const uint64_t ticket = next_writer_ticket_++;
+    cv_.wait(l, [&] {
+      return ticket == writer_serving_ && readers_ == 0 && !writer_active_;
+    });
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    if (readers_ != 0 || writer_active_ ||
+        next_writer_ticket_ != writer_serving_) {
+      return false;
+    }
+    ++next_writer_ticket_;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> l(mu_);
+    writer_active_ = false;
+    ++writer_serving_;
+    cv_.notify_all();
+  }
+
+  // -- Shared (reader) ---------------------------------------------------------
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    // Wait while a writer is active *or pending*: pending writers close
+    // the gate to new readers (that is the fairness fix).
+    cv_.wait(l, [&] {
+      return !writer_active_ && next_writer_ticket_ == writer_serving_;
+    });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    if (writer_active_ || next_writer_ticket_ != writer_serving_) {
+      return false;
+    }
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    if (--readers_ == 0) cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_writer_ticket_ = 0;  // next ticket to hand to a writer
+  uint64_t writer_serving_ = 0;      // ticket currently admitted
+  uint64_t readers_ = 0;             // active shared holders
+  bool writer_active_ = false;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_TICKET_RWLOCK_H_

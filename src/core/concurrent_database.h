@@ -9,10 +9,11 @@
 // which touch nothing mutable, share it. Segment-granular locking
 // (disjoint segments commute) is the natural next refinement.
 //
-// Liveness note: std::shared_mutex implementations may prefer readers;
-// an unbounded stream of overlapping readers can starve writers. Pace
-// readers (or batch writes) in workloads with sustained full-speed query
-// load.
+// Liveness: the lock is a TicketSharedMutex (common/ticket_rwlock.h),
+// a writer-priority ticket gate — a pending writer closes admission to
+// new readers, so an unbounded stream of overlapping readers can no
+// longer starve updates (std::shared_mutex gave no such guarantee and
+// reader-preferring implementations starved writers in practice).
 
 #ifndef LAZYXML_CORE_CONCURRENT_DATABASE_H_
 #define LAZYXML_CORE_CONCURRENT_DATABASE_H_
@@ -22,6 +23,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/ticket_rwlock.h"
 #include "core/lazy_database.h"
 #include "core/path_query.h"
 #include "core/twig_query.h"
@@ -109,7 +111,7 @@ class ConcurrentLazyDatabase {
   LazyDatabase& UnsynchronizedAccess() { return db_; }
 
  private:
-  std::shared_mutex mu_;
+  TicketSharedMutex mu_;
   LazyDatabase db_;
   const bool lazy_static_;
 };

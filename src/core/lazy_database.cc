@@ -69,6 +69,9 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
     LAZYXML_RETURN_NOT_OK(
         log_.tag_list().AddEntry(tid, info.path, count, log_));
   }
+  if (capture_ != nullptr) {
+    LAZYXML_RETURN_NOT_OK(capture_->OnInsertSegment(info.sid, text, gp));
+  }
   return info.sid;
 }
 
@@ -96,7 +99,11 @@ Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
           log_.tag_list().RemoveOccurrences(tid, full.sid, count, log_));
     }
   }
-  return log_.ApplyRemoval(effects);
+  LAZYXML_RETURN_NOT_OK(log_.ApplyRemoval(effects));
+  if (capture_ != nullptr) {
+    LAZYXML_RETURN_NOT_OK(capture_->OnRemoveRange(gp, length));
+  }
+  return Status::OK();
 }
 
 Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
@@ -190,6 +197,9 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
     info.node->distinct_tags.push_back(tid);
     LAZYXML_RETURN_NOT_OK(
         log_.tag_list().AddEntry(tid, info.path, count, log_));
+  }
+  if (capture_ != nullptr) {
+    LAZYXML_RETURN_NOT_OK(capture_->OnCollapseSubtree(sid, info.sid));
   }
   return info.sid;
 }

@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "core/element_index.h"
 #include "core/lazy_join.h"
+#include "core/update_capture.h"
 #include "core/update_log.h"
 #include "join/global_element.h"
 #include "xml/tag_dict.h"
@@ -125,6 +126,12 @@ class LazyDatabase {
   ElementIndex& mutable_element_index() { return index_; }
   TagDict& mutable_tag_dict() { return dict_; }
 
+  /// Registers an observer of the logical update stream (durability /
+  /// replication; see core/update_capture.h). Pass nullptr to detach.
+  /// The capture must outlive the database or be detached first.
+  void set_update_capture(UpdateCapture* capture) { capture_ = capture; }
+  UpdateCapture* update_capture() const { return capture_; }
+
   LazyDatabaseStats Stats() const;
 
   /// Deep integrity check: ER-tree structure, both B+-trees, tag-list
@@ -136,6 +143,7 @@ class LazyDatabase {
   UpdateLog log_;
   ElementIndex index_;
   TagDict dict_;
+  UpdateCapture* capture_ = nullptr;
 };
 
 }  // namespace lazyxml

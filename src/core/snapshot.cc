@@ -1,7 +1,6 @@
 #include "core/snapshot.h"
 
-#include <fstream>
-
+#include "common/file_io.h"
 #include "common/serial.h"
 #include "common/strings.h"
 
@@ -10,7 +9,9 @@ namespace lazyxml {
 namespace {
 
 constexpr char kMagic[] = "LZXMLSNP";
-constexpr uint32_t kVersion = 1;
+// v2 adds the sid counter after the mode byte (sid-exact restores, which
+// WAL replay depends on); v1 files still load, deriving it as max(sid)+1.
+constexpr uint32_t kVersion = 2;
 
 void SerializeSegment(const SegmentNode& node, const ElementIndex& index,
                       ByteWriter* w) {
@@ -72,6 +73,7 @@ Result<std::string> SerializeDatabase(const LazyDatabase& db) {
   w.PutString(kMagic);
   w.PutU32(kVersion);
   w.PutU8(log.mode() == LogMode::kLazyDynamic ? 0 : 1);
+  w.PutU64(log.next_sid());
 
   // Tag dictionary (dense ids, first-seen order).
   const TagDict& dict = db.tag_dict();
@@ -112,12 +114,16 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
     return Status::Corruption("not a lazyxml snapshot (bad magic)");
   }
   LAZYXML_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::NotSupported(
         StringPrintf("snapshot version %u not supported", version));
   }
   LAZYXML_ASSIGN_OR_RETURN(uint8_t mode, r.GetU8());
   if (mode > 1) return Status::Corruption("bad maintenance mode");
+  uint64_t next_sid = 0;  // 0 = not stored (v1): derive as max(sid)+1
+  if (version >= 2) {
+    LAZYXML_ASSIGN_OR_RETURN(next_sid, r.GetU64());
+  }
 
   LazyDatabaseOptions opts = options;
   opts.mode = mode == 0 ? LogMode::kLazyDynamic : LogMode::kLazyStatic;
@@ -225,6 +231,9 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after snapshot");
   }
+  if (next_sid != 0) {
+    LAZYXML_RETURN_NOT_OK(log.RestoreNextSid(next_sid));
+  }
   LAZYXML_RETURN_NOT_OK(
       db->CheckInvariants().WithContext("snapshot failed validation"));
   return db;
@@ -232,27 +241,16 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
 
 Status SaveSnapshot(const LazyDatabase& db, const std::string& path) {
   LAZYXML_ASSIGN_OR_RETURN(std::string blob, SerializeDatabase(db));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::NotFound("cannot open snapshot file for writing: " + path);
-  }
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  out.close();
-  if (!out) {
-    return Status::Internal("short write to snapshot file: " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, blob).WithContext("saving snapshot");
 }
 
 Result<std::unique_ptr<LazyDatabase>> LoadSnapshot(
     const std::string& path, const LazyDatabaseOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open snapshot file: " + path);
-  }
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return DeserializeDatabase(blob, options);
+  // A missing file is NotFound (caller may treat it as "start empty"); a
+  // file that reads but does not decode is Corruption via Deserialize.
+  auto blob = ReadFileToString(path);
+  if (!blob.ok()) return blob.status();
+  return DeserializeDatabase(blob.ValueOrDie(), options);
 }
 
 }  // namespace lazyxml

@@ -29,11 +29,14 @@ Result<std::string> SerializeDatabase(const LazyDatabase& db);
 Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
     std::string_view data, const LazyDatabaseOptions& options = {});
 
-/// Serialize + write to `path` (atomically via rename is the caller's
-/// concern; this is a plain write).
+/// Serialize + write to `path` atomically (temp file + fsync + rename):
+/// a crash mid-save leaves the previous snapshot intact, never a torn
+/// file. Non-IO failure modes come from SerializeDatabase.
 Status SaveSnapshot(const LazyDatabase& db, const std::string& path);
 
-/// Read `path` + deserialize.
+/// Read `path` + deserialize. Error taxonomy: NotFound when the file
+/// does not exist, IOError when it cannot be read, Corruption (from
+/// deserialization) when its bytes are bad.
 Result<std::unique_ptr<LazyDatabase>> LoadSnapshot(
     const std::string& path, const LazyDatabaseOptions& options = {});
 

@@ -1,0 +1,48 @@
+// UpdateCapture: observation hook for the logical update stream of a
+// LazyDatabase. The durability layer (storage/durable_database.h)
+// implements it to append one write-ahead-log record per successful
+// primitive operation; anything else that wants the op stream
+// (replication, change feeds) can implement it too.
+//
+// Contract: LazyDatabase invokes the hook *after* the in-memory apply
+// succeeds, so captured operations are always valid and replaying them
+// in order against an equal starting state reproduces the exact same
+// database (same sids — they are assigned sequentially — and same frozen
+// coordinates). A non-OK return propagates out of the mutating call;
+// the in-memory state keeps the op (the caller decides whether a
+// capture failure is fatal).
+//
+// Compound operations decompose into primitives: ApplyPlan captures one
+// OnInsertSegment per step and CompactAll one OnCollapseSubtree per
+// top-level segment, so a replayer only needs the three callbacks below.
+
+#ifndef LAZYXML_CORE_UPDATE_CAPTURE_H_
+#define LAZYXML_CORE_UPDATE_CAPTURE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace lazyxml {
+
+class UpdateCapture {
+ public:
+  virtual ~UpdateCapture() = default;
+
+  /// Segment `text` was inserted at global position `gp` and received id
+  /// `sid`. Replay must observe the same sid (divergence check).
+  virtual Status OnInsertSegment(SegmentId sid, std::string_view text,
+                                 uint64_t gp) = 0;
+
+  /// The region [gp, gp+length) was removed.
+  virtual Status OnRemoveRange(uint64_t gp, uint64_t length) = 0;
+
+  /// Subtree `old_sid` was collapsed into fresh segment `new_sid`.
+  virtual Status OnCollapseSubtree(SegmentId old_sid, SegmentId new_sid) = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_UPDATE_CAPTURE_H_

@@ -272,6 +272,14 @@ Result<SegmentNode*> UpdateLog::RestoreSegment(SegmentId sid,
   return node;
 }
 
+Status UpdateLog::RestoreNextSid(SegmentId next_sid) {
+  if (next_sid < next_sid_) {
+    return Status::Corruption("snapshot next_sid below restored segments");
+  }
+  next_sid_ = next_sid;
+  return Status::OK();
+}
+
 Result<UpdateLog::InsertInfo> UpdateLog::CollapseSubtree(SegmentId sid) {
   SegmentNode* old_node = NodeOf(sid);
   if (old_node == nullptr) {

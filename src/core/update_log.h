@@ -116,6 +116,17 @@ class UpdateLog : public SegmentGpResolver {
   /// Snapshot restore: sets the super-document (dummy root) length.
   void RestoreRootLength(uint64_t length) { root_->l = length; }
 
+  /// The sid the next insertion will receive. Persisted in snapshots
+  /// (format v2) so a restored database assigns the exact same sids as
+  /// the original would — removal of the highest-sid segment otherwise
+  /// makes max(sid)+1 diverge from the true counter, and WAL replay
+  /// (storage/recovery.h) depends on sid-exact determinism.
+  SegmentId next_sid() const { return next_sid_; }
+
+  /// Snapshot restore: forces the sid counter. Must not move it below
+  /// the current value (that could re-issue a live sid).
+  Status RestoreNextSid(SegmentId next_sid);
+
   /// Replaces segment `sid`'s whole subtree with one fresh leaf segment
   /// covering the same global range (no children, no gaps) — the
   /// structural half of collapsing nested segments (paper §5.3: "nested

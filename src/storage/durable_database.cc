@@ -1,0 +1,102 @@
+#include "storage/durable_database.h"
+
+#include "common/file_io.h"
+#include "core/snapshot.h"
+#include "storage/wal_layout.h"
+
+namespace lazyxml {
+
+Result<std::unique_ptr<DurableLazyDatabase>> DurableLazyDatabase::Open(
+    const std::string& dir, const DurableOptions& options) {
+  RecoveryOptions recovery;
+  recovery.db = options.db;
+  recovery.strict = options.strict_recovery;
+  LAZYXML_ASSIGN_OR_RETURN(RecoveredDatabase recovered,
+                           RecoverDatabase(dir, recovery));
+  LAZYXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(dir, recovered.next_wal_index, options.wal));
+  return std::unique_ptr<DurableLazyDatabase>(new DurableLazyDatabase(
+      dir, options, std::move(recovered.db), std::move(wal),
+      recovered.stats));
+}
+
+DurableLazyDatabase::DurableLazyDatabase(std::string dir,
+                                         DurableOptions options,
+                                         std::unique_ptr<LazyDatabase> db,
+                                         std::unique_ptr<WalWriter> wal,
+                                         RecoveryStats recovery_stats)
+    : dir_(std::move(dir)),
+      options_(options),
+      db_(std::move(db)),
+      wal_(std::move(wal)),
+      recovery_stats_(recovery_stats) {
+  db_->set_update_capture(this);
+}
+
+DurableLazyDatabase::~DurableLazyDatabase() {
+  db_->set_update_capture(nullptr);
+}
+
+Status DurableLazyDatabase::Freeze() {
+  if (db_->update_log().mode() != LogMode::kLazyStatic) return Status::OK();
+  if (db_->update_log().frozen()) return Status::OK();  // marker already holds
+  db_->Freeze();
+  return wal_->Append(LogRecord::Freeze());
+}
+
+Status DurableLazyDatabase::Checkpoint() {
+  // LS snapshots require a frozen log; journal the freeze point so a
+  // crash right after the rotation still replays deterministically.
+  if (db_->update_log().mode() == LogMode::kLazyStatic) {
+    LAZYXML_RETURN_NOT_OK(Freeze());
+  }
+  // Rotate first: the snapshot then covers segments [1, K] exactly, and
+  // records appended after this call land in K+1, beyond its coverage.
+  const uint64_t covered = wal_->current_segment();
+  LAZYXML_RETURN_NOT_OK(wal_->Rotate());
+
+  LAZYXML_ASSIGN_OR_RETURN(std::string blob, SerializeDatabase(*db_));
+  LAZYXML_RETURN_NOT_OK(
+      WriteFileAtomic(dir_ + "/" + SnapshotFileName(covered), blob)
+          .WithContext("writing checkpoint snapshot"));
+
+  // The snapshot is durable; everything it covers is now garbage (WAL
+  // segments <= covered, snapshots < covered, stray atomic-write temp
+  // files). Recovery ignores all of these, so a crash mid-truncation
+  // only wastes space.
+  LAZYXML_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           ListDirectory(dir_));
+  for (const std::string& name : names) {
+    bool obsolete = false;
+    if (auto seg = ParseWalSegmentFileName(name)) {
+      obsolete = *seg <= covered;
+    } else if (auto snap = ParseSnapshotFileName(name)) {
+      obsolete = *snap < covered;
+    } else {
+      obsolete = name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".tmp") == 0;
+    }
+    if (obsolete) {
+      LAZYXML_RETURN_NOT_OK(RemoveFileIfExists(dir_ + "/" + name));
+    }
+  }
+  return SyncDirectory(dir_);
+}
+
+Status DurableLazyDatabase::OnInsertSegment(SegmentId sid,
+                                            std::string_view text,
+                                            uint64_t gp) {
+  return wal_->Append(LogRecord::InsertSegment(sid, text, gp));
+}
+
+Status DurableLazyDatabase::OnRemoveRange(uint64_t gp, uint64_t length) {
+  return wal_->Append(LogRecord::RemoveRange(gp, length));
+}
+
+Status DurableLazyDatabase::OnCollapseSubtree(SegmentId old_sid,
+                                              SegmentId new_sid) {
+  return wal_->Append(LogRecord::CollapseSubtree(old_sid, new_sid));
+}
+
+}  // namespace lazyxml

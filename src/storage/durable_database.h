@@ -1,0 +1,141 @@
+// DurableLazyDatabase: LazyDatabase + durability. Composes the in-memory
+// lazy store with a write-ahead log (wal_writer.h) and the logical
+// snapshot (core/snapshot.h) into a crash-safe database directory:
+//
+//   open        load newest valid snapshot, replay the WAL tail
+//               (storage/recovery.h), start a fresh WAL segment;
+//   update      apply in memory, then append one WAL record (via the
+//               core/update_capture.h hook) and sync per policy — on OK
+//               the update is acknowledged;
+//   checkpoint  rotate the WAL, atomically persist a snapshot covering
+//               everything before the rotation point, then truncate the
+//               obsolete WAL segments and older snapshots.
+//
+// Queries read the in-memory database and never touch the log. The
+// class is not thread-safe (compose with ConcurrentLazyDatabase-style
+// locking externally if needed); durability and concurrency are
+// orthogonal layers here.
+
+#ifndef LAZYXML_STORAGE_DURABLE_DATABASE_H_
+#define LAZYXML_STORAGE_DURABLE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "core/update_capture.h"
+#include "storage/recovery.h"
+#include "storage/wal_writer.h"
+
+namespace lazyxml {
+
+struct DurableOptions {
+  /// In-memory database tuning; the mode of an existing directory comes
+  /// from its snapshot.
+  LazyDatabaseOptions db;
+  WalWriterOptions wal;
+  /// Torn WAL tails become Corruption instead of being truncated away.
+  bool strict_recovery = false;
+};
+
+class DurableLazyDatabase : private UpdateCapture {
+ public:
+  /// Opens (or creates) the database directory `dir`.
+  static Result<std::unique_ptr<DurableLazyDatabase>> Open(
+      const std::string& dir, const DurableOptions& options = {});
+
+  ~DurableLazyDatabase() override;
+  DurableLazyDatabase(const DurableLazyDatabase&) = delete;
+  DurableLazyDatabase& operator=(const DurableLazyDatabase&) = delete;
+
+  // -- Updates: in-memory apply + WAL append ----------------------------------
+
+  Result<SegmentId> InsertSegment(std::string_view text, uint64_t gp) {
+    return db_->InsertSegment(text, gp);
+  }
+  Status RemoveSegment(uint64_t gp, uint64_t length) {
+    return db_->RemoveSegment(gp, length);
+  }
+  Status ApplyPlan(std::span<const SegmentInsertion> plan) {
+    return db_->ApplyPlan(plan);
+  }
+  Result<SegmentId> CollapseSubtree(SegmentId sid) {
+    return db_->CollapseSubtree(sid);
+  }
+  Status CompactAll() { return db_->CompactAll(); }
+
+  /// LS mode: freezes and journals a freeze marker so replay reproduces
+  /// the freeze point; skipped when already frozen. No-op in LD mode.
+  Status Freeze();
+
+  // -- Durability control ------------------------------------------------------
+
+  /// Forces every appended record to stable storage (the manual
+  /// counterpart of WalSyncPolicy::kEveryRecord).
+  Status Sync() { return wal_->Sync(); }
+
+  /// Persists a snapshot and truncates the WAL it covers. On return the
+  /// directory recovers to exactly the current state without replaying
+  /// pre-checkpoint records.
+  Status Checkpoint();
+
+  // -- Queries (forwarded) -----------------------------------------------------
+  //
+  // In LS mode a query on an unfrozen log freezes it, and freeze points
+  // shape the frozen coordinates replay must reproduce — so the facade
+  // journals the marker (via Freeze()) before forwarding. On an already
+  // frozen log the queries append nothing.
+
+  Result<LazyJoinResult> JoinByName(std::string_view anc, std::string_view desc,
+                                    const LazyJoinOptions& options = {}) {
+    LAZYXML_RETURN_NOT_OK(Freeze());
+    return db_->JoinByName(anc, desc, options);
+  }
+  Result<std::vector<JoinPair>> JoinGlobal(std::string_view anc,
+                                           std::string_view desc,
+                                           const LazyJoinOptions& options = {}) {
+    LAZYXML_RETURN_NOT_OK(Freeze());
+    return db_->JoinGlobal(anc, desc, options);
+  }
+  Result<std::vector<GlobalElement>> MaterializeGlobalElements(
+      std::string_view tag) {
+    LAZYXML_RETURN_NOT_OK(Freeze());
+    return db_->MaterializeGlobalElements(tag);
+  }
+
+  /// The wrapped in-memory database (queries, stats, invariants). Going
+  /// around the facade for *updates* forfeits durability only if the
+  /// capture hook is detached; it is attached for the facade's lifetime.
+  LazyDatabase& database() { return *db_; }
+  const LazyDatabase& database() const { return *db_; }
+
+  /// What recovery did when this handle was opened.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// The live WAL writer (introspection: segment index, record counts).
+  const WalWriter& wal() const { return *wal_; }
+
+ private:
+  DurableLazyDatabase(std::string dir, DurableOptions options,
+                      std::unique_ptr<LazyDatabase> db,
+                      std::unique_ptr<WalWriter> wal,
+                      RecoveryStats recovery_stats);
+
+  // UpdateCapture: one WAL record per captured primitive.
+  Status OnInsertSegment(SegmentId sid, std::string_view text,
+                         uint64_t gp) override;
+  Status OnRemoveRange(uint64_t gp, uint64_t length) override;
+  Status OnCollapseSubtree(SegmentId old_sid, SegmentId new_sid) override;
+
+  std::string dir_;
+  DurableOptions options_;
+  std::unique_ptr<LazyDatabase> db_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_STORAGE_DURABLE_DATABASE_H_

@@ -1,0 +1,80 @@
+#include "storage/log_record.h"
+
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lazyxml {
+
+std::string EncodeLogRecord(const LogRecord& record) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case LogRecordType::kInsertSegment:
+      w.PutU64(record.sid);
+      w.PutU64(record.gp);
+      w.PutString(record.text);
+      break;
+    case LogRecordType::kRemoveRange:
+      w.PutU64(record.gp);
+      w.PutU64(record.length);
+      break;
+    case LogRecordType::kCollapseSubtree:
+      w.PutU64(record.sid);
+      w.PutU64(record.new_sid);
+      break;
+    case LogRecordType::kFreeze:
+      break;
+  }
+  return w.TakeBuffer();
+}
+
+Result<LogRecord> DecodeLogRecord(std::string_view payload) {
+  ByteReader r(payload);
+  LAZYXML_ASSIGN_OR_RETURN(uint8_t raw_type, r.GetU8());
+  LogRecord rec;
+  switch (raw_type) {
+    case static_cast<uint8_t>(LogRecordType::kInsertSegment): {
+      rec.type = LogRecordType::kInsertSegment;
+      LAZYXML_ASSIGN_OR_RETURN(rec.sid, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(rec.gp, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(rec.text, r.GetString());
+      if (rec.sid == kRootSegmentId) {
+        return Status::Corruption("insert record with the dummy-root sid");
+      }
+      if (rec.text.empty()) {
+        return Status::Corruption("insert record with empty text");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(LogRecordType::kRemoveRange): {
+      rec.type = LogRecordType::kRemoveRange;
+      LAZYXML_ASSIGN_OR_RETURN(rec.gp, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(rec.length, r.GetU64());
+      if (rec.length == 0) {
+        return Status::Corruption("remove record with zero length");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(LogRecordType::kCollapseSubtree): {
+      rec.type = LogRecordType::kCollapseSubtree;
+      LAZYXML_ASSIGN_OR_RETURN(rec.sid, r.GetU64());
+      LAZYXML_ASSIGN_OR_RETURN(rec.new_sid, r.GetU64());
+      if (rec.sid == kRootSegmentId || rec.new_sid == kRootSegmentId) {
+        return Status::Corruption("collapse record with the dummy-root sid");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(LogRecordType::kFreeze):
+      rec.type = LogRecordType::kFreeze;
+      break;
+    default:
+      return Status::Corruption(
+          StringPrintf("unknown WAL record type %u", raw_type));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in WAL record payload");
+  }
+  return rec;
+}
+
+}  // namespace lazyxml

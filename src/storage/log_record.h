@@ -1,0 +1,78 @@
+// Logical WAL records: the durable form of the update stream captured
+// from LazyDatabase (core/update_capture.h). One record per primitive
+// operation; payloads use the bounds-checked ByteWriter/ByteReader
+// encoding (common/serial.h). Framing (CRC + length) is the writer's
+// and reader's concern (wal_writer.h / wal_reader.h); this file is only
+// the payload codec. Format details: docs/WAL_FORMAT.md.
+
+#ifndef LAZYXML_STORAGE_LOG_RECORD_H_
+#define LAZYXML_STORAGE_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/segment.h"
+
+namespace lazyxml {
+
+/// Wire tag of a record. Values are part of the on-disk format; never
+/// renumber.
+enum class LogRecordType : uint8_t {
+  kInsertSegment = 1,   ///< sid, gp, text
+  kRemoveRange = 2,     ///< gp, length
+  kCollapseSubtree = 3, ///< old_sid, new_sid
+  kFreeze = 4,          ///< no payload (LS-mode freeze marker)
+};
+
+/// One decoded record. Unused fields are zero / empty per type.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kFreeze;
+  SegmentId sid = 0;      ///< insert: assigned sid; collapse: old sid
+  SegmentId new_sid = 0;  ///< collapse: resulting sid
+  uint64_t gp = 0;        ///< insert / remove: global position
+  uint64_t length = 0;    ///< remove: width of the removed region
+  std::string text;       ///< insert: the segment text
+
+  static LogRecord InsertSegment(SegmentId sid, std::string_view text,
+                                 uint64_t gp) {
+    LogRecord r;
+    r.type = LogRecordType::kInsertSegment;
+    r.sid = sid;
+    r.gp = gp;
+    r.text = std::string(text);
+    return r;
+  }
+  static LogRecord RemoveRange(uint64_t gp, uint64_t length) {
+    LogRecord r;
+    r.type = LogRecordType::kRemoveRange;
+    r.gp = gp;
+    r.length = length;
+    return r;
+  }
+  static LogRecord CollapseSubtree(SegmentId old_sid, SegmentId new_sid) {
+    LogRecord r;
+    r.type = LogRecordType::kCollapseSubtree;
+    r.sid = old_sid;
+    r.new_sid = new_sid;
+    return r;
+  }
+  static LogRecord Freeze() { return LogRecord{}; }
+
+  friend bool operator==(const LogRecord& a, const LogRecord& b) {
+    return a.type == b.type && a.sid == b.sid && a.new_sid == b.new_sid &&
+           a.gp == b.gp && a.length == b.length && a.text == b.text;
+  }
+};
+
+/// Encodes the payload (type byte + body). Never fails.
+std::string EncodeLogRecord(const LogRecord& record);
+
+/// Decodes one payload produced by EncodeLogRecord. The whole input must
+/// be consumed; anything malformed is Corruption.
+Result<LogRecord> DecodeLogRecord(std::string_view payload);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_STORAGE_LOG_RECORD_H_

@@ -1,0 +1,86 @@
+#include "storage/wal_writer.h"
+
+#include "common/crc32c.h"
+#include "common/serial.h"
+#include "storage/wal_layout.h"
+
+namespace lazyxml {
+
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNever:
+      return "never";
+    case WalSyncPolicy::kEveryRecord:
+      return "every_record";
+    case WalSyncPolicy::kBatchBytes:
+      return "batch_bytes";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& dir, uint64_t start_index,
+    const WalWriterOptions& options) {
+  if (start_index == 0) {
+    return Status::InvalidArgument("WAL segment indices start at 1");
+  }
+  LAZYXML_RETURN_NOT_OK(CreateDirIfMissing(dir));
+  LAZYXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<AppendFile> file,
+      AppendFile::Open(dir + "/" + WalSegmentFileName(start_index)));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(dir, start_index, options, std::move(file)));
+}
+
+Status WalWriter::Append(const LogRecord& record) {
+  const std::string payload = EncodeLogRecord(record);
+  if (payload.size() > kWalMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record exceeds the size ceiling");
+  }
+  ByteWriter frame;
+  frame.PutU32(crc32c::Mask(crc32c::Value(payload)));
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string bytes = frame.TakeBuffer();
+  bytes += payload;
+
+  LAZYXML_RETURN_NOT_OK(file_->Append(bytes));
+  ++records_appended_;
+  switch (options_.sync_policy) {
+    case WalSyncPolicy::kNever:
+      break;
+    case WalSyncPolicy::kEveryRecord:
+      LAZYXML_RETURN_NOT_OK(file_->Sync());
+      break;
+    case WalSyncPolicy::kBatchBytes:
+      unsynced_bytes_ += bytes.size();
+      if (unsynced_bytes_ >= options_.batch_bytes) {
+        LAZYXML_RETURN_NOT_OK(Sync());
+      }
+      break;
+  }
+  if (file_->size() >= options_.segment_bytes) {
+    LAZYXML_RETURN_NOT_OK(Rotate());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  LAZYXML_RETURN_NOT_OK(file_->Sync());
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Rotate() {
+  // A completed segment must be whole on disk regardless of policy:
+  // recovery trusts every non-final segment.
+  LAZYXML_RETURN_NOT_OK(Sync());
+  LAZYXML_RETURN_NOT_OK(file_->Close());
+  ++index_;
+  LAZYXML_ASSIGN_OR_RETURN(
+      file_, AppendFile::Open(dir_ + "/" + WalSegmentFileName(index_)));
+  // Make the new segment's directory entry durable so recovery sees a
+  // contiguous run of indices.
+  return SyncDirectory(dir_);
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,88 @@
+// WalWriter: the append side of the write-ahead log. Frames each logical
+// record (CRC32C + length prefix, wal_layout.h), appends it to the
+// current segment file, applies the configured sync policy, and rotates
+// to a fresh segment when the current one exceeds the size threshold.
+// A segment is always fdatasync'd before rotation completes, so every
+// non-final segment on disk is whole — recovery treats damage in them
+// as Corruption, while damage at the tail of the final segment is an
+// expected torn write.
+
+#ifndef LAZYXML_STORAGE_WAL_WRITER_H_
+#define LAZYXML_STORAGE_WAL_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/file_io.h"
+#include "common/result.h"
+#include "storage/log_record.h"
+
+namespace lazyxml {
+
+/// When appended records reach stable storage.
+enum class WalSyncPolicy {
+  kNever,        ///< OS page cache only; fastest, loses the tail on crash
+  kEveryRecord,  ///< fdatasync per record; every acked update survives
+  kBatchBytes,   ///< fdatasync once per `batch_bytes` of frames
+};
+
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+struct WalWriterOptions {
+  WalSyncPolicy sync_policy = WalSyncPolicy::kEveryRecord;
+  /// kBatchBytes: unsynced frame bytes that trigger an fdatasync.
+  uint64_t batch_bytes = 1 << 20;
+  /// Segment size that triggers rotation (checked after each append).
+  uint64_t segment_bytes = 64ull << 20;
+};
+
+class WalWriter {
+ public:
+  /// Starts segment `start_index` (must not already exist as a completed
+  /// segment — recovery always hands out a fresh index) in `dir`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 uint64_t start_index,
+                                                 const WalWriterOptions& options);
+
+  /// Frames and appends one record, then applies the sync policy and
+  /// rotates if the segment is full. On OK the record is acknowledged:
+  /// durable under kEveryRecord, page-cached otherwise.
+  Status Append(const LogRecord& record);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// Finishes the current segment (sync + close) and starts the next.
+  /// The snapshot/checkpoint protocol rotates before serializing so the
+  /// snapshot's coverage boundary falls exactly between two segments.
+  Status Rotate();
+
+  /// Index of the segment currently being appended to.
+  uint64_t current_segment() const { return index_; }
+
+  /// Bytes appended to the current segment so far.
+  uint64_t current_segment_bytes() const { return file_->size(); }
+
+  /// Records appended through this writer (all segments).
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  WalWriter(std::string dir, uint64_t index, WalWriterOptions options,
+            std::unique_ptr<AppendFile> file)
+      : dir_(std::move(dir)),
+        index_(index),
+        options_(options),
+        file_(std::move(file)) {}
+
+  std::string dir_;
+  uint64_t index_;
+  WalWriterOptions options_;
+  std::unique_ptr<AppendFile> file_;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_STORAGE_WAL_WRITER_H_

@@ -1,0 +1,90 @@
+#include "common/file_io.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lazyxml_fileio_" + name;
+  EXPECT_TRUE(CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+TEST(FileIoTest, WriteAtomicThenRead) {
+  const std::string path = TestDir("rw") + "/data.bin";
+  const std::string payload("hello\0world", 11);  // embedded NUL
+  const std::string twice = payload + payload;
+  ASSERT_TRUE(WriteFileAtomic(path, twice).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), twice);
+  EXPECT_EQ(FileSize(path).ValueOrDie(), twice.size());
+  // Overwrite replaces wholesale and leaves no temp file behind.
+  ASSERT_TRUE(WriteFileAtomic(path, "short").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "short");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  const std::string path = TestDir("missing") + "/nope.bin";
+  EXPECT_TRUE(ReadFileToString(path).status().IsNotFound());
+  EXPECT_TRUE(FileSize(path).status().IsNotFound());
+  EXPECT_FALSE(FileExists(path));
+  // Removing a missing file is not an error.
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST(FileIoTest, ListDirectorySeesCreatedFiles) {
+  const std::string dir = TestDir("list");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/a.txt", "a").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/b.txt", "b").ok());
+  auto names = ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  auto got = names.ValueOrDie();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::string>{"a.txt", "b.txt"}));
+  EXPECT_TRUE(ListDirectory(dir + "/definitely_absent")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FileIoTest, AppendFileAccumulatesAndTracksSize) {
+  const std::string path = TestDir("append") + "/log.bin";
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());  // stale state from prior runs
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    auto& f = *file.ValueOrDie();
+    EXPECT_EQ(f.size(), 0u);
+    ASSERT_TRUE(f.Append("abc").ok());
+    ASSERT_TRUE(f.Append("defg").ok());
+    EXPECT_EQ(f.size(), 7u);
+    ASSERT_TRUE(f.Sync().ok());
+    ASSERT_TRUE(f.Close().ok());
+    // Idempotent close; writes after close fail cleanly.
+    EXPECT_TRUE(f.Close().ok());
+    EXPECT_TRUE(f.Append("x").IsIOError());
+  }
+  // Reopening resumes at the existing size.
+  auto file = AppendFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.ValueOrDie()->size(), 7u);
+  ASSERT_TRUE(file.ValueOrDie()->Append("hi").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "abcdefghi");
+}
+
+TEST(FileIoTest, RenameReplacesTarget) {
+  const std::string dir = TestDir("rename");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/from", "new").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/to", "old").ok());
+  ASSERT_TRUE(RenameFile(dir + "/from", dir + "/to").ok());
+  EXPECT_EQ(ReadFileToString(dir + "/to").ValueOrDie(), "new");
+  EXPECT_FALSE(FileExists(dir + "/from"));
+  EXPECT_TRUE(RenameFile(dir + "/from", dir + "/to").IsNotFound());
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,124 @@
+#include "common/ticket_rwlock.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(TicketSharedMutexTest, ExclusiveAndSharedBasics) {
+  TicketSharedMutex mu;
+  {
+    std::unique_lock lock(mu);
+  }
+  {
+    std::shared_lock a(mu);
+    std::shared_lock b(mu);  // readers overlap
+    EXPECT_FALSE(mu.try_lock());
+  }
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock_shared());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+}
+
+// The fairness property itself: once a writer is waiting, new readers are
+// refused admission, so a stream of overlapping readers cannot starve it.
+TEST(TicketSharedMutexTest, PendingWriterClosesReaderAdmission) {
+  TicketSharedMutex mu;
+  mu.lock_shared();  // the reader the writer is stuck behind
+
+  std::atomic<bool> writer_acquired{false};
+  std::thread writer([&] {
+    mu.lock();
+    writer_acquired = true;
+    mu.unlock();
+  });
+
+  // Admission must close once the writer queues: poll until
+  // try_lock_shared is refused.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool admission_closed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!mu.try_lock_shared()) {
+      admission_closed = true;
+      break;
+    }
+    mu.unlock_shared();
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(admission_closed);
+  EXPECT_FALSE(writer_acquired.load());
+
+  mu.unlock_shared();  // release the blocking reader; writer proceeds
+  writer.join();
+  EXPECT_TRUE(writer_acquired.load());
+  // With no writer pending, readers are admitted again.
+  EXPECT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+}
+
+// Liveness under a perpetual reader storm: writers must keep completing.
+// Under a reader-preferring lock this loop can hang forever.
+TEST(TicketSharedMutexTest, WriterProgressesThroughReaderStorm) {
+  TicketSharedMutex mu;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_lock lock(mu);
+        ++reads;
+      }
+    });
+  }
+  uint64_t counter = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::unique_lock lock(mu);
+    ++counter;
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(counter, 500u);
+  // Note: reads may be near zero — back-to-back writers legitimately
+  // hold readers out (the lock is writer-priority by design). The
+  // property under test is only that the writer batch completes.
+  (void)reads;
+}
+
+TEST(TicketSharedMutexTest, WritersAreFifo) {
+  TicketSharedMutex mu;
+  std::vector<int> order;
+  std::mutex order_mu;
+  mu.lock();  // hold everyone back while the queue forms
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 4; ++i) {
+    writers.emplace_back([&, i] {
+      mu.lock();
+      {
+        std::lock_guard g(order_mu);
+        order.push_back(i);
+      }
+      mu.unlock();
+    });
+    // Give thread i time to reach lock() and take its ticket before the
+    // next thread spawns; tickets then drain in arrival order.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  mu.unlock();
+  for (auto& t : writers) t.join();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace lazyxml

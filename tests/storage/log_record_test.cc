@@ -1,0 +1,65 @@
+#include "storage/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+TEST(LogRecordTest, RoundTripsEveryType) {
+  const LogRecord records[] = {
+      LogRecord::InsertSegment(7, "<a><b/></a>", 42),
+      LogRecord::RemoveRange(13, 99),
+      LogRecord::CollapseSubtree(3, 12),
+      LogRecord::Freeze(),
+  };
+  for (const LogRecord& rec : records) {
+    const std::string payload = EncodeLogRecord(rec);
+    auto decoded = DecodeLogRecord(payload);
+    ASSERT_TRUE(decoded.ok()) << payload.size();
+    EXPECT_EQ(decoded.ValueOrDie(), rec);
+  }
+}
+
+TEST(LogRecordTest, RejectsMalformedPayloads) {
+  // Empty, unknown type, truncated body, trailing junk.
+  EXPECT_TRUE(DecodeLogRecord("").status().IsCorruption());
+  EXPECT_TRUE(DecodeLogRecord("\x63").status().IsCorruption());
+  const std::string insert =
+      EncodeLogRecord(LogRecord::InsertSegment(7, "<a/>", 0));
+  EXPECT_TRUE(DecodeLogRecord(std::string_view(insert).substr(0, 5))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(DecodeLogRecord(insert + "x").status().IsCorruption());
+}
+
+TEST(LogRecordTest, RejectsSemanticNonsense) {
+  // Insert with the dummy-root sid or empty text; remove of width zero;
+  // collapse touching the dummy root.
+  LogRecord bad_sid = LogRecord::InsertSegment(0, "<a/>", 0);
+  EXPECT_TRUE(
+      DecodeLogRecord(EncodeLogRecord(bad_sid)).status().IsCorruption());
+  LogRecord empty_text = LogRecord::InsertSegment(1, "", 0);
+  EXPECT_TRUE(
+      DecodeLogRecord(EncodeLogRecord(empty_text)).status().IsCorruption());
+  LogRecord zero_remove = LogRecord::RemoveRange(5, 0);
+  EXPECT_TRUE(
+      DecodeLogRecord(EncodeLogRecord(zero_remove)).status().IsCorruption());
+  LogRecord root_collapse = LogRecord::CollapseSubtree(0, 1);
+  EXPECT_TRUE(DecodeLogRecord(EncodeLogRecord(root_collapse))
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(LogRecordTest, TruncationAtEveryPrefixRejected) {
+  const std::string payload =
+      EncodeLogRecord(LogRecord::InsertSegment(9, "<tag>text</tag>", 123));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(DecodeLogRecord(std::string_view(payload).substr(0, cut))
+                    .status()
+                    .IsCorruption())
+        << "prefix " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,329 @@
+#include "storage/recovery.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "core/snapshot.h"
+#include "core/update_capture.h"
+#include "storage/wal_layout.h"
+#include "storage/wal_writer.h"
+#include "tests/testutil.h"
+
+namespace lazyxml {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lazyxml_recovery_" + name;
+  EXPECT_TRUE(CreateDirIfMissing(dir).ok());
+  auto names = ListDirectory(dir);
+  EXPECT_TRUE(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    EXPECT_TRUE(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+/// Captures the logical op stream as LogRecords — the in-memory twin of
+/// what WalWriter persists.
+class VectorCapture : public UpdateCapture {
+ public:
+  Status OnInsertSegment(SegmentId sid, std::string_view text,
+                         uint64_t gp) override {
+    records.push_back(LogRecord::InsertSegment(sid, text, gp));
+    return Status::OK();
+  }
+  Status OnRemoveRange(uint64_t gp, uint64_t length) override {
+    records.push_back(LogRecord::RemoveRange(gp, length));
+    return Status::OK();
+  }
+  Status OnCollapseSubtree(SegmentId old_sid, SegmentId new_sid) override {
+    records.push_back(LogRecord::CollapseSubtree(old_sid, new_sid));
+    return Status::OK();
+  }
+
+  std::vector<LogRecord> records;
+};
+
+/// Runs a fixed little update script exercising every record type;
+/// returns the database and (via `log`) the captured op stream.
+std::unique_ptr<LazyDatabase> BuildReference(std::vector<LogRecord>* log) {
+  auto db = std::make_unique<LazyDatabase>();
+  VectorCapture capture;
+  db->set_update_capture(&capture);
+  std::string shadow;
+  auto insert = [&](std::string_view text, uint64_t gp) {
+    EXPECT_TRUE(db->InsertSegment(text, gp).ok());
+    testutil::SpliceInsert(&shadow, text, gp);
+  };
+  insert("<a><b/><w></w><b/></a>", 0);
+  insert("<c><b/><d/></c>", 10);  // inside <w>
+  insert("<d></d>", 13);          // inside the spliced <c>
+  EXPECT_TRUE(db->RemoveSegment(3, 4).ok());
+  testutil::SpliceRemove(&shadow, 3, 4);
+  EXPECT_TRUE(db->CollapseSubtree(2).ok());
+  insert("<b><d/></b>", shadow.find("</c>") + 4);  // after the collapse
+  db->set_update_capture(nullptr);
+  *log = capture.records;
+  EXPECT_EQ(log->size(), 6u);
+  return db;
+}
+
+void ExpectSameState(LazyDatabase* want, LazyDatabase* got) {
+  ASSERT_TRUE(got->CheckInvariants().ok());
+  const auto sw = want->Stats();
+  const auto sg = got->Stats();
+  EXPECT_EQ(sw.num_segments, sg.num_segments);
+  EXPECT_EQ(sw.num_elements, sg.num_elements);
+  EXPECT_EQ(sw.super_document_length, sg.super_document_length);
+  EXPECT_EQ(want->update_log().next_sid(), got->update_log().next_sid());
+  for (const char* tag : {"a", "b", "c", "d", "w"}) {
+    EXPECT_EQ(want->MaterializeGlobalElements(tag).ValueOrDie(),
+              got->MaterializeGlobalElements(tag).ValueOrDie())
+        << tag;
+  }
+  EXPECT_EQ(want->JoinGlobal("a", "b").ValueOrDie(),
+            got->JoinGlobal("a", "b").ValueOrDie());
+  EXPECT_EQ(want->JoinGlobal("c", "d").ValueOrDie(),
+            got->JoinGlobal("c", "d").ValueOrDie());
+}
+
+void WriteWal(const std::string& dir, uint64_t index,
+              const std::vector<LogRecord>& records) {
+  auto writer = WalWriter::Open(dir, index, {}).ValueOrDie();
+  for (const auto& rec : records) {
+    ASSERT_TRUE(writer->Append(rec).ok());
+  }
+}
+
+TEST(RecoveryTest, EmptyDirectoryRecoversEmpty) {
+  const std::string dir = FreshDir("empty");
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_EQ(recovered.stats.snapshot_index, 0u);
+  EXPECT_EQ(recovered.stats.records_replayed, 0u);
+  EXPECT_EQ(recovered.next_wal_index, 1u);
+  EXPECT_EQ(recovered.db->Stats().num_segments, 0u);
+}
+
+TEST(RecoveryTest, MissingDirectoryIsCreated) {
+  const std::string dir =
+      ::testing::TempDir() + "/lazyxml_recovery_never_made";
+  EXPECT_TRUE(RemoveFileIfExists(dir + "/placeholder").ok());
+  auto recovered = RecoverDatabase(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(FileExists(dir));
+}
+
+TEST(RecoveryTest, ReplaysWalFromScratch) {
+  const std::string dir = FreshDir("wal_only");
+  std::vector<LogRecord> log;
+  auto reference = BuildReference(&log);
+  WriteWal(dir, 1, log);
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_EQ(recovered.stats.records_replayed, log.size());
+  EXPECT_EQ(recovered.stats.snapshot_index, 0u);
+  EXPECT_FALSE(recovered.stats.torn_tail);
+  EXPECT_EQ(recovered.next_wal_index, 2u);
+  ExpectSameState(reference.get(), recovered.db.get());
+}
+
+TEST(RecoveryTest, SnapshotPlusWalTail) {
+  const std::string dir = FreshDir("snap_tail");
+  std::vector<LogRecord> log;
+  auto reference = BuildReference(&log);
+  // Snapshot as of the first three records; the rest is the WAL tail.
+  LazyDatabase mid;
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ApplyLogRecord(&mid, log[i]).ok());
+  }
+  ASSERT_TRUE(SaveSnapshot(mid, dir + "/" + SnapshotFileName(2)).ok());
+  WriteWal(dir, 3, {log.begin() + 3, log.end()});
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_EQ(recovered.stats.snapshot_index, 2u);
+  EXPECT_EQ(recovered.stats.records_replayed, log.size() - 3);
+  EXPECT_EQ(recovered.next_wal_index, 4u);
+  ExpectSameState(reference.get(), recovered.db.get());
+}
+
+TEST(RecoveryTest, StaleWalSegmentsUnderSnapshotIgnored) {
+  const std::string dir = FreshDir("stale");
+  std::vector<LogRecord> log;
+  auto reference = BuildReference(&log);
+  // Full history in segment 1 AND a snapshot at index 1: the segment is
+  // covered, so replay starts after it.
+  WriteWal(dir, 1, log);
+  ASSERT_TRUE(SaveSnapshot(*reference, dir + "/" + SnapshotFileName(1)).ok());
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_EQ(recovered.stats.snapshot_index, 1u);
+  EXPECT_EQ(recovered.stats.records_replayed, 0u);
+  ExpectSameState(reference.get(), recovered.db.get());
+}
+
+TEST(RecoveryTest, SidMismatchIsCorruption) {
+  const std::string dir = FreshDir("sid_mismatch");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  // Claim the first insert produced sid 9: replay will produce sid 1 and
+  // must refuse to continue rather than silently diverge.
+  log[0].sid = 9;
+  WriteWal(dir, 1, log);
+  auto recovered = RecoverDatabase(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsCorruption());
+}
+
+TEST(RecoveryTest, TornTailOfFinalSegmentTolerated) {
+  const std::string dir = FreshDir("torn_final");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  WriteWal(dir, 1, log);
+  const std::string path = dir + "/" + WalSegmentFileName(1);
+  std::string data = ReadFileToString(path).ValueOrDie();
+  data.resize(data.size() - 3);  // rip the last append
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+  // Strict mode surfaces the damage as an error (and does not repair),
+  // so it must run before the tolerant recovery below.
+  RecoveryOptions strict;
+  strict.strict = true;
+  auto strict_result = RecoverDatabase(dir, strict);
+  ASSERT_FALSE(strict_result.ok());
+  EXPECT_TRUE(strict_result.status().IsCorruption());
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_TRUE(recovered.stats.torn_tail);
+  EXPECT_EQ(recovered.stats.torn_segment, 1u);
+  EXPECT_EQ(recovered.stats.records_replayed, log.size() - 1);
+  // The tear was truncated away on disk: recovering again is clean.
+  auto again = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_FALSE(again.stats.torn_tail);
+  EXPECT_EQ(again.stats.records_replayed, log.size() - 1);
+}
+
+TEST(RecoveryTest, DamageInNonFinalSegmentIsCorruption) {
+  const std::string dir = FreshDir("torn_middle");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  // Split the history over two segments, then rip the tail of the FIRST.
+  const size_t split = log.size() / 2;
+  WriteWal(dir, 1, {log.begin(), log.begin() + split});
+  WriteWal(dir, 2, {log.begin() + split, log.end()});
+  const std::string path = dir + "/" + WalSegmentFileName(1);
+  std::string data = ReadFileToString(path).ValueOrDie();
+  data.resize(data.size() - 3);
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+  auto recovered = RecoverDatabase(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsCorruption());
+}
+
+TEST(RecoveryTest, UnusableSnapshotIsCorruptionNotEmptyStart) {
+  const std::string dir = FreshDir("bad_snap");
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/" + SnapshotFileName(3), "garbage").ok());
+  auto recovered = RecoverDatabase(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsCorruption());
+}
+
+TEST(RecoveryTest, FallsBackToOlderSnapshotWithContiguousWal) {
+  const std::string dir = FreshDir("fallback");
+  std::vector<LogRecord> log;
+  auto reference = BuildReference(&log);
+  // Good old snapshot at 1 covering nothing, full WAL from 2, and a
+  // corrupt newest snapshot at 4.
+  LazyDatabase empty;
+  ASSERT_TRUE(SaveSnapshot(empty, dir + "/" + SnapshotFileName(1)).ok());
+  WriteWal(dir, 2, log);
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/" + SnapshotFileName(4), "garbage").ok());
+  auto recovered = RecoverDatabase(dir).ValueOrDie();
+  EXPECT_EQ(recovered.stats.snapshot_index, 1u);
+  EXPECT_EQ(recovered.stats.records_replayed, log.size());
+  // The writer resumes past everything REPLAYED; the corrupt snapshot's
+  // index does not reserve anything.
+  EXPECT_EQ(recovered.next_wal_index, 3u);
+  ExpectSameState(reference.get(), recovered.db.get());
+}
+
+TEST(RecoveryTest, WalGapWithoutCoveringSnapshotIsCorruption) {
+  const std::string dir = FreshDir("gap");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  // Segments 1 and 3 with no 2: records are missing in the middle.
+  const size_t split = log.size() / 2;
+  WriteWal(dir, 1, {log.begin(), log.begin() + split});
+  WriteWal(dir, 3, {log.begin() + split, log.end()});
+  auto recovered = RecoverDatabase(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsCorruption());
+}
+
+// Recovery-level fault injection: truncate the only WAL segment at every
+// byte prefix. Recovery must always succeed (default mode), replay the
+// maximal whole-record prefix, and produce exactly the database that
+// prefix describes.
+TEST(RecoveryTest, TruncationAtEveryPrefixRecoversThePrefix) {
+  const std::string build_dir = FreshDir("fault_build");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  WriteWal(build_dir, 1, log);
+  const std::string data =
+      ReadFileToString(build_dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+
+  const std::string dir = FreshDir("fault_truncate");
+  const std::string wal_path = dir + "/" + WalSegmentFileName(1);
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(wal_path, data.substr(0, cut)).ok());
+    auto recovered = RecoverDatabase(dir);
+    ASSERT_TRUE(recovered.ok()) << "cut " << cut << ": "
+                                << recovered.status().ToString();
+    const auto& stats = recovered.ValueOrDie().stats;
+    // The replayed prefix must be usable: rebuild from the op list and
+    // compare.
+    LazyDatabase want;
+    for (size_t i = 0; i < stats.records_replayed; ++i) {
+      ASSERT_TRUE(ApplyLogRecord(&want, log[i]).ok()) << "cut " << cut;
+    }
+    ExpectSameState(&want, recovered.ValueOrDie().db.get());
+    if (stats.torn_tail) {
+      EXPECT_LE(stats.valid_prefix_bytes, cut) << "cut " << cut;
+      EXPECT_LT(stats.records_replayed, log.size()) << "cut " << cut;
+    }
+  }
+}
+
+// Bit-flip fault injection at the recovery level: every flip either
+// recovers (damage read as a torn tail; the replayed prefix is usable)
+// or fails with Corruption. Never a crash, never a wrong database.
+TEST(RecoveryTest, BitFlipAtEveryByteRecoversOrReportsCorruption) {
+  const std::string build_dir = FreshDir("flip_build");
+  std::vector<LogRecord> log;
+  BuildReference(&log);
+  WriteWal(build_dir, 1, log);
+  const std::string data =
+      ReadFileToString(build_dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+
+  const std::string dir = FreshDir("flip_run");
+  const std::string wal_path = dir + "/" + WalSegmentFileName(1);
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    std::string tampered = data;
+    tampered[pos] = static_cast<char>(tampered[pos] ^ 0x40);
+    ASSERT_TRUE(WriteFileAtomic(wal_path, tampered).ok());
+    auto recovered = RecoverDatabase(dir);
+    if (!recovered.ok()) {
+      EXPECT_TRUE(recovered.status().IsCorruption()) << "flip at " << pos;
+      continue;
+    }
+    const auto& stats = recovered.ValueOrDie().stats;
+    EXPECT_TRUE(stats.torn_tail) << "flip at " << pos;
+    LazyDatabase want;
+    for (size_t i = 0; i < stats.records_replayed; ++i) {
+      ASSERT_TRUE(ApplyLogRecord(&want, log[i]).ok());
+    }
+    ExpectSameState(&want, recovered.ValueOrDie().db.get());
+  }
+}
+
+}  // namespace
+}  // namespace lazyxml

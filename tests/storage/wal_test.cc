@@ -1,0 +1,280 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "storage/wal_layout.h"
+#include "storage/wal_reader.h"
+#include "storage/wal_writer.h"
+
+namespace lazyxml {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lazyxml_wal_" + name;
+  EXPECT_TRUE(CreateDirIfMissing(dir).ok());
+  // Reuse across runs: clear any leftovers so indices start fresh.
+  auto names = ListDirectory(dir);
+  EXPECT_TRUE(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    EXPECT_TRUE(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+std::vector<LogRecord> SampleRecords() {
+  return {
+      LogRecord::InsertSegment(1, "<a><b/></a>", 0),
+      LogRecord::InsertSegment(2, "<c>hello</c>", 3),
+      LogRecord::RemoveRange(5, 7),
+      LogRecord::Freeze(),
+      LogRecord::CollapseSubtree(1, 3),
+      LogRecord::InsertSegment(4, std::string(300, 'x'), 9),
+  };
+}
+
+/// Reads one segment image fully; returns the final outcome.
+WalReadOutcome DrainSegment(const std::string& data,
+                            std::vector<LogRecord>* out,
+                            uint64_t* valid_prefix = nullptr) {
+  WalSegmentReader reader(data);
+  LogRecord rec;
+  Status detail;
+  WalReadOutcome outcome;
+  while ((outcome = reader.Next(&rec, &detail)) == WalReadOutcome::kRecord) {
+    out->push_back(rec);
+  }
+  if (valid_prefix != nullptr) *valid_prefix = reader.valid_prefix_bytes();
+  return outcome;
+}
+
+/// Frame boundaries of a clean segment image (offset 0 plus one entry per
+/// frame end).
+std::vector<uint64_t> FrameBoundaries(const std::string& data) {
+  std::vector<uint64_t> boundaries{0};
+  WalSegmentReader reader(data);
+  LogRecord rec;
+  Status detail;
+  while (reader.Next(&rec, &detail) == WalReadOutcome::kRecord) {
+    boundaries.push_back(reader.valid_prefix_bytes());
+  }
+  return boundaries;
+}
+
+std::string WriteSampleSegment(const std::string& dir,
+                               const std::vector<LogRecord>& records) {
+  auto writer = WalWriter::Open(dir, 1, {}).ValueOrDie();
+  for (const auto& rec : records) {
+    EXPECT_TRUE(writer->Append(rec).ok());
+  }
+  return ReadFileToString(dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+}
+
+TEST(WalTest, WriteThenReadBack) {
+  const std::string dir = FreshDir("roundtrip");
+  const auto records = SampleRecords();
+  {
+    auto writer = WalWriter::Open(dir, 1, {}).ValueOrDie();
+    for (const auto& rec : records) {
+      ASSERT_TRUE(writer->Append(rec).ok());
+    }
+    EXPECT_EQ(writer->records_appended(), records.size());
+    EXPECT_EQ(writer->current_segment(), 1u);
+  }
+  const std::string data =
+      ReadFileToString(dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+  std::vector<LogRecord> got;
+  uint64_t prefix = 0;
+  EXPECT_EQ(DrainSegment(data, &got, &prefix), WalReadOutcome::kEnd);
+  EXPECT_EQ(got, records);
+  EXPECT_EQ(prefix, data.size());
+}
+
+TEST(WalTest, EmptySegmentReadsCleanly) {
+  std::vector<LogRecord> got;
+  EXPECT_EQ(DrainSegment("", &got), WalReadOutcome::kEnd);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(WalTest, RotationSplitsAtSizeThreshold) {
+  const std::string dir = FreshDir("rotate");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNever;
+  options.segment_bytes = 256;  // tiny, to force several rotations
+  auto writer = WalWriter::Open(dir, 1, options).ValueOrDie();
+  std::vector<LogRecord> written;
+  for (int i = 1; i <= 40; ++i) {
+    LogRecord rec = LogRecord::InsertSegment(i, "<r>0123456789</r>", i);
+    ASSERT_TRUE(writer->Append(rec).ok());
+    written.push_back(rec);
+  }
+  EXPECT_GT(writer->current_segment(), 2u);
+  // Every segment up to the current one exists and replays in order.
+  std::vector<LogRecord> got;
+  for (uint64_t seg = 1; seg <= writer->current_segment(); ++seg) {
+    const std::string data =
+        ReadFileToString(dir + "/" + WalSegmentFileName(seg)).ValueOrDie();
+    EXPECT_EQ(DrainSegment(data, &got), WalReadOutcome::kEnd) << seg;
+  }
+  EXPECT_EQ(got, written);
+}
+
+TEST(WalTest, ExplicitRotateStartsNextSegment) {
+  const std::string dir = FreshDir("explicit_rotate");
+  auto writer = WalWriter::Open(dir, 5, {}).ValueOrDie();
+  ASSERT_TRUE(writer->Append(LogRecord::Freeze()).ok());
+  ASSERT_TRUE(writer->Rotate().ok());
+  EXPECT_EQ(writer->current_segment(), 6u);
+  EXPECT_EQ(writer->current_segment_bytes(), 0u);
+  ASSERT_TRUE(writer->Append(LogRecord::RemoveRange(1, 2)).ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  EXPECT_TRUE(FileExists(dir + "/" + WalSegmentFileName(5)));
+  EXPECT_TRUE(FileExists(dir + "/" + WalSegmentFileName(6)));
+}
+
+TEST(WalTest, AllSyncPoliciesProduceIdenticalBytes) {
+  const auto records = SampleRecords();
+  std::string reference;
+  for (WalSyncPolicy policy :
+       {WalSyncPolicy::kNever, WalSyncPolicy::kEveryRecord,
+        WalSyncPolicy::kBatchBytes}) {
+    const std::string dir =
+        FreshDir(std::string("policy_") + WalSyncPolicyName(policy));
+    WalWriterOptions options;
+    options.sync_policy = policy;
+    options.batch_bytes = 64;
+    auto writer = WalWriter::Open(dir, 1, options).ValueOrDie();
+    for (const auto& rec : records) {
+      ASSERT_TRUE(writer->Append(rec).ok());
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+    const std::string data =
+        ReadFileToString(dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+    if (reference.empty()) {
+      reference = data;
+    } else {
+      EXPECT_EQ(data, reference) << WalSyncPolicyName(policy);
+    }
+  }
+}
+
+// The heart of the fault-injection harness: truncate the segment at every
+// byte prefix. Replay must always terminate, never mis-decode, and report
+// either a clean end (cut on a frame boundary) or a torn tail whose valid
+// prefix is the last whole frame at or before the cut.
+TEST(WalTest, TruncationAtEveryPrefixYieldsUsablePrefix) {
+  const std::string dir = FreshDir("truncate");
+  const auto records = SampleRecords();
+  const std::string data = WriteSampleSegment(dir, records);
+  const std::vector<uint64_t> boundaries = FrameBoundaries(data);
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    std::vector<LogRecord> got;
+    uint64_t prefix = 0;
+    const WalReadOutcome outcome =
+        DrainSegment(data.substr(0, cut), &got, &prefix);
+    // Largest frame boundary <= cut: everything before it replays intact.
+    uint64_t want_prefix = 0;
+    size_t want_records = 0;
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+      if (boundaries[i] <= cut) {
+        want_prefix = boundaries[i];
+        want_records = i;
+      }
+    }
+    EXPECT_EQ(prefix, want_prefix) << "cut " << cut;
+    EXPECT_EQ(outcome, cut == want_prefix ? WalReadOutcome::kEnd
+                                          : WalReadOutcome::kTornTail)
+        << "cut " << cut;
+    ASSERT_EQ(got.size(), want_records) << "cut " << cut;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], records[i]) << "cut " << cut;
+    }
+  }
+}
+
+// Flip bits at every byte position. A flip inside the final frame may read
+// as a torn tail (indistinguishable from an interrupted append). A flip in
+// an earlier frame reads as corruption — except in the length field, where
+// an inflated length can make the frame "run past EOF", which is exactly
+// what an interrupted large append looks like, so torn tail is honest
+// there too. In every case the frames before the damaged one replay
+// intact, no wrong record is ever produced, and replay terminates.
+TEST(WalTest, BitFlipAtEveryByteIsContained) {
+  const std::string dir = FreshDir("bitflip");
+  const auto records = SampleRecords();
+  const std::string data = WriteSampleSegment(dir, records);
+  const std::vector<uint64_t> boundaries = FrameBoundaries(data);
+  const uint64_t last_frame_start = boundaries[boundaries.size() - 2];
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string tampered = data;
+      tampered[pos] = static_cast<char>(tampered[pos] ^ flip);
+      std::vector<LogRecord> got;
+      uint64_t prefix = 0;
+      const WalReadOutcome outcome = DrainSegment(tampered, &got, &prefix);
+      // CRC32C detects every single-bit flip: never a clean end, never an
+      // extra record.
+      ASSERT_NE(outcome, WalReadOutcome::kEnd)
+          << "undetected flip at " << pos;
+      // Frames strictly before the damaged byte's frame replay intact.
+      size_t frames_before = 0;
+      for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+        if (boundaries[i] <= pos && pos < boundaries[i + 1]) {
+          frames_before = i;
+          break;
+        }
+      }
+      const uint64_t frame_start = boundaries[frames_before];
+      const bool in_length_field =
+          pos >= frame_start + 4 && pos < frame_start + 8;
+      if (pos < last_frame_start && !in_length_field) {
+        EXPECT_EQ(outcome, WalReadOutcome::kCorrupt) << "flip at " << pos;
+      }
+      ASSERT_EQ(got.size(), frames_before) << "flip at " << pos;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], records[i]) << "flip at " << pos;
+      }
+      EXPECT_EQ(prefix, frame_start) << "flip at " << pos;
+    }
+  }
+}
+
+TEST(WalTest, CrcValidButUndecodablePayloadIsCorrupt) {
+  // Hand-frame a payload that passes the CRC but fails DecodeLogRecord
+  // (unknown type byte). That can only be a software bug or deliberate
+  // tampering — never a torn append — so it is kCorrupt even at the tail.
+  const std::string payload = "\x63junk";
+  const uint32_t crc = crc32c::Mask(crc32c::Value(payload));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(payload);
+  std::vector<LogRecord> got;
+  EXPECT_EQ(DrainSegment(frame, &got), WalReadOutcome::kCorrupt);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(WalTest, InsaneLengthFieldEndsReplayAtTheFrame) {
+  // A length above kWalMaxRecordBytes never comes from the writer. At the
+  // tail it is indistinguishable from an interrupted append (garbage in a
+  // half-written header), so it classifies as torn; the frame never
+  // decodes and the prefix before it stays usable.
+  const uint32_t crc = 0xdeadbeefu;
+  const uint32_t len = 0x7fffffffu;
+  static_assert(0x7fffffffu > kWalMaxRecordBytes);
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(1024, 'x');
+  std::vector<LogRecord> got;
+  uint64_t prefix = 0;
+  EXPECT_EQ(DrainSegment(frame, &got, &prefix), WalReadOutcome::kTornTail);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(prefix, 0u);
+}
+
+}  // namespace
+}  // namespace lazyxml
