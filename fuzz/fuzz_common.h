@@ -1,0 +1,52 @@
+// Shared helpers for the fuzz targets.
+
+#ifndef LAZYXML_FUZZ_FUZZ_COMMON_H_
+#define LAZYXML_FUZZ_FUZZ_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+// Oracle violation: print and abort so both the standalone driver and
+// libFuzzer (and ASan) treat it as a crash worth reporting.
+#define FUZZ_ASSERT(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace lazyxml_fuzz {
+
+/// Cursor over the fuzzer's byte stream; reads past the end yield zeros
+/// so targets stay total over arbitrary inputs.
+class ByteStream {
+ public:
+  ByteStream(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool done() const { return pos_ >= size_; }
+
+  uint8_t NextByte() { return done() ? 0 : data_[pos_++]; }
+
+  uint64_t NextU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | NextByte();
+    return v;
+  }
+
+  /// Uniform-ish value in [0, bound); 0 when bound is 0.
+  uint64_t NextBelow(uint64_t bound) {
+    return bound == 0 ? 0 : NextU64() % bound;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lazyxml_fuzz
+
+#endif  // LAZYXML_FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,84 @@
+// Structure-aware op-sequence fuzz target: interprets the input bytes as
+// a stream of facade operations (insert / remove / collapse / compact /
+// freeze / join) against a LazyDatabase and runs the full consistency
+// scrubber after every op. Any Error-grade finding — in any subsystem,
+// after any op sequence — aborts. This is the scrubber and the update
+// algorithms testing each other.
+
+#include <cstdint>
+#include <string>
+
+#include "check/database_check.h"
+#include "core/lazy_database.h"
+#include "fuzz_common.h"
+
+using namespace lazyxml;
+using lazyxml_fuzz::ByteStream;
+
+namespace {
+
+// Small well-formed single-rooted fragment driven by the byte stream.
+void BuildElement(ByteStream* in, int depth, std::string* out) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  const char* name = kNames[in->NextByte() % 4];
+  out->append("<").append(name).append(">");
+  if (depth < 3) {
+    const int children = in->NextByte() % 3;
+    for (int i = 0; i < children; ++i) BuildElement(in, depth + 1, out);
+  }
+  out->append("x");  // a byte of text so removals can hit non-markup
+  out->append("</").append(name).append(">");
+}
+
+void ScrubOrDie(const LazyDatabase& db) {
+  auto report = check::CheckDatabase(db);
+  FUZZ_ASSERT(report.ok());
+  if (!report.ValueOrDie().ok()) {
+    std::fprintf(stderr, "%s\n", report.ValueOrDie().ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ByteStream in(data, size);
+  LazyDatabaseOptions options;
+  options.mode = (in.NextByte() & 1) ? LogMode::kLazyStatic
+                                     : LogMode::kLazyDynamic;
+  LazyDatabase db(options);
+
+  for (int op = 0; op < 48 && !in.done(); ++op) {
+    switch (in.NextByte() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // insert somewhere in the current super document
+        std::string text;
+        BuildElement(&in, 0, &text);
+        const uint64_t gp =
+            in.NextBelow(db.update_log().super_document_length() + 1);
+        (void)db.InsertSegment(text, gp);
+        break;
+      }
+      case 3: {  // remove an arbitrary range (most are rejected)
+        const uint64_t len = db.update_log().super_document_length();
+        (void)db.RemoveSegment(in.NextBelow(len + 1), 1 + in.NextBelow(32));
+        break;
+      }
+      case 4:  // collapse an arbitrary sid (often dead or the root)
+        (void)db.CollapseSubtree(in.NextBelow(db.update_log().next_sid()));
+        break;
+      case 5:
+        (void)db.CompactAll();
+        break;
+      case 6:
+        db.Freeze();
+        break;
+      case 7:  // join two of the generator's tag names
+        (void)db.JoinByName("a", "b");
+        break;
+    }
+    ScrubOrDie(db);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fuzz target: the XML fragment parser. Arbitrary bytes must either be
+// rejected with a clean Status or produce a structurally sound
+// ParsedFragment (ordered records, laminar nesting, consistent levels,
+// dense interned tags) — never a crash, never an out-of-range offset.
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_common.h"
+#include "xml/parser.h"
+#include "xml/tag_dict.h"
+
+using namespace lazyxml;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  TagDict dict;
+  ParseOptions options;
+  options.allow_top_level_text = true;
+  options.max_depth = 512;
+  options.max_name_bytes = 4096;
+  options.max_tag_attr_bytes = 4096;
+  options.max_document_bytes = 1 << 20;
+  auto parsed = ParseFragment(text, &dict, options);
+  if (!parsed.ok()) return 0;
+
+  const ParsedFragment& frag = parsed.ValueOrDie();
+  uint64_t prev_start = 0;
+  std::vector<const ElementRecord*> stack;
+  for (const ElementRecord& rec : frag.records) {
+    FUZZ_ASSERT(rec.start < rec.end);
+    FUZZ_ASSERT(rec.end <= size);
+    FUZZ_ASSERT(rec.tid < dict.size());
+    FUZZ_ASSERT(rec.level >= 1);
+    FUZZ_ASSERT(rec.level <= frag.max_level);
+    FUZZ_ASSERT(rec.start >= prev_start);
+    prev_start = rec.start;
+    while (!stack.empty() && stack.back()->end <= rec.start) stack.pop_back();
+    if (!stack.empty()) {
+      // Laminar containment and level = parent's + 1.
+      FUZZ_ASSERT(rec.end <= stack.back()->end);
+      FUZZ_ASSERT(rec.level == stack.back()->level + 1);
+    } else {
+      FUZZ_ASSERT(rec.level == 1);
+    }
+    stack.push_back(&rec);
+  }
+  for (size_t i = 1; i < frag.distinct_tags.size(); ++i) {
+    FUZZ_ASSERT(frag.distinct_tags[i - 1] < frag.distinct_tags[i]);
+  }
+  return 0;
+}

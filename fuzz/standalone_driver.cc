@@ -1,0 +1,172 @@
+// Standalone driver for fuzz targets on toolchains without libFuzzer
+// (gcc): provides main() over the same LLVMFuzzerTestOneInput entry
+// point the libFuzzer build links against, so one target source serves
+// both.
+//
+//   fuzz_target [--rand N] [--max-len M] [path...]
+//
+// Each path (file, or directory of files) is fed to the target once —
+// the regression / seed-corpus mode. With --rand N the driver then runs
+// N seconds of random mutations of the seed inputs (deterministic
+// xorshift, seeded from the corpus itself), which is what the CI smoke
+// job uses. Any finding aborts the process, exactly like libFuzzer.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<std::string> g_corpus;
+std::string g_current;  // input being executed, for the crash dump
+
+// On abort (FUZZ_ASSERT / ASan), dump the offending input like libFuzzer
+// does so the finding is reproducible: fuzz_target crash-<n>.
+void DumpCurrentInput() {
+  if (g_current.empty()) return;
+  uint64_t h = 1469598103934665603ull;
+  for (char c : g_current) h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%016llx",
+                static_cast<unsigned long long>(h));
+  std::FILE* f = std::fopen(name, "wb");
+  if (f != nullptr) {
+    std::fwrite(g_current.data(), 1, g_current.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "input written to %s (%zu bytes)\n", name,
+                 g_current.size());
+  }
+}
+
+uint64_t Xorshift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+void RunOne(const std::string& bytes) {
+  g_current = bytes;
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+bool LoadPath(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) LoadPath(entry.path().string());
+    }
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  g_corpus.push_back(std::move(bytes));
+  return true;
+}
+
+std::string Mutate(const std::string& seed, size_t max_len, uint64_t* rng) {
+  std::string out = seed;
+  const int edits = 1 + static_cast<int>(Xorshift(rng) % 8);
+  for (int e = 0; e < edits; ++e) {
+    switch (Xorshift(rng) % 5) {
+      case 0:  // bit flip
+        if (!out.empty()) out[Xorshift(rng) % out.size()] ^= 1 << (Xorshift(rng) % 8);
+        break;
+      case 1:  // byte overwrite
+        if (!out.empty()) out[Xorshift(rng) % out.size()] = static_cast<char>(Xorshift(rng));
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(Xorshift(rng) % out.size());
+        break;
+      case 3: {  // insert a random byte
+        const size_t at = out.empty() ? 0 : Xorshift(rng) % out.size();
+        out.insert(out.begin() + at, static_cast<char>(Xorshift(rng)));
+        break;
+      }
+      case 4: {  // duplicate a chunk
+        if (out.empty()) break;
+        const size_t from = Xorshift(rng) % out.size();
+        const size_t len = 1 + Xorshift(rng) % (out.size() - from);
+        const size_t at = Xorshift(rng) % out.size();
+        out.insert(at, out, from, len);
+        break;
+      }
+    }
+    if (out.size() > max_len) out.resize(max_len);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::atexit([] {});  // ensure exit machinery is initialized pre-abort
+  std::set_terminate([] {
+    DumpCurrentInput();
+    std::abort();
+  });
+  std::signal(SIGABRT, [](int) {
+    std::signal(SIGABRT, SIG_DFL);
+    DumpCurrentInput();
+  });
+  long rand_seconds = 0;
+  size_t max_len = 1 << 16;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rand") == 0 && i + 1 < argc) {
+      rand_seconds = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-len") == 0 && i + 1 < argc) {
+      max_len = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  for (const std::string& path : paths) {
+    if (!LoadPath(path)) return 2;
+  }
+
+  uint64_t executions = 0;
+  for (const std::string& bytes : g_corpus) {
+    RunOne(bytes);
+    ++executions;
+  }
+  std::fprintf(stderr, "seed corpus: %llu inputs, all clean\n",
+               static_cast<unsigned long long>(executions));
+
+  if (rand_seconds > 0) {
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (const std::string& bytes : g_corpus) {
+      for (char c : bytes) rng = rng * 1099511628211ull + static_cast<uint8_t>(c);
+    }
+    if (g_corpus.empty()) g_corpus.push_back("");
+    const std::time_t deadline = std::time(nullptr) + rand_seconds;
+    while (std::time(nullptr) < deadline) {
+      for (int burst = 0; burst < 256; ++burst) {
+        const std::string& seed = g_corpus[Xorshift(&rng) % g_corpus.size()];
+        RunOne(Mutate(seed, max_len, &rng));
+        ++executions;
+      }
+    }
+    std::fprintf(stderr, "random mode: %llu total executions, all clean\n",
+                 static_cast<unsigned long long>(executions));
+  }
+  return 0;
+}

@@ -32,6 +32,19 @@ struct BTreeOptions {
   size_t internal_capacity = 64;
 };
 
+/// Shape of one node, surfaced to external auditors (src/check/) without
+/// exposing the private node type. `keys`/`children`/`values` are counts.
+struct BTreeNodeInfo {
+  bool is_leaf = false;
+  bool is_root = false;
+  size_t depth = 0;  ///< 0 for the root.
+  size_t keys = 0;
+  size_t children = 0;  ///< 0 for leaves.
+  size_t values = 0;    ///< 0 for internal nodes.
+  bool underflow = false;
+  bool overflow = false;
+};
+
 /// A unique-key in-memory B+-tree with ordered iteration.
 ///
 /// \tparam Key     totally ordered by \p Compare
@@ -275,6 +288,20 @@ class BTree {
 
   /// Approximate heap footprint in bytes (for the Fig. 11 space study).
   size_t MemoryBytes() const { return MemoryBytesRec(root_.get()); }
+
+  /// The comparator in use (for external auditors re-checking key order).
+  const Compare& key_comp() const { return cmp_; }
+
+  /// The options this tree was built with.
+  const BTreeOptions& options() const { return options_; }
+
+  /// Preorder walk over the node shapes, without exposing node internals.
+  /// `fn` returning false stops the walk early. Used by the consistency
+  /// scrubber to grade occupancy/fanout violations per node instead of
+  /// failing on the first one.
+  void VisitNodes(const std::function<bool(const BTreeNodeInfo&)>& fn) const {
+    VisitNodesRec(root_.get(), /*depth=*/0, fn);
+  }
 
   /// Verifies every structural invariant; used by tests after random
   /// operation sequences. Returns Internal on the first violation.
@@ -530,6 +557,31 @@ class BTree {
                        std::make_move_iterator(r->children.end()));
     n->keys.erase(n->keys.begin() + li);
     n->children.erase(n->children.begin() + li + 1);
+  }
+
+  bool VisitNodesRec(const Node* n, size_t depth,
+                     const std::function<bool(const BTreeNodeInfo&)>& fn)
+      const {
+    BTreeNodeInfo info;
+    info.is_leaf = n->is_leaf;
+    info.is_root = (n == root_.get());
+    info.depth = depth;
+    info.keys = n->keys.size();
+    info.children = n->children.size();
+    info.values = n->values.size();
+    if (n->is_leaf) {
+      info.underflow = !info.is_root && n->keys.size() < MinLeafKeys();
+      info.overflow = n->keys.size() > options_.leaf_capacity;
+    } else {
+      info.underflow =
+          !info.is_root && n->children.size() < MinInternalChildren();
+      info.overflow = n->children.size() > options_.internal_capacity;
+    }
+    if (!fn(info)) return false;
+    for (const auto& c : n->children) {
+      if (!VisitNodesRec(c.get(), depth + 1, fn)) return false;
+    }
+    return true;
   }
 
   size_t MemoryBytesRec(const Node* n) const {

@@ -1,0 +1,110 @@
+// Deep B+-tree structural validation for the consistency scrubber.
+//
+// Grades every node rather than stopping at the first violation, so a
+// damage report can describe the full extent of a corrupted index:
+//   - per-node occupancy (underflow / overflow) and fanout arity,
+//   - leaf-chain key ordering via the public iterator,
+//   - record count agreement between the chain and size(),
+//   - the tree's own CheckInvariants() (separator bounds) as a backstop.
+//
+// Header-only template so it works for both concrete trees in the system
+// (the element index and the SB-tree) without a link dependency.
+
+#ifndef LAZYXML_CHECK_BTREE_CHECK_H_
+#define LAZYXML_CHECK_BTREE_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+#include "btree/btree.h"
+#include "check/check_report.h"
+
+namespace lazyxml {
+namespace check {
+
+/// Grades one node's shape (arity, occupancy); reusable by surfaces that
+/// expose only a BTreeNodeInfo walk (ElementIndex, UpdateLog SB-tree).
+inline void GradeBTreeNode(const BTreeNodeInfo& n, std::string_view label,
+                           CheckReport* report) {
+  const std::string prefix = std::string(label) + ": ";
+  report->BumpObjectsScanned();
+  if (n.is_leaf) {
+    if (n.values != n.keys) {
+      std::ostringstream os;
+      os << prefix << "leaf at depth " << n.depth << " holds " << n.keys
+         << " keys but " << n.values << " values";
+      report->AddError("btree", "leaf-arity", os.str());
+    }
+  } else {
+    if (n.children != n.keys + 1) {
+      std::ostringstream os;
+      os << prefix << "internal node at depth " << n.depth << " holds "
+         << n.keys << " keys but " << n.children << " children";
+      report->AddError("btree", "internal-arity", os.str());
+    }
+  }
+  if (n.underflow) {
+    std::ostringstream os;
+    os << prefix << (n.is_leaf ? "leaf" : "internal node") << " at depth "
+       << n.depth << " underflows (" << (n.is_leaf ? n.keys : n.children)
+       << " entries)";
+    report->AddError("btree", "node-underflow", os.str());
+  }
+  if (n.overflow) {
+    std::ostringstream os;
+    os << prefix << (n.is_leaf ? "leaf" : "internal node") << " at depth "
+       << n.depth << " overflows (" << (n.is_leaf ? n.keys : n.children)
+       << " entries)";
+    report->AddError("btree", "node-overflow", os.str());
+  }
+}
+
+/// Scrubs one B+-tree; findings land in `report` under subsystem
+/// "btree" with `label` prefixed to messages ("element-index", "sb-tree").
+template <typename Key, typename Value, typename Compare>
+void CheckBTree(const BTree<Key, Value, Compare>& tree, std::string_view label,
+                CheckReport* report) {
+  const std::string prefix = std::string(label) + ": ";
+
+  // Per-node shape audit.
+  tree.VisitNodes([&](const BTreeNodeInfo& n) {
+    GradeBTreeNode(n, label, report);
+    return true;
+  });
+  report->BumpChecksRun();
+
+  // Leaf chain: keys strictly ascending end to end, count == size().
+  const Compare& cmp = tree.key_comp();
+  std::size_t chained = 0;
+  const Key* prev = nullptr;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    if (prev != nullptr && !cmp(*prev, it.key())) {
+      std::ostringstream os;
+      os << prefix << "leaf chain keys out of order at record " << chained;
+      report->AddError("btree", "leaf-key-order", os.str());
+    }
+    prev = &it.key();
+    ++chained;
+    if (chained > tree.size() + 1) break;  // chain cycle guard
+  }
+  if (chained != tree.size()) {
+    std::ostringstream os;
+    os << prefix << "leaf chain yields " << chained << " records but size() is "
+       << tree.size();
+    report->AddError("btree", "leaf-chain-count", os.str());
+  }
+  report->BumpChecksRun();
+
+  // Backstop: the tree's own recursive invariant check (covers separator
+  // bounds the shape walk cannot see).
+  Status own = tree.CheckInvariants();
+  if (!own.ok()) {
+    report->AddError("btree", "self-check", prefix + own.ToString());
+  }
+  report->BumpChecksRun();
+}
+
+}  // namespace check
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CHECK_BTREE_CHECK_H_

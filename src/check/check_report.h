@@ -1,0 +1,218 @@
+// CheckReport: severity-graded findings produced by the consistency
+// scrubber (src/check/). Header-only so that lower layers (core) can
+// report through it without linking against lazyxml_check.
+
+#ifndef LAZYXML_CHECK_CHECK_REPORT_H_
+#define LAZYXML_CHECK_CHECK_REPORT_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lazyxml {
+namespace check {
+
+/// How bad a finding is.
+enum class Severity : int {
+  kInfo = 0,     ///< Observation; state is still consistent.
+  kWarning = 1,  ///< Suspicious but recoverable (e.g. stale superset data).
+  kError = 2,    ///< Invariant violated; state is corrupt.
+};
+
+inline std::string_view SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+/// Sentinel for findings not tied to a particular segment.
+inline constexpr std::uint64_t kNoSid = ~static_cast<std::uint64_t>(0);
+
+/// One observation made by a validator.
+struct CheckFinding {
+  Severity severity = Severity::kInfo;
+  /// Which validator family produced this ("btree", "update_log",
+  /// "element_index", "tag_list", "labeling", "wal", "snapshot", ...).
+  std::string subsystem;
+  /// Stable machine-readable code, e.g. "leaf-key-order".
+  std::string code;
+  /// Human-readable description with concrete values.
+  std::string message;
+  /// Segment id the finding refers to, or kNoSid.
+  std::uint64_t sid = kNoSid;
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << SeverityToString(severity) << " [" << subsystem << "/" << code
+       << "]";
+    if (sid != kNoSid) os << " sid=" << sid;
+    if (!message.empty()) os << ": " << message;
+    return os.str();
+  }
+};
+
+/// Accumulated result of a scrub pass. `ok()` means no kError findings;
+/// warnings and infos do not fail a check.
+class CheckReport {
+ public:
+  void Add(CheckFinding finding) { findings_.push_back(std::move(finding)); }
+
+  void AddError(std::string subsystem, std::string code, std::string message,
+                std::uint64_t sid = kNoSid) {
+    Add(CheckFinding{Severity::kError, std::move(subsystem), std::move(code),
+                     std::move(message), sid});
+  }
+  void AddWarning(std::string subsystem, std::string code, std::string message,
+                  std::uint64_t sid = kNoSid) {
+    Add(CheckFinding{Severity::kWarning, std::move(subsystem), std::move(code),
+                     std::move(message), sid});
+  }
+  void AddInfo(std::string subsystem, std::string code, std::string message,
+               std::uint64_t sid = kNoSid) {
+    Add(CheckFinding{Severity::kInfo, std::move(subsystem), std::move(code),
+                     std::move(message), sid});
+  }
+
+  const std::vector<CheckFinding>& findings() const { return findings_; }
+
+  std::size_t CountAtLeast(Severity floor) const {
+    std::size_t n = 0;
+    for (const CheckFinding& f : findings_) {
+      if (static_cast<int>(f.severity) >= static_cast<int>(floor)) ++n;
+    }
+    return n;
+  }
+  std::size_t errors() const { return CountAtLeast(Severity::kError); }
+  std::size_t warnings() const {
+    return CountAtLeast(Severity::kWarning) - errors();
+  }
+
+  /// True iff the scrub found no invariant violations.
+  bool ok() const { return errors() == 0; }
+
+  /// True iff some finding carries the given validator code.
+  bool HasCode(std::string_view code) const {
+    for (const CheckFinding& f : findings_) {
+      if (f.code == code) return true;
+    }
+    return false;
+  }
+
+  /// True iff some finding's subsystem matches.
+  bool HasSubsystem(std::string_view subsystem) const {
+    for (const CheckFinding& f : findings_) {
+      if (f.subsystem == subsystem) return true;
+    }
+    return false;
+  }
+
+  /// Bookkeeping: how many objects (nodes, records, frames, ...) the scrub
+  /// visited and how many distinct checks ran. Purely informational.
+  void BumpObjectsScanned(std::size_t n = 1) { objects_scanned_ += n; }
+  void BumpChecksRun(std::size_t n = 1) { checks_run_ += n; }
+  std::size_t objects_scanned() const { return objects_scanned_; }
+  std::size_t checks_run() const { return checks_run_; }
+
+  /// Appends another report's findings and counters into this one.
+  void Merge(CheckReport other) {
+    for (CheckFinding& f : other.findings_) findings_.push_back(std::move(f));
+    objects_scanned_ += other.objects_scanned_;
+    checks_run_ += other.checks_run_;
+  }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "CheckReport: " << findings_.size() << " finding(s), " << errors()
+       << " error(s), scanned " << objects_scanned_ << " object(s)\n";
+    for (const CheckFinding& f : findings_) {
+      os << "  " << f.ToString() << "\n";
+    }
+    return os.str();
+  }
+
+  /// Machine-readable JSON dump (used by the salvage damage report and CI).
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"ok\":" << (ok() ? "true" : "false")
+       << ",\"errors\":" << errors() << ",\"warnings\":" << warnings()
+       << ",\"objects_scanned\":" << objects_scanned_
+       << ",\"checks_run\":" << checks_run_ << ",\"findings\":[";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+      const CheckFinding& f = findings_[i];
+      if (i > 0) os << ",";
+      os << "{\"severity\":\"" << SeverityToString(f.severity)
+         << "\",\"subsystem\":\"" << JsonEscape(f.subsystem)
+         << "\",\"code\":\"" << JsonEscape(f.code) << "\",\"message\":\""
+         << JsonEscape(f.message) << "\"";
+      if (f.sid != kNoSid) os << ",\"sid\":" << f.sid;
+      os << "}";
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  /// OK when clean; Corruption carrying the first error otherwise.
+  Status ToStatus() const {
+    for (const CheckFinding& f : findings_) {
+      if (f.severity == Severity::kError) {
+        return Status::Corruption(f.ToString());
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  static std::string JsonEscape(std::string_view in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            static const char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out += kHex[(c >> 4) & 0xf];
+            out += kHex[c & 0xf];
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<CheckFinding> findings_;
+  std::size_t objects_scanned_ = 0;
+  std::size_t checks_run_ = 0;
+};
+
+}  // namespace check
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CHECK_CHECK_REPORT_H_

@@ -1,0 +1,29 @@
+#include "check/checker.h"
+
+#include "check/database_check.h"
+
+namespace lazyxml {
+namespace check {
+
+Result<CheckReport> Checker::Check(const LazyDatabase& db) const {
+  return CheckDatabase(db);
+}
+
+Result<CheckReport> Checker::Check(const DurableLazyDatabase& db) const {
+  LAZYXML_ASSIGN_OR_RETURN(CheckReport report, CheckDatabase(db.database()));
+  LAZYXML_ASSIGN_OR_RETURN(CheckReport storage, CheckDurableDatabase(db));
+  report.Merge(storage);
+  return report;
+}
+
+Result<CheckReport> Checker::CheckDirectory(const std::string& dir) const {
+  return CheckDatabaseDirectory(dir, options_.storage);
+}
+
+Result<CheckReport> Checker::CheckLabeling(
+    std::string_view document_text) const {
+  return CheckLabelingAgreement(document_text, options_.labeling);
+}
+
+}  // namespace check
+}  // namespace lazyxml

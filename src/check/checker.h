@@ -1,0 +1,72 @@
+// Checker: one entry point over the whole consistency-scrubbing
+// subsystem. Each Check* method runs the deep validators of one layer
+// and returns a severity-graded CheckReport (check_report.h):
+//
+//   Check(LazyDatabase)         in-memory scrub — ER-tree, SB-tree and
+//                               element-index B+-trees, element records,
+//                               nesting summaries, tag-list cross-counts
+//                               (database_check.h);
+//   Check(DurableLazyDatabase)  the above, plus WAL/snapshot
+//                               cross-consistency: the directory must
+//                               replay into a state identical to the
+//                               live one (storage_check.h);
+//   CheckDirectory(dir)         offline scrub of a closed directory,
+//                               strictly read-only;
+//   CheckLabeling(text)         region labels vs PRIME labels built from
+//                               the same document (labeling_check.h).
+//
+// A Result is non-OK only for environmental failures (unreadable files
+// and the like); every data problem — including Corruption-grade damage —
+// comes back as findings so one pass reports *all* of it.
+
+#ifndef LAZYXML_CHECK_CHECKER_H_
+#define LAZYXML_CHECK_CHECKER_H_
+
+#include <string>
+#include <string_view>
+
+#include "check/check_report.h"
+#include "check/labeling_check.h"
+#include "check/storage_check.h"
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "storage/durable_database.h"
+
+namespace lazyxml {
+namespace check {
+
+struct CheckerOptions {
+  /// Knobs for the offline directory scrub / durable cross-check.
+  StorageCheckOptions storage;
+  /// Knobs for the labeling agreement check.
+  LabelingAgreementOptions labeling;
+};
+
+class Checker {
+ public:
+  explicit Checker(CheckerOptions options = {}) : options_(options) {}
+
+  /// Deep in-memory scrub of `db` across every subsystem it composes.
+  Result<CheckReport> Check(const LazyDatabase& db) const;
+
+  /// In-memory scrub of the wrapped database plus the WAL/snapshot
+  /// cross-consistency check against `db.dir()`.
+  Result<CheckReport> Check(const DurableLazyDatabase& db) const;
+
+  /// Offline scrub of a database directory nobody has open.
+  Result<CheckReport> CheckDirectory(const std::string& dir) const;
+
+  /// Builds both labeling schemes from `document_text` and verifies
+  /// their internal invariants and mutual agreement.
+  Result<CheckReport> CheckLabeling(std::string_view document_text) const;
+
+  const CheckerOptions& options() const { return options_; }
+
+ private:
+  CheckerOptions options_;
+};
+
+}  // namespace check
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CHECK_CHECKER_H_

@@ -1,0 +1,216 @@
+#include "check/labeling_check.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "check/btree_check.h"
+
+namespace lazyxml {
+namespace check {
+
+void CheckRelabelingIndex(const RelabelingIndex& index, CheckReport* report) {
+  index.VisitTreeNodes([&](const BTreeNodeInfo& n) {
+    GradeBTreeNode(n, "relabeling-index", report);
+    return true;
+  });
+  {
+    Status own = index.CheckInvariants();
+    if (!own.ok()) {
+      report->AddError("labeling", "relabeling-self-check", own.ToString());
+    }
+  }
+
+  // Collect every region label across all tags and sort into document
+  // order; regions must be non-empty, inside the document, and laminar.
+  struct Region {
+    uint64_t start, end;
+    uint32_t level;
+  };
+  std::vector<Region> regions;
+  regions.reserve(index.size());
+  const uint64_t doc_len = index.document_length();
+  index.ForEachElement([&](const RelabeledElement& e) {
+    report->BumpObjectsScanned();
+    if (e.end <= e.start) {
+      std::ostringstream os;
+      os << "region [" << e.start << ", " << e.end << ") of tag " << e.tid
+         << " is empty or inverted";
+      report->AddError("labeling", "region-empty", os.str());
+    }
+    if (e.end > doc_len) {
+      std::ostringstream os;
+      os << "region [" << e.start << ", " << e.end
+         << ") escapes the document (length " << doc_len << ")";
+      report->AddError("labeling", "region-out-of-bounds", os.str());
+    }
+    if (e.level == 0) {
+      std::ostringstream os;
+      os << "region starting at " << e.start << " has level 0";
+      report->AddError("labeling", "region-level-zero", os.str());
+    }
+    regions.push_back(Region{e.start, e.end, e.level});
+    return true;
+  });
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end > b.end;
+            });
+  // Stack walk: containment must be laminar and levels must follow the
+  // nesting depth (+1 per enclosing region relative to its parent).
+  std::vector<const Region*> stack;
+  for (const Region& r : regions) {
+    while (!stack.empty() && stack.back()->end <= r.start) stack.pop_back();
+    if (!stack.empty()) {
+      if (stack.back()->end < r.end) {
+        std::ostringstream os;
+        os << "regions [" << stack.back()->start << ", " << stack.back()->end
+           << ") and [" << r.start << ", " << r.end << ") partially overlap";
+        report->AddError("labeling", "region-overlap", os.str());
+      }
+      if (r.level != stack.back()->level + 1) {
+        std::ostringstream os;
+        os << "region [" << r.start << ", " << r.end << ") has level "
+           << r.level << " under a parent of level " << stack.back()->level;
+        report->AddError("labeling", "region-level-gap", os.str());
+      }
+    }
+    stack.push_back(&r);
+  }
+  report->BumpChecksRun();
+}
+
+void CheckPrimeLabeling(const PrimeLabeling& prime, CheckReport* report) {
+  report->BumpObjectsScanned(prime.num_nodes());
+  Status own = prime.CheckInvariants();
+  if (!own.ok()) {
+    report->AddError("labeling", "prime-self-check", own.ToString());
+  }
+  report->BumpChecksRun();
+}
+
+Result<CheckReport> CheckLabelingAgreement(
+    std::string_view document_text, const LabelingAgreementOptions& options) {
+  CheckReport report;
+
+  RelabelingIndex regions;
+  LAZYXML_RETURN_NOT_OK(regions.BuildFromDocument(document_text));
+  PrimeLabeling prime;
+  LAZYXML_RETURN_NOT_OK(prime.BuildFromDocument(document_text));
+
+  CheckRelabelingIndex(regions, &report);
+  CheckPrimeLabeling(prime, &report);
+
+  // Region labels in document (preorder) order. Starts are unique — each
+  // element begins at its own '<' — so (start asc, end desc) is preorder.
+  struct Region {
+    uint64_t start, end;
+    uint32_t level;
+    TagId tid;
+  };
+  std::vector<Region> docorder;
+  docorder.reserve(regions.size());
+  regions.ForEachElement([&](const RelabeledElement& e) {
+    docorder.push_back(Region{e.start, e.end, e.level, e.tid});
+    return true;
+  });
+  std::sort(docorder.begin(), docorder.end(),
+            [](const Region& a, const Region& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end > b.end;
+            });
+
+  if (docorder.size() != prime.num_nodes()) {
+    std::ostringstream os;
+    os << "region index holds " << docorder.size()
+       << " elements but PRIME labeled " << prime.num_nodes();
+    report.AddError("labeling", "node-count-mismatch", os.str());
+    return report;  // positional mapping below would be meaningless
+  }
+
+  // PRIME's BuildFromDocument numbers nodes in document preorder, so node
+  // i corresponds to docorder[i]. Verify names, parents, order, ancestry.
+  const TagDict& dict = regions.tag_dict();
+  std::vector<std::size_t> parent_of(docorder.size(), docorder.size());
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < docorder.size(); ++i) {
+      while (!stack.empty() &&
+             docorder[stack.back()].end <= docorder[i].start) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) parent_of[i] = stack.back();
+      stack.push_back(i);
+    }
+  }
+  for (std::size_t i = 0; i < docorder.size(); ++i) {
+    report.BumpObjectsScanned();
+    auto name = prime.NodeName(i);
+    if (!name.ok() || name.ValueOrDie() != dict.Name(docorder[i].tid)) {
+      std::ostringstream os;
+      os << "element " << i << " is <" << dict.Name(docorder[i].tid)
+         << "> in the region index but <"
+         << (name.ok() ? name.ValueOrDie() : "?") << "> in PRIME";
+      report.AddError("labeling", "name-mismatch", os.str());
+    }
+    auto parent = prime.Parent(i);
+    const bool region_has_parent = parent_of[i] != docorder.size();
+    if (!parent.ok()) {
+      report.AddError("labeling", "parent-miss",
+                      "PRIME parent lookup failed");
+    } else if (region_has_parent !=
+               (parent.ValueOrDie() != PrimeLabeling::kNoNode)) {
+      std::ostringstream os;
+      os << "element " << i << " root-ness differs between schemes";
+      report.AddError("labeling", "parent-mismatch", os.str());
+    } else if (region_has_parent && parent.ValueOrDie() != parent_of[i]) {
+      std::ostringstream os;
+      os << "element " << i << " has parent " << parent_of[i]
+         << " by region nesting but " << parent.ValueOrDie() << " in PRIME";
+      report.AddError("labeling", "parent-mismatch", os.str());
+    }
+  }
+  report.BumpChecksRun();
+
+  // Pairwise ancestry + document order, deterministically sampled.
+  const std::size_t n = docorder.size();
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  std::size_t stride = 1;
+  if (options.max_pairs > 0 && total_pairs > options.max_pairs) {
+    stride = (total_pairs + options.max_pairs - 1) / options.max_pairs;
+  }
+  std::size_t pair_index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++pair_index) {
+      if (pair_index % stride != 0) continue;
+      const bool region_anc = docorder[i].start < docorder[j].start &&
+                              docorder[i].end > docorder[j].end;
+      auto prime_anc = prime.IsAncestor(i, j);
+      if (!prime_anc.ok() || prime_anc.ValueOrDie() != region_anc) {
+        std::ostringstream os;
+        os << "elements " << i << " and " << j << ": region containment says "
+           << (region_anc ? "ancestor" : "not ancestor")
+           << " but PRIME divisibility says "
+           << (prime_anc.ok() ? (prime_anc.ValueOrDie() ? "ancestor"
+                                                        : "not ancestor")
+                              : "error");
+        report.AddError("labeling", "ancestry-mismatch", os.str());
+      }
+      // i precedes j in document order by construction; the SC machinery
+      // must agree (this exercises CRT values, ranks and group seqs).
+      auto prec = prime.Precedes(i, j);
+      if (!prec.ok() || !prec.ValueOrDie()) {
+        std::ostringstream os;
+        os << "PRIME order places element " << j << " before " << i;
+        report.AddError("labeling", "order-mismatch", os.str());
+      }
+    }
+  }
+  report.BumpChecksRun();
+
+  return report;
+}
+
+}  // namespace check
+}  // namespace lazyxml

@@ -1,0 +1,51 @@
+// Labeling invariants for the consistency scrubber:
+//  - RelabelingIndex: region-label well-formedness (non-empty intervals,
+//    bounds, laminar containment) plus B+-tree shape,
+//  - PrimeLabeling: label factorization / group-SC self-check,
+//  - cross-consistency: PRIME's divisibility ancestry and
+//    simultaneous-congruence document order must agree with the eager
+//    region labels when both are built from the same document.
+
+#ifndef LAZYXML_CHECK_LABELING_CHECK_H_
+#define LAZYXML_CHECK_LABELING_CHECK_H_
+
+#include <string_view>
+
+#include "check/check_report.h"
+#include "common/result.h"
+#include "labeling/prime_labeling.h"
+#include "labeling/relabeling_index.h"
+
+namespace lazyxml {
+namespace check {
+
+/// Scrubs one RelabelingIndex (region labels): tree shape, interval
+/// well-formedness, laminar containment across all tags.
+void CheckRelabelingIndex(const RelabelingIndex& index, CheckReport* report);
+
+/// Scrubs one PrimeLabeling structure (delegates to its deep self-check
+/// and grades the outcome).
+void CheckPrimeLabeling(const PrimeLabeling& prime, CheckReport* report);
+
+/// Knobs for the cross-consistency check.
+struct LabelingAgreementOptions {
+  /// Node-pair sample cap for the quadratic ancestry comparison; pairs are
+  /// taken deterministically (striding) when the document is larger.
+  std::size_t max_pairs = 4096;
+};
+
+/// Builds both labeling schemes from `document_text` and verifies they
+/// agree: same element count / tag names in document order, PRIME
+/// ancestry (divisibility) ⟺ region containment, PRIME document order
+/// (group seq + SC rank) consistent with region start order, and PRIME
+/// parent links matching the region nesting stack. Returns the graded
+/// report; the Result is only non-OK when the document itself fails to
+/// parse into either structure.
+Result<CheckReport> CheckLabelingAgreement(
+    std::string_view document_text,
+    const LabelingAgreementOptions& options = {});
+
+}  // namespace check
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CHECK_LABELING_CHECK_H_

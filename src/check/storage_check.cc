@@ -1,0 +1,425 @@
+#include "check/storage_check.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "check/database_check.h"
+#include "common/file_io.h"
+#include "core/snapshot.h"
+#include "storage/recovery.h"
+#include "storage/wal_layout.h"
+#include "storage/wal_reader.h"
+
+namespace lazyxml {
+namespace check {
+namespace {
+
+struct DirectoryInventory {
+  std::vector<uint64_t> snapshots;  // ascending
+  std::vector<uint64_t> segments;   // ascending
+  bool directory_exists = false;
+};
+
+Status ScanInventory(const std::string& dir, CheckReport* report,
+                     DirectoryInventory* inv) {
+  if (!FileExists(dir)) {
+    report->AddInfo("storage", "dir-missing",
+                    "database directory does not exist (empty database)");
+    return Status::OK();
+  }
+  inv->directory_exists = true;
+  LAZYXML_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDirectory(dir));
+  for (const std::string& name : names) {
+    report->BumpObjectsScanned();
+    if (auto snap = ParseSnapshotFileName(name)) {
+      inv->snapshots.push_back(*snap);
+    } else if (auto seg = ParseWalSegmentFileName(name)) {
+      inv->segments.push_back(*seg);
+    } else if (name == "quarantine") {
+      report->AddInfo("storage", "quarantine-present",
+                      "quarantine/ exists: a past salvage moved damage aside");
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      report->AddInfo("storage", "tmp-file",
+                      "leftover atomic-write temp file: " + name);
+    } else {
+      report->AddWarning("storage", "unknown-file",
+                         "unrecognized file in database directory: " + name);
+    }
+  }
+  std::sort(inv->snapshots.begin(), inv->snapshots.end());
+  std::sort(inv->segments.begin(), inv->segments.end());
+  report->BumpChecksRun();
+  return Status::OK();
+}
+
+struct ReplayOutcome {
+  /// The state the directory recovers to; null only when no replay was
+  /// attempted (environmental failure reading a segment).
+  std::unique_ptr<LazyDatabase> db;
+  /// False when replay stopped on damage or divergence — the db then
+  /// holds a prefix (or a partial op) and must not be compared against a
+  /// live database or deep-checked as if it were the committed state.
+  bool complete = true;
+  uint64_t records_replayed = 0;
+};
+
+/// Picks the newest loadable snapshot, verifies the older ones load too,
+/// then replays the contiguous WAL run after the anchor into a scratch
+/// database. Strictly read-only; every anomaly becomes a finding.
+Result<ReplayOutcome> ReplayDirectory(const std::string& dir,
+                                      const DirectoryInventory& inv,
+                                      const LazyDatabaseOptions& db_options,
+                                      CheckReport* report) {
+  ReplayOutcome out;
+  uint64_t anchor = 0;
+  for (auto it = inv.snapshots.rbegin(); it != inv.snapshots.rend(); ++it) {
+    const std::string path = dir + "/" + SnapshotFileName(*it);
+    auto loaded = LoadSnapshot(path, db_options);
+    report->BumpObjectsScanned();
+    if (loaded.ok()) {
+      if (!out.db) {
+        out.db = std::move(loaded).ValueOrDie();
+        anchor = *it;
+      }
+      continue;
+    }
+    std::ostringstream os;
+    os << SnapshotFileName(*it) << " does not load: "
+       << loaded.status().ToString();
+    if (!out.db) {
+      // Damage on the newest snapshot: recovery would have to fall back.
+      report->AddError("storage", "snapshot-unloadable", os.str());
+    } else {
+      // An already superseded snapshot; only a fallback would miss it.
+      report->AddWarning("storage", "snapshot-unloadable-old", os.str());
+    }
+  }
+  if (!out.db) out.db = std::make_unique<LazyDatabase>(db_options);
+  report->BumpChecksRun();
+
+  // The replayable run is the contiguous chain anchor+1, anchor+2, ...
+  std::vector<uint64_t> run;
+  uint64_t expected_next = anchor + 1;
+  for (uint64_t idx : inv.segments) {
+    if (idx <= anchor) {
+      report->AddInfo("storage", "wal-covered-segment",
+                      WalSegmentFileName(idx) +
+                          " is fully covered by a snapshot (checkpoint "
+                          "truncation did not finish)");
+      continue;
+    }
+    if (idx != expected_next) {
+      std::ostringstream os;
+      os << "WAL chain breaks: expected " << WalSegmentFileName(expected_next)
+         << " but the next segment on disk is " << WalSegmentFileName(idx);
+      report->AddError("storage", "wal-chain-gap", os.str());
+      report->AddWarning("storage", "wal-unreachable-segment",
+                         WalSegmentFileName(idx) +
+                             " lies beyond a chain gap and cannot be replayed");
+      out.complete = false;
+      continue;  // keep reporting every segment past the gap
+    }
+    run.push_back(idx);
+    ++expected_next;
+  }
+  report->BumpChecksRun();
+
+  for (std::size_t pos = 0; pos < run.size(); ++pos) {
+    const uint64_t idx = run[pos];
+    const bool final_segment = pos + 1 == run.size();
+    LAZYXML_ASSIGN_OR_RETURN(
+        std::string data,
+        ReadFileToString(dir + "/" + WalSegmentFileName(idx)));
+    WalSegmentReader reader(data);
+    bool stop_all = false;
+    for (;;) {
+      LogRecord record;
+      Status detail;
+      const WalReadOutcome outcome = reader.Next(&record, &detail);
+      if (outcome == WalReadOutcome::kEnd) break;
+      if (outcome == WalReadOutcome::kTornTail) {
+        std::ostringstream os;
+        os << WalSegmentFileName(idx) << " has a torn tail at offset "
+           << reader.valid_prefix_bytes() << ": " << detail.ToString();
+        if (final_segment) {
+          // The one place an interrupted append can legitimately land.
+          report->AddWarning("storage", "wal-torn-tail", os.str());
+        } else {
+          report->AddError("storage", "wal-torn-mid-chain", os.str());
+        }
+        stop_all = !final_segment;
+        out.complete = final_segment && out.complete;
+        break;
+      }
+      if (outcome == WalReadOutcome::kCorrupt) {
+        std::ostringstream os;
+        os << WalSegmentFileName(idx) << " is corrupt at offset "
+           << reader.valid_prefix_bytes() << ": " << detail.ToString();
+        report->AddError("storage", "wal-corrupt", os.str());
+        stop_all = true;
+        out.complete = false;
+        break;
+      }
+      report->BumpObjectsScanned();
+      Status applied = ApplyLogRecord(out.db.get(), record);
+      if (!applied.ok()) {
+        std::ostringstream os;
+        os << "record " << reader.records_read() << " of "
+           << WalSegmentFileName(idx)
+           << " does not replay onto the snapshot state: "
+           << applied.ToString();
+        report->AddError("storage", "wal-replay-divergence", os.str());
+        stop_all = true;
+        out.complete = false;
+        break;
+      }
+      ++out.records_replayed;
+    }
+    if (stop_all) {
+      for (std::size_t later = pos + 1; later < run.size(); ++later) {
+        report->AddWarning(
+            "storage", "wal-unreachable-segment",
+            WalSegmentFileName(run[later]) +
+                " lies beyond damaged history and cannot be replayed");
+      }
+      break;
+    }
+  }
+  report->BumpChecksRun();
+  return out;
+}
+
+std::string SegmentName(const SegmentNode& n) {
+  std::ostringstream os;
+  os << "segment " << n.sid;
+  return os.str();
+}
+
+}  // namespace
+
+void CompareDatabaseStates(const LazyDatabase& expected,
+                           const LazyDatabase& actual, CheckReport* report) {
+  const UpdateLog& elog = expected.update_log();
+  const UpdateLog& alog = actual.update_log();
+
+  if (elog.mode() != alog.mode()) {
+    std::ostringstream os;
+    os << "maintenance mode differs: disk state is " << LogModeName(elog.mode())
+       << ", live state is " << LogModeName(alog.mode());
+    report->AddError("storage", "state-mode", os.str());
+  }
+  if (elog.next_sid() != alog.next_sid()) {
+    std::ostringstream os;
+    os << "sid counter differs: disk state would assign " << elog.next_sid()
+       << ", live state " << alog.next_sid();
+    report->AddError("storage", "state-next-sid", os.str());
+  }
+  if (elog.super_document_length() != alog.super_document_length()) {
+    std::ostringstream os;
+    os << "super-document length differs: disk "
+       << elog.super_document_length() << ", live "
+       << alog.super_document_length();
+    report->AddError("storage", "state-doc-length", os.str());
+  }
+  if (elog.num_segments() != alog.num_segments()) {
+    std::ostringstream os;
+    os << "segment count differs: disk " << elog.num_segments() << ", live "
+       << alog.num_segments();
+    report->AddError("storage", "state-segment-count", os.str());
+  }
+
+  elog.ForEachSegment([&](const SegmentNode& e) {
+    report->BumpObjectsScanned();
+    const SegmentNode* a = alog.NodeOf(e.sid);
+    if (a == nullptr) {
+      report->AddError("storage", "state-segment-missing",
+                       SegmentName(e) + " exists on disk but not live", e.sid);
+      return true;
+    }
+    if (e.gp != a->gp || e.l != a->l || e.lp != a->lp ||
+        e.base_level != a->base_level) {
+      std::ostringstream os;
+      os << SegmentName(e) << " geometry differs: disk (gp=" << e.gp
+         << ", l=" << e.l << ", lp=" << e.lp
+         << ", base_level=" << e.base_level << ") vs live (gp=" << a->gp
+         << ", l=" << a->l << ", lp=" << a->lp
+         << ", base_level=" << a->base_level << ")";
+      report->AddError("storage", "state-segment-geometry", os.str(), e.sid);
+    }
+    const SegmentId eparent = e.parent ? e.parent->sid : e.sid;
+    const SegmentId aparent = a->parent ? a->parent->sid : a->sid;
+    if (eparent != aparent || (e.parent == nullptr) != (a->parent == nullptr)) {
+      report->AddError("storage", "state-segment-parent",
+                       SegmentName(e) + " hangs under different parents",
+                       e.sid);
+    }
+    auto child_sids = [](const SegmentNode& n) {
+      std::vector<SegmentId> sids;
+      sids.reserve(n.children.size());
+      for (const SegmentNode* c : n.children) sids.push_back(c->sid);
+      return sids;
+    };
+    if (child_sids(e) != child_sids(*a)) {
+      report->AddError("storage", "state-segment-children",
+                       SegmentName(e) + " has different child sequences",
+                       e.sid);
+    }
+    auto gap_pairs = [](const SegmentNode& n) {
+      std::vector<std::pair<uint64_t, uint64_t>> gaps;
+      gaps.reserve(n.gaps.size());
+      for (const FrozenGap& g : n.gaps) gaps.emplace_back(g.begin, g.end);
+      return gaps;
+    };
+    if (gap_pairs(e) != gap_pairs(*a)) {
+      report->AddError("storage", "state-segment-gaps",
+                       SegmentName(e) + " has different frozen gaps", e.sid);
+    }
+    if (e.distinct_tags != a->distinct_tags) {
+      report->AddError("storage", "state-segment-tags",
+                       SegmentName(e) + " has different distinct-tag sets",
+                       e.sid);
+    }
+    auto summary_rows = [](const SegmentNode& n) {
+      std::vector<std::tuple<uint64_t, uint64_t, uint32_t, uint32_t>> rows;
+      rows.reserve(n.summary.size());
+      for (const NestingEntry& s : n.summary) {
+        rows.emplace_back(s.start, s.end, s.parent, s.level);
+      }
+      return rows;
+    };
+    if (summary_rows(e) != summary_rows(*a)) {
+      report->AddError("storage", "state-segment-summary",
+                       SegmentName(e) + " has different nesting summaries",
+                       e.sid);
+    }
+    return true;
+  });
+  alog.ForEachSegment([&](const SegmentNode& a) {
+    if (elog.NodeOf(a.sid) == nullptr) {
+      report->AddError("storage", "state-segment-extra",
+                       SegmentName(a) + " exists live but not on disk", a.sid);
+    }
+    return true;
+  });
+  report->BumpChecksRun();
+
+  // Element records arrive in key order from both sides, so the first
+  // positional mismatch pinpoints the divergence; one finding is enough.
+  auto collect_records = [](const LazyDatabase& db) {
+    std::vector<ElementIndexRecord> records;
+    records.reserve(db.element_index().size());
+    db.element_index().ForEachRecord([&](const ElementIndexRecord& r) {
+      records.push_back(r);
+      return true;
+    });
+    return records;
+  };
+  const std::vector<ElementIndexRecord> erecs = collect_records(expected);
+  const std::vector<ElementIndexRecord> arecs = collect_records(actual);
+  report->BumpObjectsScanned(erecs.size());
+  if (erecs.size() != arecs.size()) {
+    std::ostringstream os;
+    os << "element record count differs: disk " << erecs.size() << ", live "
+       << arecs.size();
+    report->AddError("storage", "state-record-count", os.str());
+  }
+  for (std::size_t i = 0; i < erecs.size() && i < arecs.size(); ++i) {
+    const ElementIndexRecord& e = erecs[i];
+    const ElementIndexRecord& a = arecs[i];
+    if (e.tid != a.tid || e.sid != a.sid || e.start != a.start ||
+        e.end != a.end || e.level != a.level) {
+      std::ostringstream os;
+      os << "element record " << i << " differs: disk (tid=" << e.tid
+         << ", sid=" << e.sid << ", [" << e.start << ", " << e.end
+         << "), level " << e.level << ") vs live (tid=" << a.tid
+         << ", sid=" << a.sid << ", [" << a.start << ", " << a.end
+         << "), level " << a.level << ")";
+      report->AddError("storage", "state-record-mismatch", os.str(), e.sid);
+      break;
+    }
+  }
+  report->BumpChecksRun();
+
+  const TagDict& edict = expected.tag_dict();
+  const TagDict& adict = actual.tag_dict();
+  if (edict.size() != adict.size()) {
+    std::ostringstream os;
+    os << "tag dictionary size differs: disk " << edict.size() << ", live "
+       << adict.size();
+    report->AddError("storage", "state-tag-dict", os.str());
+  }
+  for (TagId tid = 0; tid < edict.size() && tid < adict.size(); ++tid) {
+    if (edict.Name(tid) != adict.Name(tid)) {
+      std::ostringstream os;
+      os << "tag " << tid << " is <" << edict.Name(tid) << "> on disk but <"
+         << adict.Name(tid) << "> live";
+      report->AddError("storage", "state-tag-dict", os.str());
+      break;
+    }
+  }
+
+  // The tag-list is compared as an order-free multiset: LS-mode lists are
+  // append-ordered until Freeze(), and the append order is deterministic
+  // anyway — but nothing semantic rides on it, the set of (tid, path,
+  // count) triples is the contract.
+  auto collect_tag_entries = [](const LazyDatabase& db) {
+    std::vector<std::tuple<TagId, std::vector<SegmentId>, uint64_t>> entries;
+    db.update_log().tag_list().ForEachEntry(
+        [&](TagId tid, const TagListEntry& entry) {
+          entries.emplace_back(tid, entry.path, entry.count);
+          return true;
+        });
+    std::sort(entries.begin(), entries.end());
+    return entries;
+  };
+  if (collect_tag_entries(expected) != collect_tag_entries(actual)) {
+    report->AddError("storage", "state-tag-list",
+                     "tag-list entries differ between disk and live state");
+  }
+  report->BumpChecksRun();
+}
+
+Result<CheckReport> CheckDatabaseDirectory(const std::string& dir,
+                                           const StorageCheckOptions& options) {
+  CheckReport report;
+  DirectoryInventory inv;
+  LAZYXML_RETURN_NOT_OK(ScanInventory(dir, &report, &inv));
+  if (!inv.directory_exists) return report;
+  LAZYXML_ASSIGN_OR_RETURN(ReplayOutcome replay,
+                           ReplayDirectory(dir, inv, options.db, &report));
+  if (options.deep_check_replayed_state && replay.db && replay.complete) {
+    LAZYXML_ASSIGN_OR_RETURN(CheckReport deep, CheckDatabase(*replay.db));
+    report.Merge(deep);
+  }
+  return report;
+}
+
+Result<CheckReport> CheckDurableDatabase(const DurableLazyDatabase& db) {
+  CheckReport report;
+  DirectoryInventory inv;
+  LAZYXML_RETURN_NOT_OK(ScanInventory(db.dir(), &report, &inv));
+  if (!inv.directory_exists) {
+    report.AddError("storage", "dir-missing",
+                    "live handle's directory vanished: " + db.dir());
+    return report;
+  }
+  LAZYXML_ASSIGN_OR_RETURN(
+      ReplayOutcome replay,
+      ReplayDirectory(db.dir(), inv, db.options().db, &report));
+  if (replay.db && replay.complete) {
+    CompareDatabaseStates(*replay.db, db.database(), &report);
+  } else {
+    report.AddError("storage", "state-unverifiable",
+                    "on-disk history is damaged; the live state cannot be "
+                    "cross-checked against it");
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace lazyxml

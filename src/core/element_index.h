@@ -41,6 +41,16 @@ struct LocalElement {
 /// Per-tag counts of deleted records, reported to the tag-list.
 using RemovedCounts = std::map<TagId, uint64_t>;
 
+/// One element-index record in key order, surfaced to external auditors
+/// (src/check/) without exposing the private key layout.
+struct ElementIndexRecord {
+  TagId tid = 0;
+  SegmentId sid = 0;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint32_t level = 0;
+};
+
 /// The element index.
 class ElementIndex {
  public:
@@ -82,6 +92,25 @@ class ElementIndex {
 
   /// Structural invariants of the backing tree (tests).
   Status CheckInvariants() const { return tree_.CheckInvariants(); }
+
+  /// Visits every record in (tid, sid, start) key order; `fn` returning
+  /// false stops the walk. For the consistency scrubber.
+  void ForEachRecord(
+      const std::function<bool(const ElementIndexRecord&)>& fn) const {
+    for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+      const Key& k = it.key();
+      const Val& v = it.value();
+      if (!fn(ElementIndexRecord{k.tid, k.sid, k.start, v.end, v.level})) {
+        return;
+      }
+    }
+  }
+
+  /// Preorder shape walk over the backing tree's nodes (occupancy audit).
+  void VisitTreeNodes(
+      const std::function<bool(const BTreeNodeInfo&)>& fn) const {
+    tree_.VisitNodes(fn);
+  }
 
  private:
   struct Key {

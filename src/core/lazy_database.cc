@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <map>
 
+#include "check/database_check.h"
 #include "common/strings.h"
 #include "xml/parser.h"
 
 namespace lazyxml {
+
+namespace {
+
+// In paranoid builds every mutating facade operation re-verifies the full
+// cross-structure state, so a latent violation surfaces at the op that
+// introduced it instead of at some later query.
+Status ParanoidCheck(const LazyDatabase& db) {
+#if defined(LAZYXML_PARANOID_CHECKS)
+  auto report = check::CheckDatabase(db);
+  LAZYXML_RETURN_NOT_OK(report.status());
+  return report.ValueOrDie().ToStatus();
+#else
+  (void)db;
+  return Status::OK();
+#endif
+}
+
+}  // namespace
 
 LazyDatabase::LazyDatabase(LazyDatabaseOptions options)
     : options_(options),
@@ -72,6 +91,7 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnInsertSegment(info.sid, text, gp));
   }
+  LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
   return info.sid;
 }
 
@@ -103,7 +123,7 @@ Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnRemoveRange(gp, length));
   }
-  return Status::OK();
+  return ParanoidCheck(*this);
 }
 
 Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
@@ -201,6 +221,7 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnCollapseSubtree(sid, info.sid));
   }
+  LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
   return info.sid;
 }
 
@@ -284,41 +305,12 @@ LazyDatabaseStats LazyDatabase::Stats() const {
 }
 
 Status LazyDatabase::CheckInvariants() const {
-  LAZYXML_RETURN_NOT_OK(log_.CheckInvariants());
-  LAZYXML_RETURN_NOT_OK(index_.CheckInvariants());
-  // Tag-list occurrence counts must agree with the element index, every
-  // path must start at the dummy root and end at a live segment, and the
-  // chain must follow parent links.
-  Status deep = Status::OK();
-  log_.tag_list().ForEachEntry([&](TagId tid, const TagListEntry& e) {
-    const SegmentNode* node = log_.NodeOf(e.sid());
-    if (node == nullptr) {
-      deep = Status::Internal("tag-list entry for a dead segment");
-      return false;
-    }
-    if (e.path.front() != kRootSegmentId) {
-      deep = Status::Internal("tag-list path does not start at the root");
-      return false;
-    }
-    const SegmentNode* walk = node;
-    for (size_t i = e.path.size(); i-- > 0;) {
-      if (walk == nullptr || walk->sid != e.path[i]) {
-        deep = Status::Internal("tag-list path does not match parent chain");
-        return false;
-      }
-      walk = walk->parent;
-    }
-    const uint64_t indexed = index_.CountElements(tid, e.sid());
-    if (indexed != e.count) {
-      deep = Status::Internal(StringPrintf(
-          "tag-list count %llu != element index count %llu for tag %u",
-          static_cast<unsigned long long>(e.count),
-          static_cast<unsigned long long>(indexed), tid));
-      return false;
-    }
-    return true;
-  });
-  return deep;
+  // The heavy lifting lives in the consistency scrubber (src/check/);
+  // this facade method keeps the historical Status-based contract by
+  // collapsing the graded report into OK-or-Corruption.
+  auto report = check::CheckDatabase(*this);
+  LAZYXML_RETURN_NOT_OK(report.status());
+  return report.ValueOrDie().ToStatus();
 }
 
 }  // namespace lazyxml

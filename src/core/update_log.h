@@ -192,6 +192,24 @@ class UpdateLog : public SegmentGpResolver {
   /// agreement. For tests.
   Status CheckInvariants() const;
 
+  /// Visits every registered segment (including the dummy root) in
+  /// unspecified order — including nodes that are *not* reachable from the
+  /// root, which is exactly what the consistency scrubber needs to see.
+  /// `fn` returning false stops the walk.
+  void ForEachSegment(
+      const std::function<bool(const SegmentNode&)>& fn) const {
+    for (const auto& [sid, node] : nodes_) {
+      if (!fn(*node)) return;
+    }
+  }
+
+  /// Preorder shape walk over the sid B+-tree's nodes. Only meaningful
+  /// when frozen() (in LS mode the tree may be stale before Freeze()).
+  void VisitSbTreeNodes(
+      const std::function<bool(const BTreeNodeInfo&)>& fn) const {
+    sb_tree_.VisitNodes(fn);
+  }
+
  private:
   Status CollectRec(const SegmentNode* node, uint64_t lo, uint64_t hi,
                     RemovalEffects* out) const;

@@ -225,6 +225,104 @@ Result<const BigUint*> PrimeLabeling::Label(NodeId n) const {
   return &nodes_[n].label;
 }
 
+Result<PrimeLabeling::NodeId> PrimeLabeling::Parent(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("Parent: bad node id");
+  }
+  return nodes_[n].parent;
+}
+
+Result<std::string_view> PrimeLabeling::NodeName(NodeId n) const {
+  if (n >= nodes_.size()) {
+    return Status::InvalidArgument("NodeName: bad node id");
+  }
+  return dict_.Name(nodes_[n].tid);
+}
+
+Status PrimeLabeling::CheckInvariants() const {
+  const uint64_t min_prime = 2 * options_.group_size + 1;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.self_prime <= min_prime) {
+      return Status::Corruption(StringPrintf(
+          "node %llu self prime %llu cannot encode ranks up to %llu",
+          static_cast<unsigned long long>(id),
+          static_cast<unsigned long long>(n.self_prime),
+          static_cast<unsigned long long>(min_prime)));
+    }
+    // label == label(parent) * self_prime, and a root label is the self
+    // prime itself — checked as exact division, not just divisibility.
+    auto dm = BigUint::DivMod(n.label, BigUint(n.self_prime));
+    if (!dm.ok()) return dm.status();
+    const auto& [quot, rem] = dm.ValueOrDie();
+    if (!rem.IsZero()) {
+      return Status::Corruption(StringPrintf(
+          "node %llu label is not a multiple of its self prime",
+          static_cast<unsigned long long>(id)));
+    }
+    if (n.parent == kNoNode) {
+      if (!(quot == BigUint(1))) {
+        return Status::Corruption(StringPrintf(
+            "root node %llu label is not exactly its self prime",
+            static_cast<unsigned long long>(id)));
+      }
+    } else {
+      if (n.parent >= nodes_.size()) {
+        return Status::Corruption(StringPrintf(
+            "node %llu has dangling parent %llu",
+            static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(n.parent)));
+      }
+      if (!(quot == nodes_[n.parent].label)) {
+        return Status::Corruption(StringPrintf(
+            "node %llu label is not parent label times self prime",
+            static_cast<unsigned long long>(id)));
+      }
+    }
+  }
+  // Groups: partition of the nodes, back-pointers agree, SC recovers each
+  // member's 1-based rank, sequence numbers strictly increase.
+  size_t grouped = 0;
+  uint64_t prev_seq = 0;
+  bool first_group = true;
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (!first_group && it->seq <= prev_seq) {
+      return Status::Corruption("group sequence numbers not increasing");
+    }
+    first_group = false;
+    prev_seq = it->seq;
+    if (it->members.empty()) {
+      return Status::Corruption("empty labeling group");
+    }
+    if (it->members.size() > 2 * options_.group_size + 1) {
+      return Status::Corruption("labeling group over split threshold");
+    }
+    for (size_t i = 0; i < it->members.size(); ++i) {
+      const NodeId id = it->members[i];
+      if (id >= nodes_.size()) {
+        return Status::Corruption("group member id out of range");
+      }
+      if (nodes_[id].group != it) {
+        return Status::Corruption(StringPrintf(
+            "node %llu group back-pointer mismatch",
+            static_cast<unsigned long long>(id)));
+      }
+      auto rank = it->sc.ModSmall(nodes_[id].self_prime);
+      if (!rank.ok()) return rank.status();
+      if (rank.ValueOrDie() != i + 1) {
+        return Status::Corruption(StringPrintf(
+            "SC of group does not recover rank %zu for node %llu", i + 1,
+            static_cast<unsigned long long>(id)));
+      }
+      ++grouped;
+    }
+  }
+  if (grouped != nodes_.size()) {
+    return Status::Corruption("groups do not partition the node set");
+  }
+  return Status::OK();
+}
+
 size_t PrimeLabeling::MemoryBytes() const {
   size_t bytes = nodes_.capacity() * sizeof(Node);
   for (const Node& n : nodes_) bytes += n.label.MemoryBytes();

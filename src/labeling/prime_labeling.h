@@ -84,7 +84,19 @@ class PrimeLabeling {
   /// The node's full label (product along root path).
   Result<const BigUint*> Label(NodeId n) const;
 
+  /// The node's parent (kNoNode for the document root).
+  Result<NodeId> Parent(NodeId n) const;
+
+  /// The node's tag name (view into the internal dictionary).
+  Result<std::string_view> NodeName(NodeId n) const;
+
   size_t num_nodes() const { return nodes_.size(); }
+
+  /// Deep self-verification of the labeling structure: label factorization
+  /// along parent chains, group membership / back-pointer agreement, rank
+  /// recoverability (SC ≡ rank mod self-prime for every member), group
+  /// sequence monotonicity, and prime-supply floor. For the scrubber.
+  Status CheckInvariants() const;
 
   /// Label + SC-table heap footprint — the storage-overhead story the
   /// paper tells about immutable schemes.

@@ -19,6 +19,15 @@
 
 namespace lazyxml {
 
+/// One region-labeled element surfaced to external auditors (src/check/),
+/// in (tid, start) key order.
+struct RelabeledElement {
+  TagId tid = 0;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint32_t level = 0;
+};
+
 /// Eagerly-relabeled global element index (traditional region labeling).
 class RelabelingIndex {
  public:
@@ -53,6 +62,26 @@ class RelabelingIndex {
 
   /// Approximate index heap footprint.
   size_t MemoryBytes() const { return tree_.MemoryBytes(); }
+
+  /// Visits every element in (tid, start) key order; `fn` returning false
+  /// stops the walk. For the consistency scrubber.
+  void ForEachElement(
+      const std::function<bool(const RelabeledElement&)>& fn) const {
+    for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+      const Key& k = it.key();
+      const Val& v = it.value();
+      if (!fn(RelabeledElement{k.tid, k.start, v.end, v.level})) return;
+    }
+  }
+
+  /// Preorder shape walk over the backing tree's nodes (occupancy audit).
+  void VisitTreeNodes(
+      const std::function<bool(const BTreeNodeInfo&)>& fn) const {
+    tree_.VisitNodes(fn);
+  }
+
+  /// Structural invariants of the backing tree.
+  Status CheckInvariants() const { return tree_.CheckInvariants(); }
 
  private:
   struct Key {

@@ -11,14 +11,36 @@ Result<std::unique_ptr<DurableLazyDatabase>> DurableLazyDatabase::Open(
   RecoveryOptions recovery;
   recovery.db = options.db;
   recovery.strict = options.strict_recovery;
-  LAZYXML_ASSIGN_OR_RETURN(RecoveredDatabase recovered,
-                           RecoverDatabase(dir, recovery));
+  DamageReport damage;
+  std::unique_ptr<LazyDatabase> db;
+  RecoveryStats stats;
+  uint64_t next_wal_index = 1;
+  auto recovered = RecoverDatabase(dir, recovery);
+  if (recovered.ok()) {
+    RecoveredDatabase r = std::move(recovered).ValueOrDie();
+    db = std::move(r.db);
+    stats = r.stats;
+    next_wal_index = r.next_wal_index;
+  } else if (options.open_policy == OpenPolicy::kBestEffort &&
+             recovered.status().IsCorruption()) {
+    // Environmental failures (IOError) still propagate: salvage repairs
+    // data damage, not a broken filesystem.
+    LAZYXML_ASSIGN_OR_RETURN(SalvageResult salvaged,
+                             SalvageDatabase(dir, recovery));
+    db = std::move(salvaged.db);
+    stats = salvaged.stats;
+    next_wal_index = salvaged.next_wal_index;
+    damage = std::move(salvaged.damage);
+  } else {
+    return recovered.status();
+  }
   LAZYXML_ASSIGN_OR_RETURN(
       std::unique_ptr<WalWriter> wal,
-      WalWriter::Open(dir, recovered.next_wal_index, options.wal));
-  return std::unique_ptr<DurableLazyDatabase>(new DurableLazyDatabase(
-      dir, options, std::move(recovered.db), std::move(wal),
-      recovered.stats));
+      WalWriter::Open(dir, next_wal_index, options.wal));
+  auto out = std::unique_ptr<DurableLazyDatabase>(new DurableLazyDatabase(
+      dir, options, std::move(db), std::move(wal), stats));
+  out->damage_report_ = std::move(damage);
+  return out;
 }
 
 DurableLazyDatabase::DurableLazyDatabase(std::string dir,

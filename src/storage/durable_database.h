@@ -27,9 +27,21 @@
 #include "core/lazy_database.h"
 #include "core/update_capture.h"
 #include "storage/recovery.h"
+#include "storage/salvage.h"
 #include "storage/wal_writer.h"
 
 namespace lazyxml {
+
+/// How Open treats a damaged directory.
+enum class OpenPolicy {
+  /// Damage (beyond a repairable torn tail) is Corruption; nothing on
+  /// disk is altered beyond the standard tail repair.
+  kStrict,
+  /// On Corruption, fall back to salvage (storage/salvage.h): quarantine
+  /// the damage, open the maximal verified prefix, and surface what
+  /// happened in damage_report().
+  kBestEffort,
+};
 
 struct DurableOptions {
   /// In-memory database tuning; the mode of an existing directory comes
@@ -38,6 +50,8 @@ struct DurableOptions {
   WalWriterOptions wal;
   /// Torn WAL tails become Corruption instead of being truncated away.
   bool strict_recovery = false;
+  /// Salvage fallback policy; see OpenPolicy.
+  OpenPolicy open_policy = OpenPolicy::kStrict;
 };
 
 class DurableLazyDatabase : private UpdateCapture {
@@ -114,8 +128,18 @@ class DurableLazyDatabase : private UpdateCapture {
   /// What recovery did when this handle was opened.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
+  /// What salvage did when this handle was opened with
+  /// OpenPolicy::kBestEffort; clean() when the strict path sufficed.
+  const DamageReport& damage_report() const { return damage_report_; }
+
   /// The live WAL writer (introspection: segment index, record counts).
   const WalWriter& wal() const { return *wal_; }
+
+  /// The database directory this handle was opened on.
+  const std::string& dir() const { return dir_; }
+
+  /// The options this handle was opened with.
+  const DurableOptions& options() const { return options_; }
 
  private:
   DurableLazyDatabase(std::string dir, DurableOptions options,
@@ -134,6 +158,7 @@ class DurableLazyDatabase : private UpdateCapture {
   std::unique_ptr<LazyDatabase> db_;
   std::unique_ptr<WalWriter> wal_;
   RecoveryStats recovery_stats_;
+  DamageReport damage_report_;
 };
 
 }  // namespace lazyxml

@@ -23,6 +23,14 @@ Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
   if (dict == nullptr) {
     return Status::InvalidArgument("ParseFragment: null dictionary");
   }
+  if (options.max_document_bytes != 0 &&
+      text.size() > options.max_document_bytes) {
+    return Status::InvalidArgument(
+        StringPrintf("document of %zu bytes exceeds the %llu-byte limit",
+                     text.size(),
+                     static_cast<unsigned long long>(
+                         options.max_document_bytes)));
+  }
   ParsedFragment out;
   XmlScanner scanner(text, options.base_offset);
 
@@ -43,6 +51,27 @@ Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
         if (stack.size() >= options.max_depth) {
           return Status::ParseError(
               StringPrintf("maximum depth %u exceeded", options.max_depth));
+        }
+        if (options.max_name_bytes != 0 &&
+            tok.name.size() > options.max_name_bytes) {
+          return Status::InvalidArgument(StringPrintf(
+              "tag name of %zu bytes exceeds the %llu-byte limit",
+              tok.name.size(),
+              static_cast<unsigned long long>(options.max_name_bytes)));
+        }
+        // The token spans "<name ...>" / "<name .../>"; everything past
+        // the name besides the brackets is the (skipped) attribute text.
+        const uint64_t token_bytes = tok.end - tok.begin;
+        const uint64_t fixed_bytes =
+            tok.name.size() + (tok.kind == XmlTokenKind::kEmptyTag ? 3 : 2);
+        const uint64_t attr_bytes =
+            token_bytes > fixed_bytes ? token_bytes - fixed_bytes : 0;
+        if (options.max_tag_attr_bytes != 0 &&
+            attr_bytes > options.max_tag_attr_bytes) {
+          return Status::InvalidArgument(StringPrintf(
+              "attribute section of %llu bytes exceeds the %llu-byte limit",
+              static_cast<unsigned long long>(attr_bytes),
+              static_cast<unsigned long long>(options.max_tag_attr_bytes)));
         }
         ElementRecord rec;
         rec.tid = dict->Intern(tok.name);
@@ -65,6 +94,13 @@ Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
         break;
       }
       case XmlTokenKind::kEndTag: {
+        if (options.max_name_bytes != 0 &&
+            tok.name.size() > options.max_name_bytes) {
+          return Status::InvalidArgument(StringPrintf(
+              "tag name of %zu bytes exceeds the %llu-byte limit",
+              tok.name.size(),
+              static_cast<unsigned long long>(options.max_name_bytes)));
+        }
         if (stack.empty()) {
           return Status::ParseError(
               StringPrintf("unmatched end tag </%.*s>",

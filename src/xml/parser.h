@@ -34,6 +34,22 @@ struct ParseOptions {
   /// nested ER-tree experiments chain tens of thousands of elements.
   uint32_t max_depth = 1 << 20;
 
+  // Resource guards. Untrusted input must not be able to force the
+  // parser (or the dictionaries and indexes fed from it) into unbounded
+  // allocations; exceeding any guard is InvalidArgument — the input is
+  // being *rejected by policy*, distinct from ParseError (malformed XML).
+  // 0 disables a guard.
+
+  /// Longest permitted tag name in bytes.
+  uint64_t max_name_bytes = 64 * 1024;
+
+  /// Longest permitted attribute section of a single tag in bytes (the
+  /// scanner skips attributes, so this caps the skipped span).
+  uint64_t max_tag_attr_bytes = 1 << 20;
+
+  /// Largest permitted input in bytes, checked before scanning starts.
+  uint64_t max_document_bytes = 0;
+
   /// Added to every element's level: the depth of the insertion point in
   /// the super document, so segment records carry absolute LevelNum
   /// (paper §3.4).

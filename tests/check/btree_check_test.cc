@@ -1,0 +1,101 @@
+#include "check/btree_check.h"
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+
+namespace lazyxml {
+namespace check {
+namespace {
+
+BTreeOptions SmallNodes() {
+  BTreeOptions o;
+  o.leaf_capacity = 4;
+  o.internal_capacity = 4;
+  return o;
+}
+
+TEST(BTreeCheckTest, HealthyTreeIsClean) {
+  BTree<int, int> tree(SmallNodes());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 7 % 500, i).ok());
+  }
+  CheckReport report;
+  CheckBTree(tree, "test", &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.objects_scanned(), 0u);
+}
+
+TEST(BTreeCheckTest, EmptyTreeIsClean) {
+  BTree<int, int> tree;
+  CheckReport report;
+  CheckBTree(tree, "test", &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Comparator with a shared kill switch: behaves like std::less while the
+// tree is built, then starts lying. The tree's internal search order is
+// now inconsistent with its stored keys — exactly the shape of damage a
+// bit-flip in a key produces — without reaching into private state.
+struct SwitchableLess {
+  const bool* inverted;
+  bool operator()(int a, int b) const {
+    return *inverted ? b < a : a < b;
+  }
+};
+
+TEST(BTreeCheckTest, OrderingViolationIsDetected) {
+  bool inverted = false;
+  BTree<int, int, SwitchableLess> tree(SmallNodes(),
+                                       SwitchableLess{&inverted});
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(i, i).ok());
+  }
+  {
+    CheckReport clean;
+    CheckBTree(tree, "test", &clean);
+    EXPECT_TRUE(clean.ok()) << clean.ToString();
+  }
+  inverted = true;  // every stored run of keys now reads as descending
+  CheckReport report;
+  CheckBTree(tree, "test", &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasCode("leaf-key-order") ||
+              report.HasCode("self-check"))
+      << report.ToString();
+}
+
+TEST(BTreeCheckTest, GradeFlagsUnderflowAndOverflow) {
+  BTreeNodeInfo info;
+  info.is_leaf = true;
+  info.keys = 1;
+  info.values = 1;
+  info.underflow = true;
+  CheckReport report;
+  GradeBTreeNode(info, "test", &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasCode("node-underflow")) << report.ToString();
+
+  BTreeNodeInfo fat;
+  fat.is_leaf = false;
+  fat.keys = 9;
+  fat.children = 10;
+  fat.overflow = true;
+  CheckReport report2;
+  GradeBTreeNode(fat, "test", &report2);
+  EXPECT_TRUE(report2.HasCode("node-overflow")) << report2.ToString();
+}
+
+TEST(BTreeCheckTest, LeafArityMismatchIsError) {
+  BTreeNodeInfo info;
+  info.is_leaf = true;
+  info.keys = 3;
+  info.values = 2;  // keys and values must pair up in a leaf
+  CheckReport report;
+  GradeBTreeNode(info, "test", &report);
+  EXPECT_TRUE(report.HasCode("leaf-arity")) << report.ToString();
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace lazyxml

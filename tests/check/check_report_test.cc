@@ -1,0 +1,93 @@
+#include "check/check_report.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace check {
+namespace {
+
+TEST(CheckReportTest, EmptyReportIsOk) {
+  CheckReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 0u);
+  EXPECT_TRUE(report.findings().empty());
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(CheckReportTest, SeverityGrading) {
+  CheckReport report;
+  report.AddInfo("storage", "tmp-file", "leftover");
+  report.AddWarning("storage", "wal-torn-tail", "tear at 12");
+  report.AddError("btree", "leaf-key-order", "keys out of order");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.findings().size(), 3u);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.warnings(), 1u);
+  EXPECT_EQ(report.CountAtLeast(Severity::kInfo), 3u);
+  EXPECT_EQ(report.CountAtLeast(Severity::kWarning), 2u);
+}
+
+TEST(CheckReportTest, WarningsAloneStayOk) {
+  CheckReport report;
+  report.AddWarning("storage", "wal-torn-tail", "tear");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(CheckReportTest, HasCodeAndSubsystem) {
+  CheckReport report;
+  report.AddError("update_log", "gap-overlap", "bad gaps", /*sid=*/7);
+  EXPECT_TRUE(report.HasCode("gap-overlap"));
+  EXPECT_FALSE(report.HasCode("leaf-key-order"));
+  EXPECT_TRUE(report.HasSubsystem("update_log"));
+  EXPECT_FALSE(report.HasSubsystem("btree"));
+  EXPECT_EQ(report.findings()[0].sid, 7u);
+}
+
+TEST(CheckReportTest, ToStatusCarriesFirstError) {
+  CheckReport report;
+  report.AddWarning("a", "w", "warning first");
+  report.AddError("element_index", "dangling-sid", "record points nowhere");
+  report.AddError("element_index", "empty-interval", "later error");
+  Status status = report.ToStatus();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.ToString().find("dangling-sid"), std::string::npos);
+}
+
+TEST(CheckReportTest, MergeCombinesFindingsAndCounters) {
+  CheckReport a;
+  a.AddError("btree", "node-underflow", "x");
+  a.BumpObjectsScanned(10);
+  a.BumpChecksRun();
+  CheckReport b;
+  b.AddInfo("storage", "quarantine-present", "y");
+  b.BumpObjectsScanned(5);
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.findings().size(), 2u);
+  EXPECT_EQ(a.objects_scanned(), 15u);
+  EXPECT_EQ(a.checks_run(), 1u);
+}
+
+TEST(CheckReportTest, ToStringListsEveryFinding) {
+  CheckReport report;
+  report.AddError("labeling", "region-overlap", "[1,5) vs [3,9)", 2);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("labeling/region-overlap"), std::string::npos);
+  EXPECT_NE(text.find("sid=2"), std::string::npos);
+}
+
+TEST(CheckReportTest, ToJsonEscapesAndStructures) {
+  CheckReport report;
+  report.AddError("wal", "wal-corrupt", "bad \"frame\" at\n12");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\\\"frame\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace lazyxml

@@ -1,0 +1,100 @@
+#include "check/labeling_check.h"
+
+#include <gtest/gtest.h>
+
+#include "labeling/prime_labeling.h"
+#include "labeling/relabeling_index.h"
+
+namespace lazyxml {
+namespace check {
+namespace {
+
+constexpr std::string_view kDoc =
+    "<lib><book><title>t</title><author>a</author></book>"
+    "<book><title>u</title></book><shelf><book><title>v</title></book>"
+    "</shelf></lib>";
+
+TEST(LabelingCheckTest, RelabelingIndexCleanAfterBuild) {
+  RelabelingIndex index;
+  ASSERT_TRUE(index.BuildFromDocument(kDoc).ok());
+  CheckReport report;
+  CheckRelabelingIndex(index, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.objects_scanned(), 0u);
+}
+
+TEST(LabelingCheckTest, RelabelingIndexCleanAfterUpdates) {
+  RelabelingIndex index;
+  ASSERT_TRUE(index.BuildFromDocument(kDoc).ok());
+  ASSERT_TRUE(index.InsertSegment("<note>n</note>", 5).ok());
+  ASSERT_TRUE(index.RemoveSegment(5, 14).ok());
+  CheckReport report;
+  CheckRelabelingIndex(index, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LabelingCheckTest, EmptyRelabelingIndexIsClean) {
+  RelabelingIndex index;
+  CheckReport report;
+  CheckRelabelingIndex(index, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LabelingCheckTest, PrimeLabelingCleanAfterBuildAndInserts) {
+  PrimeLabelingOptions options;
+  options.group_size = 3;  // small groups force splits + CRT recomputes
+  PrimeLabeling prime(options);
+  ASSERT_TRUE(prime.BuildFromDocument(kDoc).ok());
+  auto inserted = prime.InsertElement("extra", 0, 0);
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_TRUE(
+      prime.InsertFragment("<x><y>z</y></x>", 0, inserted.ValueOrDie()).ok());
+  CheckReport report;
+  CheckPrimeLabeling(prime, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LabelingCheckTest, AgreementHoldsOnDocument) {
+  auto report = CheckLabelingAgreement(kDoc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok()) << report.ValueOrDie().ToString();
+  EXPECT_GT(report.ValueOrDie().checks_run(), 0u);
+}
+
+TEST(LabelingCheckTest, AgreementHoldsOnDeepNesting) {
+  std::string doc;
+  for (int i = 0; i < 30; ++i) doc += "<n>";
+  doc += "x";
+  for (int i = 0; i < 30; ++i) doc += "</n>";
+  auto report = CheckLabelingAgreement(doc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok()) << report.ValueOrDie().ToString();
+}
+
+TEST(LabelingCheckTest, AgreementHoldsOnWideFanout) {
+  std::string doc = "<root>";
+  for (int i = 0; i < 120; ++i) doc += "<c>x</c>";
+  doc += "</root>";
+  // More nodes than one CRT group holds: exercises group splits and the
+  // (seq, rank) document-order path of the comparison.
+  auto report = CheckLabelingAgreement(doc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok()) << report.ValueOrDie().ToString();
+}
+
+TEST(LabelingCheckTest, AgreementSamplingCapStillRuns) {
+  LabelingAgreementOptions options;
+  options.max_pairs = 8;
+  auto report = CheckLabelingAgreement(kDoc, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok()) << report.ValueOrDie().ToString();
+}
+
+TEST(LabelingCheckTest, AgreementRejectsMalformedDocument) {
+  auto report = CheckLabelingAgreement("<a><b></a></b>");
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace lazyxml

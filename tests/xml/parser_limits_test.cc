@@ -1,0 +1,130 @@
+// Resource-guard behavior of ParseOptions: oversized input is rejected
+// with InvalidArgument (policy), never ParseError (malformedness) and
+// never an unbounded allocation.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+TEST(ParserLimitsTest, OverlongTagNameIsInvalidArgument) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_name_bytes = 8;
+  const std::string long_name(9, 'n');
+  const std::string doc = "<" + long_name + ">x</" + long_name + ">";
+  auto parsed = ParseFragment(doc, &dict, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, NameAtTheLimitParses) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_name_bytes = 8;
+  const std::string name(8, 'n');
+  const std::string doc = "<" + name + ">x</" + name + ">";
+  auto parsed = ParseFragment(doc, &dict, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().records.size(), 1u);
+}
+
+TEST(ParserLimitsTest, OverlongEndTagNameIsInvalidArgument) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_name_bytes = 4;
+  // The end tag is where the oversized name appears first: the open tag
+  // is short, the close tag is not (and is thus also unmatched; the
+  // resource guard must win over the well-formedness complaint).
+  auto parsed = ParseFragment("<ab>x</abcdefgh>", &dict, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, OverlongAttributeSectionIsInvalidArgument) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_tag_attr_bytes = 16;
+  const std::string doc =
+      "<a attr=\"" + std::string(32, 'v') + "\">x</a>";
+  auto parsed = ParseFragment(doc, &dict, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, AttributeSectionOnEmptyTagIsGuardedToo) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_tag_attr_bytes = 16;
+  const std::string doc = "<a k=\"" + std::string(32, 'v') + "\"/>";
+  auto parsed = ParseFragment(doc, &dict, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, ModestAttributesStillParse) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_tag_attr_bytes = 64;
+  auto parsed = ParseFragment("<a k=\"v\" j=\"w\">x</a>", &dict, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().records.size(), 1u);
+}
+
+TEST(ParserLimitsTest, OversizedDocumentIsInvalidArgument) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_document_bytes = 10;
+  auto parsed = ParseFragment("<aa>xxxx</aa>", &dict, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument())
+      << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, DocumentAtTheLimitParses) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_document_bytes = 13;
+  auto parsed = ParseFragment("<aa>xxxx</aa>", &dict, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(ParserLimitsTest, ZeroDisablesEachGuard) {
+  TagDict dict;
+  ParseOptions options;
+  options.max_name_bytes = 0;
+  options.max_tag_attr_bytes = 0;
+  options.max_document_bytes = 0;
+  const std::string name(256, 'n');
+  const std::string doc = "<" + name + " a=\"" + std::string(4096, 'v') +
+                          "\">" + std::string(1024, 'x') + "</" + name + ">";
+  auto parsed = ParseFragment(doc, &dict, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().records.size(), 1u);
+}
+
+TEST(ParserLimitsTest, DefaultsAcceptOrdinaryDocuments) {
+  TagDict dict;
+  auto parsed = ParseFragment(
+      "<lib><book id=\"1\"><title>t</title></book></lib>", &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().records.size(), 3u);
+}
+
+TEST(ParserLimitsTest, MalformedInputIsStillParseErrorNotPolicy) {
+  TagDict dict;
+  auto parsed = ParseFragment("<a><b></a></b>", &dict);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_FALSE(parsed.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lazyxml
