@@ -1,0 +1,140 @@
+// Parallel Lazy-Join executor: elapsed time of the Fig. 12 cross-join
+// workload under the partitioned multi-threaded executor
+// (core/parallel_join.h), sweeping worker threads {1,2,4,8} x shared
+// element-scan cache {off, 8 MiB}. The workload is the balanced ER-tree
+// at a larger scale than the figure (more segments and elements) so each
+// partition carries real work. Pair counts are asserted identical to the
+// serial executor on every sample — the executor's contract is
+// byte-identical output, the threads only buy elapsed time.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace lazyxml {
+namespace {
+
+constexpr uint32_t kNumSegments = 400;
+constexpr uint64_t kTotalJoins = 60000;
+constexpr uint64_t kNumA = 200000;
+constexpr uint64_t kNumD = 200000;
+constexpr double kCrossFraction = 0.6;
+
+JoinWorkloadConfig Config() {
+  JoinWorkloadConfig cfg;
+  cfg.num_segments = kNumSegments;
+  cfg.shape = ErTreeShape::kBalanced;
+  cfg.total_joins = kTotalJoins;
+  cfg.cross_fraction = kCrossFraction;
+  cfg.num_a_elements = kNumA;
+  cfg.num_d_elements = kNumD;
+  return cfg;
+}
+
+// The database is expensive to build (hundreds of thousands of element
+// inserts); all thread/cache configurations share one instance and only
+// flip its query options.
+LazyDatabase* SharedDatabase() {
+  static LazyDatabase* db = [] {
+    auto plan = BuildJoinWorkload(Config());
+    LAZYXML_CHECK(plan.ok());
+    return bench::BuildDatabase(plan.ValueOrDie().insertions,
+                                LogMode::kLazyDynamic)
+        .release();
+  }();
+  return db;
+}
+
+size_t SerialPairCount() {
+  static const size_t pairs = [] {
+    LazyDatabase* db = SharedDatabase();
+    db->SetQueryOptions(QueryOptions{});  // 1 thread, no cache
+    return bench::RunLazyQuery(db, "A", "D");
+  }();
+  return pairs;
+}
+
+void BM_ParallelJoin(benchmark::State& state) {
+  LazyDatabase* db = SharedDatabase();
+  const size_t serial_pairs = SerialPairCount();
+  QueryOptions q;
+  q.num_threads = static_cast<size_t>(state.range(0));
+  q.cache_bytes = static_cast<size_t>(state.range(1)) << 20;
+  db->SetQueryOptions(q);
+
+  size_t pairs = 0;
+  uint64_t partitions = 1;
+  uint64_t cache_hits = 0;
+  for (auto _ : state) {
+    auto r = db->JoinByName("A", "D");
+    LAZYXML_CHECK(r.ok());
+    pairs = r.ValueOrDie().pairs.size();
+    partitions = r.ValueOrDie().stats.partitions;
+    cache_hits = r.ValueOrDie().stats.scan_cache_hits;
+    benchmark::DoNotOptimize(pairs);
+  }
+  LAZYXML_CHECK(pairs == serial_pairs);  // byte-identical contract
+
+  state.counters["threads"] = static_cast<double>(q.num_threads);
+  state.counters["cache_mb"] = static_cast<double>(state.range(1));
+  state.counters["partitions"] = static_cast<double>(partitions);
+  state.counters["scan_cache_hits"] = static_cast<double>(cache_hits);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.SetLabel(state.range(1) == 0 ? "nocache" : "cache");
+}
+
+BENCHMARK(BM_ParallelJoin)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Cache-sizing curve on a scan-heavy join (seg//D touches every segment's
+// D scan — a working set of several MB). Three regimes: no cache (reads
+// the index each round, but streams through two hot reused buffers), a
+// cache smaller than the working set (partial hits; admission sampling
+// bounds the eviction churn but misses plus evictions still cost more
+// than they save), and a cache that fits (pure hits, the win). The
+// counters expose the regime: c_evict/c_reject > 0 means undersized.
+void BM_ScanCacheSizing(benchmark::State& state) {
+  LazyDatabase* db = SharedDatabase();
+  QueryOptions q;
+  q.num_threads = static_cast<size_t>(state.range(0));
+  q.cache_bytes = static_cast<size_t>(state.range(1)) << 20;
+  db->SetQueryOptions(q);
+  size_t results = 0;
+  LazyJoinStats last_stats;
+  for (auto _ : state) {
+    auto r = db->JoinByName("seg", "D");
+    LAZYXML_CHECK(r.ok());
+    results = r.ValueOrDie().pairs.size();
+    last_stats = r.ValueOrDie().stats;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["fetched"] = static_cast<double>(last_stats.elements_fetched);
+  state.counters["q_hits"] = static_cast<double>(last_stats.scan_cache_hits);
+  state.counters["pairs"] = static_cast<double>(results);
+  state.counters["threads"] = static_cast<double>(q.num_threads);
+  state.counters["cache_mb"] = static_cast<double>(state.range(1));
+  if (const ElementScanCache* c = db->scan_cache()) {
+    const auto cs = c->Stats();
+    state.counters["c_hits"] = static_cast<double>(cs.hits);
+    state.counters["c_miss"] = static_cast<double>(cs.misses);
+    state.counters["c_evict"] = static_cast<double>(cs.evictions);
+    state.counters["c_reject"] = static_cast<double>(cs.admission_rejects);
+    state.counters["c_bytes"] = static_cast<double>(cs.bytes_used);
+  }
+  state.SetLabel(state.range(1) == 0 ? "nocache" : "cache");
+}
+
+BENCHMARK(BM_ScanCacheSizing)
+    ->ArgsProduct({{1, 4}, {0, 8, 32}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs the benchmark binaries and merges their google-benchmark JSON
+# reports into one file (default: BENCH_PR.json at the repo root), with
+# a context block recording the host and the per-binary benchmark
+# context. Intended for recording the numbers quoted in EXPERIMENTS.md.
+#
+# Usage:
+#   bench/run_all.sh [bench_name ...]      # default: every built binary
+#
+# Environment knobs:
+#   BUILD_DIR   build tree containing bench/ binaries   (default: build)
+#   OUT         merged output path                      (default: BENCH_PR.json)
+#   MIN_TIME    --benchmark_min_time per run, seconds   (default: 0.5)
+#   FILTER      --benchmark_filter regex                (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_PR.json}"
+MIN_TIME="${MIN_TIME:-0.5}"
+FILTER="${FILTER:-}"
+
+if [[ $# -gt 0 ]]; then
+  benches=("$@")
+else
+  benches=()
+  for b in "$BUILD_DIR"/bench/bench_*; do
+    [[ -x $b && -f $b ]] && benches+=("$(basename "$b")")
+  done
+fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "no benchmark binaries under $BUILD_DIR/bench — build them first" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for b in "${benches[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  if [[ ! -x $bin ]]; then
+    echo "== skipping $b (not built)" >&2
+    continue
+  fi
+  echo "== $b" >&2
+  args=(--benchmark_format=json --benchmark_min_time="$MIN_TIME")
+  [[ -n $FILTER ]] && args+=(--benchmark_filter="$FILTER")
+  "$bin" "${args[@]}" > "$tmpdir/$b.json"
+done
+
+python3 - "$OUT" "$tmpdir"/*.json <<'PY'
+import json, sys
+
+out_path, reports = sys.argv[1], sys.argv[2:]
+merged = {"context": None, "benchmarks": []}
+for path in reports:
+    with open(path) as f:
+        rep = json.load(f)
+    name = path.rsplit("/", 1)[-1][: -len(".json")]
+    if merged["context"] is None:
+        merged["context"] = rep.get("context", {})
+    for bm in rep.get("benchmarks", []):
+        bm["binary"] = name
+        merged["benchmarks"].append(bm)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks "
+      f"from {len(reports)} binaries")
+PY

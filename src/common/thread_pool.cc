@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace lazyxml {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const size_t i =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> l(workers_[i]->mu);
+    workers_[i]->deque.push_back(std::move(fn));
+  }
+  {
+    // Increment under wake_mu_: a worker that just evaluated the wait
+    // predicate false is already blocked when we get the lock, so the
+    // notify below cannot be lost between its check and its sleep.
+    std::lock_guard<std::mutex> l(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask(size_t self) {
+  std::function<void()> task;
+  // Own deque first, newest task (LIFO keeps the working set warm).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> l(w.mu);
+    if (!w.deque.empty()) {
+      task = std::move(w.deque.back());
+      w.deque.pop_back();
+    }
+  }
+  // Steal a victim's *oldest* task (FIFO: big, early-submitted work moves
+  // first, the standard stealing discipline).
+  if (!task) {
+    for (size_t k = 1; k < workers_.size() && !task; ++k) {
+      Worker& v = *workers_[(self + k) % workers_.size()];
+      std::lock_guard<std::mutex> l(v.mu);
+      if (!v.deque.empty()) {
+        task = std::move(v.deque.front());
+        v.deque.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  // pending_ counts *unclaimed* tasks (it only gates worker sleep);
+  // decrementing before running avoids a shutdown busy-spin where idle
+  // workers see pending > 0 for a task already running elsewhere.
+  pending_.fetch_sub(1, std::memory_order_release);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    if (TryRunOneTask(self)) continue;
+    std::unique_lock<std::mutex> l(wake_mu_);
+    wake_cv_.wait(l, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  struct Batch {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>();
+  auto drain = [batch, n, &fn] {
+    for (;;) {
+      const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> l(batch->mu);
+        batch->cv.notify_all();
+      }
+    }
+  };
+  // One runner per worker is enough: each runner drains the shared
+  // counter. The caller is the (num_threads+1)-th runner — it always
+  // participates, so ParallelFor completes even on a saturated pool.
+  const size_t runners = std::min(n - 1, num_threads());
+  for (size_t r = 0; r < runners; ++r) {
+    // The std::function copy captures the batch keep-alive but must not
+    // capture `fn` by reference past return — runners that lose the race
+    // for iterations exit immediately, and the caller only returns once
+    // done == n, at which point no runner can touch `fn` again: a runner
+    // either claimed an index < n before (and bumped done after fn), or
+    // sees next >= n and never dereferences fn.
+    Submit([drain] { drain(); });
+  }
+  drain();
+  if (batch->done.load(std::memory_order_acquire) != n) {
+    std::unique_lock<std::mutex> l(batch->mu);
+    batch->cv.wait(l, [&] {
+      return batch->done.load(std::memory_order_acquire) == n;
+    });
+  }
+}
+
+}  // namespace lazyxml

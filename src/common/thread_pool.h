@@ -1,0 +1,78 @@
+// ThreadPool: a reusable work-stealing thread pool for query execution.
+//
+// Each worker owns a deque; Submit distributes tasks round-robin, a
+// worker pops its own deque LIFO (cache-warm) and steals FIFO from a
+// victim when empty (oldest task first, the classic work-stealing
+// discipline). ParallelFor additionally lets the *calling* thread claim
+// iterations, so a pool is never a deadlock hazard for nested or
+// re-entrant use: the caller always makes progress on its own batch even
+// when every worker is busy with somebody else's.
+//
+// The pool is deliberately small and dependency-free (std::thread only):
+// query parallelism in this codebase is fork/join over pre-partitioned
+// ranges (core/parallel_join.h), not a general task graph.
+
+#ifndef LAZYXML_COMMON_THREAD_POOL_H_
+#define LAZYXML_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazyxml {
+
+/// A fixed-size work-stealing thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queues: every task submitted before destruction is run
+  /// before the workers exit.
+  ~ThreadPool();
+
+  /// Number of worker threads (>= 1).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for asynchronous execution. Thread-safe.
+  void Submit(std::function<void()> fn);
+
+  /// Runs `fn(0) ... fn(n-1)`, distributing iterations over the workers
+  /// *and* the calling thread; returns when all `n` calls completed.
+  /// Iterations are claimed dynamically (atomic counter), so uneven
+  /// per-iteration cost self-balances. Thread-safe and re-entrant: a task
+  /// running on a worker may itself call ParallelFor.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// A good default worker count for this machine.
+  static size_t DefaultThreadCount();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from own deque (back) or steals from a victim (front).
+  bool TryRunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_THREAD_POOL_H_

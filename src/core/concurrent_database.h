@@ -39,20 +39,32 @@ class ConcurrentLazyDatabase {
   ConcurrentLazyDatabase& operator=(const ConcurrentLazyDatabase&) = delete;
 
   // -- Updates (exclusive) ----------------------------------------------------
+  //
+  // Each writer eagerly purges the shared element-scan cache while it
+  // holds the exclusive lock. The epoch keying alone already guarantees
+  // no stale scan is ever served (the mutation bumps the epoch before any
+  // reader can re-acquire the lock); the purge reclaims the memory of the
+  // now-unreachable entries instead of letting them age out of the LRU.
 
   Result<SegmentId> InsertSegment(std::string_view text, uint64_t gp) {
     std::unique_lock lock(mu_);
-    return db_.InsertSegment(text, gp);
+    auto r = db_.InsertSegment(text, gp);
+    db_.InvalidateScanCache();
+    return r;
   }
 
   Status RemoveSegment(uint64_t gp, uint64_t length) {
     std::unique_lock lock(mu_);
-    return db_.RemoveSegment(gp, length);
+    auto r = db_.RemoveSegment(gp, length);
+    db_.InvalidateScanCache();
+    return r;
   }
 
   Status CompactAll() {
     std::unique_lock lock(mu_);
-    return db_.CompactAll();
+    auto r = db_.CompactAll();
+    db_.InvalidateScanCache();
+    return r;
   }
 
   // -- Queries (shared in LD; exclusive in LS, where they freeze) -----------
@@ -105,6 +117,13 @@ class ConcurrentLazyDatabase {
   Status CheckInvariants() {
     std::shared_lock lock(mu_);
     return db_.CheckInvariants();
+  }
+
+  /// Reconfigures join threading + scan caching (exclusive: the pool and
+  /// cache are rebuilt).
+  void SetQueryOptions(const QueryOptions& query) {
+    std::unique_lock lock(mu_);
+    db_.SetQueryOptions(query);
   }
 
   /// Exclusive access escape hatch for bulk setup (single-threaded phases).

@@ -30,10 +30,49 @@ Status ParanoidCheck(const LazyDatabase& db) {
 LazyDatabase::LazyDatabase(LazyDatabaseOptions options)
     : options_(options),
       log_(UpdateLog::Options{options.mode, options.sb_tree_options}),
-      index_(options.element_index_options) {}
+      index_(options.element_index_options) {
+  SetQueryOptions(options.query);
+}
+
+void LazyDatabase::SetQueryOptions(const QueryOptions& query) {
+  options_.query = query;
+  const size_t threads =
+      query.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                             : query.num_threads;
+  if (threads <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  if (query.cache_bytes == 0) {
+    scan_cache_.reset();
+  } else if (scan_cache_ == nullptr ||
+             scan_cache_->options().capacity_bytes != query.cache_bytes) {
+    ElementScanCacheOptions copts;
+    copts.capacity_bytes = query.cache_bytes;
+    scan_cache_ = std::make_unique<ElementScanCache>(copts);
+  }
+}
+
+ElementScan LazyDatabase::GetScan(TagId tid, SegmentId sid) {
+  if (scan_cache_ != nullptr) {
+    if (ElementScan hit = scan_cache_->Get(tid, sid, mutation_epoch_)) {
+      return hit;
+    }
+  }
+  ElementScan scan =
+      std::make_shared<std::vector<LocalElement>>(index_.GetElements(tid, sid));
+  if (scan_cache_ != nullptr) {
+    scan_cache_->Put(tid, sid, mutation_epoch_, scan);
+  }
+  return scan;
+}
 
 Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
                                               uint64_t gp) {
+  // Bumped up front: cached scans must not survive even a partially
+  // applied mutation (spurious bumps on the failure paths are harmless).
+  ++mutation_epoch_;
   // Parse first: a malformed segment must not touch any structure.
   ParseOptions popts;
   popts.require_single_root = true;
@@ -96,6 +135,7 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
 }
 
 Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
+  ++mutation_epoch_;
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::RemovalEffects effects,
                            log_.CollectRemovalEffects(gp, length));
   // Element index first (it needs the pre-removal frozen intervals), then
@@ -138,6 +178,7 @@ Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
 }
 
 Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
+  ++mutation_epoch_;
   SegmentNode* top = log_.NodeOf(sid);
   if (top == nullptr) {
     return Status::NotFound("segment does not exist");
@@ -242,7 +283,10 @@ Result<LazyJoinResult> LazyDatabase::JoinByName(
   auto a = dict_.Lookup(ancestor_tag);
   auto d = dict_.Lookup(descendant_tag);
   if (!a.ok() || !d.ok()) return LazyJoinResult{};  // unknown tag: empty
-  return LazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), options);
+  ParallelJoinOptions popts;
+  popts.join = options;
+  return ParallelLazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), popts,
+                          pool_.get(), scan_cache_.get(), mutation_epoch_);
 }
 
 Result<JoinPair> LazyDatabase::ToGlobalPair(const LazyJoinPair& pair) const {
@@ -282,7 +326,8 @@ Result<std::vector<GlobalElement>> LazyDatabase::MaterializeGlobalElements(
     if (node == nullptr) {
       return Status::Internal("tag-list references a dead segment");
     }
-    for (const LocalElement& el : index_.GetElements(tid, e.sid())) {
+    ElementScan scan = GetScan(tid, e.sid());
+    for (const LocalElement& el : *scan) {
       out.push_back(GlobalElement{node->FrozenToGlobal(el.start, true),
                                   node->FrozenToGlobal(el.end, false),
                                   el.level});

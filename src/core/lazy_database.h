@@ -15,13 +15,17 @@
 #define LAZYXML_CORE_LAZY_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/element_index.h"
 #include "core/lazy_join.h"
+#include "core/parallel_join.h"
+#include "core/scan_cache.h"
 #include "core/update_capture.h"
 #include "core/update_log.h"
 #include "join/global_element.h"
@@ -36,6 +40,8 @@ struct LazyDatabaseOptions {
   LogMode mode = LogMode::kLazyDynamic;
   BTreeOptions element_index_options;
   BTreeOptions sb_tree_options;
+  /// Query execution: join worker threads + shared scan cache.
+  QueryOptions query;
 };
 
 /// Space/size snapshot (drives Fig. 11).
@@ -113,6 +119,32 @@ class LazyDatabase {
   /// LS mode: performs the pre-query work explicitly (benches time it).
   void Freeze() { log_.Freeze(); }
 
+  // -- Query execution ---------------------------------------------------------
+
+  /// Reconfigures join threading + scan caching (benches sweep this).
+  /// Not thread-safe against concurrent queries.
+  void SetQueryOptions(const QueryOptions& query);
+  const QueryOptions& query_options() const { return options_.query; }
+
+  /// One (tag, segment) element scan, served from the shared scan cache
+  /// at the current mutation epoch when configured (always safe: a stale
+  /// epoch can never match).
+  ElementScan GetScan(TagId tid, SegmentId sid);
+
+  /// Monotonic counter bumped by every mutating facade operation; scan
+  /// cache entries are keyed by it (core/scan_cache.h).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Eagerly drops every cached scan (the epoch keying already prevents
+  /// stale reads; this reclaims the memory — ConcurrentLazyDatabase calls
+  /// it under its exclusive lock).
+  void InvalidateScanCache() {
+    if (scan_cache_ != nullptr) scan_cache_->Invalidate();
+  }
+
+  /// Cache introspection for tests/benches; nullptr when disabled.
+  const ElementScanCache* scan_cache() const { return scan_cache_.get(); }
+
   // -- Introspection -----------------------------------------------------------
 
   const UpdateLog& update_log() const { return log_; }
@@ -121,10 +153,21 @@ class LazyDatabase {
 
   /// Mutable access for snapshot restore (core/snapshot.h); not part of
   /// the stable API — going around the facade invalidates its invariants
-  /// unless you restore a complete consistent state.
-  UpdateLog& mutable_update_log() { return log_; }
-  ElementIndex& mutable_element_index() { return index_; }
-  TagDict& mutable_tag_dict() { return dict_; }
+  /// unless you restore a complete consistent state. Each accessor bumps
+  /// the mutation epoch so cached scans recorded before the bypass can
+  /// never be served afterwards.
+  UpdateLog& mutable_update_log() {
+    ++mutation_epoch_;
+    return log_;
+  }
+  ElementIndex& mutable_element_index() {
+    ++mutation_epoch_;
+    return index_;
+  }
+  TagDict& mutable_tag_dict() {
+    ++mutation_epoch_;
+    return dict_;
+  }
 
   /// Registers an observer of the logical update stream (durability /
   /// replication; see core/update_capture.h). Pass nullptr to detach.
@@ -144,6 +187,9 @@ class LazyDatabase {
   ElementIndex index_;
   TagDict dict_;
   UpdateCapture* capture_ = nullptr;
+  uint64_t mutation_epoch_ = 0;
+  std::unique_ptr<ThreadPool> pool_;            // null when num_threads <= 1
+  std::unique_ptr<ElementScanCache> scan_cache_;  // null when cache_bytes == 0
 };
 
 }  // namespace lazyxml

@@ -1,64 +1,202 @@
 #include "core/lazy_join.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/lazy_join_internal.h"
 #include "join/global_element.h"
 #include "join/stack_tree.h"
 
 namespace lazyxml {
+namespace internal {
 
-namespace {
-
-// Splice position of `anc`'s child on the path to the segment `path` ends
-// at; 0 + false if `anc` is not on the path (not an ancestor).
-bool FindSplicePos(const UpdateLog& log, const std::vector<SegmentId>& path,
-                   SegmentId anc, uint64_t* p_out) {
-  for (size_t i = 0; i + 1 < path.size(); ++i) {
-    if (path[i] == anc) {
-      auto node = log.FindSegment(path[i + 1]);
-      if (!node.ok()) return false;
-      *p_out = node.ValueOrDie()->lp;
-      return true;
+Status SegmentResolver::ResolveList(const UpdateLog& log,
+                                    std::span<const TagListEntry> entries,
+                                    ResolvedEntries* out) {
+  out->entries = entries;
+  out->nodes.clear();
+  out->nodes.reserve(entries.size());
+  for (const TagListEntry& e : entries) {
+    // path[0] is the dummy root and is never a splice child nor a tag-list
+    // sid, so it needs no node.
+    for (size_t i = 1; i < e.path.size(); ++i) {
+      const SegmentId sid = e.path[i];
+      if (map_.find(sid) != map_.end()) continue;
+      LAZYXML_ASSIGN_OR_RETURN(SegmentNode * node, log.FindSegment(sid));
+      map_.emplace(sid, node);
     }
+    out->nodes.push_back(Lookup(e.sid()));
   }
-  return false;
+  return Status::OK();
 }
 
-struct StackEntry {
-  const SegmentNode* seg = nullptr;
-  std::vector<LocalElement> elems;  // A-elements, frozen order
-  size_t live = 0;                  // prune cursor into elems
-  uint64_t cached_p = 0;            // splice pos toward the entry above
-  bool has_cached_p = false;
-};
+bool SpliceMemo::Find(const std::vector<SegmentId>& path, SegmentId anc,
+                      uint64_t* p_out) {
+  if (path_ != &path) {
+    // New path: rebuild the inner-node -> child-splice map. Tag-list paths
+    // are stable for the lifetime of a frozen query, so pointer identity
+    // is a sound memo key.
+    path_ = &path;
+    pos_.clear();
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const SegmentNode* child = resolver_->Lookup(path[i + 1]);
+      if (child == nullptr) break;  // unresolved tail: probes there fail
+      pos_.emplace(path[i], child->lp);
+    }
+  }
+  auto it = pos_.find(anc);
+  if (it == pos_.end()) return false;
+  *p_out = it->second;
+  return true;
+}
 
-}  // namespace
+ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
+                               LazyJoinStats* stats) {
+  // One slot per tag role: slot 0 serves the first tid seen (both roles of
+  // a self-join collapse onto it), slot 1 the other.
+  Slot& slot =
+      (slots_[0].scan == nullptr || slots_[0].tid == tid) ? slots_[0]
+                                                          : slots_[1];
+  if (slot.scan != nullptr && slot.tid == tid && slot.sid == sid) {
+    ++stats->scan_cache_hits;
+    return slot.scan;
+  }
+  if (cache_ != nullptr) {
+    if (ElementScan hit = cache_->Get(tid, sid, epoch_)) {
+      ++stats->scan_cache_hits;
+      slot = Slot{tid, sid, hit};
+      return hit;
+    }
+  }
+  auto fresh =
+      std::make_shared<std::vector<LocalElement>>(index_->GetElements(tid, sid));
+  stats->elements_fetched += fresh->size();
+  ElementScan scan = std::move(fresh);
+  if (cache_ != nullptr) cache_->Put(tid, sid, epoch_, scan);
+  slot = Slot{tid, sid, scan};
+  return scan;
+}
 
-Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
-                                const ElementIndex& index, TagId ancestor_tid,
-                                TagId descendant_tid,
-                                const LazyJoinOptions& options) {
+ElementScan ScanFetcher::FetchFiltered(TagId tid, const SegmentNode& seg,
+                                       LazyJoinStats* stats) {
+  if (cache_ != nullptr) {
+    if (ElementScan hit =
+            cache_->Get(tid, seg.sid, epoch_, ScanKind::kStraddle)) {
+      ++stats->scan_cache_hits;
+      return hit;
+    }
+  }
+  ElementScan raw = Fetch(tid, seg.sid, stats);
+  std::vector<uint64_t> splices;
+  splices.reserve(seg.children.size());
+  for (const SegmentNode* c : seg.children) splices.push_back(c->lp);
+  auto filtered = std::make_shared<std::vector<LocalElement>>();
+  for (const LocalElement& a : *raw) {
+    auto it = std::upper_bound(splices.begin(), splices.end(), a.start);
+    if (it != splices.end() && *it < a.end) filtered->push_back(a);
+  }
+  ElementScan scan = std::move(filtered);
+  if (cache_ != nullptr) {
+    cache_->Put(tid, seg.sid, epoch_, scan, ScanKind::kStraddle);
+  }
+  return scan;
+}
+
+Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
+                          TagId ancestor_tid, TagId descendant_tid,
+                          const LazyJoinOptions& options,
+                          ElementScanCache* cache, uint64_t cache_epoch,
+                          JoinContext* ctx, bool* empty) {
   if (!log.frozen()) {
     return Status::Internal("LazyJoin on an unfrozen LS update log");
   }
   if (!log.tag_list().sorted()) {
     return Status::Internal("LazyJoin on an unsorted tag-list");
   }
-  LazyJoinResult out;
+  ctx->log = &log;
+  ctx->index = &index;
+  ctx->ancestor_tid = ancestor_tid;
+  ctx->descendant_tid = descendant_tid;
+  ctx->options = options;
+  ctx->cache = cache;
+  ctx->cache_epoch = cache_epoch;
   const auto sl_a = log.tag_list().EntriesFor(ancestor_tid);
   const auto sl_d = log.tag_list().EntriesFor(descendant_tid);
-  if (sl_a.empty() || sl_d.empty()) return out;
+  *empty = sl_a.empty() || sl_d.empty();
+  if (*empty) return Status::OK();
+  LAZYXML_RETURN_NOT_OK(ctx->resolver.ResolveList(log, sl_a, &ctx->sl_a));
+  LAZYXML_RETURN_NOT_OK(ctx->resolver.ResolveList(log, sl_d, &ctx->sl_d));
+  return Status::OK();
+}
 
+namespace {
+
+struct StackEntry {
+  const SegmentNode* seg = nullptr;
+  /// Shared scan: unfiltered, or straddle-filtered under optimize_stack.
+  /// Never mutated, so it is safe to share across partitions and queries;
+  /// the prune state lives in `live`, per entry.
+  ElementScan scan;
+  size_t live = 0;        // prune cursor into elems()
+  uint64_t cached_p = 0;  // splice pos toward the entry above
+  bool has_cached_p = false;
+
+  const std::vector<LocalElement>& elems() const { return *scan; }
+};
+
+// Fetches + (when optimizing) straddle-filters the stack entry for SL_A
+// index `idx` (the serial Fig. 9 push filter: keep only elements
+// straddling at least one child splice position).
+StackEntry MakeStackEntry(const JoinContext& ctx, ScanFetcher* fetcher,
+                          size_t idx, LazyJoinStats* stats) {
+  StackEntry entry;
+  entry.seg = ctx.sl_a.nodes[idx];
+  entry.scan =
+      ctx.options.optimize_stack
+          ? fetcher->FetchFiltered(ctx.ancestor_tid, *entry.seg, stats)
+          : fetcher->Fetch(ctx.ancestor_tid, ctx.sl_a.entries[idx].sid(),
+                           stats);
+  return entry;
+}
+
+}  // namespace
+
+Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
+                        LazyJoinResult* out) {
+  const std::span<const TagListEntry> sl_a = ctx.sl_a.entries;
+  const std::span<const TagListEntry> sl_d = ctx.sl_d.entries;
+  const LazyJoinOptions& options = ctx.options;
+  LazyJoinStats& stats = out->stats;
+  ScanFetcher fetcher(ctx.index, ctx.cache, ctx.cache_epoch);
+  SpliceMemo memo(&ctx.resolver);
+
+  // Seed reconstruction: rebuild the entries live at round d_begin. Their
+  // cached splice positions are recomputed from the entry directly above
+  // (the path to anything nested inside the entry above enters `below`
+  // through the same child, so the value matches what the serial run
+  // cached at push time). Prune cursors start at 0 — pruning is a pure
+  // optimization; the `a.start >= p` / `a.end <= p` guards re-filter.
+  // Seeded entries are NOT counted as pushes: the serial run pushed them
+  // in an earlier partition's rounds.
   std::vector<StackEntry> stack;
-  size_t ia = 0;
-  // One-entry cache: an in-segment join's A-scan is immediately reused by
-  // the push attempt of the same segment on the next round.
-  SegmentId fetch_cache_sid = ~SegmentId{0};
-  std::vector<LocalElement> fetch_cache;
+  stack.reserve(seed.live_stack.size() + 8);
+  for (size_t idx : seed.live_stack) {
+    StackEntry entry = MakeStackEntry(ctx, &fetcher, idx, &stats);
+    if (!stack.empty()) {
+      StackEntry& below = stack.back();
+      uint64_t p = 0;
+      if (memo.Find(sl_a[idx].path, below.seg->sid, &p)) {
+        below.cached_p = p;
+        below.has_cached_p = true;
+      }
+    }
+    stack.push_back(std::move(entry));
+  }
 
-  for (size_t id = 0; id < sl_d.size(); ++id) {
+  size_t ia = seed.ia_begin;
+  for (size_t id = seed.d_begin; id < seed.d_end; ++id) {
     const TagListEntry& de = sl_d[id];
-    LAZYXML_ASSIGN_OR_RETURN(SegmentNode * sd, log.FindSegment(de.sid()));
+    const SegmentNode* sd = ctx.sl_d.nodes[id];
 
     // Step 1 (pop): segments ending at or before sd's start are done —
     // SL_D is position-ordered, so they can never contain a later segment.
@@ -71,40 +209,22 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
     // ends before sd starts, so it ends before everything later too).
     while (ia < sl_a.size()) {
       const TagListEntry& ae = sl_a[ia];
-      LAZYXML_ASSIGN_OR_RETURN(SegmentNode * sa, log.FindSegment(ae.sid()));
+      const SegmentNode* sa = ctx.sl_a.nodes[ia];
       if (sa->gp >= sd->gp) break;
       ++ia;
       if (!sa->ContainsSegment(*sd)) {
-        ++out.stats.segments_skipped;
+        ++stats.segments_skipped;
         continue;
       }
       if (options.optimize_stack && sa->children.empty()) {
         // No child segments: no descendant segments, no cross joins.
-        ++out.stats.segments_skipped;
+        ++stats.segments_skipped;
         continue;
       }
-      std::vector<LocalElement> elems;
-      if (fetch_cache_sid == ae.sid()) {
-        elems = std::move(fetch_cache);
-        fetch_cache_sid = ~SegmentId{0};
-      } else {
-        elems = index.GetElements(ancestor_tid, ae.sid());
-        out.stats.elements_fetched += elems.size();
-      }
-      if (options.optimize_stack) {
-        // Keep only elements straddling at least one child splice
-        // position — the only ones Proposition 3(2) can ever satisfy.
-        std::vector<uint64_t> splices;
-        splices.reserve(sa->children.size());
-        for (const SegmentNode* c : sa->children) splices.push_back(c->lp);
-        std::erase_if(elems, [&splices](const LocalElement& a) {
-          auto it = std::upper_bound(splices.begin(), splices.end(), a.start);
-          return it == splices.end() || *it >= a.end;
-        });
-        if (elems.empty()) {
-          ++out.stats.segments_skipped;
-          continue;
-        }
+      StackEntry entry = MakeStackEntry(ctx, &fetcher, ia - 1, &stats);
+      if (options.optimize_stack && entry.scan->empty()) {
+        ++stats.segments_skipped;
+        continue;
       }
       if (!stack.empty()) {
         // Cache the splice position of the previous top toward the new
@@ -114,34 +234,29 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
         // positions only grow, so they are dead.
         StackEntry& below = stack.back();
         uint64_t p = 0;
-        if (FindSplicePos(log, ae.path, below.seg->sid, &p)) {
+        if (memo.Find(ae.path, below.seg->sid, &p)) {
           below.cached_p = p;
           below.has_cached_p = true;
           if (options.optimize_stack) {
-            while (below.live < below.elems.size() &&
-                   below.elems[below.live].end <= p) {
+            const auto& belems = below.elems();
+            while (below.live < belems.size() &&
+                   belems[below.live].end <= p) {
               ++below.live;
             }
           }
         }
       }
-      StackEntry entry;
-      entry.seg = sa;
-      entry.elems = std::move(elems);
       stack.push_back(std::move(entry));
-      ++out.stats.segments_pushed;
+      ++stats.segments_pushed;
     }
 
     // Step 3 (join generation): every stack entry contains sd; emit cross
     // joins by Proposition 3(2), then in-segment joins if sd itself also
     // carries A-elements.
-    std::vector<LocalElement> delems;
-    bool delems_loaded = false;
+    ElementScan delems;
     auto load_delems = [&]() {
-      if (!delems_loaded) {
-        delems = index.GetElements(descendant_tid, de.sid());
-        out.stats.elements_fetched += delems.size();
-        delems_loaded = true;
+      if (delems == nullptr) {
+        delems = fetcher.Fetch(ctx.descendant_tid, de.sid(), &stats);
       }
     };
 
@@ -152,11 +267,12 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
         if (!e.has_cached_p) continue;
         p = e.cached_p;
       } else {
-        if (!FindSplicePos(log, de.path, e.seg->sid, &p)) continue;
+        if (!memo.Find(de.path, e.seg->sid, &p)) continue;
       }
       const bool is_top = (si + 1 == stack.size());
-      for (size_t ei = e.live; ei < e.elems.size(); ++ei) {
-        const LocalElement& a = e.elems[ei];
+      const auto& elems = e.elems();
+      for (size_t ei = e.live; ei < elems.size(); ++ei) {
+        const LocalElement& a = elems[ei];
         if (a.start >= p) break;  // frozen order: no later element straddles
         if (a.end <= p) {
           if (options.optimize_stack && is_top && ei == e.live) {
@@ -165,39 +281,57 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
           continue;
         }
         load_delems();
-        for (const LocalElement& d : delems) {
+        for (const LocalElement& d : *delems) {
           if (options.parent_child && a.level + 1 != d.level) continue;
-          out.pairs.push_back(LazyJoinPair{e.seg->sid, a.start, de.sid(),
-                                           d.start});
-          ++out.stats.cross_segment_pairs;
+          out->pairs.push_back(
+              LazyJoinPair{e.seg->sid, a.start, de.sid(), d.start});
+          ++stats.cross_segment_pairs;
         }
       }
     }
 
     // In-segment joins: sd appears in SL_A too iff the current A cursor
     // points at the very same segment (both lists are position-ordered).
+    // The A-scan fetched here is served again from the fetcher's slot by
+    // the Step 2 push attempt of the same segment next round (and, in a
+    // self-join, by load_delems below) instead of re-reading the index.
     if (ia < sl_a.size() && sl_a[ia].sid() == de.sid()) {
-      std::vector<LocalElement> aelems =
-          index.GetElements(ancestor_tid, de.sid());
-      out.stats.elements_fetched += aelems.size();
+      ElementScan aelems = fetcher.Fetch(ctx.ancestor_tid, de.sid(), &stats);
       load_delems();
       // Frozen local coordinates nest properly within one segment, so any
       // traditional structural join applies (paper §4.2); Stack-Tree-Desc
       // is used as in the paper, directly over the frozen coordinates.
       const SegmentId sid = de.sid();
       StackTreeDescVisit(
-          aelems, delems, options.parent_child,
-          [&out, sid](const LocalElement& a, const LocalElement& d) {
-            out.pairs.push_back(LazyJoinPair{sid, a.start, sid, d.start});
-            ++out.stats.in_segment_pairs;
+          *aelems, *delems, options.parent_child,
+          [out, &stats, sid](const LocalElement& a, const LocalElement& d) {
+            out->pairs.push_back(LazyJoinPair{sid, a.start, sid, d.start});
+            ++stats.in_segment_pairs;
           });
-      // Keep the scan for the Step 2 push attempt of the same segment.
-      fetch_cache_sid = sid;
-      fetch_cache = std::move(aelems);
       // Do not advance ia: the same segment is also a cross-join ancestor
       // candidate for later descendant segments (Step 2 next round).
     }
   }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
+                                const ElementIndex& index, TagId ancestor_tid,
+                                TagId descendant_tid,
+                                const LazyJoinOptions& options) {
+  internal::JoinContext ctx;
+  bool empty = false;
+  LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
+      log, index, ancestor_tid, descendant_tid, options,
+      /*cache=*/nullptr, /*cache_epoch=*/0, &ctx, &empty));
+  LazyJoinResult out;
+  if (empty) return out;
+  internal::PartitionSeed whole;
+  whole.d_begin = 0;
+  whole.d_end = ctx.sl_d.entries.size();
+  LAZYXML_RETURN_NOT_OK(internal::RunJoinPartition(ctx, whole, &out));
   return out;
 }
 

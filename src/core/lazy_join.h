@@ -65,12 +65,19 @@ struct LazyJoinPair {
 };
 
 /// Join instrumentation (drives the §5.3 analyses).
+///
+/// `elements_fetched` counts records actually read out of the element
+/// index; scans served by the shared ElementScanCache or the per-query
+/// fetch slots count into `scan_cache_hits` instead (so a self-join no
+/// longer double-counts the list it reads under both roles).
 struct LazyJoinStats {
   uint64_t cross_segment_pairs = 0;
   uint64_t in_segment_pairs = 0;
   uint64_t segments_pushed = 0;
   uint64_t segments_skipped = 0;  ///< A-segments never pushed
   uint64_t elements_fetched = 0;  ///< element-index records read
+  uint64_t scan_cache_hits = 0;   ///< scans served without an index read
+  uint64_t partitions = 1;        ///< executor partitions (1 = serial)
 };
 
 /// Result of a Lazy-Join.

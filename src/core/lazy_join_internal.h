@@ -1,0 +1,176 @@
+// Internal machinery shared by the serial Lazy-Join (core/lazy_join.h)
+// and the partitioned parallel executor (core/parallel_join.h). Not part
+// of the stable API.
+//
+// The serial §4.2 kernel is factored into a *partition runner*: it joins
+// a contiguous range of descendant tag-list rounds given (a) the ancestor
+// cursor position at the range start and (b) the ancestor segments whose
+// stack entries are live when the range starts (the "seed stack"). The
+// full serial join is the special case {all rounds, cursor 0, empty
+// seed}. Because all cross-round state of the kernel — the ancestor
+// stack, its cached splice positions, and the prune cursors — is a pure
+// function of the round index (see docs/PARALLELISM.md for the argument),
+// seeded partitions emit pair-for-pair exactly what the serial kernel
+// emits for the same rounds, and concatenating partition outputs in round
+// order reproduces the serial output byte-identically.
+//
+// Supporting casts:
+//  * SegmentResolver — batched FindSegment: one SB-tree descent per
+//    distinct sid per query instead of one per loop round;
+//  * SpliceMemo — memoizes splice-position lookups per tag-list path
+//    (the FindSplicePos linear rescan becomes one hash build + O(1)
+//    probes);
+//  * ScanFetcher — element-scan reads through the shared
+//    ElementScanCache when configured, with a per-query two-slot
+//    fallback that covers the in-segment -> push reuse and self-join
+//    double fetches the one-entry fetch_cache used to miss.
+
+#ifndef LAZYXML_CORE_LAZY_JOIN_INTERNAL_H_
+#define LAZYXML_CORE_LAZY_JOIN_INTERNAL_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/element_index.h"
+#include "core/lazy_join.h"
+#include "core/scan_cache.h"
+#include "core/tag_list.h"
+#include "core/update_log.h"
+
+namespace lazyxml {
+namespace internal {
+
+/// A tag-list with every entry's SegmentNode* resolved up front.
+struct ResolvedEntries {
+  std::span<const TagListEntry> entries;
+  /// Parallel to `entries`.
+  std::vector<const SegmentNode*> nodes;
+};
+
+/// Batched sid -> SegmentNode* resolution (one SB-tree descent per
+/// distinct sid, shared by every loop round of the query).
+class SegmentResolver {
+ public:
+  /// Resolves every entry sid and every sid on every entry path.
+  Status ResolveList(const UpdateLog& log,
+                     std::span<const TagListEntry> entries,
+                     ResolvedEntries* out);
+
+  /// Previously resolved node, or nullptr.
+  const SegmentNode* Lookup(SegmentId sid) const {
+    auto it = map_.find(sid);
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::unordered_map<SegmentId, const SegmentNode*> map_;
+};
+
+/// Memoized splice-position lookup: for the path last queried, holds a
+/// hash from ancestor sid to the splice position of that ancestor's
+/// child on the path (paper Prop. 3's P value). One linear build per
+/// path, O(1) per probe — replaces a linear rescan per probe.
+class SpliceMemo {
+ public:
+  explicit SpliceMemo(const SegmentResolver* resolver)
+      : resolver_(resolver) {}
+
+  /// Splice position of `anc`'s child on `path`; false if `anc` is not
+  /// an inner node of the path.
+  bool Find(const std::vector<SegmentId>& path, SegmentId anc,
+            uint64_t* p_out);
+
+ private:
+  const SegmentResolver* resolver_;
+  const std::vector<SegmentId>* path_ = nullptr;  // memo key (identity)
+  std::unordered_map<SegmentId, uint64_t> pos_;
+};
+
+/// Element-scan reads for one partition run: shared cache first (when
+/// configured), then a two-slot per-query fallback (one slot per tag
+/// role), then the element index. Only index reads count into
+/// `stats->elements_fetched`; any cache hit counts into
+/// `stats->scan_cache_hits`.
+class ScanFetcher {
+ public:
+  ScanFetcher(const ElementIndex* index, ElementScanCache* cache,
+              uint64_t epoch)
+      : index_(index), cache_(cache), epoch_(epoch) {}
+
+  ElementScan Fetch(TagId tid, SegmentId sid, LazyJoinStats* stats);
+
+  /// The Fig. 9 push filter of `seg`'s scan (elements straddling at least
+  /// one child splice position), shared through the cache under
+  /// ScanKind::kStraddle — the filtered scan is a pure function of
+  /// (tid, sid) at a fixed epoch, so partitions seeding the same segment
+  /// compute it once instead of once each.
+  ElementScan FetchFiltered(TagId tid, const SegmentNode& seg,
+                            LazyJoinStats* stats);
+
+ private:
+  const ElementIndex* index_;
+  ElementScanCache* cache_;
+  uint64_t epoch_;
+  struct Slot {
+    TagId tid = 0;
+    SegmentId sid = 0;
+    ElementScan scan;
+  };
+  Slot slots_[2];
+};
+
+/// Everything a partition runner needs, prepared once per query.
+struct JoinContext {
+  const UpdateLog* log = nullptr;
+  const ElementIndex* index = nullptr;
+  TagId ancestor_tid = 0;
+  TagId descendant_tid = 0;
+  LazyJoinOptions options;
+  ElementScanCache* cache = nullptr;  ///< may be null
+  uint64_t cache_epoch = 0;
+  SegmentResolver resolver;
+  ResolvedEntries sl_a;
+  ResolvedEntries sl_d;
+};
+
+/// Validates log state (frozen, sorted) and batch-resolves both lists.
+/// `*empty` is set when either list is empty (join output is empty).
+Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
+                          TagId ancestor_tid, TagId descendant_tid,
+                          const LazyJoinOptions& options,
+                          ElementScanCache* cache, uint64_t cache_epoch,
+                          JoinContext* ctx, bool* empty);
+
+/// One partition of descendant rounds plus the kernel state at its start.
+struct PartitionSeed {
+  size_t d_begin = 0;  ///< first descendant round of the partition
+  size_t d_end = 0;    ///< one past the last round
+  size_t ia_begin = 0; ///< ancestor cursor at d_begin (serial-equivalent)
+  /// Indices into sl_a of ancestor segments whose stack entries are live
+  /// entering round d_begin, outermost (stack bottom) first. Empty at a
+  /// stack-reset point.
+  std::vector<size_t> live_stack;
+};
+
+/// Runs rounds [seed.d_begin, seed.d_end): reconstructs the seed stack,
+/// then executes the serial kernel. Appends pairs (in the serial,
+/// descendant-round-major order) and adds stats into `*out`.
+Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
+                        LazyJoinResult* out);
+
+/// Splits the descendant rounds into at most `max_parts` contiguous
+/// partitions of roughly equal round count, each with its
+/// serial-equivalent seed. Boundaries snap to nearby stack-reset points
+/// (provably empty seed stacks) when one falls close enough; otherwise
+/// the live stack is reconstructed from the linear geometry pre-pass.
+/// Returns a single whole-range partition when max_parts <= 1.
+std::vector<PartitionSeed> PartitionRounds(const JoinContext& ctx,
+                                           size_t max_parts);
+
+}  // namespace internal
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_LAZY_JOIN_INTERNAL_H_

@@ -1,0 +1,175 @@
+#include "core/parallel_join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/lazy_join_internal.h"
+
+namespace lazyxml {
+namespace internal {
+
+std::vector<PartitionSeed> PartitionRounds(const JoinContext& ctx,
+                                           size_t max_parts) {
+  const size_t n = ctx.sl_d.entries.size();
+  std::vector<PartitionSeed> seeds;
+  if (max_parts <= 1 || n <= 1) {
+    PartitionSeed whole;
+    whole.d_end = n;
+    seeds.push_back(std::move(whole));
+    return seeds;
+  }
+  const size_t parts = std::min(max_parts, n);
+
+  // Pass 1: mark stack-reset rounds — rounds the serial kernel enters
+  // with an empty stack. Segments nest or are disjoint, so the stack is
+  // empty exactly when sd->gp has passed the end of every consumed
+  // live-pushed A-segment; a running max of those ends decides it in one
+  // linear walk. Mirrors Step 2's skip rules (disjoint; childless under
+  // optimize_stack) — filter-emptiness is unknowable without fetching, so
+  // such segments count as live here, which only makes reset detection
+  // conservative and seeds at worst slightly larger (extra seeded entries
+  // with empty filtered scans emit nothing; see docs/PARALLELISM.md).
+  std::vector<uint8_t> is_reset(n, 0);
+  {
+    size_t ia = 0;
+    uint64_t max_live_end = 0;
+    for (size_t id = 0; id < n; ++id) {
+      const SegmentNode* sd = ctx.sl_d.nodes[id];
+      if (sd->gp >= max_live_end) is_reset[id] = 1;
+      while (ia < ctx.sl_a.nodes.size() && ctx.sl_a.nodes[ia]->gp < sd->gp) {
+        const SegmentNode* sa = ctx.sl_a.nodes[ia];
+        ++ia;
+        if (!sa->ContainsSegment(*sd)) continue;
+        if (ctx.options.optimize_stack && sa->children.empty()) continue;
+        max_live_end = std::max(max_live_end, sa->end());
+      }
+    }
+  }
+
+  // Boundaries: even splits, snapped to the nearest reset round within a
+  // quarter-chunk window (reset seeds are free — no reconstruction).
+  const size_t window = std::max<size_t>(1, (n / parts) / 4);
+  std::vector<size_t> bounds;
+  bounds.reserve(parts - 1);
+  for (size_t p = 1; p < parts; ++p) {
+    const size_t cand = p * n / parts;
+    const size_t floor_id = bounds.empty() ? 1 : bounds.back() + 1;
+    if (cand < floor_id || cand >= n) continue;
+    size_t chosen = cand;
+    const size_t lo = std::max(floor_id, cand > window ? cand - window : 1);
+    const size_t hi = std::min(n - 1, cand + window);
+    size_t best_dist = window + 1;
+    for (size_t id = lo; id <= hi; ++id) {
+      if (!is_reset[id]) continue;
+      const size_t dist = id > cand ? id - cand : cand - id;
+      if (dist < best_dist) {
+        best_dist = dist;
+        chosen = id;
+      }
+    }
+    bounds.push_back(chosen);
+  }
+
+  // Pass 2: replay the stack geometry once more, snapshotting (ia, live
+  // stack) at each boundary *after* that round's pops (the kernel state
+  // entering the round; its own re-pop is then a no-op).
+  struct Mark {
+    size_t round = 0;
+    size_t ia = 0;
+    std::vector<size_t> stack;  // SL_A indices, bottom first
+  };
+  std::vector<Mark> marks;
+  marks.reserve(bounds.size() + 1);
+  marks.push_back(Mark{});
+  {
+    size_t ia = 0;
+    std::vector<size_t> gstack;
+    size_t bi = 0;
+    for (size_t id = 0; id < n && bi < bounds.size(); ++id) {
+      const SegmentNode* sd = ctx.sl_d.nodes[id];
+      while (!gstack.empty() &&
+             sd->gp >= ctx.sl_a.nodes[gstack.back()]->end()) {
+        gstack.pop_back();
+      }
+      if (id == bounds[bi]) {
+        marks.push_back(Mark{id, ia, gstack});
+        ++bi;
+      }
+      while (ia < ctx.sl_a.nodes.size() && ctx.sl_a.nodes[ia]->gp < sd->gp) {
+        const SegmentNode* sa = ctx.sl_a.nodes[ia];
+        ++ia;
+        if (!sa->ContainsSegment(*sd)) continue;
+        if (ctx.options.optimize_stack && sa->children.empty()) continue;
+        gstack.push_back(ia - 1);
+      }
+    }
+  }
+
+  seeds.reserve(marks.size());
+  for (size_t i = 0; i < marks.size(); ++i) {
+    PartitionSeed seed;
+    seed.d_begin = marks[i].round;
+    seed.d_end = i + 1 < marks.size() ? marks[i + 1].round : n;
+    seed.ia_begin = marks[i].ia;
+    seed.live_stack = std::move(marks[i].stack);
+    seeds.push_back(std::move(seed));
+  }
+  return seeds;
+}
+
+}  // namespace internal
+
+Result<LazyJoinResult> ParallelLazyJoin(
+    const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
+    TagId descendant_tid, const ParallelJoinOptions& options,
+    ThreadPool* pool, ElementScanCache* cache, uint64_t cache_epoch) {
+  internal::JoinContext ctx;
+  bool empty = false;
+  LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
+      log, index, ancestor_tid, descendant_tid, options.join, cache,
+      cache_epoch, &ctx, &empty));
+  LazyJoinResult out;
+  if (empty) return out;
+
+  const size_t n = ctx.sl_d.entries.size();
+  size_t max_parts = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    const size_t by_threads = pool->num_threads() * options.tasks_per_thread;
+    const size_t by_rounds =
+        std::max<size_t>(1, n / std::max<size_t>(1, options.min_rounds_per_task));
+    max_parts = std::min(by_threads, by_rounds);
+  }
+  std::vector<internal::PartitionSeed> seeds =
+      internal::PartitionRounds(ctx, max_parts);
+
+  if (seeds.size() == 1) {
+    LAZYXML_RETURN_NOT_OK(internal::RunJoinPartition(ctx, seeds[0], &out));
+    return out;
+  }
+
+  std::vector<LazyJoinResult> locals(seeds.size());
+  std::vector<Status> statuses(seeds.size());
+  pool->ParallelFor(seeds.size(), [&](size_t i) {
+    statuses[i] = internal::RunJoinPartition(ctx, seeds[i], &locals[i]);
+  });
+  for (const Status& st : statuses) LAZYXML_RETURN_NOT_OK(st);
+
+  size_t total_pairs = 0;
+  for (const LazyJoinResult& r : locals) total_pairs += r.pairs.size();
+  out.pairs.reserve(total_pairs);
+  for (LazyJoinResult& r : locals) {
+    out.pairs.insert(out.pairs.end(),
+                     std::make_move_iterator(r.pairs.begin()),
+                     std::make_move_iterator(r.pairs.end()));
+    out.stats.cross_segment_pairs += r.stats.cross_segment_pairs;
+    out.stats.in_segment_pairs += r.stats.in_segment_pairs;
+    out.stats.segments_pushed += r.stats.segments_pushed;
+    out.stats.segments_skipped += r.stats.segments_skipped;
+    out.stats.elements_fetched += r.stats.elements_fetched;
+    out.stats.scan_cache_hits += r.stats.scan_cache_hits;
+  }
+  out.stats.partitions = seeds.size();
+  return out;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,69 @@
+// ParallelLazyJoin: the partitioned multi-threaded Lazy-Join executor.
+//
+// The descendant tag-list SL_D is split into contiguous round ranges in a
+// single linear geometry pre-pass (core/lazy_join_internal.h), each range
+// seeded with the exact kernel state a serial run would have entering its
+// first round: the ancestor cursor and the live ancestor stack, both pure
+// functions of the round index. Every partition then runs the unmodified
+// serial kernel into a private LazyJoinResult; buffers are concatenated
+// in partition (= document) order, so the output is byte-identical to the
+// serial LazyJoin — same pairs, same order. See docs/PARALLELISM.md for
+// the equivalence argument.
+//
+// Partition boundaries prefer *stack-reset points* (rounds where the
+// serial stack is provably empty, so the seed is trivially empty) when
+// one falls near the even split; otherwise the seed stack is
+// reconstructed, which costs each boundary at most one extra scan fetch
+// per live stack level (served by the shared ElementScanCache when
+// configured).
+
+#ifndef LAZYXML_CORE_PARALLEL_JOIN_H_
+#define LAZYXML_CORE_PARALLEL_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/element_index.h"
+#include "core/lazy_join.h"
+#include "core/scan_cache.h"
+#include "core/update_log.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// Facade-level query execution knobs (plumbed through LazyDatabase /
+/// DurableLazyDatabase into every join).
+struct QueryOptions {
+  /// Worker threads for join execution. 1 = serial (no pool);
+  /// 0 = ThreadPool::DefaultThreadCount().
+  size_t num_threads = 1;
+  /// Byte budget of the shared element-scan cache. 0 disables it.
+  size_t cache_bytes = 0;
+};
+
+/// Tuning for the partitioned executor.
+struct ParallelJoinOptions {
+  LazyJoinOptions join;
+  /// Target partitions per pool thread (over-decomposition so dynamic
+  /// claiming load-balances skewed partitions).
+  size_t tasks_per_thread = 4;
+  /// Never split below this many descendant rounds per partition.
+  size_t min_rounds_per_task = 8;
+};
+
+/// Joins `ancestor_tid` // `descendant_tid` like LazyJoin, executing
+/// partitions on `pool` (serial when pool is null or single-threaded) and
+/// reading element scans through `cache` when non-null (`cache_epoch` is
+/// the database mutation epoch the caller observed; see
+/// core/scan_cache.h). Output is byte-identical to the serial LazyJoin.
+Result<LazyJoinResult> ParallelLazyJoin(
+    const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
+    TagId descendant_tid, const ParallelJoinOptions& options = {},
+    ThreadPool* pool = nullptr, ElementScanCache* cache = nullptr,
+    uint64_t cache_epoch = 0);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_PARALLEL_JOIN_H_

@@ -1,0 +1,109 @@
+#include "core/scan_cache.h"
+
+namespace lazyxml {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ElementScanCache::ElementScanCache(ElementScanCacheOptions options)
+    : options_(options) {
+  const size_t n = RoundUpPow2(options_.shards == 0 ? 1 : options_.shards);
+  shard_mask_ = n - 1;
+  per_shard_budget_ = options_.capacity_bytes / n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ElementScan ElementScanCache::Get(TagId tid, SegmentId sid, uint64_t epoch,
+                                  ScanKind kind) {
+  const Key key{tid, sid, epoch, static_cast<uint32_t>(kind)};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> l(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Move to the front of the LRU ring.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->scan;
+}
+
+void ElementScanCache::Put(TagId tid, SegmentId sid, uint64_t epoch,
+                           ElementScan scan, ScanKind kind) {
+  if (scan == nullptr) return;
+  const size_t bytes = ElementScanBytes(*scan) + sizeof(Entry);
+  if (bytes > per_shard_budget_) return;  // would evict a whole shard
+  const Key key{tid, sid, epoch, static_cast<uint32_t>(kind)};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> l(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Racing fill of the same scan: keep the incumbent, refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  // Pressure starts at a high-water mark below the hard budget: testing
+  // against the budget itself would let the evict-one/admit-one cycle
+  // churn freely right at the boundary.
+  const size_t high_water =
+      per_shard_budget_ - per_shard_budget_ / kAdmissionSample;
+  if (shard.bytes + bytes > high_water &&
+      (shard.admission_tick++ % kAdmissionSample) != 0) {
+    // Admission sampling under eviction pressure: a cyclic scan over a
+    // working set larger than the budget would otherwise evict on every
+    // fill and hit on none (LRU's worst case — measurably slower than no
+    // cache at all). Admitting one candidate in kAdmissionSample keeps
+    // the churn bounded and leaves residents in place long enough to be
+    // re-hit on the next pass.
+    ++shard.admission_rejects;
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(scan), bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ElementScanCache::Invalidate() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    shard->invalidations += shard->lru.size();
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+ElementScanCacheStats ElementScanCache::Stats() const {
+  ElementScanCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.invalidations += shard->invalidations;
+    out.admission_rejects += shard->admission_rejects;
+    out.bytes_used += shard->bytes;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace lazyxml

@@ -1,0 +1,164 @@
+// ElementScanCache: a sharded, read-mostly LRU cache of element scans.
+//
+// Lazy-Join and the materialization paths repeatedly read the same
+// (tag, segment) element lists out of the element-index B+-tree — within
+// one query (an A-scan is fetched for the in-segment join and again for
+// the stack push; a self-join fetches the same list under both roles) and
+// across queries (twig evaluation issues one Lazy-Join per branch over
+// overlapping tags). This cache memoizes whole scans as immutable
+// shared_ptr vectors so concurrent queries share them without copying.
+//
+// Keying and invalidation: entries are keyed by (tag, sid,
+// mutation epoch). Every mutating facade operation bumps the database's
+// epoch, so entries recorded under an older epoch can never be returned
+// again — invalidation is O(1) and needs no enumeration of affected
+// tags. Stale entries age out of the LRU ring; writers that want the
+// memory back immediately (ConcurrentLazyDatabase does, on write-lock
+// acquisition) call Invalidate() to purge eagerly.
+//
+// Concurrency: the cache is sharded by key hash; each shard has its own
+// mutex, LRU list and byte budget, so concurrent readers on different
+// shards never contend. Returned scans are shared_ptr<const ...>:
+// eviction while a reader still holds the scan is safe.
+//
+// Scan-thrash resistance: a cyclic scan over a working set larger than
+// the budget is LRU's worst case — every fill evicts, no fill is ever
+// re-hit, and the churn makes the cache slower than no cache. Once a
+// shard is at budget, Put therefore admits only one candidate in
+// kAdmissionSample: residents survive long enough to be re-hit on the
+// next pass and the churn cost drops by the sampling factor.
+
+#ifndef LAZYXML_CORE_SCAN_CACHE_H_
+#define LAZYXML_CORE_SCAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_index.h"
+#include "core/segment.h"
+#include "xml/tag_dict.h"
+
+namespace lazyxml {
+
+/// An immutable, shareable element scan.
+using ElementScan = std::shared_ptr<const std::vector<LocalElement>>;
+
+/// Cache configuration.
+struct ElementScanCacheOptions {
+  /// Total byte budget across all shards (approximate; per-shard budgets
+  /// are capacity_bytes / shards).
+  size_t capacity_bytes = 8u << 20;
+  /// Number of independent shards (rounded up to a power of two, >= 1).
+  size_t shards = 8;
+};
+
+/// Point-in-time counters (monotonic except bytes/entries).
+struct ElementScanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;     ///< LRU byte-budget evictions
+  uint64_t invalidations = 0; ///< entries purged by Invalidate()
+  uint64_t admission_rejects = 0; ///< fills skipped under eviction pressure
+  size_t bytes_used = 0;
+  size_t entries = 0;
+};
+
+/// What a cached scan holds; part of the cache key.
+enum class ScanKind : uint32_t {
+  kRaw = 0,       ///< the element-index list as stored
+  kStraddle = 1,  ///< Fig. 9 push filter applied (child-splice straddlers)
+};
+
+/// The sharded scan cache.
+class ElementScanCache {
+ public:
+  /// Under eviction pressure, 1 out of this many fill candidates is
+  /// admitted (see Put).
+  static constexpr uint64_t kAdmissionSample = 8;
+
+  explicit ElementScanCache(ElementScanCacheOptions options = {});
+  ElementScanCache(const ElementScanCache&) = delete;
+  ElementScanCache& operator=(const ElementScanCache&) = delete;
+
+  /// The scan cached for (tid, sid) at `epoch`, or nullptr. Thread-safe.
+  ElementScan Get(TagId tid, SegmentId sid, uint64_t epoch,
+                  ScanKind kind = ScanKind::kRaw);
+
+  /// Caches `scan` for (tid, sid) at `epoch`, evicting LRU entries past
+  /// the shard budget. A scan larger than a whole shard budget is not
+  /// cached at all, and once a shard is at budget only one candidate in
+  /// kAdmissionSample is admitted (scan-thrash resistance). Thread-safe.
+  void Put(TagId tid, SegmentId sid, uint64_t epoch, ElementScan scan,
+           ScanKind kind = ScanKind::kRaw);
+
+  /// Drops every entry (all epochs). Readers holding scans are unaffected.
+  void Invalidate();
+
+  /// Aggregated counters over all shards.
+  ElementScanCacheStats Stats() const;
+
+  const ElementScanCacheOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    TagId tid = 0;
+    SegmentId sid = 0;
+    uint64_t epoch = 0;
+    uint32_t kind = 0;
+    bool operator==(const Key& o) const {
+      return tid == o.tid && sid == o.sid && epoch == o.epoch &&
+             kind == o.kind;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.sid * 0x9e3779b97f4a7c15ull;
+      h ^= (static_cast<uint64_t>(k.tid) << 32) ^ k.epoch;
+      h += static_cast<uint64_t>(k.kind) << 17;
+      h *= 0xff51afd7ed558ccdull;
+      return static_cast<size_t>(h ^ (h >> 33));
+    }
+  };
+  struct Entry {
+    Key key;
+    ElementScan scan;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    uint64_t admission_rejects = 0;
+    uint64_t admission_tick = 0;
+  };
+
+  Shard& ShardFor(const Key& k) {
+    return *shards_[KeyHash{}(k) & shard_mask_];
+  }
+
+  ElementScanCacheOptions options_;
+  size_t shard_mask_ = 0;
+  size_t per_shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Approximate heap footprint of one cached scan (for budget accounting).
+inline size_t ElementScanBytes(const std::vector<LocalElement>& scan) {
+  return sizeof(std::vector<LocalElement>) +
+         scan.capacity() * sizeof(LocalElement);
+}
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_CORE_SCAN_CACHE_H_

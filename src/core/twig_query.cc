@@ -154,8 +154,10 @@ class TwigEvaluator {
     if (!tid.ok()) return out;
     for (const TagListEntry& e :
          db_->update_log().tag_list().EntriesFor(tid.ValueOrDie())) {
-      for (const LocalElement& el :
-           db_->element_index().GetElements(tid.ValueOrDie(), e.sid())) {
+      // Through the shared scan cache: twig branches over overlapping
+      // tags re-read the same scans query after query.
+      ElementScan scan = db_->GetScan(tid.ValueOrDie(), e.sid());
+      for (const LocalElement& el : *scan) {
         out.insert(LazyElementRef{e.sid(), el.start});
       }
     }

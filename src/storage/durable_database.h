@@ -119,6 +119,12 @@ class DurableLazyDatabase : private UpdateCapture {
     return db_->MaterializeGlobalElements(tag);
   }
 
+  /// Reconfigures join threading + scan caching (core/parallel_join.h);
+  /// purely in-memory, nothing is journaled.
+  void SetQueryOptions(const QueryOptions& query) {
+    db_->SetQueryOptions(query);
+  }
+
   /// The wrapped in-memory database (queries, stats, invariants). Going
   /// around the facade for *updates* forfeits durability only if the
   /// capture hook is detached; it is attached for the facade's lifetime.

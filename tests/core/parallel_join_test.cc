@@ -1,0 +1,302 @@
+// ParallelLazyJoin property tests: the partitioned executor must emit
+// byte-identical output to the serial kernel — same pairs, same order —
+// for every thread count and cache configuration, across random
+// workloads, shapes, update sequences and both log modes.
+
+#include "core/parallel_join.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/lazy_database.h"
+#include "core/lazy_join.h"
+#include "core/scan_cache.h"
+#include "tests/testutil.h"
+#include "xml/parser.h"
+#include "xmlgen/join_workload.h"
+
+namespace lazyxml {
+namespace {
+
+struct EquivalenceReport {
+  uint64_t max_partitions = 1;  // largest split any combination produced
+};
+
+// Runs anc//desc serially and under {2,4,8} threads x {no cache, cache},
+// asserting pair-for-pair identical output. Partition boundaries are
+// forced aggressively (min_rounds_per_task = 1) so even small documents
+// split. elements_fetched is intentionally NOT compared: partition
+// boundaries legitimately re-fetch seed scans (docs/PARALLELISM.md).
+void ExpectParallelMatchesSerial(LazyDatabase* db, const std::string& anc,
+                                 const std::string& desc,
+                                 const LazyJoinOptions& jopts,
+                                 EquivalenceReport* report = nullptr) {
+  db->Freeze();
+  auto a = db->tag_dict().Lookup(anc);
+  auto d = db->tag_dict().Lookup(desc);
+  if (!a.ok() || !d.ok()) return;  // tag absent: nothing to compare
+  const UpdateLog& log = db->update_log();
+  const ElementIndex& index = db->element_index();
+
+  auto serial_r = LazyJoin(log, index, a.ValueOrDie(), d.ValueOrDie(), jopts);
+  ASSERT_TRUE(serial_r.ok()) << serial_r.status().ToString();
+  const LazyJoinResult& serial = serial_r.ValueOrDie();
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    for (bool with_cache : {false, true}) {
+      ThreadPool pool(threads);
+      ElementScanCacheOptions copts;
+      copts.capacity_bytes = 4u << 20;
+      ElementScanCache cache(copts);
+      ParallelJoinOptions popts;
+      popts.join = jopts;
+      popts.min_rounds_per_task = 1;
+      auto par_r = ParallelLazyJoin(log, index, a.ValueOrDie(),
+                                    d.ValueOrDie(), popts, &pool,
+                                    with_cache ? &cache : nullptr,
+                                    db->mutation_epoch());
+      ASSERT_TRUE(par_r.ok()) << par_r.status().ToString();
+      const LazyJoinResult& par = par_r.ValueOrDie();
+      ASSERT_EQ(par.pairs.size(), serial.pairs.size())
+          << anc << "//" << desc << " threads=" << threads
+          << " cache=" << with_cache;
+      for (size_t i = 0; i < serial.pairs.size(); ++i) {
+        ASSERT_TRUE(par.pairs[i] == serial.pairs[i])
+            << "pair #" << i << " differs, threads=" << threads
+            << " cache=" << with_cache;
+      }
+      EXPECT_EQ(par.stats.cross_segment_pairs,
+                serial.stats.cross_segment_pairs);
+      EXPECT_EQ(par.stats.in_segment_pairs, serial.stats.in_segment_pairs);
+      EXPECT_EQ(par.stats.segments_pushed, serial.stats.segments_pushed);
+      EXPECT_EQ(par.stats.segments_skipped, serial.stats.segments_skipped);
+      if (report != nullptr) {
+        report->max_partitions =
+            std::max(report->max_partitions, par.stats.partitions);
+      }
+    }
+  }
+}
+
+void BuildWorkload(LazyDatabase* db, std::string* shadow,
+                   const JoinWorkloadConfig& config) {
+  auto plan_r = BuildJoinWorkload(config);
+  ASSERT_TRUE(plan_r.ok()) << plan_r.status().ToString();
+  const auto& plan = plan_r.ValueOrDie();
+  ASSERT_TRUE(db->ApplyPlan(plan.insertions).ok());
+  *shadow = testutil::ApplyPlanToString(plan.insertions);
+}
+
+TEST(ParallelJoinTest, Fig12BalancedWorkloadIdenticalToSerial) {
+  LazyDatabase db;
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 40;
+  config.shape = ErTreeShape::kBalanced;
+  config.total_joins = 3000;
+  config.cross_fraction = 0.5;
+  config.num_a_elements = 6000;
+  config.num_d_elements = 6000;
+  BuildWorkload(&db, &shadow, config);
+
+  EquivalenceReport report;
+  ExpectParallelMatchesSerial(&db, "A", "D", {}, &report);
+  ExpectParallelMatchesSerial(&db, "A", "A", {}, &report);  // self-join
+  ExpectParallelMatchesSerial(&db, "seg", "D", {}, &report);
+  LazyJoinOptions pc;
+  pc.parent_child = true;
+  ExpectParallelMatchesSerial(&db, "A", "D", pc, &report);
+  LazyJoinOptions unopt;
+  unopt.optimize_stack = false;
+  ExpectParallelMatchesSerial(&db, "A", "D", unopt, &report);
+  // The point of the exercise: the executor actually split the work.
+  EXPECT_GT(report.max_partitions, 1u);
+
+  // Anchor the serial side against the text oracle too.
+  auto global = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+}
+
+TEST(ParallelJoinTest, NestedChainWorkloadIdenticalToSerial) {
+  // The nested shape keeps the top segment on the stack for the whole
+  // run — no stack-reset point exists, so every boundary exercises seed
+  // stack reconstruction.
+  LazyDatabase db;
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 24;
+  config.shape = ErTreeShape::kNested;
+  config.total_joins = 1500;
+  config.cross_fraction = 0.6;
+  config.num_a_elements = 4000;
+  config.num_d_elements = 4000;
+  BuildWorkload(&db, &shadow, config);
+
+  EquivalenceReport report;
+  ExpectParallelMatchesSerial(&db, "A", "D", {}, &report);
+  ExpectParallelMatchesSerial(&db, "seg", "D", {}, &report);
+  ExpectParallelMatchesSerial(&db, "seg", "seg", {}, &report);
+  EXPECT_GT(report.max_partitions, 1u);
+}
+
+TEST(ParallelJoinTest, RandomizedWorkloadsWithUpdatesAndFreezes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    Random rng(seed);
+    LazyDatabaseOptions opts;
+    opts.mode = rng.Bernoulli(0.5) ? LogMode::kLazyDynamic
+                                   : LogMode::kLazyStatic;
+    LazyDatabase db(opts);
+    std::string shadow;
+
+    JoinWorkloadConfig config;
+    config.num_segments = 3 + static_cast<uint32_t>(rng.Uniform(30));
+    config.shape =
+        rng.Bernoulli(0.5) ? ErTreeShape::kBalanced : ErTreeShape::kNested;
+    config.total_joins = 200 + rng.Uniform(1200);
+    config.cross_fraction = 0.1 + 0.8 * rng.NextDouble();
+    config.num_a_elements = 2 * config.total_joins + rng.Uniform(2000);
+    config.num_d_elements = 2 * config.total_joins + rng.Uniform(2000);
+    BuildWorkload(&db, &shadow, config);
+
+    // A few random whole-element removals (always splice-safe), with an
+    // interleaved freeze sometimes — seeds must be correct on logs whose
+    // frozen coordinates were reshaped by updates.
+    const int removals = static_cast<int>(rng.Uniform(4));
+    for (int r = 0; r < removals; ++r) {
+      TagDict dict;
+      auto parsed = ParseFragment(shadow, &dict);
+      ASSERT_TRUE(parsed.ok());
+      const auto& records = parsed.ValueOrDie().records;
+      if (records.empty()) break;
+      const ElementRecord& victim = records[rng.Uniform(records.size())];
+      ASSERT_TRUE(
+          db.RemoveSegment(victim.start, victim.end - victim.start).ok());
+      testutil::SpliceRemove(&shadow, victim.start,
+                             victim.end - victim.start);
+      if (rng.Bernoulli(0.3)) db.Freeze();
+    }
+
+    EquivalenceReport report;
+    ExpectParallelMatchesSerial(&db, "A", "D", {}, &report);
+    ExpectParallelMatchesSerial(&db, "A", "A", {}, &report);
+    LazyJoinOptions unopt;
+    unopt.optimize_stack = false;
+    ExpectParallelMatchesSerial(&db, "A", "D", unopt, &report);
+
+    // Serial side vs the text oracle keeps the whole chain honest.
+    auto global = db.JoinGlobal("A", "D");
+    ASSERT_TRUE(global.ok());
+    ASSERT_EQ(global.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+  }
+}
+
+TEST(ParallelJoinTest, FacadeRunsPartitionedWithSharedCache) {
+  LazyDatabaseOptions opts;
+  opts.query.num_threads = 4;
+  opts.query.cache_bytes = 1u << 20;
+  LazyDatabase db(opts);
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 48;  // enough SL_D rounds for the default splitter
+  config.total_joins = 4000;
+  config.cross_fraction = 0.5;
+  config.num_a_elements = 9000;
+  config.num_d_elements = 9000;
+  BuildWorkload(&db, &shadow, config);
+
+  auto first = db.JoinByName("A", "D");
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.ValueOrDie().stats.partitions, 1u);
+  // Same query again: the shared cache now serves the scans.
+  auto second = db.JoinByName("A", "D");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second.ValueOrDie().stats.scan_cache_hits, 0u);
+  EXPECT_LT(second.ValueOrDie().stats.elements_fetched,
+            first.ValueOrDie().stats.elements_fetched);
+  EXPECT_EQ(second.ValueOrDie().pairs.size(),
+            first.ValueOrDie().pairs.size());
+
+  auto global = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+}
+
+TEST(ParallelJoinTest, MutationEpochKeepsCachedScansCoherent) {
+  LazyDatabaseOptions opts;
+  opts.query.num_threads = 2;
+  opts.query.cache_bytes = 1u << 20;
+  LazyDatabase db(opts);
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 10;
+  config.total_joins = 500;
+  config.num_a_elements = 1500;
+  config.num_d_elements = 1500;
+  BuildWorkload(&db, &shadow, config);
+
+  auto before = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+
+  // Mutate: a fresh sub-document with one more cross join, inserted into
+  // the top segment. The epoch bump makes every cached scan unreachable.
+  const std::string extra = "<seg><A><D/></A></seg>";
+  const uint64_t at = shadow.find("</seg>");
+  ASSERT_TRUE(db.InsertSegment(extra, at).ok());
+  testutil::SpliceInsert(&shadow, extra, at);
+
+  auto after = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+  EXPECT_GT(after.ValueOrDie().size(), before.ValueOrDie().size());
+}
+
+TEST(ParallelJoinTest, SetQueryOptionsReconfigures) {
+  LazyDatabase db;
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 40;  // enough SL_D rounds for the default splitter
+  config.total_joins = 800;
+  config.num_a_elements = 2000;
+  config.num_d_elements = 2000;
+  BuildWorkload(&db, &shadow, config);
+
+  auto serial = db.JoinByName("A", "D");
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial.ValueOrDie().stats.partitions, 1u);
+
+  QueryOptions q;
+  q.num_threads = 4;
+  q.cache_bytes = 1u << 20;
+  db.SetQueryOptions(q);
+  auto parallel = db.JoinByName("A", "D");
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_GT(parallel.ValueOrDie().stats.partitions, 1u);
+  ASSERT_EQ(parallel.ValueOrDie().pairs.size(),
+            serial.ValueOrDie().pairs.size());
+  for (size_t i = 0; i < serial.ValueOrDie().pairs.size(); ++i) {
+    ASSERT_TRUE(parallel.ValueOrDie().pairs[i] ==
+                serial.ValueOrDie().pairs[i]);
+  }
+
+  q.num_threads = 1;
+  q.cache_bytes = 0;
+  db.SetQueryOptions(q);
+  auto back = db.JoinByName("A", "D");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie().stats.partitions, 1u);
+  // scan_cache_hits may still be non-zero: the per-query fetch slots
+  // (in-segment -> push reuse) count there even without the shared cache.
+  EXPECT_EQ(back.ValueOrDie().pairs.size(), serial.ValueOrDie().pairs.size());
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,157 @@
+#include "core/scan_cache.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace {
+
+ElementScan MakeScan(size_t count, uint64_t base = 0) {
+  auto v = std::make_shared<std::vector<LocalElement>>();
+  v->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    v->push_back(LocalElement{base + 2 * i, base + 2 * i + 1,
+                              static_cast<uint32_t>(i % 7)});
+  }
+  return v;
+}
+
+TEST(ScanCacheTest, MissThenHit) {
+  ElementScanCache cache;
+  EXPECT_EQ(cache.Get(/*tid=*/1, /*sid=*/2, /*epoch=*/0), nullptr);
+  ElementScan scan = MakeScan(10);
+  cache.Put(1, 2, 0, scan);
+  ElementScan hit = cache.Get(1, 2, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), scan.get());  // shared, not copied
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ScanCacheTest, DistinctKeysDoNotCollide) {
+  ElementScanCache cache;
+  cache.Put(1, 2, 0, MakeScan(3, 100));
+  cache.Put(2, 2, 0, MakeScan(4, 200));
+  cache.Put(1, 3, 0, MakeScan(5, 300));
+  EXPECT_EQ(cache.Get(1, 2, 0)->size(), 3u);
+  EXPECT_EQ(cache.Get(2, 2, 0)->size(), 4u);
+  EXPECT_EQ(cache.Get(1, 3, 0)->size(), 5u);
+}
+
+TEST(ScanCacheTest, EpochMismatchNeverHits) {
+  ElementScanCache cache;
+  cache.Put(1, 2, /*epoch=*/7, MakeScan(10));
+  EXPECT_EQ(cache.Get(1, 2, /*epoch=*/8), nullptr);
+  EXPECT_EQ(cache.Get(1, 2, /*epoch=*/6), nullptr);
+  EXPECT_NE(cache.Get(1, 2, /*epoch=*/7), nullptr);
+}
+
+TEST(ScanCacheTest, InvalidatePurgesEverything) {
+  ElementScanCache cache;
+  for (uint64_t sid = 0; sid < 16; ++sid) cache.Put(1, sid, 0, MakeScan(4));
+  cache.Invalidate();
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_used, 0u);
+  EXPECT_EQ(stats.invalidations, 16u);
+  EXPECT_EQ(cache.Get(1, 3, 0), nullptr);
+}
+
+TEST(ScanCacheTest, EvictsLeastRecentlyUsedUnderBudget) {
+  ElementScanCacheOptions opts;
+  opts.shards = 1;  // single shard: budget == capacity, LRU order global
+  opts.capacity_bytes = 8 * (ElementScanBytes(*MakeScan(100)) + 256);
+  ElementScanCache cache(opts);
+  for (uint64_t sid = 0; sid < 64; ++sid) cache.Put(1, sid, 0, MakeScan(100));
+  const auto stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.admission_rejects, 0u);  // pressure engaged sampling
+  EXPECT_LE(stats.bytes_used, opts.capacity_bytes);
+  EXPECT_GT(stats.entries, 0u);
+  // The very first insert is the LRU victim of the first over-budget admit.
+  EXPECT_EQ(cache.Get(1, 0, 0), nullptr);
+}
+
+TEST(ScanCacheTest, CyclicOverBudgetScanStillYieldsHits) {
+  // LRU's worst case: repeatedly cycling through a working set larger
+  // than the budget. Admission sampling must keep residents in place so
+  // later passes hit, instead of evicting on every fill and hitting never.
+  ElementScanCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = 8 * (ElementScanBytes(*MakeScan(100)) + 256);
+  ElementScanCache cache(opts);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (uint64_t sid = 0; sid < 64; ++sid) {
+      if (cache.Get(1, sid, 0) == nullptr) cache.Put(1, sid, 0, MakeScan(100));
+    }
+  }
+  const auto stats = cache.Stats();
+  EXPECT_GT(stats.hits, 0u);
+  // Churn stays bounded: the vast majority of over-budget fills are
+  // rejected, not admitted-then-evicted.
+  EXPECT_GT(stats.admission_rejects, stats.evictions);
+}
+
+TEST(ScanCacheTest, RecentUseProtectsFromEviction) {
+  ElementScanCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = 4 * (ElementScanBytes(*MakeScan(100)) + 256);
+  ElementScanCache cache(opts);
+  cache.Put(1, 0, 0, MakeScan(100));
+  for (uint64_t sid = 1; sid < 16; ++sid) {
+    ASSERT_NE(cache.Get(1, 0, 0), nullptr);  // keep sid 0 hot
+    cache.Put(1, sid, 0, MakeScan(100));
+  }
+  EXPECT_NE(cache.Get(1, 0, 0), nullptr);
+}
+
+TEST(ScanCacheTest, OversizedScanIsNotCached) {
+  ElementScanCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = 1024;
+  ElementScanCache cache(opts);
+  cache.Put(1, 2, 0, MakeScan(10000));  // far over the whole budget
+  EXPECT_EQ(cache.Get(1, 2, 0), nullptr);
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+}
+
+TEST(ScanCacheTest, RacingPutKeepsIncumbent) {
+  ElementScanCache cache;
+  ElementScan first = MakeScan(5, 100);
+  cache.Put(1, 2, 0, first);
+  cache.Put(1, 2, 0, MakeScan(5, 999));
+  EXPECT_EQ(cache.Get(1, 2, 0).get(), first.get());
+  EXPECT_EQ(cache.Stats().insertions, 1u);
+}
+
+TEST(ScanCacheTest, ConcurrentReadersAndWritersStaySound) {
+  ElementScanCacheOptions opts;
+  opts.capacity_bytes = 1 << 18;
+  ElementScanCache cache(opts);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &failed, t] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t sid = (t * 37 + i) % 64;
+        if (ElementScan hit = cache.Get(1, sid, 0)) {
+          // Scans are immutable: size encodes the key it was made for.
+          if (hit->size() != sid + 1) failed.store(true);
+        } else {
+          cache.Put(1, sid, 0, MakeScan(sid + 1));
+        }
+        if (i % 512 == 0 && t == 0) cache.Invalidate();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace lazyxml
