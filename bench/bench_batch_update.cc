@@ -1,0 +1,156 @@
+// Batched-ingestion benchmark: ApplyBatch vs per-op application across
+// batch size and WAL sync policy (EXPERIMENTS.md "Batched ingestion").
+//
+// Three amortizations are in play, and the sweep separates them:
+//  * core     — deferred element-index inserts (one sorted tree apply per
+//               batch instead of a descent per op), one epoch bump;
+//  * storage  — one buffered WAL write and ONE policy fsync per batch
+//               instead of one per record (the dominant term under
+//               kEveryRecord, where a singleton pays a full fdatasync);
+//  * fresh DB — a batch landing in an empty index takes the bottom-up
+//               bulk load instead of top-down inserts.
+//
+// BM_InMemoryIngest isolates the core-layer term on a bare LazyDatabase;
+// BM_DurableIngest runs the full durable path, where the sync-policy ×
+// batch-size product shows the headline kEveryRecord win.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "core/lazy_database.h"
+#include "core/update_batch.h"
+#include "storage/durable_database.h"
+
+namespace lazyxml {
+namespace {
+
+// One registration-form-sized segment (paper §1 scale).
+const char* kSegment =
+    "<person><name>New Person</name>"
+    "<emailaddress>new@example.net</emailaddress>"
+    "<phone>+1 (555) 0100000</phone>"
+    "<address><street>1 Lazy St</street><city>Baltimore</city>"
+    "<zipcode>21201</zipcode></address></person>";
+
+std::string FreshBenchDir(const std::string& name) {
+  const std::string dir = "/tmp/lazyxml_bench_batch_" + name;
+  LAZYXML_CHECK(CreateDirIfMissing(dir).ok());
+  auto names = ListDirectory(dir);
+  LAZYXML_CHECK(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    LAZYXML_CHECK(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+// `n` flat appends inside <doc>...</doc> starting from super-document
+// offset `at`: the steady-state ingest shape (new records arriving at the
+// tail), so every run exercises the insert-run coalescing.
+std::vector<UpdateOp> AppendOps(size_t n, uint64_t at) {
+  const uint64_t seg_len = std::string(kSegment).size();
+  std::vector<UpdateOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ops.push_back(UpdateOp::Insert(kSegment, at + i * seg_len));
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// Core layer only: no WAL, no locks. batch_size == 1 degenerates to the
+// sequential path (one descent + one epoch bump per op).
+
+void BM_InMemoryIngest(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kOpsPerIter = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    LazyDatabase db;
+    LAZYXML_CHECK(db.InsertSegment("<doc></doc>", 0).ok());
+    const std::vector<UpdateOp> ops = AppendOps(kOpsPerIter, 5);
+    state.ResumeTiming();
+    for (size_t at = 0; at < ops.size(); at += batch_size) {
+      const size_t len = std::min(batch_size, ops.size() - at);
+      auto r = db.ApplyBatch({ops.data() + at, len});
+      LAZYXML_CHECK(r.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+  state.SetLabel("batch=" + std::to_string(batch_size));
+}
+BENCHMARK(BM_InMemoryIngest)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Full durable path: the batch is journaled as one group commit (one
+// buffered write, one policy sync). batch_size == 1 is the singleton
+// baseline the ISSUE acceptance criterion compares against.
+
+void RunDurableIngest(benchmark::State& state, WalSyncPolicy policy) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const std::string dir = FreshBenchDir(std::string(WalSyncPolicyName(policy)) +
+                                        "_" + std::to_string(batch_size));
+  constexpr size_t kOpsPerIter = 256;
+  DurableOptions options;
+  options.wal.sync_policy = policy;
+  const std::vector<UpdateOp> ops = AppendOps(kOpsPerIter, 5);
+  uint64_t fsyncs = 0;
+  for (auto _ : state) {
+    // Fresh store per iteration: ingestion cost must not depend on how
+    // many timing iterations ran before (segment count, WAL size).
+    state.PauseTiming();
+    auto names = ListDirectory(dir);
+    LAZYXML_CHECK(names.ok());
+    for (const auto& n : names.ValueOrDie()) {
+      LAZYXML_CHECK(RemoveFileIfExists(dir + "/" + n).ok());
+    }
+    auto db = DurableLazyDatabase::Open(dir, options).ValueOrDie();
+    LAZYXML_CHECK(db->InsertSegment("<doc></doc>", 0).ok());
+    const uint64_t base_syncs = db->wal().syncs_performed();
+    state.ResumeTiming();
+    if (batch_size == 1) {
+      for (const UpdateOp& op : ops) {
+        LAZYXML_CHECK(db->InsertSegment(op.text, op.gp).ok());
+      }
+    } else {
+      for (size_t i = 0; i < ops.size(); i += batch_size) {
+        const size_t len = std::min(batch_size, ops.size() - i);
+        auto r = db->ApplyBatch({ops.data() + i, len});
+        LAZYXML_CHECK(r.ok());
+      }
+    }
+    fsyncs += db->wal().syncs_performed() - base_syncs;
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+  state.counters["fsyncs_per_iter"] = benchmark::Counter(
+      static_cast<double>(fsyncs),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::string(WalSyncPolicyName(policy)) +
+                 " batch=" + std::to_string(batch_size));
+}
+
+void BM_DurableIngestNever(benchmark::State& state) {
+  RunDurableIngest(state, WalSyncPolicy::kNever);
+}
+void BM_DurableIngestBatchBytes(benchmark::State& state) {
+  RunDurableIngest(state, WalSyncPolicy::kBatchBytes);
+}
+void BM_DurableIngestEveryRecord(benchmark::State& state) {
+  RunDurableIngest(state, WalSyncPolicy::kEveryRecord);
+}
+BENCHMARK(BM_DurableIngestNever)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_DurableIngestBatchBytes)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_DurableIngestEveryRecord)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

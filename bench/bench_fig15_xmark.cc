@@ -152,21 +152,22 @@ BENCHMARK(BM_Fig15_STDIDX)
 }  // namespace fig15
 }  // namespace lazyxml
 
-// Prints the Fig. 14 table before the timing runs.
+// Prints the Fig. 14 table before the timing runs (to stderr, so
+// --benchmark_format=json output on stdout stays machine-parseable).
 int main(int argc, char** argv) {
   const auto& f = lazyxml::fig15::GetFixture();
-  std::printf("Figure 14 — XMark queries (document: %zu bytes, %zu "
+  std::fprintf(stderr, "Figure 14 — XMark queries (document: %zu bytes, %zu "
               "segments):\n",
               f.document.size(), f.plan.insertions.size());
-  std::printf("%-6s %-22s %s\n", "Query", "XPath expression",
+  std::fprintf(stderr, "%-6s %-22s %s\n", "Query", "XPath expression",
               "Result cardinality");
   for (const auto& q : lazyxml::fig15::kQueries) {
     const size_t n =
         lazyxml::bench::RunStdIndexQuery(*f.traditional, q.anc, q.desc);
-    std::printf("%-6s %-22s %zu\n", q.id,
+    std::fprintf(stderr, "%-6s %-22s %zu\n", q.id,
                 (std::string(q.anc) + "//" + q.desc).c_str(), n);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -125,6 +125,18 @@ void BM_ScanCacheSizing(benchmark::State& state) {
     state.counters["c_evict"] = static_cast<double>(cs.evictions);
     state.counters["c_reject"] = static_cast<double>(cs.admission_rejects);
     state.counters["c_bytes"] = static_cast<double>(cs.bytes_used);
+    // Per-shard breakdown: heavy skew here means the key hash is
+    // funnelling hot tags into one shard's lock and LRU budget.
+    const auto per_shard = c->PerShardStats();
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+      const std::string p = "s" + std::to_string(i) + "_";
+      state.counters[p + "hits"] = static_cast<double>(per_shard[i].hits);
+      state.counters[p + "miss"] = static_cast<double>(per_shard[i].misses);
+      state.counters[p + "evict"] =
+          static_cast<double>(per_shard[i].evictions);
+      state.counters[p + "reject"] =
+          static_cast<double>(per_shard[i].admission_rejects);
+    }
   }
   state.SetLabel(state.range(1) == 0 ? "nocache" : "cache");
 }

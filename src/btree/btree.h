@@ -127,6 +127,32 @@ class BTree {
     return Status::OK();
   }
 
+  /// Inserts records sorted strictly ascending by key, descending once
+  /// per leaf *run* instead of once per key: consecutive records that land
+  /// in the same leaf are placed in one visit, and the descent only
+  /// restarts from the root when a split propagates all the way up. The
+  /// resulting tree holds exactly the records a sequential Insert loop
+  /// would (tree *shape* may differ — both shapes satisfy every
+  /// invariant). AlreadyExists on a duplicate key; records consumed
+  /// before the duplicate stay inserted, matching the sequential loop.
+  Status InsertSortedBatch(std::vector<std::pair<Key, Value>> sorted) {
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (!cmp_(sorted[i - 1].first, sorted[i].first)) {
+        return Status::InvalidArgument(
+            "InsertSortedBatch requires strictly ascending keys");
+      }
+    }
+    size_t i = 0;
+    while (i < sorted.size()) {
+      // Each call consumes at least one record or reports the duplicate,
+      // so the loop terminates.
+      InsertResult r = InsertBatchRec(root_.get(), sorted, &i, nullptr);
+      if (r.duplicate) return Status::AlreadyExists("duplicate key");
+      FinishInsert(std::move(r));
+    }
+    return Status::OK();
+  }
+
   /// Inserts or overwrites. Returns true iff a new record was created.
   bool InsertOrAssign(const Key& key, Value value) {
     InsertResult r = InsertRec(root_.get(), key, std::move(value),
@@ -398,6 +424,56 @@ class BTree {
       n->children.insert(n->children.begin() + ci + 1, std::move(child.right));
       if (n->children.size() > options_.internal_capacity) {
         SplitInternal(n, &out);
+      }
+    }
+    return out;
+  }
+
+  // Consumes the run of sorted[*i..] that belongs under `n` — keys below
+  // *hi (the subtree's exclusive upper bound; nullptr = unbounded).
+  // Returns when the run is exhausted, the next key falls outside the
+  // subtree, or a split propagates to the caller (the top-level loop then
+  // re-descends for the remainder). Consumes >= 1 record per call.
+  InsertResult InsertBatchRec(Node* n,
+                              std::vector<std::pair<Key, Value>>& sorted,
+                              size_t* i, const Key* hi) {
+    InsertResult out;
+    if (n->is_leaf) {
+      while (*i < sorted.size() &&
+             (hi == nullptr || cmp_(sorted[*i].first, *hi))) {
+        const Key& key = sorted[*i].first;
+        const size_t pos = LowerBoundIndex(n, key);
+        if (pos < n->keys.size() && !cmp_(key, n->keys[pos])) {
+          out.duplicate = true;
+          return out;
+        }
+        n->keys.insert(n->keys.begin() + pos, key);
+        n->values.insert(n->values.begin() + pos,
+                         std::move(sorted[*i].second));
+        ++*i;
+        ++size_;
+        if (n->keys.size() > options_.leaf_capacity) {
+          SplitLeaf(n, &out);
+          return out;
+        }
+      }
+      return out;
+    }
+    while (*i < sorted.size() &&
+           (hi == nullptr || cmp_(sorted[*i].first, *hi))) {
+      const size_t ci = ChildIndex(n, sorted[*i].first);
+      const Key* child_hi = ci < n->keys.size() ? &n->keys[ci] : hi;
+      InsertResult child =
+          InsertBatchRec(n->children[ci].get(), sorted, i, child_hi);
+      if (child.duplicate) return child;
+      if (child.split) {
+        n->keys.insert(n->keys.begin() + ci, std::move(child.separator));
+        n->children.insert(n->children.begin() + ci + 1,
+                           std::move(child.right));
+        if (n->children.size() > options_.internal_capacity) {
+          SplitInternal(n, &out);
+          return out;
+        }
       }
     }
     return out;

@@ -18,6 +18,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `reuse`'s allocation as the output buffer (cleared first).
+  /// Encode-into-member-buffer paths use this to stay allocation-free
+  /// across calls: TakeBuffer() the result back into the same string.
+  explicit ByteWriter(std::string reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);

@@ -30,6 +30,24 @@ size_t ThreadPool::DefaultThreadCount() {
   return hw == 0 ? 4 : hw;
 }
 
+namespace {
+std::atomic<ThreadPool*> g_shared_override{nullptr};
+}  // namespace
+
+ThreadPool* ThreadPool::Shared() {
+  if (ThreadPool* o = g_shared_override.load(std::memory_order_acquire)) {
+    return o;
+  }
+  // Leaked on purpose: joining workers from a static destructor races
+  // with other static teardown; the OS reclaims the threads at exit.
+  static ThreadPool* const shared = new ThreadPool(DefaultThreadCount());
+  return shared;
+}
+
+void ThreadPool::SetSharedForTesting(ThreadPool* pool) {
+  g_shared_override.store(pool, std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> fn) {
   const size_t i =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();

@@ -54,6 +54,20 @@ class ThreadPool {
   /// A good default worker count for this machine.
   static size_t DefaultThreadCount();
 
+  /// The process-wide shared pool (DefaultThreadCount workers), created
+  /// on first use and intentionally leaked — workers must not be join'd
+  /// during static destruction. All databases configured with
+  /// num_threads == 0 execute on this one pool, so a process with many
+  /// databases runs DefaultThreadCount workers total, not per database
+  /// (docs/PARALLELISM.md). Never destroyed; safe to call concurrently.
+  static ThreadPool* Shared();
+
+  /// Tests only: substitutes `pool` for the shared pool (nullptr
+  /// restores the real one). The caller keeps ownership and must
+  /// outlive every database using the override. Not thread-safe
+  /// against concurrent Shared() users mid-swap.
+  static void SetSharedForTesting(ThreadPool* pool);
+
  private:
   struct Worker {
     std::mutex mu;

@@ -60,6 +60,16 @@ class ConcurrentLazyDatabase {
     return r;
   }
 
+  /// Applies the whole batch under ONE writer-priority lock acquisition
+  /// (and one cache purge) — N singleton updates would pay the ticket
+  /// gate N times and drain readers between every op.
+  Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops) {
+    std::unique_lock lock(mu_);
+    auto r = db_.ApplyBatch(ops);
+    db_.InvalidateScanCache();
+    return r;
+  }
+
   Status CompactAll() {
     std::unique_lock lock(mu_);
     auto r = db_.CompactAll();

@@ -1,14 +1,46 @@
 #include "core/element_index.h"
 
+#include <algorithm>
+
 namespace lazyxml {
 
 Status ElementIndex::InsertRecords(SegmentId sid,
                                    std::span<const ElementRecord> records) {
+  if (records.empty()) return Status::OK();
+  // Parser output is in preorder (ascending start) but interleaves tags;
+  // one sort puts it in key order for the batched tree apply.
+  std::vector<std::pair<Key, Val>> sorted;
+  sorted.reserve(records.size());
   for (const ElementRecord& r : records) {
-    LAZYXML_RETURN_NOT_OK(
-        tree_.Insert(Key{r.tid, sid, r.start}, Val{r.end, r.level}));
+    sorted.emplace_back(Key{r.tid, sid, r.start}, Val{r.end, r.level});
   }
-  return Status::OK();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return tree_.InsertSortedBatch(std::move(sorted));
+}
+
+Status ElementIndex::InsertRecordsBatch(
+    std::span<const ElementIndexRecord> records) {
+  if (records.empty()) return Status::OK();
+  std::vector<std::pair<Key, Val>> sorted;
+  sorted.reserve(records.size());
+  for (const ElementIndexRecord& r : records) {
+    sorted.emplace_back(Key{r.tid, r.sid, r.start}, Val{r.end, r.level});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return tree_.InsertSortedBatch(std::move(sorted));
+}
+
+Status ElementIndex::BuildFrom(std::vector<ElementIndexRecord> records) {
+  std::vector<std::pair<Key, Val>> sorted;
+  sorted.reserve(records.size());
+  for (const ElementIndexRecord& r : records) {
+    sorted.emplace_back(Key{r.tid, r.sid, r.start}, Val{r.end, r.level});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return tree_.BuildFrom(std::move(sorted));
 }
 
 std::vector<LocalElement> ElementIndex::GetElements(TagId tid,

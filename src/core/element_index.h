@@ -57,7 +57,20 @@ class ElementIndex {
   explicit ElementIndex(BTreeOptions options = {}) : tree_(options) {}
 
   /// Indexes a parsed segment's records (local offsets, absolute levels).
+  /// Internally sorts into key order and applies one sorted-batch tree
+  /// insert (one descent per leaf run) instead of one descent per record.
   Status InsertRecords(SegmentId sid, std::span<const ElementRecord> records);
+
+  /// Indexes records spanning several segments/tags in one sorted-batch
+  /// tree apply — the flush path of LazyDatabase::ApplyBatch, which
+  /// defers the index work of a run of consecutive inserts. Holds exactly
+  /// the same records as per-segment InsertRecords calls would.
+  Status InsertRecordsBatch(std::span<const ElementIndexRecord> records);
+
+  /// Replaces the whole index with `records` via the bottom-up B+-tree
+  /// bulk load (fresh builds: snapshot restore, initial document load).
+  /// Records may arrive in any order; duplicates are InvalidArgument.
+  Status BuildFrom(std::vector<ElementIndexRecord> records);
 
   /// All (tid, sid) elements in ascending frozen start order.
   std::vector<LocalElement> GetElements(TagId tid, SegmentId sid) const;

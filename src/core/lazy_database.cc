@@ -36,13 +36,21 @@ LazyDatabase::LazyDatabase(LazyDatabaseOptions options)
 
 void LazyDatabase::SetQueryOptions(const QueryOptions& query) {
   options_.query = query;
-  const size_t threads =
-      query.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                             : query.num_threads;
-  if (threads <= 1) {
-    pool_.reset();
-  } else if (pool_ == nullptr || pool_->num_threads() != threads) {
-    pool_ = std::make_unique<ThreadPool>(threads);
+  if (query.num_threads == 0) {
+    // Auto: the process-wide shared pool, so N databases in one process
+    // share one set of workers instead of spawning N * hw_concurrency
+    // threads (docs/PARALLELISM.md).
+    owned_pool_.reset();
+    query_pool_ = ThreadPool::Shared();
+  } else if (query.num_threads == 1) {
+    owned_pool_.reset();
+    query_pool_ = nullptr;
+  } else {
+    if (owned_pool_ == nullptr ||
+        owned_pool_->num_threads() != query.num_threads) {
+      owned_pool_ = std::make_unique<ThreadPool>(query.num_threads);
+    }
+    query_pool_ = owned_pool_.get();
   }
   if (query.cache_bytes == 0) {
     scan_cache_.reset();
@@ -73,6 +81,18 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
   // Bumped up front: cached scans must not survive even a partially
   // applied mutation (spurious bumps on the failure paths are harmless).
   ++mutation_epoch_;
+  LAZYXML_ASSIGN_OR_RETURN(SegmentId sid,
+                           InsertSegmentImpl(text, gp, nullptr));
+  if (capture_ != nullptr) {
+    LAZYXML_RETURN_NOT_OK(capture_->OnInsertSegment(sid, text, gp));
+  }
+  LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
+  return sid;
+}
+
+Result<SegmentId> LazyDatabase::InsertSegmentImpl(
+    std::string_view text, uint64_t gp,
+    std::vector<ElementIndexRecord>* deferred) {
   // Parse first: a malformed segment must not touch any structure.
   ParseOptions popts;
   popts.require_single_root = true;
@@ -117,7 +137,17 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
     }
   }
 
-  LAZYXML_RETURN_NOT_OK(index_.InsertRecords(info.sid, parsed.records));
+  if (deferred == nullptr) {
+    LAZYXML_RETURN_NOT_OK(index_.InsertRecords(info.sid, parsed.records));
+  } else {
+    // ApplyBatch defers the index work of a run of consecutive inserts
+    // into one sorted-batch tree apply; nothing on this path reads the
+    // element index, so the deferral is unobservable.
+    for (const ElementRecord& r : parsed.records) {
+      deferred->push_back(
+          ElementIndexRecord{r.tid, info.sid, r.start, r.end, r.level});
+    }
+  }
 
   // Tag-list: one path entry per distinct tag, with occurrence counts
   // (paper §3.3: counts decide when a path dies on deletion).
@@ -127,15 +157,19 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
     LAZYXML_RETURN_NOT_OK(
         log_.tag_list().AddEntry(tid, info.path, count, log_));
   }
-  if (capture_ != nullptr) {
-    LAZYXML_RETURN_NOT_OK(capture_->OnInsertSegment(info.sid, text, gp));
-  }
-  LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
   return info.sid;
 }
 
 Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
   ++mutation_epoch_;
+  LAZYXML_RETURN_NOT_OK(RemoveSegmentImpl(gp, length));
+  if (capture_ != nullptr) {
+    LAZYXML_RETURN_NOT_OK(capture_->OnRemoveRange(gp, length));
+  }
+  return ParanoidCheck(*this);
+}
+
+Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::RemovalEffects effects,
                            log_.CollectRemovalEffects(gp, length));
   // Element index first (it needs the pre-removal frozen intervals), then
@@ -159,22 +193,149 @@ Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
           log_.tag_list().RemoveOccurrences(tid, full.sid, count, log_));
     }
   }
-  LAZYXML_RETURN_NOT_OK(log_.ApplyRemoval(effects));
+  return log_.ApplyRemoval(effects);
+}
+
+Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
+  BatchStats stats;
+  stats.ops = ops.size();
+  stats.sids.assign(ops.size(), 0);
+  if (ops.empty()) return stats;
+  ++mutation_epoch_;
   if (capture_ != nullptr) {
-    LAZYXML_RETURN_NOT_OK(capture_->OnRemoveRange(gp, length));
+    LAZYXML_RETURN_NOT_OK(capture_->OnBatchBegin(ops.size()));
   }
-  return ParanoidCheck(*this);
+
+  // Plan cancellations: an insert immediately followed by a remove of
+  // exactly the inserted range is a no-op on the final state, so the
+  // structural work can be skipped. Eligibility is simulated against
+  // the running super-document length; once an op would fail a bounds
+  // check the batch will stop there anyway, so planning ends too.
+  std::vector<bool> cancelled(ops.size(), false);
+  {
+    uint64_t len = log_.super_document_length();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const UpdateOp& op = ops[i];
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        if (op.gp > len) break;  // sequential apply fails here
+        if (i + 1 < ops.size() && !op.text.empty()) {
+          const UpdateOp& next = ops[i + 1];
+          if (next.kind == UpdateOp::Kind::kRemove && next.gp == op.gp &&
+              next.length == op.text.size()) {
+            // The removal range is exactly the new segment's characters
+            // (existing content at >= gp shifted past it), so the pair
+            // cancels without touching any neighbour.
+            cancelled[i] = cancelled[i + 1] = true;
+            ++i;  // skip the remove; len is net unchanged
+            continue;
+          }
+        }
+        len += op.text.size();
+      } else {
+        if (op.gp + op.length > len) break;  // sequential apply fails here
+        len -= op.length;
+      }
+    }
+  }
+
+  // Index records deferred across a run of consecutive (non-cancelled)
+  // inserts, flushed in one sorted-batch apply before anything that
+  // reads the index (a removal) and at batch end. A fresh database gets
+  // the bottom-up bulk load instead.
+  std::vector<ElementIndexRecord> pending;
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    ++stats.index_flushes;
+    stats.index_records += pending.size();
+    if (index_.size() == 0) {
+      Status s = index_.BuildFrom(std::move(pending));
+      pending = std::vector<ElementIndexRecord>();
+      return s;
+    }
+    Status s = index_.InsertRecordsBatch(pending);
+    pending.clear();
+    return s;
+  };
+
+  Status op_status;
+  size_t i = 0;
+  for (; i < ops.size(); ++i) {
+    const UpdateOp& op = ops[i];
+    if (cancelled[i]) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        // The pair's net structural effect is zero, but the sequential
+        // hidden effects must still happen: the parse surfaces the same
+        // error and interns the segment's tags, the sid the insert
+        // would take is burned (later sids must match sequential
+        // application exactly), and both ops are captured so WAL replay
+        // — which knows nothing of batching — reproduces the state.
+        ParseOptions popts;
+        popts.require_single_root = true;
+        auto parsed = ParseFragment(op.text, &dict_, popts);
+        if (!parsed.ok()) {
+          op_status = parsed.status().WithContext("inserting segment");
+          break;
+        }
+        const SegmentId sid = log_.AllocateSid();
+        stats.sids[i] = sid;
+        if (capture_ != nullptr) {
+          op_status = capture_->OnInsertSegment(sid, op.text, op.gp);
+        }
+      } else {
+        ++stats.cancelled_pairs;
+        if (capture_ != nullptr) {
+          op_status = capture_->OnRemoveRange(op.gp, op.length);
+        }
+      }
+      if (!op_status.ok()) break;
+      ++stats.applied;
+      continue;
+    }
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      auto r = InsertSegmentImpl(op.text, op.gp, &pending);
+      if (!r.ok()) {
+        op_status = r.status();
+        break;
+      }
+      stats.sids[i] = r.ValueOrDie();
+      if (capture_ != nullptr) {
+        op_status = capture_->OnInsertSegment(stats.sids[i], op.text, op.gp);
+      }
+    } else {
+      // Removals read the element index; the deferred run must land first.
+      op_status = flush();
+      if (!op_status.ok()) break;
+      op_status = RemoveSegmentImpl(op.gp, op.length);
+      if (op_status.ok() && capture_ != nullptr) {
+        op_status = capture_->OnRemoveRange(op.gp, op.length);
+      }
+    }
+    if (!op_status.ok()) break;
+    ++stats.applied;
+  }
+
+  // Even on an op error the applied prefix must be complete (flush) and
+  // the capture must be closed (the durability layer flushes its
+  // buffered records — prefix durability). The op error wins.
+  Status flush_status = flush();
+  Status end_status =
+      capture_ != nullptr ? capture_->OnBatchEnd() : Status::OK();
+  if (!op_status.ok()) {
+    return op_status.WithContext(StringPrintf("applying batch step %zu", i));
+  }
+  LAZYXML_RETURN_NOT_OK(flush_status);
+  LAZYXML_RETURN_NOT_OK(end_status);
+  LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
+  return stats;
 }
 
 Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
-  for (size_t i = 0; i < plan.size(); ++i) {
-    auto r = InsertSegment(plan[i].text, plan[i].gp);
-    if (!r.ok()) {
-      return r.status().WithContext(
-          StringPrintf("applying plan step %zu", i));
-    }
+  std::vector<UpdateOp> ops;
+  ops.reserve(plan.size());
+  for (const SegmentInsertion& s : plan) {
+    ops.push_back(UpdateOp::Insert(s.text, s.gp));
   }
-  return Status::OK();
+  return ApplyBatch(ops).status();
 }
 
 Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
@@ -286,7 +447,7 @@ Result<LazyJoinResult> LazyDatabase::JoinByName(
   ParallelJoinOptions popts;
   popts.join = options;
   return ParallelLazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), popts,
-                          pool_.get(), scan_cache_.get(), mutation_epoch_);
+                          query_pool_, scan_cache_.get(), mutation_epoch_);
 }
 
 Result<JoinPair> LazyDatabase::ToGlobalPair(const LazyJoinPair& pair) const {

@@ -26,6 +26,7 @@
 #include "core/lazy_join.h"
 #include "core/parallel_join.h"
 #include "core/scan_cache.h"
+#include "core/update_batch.h"
 #include "core/update_capture.h"
 #include "core/update_log.h"
 #include "join/global_element.h"
@@ -75,7 +76,22 @@ class LazyDatabase {
   /// long as no element is split.
   Status RemoveSegment(uint64_t gp, uint64_t length);
 
-  /// Applies a whole insertion plan (generator / chopper output).
+  /// Applies `ops` in order with exactly the observable effect of the
+  /// equivalent InsertSegment/RemoveSegment calls — same sids, same
+  /// frozen coordinates, same serialized snapshot, same first error —
+  /// while amortizing per-op costs: the scan-cache epoch is bumped once,
+  /// element-index inserts of consecutive insertions are deferred into
+  /// one sorted-batch tree apply (bulk load when the index is empty),
+  /// immediately-adjacent insert/remove pairs that exactly cancel are
+  /// short-circuited (their sid is still burned and both ops are still
+  /// captured, so WAL replay stays sid-exact), and the update capture is
+  /// told the batch boundaries so the durability layer can write one
+  /// WAL batch + one sync. On an op failure the preceding ops remain
+  /// fully applied (prefix semantics, like a sequential loop).
+  Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops);
+
+  /// Applies a whole insertion plan (generator / chopper output) through
+  /// the batched path — one pure-insert ApplyBatch.
   Status ApplyPlan(std::span<const SegmentInsertion> plan);
 
   // -- Maintenance (paper §1 "maintenance hours", §5.3 collapse) -------------
@@ -182,13 +198,27 @@ class LazyDatabase {
   Status CheckInvariants() const;
 
  private:
+  /// InsertSegment minus the epoch bump / capture / paranoid check
+  /// (ApplyBatch performs those per batch). When `deferred` is non-null
+  /// the element-index records are appended there instead of applied —
+  /// legal because nothing on the insert path reads the element index,
+  /// so a run of inserts can flush once via InsertRecordsBatch.
+  Result<SegmentId> InsertSegmentImpl(std::string_view text, uint64_t gp,
+                                      std::vector<ElementIndexRecord>* deferred);
+
+  /// RemoveSegment minus the epoch bump / capture / paranoid check.
+  Status RemoveSegmentImpl(uint64_t gp, uint64_t length);
+
   LazyDatabaseOptions options_;
   UpdateLog log_;
   ElementIndex index_;
   TagDict dict_;
   UpdateCapture* capture_ = nullptr;
   uint64_t mutation_epoch_ = 0;
-  std::unique_ptr<ThreadPool> pool_;            // null when num_threads <= 1
+  /// Pool joins run on: ThreadPool::Shared() when num_threads == 0,
+  /// `owned_pool_` for an explicit count > 1, null (serial) for 1.
+  ThreadPool* query_pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<ElementScanCache> scan_cache_;  // null when cache_bytes == 0
 };
 

@@ -106,4 +106,23 @@ ElementScanCacheStats ElementScanCache::Stats() const {
   return out;
 }
 
+std::vector<ElementScanCacheStats> ElementScanCache::PerShardStats() const {
+  std::vector<ElementScanCacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    ElementScanCacheStats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.insertions = shard->insertions;
+    s.evictions = shard->evictions;
+    s.invalidations = shard->invalidations;
+    s.admission_rejects = shard->admission_rejects;
+    s.bytes_used = shard->bytes;
+    s.entries = shard->lru.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
 }  // namespace lazyxml

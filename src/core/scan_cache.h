@@ -102,6 +102,15 @@ class ElementScanCache {
   /// Aggregated counters over all shards.
   ElementScanCacheStats Stats() const;
 
+  /// Number of shards (options().shards rounded up to a power of two).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Counters of each shard individually, in shard order. Skew across
+  /// shards (one hot shard taking most hits/evictions) means the key
+  /// hash is funneling contention onto one mutex — bench_parallel_join
+  /// surfaces these per shard to make that visible.
+  std::vector<ElementScanCacheStats> PerShardStats() const;
+
   const ElementScanCacheOptions& options() const { return options_; }
 
  private:

@@ -142,6 +142,11 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
 
   LAZYXML_ASSIGN_OR_RETURN(uint64_t root_len, r.GetU64());
   log.RestoreRootLength(root_len);
+  // Element records are collected across ALL segments and applied with
+  // one bottom-up bulk load at the end — a restore fills a fresh index,
+  // so there is nothing to merge with and the per-segment insert path
+  // (descent per leaf run, node splits) is pure overhead.
+  std::vector<ElementIndexRecord> all_records;
   LAZYXML_ASSIGN_OR_RETURN(uint64_t num_segments, r.GetU64());
   for (uint64_t s = 0; s < num_segments; ++s) {
     LAZYXML_ASSIGN_OR_RETURN(uint64_t sid, r.GetU64());
@@ -187,23 +192,22 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
       if (num_elems > r.remaining() / 20) {
         return Status::Corruption("element count exceeds snapshot size");
       }
-      std::vector<ElementRecord> records;
-      records.reserve(num_elems);
       for (uint64_t i = 0; i < num_elems; ++i) {
-        ElementRecord rec;
+        ElementIndexRecord rec;
         rec.tid = tid;
+        rec.sid = sid;
         LAZYXML_ASSIGN_OR_RETURN(rec.start, r.GetU64());
         LAZYXML_ASSIGN_OR_RETURN(rec.end, r.GetU64());
         LAZYXML_ASSIGN_OR_RETURN(rec.level, r.GetU32());
         if (rec.start >= rec.end) {
           return Status::Corruption("bad element interval");
         }
-        records.push_back(rec);
+        all_records.push_back(rec);
       }
-      LAZYXML_RETURN_NOT_OK(
-          db->mutable_element_index().InsertRecords(sid, records));
     }
   }
+  LAZYXML_RETURN_NOT_OK(
+      db->mutable_element_index().BuildFrom(std::move(all_records)));
 
   LAZYXML_ASSIGN_OR_RETURN(uint64_t num_entries, r.GetU64());
   for (uint64_t i = 0; i < num_entries; ++i) {

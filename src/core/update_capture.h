@@ -41,6 +41,20 @@ class UpdateCapture {
 
   /// Subtree `old_sid` was collapsed into fresh segment `new_sid`.
   virtual Status OnCollapseSubtree(SegmentId old_sid, SegmentId new_sid) = 0;
+
+  /// ApplyBatch is starting a batch of `size` primitive operations. The
+  /// per-op callbacks that follow — up to the matching OnBatchEnd — may
+  /// be buffered and made durable together: the batch is prefix-durable,
+  /// so a crash inside it loses a suffix of ops, never a middle one.
+  virtual Status OnBatchBegin(size_t size) {
+    (void)size;
+    return Status::OK();
+  }
+
+  /// The batch is over (also called when the batch stopped early on an
+  /// op error, covering the successfully applied prefix). Buffered
+  /// records must be flushed before returning OK.
+  virtual Status OnBatchEnd() { return Status::OK(); }
 };
 
 }  // namespace lazyxml

@@ -127,6 +127,13 @@ class UpdateLog : public SegmentGpResolver {
   /// the current value (that could re-issue a live sid).
   Status RestoreNextSid(SegmentId next_sid);
 
+  /// Consumes and returns the next sid without creating a segment.
+  /// ApplyBatch uses this for a cancelled insert/remove pair: the
+  /// structural work is skipped, but the sid the insert would have
+  /// taken must still be burned so every later insert in the batch
+  /// receives the exact sid the sequential application would assign.
+  SegmentId AllocateSid() { return next_sid_++; }
+
   /// Replaces segment `sid`'s whole subtree with one fresh leaf segment
   /// covering the same global range (no children, no gaps) — the
   /// structural half of collapsing nested segments (paper §5.3: "nested

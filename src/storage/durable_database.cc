@@ -52,6 +52,7 @@ DurableLazyDatabase::DurableLazyDatabase(std::string dir,
       options_(options),
       db_(std::move(db)),
       wal_(std::move(wal)),
+      commit_queue_(wal_.get()),
       recovery_stats_(recovery_stats) {
   db_->set_update_capture(this);
 }
@@ -106,19 +107,46 @@ Status DurableLazyDatabase::Checkpoint() {
   return SyncDirectory(dir_);
 }
 
+Status DurableLazyDatabase::Emit(LogRecord record) {
+  if (batching_) {
+    // Inside an ApplyBatch: defer to the OnBatchEnd group commit so the
+    // whole batch pays one buffered write + one policy sync.
+    pending_.push_back(std::move(record));
+    return Status::OK();
+  }
+  return wal_->Append(record);
+}
+
 Status DurableLazyDatabase::OnInsertSegment(SegmentId sid,
                                             std::string_view text,
                                             uint64_t gp) {
-  return wal_->Append(LogRecord::InsertSegment(sid, text, gp));
+  return Emit(LogRecord::InsertSegment(sid, text, gp));
 }
 
 Status DurableLazyDatabase::OnRemoveRange(uint64_t gp, uint64_t length) {
-  return wal_->Append(LogRecord::RemoveRange(gp, length));
+  return Emit(LogRecord::RemoveRange(gp, length));
 }
 
 Status DurableLazyDatabase::OnCollapseSubtree(SegmentId old_sid,
                                               SegmentId new_sid) {
-  return wal_->Append(LogRecord::CollapseSubtree(old_sid, new_sid));
+  return Emit(LogRecord::CollapseSubtree(old_sid, new_sid));
+}
+
+Status DurableLazyDatabase::OnBatchBegin(size_t size) {
+  batching_ = true;
+  pending_.clear();
+  pending_.reserve(size);
+  return Status::OK();
+}
+
+Status DurableLazyDatabase::OnBatchEnd() {
+  batching_ = false;
+  if (pending_.empty()) return Status::OK();
+  // Also called on the error path of ApplyBatch: the records of the
+  // applied prefix are flushed so disk state matches memory state.
+  Status s = commit_queue_.Commit(std::move(pending_));
+  pending_ = std::vector<LogRecord>();
+  return s;
 }
 
 }  // namespace lazyxml

@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "core/lazy_database.h"
 #include "core/update_capture.h"
+#include "storage/group_commit.h"
 #include "storage/recovery.h"
 #include "storage/salvage.h"
 #include "storage/wal_writer.h"
@@ -74,6 +75,18 @@ class DurableLazyDatabase : private UpdateCapture {
   }
   Status ApplyPlan(std::span<const SegmentInsertion> plan) {
     return db_->ApplyPlan(plan);
+  }
+
+  /// Batched ingestion: the in-memory apply runs through
+  /// LazyDatabase::ApplyBatch, and the captured records are buffered
+  /// between the OnBatchBegin/OnBatchEnd hooks and committed as ONE
+  /// WAL batch — one buffered write, one policy sync (kEveryRecord pays
+  /// one fdatasync per batch instead of per op). A crash mid-commit
+  /// tears at most the frame tail; recovery truncates to the last whole
+  /// frame and replays a strict prefix of the batch (prefix durability,
+  /// docs/WAL_FORMAT.md).
+  Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops) {
+    return db_->ApplyBatch(ops);
   }
   Result<SegmentId> CollapseSubtree(SegmentId sid) {
     return db_->CollapseSubtree(sid);
@@ -141,6 +154,14 @@ class DurableLazyDatabase : private UpdateCapture {
   /// The live WAL writer (introspection: segment index, record counts).
   const WalWriter& wal() const { return *wal_; }
 
+  /// The group-commit queue draining into the WAL. ApplyBatch flushes
+  /// its buffered records through it; callers that serialize the
+  /// in-memory apply externally but let WAL commits overlap can Commit
+  /// concurrently and share one fsync per group (kEveryRecord). Records
+  /// committed here must come from the capture stream — arbitrary
+  /// records would diverge replay from the in-memory state.
+  GroupCommitQueue& commit_queue() { return commit_queue_; }
+
   /// The database directory this handle was opened on.
   const std::string& dir() const { return dir_; }
 
@@ -153,16 +174,26 @@ class DurableLazyDatabase : private UpdateCapture {
                       std::unique_ptr<WalWriter> wal,
                       RecoveryStats recovery_stats);
 
-  // UpdateCapture: one WAL record per captured primitive.
+  // UpdateCapture: one WAL record per captured primitive. Between
+  // OnBatchBegin and OnBatchEnd records are buffered and committed as
+  // one group; outside a batch each record is appended (and synced, per
+  // policy) individually, as before.
   Status OnInsertSegment(SegmentId sid, std::string_view text,
                          uint64_t gp) override;
   Status OnRemoveRange(uint64_t gp, uint64_t length) override;
   Status OnCollapseSubtree(SegmentId old_sid, SegmentId new_sid) override;
+  Status OnBatchBegin(size_t size) override;
+  Status OnBatchEnd() override;
+
+  Status Emit(LogRecord record);
 
   std::string dir_;
   DurableOptions options_;
   std::unique_ptr<LazyDatabase> db_;
   std::unique_ptr<WalWriter> wal_;
+  GroupCommitQueue commit_queue_;
+  bool batching_ = false;
+  std::vector<LogRecord> pending_;
   RecoveryStats recovery_stats_;
   DamageReport damage_report_;
 };

@@ -1,0 +1,63 @@
+#include "storage/group_commit.h"
+
+namespace lazyxml {
+
+Status GroupCommitQueue::Commit(std::vector<LogRecord> records) {
+  if (records.empty()) return Status::OK();
+  Request req;
+  req.records = std::move(records);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&req);
+  // Followers wait for their own completion OR for the chance to lead:
+  // the previous leader may finish a flush that did not include us.
+  cv_.wait(lock, [&] { return req.done || (!leader_active_ && queue_.front() == &req); });
+  if (req.done) return req.status;
+
+  // Lead: keep draining until the queue is empty so late arrivals ride
+  // the next group instead of each paying their own flush.
+  leader_active_ = true;
+  while (!queue_.empty()) {
+    std::vector<Request*> group(queue_.begin(), queue_.end());
+    queue_.clear();
+    lock.unlock();
+
+    std::vector<const LogRecord*> flat;
+    size_t total = 0;
+    for (Request* r : group) total += r->records.size();
+    flat.reserve(total);
+    for (Request* r : group) {
+      for (const LogRecord& rec : r->records) flat.push_back(&rec);
+    }
+    // One buffered write + one policy sync for the whole group.
+    const Status flush = writer_->AppendBatch(
+        std::span<const LogRecord* const>(flat.data(), flat.size()));
+
+    lock.lock();
+    ++groups_;
+    requests_ += group.size();
+    for (Request* r : group) {
+      // A flush failure fails every request in the group: none of their
+      // records are known durable, and retrying piecemeal could reorder.
+      r->status = flush;
+      r->done = true;
+    }
+    cv_.notify_all();
+  }
+  leader_active_ = false;
+  // Wake a queued request (if any raced in) so it can take over leading.
+  cv_.notify_all();
+  return req.status;
+}
+
+uint64_t GroupCommitQueue::groups_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_;
+}
+
+uint64_t GroupCommitQueue::requests_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+}  // namespace lazyxml

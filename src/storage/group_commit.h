@@ -1,0 +1,70 @@
+// GroupCommitQueue: leader/follower fsync sharing for concurrent WAL
+// writers. Each committer hands its records to the queue; the first
+// thread to arrive while the writer is free becomes the leader, drains
+// every queued request in FIFO order, flushes them through
+// WalWriter::AppendBatch (one buffered write + one policy sync for the
+// whole group), and wakes the followers with their individual statuses.
+// Under kEveryRecord this turns N concurrent commits into ~1 fdatasync
+// instead of N, without weakening the durability contract: a commit
+// only returns OK after the sync covering its records has completed.
+//
+// Ordering: requests are flushed in arrival order, and all records of
+// one request are contiguous in the WAL, so per-thread record order is
+// preserved and recovery replays a serial interleaving of the commits.
+
+#ifndef LAZYXML_STORAGE_GROUP_COMMIT_H_
+#define LAZYXML_STORAGE_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/log_record.h"
+#include "storage/wal_writer.h"
+
+namespace lazyxml {
+
+class GroupCommitQueue {
+ public:
+  /// `writer` must outlive the queue. The queue serializes ALL access to
+  /// the writer made through Commit(); callers must not append to the
+  /// writer directly while commits are in flight.
+  explicit GroupCommitQueue(WalWriter* writer) : writer_(writer) {}
+
+  GroupCommitQueue(const GroupCommitQueue&) = delete;
+  GroupCommitQueue& operator=(const GroupCommitQueue&) = delete;
+
+  /// Appends `records` to the WAL as one contiguous batch and applies
+  /// the writer's sync policy. Blocks until the covering flush has
+  /// completed (possibly performed by another thread acting as leader).
+  /// An empty vector returns OK without touching the writer.
+  Status Commit(std::vector<LogRecord> records);
+
+  /// Leader flushes performed (each covers >= 1 request).
+  uint64_t groups_committed() const;
+
+  /// Requests committed across all groups.
+  uint64_t requests_committed() const;
+
+ private:
+  struct Request {
+    std::vector<LogRecord> records;
+    Status status = Status::OK();
+    bool done = false;
+  };
+
+  WalWriter* writer_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+  uint64_t groups_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_STORAGE_GROUP_COMMIT_H_

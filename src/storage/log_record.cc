@@ -6,7 +6,13 @@
 namespace lazyxml {
 
 std::string EncodeLogRecord(const LogRecord& record) {
-  ByteWriter w;
+  std::string out;
+  EncodeLogRecordInto(record, &out);
+  return out;
+}
+
+void EncodeLogRecordInto(const LogRecord& record, std::string* out) {
+  ByteWriter w(std::move(*out));
   w.PutU8(static_cast<uint8_t>(record.type));
   switch (record.type) {
     case LogRecordType::kInsertSegment:
@@ -25,7 +31,7 @@ std::string EncodeLogRecord(const LogRecord& record) {
     case LogRecordType::kFreeze:
       break;
   }
-  return w.TakeBuffer();
+  *out = w.TakeBuffer();
 }
 
 Result<LogRecord> DecodeLogRecord(std::string_view payload) {

@@ -69,6 +69,11 @@ struct LogRecord {
 /// Encodes the payload (type byte + body). Never fails.
 std::string EncodeLogRecord(const LogRecord& record);
 
+/// Encodes into `out` (cleared first), reusing its allocation — the
+/// WAL writer's per-record hot path encodes into a member buffer so
+/// steady-state appends allocate nothing.
+void EncodeLogRecordInto(const LogRecord& record, std::string* out);
+
 /// Decodes one payload produced by EncodeLogRecord. The whole input must
 /// be consumed; anything malformed is Corruption.
 Result<LogRecord> DecodeLogRecord(std::string_view payload);

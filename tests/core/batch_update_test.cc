@@ -1,0 +1,262 @@
+// Batch/sequential equivalence property suite (docs/INVARIANTS.md
+// I-BATCH): ApplyBatch must be byte-identical in effect to applying the
+// same ops one by one — same serialized snapshot, same sids, same
+// next_sid, same first error — for random op mixes, every chunking,
+// both log modes, and freeze points between chunks.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/lazy_database.h"
+#include "core/snapshot.h"
+#include "core/update_batch.h"
+#include "tests/testutil.h"
+#include "xml/parser.h"
+
+namespace lazyxml {
+namespace {
+
+constexpr const char* kTags[] = {"A", "D", "m", "n"};
+
+std::string RandomFragment(Random* rng, int depth = 0) {
+  const char* tag = kTags[rng->Uniform(4)];
+  std::string out = std::string("<") + tag + ">";
+  const int children = depth >= 3 ? 0 : static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < children; ++i) out += RandomFragment(rng, depth + 1);
+  if (children == 0 && rng->Bernoulli(0.5)) out += "text";
+  out += std::string("</") + tag + ">";
+  return out;
+}
+
+// A splice-safe global position in `shadow` (element boundaries and
+// just-inside-open-tag positions).
+uint64_t RandomGp(Random* rng, const std::string& shadow,
+                  std::span<const ElementRecord> records) {
+  if (records.empty()) return 0;
+  const ElementRecord& around = records[rng->Uniform(records.size())];
+  switch (rng->Uniform(3)) {
+    case 0:
+      return around.start;
+    case 1:
+      return shadow.find('>', around.start) + 1;
+    default:
+      return around.end;
+  }
+}
+
+// Generates `n` ops that are all valid when applied in order (simulated
+// against a shadow document). With probability `cancel_p` an op slot
+// emits an exactly-cancelling insert/remove pair instead.
+std::vector<UpdateOp> GenerateOps(Random* rng, size_t n, double remove_p,
+                                  double cancel_p) {
+  std::string shadow;
+  std::vector<UpdateOp> ops;
+  while (ops.size() < n) {
+    TagDict dict;
+    auto parsed = ParseFragment(shadow, &dict).ValueOrDie();
+    const auto& records = parsed.records;
+    if (rng->Bernoulli(cancel_p)) {
+      const uint64_t gp = RandomGp(rng, shadow, records);
+      std::string frag = RandomFragment(rng);
+      const uint64_t len = frag.size();
+      ops.push_back(UpdateOp::Insert(std::move(frag), gp));
+      ops.push_back(UpdateOp::Remove(gp, len));
+      continue;  // shadow is net unchanged
+    }
+    if (!records.empty() && rng->Bernoulli(remove_p)) {
+      const ElementRecord& victim = records[rng->Uniform(records.size())];
+      ops.push_back(UpdateOp::Remove(victim.start, victim.end - victim.start));
+      testutil::SpliceRemove(&shadow, victim.start,
+                             victim.end - victim.start);
+    } else {
+      const uint64_t gp = RandomGp(rng, shadow, records);
+      std::string frag = RandomFragment(rng);
+      testutil::SpliceInsert(&shadow, frag, gp);
+      ops.push_back(UpdateOp::Insert(std::move(frag), gp));
+    }
+  }
+  return ops;
+}
+
+Status ApplySequentially(LazyDatabase* db, std::span<const UpdateOp> ops) {
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      LAZYXML_RETURN_NOT_OK(db->InsertSegment(op.text, op.gp).status());
+    } else {
+      LAZYXML_RETURN_NOT_OK(db->RemoveSegment(op.gp, op.length));
+    }
+  }
+  return Status::OK();
+}
+
+// The equivalence oracle: serialized snapshots are content-based (sids,
+// geometry, element records, tag-list, next_sid), so equal bytes means
+// equal logical state regardless of tree shapes.
+void ExpectSameState(LazyDatabase* seq, LazyDatabase* batch) {
+  ASSERT_TRUE(batch->CheckInvariants().ok());
+  EXPECT_EQ(seq->update_log().next_sid(), batch->update_log().next_sid());
+  seq->Freeze();
+  batch->Freeze();
+  const std::string a = SerializeDatabase(*seq).ValueOrDie();
+  const std::string b = SerializeDatabase(*batch).ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+struct EquivParam {
+  uint64_t seed;
+  LogMode mode;
+  size_t chunk;  // ops per ApplyBatch call; 0 = the whole stream at once
+  double remove_p;
+  double cancel_p;
+  bool freeze_between_chunks;
+};
+
+class BatchUpdateEquivalenceTest
+    : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(BatchUpdateEquivalenceTest, BatchMatchesSequential) {
+  const EquivParam p = GetParam();
+  Random rng(p.seed);
+  const std::vector<UpdateOp> ops =
+      GenerateOps(&rng, 60, p.remove_p, p.cancel_p);
+
+  LazyDatabaseOptions opts;
+  opts.mode = p.mode;
+  LazyDatabase seq(opts);
+  LazyDatabase batch(opts);
+
+  const size_t chunk = p.chunk == 0 ? ops.size() : p.chunk;
+  for (size_t at = 0; at < ops.size(); at += chunk) {
+    const size_t len = std::min(chunk, ops.size() - at);
+    const std::span<const UpdateOp> slice(ops.data() + at, len);
+    ASSERT_TRUE(ApplySequentially(&seq, slice).ok());
+    auto stats = batch.ApplyBatch(slice);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats.ValueOrDie().applied, len);
+    if (p.freeze_between_chunks) {
+      seq.Freeze();
+      batch.Freeze();
+    }
+  }
+  ExpectSameState(&seq, &batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, BatchUpdateEquivalenceTest,
+    ::testing::Values(
+        EquivParam{1, LogMode::kLazyDynamic, 0, 0.25, 0.15, false},
+        EquivParam{2, LogMode::kLazyDynamic, 1, 0.25, 0.15, false},
+        EquivParam{3, LogMode::kLazyDynamic, 7, 0.40, 0.25, false},
+        EquivParam{4, LogMode::kLazyDynamic, 16, 0.10, 0.00, false},
+        EquivParam{5, LogMode::kLazyStatic, 0, 0.25, 0.15, false},
+        EquivParam{6, LogMode::kLazyStatic, 7, 0.40, 0.25, false},
+        EquivParam{7, LogMode::kLazyStatic, 5, 0.25, 0.15, true},
+        EquivParam{8, LogMode::kLazyDynamic, 3, 0.50, 0.30, false}),
+    [](const ::testing::TestParamInfo<EquivParam>& info) {
+      const EquivParam& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_" + LogModeName(p.mode) +
+             "_chunk" + std::to_string(p.chunk) +
+             (p.freeze_between_chunks ? "_frozen" : "");
+    });
+
+TEST(BatchUpdateTest, EmptyBatchIsANoOp) {
+  LazyDatabase db;
+  const uint64_t epoch = db.mutation_epoch();
+  auto stats = db.ApplyBatch({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.ValueOrDie().ops, 0u);
+  EXPECT_EQ(db.mutation_epoch(), epoch);  // no spurious cache invalidation
+}
+
+TEST(BatchUpdateTest, CancelledPairBurnsTheSid) {
+  // Sequentially, <A/> would take sid 1 and <D/> sid 2; the batch path
+  // short-circuits the cancelled pair but must hand <D/> the same sid 2.
+  UpdateBatch b;
+  b.Insert("<A/>", 0).Remove(0, 4).Insert("<D/>", 0);
+  LazyDatabase db;
+  auto stats_r = db.ApplyBatch(b.ops());
+  ASSERT_TRUE(stats_r.ok());
+  const BatchStats& stats = stats_r.ValueOrDie();
+  EXPECT_EQ(stats.cancelled_pairs, 1u);
+  EXPECT_EQ(stats.sids, (std::vector<SegmentId>{1, 0, 2}));
+  EXPECT_EQ(db.update_log().next_sid(), 3u);
+  EXPECT_EQ(db.Stats().num_segments, 1u);
+  // The cancelled fragment's tag is still interned, as it would be
+  // sequentially (interning happens at parse time).
+  EXPECT_TRUE(db.tag_dict().Lookup("A").ok());
+
+  LazyDatabase seq;
+  ASSERT_TRUE(ApplySequentially(&seq, b.ops()).ok());
+  ExpectSameState(&seq, &db);
+}
+
+TEST(BatchUpdateTest, PairAcrossBatchBoundaryStillMatches) {
+  // The same pair split over two ApplyBatch calls cannot cancel (the
+  // ops are not adjacent within one batch) — the slow path must agree.
+  LazyDatabase split;
+  UpdateBatch first, second;
+  first.Insert("<A><D/></A>", 0);
+  second.Remove(0, 11).Insert("<m/>", 0);
+  ASSERT_TRUE(split.ApplyBatch(first.ops()).ok());
+  ASSERT_TRUE(split.ApplyBatch(second.ops()).ok());
+
+  LazyDatabase fused;
+  UpdateBatch all;
+  all.Insert("<A><D/></A>", 0).Remove(0, 11).Insert("<m/>", 0);
+  auto stats = fused.ApplyBatch(all.ops());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.ValueOrDie().cancelled_pairs, 1u);
+  ExpectSameState(&split, &fused);
+}
+
+TEST(BatchUpdateTest, MalformedCancelledInsertFailsLikeSequential) {
+  // The cancelled insert's text is never spliced, but sequential
+  // application would reject it at parse time — so must the batch.
+  UpdateBatch b;
+  b.Insert("<ok/>", 0).Insert("<bad>", 5).Remove(5, 5);
+  LazyDatabase db;
+  auto r = db.ApplyBatch(b.ops());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("step 1"), std::string::npos);
+  // Prefix semantics: op 0 stayed applied.
+  EXPECT_EQ(db.Stats().num_segments, 1u);
+  ASSERT_TRUE(db.CheckInvariants().ok());
+}
+
+TEST(BatchUpdateTest, ErrorLeavesTheAppliedPrefix) {
+  UpdateBatch b;
+  b.Insert("<A/>", 0).Insert("<D/>", 4).Remove(100, 5).Insert("<m/>", 0);
+  LazyDatabase db;
+  auto r = db.ApplyBatch(b.ops());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("step 2"), std::string::npos);
+
+  LazyDatabase seq;
+  ASSERT_TRUE(seq.InsertSegment("<A/>", 0).ok());
+  ASSERT_TRUE(seq.InsertSegment("<D/>", 4).ok());
+  EXPECT_FALSE(seq.RemoveSegment(100, 5).ok());
+  ExpectSameState(&seq, &db);
+}
+
+TEST(BatchUpdateTest, ApplyPlanRoutesThroughTheBatchPath) {
+  // Plans are pure-insert batches; a fresh database takes the bulk-load
+  // flush. The result must match per-op application.
+  std::vector<SegmentInsertion> plan;
+  plan.push_back({"<A><D>text</D><D/></A>", 0});
+  plan.push_back({"<m><n/></m>", 3});
+  plan.push_back({"<D/>", 14});
+  LazyDatabase via_plan;
+  ASSERT_TRUE(via_plan.ApplyPlan(plan).ok());
+  LazyDatabase via_ops;
+  for (const SegmentInsertion& s : plan) {
+    ASSERT_TRUE(via_ops.InsertSegment(s.text, s.gp).ok());
+  }
+  ExpectSameState(&via_ops, &via_plan);
+}
+
+}  // namespace
+}  // namespace lazyxml

@@ -1,0 +1,237 @@
+// WAL batch append + group commit: framing equivalence with singleton
+// appends, one-sync-per-batch accounting, leader/follower fsync sharing
+// under concurrent committers, and prefix durability of batches whose
+// tail is torn by a crash (docs/WAL_FORMAT.md "Batched appends").
+
+#include "storage/group_commit.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "core/update_batch.h"
+#include "storage/durable_database.h"
+#include "storage/recovery.h"
+#include "storage/wal_layout.h"
+#include "storage/wal_reader.h"
+#include "storage/wal_writer.h"
+
+namespace lazyxml {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lazyxml_gc_" + name;
+  EXPECT_TRUE(CreateDirIfMissing(dir).ok());
+  auto names = ListDirectory(dir);
+  EXPECT_TRUE(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    EXPECT_TRUE(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+std::vector<LogRecord> SampleRecords(size_t n) {
+  std::vector<LogRecord> out;
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0:
+        out.push_back(LogRecord::InsertSegment(i + 1, "<A>text</A>", i));
+        break;
+      case 1:
+        out.push_back(LogRecord::RemoveRange(i, i + 2));
+        break;
+      default:
+        out.push_back(LogRecord::CollapseSubtree(i + 1, i + 2));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<LogRecord> ReadAll(const std::string& dir) {
+  std::vector<LogRecord> all;
+  const auto data =
+      ReadFileToString(dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+  WalSegmentReader reader(data);
+  LogRecord rec;
+  Status detail;
+  WalReadOutcome outcome;
+  while ((outcome = reader.Next(&rec, &detail)) == WalReadOutcome::kRecord) {
+    all.push_back(rec);
+  }
+  EXPECT_EQ(outcome, WalReadOutcome::kEnd) << detail.ToString();
+  return all;
+}
+
+TEST(GroupCommitTest, AppendBatchBytesMatchSingletonAppends) {
+  const std::string d1 = FreshDir("batch_bytes");
+  const std::string d2 = FreshDir("single_bytes");
+  const std::vector<LogRecord> records = SampleRecords(17);
+  WalWriterOptions opts;
+  opts.sync_policy = WalSyncPolicy::kNever;
+  {
+    auto w = WalWriter::Open(d1, 1, opts).ValueOrDie();
+    ASSERT_TRUE(w->AppendBatch(records).ok());
+    EXPECT_EQ(w->records_appended(), records.size());
+  }
+  {
+    auto w = WalWriter::Open(d2, 1, opts).ValueOrDie();
+    for (const LogRecord& r : records) ASSERT_TRUE(w->Append(r).ok());
+  }
+  EXPECT_EQ(ReadFileToString(d1 + "/" + WalSegmentFileName(1)).ValueOrDie(),
+            ReadFileToString(d2 + "/" + WalSegmentFileName(1)).ValueOrDie());
+}
+
+TEST(GroupCommitTest, AppendBatchSyncsOnceUnderEveryRecord) {
+  const std::string dir = FreshDir("batch_syncs");
+  WalWriterOptions opts;
+  opts.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto w = WalWriter::Open(dir, 1, opts).ValueOrDie();
+  ASSERT_TRUE(w->AppendBatch(SampleRecords(64)).ok());
+  EXPECT_EQ(w->syncs_performed(), 1u);
+  for (const LogRecord& r : SampleRecords(8)) ASSERT_TRUE(w->Append(r).ok());
+  EXPECT_EQ(w->syncs_performed(), 9u);  // 1 batch + 8 singletons
+  EXPECT_EQ(ReadAll(dir).size(), 72u);
+}
+
+TEST(GroupCommitTest, EmptyBatchAppendsNothing) {
+  const std::string dir = FreshDir("empty");
+  auto w = WalWriter::Open(dir, 1, {}).ValueOrDie();
+  ASSERT_TRUE(w->AppendBatch(std::span<const LogRecord>{}).ok());
+  EXPECT_EQ(w->records_appended(), 0u);
+  EXPECT_EQ(w->syncs_performed(), 0u);
+}
+
+TEST(GroupCommitTest, SingleThreadCommitIsOneGroup) {
+  const std::string dir = FreshDir("one_group");
+  WalWriterOptions opts;
+  opts.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto w = WalWriter::Open(dir, 1, opts).ValueOrDie();
+  GroupCommitQueue q(w.get());
+  ASSERT_TRUE(q.Commit(SampleRecords(5)).ok());
+  EXPECT_EQ(q.groups_committed(), 1u);
+  EXPECT_EQ(q.requests_committed(), 1u);
+  EXPECT_EQ(w->syncs_performed(), 1u);
+  EXPECT_TRUE(q.Commit({}).ok());  // empty commit touches nothing
+  EXPECT_EQ(q.groups_committed(), 1u);
+  EXPECT_EQ(ReadAll(dir).size(), 5u);
+}
+
+TEST(GroupCommitTest, ConcurrentCommittersPreservePerThreadOrder) {
+  const std::string dir = FreshDir("concurrent");
+  WalWriterOptions opts;
+  opts.sync_policy = WalSyncPolicy::kEveryRecord;
+  auto w = WalWriter::Open(dir, 1, opts).ValueOrDie();
+  GroupCommitQueue q(w.get());
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kCommits = 25;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&q, t] {
+      for (size_t c = 0; c < kCommits; ++c) {
+        // Encode (thread, commit, record) into the sid/gp fields so the
+        // readback can check per-thread ordering.
+        std::vector<LogRecord> recs;
+        recs.push_back(LogRecord::InsertSegment(t * 1000 + c * 2 + 1,
+                                                "<A/>", t));
+        recs.push_back(LogRecord::InsertSegment(t * 1000 + c * 2 + 2,
+                                                "<D/>", t));
+        ASSERT_TRUE(q.Commit(std::move(recs)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::vector<LogRecord> all = ReadAll(dir);
+  ASSERT_EQ(all.size(), kThreads * kCommits * 2);
+  // Per thread, sids must appear in increasing order, and the two
+  // records of one commit must be contiguous in the WAL.
+  std::vector<uint64_t> last(kThreads, 0);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const size_t t = all[i].gp;
+    ASSERT_LT(t, kThreads);
+    EXPECT_GT(all[i].sid, last[t]);
+    last[t] = all[i].sid;
+    if (all[i].sid % 2 == 1) {
+      ASSERT_LT(i + 1, all.size());
+      EXPECT_EQ(all[i + 1].sid, all[i].sid + 1);  // commit not interleaved
+    }
+  }
+  EXPECT_EQ(q.requests_committed(), kThreads * kCommits);
+  EXPECT_GE(q.groups_committed(), 1u);
+  EXPECT_LE(q.groups_committed(), q.requests_committed());
+  // The whole point: fsyncs track groups, not requests.
+  EXPECT_EQ(w->syncs_performed(), q.groups_committed());
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection: a batch whose WAL tail is torn must recover to a
+// strict prefix of the batch — never a gap, never a corrupted state.
+
+TEST(GroupCommitBatchCrashTest, TornBatchTailRecoversToAPrefix) {
+  const std::string build_dir = FreshDir("crash_build");
+  UpdateBatch batch;
+  batch.Insert("<A><D>text</D></A>", 0)
+      .Insert("<n>more</n>", 3)
+      .Insert("<m/>", 3)
+      .Remove(3, 4)    // cancels the <m/> insert: still two WAL records
+      .Remove(3, 11)   // genuine removal of <n>more</n>
+      .Insert("<D/>", 3);
+  std::string wal_bytes;
+  {
+    DurableOptions options;
+    options.wal.sync_policy = WalSyncPolicy::kEveryRecord;
+    auto db = DurableLazyDatabase::Open(build_dir, options).ValueOrDie();
+    auto stats = db->ApplyBatch(batch.ops());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    // One group commit for the whole batch: records == ops (the
+    // cancelled pair still journals both), one fsync.
+    EXPECT_EQ(db->wal().records_appended(), batch.size());
+    EXPECT_EQ(db->wal().syncs_performed(), 1u);
+    EXPECT_EQ(db->commit_queue().groups_committed(), 1u);
+    wal_bytes =
+        ReadFileToString(build_dir + "/" + WalSegmentFileName(1)).ValueOrDie();
+  }
+
+  // The uninterrupted final state, for the full-replay comparison.
+  std::vector<LogRecord> all;
+  {
+    WalSegmentReader reader(wal_bytes);
+    LogRecord rec;
+    Status detail;
+    while (reader.Next(&rec, &detail) == WalReadOutcome::kRecord) {
+      all.push_back(rec);
+    }
+  }
+  ASSERT_EQ(all.size(), batch.size());
+
+  const std::string crash_dir = FreshDir("crash_cut");
+  const std::string wal_path = crash_dir + "/" + WalSegmentFileName(1);
+  size_t prefix_lengths_seen = 0;
+  for (size_t cut = 0; cut <= wal_bytes.size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(wal_path, wal_bytes.substr(0, cut)).ok());
+    auto recovered = RecoverDatabase(crash_dir, {});
+    ASSERT_TRUE(recovered.ok()) << "cut " << cut << ": "
+                                << recovered.status().ToString();
+    auto& r = recovered.ValueOrDie();
+    // Prefix durability: some k <= n records replayed, never a gap.
+    ASSERT_LE(r.stats.records_replayed, all.size()) << "cut " << cut;
+    ASSERT_TRUE(r.db->CheckInvariants().ok()) << "cut " << cut;
+    if (r.stats.records_replayed == all.size()) ++prefix_lengths_seen;
+    // Replaying the cut-off suffix must reach the uninterrupted state.
+    for (size_t i = r.stats.records_replayed; i < all.size(); ++i) {
+      ASSERT_TRUE(ApplyLogRecord(r.db.get(), all[i]).ok())
+          << "cut " << cut << " record " << i;
+    }
+    auto got = r.db->MaterializeGlobalElements("D").ValueOrDie();
+    EXPECT_EQ(got.size(), 2u) << "cut " << cut;
+  }
+  EXPECT_GT(prefix_lengths_seen, 0u);  // the full batch survives a clean tail
+}
+
+}  // namespace
+}  // namespace lazyxml
