@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/metrics_hook.h"
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "core/lazy_database.h"

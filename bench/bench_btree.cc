@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/metrics_hook.h"
 #include "btree/btree.h"
 #include "common/random.h"
 

@@ -8,12 +8,19 @@
 // byte-identical output, the threads only buy elapsed time.
 
 #include <map>
+#include <string_view>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 
 namespace lazyxml {
+
+// --quick (CI smoke mode, see .github/workflows/ci.yml): a workload an
+// order of magnitude smaller, sized so the metrics-overhead check runs
+// in seconds on a shared runner while each join still does real work.
+bool g_quick = false;
+
 namespace {
 
 constexpr uint32_t kNumSegments = 400;
@@ -24,12 +31,12 @@ constexpr double kCrossFraction = 0.6;
 
 JoinWorkloadConfig Config() {
   JoinWorkloadConfig cfg;
-  cfg.num_segments = kNumSegments;
+  cfg.num_segments = g_quick ? kNumSegments / 8 : kNumSegments;
   cfg.shape = ErTreeShape::kBalanced;
-  cfg.total_joins = kTotalJoins;
+  cfg.total_joins = g_quick ? kTotalJoins / 20 : kTotalJoins;
   cfg.cross_fraction = kCrossFraction;
-  cfg.num_a_elements = kNumA;
-  cfg.num_d_elements = kNumD;
+  cfg.num_a_elements = g_quick ? kNumA / 20 : kNumA;
+  cfg.num_d_elements = g_quick ? kNumD / 20 : kNumD;
   return cfg;
 }
 
@@ -146,7 +153,52 @@ BENCHMARK(BM_ScanCacheSizing)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Metrics-registry overhead: the same serial, uncached join with the
+// process-wide registry enabled (the default) vs disabled. The join path
+// writes a handful of instruments per query — the two labels must agree
+// within run-to-run noise, which CI's metrics-overhead smoke asserts
+// with a generous bound (see docs/OBSERVABILITY.md "Overhead").
+void BM_SerialJoinObs(benchmark::State& state) {
+  LazyDatabase* db = SharedDatabase();
+  const size_t serial_pairs = SerialPairCount();
+  const bool obs_on = state.range(0) != 0;
+  obs::MetricsRegistry::Global().SetEnabled(obs_on);
+  db->SetQueryOptions(QueryOptions{});  // 1 thread, no cache
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = bench::RunLazyQuery(db, "A", "D");
+    benchmark::DoNotOptimize(pairs);
+  }
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  LAZYXML_CHECK(pairs == serial_pairs);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.SetLabel(obs_on ? "obs_on" : "obs_off");
+}
+
+BENCHMARK(BM_SerialJoinObs)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace lazyxml
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so the
+// CI smoke mode's --quick is stripped (and applied) before Initialize.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      lazyxml::g_quick = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

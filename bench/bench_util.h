@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/metrics_hook.h"
 #include "common/logging.h"
 #include "core/lazy_database.h"
 #include "join/stack_tree.h"

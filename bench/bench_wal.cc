@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/metrics_hook.h"
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "storage/durable_database.h"

@@ -45,14 +45,19 @@ for b in "${benches[@]}"; do
   echo "== $b" >&2
   args=(--benchmark_format=json --benchmark_min_time="$MIN_TIME")
   [[ -n $FILTER ]] && args+=(--benchmark_filter="$FILTER")
-  "$bin" "${args[@]}" > "$tmpdir/$b.json"
+  # Each binary dumps its process-wide metrics registry at exit (see
+  # bench/metrics_hook.h); the dump is embedded under "metrics" below.
+  LAZYXML_METRICS_OUT="$tmpdir/$b.metrics.json" \
+      "$bin" "${args[@]}" > "$tmpdir/$b.json"
 done
 
-python3 - "$OUT" "$tmpdir"/*.json <<'PY'
-import json, sys
+python3 - "$OUT" "$tmpdir" <<'PY'
+import glob, json, sys
 
-out_path, reports = sys.argv[1], sys.argv[2:]
-merged = {"context": None, "benchmarks": []}
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+reports = sorted(p for p in glob.glob(f"{tmpdir}/*.json")
+                 if not p.endswith(".metrics.json"))
+merged = {"context": None, "benchmarks": [], "metrics": {}}
 for path in reports:
     with open(path) as f:
         rep = json.load(f)
@@ -62,9 +67,19 @@ for path in reports:
     for bm in rep.get("benchmarks", []):
         bm["binary"] = name
         merged["benchmarks"].append(bm)
+    # The per-binary registry dump (obs::MetricsSnapshot::ExportJson):
+    # counters/gauges/histograms of what the benchmarked run really did,
+    # e.g. bench_wal's wal.fsync_us histogram and
+    # wal.group_commit.commits_per_fsync gauge.
+    try:
+        with open(f"{tmpdir}/{name}.metrics.json") as f:
+            merged["metrics"][name] = json.load(f)
+    except (OSError, ValueError):
+        pass
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks "
-      f"from {len(reports)} binaries")
+      f"from {len(reports)} binaries "
+      f"({len(merged['metrics'])} metrics dumps)")
 PY

@@ -21,6 +21,7 @@
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace lazyxml {
 
@@ -439,6 +440,10 @@ class BTree {
                               size_t* i, const Key* hi) {
     InsertResult out;
     if (n->is_leaf) {
+      // One leaf-run descent: every instantiation shares the registry
+      // instrument, so the counter reads as "runs across all trees".
+      LAZYXML_METRIC_COUNTER(leaf_runs_counter, "btree.batch_leaf_runs");
+      leaf_runs_counter.Increment();
       while (*i < sorted.size() &&
              (hi == nullptr || cmp_(sorted[*i].first, *hi))) {
         const Key& key = sorted[*i].first;
@@ -480,6 +485,8 @@ class BTree {
   }
 
   void SplitLeaf(Node* n, InsertResult* out) {
+    LAZYXML_METRIC_COUNTER(leaf_splits_counter, "btree.leaf_splits");
+    leaf_splits_counter.Increment();
     const size_t mid = n->keys.size() / 2;
     auto right = std::make_unique<Node>(/*is_leaf=*/true);
     right->keys.assign(std::make_move_iterator(n->keys.begin() + mid),
@@ -500,6 +507,8 @@ class BTree {
   }
 
   void SplitInternal(Node* n, InsertResult* out) {
+    LAZYXML_METRIC_COUNTER(internal_splits_counter, "btree.internal_splits");
+    internal_splits_counter.Increment();
     // Move the upper half of children to a new right node; the median key
     // moves up as the separator.
     const size_t mid_key = n->keys.size() / 2;

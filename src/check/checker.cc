@@ -1,23 +1,49 @@
 #include "check/checker.h"
 
 #include "check/database_check.h"
+#include "obs/metrics.h"
 
 namespace lazyxml {
 namespace check {
 
+namespace {
+
+// Scrub passes are rare and heavyweight; counting runs and findings lets
+// a deployment alert on "scrubber started finding things".
+void RecordScrub(const Result<CheckReport>& report) {
+  LAZYXML_METRIC_COUNTER(runs_counter, "check.runs");
+  LAZYXML_METRIC_COUNTER(findings_counter, "check.findings");
+  LAZYXML_METRIC_COUNTER(errors_counter, "check.error_findings");
+  runs_counter.Increment();
+  if (!report.ok()) return;
+  findings_counter.Add(report.ValueOrDie().findings().size());
+  if (!report.ValueOrDie().ok()) errors_counter.Increment();
+}
+
+}  // namespace
+
 Result<CheckReport> Checker::Check(const LazyDatabase& db) const {
-  return CheckDatabase(db);
+  Result<CheckReport> report = CheckDatabase(db);
+  RecordScrub(report);
+  return report;
 }
 
 Result<CheckReport> Checker::Check(const DurableLazyDatabase& db) const {
-  LAZYXML_ASSIGN_OR_RETURN(CheckReport report, CheckDatabase(db.database()));
-  LAZYXML_ASSIGN_OR_RETURN(CheckReport storage, CheckDurableDatabase(db));
-  report.Merge(storage);
+  auto run = [&]() -> Result<CheckReport> {
+    LAZYXML_ASSIGN_OR_RETURN(CheckReport report, CheckDatabase(db.database()));
+    LAZYXML_ASSIGN_OR_RETURN(CheckReport storage, CheckDurableDatabase(db));
+    report.Merge(storage);
+    return report;
+  };
+  Result<CheckReport> report = run();
+  RecordScrub(report);
   return report;
 }
 
 Result<CheckReport> Checker::CheckDirectory(const std::string& dir) const {
-  return CheckDatabaseDirectory(dir, options_.storage);
+  Result<CheckReport> report = CheckDatabaseDirectory(dir, options_.storage);
+  RecordScrub(report);
+  return report;
 }
 
 Result<CheckReport> Checker::CheckLabeling(

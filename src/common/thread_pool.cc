@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lazyxml {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -66,6 +68,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 bool ThreadPool::TryRunOneTask(size_t self) {
+  LAZYXML_METRIC_COUNTER(tasks_counter, "thread_pool.tasks_run");
+  LAZYXML_METRIC_COUNTER(steals_counter, "thread_pool.steals");
   std::function<void()> task;
   // Own deque first, newest task (LIFO keeps the working set warm).
   {
@@ -85,10 +89,12 @@ bool ThreadPool::TryRunOneTask(size_t self) {
       if (!v.deque.empty()) {
         task = std::move(v.deque.front());
         v.deque.pop_front();
+        steals_counter.Increment();
       }
     }
   }
   if (!task) return false;
+  tasks_counter.Increment();
   // pending_ counts *unclaimed* tasks (it only gates worker sleep);
   // decrementing before running avoids a shutdown busy-spin where idle
   // workers see pending > 0 for a task already running elsewhere.
@@ -113,6 +119,10 @@ void ThreadPool::WorkerLoop(size_t self) {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  LAZYXML_METRIC_COUNTER(pfor_counter, "thread_pool.parallel_fors");
+  LAZYXML_METRIC_COUNTER(pfor_items_counter, "thread_pool.parallel_for_items");
+  pfor_counter.Increment();
+  pfor_items_counter.Add(n);
   if (n == 0) return;
   if (n == 1) {
     fn(0);

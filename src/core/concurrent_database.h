@@ -70,6 +70,15 @@ class ConcurrentLazyDatabase {
     return r;
   }
 
+  /// Stats-out form: `*stats_out` covers exactly the applied prefix even
+  /// when the batch fails (core/lazy_database.h).
+  Status ApplyBatch(std::span<const UpdateOp> ops, BatchStats* stats_out) {
+    std::unique_lock lock(mu_);
+    Status s = db_.ApplyBatch(ops, stats_out);
+    db_.InvalidateScanCache();
+    return s;
+  }
+
   Status CompactAll() {
     std::unique_lock lock(mu_);
     auto r = db_.CompactAll();
@@ -122,6 +131,13 @@ class ConcurrentLazyDatabase {
   LazyDatabaseStats Stats() {
     std::shared_lock lock(mu_);
     return db_.Stats();
+  }
+
+  /// Snapshot of the process-wide metrics registry (docs/OBSERVABILITY.md).
+  /// Lock-free: the registry snapshots its own sharded atomics, so a
+  /// monitoring thread never contends with queries or writers.
+  obs::MetricsSnapshot Metrics() const {
+    return obs::MetricsRegistry::Global().Snapshot();
   }
 
   Status CheckInvariants() {

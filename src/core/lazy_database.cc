@@ -5,6 +5,7 @@
 
 #include "check/database_check.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace lazyxml {
@@ -198,9 +199,21 @@ Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
 
 Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
   BatchStats stats;
+  LAZYXML_RETURN_NOT_OK(ApplyBatch(ops, &stats));
+  return stats;
+}
+
+Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
+                                BatchStats* stats_out) {
+  obs::TraceSpan batch_span("batch.apply");
+  LAZYXML_METRIC_HISTOGRAM(apply_hist, "batch.apply_us");
+  obs::ScopedLatency apply_latency(apply_hist);
+  BatchStats local;
+  BatchStats& stats = stats_out != nullptr ? *stats_out : local;
+  stats = BatchStats{};
   stats.ops = ops.size();
   stats.sids.assign(ops.size(), 0);
-  if (ops.empty()) return stats;
+  if (ops.empty()) return Status::OK();
   ++mutation_epoch_;
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnBatchBegin(ops.size()));
@@ -259,6 +272,11 @@ Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
 
   Status op_status;
   size_t i = 0;
+  // Element records in `pending` deferred by the op that ultimately
+  // failed. They are still flushed (sequential InsertSegment applies
+  // index records before the failure point too) but must not be counted:
+  // stats cover exactly the applied prefix.
+  size_t rejected_records = 0;
   for (; i < ops.size(); ++i) {
     const UpdateOp& op = ops[i];
     if (cancelled[i]) {
@@ -280,26 +298,36 @@ Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
         stats.sids[i] = sid;
         if (capture_ != nullptr) {
           op_status = capture_->OnInsertSegment(sid, op.text, op.gp);
+          if (!op_status.ok()) stats.sids[i] = 0;  // op rejected
         }
       } else {
-        ++stats.cancelled_pairs;
         if (capture_ != nullptr) {
           op_status = capture_->OnRemoveRange(op.gp, op.length);
         }
+        // Counted only once the pair's closing op is fully applied: a
+        // capture failure here rejects the remove, and a rejected op
+        // must contribute nothing to the stats.
+        if (op_status.ok()) ++stats.cancelled_pairs;
       }
       if (!op_status.ok()) break;
       ++stats.applied;
       continue;
     }
     if (op.kind == UpdateOp::Kind::kInsert) {
+      const size_t pending_before = pending.size();
       auto r = InsertSegmentImpl(op.text, op.gp, &pending);
       if (!r.ok()) {
         op_status = r.status();
+        rejected_records = pending.size() - pending_before;
         break;
       }
       stats.sids[i] = r.ValueOrDie();
       if (capture_ != nullptr) {
         op_status = capture_->OnInsertSegment(stats.sids[i], op.text, op.gp);
+        if (!op_status.ok()) {
+          stats.sids[i] = 0;  // op rejected
+          rejected_records = pending.size() - pending_before;
+        }
       }
     } else {
       // Removals read the element index; the deferred run must land first.
@@ -317,16 +345,40 @@ Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
   // Even on an op error the applied prefix must be complete (flush) and
   // the capture must be closed (the durability layer flushes its
   // buffered records — prefix durability). The op error wins.
+  const bool flush_only_rejected =
+      rejected_records > 0 && pending.size() == rejected_records;
   Status flush_status = flush();
   Status end_status =
       capture_ != nullptr ? capture_->OnBatchEnd() : Status::OK();
+  if (rejected_records > 0) {
+    // The rejected op's deferred records were applied by the flush (a
+    // sequential InsertSegment writes the element index before the
+    // failure point too, so the states match) but belong to no applied
+    // op — take them back out of the prefix-exact counters.
+    stats.index_records -= rejected_records;
+    if (flush_only_rejected) --stats.index_flushes;
+  }
+  // Registry mirror of the prefix-exact BatchStats (the struct stays the
+  // public API; the registry aggregates across batches / databases).
+  LAZYXML_METRIC_COUNTER(ops_counter, "batch.ops");
+  LAZYXML_METRIC_COUNTER(applied_counter, "batch.applied");
+  LAZYXML_METRIC_COUNTER(cancelled_counter, "batch.cancelled_pairs");
+  LAZYXML_METRIC_COUNTER(flushes_counter, "batch.index_flushes");
+  LAZYXML_METRIC_COUNTER(records_counter, "batch.index_records");
+  LAZYXML_METRIC_COUNTER(failures_counter, "batch.failures");
+  ops_counter.Add(stats.ops);
+  applied_counter.Add(stats.applied);
+  cancelled_counter.Add(stats.cancelled_pairs);
+  flushes_counter.Add(stats.index_flushes);
+  records_counter.Add(stats.index_records);
   if (!op_status.ok()) {
+    failures_counter.Increment();
     return op_status.WithContext(StringPrintf("applying batch step %zu", i));
   }
   LAZYXML_RETURN_NOT_OK(flush_status);
   LAZYXML_RETURN_NOT_OK(end_status);
   LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
-  return stats;
+  return Status::OK();
 }
 
 Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
@@ -508,6 +560,10 @@ LazyDatabaseStats LazyDatabase::Stats() const {
   s.tag_list_bytes = log_.TagListMemoryBytes();
   s.element_index_bytes = index_.MemoryBytes();
   return s;
+}
+
+obs::MetricsSnapshot LazyDatabase::Metrics() const {
+  return obs::MetricsRegistry::Global().Snapshot();
 }
 
 Status LazyDatabase::CheckInvariants() const {

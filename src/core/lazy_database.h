@@ -30,6 +30,7 @@
 #include "core/update_capture.h"
 #include "core/update_log.h"
 #include "join/global_element.h"
+#include "obs/metrics.h"
 #include "xml/tag_dict.h"
 #include "xmlgen/join_workload.h"
 
@@ -89,6 +90,13 @@ class LazyDatabase {
   /// WAL batch + one sync. On an op failure the preceding ops remain
   /// fully applied (prefix semantics, like a sequential loop).
   Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops);
+
+  /// Same, but fills `*stats_out` (if non-null) even when the batch
+  /// fails: the counters then cover exactly the applied prefix — the
+  /// rejected op contributes no applied count, no cancelled pair, no
+  /// index-insert counts, and its sids slot stays 0 (its sid is still
+  /// burned inside the database so later sids match sequential apply).
+  Status ApplyBatch(std::span<const UpdateOp> ops, BatchStats* stats_out);
 
   /// Applies a whole insertion plan (generator / chopper output) through
   /// the batched path — one pure-insert ApplyBatch.
@@ -192,6 +200,12 @@ class LazyDatabase {
   UpdateCapture* update_capture() const { return capture_; }
 
   LazyDatabaseStats Stats() const;
+
+  /// Snapshot of the process-wide metrics registry (docs/OBSERVABILITY.md).
+  /// The registry is process-global: counters cover every database in the
+  /// process, not just this one. Exposed on the facade so callers hold one
+  /// handle for both data and observability.
+  obs::MetricsSnapshot Metrics() const;
 
   /// Deep integrity check: ER-tree structure, both B+-trees, tag-list
   /// counts vs element-index counts. For tests.

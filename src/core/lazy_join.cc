@@ -6,6 +6,8 @@
 #include "core/lazy_join_internal.h"
 #include "join/global_element.h"
 #include "join/stack_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lazyxml {
 namespace internal {
@@ -70,6 +72,11 @@ ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
   }
   auto fresh =
       std::make_shared<std::vector<LocalElement>>(index_->GetElements(tid, sid));
+  // The registry mirrors LazyJoinStats here, at the single point a real
+  // index read happens — the same place the per-query counter increments,
+  // so the two can never drift (the elements_fetched double-count class).
+  LAZYXML_METRIC_COUNTER(fetched_counter, "join.elements_fetched");
+  fetched_counter.Add(fresh->size());
   stats->elements_fetched += fresh->size();
   ElementScan scan = std::move(fresh);
   if (cache_ != nullptr) cache_->Put(tid, sid, epoch_, scan);
@@ -86,6 +93,8 @@ ElementScan ScanFetcher::FetchFiltered(TagId tid, const SegmentNode& seg,
       return hit;
     }
   }
+  LAZYXML_METRIC_COUNTER(straddle_counter, "join.straddle_filters");
+  straddle_counter.Increment();
   ElementScan raw = Fetch(tid, seg.sid, stats);
   std::vector<uint64_t> splices;
   splices.reserve(seg.children.size());
@@ -163,6 +172,14 @@ StackEntry MakeStackEntry(const JoinContext& ctx, ScanFetcher* fetcher,
 
 Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
                         LazyJoinResult* out) {
+  // Per-partition rounds span + latency: on pool threads the span opens
+  // its own trace (correlate with the query's "join.rounds" span by
+  // time); the histogram is what the scaling analysis reads.
+  obs::TraceSpan partition_span("join.partition");
+  LAZYXML_METRIC_HISTOGRAM(partition_hist, "join.partition_us");
+  obs::ScopedLatency partition_latency(partition_hist);
+  LAZYXML_METRIC_COUNTER(rounds_counter, "join.rounds");
+  rounds_counter.Add(seed.d_end - seed.d_begin);
   const std::span<const TagListEntry> sl_a = ctx.sl_a.entries;
   const std::span<const TagListEntry> sl_d = ctx.sl_d.entries;
   const LazyJoinOptions& options = ctx.options;
@@ -321,11 +338,17 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
                                 const ElementIndex& index, TagId ancestor_tid,
                                 TagId descendant_tid,
                                 const LazyJoinOptions& options) {
+  obs::TraceSpan query_span("join.query");
+  LAZYXML_METRIC_COUNTER(queries_counter, "join.queries");
+  queries_counter.Increment();
   internal::JoinContext ctx;
   bool empty = false;
-  LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
-      log, index, ancestor_tid, descendant_tid, options,
-      /*cache=*/nullptr, /*cache_epoch=*/0, &ctx, &empty));
+  {
+    obs::TraceSpan prepare_span("join.prepare");
+    LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
+        log, index, ancestor_tid, descendant_tid, options,
+        /*cache=*/nullptr, /*cache_epoch=*/0, &ctx, &empty));
+  }
   LazyJoinResult out;
   if (empty) return out;
   internal::PartitionSeed whole;

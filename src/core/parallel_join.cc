@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/lazy_join_internal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lazyxml {
 namespace internal {
@@ -123,11 +125,20 @@ Result<LazyJoinResult> ParallelLazyJoin(
     const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
     TagId descendant_tid, const ParallelJoinOptions& options,
     ThreadPool* pool, ElementScanCache* cache, uint64_t cache_epoch) {
+  obs::TraceSpan query_span("join.query");
+  LAZYXML_METRIC_COUNTER(queries_counter, "join.queries");
+  LAZYXML_METRIC_COUNTER(partitions_counter, "join.partitions");
+  LAZYXML_METRIC_HISTOGRAM(query_hist, "join.query_us");
+  queries_counter.Increment();
+  obs::ScopedLatency query_latency(query_hist);
   internal::JoinContext ctx;
   bool empty = false;
-  LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
-      log, index, ancestor_tid, descendant_tid, options.join, cache,
-      cache_epoch, &ctx, &empty));
+  {
+    obs::TraceSpan prepare_span("join.prepare");
+    LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
+        log, index, ancestor_tid, descendant_tid, options.join, cache,
+        cache_epoch, &ctx, &empty));
+  }
   LazyJoinResult out;
   if (empty) return out;
 
@@ -139,21 +150,30 @@ Result<LazyJoinResult> ParallelLazyJoin(
         std::max<size_t>(1, n / std::max<size_t>(1, options.min_rounds_per_task));
     max_parts = std::min(by_threads, by_rounds);
   }
-  std::vector<internal::PartitionSeed> seeds =
-      internal::PartitionRounds(ctx, max_parts);
+  std::vector<internal::PartitionSeed> seeds;
+  {
+    obs::TraceSpan seed_span("join.partition_seed");
+    seeds = internal::PartitionRounds(ctx, max_parts);
+  }
+  partitions_counter.Add(seeds.size());
 
   if (seeds.size() == 1) {
+    obs::TraceSpan rounds_span("join.rounds");
     LAZYXML_RETURN_NOT_OK(internal::RunJoinPartition(ctx, seeds[0], &out));
     return out;
   }
 
   std::vector<LazyJoinResult> locals(seeds.size());
   std::vector<Status> statuses(seeds.size());
-  pool->ParallelFor(seeds.size(), [&](size_t i) {
-    statuses[i] = internal::RunJoinPartition(ctx, seeds[i], &locals[i]);
-  });
+  {
+    obs::TraceSpan rounds_span("join.rounds");
+    pool->ParallelFor(seeds.size(), [&](size_t i) {
+      statuses[i] = internal::RunJoinPartition(ctx, seeds[i], &locals[i]);
+    });
+  }
   for (const Status& st : statuses) LAZYXML_RETURN_NOT_OK(st);
 
+  obs::TraceSpan splice_span("join.splice");
   size_t total_pairs = 0;
   for (const LazyJoinResult& r : locals) total_pairs += r.pairs.size();
   out.pairs.reserve(total_pairs);

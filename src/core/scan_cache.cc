@@ -1,5 +1,7 @@
 #include "core/scan_cache.h"
 
+#include "obs/metrics.h"
+
 namespace lazyxml {
 
 namespace {
@@ -9,6 +11,31 @@ size_t RoundUpPow2(size_t v) {
   while (p < v) p <<= 1;
   return p;
 }
+
+// Registry mirror of the per-instance counters, aggregated across every
+// cache in the process (per-instance/per-shard breakdowns stay on the
+// instance via Stats()/PerShardStats()).
+struct RegistryMirror {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Counter& invalidations;
+  obs::Counter& admission_rejects;
+  static RegistryMirror& Get() {
+    auto& r = obs::MetricsRegistry::Global();
+    static RegistryMirror* const m = new RegistryMirror{
+        r.GetCounter("scan_cache.hits"),
+        r.GetCounter("scan_cache.misses"),
+        r.GetCounter("scan_cache.insertions"),
+        r.GetCounter("scan_cache.evictions"),
+        r.GetCounter("scan_cache.invalidations"),
+        r.GetCounter("scan_cache.admission_rejects")};
+    return *m;
+  }
+};
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 
 }  // namespace
 
@@ -28,10 +55,12 @@ ElementScan ElementScanCache::Get(TagId tid, SegmentId sid, uint64_t epoch,
   std::lock_guard<std::mutex> l(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    ++shard.misses;
+    shard.misses.fetch_add(1, kRelaxed);
+    RegistryMirror::Get().misses.Increment();
     return nullptr;
   }
-  ++shard.hits;
+  shard.hits.fetch_add(1, kRelaxed);
+  RegistryMirror::Get().hits.Increment();
   // Move to the front of the LRU ring.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->scan;
@@ -64,26 +93,35 @@ void ElementScanCache::Put(TagId tid, SegmentId sid, uint64_t epoch,
     // cache at all). Admitting one candidate in kAdmissionSample keeps
     // the churn bounded and leaves residents in place long enough to be
     // re-hit on the next pass.
-    ++shard.admission_rejects;
+    shard.admission_rejects.fetch_add(1, kRelaxed);
+    RegistryMirror::Get().admission_rejects.Increment();
     return;
   }
   shard.lru.push_front(Entry{key, std::move(scan), bytes});
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
-  ++shard.insertions;
+  shard.insertions.fetch_add(1, kRelaxed);
+  RegistryMirror::Get().insertions.Increment();
+  uint64_t evicted = 0;
   while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
     shard.map.erase(victim.key);
     shard.lru.pop_back();
-    ++shard.evictions;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    shard.evictions.fetch_add(evicted, kRelaxed);
+    RegistryMirror::Get().evictions.Add(evicted);
   }
 }
 
 void ElementScanCache::Invalidate() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> l(shard->mu);
-    shard->invalidations += shard->lru.size();
+    const uint64_t purged = shard->lru.size();
+    shard->invalidations.fetch_add(purged, kRelaxed);
+    if (purged > 0) RegistryMirror::Get().invalidations.Add(purged);
     shard->lru.clear();
     shard->map.clear();
     shard->bytes = 0;
@@ -94,12 +132,12 @@ ElementScanCacheStats ElementScanCache::Stats() const {
   ElementScanCacheStats out;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> l(shard->mu);
-    out.hits += shard->hits;
-    out.misses += shard->misses;
-    out.insertions += shard->insertions;
-    out.evictions += shard->evictions;
-    out.invalidations += shard->invalidations;
-    out.admission_rejects += shard->admission_rejects;
+    out.hits += shard->hits.load(kRelaxed);
+    out.misses += shard->misses.load(kRelaxed);
+    out.insertions += shard->insertions.load(kRelaxed);
+    out.evictions += shard->evictions.load(kRelaxed);
+    out.invalidations += shard->invalidations.load(kRelaxed);
+    out.admission_rejects += shard->admission_rejects.load(kRelaxed);
     out.bytes_used += shard->bytes;
     out.entries += shard->lru.size();
   }
@@ -112,12 +150,12 @@ std::vector<ElementScanCacheStats> ElementScanCache::PerShardStats() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> l(shard->mu);
     ElementScanCacheStats s;
-    s.hits = shard->hits;
-    s.misses = shard->misses;
-    s.insertions = shard->insertions;
-    s.evictions = shard->evictions;
-    s.invalidations = shard->invalidations;
-    s.admission_rejects = shard->admission_rejects;
+    s.hits = shard->hits.load(kRelaxed);
+    s.misses = shard->misses.load(kRelaxed);
+    s.insertions = shard->insertions.load(kRelaxed);
+    s.evictions = shard->evictions.load(kRelaxed);
+    s.invalidations = shard->invalidations.load(kRelaxed);
+    s.admission_rejects = shard->admission_rejects.load(kRelaxed);
     s.bytes_used = shard->bytes;
     s.entries = shard->lru.size();
     out.push_back(s);

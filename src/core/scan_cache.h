@@ -31,6 +31,7 @@
 #ifndef LAZYXML_CORE_SCAN_CACHE_H_
 #define LAZYXML_CORE_SCAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -99,7 +100,11 @@ class ElementScanCache {
   /// Drops every entry (all epochs). Readers holding scans are unaffected.
   void Invalidate();
 
-  /// Aggregated counters over all shards.
+  /// Aggregated counters over all shards. Safe to call concurrently with
+  /// fills/evictions/invalidations: each shard is snapshotted under its
+  /// mutex (and the counter cells are additionally relaxed atomics), so a
+  /// reader can never observe a torn multi-word update — at worst it sees
+  /// a shard-consistent point between operations.
   ElementScanCacheStats Stats() const;
 
   /// Number of shards (options().shards rounded up to a power of two).
@@ -143,12 +148,16 @@ class ElementScanCache {
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
     size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
-    uint64_t admission_rejects = 0;
+    // Counters are written under `mu` but stored as relaxed atomics so a
+    // stats reader can never tear a cell even if a future caller reads
+    // them without the lock (Stats()/PerShardStats() still lock, which
+    // also keeps bytes/entries consistent with the counters).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> insertions{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidations{0};
+    std::atomic<uint64_t> admission_rejects{0};
     uint64_t admission_tick = 0;
   };
 

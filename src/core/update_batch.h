@@ -66,18 +66,23 @@ class UpdateBatch {
   std::vector<UpdateOp> ops_;
 };
 
-/// What ApplyBatch did, for observability and tests. Only meaningful
-/// when the batch succeeded (on error the counters cover the applied
-/// prefix).
+/// What ApplyBatch did, for observability and tests. When the batch
+/// fails, the counters cover EXACTLY the applied prefix: the rejected
+/// op contributes no applied count, no cancelled pair, no index-flush
+/// or index-record counts, and its sids slot is 0 (even though the sid
+/// itself is burned inside the database so that a retry of the suffix
+/// assigns the same later sids as sequential application would).
+/// `ops` alone is descriptive — always the full batch size.
 struct BatchStats {
-  size_t ops = 0;              ///< ops in the batch
-  size_t applied = 0;          ///< ops applied (== ops on success)
+  size_t ops = 0;              ///< ops in the batch (even the unapplied ones)
+  size_t applied = 0;          ///< ops fully applied (== ops on success)
   size_t cancelled_pairs = 0;  ///< insert-then-remove pairs short-circuited
   size_t index_flushes = 0;    ///< deferred element-index batch applies
   size_t index_records = 0;    ///< element records applied across flushes
-  /// sids[i] is the sid assigned to op i if it was an insert (including
-  /// a cancelled one — its sid is burned to keep later sids identical
-  /// to sequential application), 0 for removes.
+  /// sids[i] is the sid assigned to op i if it was a fully-applied
+  /// insert (including a cancelled one — its sid is burned to keep
+  /// later sids identical to sequential application), 0 for removes
+  /// and for a rejected final op.
   std::vector<SegmentId> sids;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace lazyxml {
 
@@ -96,6 +97,9 @@ Result<UpdateLog::InsertInfo> UpdateLog::AddSegment(uint64_t gp,
     sb_dirty_ = true;
   }
 
+  LAZYXML_METRIC_COUNTER(segments_counter, "update_log.segments_created");
+  segments_counter.Increment();
+
   InsertInfo info;
   info.sid = node->sid;
   info.node = node;
@@ -152,6 +156,12 @@ Result<UpdateLog::RemovalEffects> UpdateLog::CollectRemovalEffects(
   out.gp = gp;
   out.length = length;
   LAZYXML_RETURN_NOT_OK(CollectRec(root_, gp, gp + length, &out));
+  // Straddle resolutions: partial removals are exactly the segments whose
+  // frozen span the removed region cuts through rather than covers.
+  LAZYXML_METRIC_COUNTER(full_counter, "update_log.removals_full");
+  LAZYXML_METRIC_COUNTER(partial_counter, "update_log.removals_partial");
+  full_counter.Add(out.full.size());
+  partial_counter.Add(out.partial.size());
   return out;
 }
 
@@ -310,6 +320,9 @@ Result<UpdateLog::InsertInfo> UpdateLog::CollapseSubtree(SegmentId sid) {
   } else {
     sb_dirty_ = true;
   }
+
+  LAZYXML_METRIC_COUNTER(collapsed_counter, "update_log.segments_collapsed");
+  collapsed_counter.Increment();
 
   InsertInfo info;
   info.sid = node->sid;

@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace lazyxml {
+namespace obs {
+namespace {
+
+// JSON string escaping for metric names (conservative: names are ASCII
+// identifiers by convention, but the exporter must never emit invalid
+// JSON regardless of input).
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  // %.17g round-trips doubles; trim a trailing ".0"-less integer look by
+  // using %g which drops redundant zeros already.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::PercentileUpperBound(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return internal::BucketUpperBound(i);
+  }
+  return internal::BucketUpperBound(kHistogramBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instruments are referenced from function-local
+  // statics all over the tree, so the registry must outlive every other
+  // static.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    auto owned = std::unique_ptr<Counter>(
+        new Counter(std::string(name), &enabled_));
+    it = counters_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    auto owned =
+        std::unique_ptr<Gauge>(new Gauge(std::string(name), &enabled_));
+    it = gauges_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto owned = std::unique_ptr<Histogram>(
+        new Histogram(std::string(name), &enabled_));
+    it = histograms_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->Snapshot();
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ExportText() const {
+  // One line per metric, sorted within each kind (the maps are ordered).
+  // Zero-valued instruments are suppressed so the export reflects what
+  // actually happened, not what was merely registered.
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : counters) {
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "counter %s %" PRIu64 "\n", name.c_str(),
+                  v);
+    out.append(buf);
+  }
+  for (const auto& [name, v] : gauges) {
+    if (v == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "gauge %s %.6g\n", name.c_str(), v);
+    out.append(buf);
+  }
+  for (const auto& [name, h] : histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%" PRIu64 " sum=%" PRIu64
+                  " mean=%.6g p50<=%" PRIu64 " p99<=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.sum, h.Mean(),
+                  h.PercentileUpperBound(0.50), h.PercentileUpperBound(0.99));
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ExportJson() const {
+  std::string out;
+  char buf[64];
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (v == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, v);
+    out.append(buf);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (v == 0.0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendDouble(v, &out);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (h.count == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    std::snprintf(buf, sizeof(buf), ":{\"count\":%" PRIu64, h.count);
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), ",\"sum\":%" PRIu64, h.sum);
+    out.append(buf);
+    out.append(",\"mean\":");
+    AppendDouble(h.Mean(), &out);
+    std::snprintf(buf, sizeof(buf), ",\"p50_le\":%" PRIu64,
+                  h.PercentileUpperBound(0.50));
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), ",\"p99_le\":%" PRIu64,
+                  h.PercentileUpperBound(0.99));
+    out.append(buf);
+    // Buckets keyed by their upper bound; zero buckets suppressed.
+    out.append(",\"buckets\":{");
+    bool first_bucket = true;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "\"%" PRIu64 "\":%" PRIu64,
+                    internal::BucketUpperBound(i), h.buckets[i]);
+      out.append(buf);
+    }
+    out.append("}}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace lazyxml

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lazyxml {
+namespace obs {
+namespace {
+
+// Per-thread nesting state: the open trace id and depth. A top-level
+// span (depth 0) mints a trace id; nested spans inherit it.
+struct ThreadTraceState {
+  uint64_t trace_id = 0;
+  uint32_t depth = 0;
+};
+
+ThreadTraceState& ThisThreadTrace() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* const kGlobal = new TraceRing();
+  return *kGlobal;
+}
+
+uint64_t TraceRing::NowMicros() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+void TraceRing::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == ring_.size()) ++dropped_;
+  ring_[next_] = span;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  // Oldest entry sits at next_ once the ring has wrapped, else at 0.
+  const size_t start = size_ == ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::DumpJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  const uint64_t dropped_count = dropped();
+  std::string out = "{\"spans\":[";
+  char buf[160];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i != 0) out.push_back(',');
+    std::snprintf(buf, sizeof(buf),
+                  "{\"trace\":%" PRIu64 ",\"depth\":%" PRIu32
+                  ",\"name\":\"%s\",\"start_us\":%" PRIu64
+                  ",\"dur_us\":%" PRIu64 "}",
+                  s.trace_id, s.depth, s.name, s.start_us, s.duration_us);
+    out.append(buf);
+  }
+  std::snprintf(buf, sizeof(buf), "],\"dropped\":%" PRIu64 "}", dropped_count);
+  out.append(buf);
+  return out;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceRing* ring)
+    : ring_(ring != nullptr && ring->enabled() ? ring : nullptr),
+      name_(name) {
+  if (ring_ == nullptr) return;
+  ThreadTraceState& t = ThisThreadTrace();
+  if (t.depth == 0) t.trace_id = ring_->NextTraceId();
+  trace_id_ = t.trace_id;
+  depth_ = t.depth++;
+  start_us_ = TraceRing::NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (ring_ == nullptr) return;
+  SpanRecord span;
+  span.trace_id = trace_id_;
+  span.depth = depth_;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.duration_us = TraceRing::NowMicros() - start_us_;
+  ring_->Record(span);
+  ThreadTraceState& t = ThisThreadTrace();
+  if (t.depth > 0 && --t.depth == 0) t.trace_id = 0;
+}
+
+}  // namespace obs
+}  // namespace lazyxml

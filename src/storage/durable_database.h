@@ -88,6 +88,11 @@ class DurableLazyDatabase : private UpdateCapture {
   Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops) {
     return db_->ApplyBatch(ops);
   }
+  /// Stats-out form: `*stats_out` covers exactly the applied prefix even
+  /// when the batch fails (core/lazy_database.h).
+  Status ApplyBatch(std::span<const UpdateOp> ops, BatchStats* stats_out) {
+    return db_->ApplyBatch(ops, stats_out);
+  }
   Result<SegmentId> CollapseSubtree(SegmentId sid) {
     return db_->CollapseSubtree(sid);
   }
@@ -143,6 +148,11 @@ class DurableLazyDatabase : private UpdateCapture {
   /// capture hook is detached; it is attached for the facade's lifetime.
   LazyDatabase& database() { return *db_; }
   const LazyDatabase& database() const { return *db_; }
+
+  /// Snapshot of the process-wide metrics registry (docs/OBSERVABILITY.md)
+  /// — includes the WAL/group-commit instruments this layer feeds
+  /// (wal.fsyncs, wal.fsync_us, wal.group_commit.commits_per_fsync).
+  obs::MetricsSnapshot Metrics() const { return db_->Metrics(); }
 
   /// What recovery did when this handle was opened.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }

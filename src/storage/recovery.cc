@@ -6,6 +6,8 @@
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/wal_layout.h"
 #include "storage/wal_reader.h"
 
@@ -84,6 +86,11 @@ Status ApplyLogRecord(LazyDatabase* db, const LogRecord& record) {
 
 Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
                                           const RecoveryOptions& options) {
+  obs::TraceSpan recovery_span("recovery.run");
+  LAZYXML_METRIC_COUNTER(runs_counter, "recovery.runs");
+  LAZYXML_METRIC_HISTOGRAM(replay_hist, "recovery.replay_us");
+  runs_counter.Increment();
+  obs::ScopedLatency replay_latency(replay_hist);
   LAZYXML_RETURN_NOT_OK(CreateDirIfMissing(dir));
   LAZYXML_ASSIGN_OR_RETURN(DirectoryContents contents, ScanDirectory(dir));
 
@@ -197,6 +204,13 @@ Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
     out.stats.records_replayed += reader.records_read();
     ++out.stats.segments_replayed;
   }
+  // Registry mirror of RecoveryStats (the struct stays the API).
+  LAZYXML_METRIC_COUNTER(records_counter, "recovery.records_replayed");
+  LAZYXML_METRIC_COUNTER(segments_counter, "recovery.segments_replayed");
+  LAZYXML_METRIC_COUNTER(torn_counter, "recovery.torn_tails");
+  records_counter.Add(out.stats.records_replayed);
+  segments_counter.Add(out.stats.segments_replayed);
+  if (out.stats.torn_tail) torn_counter.Increment();
 
   out.next_wal_index = std::max(max_segment, out.stats.snapshot_index) + 1;
   LAZYXML_RETURN_NOT_OK(out.db->CheckInvariants().WithContext(

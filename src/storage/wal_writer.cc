@@ -2,6 +2,7 @@
 
 #include "common/crc32c.h"
 #include "common/serial.h"
+#include "obs/metrics.h"
 #include "storage/wal_layout.h"
 
 namespace lazyxml {
@@ -54,6 +55,10 @@ Status WalWriter::FlushFrames(size_t n) {
   if (n == 0) return Status::OK();
   LAZYXML_RETURN_NOT_OK(file_->Append(frame_buf_));
   records_appended_ += n;
+  LAZYXML_METRIC_COUNTER(records_counter, "wal.records_appended");
+  LAZYXML_METRIC_COUNTER(bytes_counter, "wal.bytes_appended");
+  records_counter.Add(n);
+  bytes_counter.Add(frame_buf_.size());
   switch (options_.sync_policy) {
     case WalSyncPolicy::kNever:
       break;
@@ -99,13 +104,21 @@ Status WalWriter::AppendBatch(std::span<const LogRecord* const> records) {
 }
 
 Status WalWriter::Sync() {
-  LAZYXML_RETURN_NOT_OK(file_->Sync());
+  LAZYXML_METRIC_COUNTER(fsync_counter, "wal.fsyncs");
+  LAZYXML_METRIC_HISTOGRAM(fsync_hist, "wal.fsync_us");
+  {
+    obs::ScopedLatency fsync_latency(fsync_hist);
+    LAZYXML_RETURN_NOT_OK(file_->Sync());
+  }
+  fsync_counter.Increment();
   ++syncs_;
   unsynced_bytes_ = 0;
   return Status::OK();
 }
 
 Status WalWriter::Rotate() {
+  LAZYXML_METRIC_COUNTER(rotations_counter, "wal.rotations");
+  rotations_counter.Increment();
   // A completed segment must be whole on disk regardless of policy:
   // recovery trusts every non-final segment.
   LAZYXML_RETURN_NOT_OK(Sync());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "xml/scanner.h"
 
 namespace lazyxml {
@@ -20,11 +21,18 @@ bool IsAllWhitespace(std::string_view s) {
 
 Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
                                      const ParseOptions& options) {
+  LAZYXML_METRIC_COUNTER(fragments_counter, "xml.parse.fragments");
+  LAZYXML_METRIC_COUNTER(bytes_counter, "xml.parse.bytes");
+  LAZYXML_METRIC_COUNTER(elements_counter, "xml.parse.elements");
+  LAZYXML_METRIC_COUNTER(errors_counter, "xml.parse.errors");
   if (dict == nullptr) {
     return Status::InvalidArgument("ParseFragment: null dictionary");
   }
+  fragments_counter.Increment();
+  bytes_counter.Add(text.size());
   if (options.max_document_bytes != 0 &&
       text.size() > options.max_document_bytes) {
+    errors_counter.Increment();
     return Status::InvalidArgument(
         StringPrintf("document of %zu bytes exceeds the %llu-byte limit",
                      text.size(),
@@ -32,6 +40,19 @@ Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
                          options.max_document_bytes)));
   }
   ParsedFragment out;
+  // Count every element the parse produced even when a later token makes
+  // the fragment fail: errors_counter disambiguates, and partial counts
+  // are what make "bytes parsed per error" a useful ratio.
+  struct ElementTally {
+    obs::Counter& elements;
+    obs::Counter& errors;
+    const ParsedFragment& frag;
+    bool ok = false;
+    ~ElementTally() {
+      elements.Add(frag.records.size());
+      if (!ok) errors.Increment();
+    }
+  } tally{elements_counter, errors_counter, out};
   XmlScanner scanner(text, options.base_offset);
 
   // Open-element stack: index into out.records plus the tag name bytes for
@@ -154,6 +175,7 @@ Result<ParsedFragment> ParseFragment(std::string_view text, TagDict* dict,
   out.distinct_tags.erase(
       std::unique(out.distinct_tags.begin(), out.distinct_tags.end()),
       out.distinct_tags.end());
+  tally.ok = true;
   return out;
 }
 

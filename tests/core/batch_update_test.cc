@@ -242,6 +242,172 @@ TEST(BatchUpdateTest, ErrorLeavesTheAppliedPrefix) {
   ExpectSameState(&seq, &db);
 }
 
+// Regression for the prefix-exactness of BatchStats on failure: the
+// rejected op must contribute nothing — no applied count, no cancelled
+// pair, no index-insert counts, a zero sids slot. Verified by comparing
+// against the stats of successfully applying the valid prefix alone,
+// with the failure injected at EVERY op position.
+TEST(BatchUpdateTest, FailedBatchStatsCoverExactlyTheAppliedPrefix) {
+  Random rng(77);
+  const std::vector<UpdateOp> ops = GenerateOps(&rng, 12, 0.3, 0.3);
+  for (size_t k = 0; k <= ops.size(); ++k) {
+    // Two failure shapes: a remove that fails the bounds check, and an
+    // insert that fails at parse. Neither can be planned into a
+    // cancelled pair, so planning of the prefix is unchanged; the bad
+    // insert is an unmatched end tag so the failed parse interns no tag
+    // (state must equal the prefix-only oracle byte for byte).
+    for (int shape = 0; shape < 2; ++shape) {
+      std::vector<UpdateOp> failing(ops.begin(), ops.begin() + k);
+      failing.push_back(shape == 0
+                            ? UpdateOp::Remove(uint64_t{1} << 60, 5)
+                            : UpdateOp::Insert("</x>", 0));
+      LazyDatabase db;
+      BatchStats stats;
+      Status s = db.ApplyBatch(failing, &stats);
+      ASSERT_FALSE(s.ok()) << "k=" << k << " shape=" << shape;
+      EXPECT_NE(s.message().find("step " + std::to_string(k)),
+                std::string::npos)
+          << s.ToString();
+
+      LazyDatabase oracle;
+      BatchStats expect;
+      ASSERT_TRUE(
+          oracle.ApplyBatch(std::span(ops.data(), k), &expect).ok());
+      EXPECT_EQ(stats.ops, k + 1);
+      EXPECT_EQ(stats.applied, expect.applied) << "k=" << k;
+      EXPECT_EQ(stats.applied, k);
+      EXPECT_EQ(stats.cancelled_pairs, expect.cancelled_pairs) << "k=" << k;
+      EXPECT_EQ(stats.index_flushes, expect.index_flushes) << "k=" << k;
+      EXPECT_EQ(stats.index_records, expect.index_records) << "k=" << k;
+      ASSERT_EQ(stats.sids.size(), k + 1);
+      EXPECT_EQ(stats.sids.back(), 0u);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(stats.sids[i], expect.sids[i]) << "k=" << k << " i=" << i;
+      }
+      // The prefix itself stayed applied and consistent.
+      ASSERT_TRUE(db.CheckInvariants().ok());
+      ExpectSameState(&oracle, &db);
+    }
+  }
+}
+
+// Capture hook that fails on its nth per-op callback — the only public
+// way to reject an op AFTER its in-memory work (and its deferred index
+// records) already happened, which is exactly the path where counters
+// used to leak counts from the rejected op.
+class FailAtNthOpCapture : public UpdateCapture {
+ public:
+  explicit FailAtNthOpCapture(int fail_at) : fail_at_(fail_at) {}
+  Status OnInsertSegment(SegmentId, std::string_view, uint64_t) override {
+    return Next();
+  }
+  Status OnRemoveRange(uint64_t, uint64_t) override { return Next(); }
+  Status OnCollapseSubtree(SegmentId, SegmentId) override { return Next(); }
+
+ private:
+  Status Next() {
+    if (calls_++ == fail_at_) return Status::IOError("injected capture fail");
+    return Status::OK();
+  }
+  int fail_at_;
+  int calls_ = 0;
+};
+
+TEST(BatchUpdateTest, FailedCaptureStatsCoverExactlyTheAppliedPrefix) {
+  // One capture callback per op (cancelled pairs included), so failing
+  // the nth callback rejects exactly op n — the only failure point
+  // AFTER the op's in-memory work (and deferred index records) already
+  // happened. The mix covers every per-op shape: plain inserts, a plain
+  // remove, and a cancelled pair. Expectations are hand-computed per
+  // fail position (a prefix-batch oracle would diverge at fail_op=4:
+  // the full batch plans ops 3+4 as a cancelled pair, the prefix alone
+  // applies op 3 structurally).
+  std::vector<UpdateOp> ops;
+  ops.push_back(UpdateOp::Insert("<A/>", 0));  // -> "<A/>"
+  ops.push_back(UpdateOp::Insert("<D/>", 4));  // -> "<A/><D/>"
+  ops.push_back(UpdateOp::Remove(0, 4));       // plain remove (no pair)
+  ops.push_back(UpdateOp::Insert("<m/>", 0));  // pair 1: short-circuited
+  ops.push_back(UpdateOp::Remove(0, 4));
+  ops.push_back(UpdateOp::Insert("<n/>", 0));  // pair 2
+  ops.push_back(UpdateOp::Remove(0, 4));
+  struct Want {
+    size_t applied;
+    size_t cancelled_pairs;
+    size_t index_flushes;
+    size_t index_records;
+    std::vector<SegmentId> sids;
+    SegmentId next_sid;
+  };
+  const Want wants[] = {
+      // fail_op=0: the rejected insert's record was flushed (matching
+      // sequential state) but counted nowhere; its sid 1 is burned.
+      {0, 0, 0, 0, {0, 0, 0, 0, 0, 0, 0}, 2},
+      // fail_op=1: the end flush held op 0's record (counted) plus the
+      // rejected op's record (flushed, not counted).
+      {1, 0, 1, 1, {1, 0, 0, 0, 0, 0, 0}, 3},
+      // fail_op=2: the pre-removal flush counted both prefix records;
+      // the remove applied in memory, then capture rejected it.
+      {2, 0, 1, 2, {1, 2, 0, 0, 0, 0, 0}, 3},
+      // fail_op=3: pair 1's insert burned sid 3, then capture rejected
+      // it: zero sids slot, nothing else.
+      {3, 0, 1, 2, {1, 2, 0, 0, 0, 0, 0}, 4},
+      // fail_op=4: capture rejected pair 1's closing remove — the pair
+      // must NOT be counted (this was the pre-fix bug: cancelled_pairs
+      // incremented before the capture could fail).
+      {4, 0, 1, 2, {1, 2, 0, 3, 0, 0, 0}, 4},
+      // fail_op=5: pair 1 completed (counted); pair 2's insert rejected.
+      {5, 1, 1, 2, {1, 2, 0, 3, 0, 0, 0}, 5},
+      // fail_op=6: pair 2's closing remove rejected — only pair 1 counts.
+      {6, 1, 1, 2, {1, 2, 0, 3, 0, 4, 0}, 5},
+  };
+  for (size_t fail_op = 0; fail_op < ops.size(); ++fail_op) {
+    FailAtNthOpCapture capture(static_cast<int>(fail_op));
+    LazyDatabase db;
+    db.set_update_capture(&capture);
+    BatchStats stats;
+    Status s = db.ApplyBatch(ops, &stats);
+    ASSERT_FALSE(s.ok()) << "fail_op=" << fail_op;
+    EXPECT_NE(s.message().find("step " + std::to_string(fail_op)),
+              std::string::npos)
+        << s.ToString();
+    const Want& want = wants[fail_op];
+    EXPECT_EQ(stats.ops, ops.size());
+    EXPECT_EQ(stats.applied, want.applied) << "fail_op=" << fail_op;
+    EXPECT_EQ(stats.cancelled_pairs, want.cancelled_pairs)
+        << "fail_op=" << fail_op;
+    EXPECT_EQ(stats.index_flushes, want.index_flushes)
+        << "fail_op=" << fail_op;
+    EXPECT_EQ(stats.index_records, want.index_records)
+        << "fail_op=" << fail_op;
+    EXPECT_EQ(stats.sids, want.sids) << "fail_op=" << fail_op;
+    EXPECT_EQ(db.update_log().next_sid(), want.next_sid)
+        << "fail_op=" << fail_op;
+    ASSERT_TRUE(db.CheckInvariants().ok());
+  }
+}
+
+TEST(BatchUpdateTest, StatsOutOverloadMatchesResultOverloadOnSuccess) {
+  UpdateBatch b;
+  b.Insert("<A><D/></A>", 0).Insert("<m/>", 3).Remove(3, 4);
+  LazyDatabase via_result;
+  auto r = via_result.ApplyBatch(b.ops());
+  ASSERT_TRUE(r.ok());
+  LazyDatabase via_out;
+  BatchStats stats;
+  ASSERT_TRUE(via_out.ApplyBatch(b.ops(), &stats).ok());
+  const BatchStats& want = r.ValueOrDie();
+  EXPECT_EQ(stats.ops, want.ops);
+  EXPECT_EQ(stats.applied, want.applied);
+  EXPECT_EQ(stats.cancelled_pairs, want.cancelled_pairs);
+  EXPECT_EQ(stats.index_flushes, want.index_flushes);
+  EXPECT_EQ(stats.index_records, want.index_records);
+  EXPECT_EQ(stats.sids, want.sids);
+  // Null stats-out is allowed.
+  LazyDatabase no_stats;
+  ASSERT_TRUE(no_stats.ApplyBatch(b.ops(), nullptr).ok());
+  ExpectSameState(&via_result, &no_stats);
+}
+
 TEST(BatchUpdateTest, ApplyPlanRoutesThroughTheBatchPath) {
   // Plans are pure-insert batches; a fresh database takes the bulk-load
   // flush. The result must match per-op application.

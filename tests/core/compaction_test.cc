@@ -46,6 +46,61 @@ void ExpectAllQueriesMatch(LazyDatabase* db, const std::string& doc) {
   }
 }
 
+// Guard for the scan-cache epoch accounting of the maintenance path.
+// Audit result (kept as a regression net): CollapseSubtree bumps the
+// mutation epoch exactly once, at entry; CompactAll adds no bump of its
+// own — it delegates to CollapseSubtree per top-level segment — so the
+// epoch advances exactly once per structural change, every cached scan
+// recorded before maintenance is unreachable afterwards (join results
+// stay correct), and no double bump wastes cache warmth it didn't need
+// to.
+TEST(CompactionTest, EpochBumpsExactlyOncePerCollapse_JoinCompactJoin) {
+  LazyDatabaseOptions opts;
+  opts.query.cache_bytes = 1 << 20;
+  LazyDatabase db(opts);
+  ASSERT_NE(db.scan_cache(), nullptr);
+  std::string shadow;
+  // Five top-level sibling segments, each given a nested child segment,
+  // so CompactAll performs five real multi-segment collapses.
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t base = shadow.size();
+    const std::string outer = "<A><D>x</D></A>";
+    ASSERT_TRUE(db.InsertSegment(outer, base).ok());
+    testutil::SpliceInsert(&shadow, outer, base);
+    const std::string inner = "<D><A/></D>";
+    ASSERT_TRUE(db.InsertSegment(inner, base + 3).ok());
+    testutil::SpliceInsert(&shadow, inner, base + 3);
+  }
+  ASSERT_EQ(db.update_log().root()->children.size(), 5u);
+
+  const auto want = testutil::OracleJoin(shadow, "A", "D");
+  EXPECT_EQ(db.JoinGlobal("A", "D").ValueOrDie(), want);
+  const auto cold = db.scan_cache()->Stats();
+  ASSERT_TRUE(db.JoinGlobal("A", "D").ok());
+  const auto warm = db.scan_cache()->Stats();
+  EXPECT_GT(warm.hits, cold.hits);  // re-query at the same epoch hits
+
+  const uint64_t epoch_before = db.mutation_epoch();
+  ASSERT_TRUE(db.CompactAll().ok());
+  EXPECT_EQ(db.mutation_epoch(), epoch_before + 5);
+  EXPECT_EQ(db.Stats().num_segments, 5u);
+
+  // Join again: results identical, but served cold — the epoch change
+  // made every pre-compaction entry unreachable, so misses must grow.
+  const auto post = db.scan_cache()->Stats();
+  EXPECT_EQ(db.JoinGlobal("A", "D").ValueOrDie(), want);
+  const auto refill = db.scan_cache()->Stats();
+  EXPECT_GT(refill.misses, post.misses);
+  ASSERT_TRUE(db.CheckInvariants().ok());
+
+  // A single explicit collapse: exactly one bump too.
+  const SegmentId one = db.update_log().root()->children[0]->sid;
+  const uint64_t epoch_single = db.mutation_epoch();
+  ASSERT_TRUE(db.CollapseSubtree(one).ok());
+  EXPECT_EQ(db.mutation_epoch(), epoch_single + 1);
+  EXPECT_EQ(db.JoinGlobal("A", "D").ValueOrDie(), want);
+}
+
 TEST(CompactionTest, CompactAllCollapsesToOneSegment) {
   const std::string doc = MakeDoc(800);
   LazyDatabase db;

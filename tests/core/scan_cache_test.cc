@@ -153,5 +153,65 @@ TEST(ScanCacheTest, ConcurrentReadersAndWritersStaySound) {
   EXPECT_FALSE(failed.load());
 }
 
+// Regression for stats tearing: Stats()/PerShardStats() readers racing
+// concurrent fills, evictions and invalidations must only ever observe
+// shard-consistent, monotonic counter values (the cells are relaxed
+// atomics snapshotted under each shard's mutex). Runs under TSan in CI,
+// where a non-atomic counter read would be a reported race.
+TEST(ScanCacheTest, StatsReadersRacingWritersSeeMonotonicCounters) {
+  ElementScanCacheOptions opts;
+  opts.shards = 4;
+  // Small budget so the writers constantly evict and admission-reject.
+  opts.capacity_bytes = 16 * (ElementScanBytes(*MakeScan(32)) + 256);
+  ElementScanCache cache(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread stats_reader([&] {
+    ElementScanCacheStats last;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ElementScanCacheStats now = cache.Stats();
+      // Monotonic counters never go backwards; a torn or half-applied
+      // read would show exactly that.
+      if (now.hits < last.hits || now.misses < last.misses ||
+          now.insertions < last.insertions ||
+          now.evictions < last.evictions ||
+          now.invalidations < last.invalidations ||
+          now.admission_rejects < last.admission_rejects) {
+        failed.store(true);
+      }
+      last = now;
+      // Per-shard counters must sum to the aggregate's ballpark: take
+      // the per-shard snapshot first, then the aggregate — every shard
+      // total can only have grown in between.
+      std::vector<ElementScanCacheStats> shards = cache.PerShardStats();
+      uint64_t hit_sum = 0;
+      for (const auto& s : shards) hit_sum += s.hits;
+      if (cache.Stats().hits < hit_sum) failed.store(true);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 4000; ++i) {
+        const uint64_t sid = (t * 53 + i) % 96;
+        if (!cache.Get(1, sid, 0)) cache.Put(1, sid, 0, MakeScan(32));
+        if (t == 0 && i % 1024 == 0) cache.Invalidate();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  stats_reader.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiescent sanity: entries/bytes match what a fresh snapshot says,
+  // and the flow balance holds (insertions = live + evicted + purged).
+  const ElementScanCacheStats end = cache.Stats();
+  EXPECT_EQ(end.insertions,
+            end.entries + end.evictions + end.invalidations);
+}
+
 }  // namespace
 }  // namespace lazyxml

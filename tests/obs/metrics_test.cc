@@ -1,0 +1,289 @@
+// Tests for the metrics registry (src/obs/metrics.h): instrument
+// semantics, the golden text/JSON export schemas, the log2 bucket
+// layout, and write/snapshot races (the stress tests run under TSan in
+// CI — keep "Obs"/"Metrics" in the suite names so the filter picks
+// them up).
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAddsAndSumsAcrossShards) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  EXPECT_EQ(c.name(), "test.counter");
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.GetCounter("test.counter"), &c);
+}
+
+TEST(ObsMetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("test.gauge");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(1.25);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+}
+
+TEST(ObsMetricsTest, DisabledRegistryDropsWrites) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test.counter");
+  Gauge& g = reg.GetGauge("test.gauge");
+  Histogram& h = reg.GetHistogram("test.hist");
+  reg.SetEnabled(false);
+  EXPECT_FALSE(reg.enabled());
+  c.Add(7);
+  g.Set(7.0);
+  h.Record(7);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  reg.SetEnabled(true);
+  c.Add(7);
+  EXPECT_EQ(c.Value(), 7u);
+}
+
+TEST(ObsMetricsTest, ResetZeroesButKeepsRegistration) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test.counter");
+  Histogram& h = reg.GetHistogram("test.hist");
+  c.Add(3);
+  h.Record(9);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  // The handles stay valid and usable after Reset.
+  c.Increment();
+  EXPECT_EQ(c.Value(), 1u);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_TRUE(snap.counters.contains("test.counter"));
+  ASSERT_TRUE(snap.histograms.contains("test.hist"));
+}
+
+// The exporters are a schema other tooling parses (bench/run_all.sh
+// embeds ExportJson into BENCH_PR.json) — golden-test them exactly.
+TEST(ObsMetricsTest, ExportTextGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("batch.ops").Add(3);
+  reg.GetGauge("test.ratio").Set(1.5);
+  Histogram& h = reg.GetHistogram("test.lat_us");
+  h.Record(0);  // bucket 0
+  h.Record(1);  // bucket [1,2)
+  h.Record(5);  // bucket [4,8)
+  // count=3 sum=6 mean=2; p50 rank 2 -> bucket [1,2) -> ub 2;
+  // p99 rank 3 -> bucket [4,8) -> ub 8.
+  EXPECT_EQ(reg.Snapshot().ExportText(),
+            "counter batch.ops 3\n"
+            "gauge test.ratio 1.5\n"
+            "histogram test.lat_us count=3 sum=6 mean=2 p50<=2 p99<=8\n");
+}
+
+TEST(ObsMetricsTest, ExportJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("batch.ops").Add(3);
+  reg.GetGauge("test.ratio").Set(1.5);
+  Histogram& h = reg.GetHistogram("test.lat_us");
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  EXPECT_EQ(
+      reg.Snapshot().ExportJson(),
+      "{\"counters\":{\"batch.ops\":3},"
+      "\"gauges\":{\"test.ratio\":1.5},"
+      "\"histograms\":{\"test.lat_us\":{\"count\":3,\"sum\":6,\"mean\":2,"
+      "\"p50_le\":2,\"p99_le\":8,\"buckets\":{\"0\":1,\"2\":1,\"8\":1}}}}");
+}
+
+TEST(ObsMetricsTest, ExportSuppressesZeroValuedInstruments) {
+  MetricsRegistry reg;
+  reg.GetCounter("zero.counter");
+  reg.GetGauge("zero.gauge");
+  reg.GetHistogram("zero.hist");
+  MetricsSnapshot snap = reg.Snapshot();
+  // Registered but never written: present in the snapshot, absent from
+  // the exports.
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.ExportText(), "");
+  EXPECT_EQ(snap.ExportJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsMetricsTest, ExportOrderIsSortedByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.second").Increment();
+  reg.GetCounter("a.first").Increment();
+  EXPECT_EQ(reg.Snapshot().ExportText(),
+            "counter a.first 1\ncounter b.second 1\n");
+}
+
+// Property test for the log2 bucket layout: every value lands in the
+// bucket whose [lower, upper) range contains it, at exact powers of two
+// and at random points.
+TEST(ObsMetricsTest, HistogramBucketBoundaryProperty) {
+  auto check_value = [](uint64_t v) {
+    const size_t i = internal::BucketIndex(v);
+    if (v == 0) {
+      EXPECT_EQ(i, 0u) << "value " << v;
+      return;
+    }
+    ASSERT_GE(i, 1u) << "value " << v;
+    ASSERT_LT(i, kHistogramBuckets) << "value " << v;
+    const uint64_t lower = uint64_t{1} << (i - 1);
+    EXPECT_GE(v, lower) << "value " << v << " bucket " << i;
+    if (i < 64) {
+      EXPECT_LT(v, uint64_t{1} << i) << "value " << v << " bucket " << i;
+    }
+    // The bucket's exported key is its exclusive upper bound.
+    EXPECT_GT(internal::BucketUpperBound(i), v == UINT64_MAX ? v - 1 : v);
+  };
+
+  check_value(0);
+  for (int k = 0; k < 64; ++k) {
+    const uint64_t p = uint64_t{1} << k;
+    check_value(p);
+    check_value(p - 1);
+    if (p + 1 != 0) check_value(p + 1);
+  }
+  check_value(UINT64_MAX);
+
+  std::mt19937_64 rng(20260805);
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("prop.hist");
+  for (int iter = 0; iter < 2000; ++iter) {
+    // Spread values across all magnitudes, not just the top of the range.
+    const uint64_t v = rng() >> (rng() % 64);
+    check_value(v);
+    const uint64_t before = h.Snapshot().buckets[internal::BucketIndex(v)];
+    h.Record(v);
+    EXPECT_EQ(h.Snapshot().buckets[internal::BucketIndex(v)], before + 1);
+  }
+  EXPECT_EQ(h.Snapshot().count, 2000u);
+}
+
+TEST(ObsMetricsTest, PercentileUpperBoundEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.PercentileUpperBound(0.5), 0u);
+
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("pct.hist");
+  h.Record(3);  // bucket [2,4)
+  HistogramSnapshot one = h.Snapshot();
+  EXPECT_EQ(one.PercentileUpperBound(0.0), 4u);   // rank clamps to 1
+  EXPECT_EQ(one.PercentileUpperBound(0.5), 4u);
+  EXPECT_EQ(one.PercentileUpperBound(1.0), 4u);
+  EXPECT_EQ(one.PercentileUpperBound(2.0), 4u);   // q clamps to 1
+
+  for (int i = 0; i < 99; ++i) h.Record(1000);  // bucket [512,1024)
+  HistogramSnapshot many = h.Snapshot();
+  EXPECT_EQ(many.PercentileUpperBound(0.01), 4u);
+  EXPECT_EQ(many.PercentileUpperBound(0.99), 1024u);
+}
+
+TEST(ObsMetricsTest, ScopedLatencyRecordsOneSample) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat.hist");
+  { ScopedLatency lat(h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  // Disabled at construction: inert even if re-enabled before the dtor.
+  reg.SetEnabled(false);
+  {
+    ScopedLatency lat(h);
+    reg.SetEnabled(true);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+// Concurrency stress: writers on every instrument kind racing a
+// snapshot reader. Run under TSan in CI; the final totals also verify
+// no increments are lost across shards.
+TEST(ObsMetricsStressTest, ConcurrentWritersAndSnapshotReaders) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("stress.counter");
+  Gauge& g = reg.GetGauge("stress.gauge");
+  Histogram& h = reg.GetHistogram("stress.hist");
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = reg.Snapshot();
+      const uint64_t now = snap.counters.at("stress.counter");
+      EXPECT_GE(now, last);  // counters are monotonic under concurrency
+      last = now;
+      // Histogram shard sums are relaxed, so count and the bucket total
+      // may momentarily disagree; both must still be monotonic.
+      EXPECT_LE(snap.histograms.at("stress.hist").count,
+                static_cast<uint64_t>(kThreads) * kIters);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.Increment();
+        g.Set(static_cast<double>(t));
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIters);
+  HistogramSnapshot hs = h.Snapshot();
+  EXPECT_EQ(hs.count, static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hs.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs.count);
+}
+
+// Registration races: many threads resolving the same + distinct names
+// must agree on the returned handles (the macro caching relies on it).
+TEST(ObsMetricsStressTest, ConcurrentRegistration) {
+  constexpr int kThreads = 8;
+  MetricsRegistry reg;
+  std::vector<Counter*> shared(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      shared[t] = &reg.GetCounter("reg.shared");
+      reg.GetCounter("reg.private." + std::to_string(t)).Increment();
+      shared[t]->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(shared[t], shared[0]);
+  EXPECT_EQ(shared[0]->Value(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(reg.Snapshot().counters.size(), 1u + kThreads);
+}
+
+TEST(ObsMetricsTest, GlobalRegistryMacrosResolveStableHandles) {
+  LAZYXML_METRIC_COUNTER(first, "test.macro.counter");
+  LAZYXML_METRIC_COUNTER(second, "test.macro.counter");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(&first, &MetricsRegistry::Global().GetCounter("test.macro.counter"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lazyxml

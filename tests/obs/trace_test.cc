@@ -1,0 +1,144 @@
+// Tests for trace spans (src/obs/trace.h): thread-local nesting, the
+// bounded overwrite-oldest ring, and the JSON dump schema.
+
+#include "obs/trace.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace obs {
+namespace {
+
+TEST(ObsTraceTest, NestedSpansShareATraceIdWithIncreasingDepth) {
+  TraceRing ring(16);
+  {
+    TraceSpan outer("outer", &ring);
+    {
+      TraceSpan inner("inner", &ring);
+    }
+  }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order: inner closes (and records) first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+}
+
+TEST(ObsTraceTest, SiblingTopLevelSpansGetFreshTraceIds) {
+  TraceRing ring(16);
+  { TraceSpan a("a", &ring); }
+  { TraceSpan b("b", &ring); }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(ObsTraceTest, SpansOnDifferentThreadsOpenDifferentTraces) {
+  TraceRing ring(16);
+  { TraceSpan main_span("main", &ring); }
+  std::thread other([&] { TraceSpan t("worker", &ring); });
+  other.join();
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST(ObsTraceTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRing ring(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    SpanRecord span;
+    span.trace_id = i;
+    span.name = "s";
+    ring.Record(span);
+  }
+  EXPECT_EQ(ring.dropped(), 2u);
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: spans 1 and 2 were overwritten.
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].trace_id, i + 3);
+}
+
+TEST(ObsTraceTest, DumpJsonGolden) {
+  TraceRing ring(4);
+  SpanRecord span;
+  span.trace_id = 1;
+  span.depth = 0;
+  span.name = "join.query";
+  span.start_us = 5;
+  span.duration_us = 7;
+  ring.Record(span);
+  EXPECT_EQ(ring.DumpJson(),
+            "{\"spans\":[{\"trace\":1,\"depth\":0,\"name\":\"join.query\","
+            "\"start_us\":5,\"dur_us\":7}],\"dropped\":0}");
+  ring.Clear();
+  EXPECT_EQ(ring.DumpJson(), "{\"spans\":[],\"dropped\":0}");
+}
+
+TEST(ObsTraceTest, DisabledRingMakesSpansInert) {
+  TraceRing ring(4);
+  ring.SetEnabled(false);
+  {
+    TraceSpan span("ignored", &ring);
+    // Enabling mid-span must not resurrect a span born inert.
+    ring.SetEnabled(true);
+  }
+  EXPECT_TRUE(ring.Snapshot().empty());
+  // Nesting depth must not leak from inert spans: the next span is
+  // top-level again.
+  { TraceSpan span("live", &ring); }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(ObsTraceTest, ClearResetsRetainedSpansAndDropCount) {
+  TraceRing ring(2);
+  for (int i = 0; i < 5; ++i) {
+    SpanRecord span;
+    span.name = "s";
+    ring.Record(span);
+  }
+  EXPECT_EQ(ring.dropped(), 3u);
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// Concurrent spans from many threads: the ring must stay internally
+// consistent (size bounded, dropped accounted). Runs under TSan in CI.
+TEST(ObsTraceStressTest, ConcurrentSpanRecording) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  TraceRing ring(64);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        TraceSpan outer("outer", &ring);
+        TraceSpan inner("inner", &ring);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  EXPECT_EQ(spans.size(), 64u);
+  EXPECT_EQ(ring.dropped(),
+            static_cast<uint64_t>(kThreads) * kIters * 2 - 64);
+  for (const SpanRecord& s : spans) EXPECT_NE(s.trace_id, 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lazyxml
