@@ -1,0 +1,183 @@
+// Server benchmark: a closed-loop swarm of concurrent clients driving a
+// live Server over a unix socket — the full stack (wire framing, CRC,
+// command parse, engine locking, event loop, thread-pool dispatch), not
+// a function call. Reported numbers:
+//
+//   * items_per_second       requests/s across the whole swarm (RPS);
+//   * p50_us / p99_us        client-observed round-trip latency;
+//   * the registry dump      server-side per-command latency histograms
+//     (BENCH_PR.json)        (server.cmd.<name>_us, server.request_us)
+//                            and the server.* counters, via
+//                            bench/metrics_hook.h.
+//
+// Each /N variant runs N concurrent client sessions. The interesting
+// comparisons: LOAD (exclusive-lock appends serialize in the engine)
+// vs PATH (shared-lock queries overlap) vs the mixed workload, and how
+// each scales with the client count.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/metrics_hook.h"
+#include "common/logging.h"
+#include "server/client.h"
+#include "server/engine.h"
+#include "server/server.h"
+
+namespace lazyxml {
+namespace server {
+namespace {
+
+// One registration-form-sized document (paper §1 scale).
+const char* kDocument =
+    "<person><name>New Person</name>"
+    "<emailaddress>new@example.net</emailaddress>"
+    "<address><street>1 Lazy St</street><city>Baltimore</city>"
+    "<zipcode>21201</zipcode></address></person>";
+
+enum class Op { kLoad, kPath, kTwig, kMixed };
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoad:  return "LOAD";
+    case Op::kPath:  return "PATH";
+    case Op::kTwig:  return "TWIG";
+    case Op::kMixed: return "LOAD+PATH";
+  }
+  return "?";
+}
+
+/// A running in-memory server on a fresh unix socket plus one connected
+/// client per swarm thread. Query benchmarks get a preloaded corpus so
+/// PATH/TWIG scan real data instead of an empty store.
+class Harness {
+ public:
+  Harness(size_t clients, size_t preload_docs) {
+    static std::atomic<uint64_t> counter{0};
+    ServerEngineOptions eng;
+    engine_ = ServerEngine::Open(std::move(eng)).ValueOrDie();
+    ServerOptions opt;
+    opt.unix_path = "/tmp/lazyxml_bench_server_" + std::to_string(getpid()) +
+                    "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+    server_ = std::make_unique<Server>(engine_.get(), opt);
+    LAZYXML_CHECK(server_->Start().ok());
+    for (size_t i = 0; i < clients; ++i) {
+      clients_.push_back(
+          Client::ConnectUnixEndpoint(server_->unix_path()).ValueOrDie());
+    }
+    for (size_t i = 0; i < preload_docs; ++i) {
+      LAZYXML_CHECK(clients_[0].Load(kDocument).ok());
+    }
+  }
+  ~Harness() { server_->Stop(); }
+
+  Client& client(size_t i) { return clients_[i]; }
+
+ private:
+  std::unique_ptr<ServerEngine> engine_;
+  std::unique_ptr<Server> server_;
+  std::vector<Client> clients_;
+};
+
+/// Issues `count` requests of `op` on one client, appending each
+/// round-trip's microseconds to `lat_us`.
+void RunRequests(Client& c, Op op, size_t count,
+                 std::vector<double>* lat_us) {
+  using clock = std::chrono::steady_clock;
+  for (size_t i = 0; i < count; ++i) {
+    const auto t0 = clock::now();
+    switch (op) {
+      case Op::kLoad:
+        LAZYXML_CHECK(c.Load(kDocument).ok());
+        break;
+      case Op::kPath:
+        LAZYXML_CHECK(c.Path("person/name").ok());
+        break;
+      case Op::kTwig:
+        LAZYXML_CHECK(c.Twig("person//city").ok());
+        break;
+      case Op::kMixed:
+        if (i % 2 == 0) {
+          LAZYXML_CHECK(c.Load(kDocument).ok());
+        } else {
+          LAZYXML_CHECK(c.Path("person/name").ok());
+        }
+        break;
+    }
+    lat_us->push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+  }
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+/// Closed loop: every timed iteration, each of the N clients issues
+/// kRequestsPerClient requests on its own thread; items processed =
+/// total requests, so items_per_second is the swarm's RPS.
+void RunSwarm(benchmark::State& state, Op op) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  constexpr size_t kRequestsPerClient = 64;
+  const size_t preload = (op == Op::kLoad) ? 0 : 256;
+  Harness harness(clients, preload);
+
+  std::mutex mu;
+  std::vector<double> all_lat_us;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        std::vector<double> lat;
+        lat.reserve(kRequestsPerClient);
+        RunRequests(harness.client(i), op, kRequestsPerClient, &lat);
+        std::lock_guard<std::mutex> lock(mu);
+        all_lat_us.insert(all_lat_us.end(), lat.begin(), lat.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(clients * kRequestsPerClient));
+  state.counters["p50_us"] = Percentile(all_lat_us, 0.50);
+  state.counters["p99_us"] = Percentile(all_lat_us, 0.99);
+  state.SetLabel(OpName(op));
+}
+
+void BM_ServerLoad(benchmark::State& state) { RunSwarm(state, Op::kLoad); }
+void BM_ServerPath(benchmark::State& state) { RunSwarm(state, Op::kPath); }
+void BM_ServerTwig(benchmark::State& state) { RunSwarm(state, Op::kTwig); }
+void BM_ServerMixed(benchmark::State& state) { RunSwarm(state, Op::kMixed); }
+
+// Rates against wall clock: the work happens on the swarm threads and
+// in the server, not on the benchmark's main thread.
+BENCHMARK(BM_ServerLoad)->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServerPath)->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServerTwig)->Arg(1)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServerMixed)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace server
+}  // namespace lazyxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# A complete scripted session against a live lazyxml_server: start the
+# server on a unix socket with a durable data directory, load an
+# XMark-shaped auction document with lazyxml_client, run twig and path
+# queries against it, append more people, scrub the store, and dump the
+# server's metrics registry — then shut the server down cleanly.
+#
+# Usage:
+#   examples/server_session.sh [BUILD_DIR]     # default BUILD_DIR: build
+#
+# Build the binaries first:
+#   cmake -B build -S . && cmake --build build -j \
+#       --target lazyxml_server lazyxml_client
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/src/server/lazyxml_server"
+CLIENT="$BUILD_DIR/src/server/lazyxml_client"
+for bin in "$SERVER" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build lazyxml_server/lazyxml_client first" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d /tmp/lazyxml_session_XXXXXX)"
+SOCK="$tmp/lazyxml.sock"
+mkdir "$tmp/data"
+cleanup() {
+  if [[ -n "${SRV_PID:-}" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -TERM "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== starting server on $SOCK (durable data dir, batched fsync)"
+"$SERVER" --socket "$SOCK" --data-dir "$tmp/data" --sync batch &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  kill -0 "$SRV_PID" 2>/dev/null || { echo "server died" >&2; exit 1; }
+  sleep 0.05
+done
+
+# An XMark-shaped auction-site document (the paper's Fig. 14 workload
+# shape): people with interests, regional items, open auctions whose
+# bidders reference the people.
+cat > "$tmp/auction.xml" <<'XML'
+<site><people><person id="person0"><name>Takano Sozzi</name><emailaddress>mailto:Sozzi@itc.it</emailaddress><interest category="category3"/></person><person id="person1"><name>Gisela Uemura</name><emailaddress>mailto:Uemura@acm.org</emailaddress><interest category="category1"/><interest category="category3"/></person><person id="person2"><name>Wanli Withoff</name><emailaddress>mailto:Withoff@dauphine.fr</emailaddress></person></people><regions><europe><item id="item0"><name>duteous nine eighteen</name><quantity>1</quantity></item><item id="item1"><name>great foul plays</name><quantity>2</quantity></item></europe><namerica><item id="item2"><name>precious stones</name><quantity>1</quantity></item></namerica></regions><open_auctions><open_auction id="auction0"><bidder><personref person="person0"/><increase>4.50</increase></bidder><bidder><personref person="person1"/><increase>12.00</increase></bidder><current>21.50</current></open_auction><open_auction id="auction1"><bidder><personref person="person2"/><increase>1.50</increase></bidder><current>6.00</current></open_auction></open_auctions></site>
+XML
+
+echo "== loading the auction document"
+"$CLIENT" --socket "$SOCK" LOAD @"$tmp/auction.xml"
+
+echo "== scripted session: queries, more people, scrub, metrics"
+"$CLIENT" --socket "$SOCK" - <<'SESSION'
+# Twig joins down the people subtree: every name reachable under a
+# person (paper Fig. 14 shape).
+TWIG site//person//name
+# ... and every registered interest.
+TWIG people//interest
+# A root-to-leaf path: auctions' bidder increases.
+PATH open_auction/bidder/increase
+# Registration keeps flowing while queries run in real deployments;
+# LOAD appends whole documents at the end of the store ('\' continues
+# the command into a body, '.' ends it).
+LOAD \
+<site><people><person id="person3"><name>Ayako Handa</name><interest category="category2"/></person></people></site>
+.
+# The twig now sees the new person too.
+TWIG site//person//name
+# Full consistency scrub: B-trees, labeling, the WAL/snapshot pair.
+CHECK
+# What the server did this session, from its metrics registry
+# (server.requests, per-command latency histograms, wal.* counters).
+METRICS TEXT
+QUIT
+SESSION
+
+echo "== done (server shut down by the trap)"

@@ -1,0 +1,83 @@
+// Fuzz target: the server's wire-frame decoder plus the command parser
+// behind it. Arbitrary bytes — truncated frames, bit-flipped headers,
+// oversized lengths, garbage payloads — fed to a FrameDecoder in
+// arbitrary chunk sizes must yield CRC-verified frames or one sticky
+// fatal error, never a crash, hang, or over-cap buffering. Frames that
+// decode are pushed through ParseCommand/ParseResponse, which must stay
+// total over hostile command text too.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fuzz_common.h"
+#include "server/command.h"
+#include "server/wire.h"
+
+using namespace lazyxml;
+using namespace lazyxml::server;
+using lazyxml_fuzz::ByteStream;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // The first two bytes are knobs, not stream bytes: a small payload cap
+  // keeps "oversized length" reachable from fuzzer-sized inputs (and the
+  // boundary itself moves), the second byte varies the feed chunking.
+  ByteStream knobs(data, size);
+  WireLimits limits;
+  limits.max_payload_bytes = 64 + static_cast<uint32_t>(knobs.NextByte());
+  const size_t chunk = 1 + knobs.NextByte() % 97;
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  bytes.remove_prefix(size < 2 ? size : 2);
+
+  FrameDecoder decoder(limits);
+  bool failed = false;
+  size_t frames = 0;
+  for (size_t off = 0; off < bytes.size(); off += chunk) {
+    decoder.Feed(bytes.substr(off, chunk));
+    for (;;) {
+      auto next = decoder.Next();
+      if (!next.ok()) {
+        // Fatal errors are sticky: feeding more can never resurrect the
+        // stream, and the decoder must not keep buffering toward a
+        // hostile length.
+        failed = true;
+        auto again = decoder.Next();
+        FUZZ_ASSERT(!again.ok());
+        FUZZ_ASSERT(again.status().code() == next.status().code());
+        break;
+      }
+      if (!next.ValueOrDie().has_value()) break;
+      const Frame& frame = *next.ValueOrDie();
+      FUZZ_ASSERT(frame.payload.size() <= limits.max_payload_bytes);
+      FUZZ_ASSERT(frame.type == FrameType::kRequest ||
+                  frame.type == FrameType::kResponse);
+      ++frames;
+      // Whatever survives framing meets the text layers; both parsers
+      // must be total.
+      auto cmd = ParseCommand(frame.payload);
+      if (cmd.ok()) {
+        FUZZ_ASSERT(!CommandKindName(cmd.ValueOrDie().kind).empty());
+      }
+      (void)ParseResponse(frame.payload);
+    }
+    if (failed) break;
+  }
+
+  // Buffered-but-unconsumed bytes can never exceed one max-size frame
+  // plus one unconsumed feed chunk (the decoder compacts as it goes).
+  FUZZ_ASSERT(decoder.buffered_bytes() <=
+              kFrameHeaderBytes + limits.max_payload_bytes + chunk);
+
+  // Round-trip oracle: re-encoding a decoded frame must decode again.
+  if (frames > 0 && !failed) {
+    auto enc = EncodeFrame(FrameType::kRequest, "CHECK", limits);
+    FUZZ_ASSERT(enc.ok());
+    FrameDecoder redec(limits);
+    redec.Feed(enc.ValueOrDie());
+    auto back = redec.Next();
+    FUZZ_ASSERT(back.ok() && back.ValueOrDie().has_value());
+    FUZZ_ASSERT(back.ValueOrDie()->payload == "CHECK");
+  }
+  return 0;
+}

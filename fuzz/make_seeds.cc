@@ -12,6 +12,7 @@
 #include "common/serial.h"
 #include "core/lazy_database.h"
 #include "core/snapshot.h"
+#include "server/wire.h"
 #include "storage/log_record.h"
 
 using namespace lazyxml;
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
   }
   namespace fs = std::filesystem;
   const fs::path out(argv[1]);
-  for (const char* sub : {"parser", "wal", "snapshot", "ops"}) {
+  for (const char* sub : {"parser", "wal", "snapshot", "ops", "wire"}) {
     std::error_code ec;
     fs::create_directories(out / sub, ec);
     if (ec) {
@@ -85,6 +86,33 @@ int main(int argc, char** argv) {
   std::string ops;
   for (int i = 0; i < 96; ++i) ops.push_back(static_cast<char>(i * 37 + 11));
   ok &= WriteFile(out / "ops" / "dense.bin", ops);
+
+  // Wire seeds: the first two bytes steer the fuzz target's payload cap
+  // and chunk size; valid frames follow so mutation starts from real
+  // framing instead of noise.
+  {
+    using server::EncodeFrame;
+    using server::FrameType;
+    server::WireLimits limits;
+    auto frame = [&](FrameType type, std::string_view payload) {
+      auto enc = EncodeFrame(type, payload, limits);
+      return enc.ok() ? enc.ValueOrDie() : std::string();
+    };
+    const std::string knobs = "\xC0\x20";
+    ok &= WriteFile(out / "wire" / "session.bin",
+                    knobs + frame(FrameType::kRequest, "LOAD\n<a><b/></a>") +
+                        frame(FrameType::kRequest, "PATH a/b") +
+                        frame(FrameType::kRequest, "BATCH BEGIN") +
+                        frame(FrameType::kRequest, "INSERT 3\n<c/>") +
+                        frame(FrameType::kRequest, "BATCH COMMIT") +
+                        frame(FrameType::kRequest, "QUIT"));
+    ok &= WriteFile(out / "wire" / "responses.bin",
+                    knobs +
+                        frame(FrameType::kResponse, "OK SID 1 GP 0 LEN 10") +
+                        frame(FrameType::kResponse,
+                              "ERR OutOfRange gp beyond end") +
+                        frame(FrameType::kResponse, "OK COUNT 2\n1 3\n1 7\n"));
+  }
 
   if (!ok) {
     std::fprintf(stderr, "seed generation failed\n");

@@ -1,0 +1,201 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lazyxml {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<UniqueFd> NewSocket(int domain) {
+  int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  return UniqueFd(fd);
+}
+
+Result<sockaddr_in> TcpAddress(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return addr;
+}
+
+Result<sockaddr_un> UnixAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "unix socket path empty or longer than sockaddr_un allows: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddress(host, port));
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_INET));
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<UniqueFd> ListenUnix(const std::string& path, int backlog) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
+  // A stale socket file from a crashed server blocks bind; nothing else
+  // legitimately lives at a configured socket path.
+  (void)::unlink(path.c_str());
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_UNIX));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddress(host, port));
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_INET));
+  int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  return fd;
+}
+
+Result<UniqueFd> ConnectUnix(const std::string& path) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_UNIX));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  return fd;
+}
+
+Result<UniqueFd> AcceptConnection(int listen_fd) {
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return UniqueFd();
+    // ECONNABORTED: the peer gave up between connect and accept — not a
+    // listener failure, just nothing to hand out.
+    if (errno == ECONNABORTED) return UniqueFd();
+    return Errno("accept");
+  }
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<ReadOutcome> ReadSome(int fd, char* buf, size_t cap) {
+  ReadOutcome out;
+  for (;;) {
+    ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      out.n = static_cast<size_t>(n);
+      return out;
+    }
+    if (n == 0) {
+      out.eof = true;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.would_block = true;
+      return out;
+    }
+    return Errno("read");
+  }
+}
+
+Result<WriteOutcome> WriteSome(int fd, const char* buf, size_t len) {
+  WriteOutcome out;
+  while (out.n < len) {
+    ssize_t n = ::send(fd, buf + out.n, len - out.n, MSG_NOSIGNAL);
+    if (n > 0) {
+      out.n += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      out.would_block = true;
+      return out;
+    }
+    return Errno("send");
+  }
+  return out;
+}
+
+Result<WakePipe> CreateWakePipe() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return Errno("pipe2");
+  WakePipe p;
+  p.read_end.reset(fds[0]);
+  p.write_end.reset(fds[1]);
+  return p;
+}
+
+void PokeWakePipe(int write_fd) {
+  char b = 1;
+  // EAGAIN means the pipe already holds unread wake bytes — the loop
+  // will wake; any other failure is ignorable for a pure wakeup.
+  (void)!::write(write_fd, &b, 1);
+}
+
+void DrainWakePipe(int read_fd) {
+  char buf[256];
+  while (::read(read_fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace lazyxml

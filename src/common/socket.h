@@ -1,0 +1,124 @@
+// POSIX socket helpers with Status error reporting, for the network
+// server (src/server/). Mirrors the file_io.h philosophy: thin RAII over
+// raw descriptors, every failure surfaced as a Status instead of errno
+// spelunking at call sites. Error taxonomy: address problems are
+// InvalidArgument, everything else the OS refuses is IOError.
+//
+// All sockets are created close-on-exec. Listener and connection
+// descriptors used by the event loop are switched to non-blocking by the
+// caller (SetNonBlocking); the client library keeps its socket blocking.
+
+#ifndef LAZYXML_COMMON_SOCKET_H_
+#define LAZYXML_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace lazyxml {
+
+/// Owns one file descriptor; closes it on destruction. Moveable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.fd_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (numeric host, e.g. "127.0.0.1").
+/// Port 0 asks the OS for an ephemeral port — read it back with
+/// LocalPort. SO_REUSEADDR is set so rapid restart works.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog = 128);
+
+/// Binds and listens on unix-domain socket `path`, unlinking a stale
+/// socket file at that path first. InvalidArgument when the path exceeds
+/// sockaddr_un limits.
+Result<UniqueFd> ListenUnix(const std::string& path, int backlog = 128);
+
+/// Connects (blocking) to a TCP listener.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Connects (blocking) to a unix-domain listener.
+Result<UniqueFd> ConnectUnix(const std::string& path);
+
+/// Accepts one pending connection from a (non-blocking) listener.
+/// OK with an invalid fd means "no connection pending" (EAGAIN).
+Result<UniqueFd> AcceptConnection(int listen_fd);
+
+/// The port a TCP socket is bound to (after ListenTcp with port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Switches `fd` to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Outcome of one non-blocking read.
+struct ReadOutcome {
+  size_t n = 0;             ///< bytes read into the buffer
+  bool eof = false;         ///< peer closed its write side
+  bool would_block = false; ///< nothing available right now
+};
+
+/// Reads up to `cap` bytes. EINTR is retried; EAGAIN comes back as
+/// would_block, a zero-byte read as eof, anything else as IOError.
+Result<ReadOutcome> ReadSome(int fd, char* buf, size_t cap);
+
+/// Outcome of one non-blocking write.
+struct WriteOutcome {
+  size_t n = 0;             ///< bytes accepted by the kernel
+  bool would_block = false; ///< send buffer full before all `n` requested
+};
+
+/// Writes up to `len` bytes. EINTR retried, EAGAIN → would_block,
+/// EPIPE/ECONNRESET and friends → IOError. SIGPIPE is suppressed
+/// (MSG_NOSIGNAL).
+Result<WriteOutcome> WriteSome(int fd, const char* buf, size_t len);
+
+/// A non-blocking self-wake pipe: write end poked by worker threads,
+/// read end registered with the event loop's poller.
+struct WakePipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+Result<WakePipe> CreateWakePipe();
+
+/// Writes one byte to the pipe (coalescing: a full pipe is success —
+/// the loop is already scheduled to wake).
+void PokeWakePipe(int write_fd);
+
+/// Drains every pending byte from the pipe's read end.
+void DrainWakePipe(int read_fd);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_SOCKET_H_

@@ -97,10 +97,26 @@ bool ThreadPool::TryRunOneTask(size_t self) {
   tasks_counter.Increment();
   // pending_ counts *unclaimed* tasks (it only gates worker sleep);
   // decrementing before running avoids a shutdown busy-spin where idle
-  // workers see pending > 0 for a task already running elsewhere.
+  // workers see pending > 0 for a task already running elsewhere. The
+  // active_ increment comes first so WaitIdle never observes both zero
+  // while this task is live.
+  active_.fetch_add(1, std::memory_order_acq_rel);
   pending_.fetch_sub(1, std::memory_order_release);
   task();
+  if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      pending_.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::mutex> l(wake_mu_);
+    idle_cv_.notify_all();
+  }
   return true;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> l(wake_mu_);
+  idle_cv_.wait(l, [this] {
+    return pending_.load(std::memory_order_acquire) == 0 &&
+           active_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop(size_t self) {

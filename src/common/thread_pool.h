@@ -51,6 +51,13 @@ class ThreadPool {
   /// running on a worker may itself call ParallelFor.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Blocks until every task submitted so far has finished running (both
+  /// queued and claimed-but-executing tasks). Tasks submitted by other
+  /// threads *while* waiting extend the wait — this is a drain barrier
+  /// for shutdown ordering (the server's Stop uses it on an owned pool),
+  /// not a phase barrier. Must not be called from a pool worker.
+  void WaitIdle();
+
   /// A good default worker count for this machine.
   static size_t DefaultThreadCount();
 
@@ -82,8 +89,13 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
   std::atomic<size_t> next_queue_{0};
   std::atomic<uint64_t> pending_{0};
+  /// Claimed tasks currently executing. Incremented BEFORE the matching
+  /// pending_ decrement so pending_ + active_ never transiently reads 0
+  /// while a task is live (WaitIdle's predicate depends on that).
+  std::atomic<uint64_t> active_{0};
   std::atomic<bool> stop_{false};
 };
 

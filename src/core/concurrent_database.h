@@ -86,6 +86,29 @@ class ConcurrentLazyDatabase {
     return r;
   }
 
+  /// Inserts `text` at the current end of the super document under ONE
+  /// exclusive acquisition (the server's LOAD: append a whole document).
+  /// Reading the length and inserting separately would race concurrent
+  /// writers into a stale position. `*gp_out` (optional) receives the
+  /// position used.
+  Result<SegmentId> AppendDocument(std::string_view text,
+                                   uint64_t* gp_out = nullptr) {
+    std::unique_lock lock(mu_);
+    const uint64_t gp = db_.update_log().super_document_length();
+    auto r = db_.InsertSegment(text, gp);
+    db_.InvalidateScanCache();
+    if (r.ok() && gp_out != nullptr) *gp_out = gp;
+    return r;
+  }
+
+  /// Performs the LS-mode freeze eagerly (exclusive: it sorts the
+  /// tag-list and builds the segment B+-tree). No-op when already frozen
+  /// or in LD mode, matching LazyDatabase::Freeze.
+  void Freeze() {
+    std::unique_lock lock(mu_);
+    db_.Freeze();
+  }
+
   // -- Queries (shared in LD; exclusive in LS, where they freeze) -----------
 
   Result<LazyJoinResult> JoinByName(std::string_view anc,
@@ -150,6 +173,16 @@ class ConcurrentLazyDatabase {
   void SetQueryOptions(const QueryOptions& query) {
     std::unique_lock lock(mu_);
     db_.SetQueryOptions(query);
+  }
+
+  /// Runs `fn(LazyDatabase&)` under the exclusive lock and returns its
+  /// result — the safe form of the escape hatch below for callers that
+  /// need direct access while other threads are live (the server's CHECK
+  /// command runs the scrubber through this).
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::unique_lock lock(mu_);
+    return fn(db_);
   }
 
   /// Exclusive access escape hatch for bulk setup (single-threaded phases).

@@ -1,0 +1,216 @@
+#include "server/client.h"
+
+#include <charconv>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace lazyxml {
+namespace server {
+
+namespace {
+
+/// Pulls the numeric value following `key` out of an OK detail line like
+/// "SID 7 GP 1024 LEN 33".
+Result<uint64_t> DetailField(std::string_view detail, std::string_view key) {
+  size_t pos = 0;
+  while (pos < detail.size()) {
+    while (pos < detail.size() && detail[pos] == ' ') ++pos;
+    size_t end = detail.find(' ', pos);
+    if (end == std::string_view::npos) end = detail.size();
+    std::string_view token = detail.substr(pos, end - pos);
+    pos = end + 1;
+    if (token != key) continue;
+    while (pos < detail.size() && detail[pos] == ' ') ++pos;
+    end = detail.find(' ', pos);
+    if (end == std::string_view::npos) end = detail.size();
+    std::string_view num = detail.substr(pos, end - pos);
+    uint64_t value = 0;
+    auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), value);
+    if (ec != std::errc() || p != num.data() + num.size()) {
+      return Status::InvalidArgument("malformed numeric field '" +
+                                     std::string(key) + "' in response '" +
+                                     std::string(detail) + "'");
+    }
+    return value;
+  }
+  return Status::InvalidArgument("field '" + std::string(key) +
+                                 "' missing from response '" +
+                                 std::string(detail) + "'");
+}
+
+/// Parses the "sid start" rows of a PATH/TWIG response body.
+Status ParseRows(std::string_view body,
+                 std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
+  for (std::string_view line : Split(body, '\n')) {
+    if (line.empty()) continue;
+    const size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("malformed result row '" +
+                                     std::string(line) + "'");
+    }
+    uint64_t sid = 0;
+    uint64_t start = 0;
+    std::string_view a = line.substr(0, sp);
+    std::string_view b = line.substr(sp + 1);
+    auto [pa, ea] = std::from_chars(a.data(), a.data() + a.size(), sid);
+    auto [pb, eb] = std::from_chars(b.data(), b.data() + b.size(), start);
+    if (ea != std::errc() || eb != std::errc() ||
+        pa != a.data() + a.size() || pb != b.data() + b.size()) {
+      return Status::InvalidArgument("malformed result row '" +
+                                     std::string(line) + "'");
+    }
+    rows_out->emplace_back(sid, start);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Client> Client::ConnectTcpEndpoint(const std::string& host,
+                                          uint16_t port, WireLimits limits) {
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
+  return Client(std::move(fd), limits);
+}
+
+Result<Client> Client::ConnectUnixEndpoint(const std::string& path,
+                                           WireLimits limits) {
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, ConnectUnix(path));
+  return Client(std::move(fd), limits);
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    auto w = WriteSome(fd_.get(), bytes.data() + off, bytes.size() - off);
+    LAZYXML_RETURN_NOT_OK(w.status());
+    // The socket is blocking, so would_block cannot persist; a zero-byte
+    // non-blocking write would loop, guard anyway.
+    if (w.ValueOrDie().n == 0 && w.ValueOrDie().would_block) {
+      return Status::IOError("short write on blocking client socket");
+    }
+    off += w.ValueOrDie().n;
+  }
+  return Status::OK();
+}
+
+Result<ParsedResponse> Client::Call(std::string_view payload) {
+  if (!fd_.valid()) {
+    return Status::InvalidArgument("client is not connected");
+  }
+  LAZYXML_ASSIGN_OR_RETURN(
+      std::string frame, EncodeFrame(FrameType::kRequest, payload, limits_));
+  LAZYXML_RETURN_NOT_OK(WriteAll(frame));
+  char buf[4096];
+  for (;;) {
+    auto next = decoder_.Next();
+    LAZYXML_RETURN_NOT_OK(next.status());
+    if (next.ValueOrDie().has_value()) {
+      Frame f = std::move(next.ValueOrDie().value());
+      if (f.type != FrameType::kResponse) {
+        return Status::InvalidArgument("server sent a non-response frame");
+      }
+      return ParseResponse(f.payload);
+    }
+    auto r = ReadSome(fd_.get(), buf, sizeof buf);
+    LAZYXML_RETURN_NOT_OK(r.status());
+    if (r.ValueOrDie().n > 0) {
+      decoder_.Feed(std::string_view(buf, r.ValueOrDie().n));
+      continue;
+    }
+    if (r.ValueOrDie().eof) {
+      fd_.reset();
+      return Status::IOError("server closed the connection mid-response");
+    }
+  }
+}
+
+Result<ParsedResponse> Client::CallChecked(std::string_view payload) {
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, Call(payload));
+  if (!resp.ok) return resp.ToStatus();
+  return resp;
+}
+
+Result<uint64_t> Client::Load(std::string_view xml) {
+  std::string payload = "LOAD\n";
+  payload.append(xml);
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, CallChecked(payload));
+  return DetailField(resp.detail, "SID");
+}
+
+Result<uint64_t> Client::Insert(uint64_t gp, std::string_view xml) {
+  std::string payload = "INSERT " + std::to_string(gp) + "\n";
+  payload.append(xml);
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, CallChecked(payload));
+  return DetailField(resp.detail, "SID");
+}
+
+Status Client::Remove(uint64_t gp, uint64_t length) {
+  return CallChecked("REMOVE " + std::to_string(gp) + " " +
+                     std::to_string(length))
+      .status();
+}
+
+Status Client::BatchBegin() { return CallChecked("BATCH BEGIN").status(); }
+
+Status Client::BatchAdd(bool insert, uint64_t gp, uint64_t length,
+                        std::string_view xml) {
+  if (insert) {
+    std::string payload = "INSERT " + std::to_string(gp) + "\n";
+    payload.append(xml);
+    return CallChecked(payload).status();
+  }
+  return Remove(gp, length);
+}
+
+Result<uint64_t> Client::BatchCommit() {
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, CallChecked("BATCH COMMIT"));
+  return DetailField(resp.detail, "APPLIED");
+}
+
+Status Client::BatchAbort() { return CallChecked("BATCH ABORT").status(); }
+
+Result<uint64_t> Client::Path(
+    std::string_view expr,
+    std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
+                           CallChecked("PATH " + std::string(expr)));
+  if (rows_out != nullptr) {
+    LAZYXML_RETURN_NOT_OK(ParseRows(resp.body, rows_out));
+  }
+  return DetailField(resp.detail, "COUNT");
+}
+
+Result<uint64_t> Client::Twig(
+    std::string_view expr,
+    std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
+                           CallChecked("TWIG " + std::string(expr)));
+  if (rows_out != nullptr) {
+    LAZYXML_RETURN_NOT_OK(ParseRows(resp.body, rows_out));
+  }
+  return DetailField(resp.detail, "COUNT");
+}
+
+Status Client::Freeze() { return CallChecked("FREEZE").status(); }
+
+Status Client::Compact() { return CallChecked("COMPACT").status(); }
+
+Result<ParsedResponse> Client::Check() { return CallChecked("CHECK"); }
+
+Result<std::string> Client::Metrics(bool json) {
+  LAZYXML_ASSIGN_OR_RETURN(
+      ParsedResponse resp,
+      CallChecked(json ? std::string_view("METRICS JSON")
+                       : std::string_view("METRICS TEXT")));
+  return std::move(resp.body);
+}
+
+Status Client::Quit() {
+  Status s = CallChecked("QUIT").status();
+  fd_.reset();
+  return s;
+}
+
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,89 @@
+// Client: a small blocking library speaking the lazyxml wire protocol
+// (server/wire.h) and command language (server/command.h). One Client is
+// one session on the server; it is not thread-safe — use one Client per
+// thread (the server interleaves sessions, not requests of a session).
+//
+// Used by the lazyxml_client CLI, bench_server's swarm, and the server
+// tests; scriptable clients (CI e2e) speak the same bytes from python.
+
+#ifndef LAZYXML_SERVER_CLIENT_H_
+#define LAZYXML_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "server/command.h"
+#include "server/wire.h"
+
+namespace lazyxml {
+namespace server {
+
+class Client {
+ public:
+  static Result<Client> ConnectTcpEndpoint(const std::string& host,
+                                           uint16_t port,
+                                           WireLimits limits = {});
+  static Result<Client> ConnectUnixEndpoint(const std::string& path,
+                                            WireLimits limits = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends one raw command payload and waits for the response frame.
+  /// The Status is about transport/protocol failure; a server-side ERR
+  /// comes back as an ok Result whose ParsedResponse has ok == false.
+  Result<ParsedResponse> Call(std::string_view payload);
+
+  /// Like Call, but folds a server-side ERR into the Status.
+  Result<ParsedResponse> CallChecked(std::string_view payload);
+
+  // -- Convenience wrappers (all CallChecked) ---------------------------------
+
+  /// LOAD: appends a document; returns the sid from "SID n GP n LEN n".
+  Result<uint64_t> Load(std::string_view xml);
+  Result<uint64_t> Insert(uint64_t gp, std::string_view xml);
+  Status Remove(uint64_t gp, uint64_t length);
+  Status BatchBegin();
+  Status BatchAdd(bool insert, uint64_t gp, uint64_t length,
+                  std::string_view xml);
+  /// Returns the applied-op count from "APPLIED n ...".
+  Result<uint64_t> BatchCommit();
+  Status BatchAbort();
+  /// Returns the match count; `rows_out` (optional) receives the listed
+  /// "sid start" body rows.
+  Result<uint64_t> Path(std::string_view expr,
+                        std::vector<std::pair<uint64_t, uint64_t>>* rows_out =
+                            nullptr);
+  Result<uint64_t> Twig(std::string_view expr,
+                        std::vector<std::pair<uint64_t, uint64_t>>* rows_out =
+                            nullptr);
+  Status Freeze();
+  Status Compact();
+  /// Returns the full CHECK response ("ERRORS n WARNINGS m" + report).
+  Result<ParsedResponse> Check();
+  /// METRICS TEXT or METRICS JSON; returns the dump body.
+  Result<std::string> Metrics(bool json);
+  /// QUIT; the server closes the connection after replying.
+  Status Quit();
+
+ private:
+  Client(UniqueFd fd, WireLimits limits)
+      : fd_(std::move(fd)), limits_(limits), decoder_(limits) {}
+
+  Status WriteAll(std::string_view bytes);
+
+  UniqueFd fd_;
+  WireLimits limits_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace server
+}  // namespace lazyxml
+
+#endif  // LAZYXML_SERVER_CLIENT_H_

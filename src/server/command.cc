@@ -1,0 +1,460 @@
+#include "server/command.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "server/engine.h"
+#include "server/session.h"
+
+namespace lazyxml {
+namespace server {
+
+namespace {
+
+/// Splits the first line off `payload`: returns the line, leaves the
+/// body (bytes after the '\n', possibly empty) in `*body`.
+std::string_view SplitFirstLine(std::string_view payload,
+                                std::string_view* body) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    *body = std::string_view();
+    return payload;
+  }
+  *body = payload.substr(nl + 1);
+  return payload.substr(0, nl);
+}
+
+/// Tokenizes a command line on single spaces, dropping empty tokens
+/// (tolerates repeated spaces and a trailing '\r').
+std::vector<std::string_view> Tokens(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+Result<uint64_t> ParseU64(std::string_view token, const char* what) {
+  uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(std::string(what) + " is not a number: '" +
+                                   std::string(token) + "'");
+  }
+  return v;
+}
+
+Status WrongArity(std::string_view verb, const char* usage) {
+  return Status::InvalidArgument("usage: " + std::string(usage) +
+                                 " (malformed " + std::string(verb) + ")");
+}
+
+/// The rest of the line after the verb, trimmed — PATH/TWIG expressions
+/// may not contain spaces (the grammars have none), but be forgiving
+/// about surrounding whitespace.
+Result<std::string> ExprArg(const std::vector<std::string_view>& tokens,
+                            const CommandLimits& limits, const char* usage) {
+  if (tokens.size() != 2) return WrongArity(tokens[0], usage);
+  if (tokens[1].size() > limits.max_expr_bytes) {
+    return Status::InvalidArgument(
+        "expression exceeds the cap of " +
+        std::to_string(limits.max_expr_bytes) + " bytes");
+  }
+  return std::string(tokens[1]);
+}
+
+}  // namespace
+
+std::string_view CommandKindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kLoad: return "load";
+    case CommandKind::kInsert: return "insert";
+    case CommandKind::kRemove: return "remove";
+    case CommandKind::kBatchBegin: return "batch_begin";
+    case CommandKind::kBatchCommit: return "batch_commit";
+    case CommandKind::kBatchAbort: return "batch_abort";
+    case CommandKind::kPath: return "path";
+    case CommandKind::kTwig: return "twig";
+    case CommandKind::kFreeze: return "freeze";
+    case CommandKind::kCompact: return "compact";
+    case CommandKind::kCheck: return "check";
+    case CommandKind::kMetrics: return "metrics";
+    case CommandKind::kQuit: return "quit";
+  }
+  return "unknown";
+}
+
+Result<Command> ParseCommand(std::string_view payload,
+                             const CommandLimits& limits) {
+  std::string_view body;
+  const std::string_view line = SplitFirstLine(payload, &body);
+  if (line.size() > limits.max_command_line_bytes) {
+    return Status::InvalidArgument(
+        "command line exceeds the cap of " +
+        std::to_string(limits.max_command_line_bytes) + " bytes");
+  }
+  const std::vector<std::string_view> tokens = Tokens(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty command");
+  const std::string_view verb = tokens[0];
+
+  Command cmd;
+  if (verb == "LOAD") {
+    if (tokens.size() != 1) return WrongArity(verb, "LOAD\\n<xml>");
+    if (body.empty()) {
+      return Status::InvalidArgument("LOAD requires a document body");
+    }
+    cmd.kind = CommandKind::kLoad;
+    cmd.body = std::string(body);
+    return cmd;
+  }
+  if (verb == "INSERT") {
+    if (tokens.size() != 2) return WrongArity(verb, "INSERT <gp>\\n<xml>");
+    LAZYXML_ASSIGN_OR_RETURN(cmd.gp, ParseU64(tokens[1], "gp"));
+    if (body.empty()) {
+      return Status::InvalidArgument("INSERT requires a document body");
+    }
+    cmd.kind = CommandKind::kInsert;
+    cmd.body = std::string(body);
+    return cmd;
+  }
+  if (verb == "REMOVE") {
+    if (tokens.size() != 3) return WrongArity(verb, "REMOVE <gp> <length>");
+    LAZYXML_ASSIGN_OR_RETURN(cmd.gp, ParseU64(tokens[1], "gp"));
+    LAZYXML_ASSIGN_OR_RETURN(cmd.length, ParseU64(tokens[2], "length"));
+    cmd.kind = CommandKind::kRemove;
+    return cmd;
+  }
+  if (verb == "BATCH") {
+    if (tokens.size() != 2) {
+      return WrongArity(verb, "BATCH BEGIN|COMMIT|ABORT");
+    }
+    if (tokens[1] == "BEGIN") cmd.kind = CommandKind::kBatchBegin;
+    else if (tokens[1] == "COMMIT") cmd.kind = CommandKind::kBatchCommit;
+    else if (tokens[1] == "ABORT") cmd.kind = CommandKind::kBatchAbort;
+    else return WrongArity(verb, "BATCH BEGIN|COMMIT|ABORT");
+    return cmd;
+  }
+  if (verb == "PATH") {
+    LAZYXML_ASSIGN_OR_RETURN(cmd.expr,
+                             ExprArg(tokens, limits, "PATH <expr>"));
+    cmd.kind = CommandKind::kPath;
+    return cmd;
+  }
+  if (verb == "TWIG") {
+    LAZYXML_ASSIGN_OR_RETURN(cmd.expr,
+                             ExprArg(tokens, limits, "TWIG <expr>"));
+    cmd.kind = CommandKind::kTwig;
+    return cmd;
+  }
+  if (verb == "FREEZE" || verb == "COMPACT" || verb == "CHECK" ||
+      verb == "QUIT") {
+    if (tokens.size() != 1) {
+      return WrongArity(verb, std::string(verb).c_str());
+    }
+    if (verb == "FREEZE") cmd.kind = CommandKind::kFreeze;
+    else if (verb == "COMPACT") cmd.kind = CommandKind::kCompact;
+    else if (verb == "CHECK") cmd.kind = CommandKind::kCheck;
+    else cmd.kind = CommandKind::kQuit;
+    return cmd;
+  }
+  if (verb == "METRICS") {
+    if (tokens.size() > 2) return WrongArity(verb, "METRICS [TEXT|JSON]");
+    cmd.kind = CommandKind::kMetrics;
+    if (tokens.size() == 2) {
+      if (tokens[1] == "JSON") cmd.metrics_json = true;
+      else if (tokens[1] != "TEXT") {
+        return WrongArity(verb, "METRICS [TEXT|JSON]");
+      }
+    }
+    return cmd;
+  }
+  return Status::InvalidArgument("unknown command verb '" + std::string(verb) +
+                                 "'");
+}
+
+std::string OkResponse(std::string_view detail, std::string_view body) {
+  std::string out = "OK";
+  if (!detail.empty()) {
+    out.push_back(' ');
+    out.append(detail);
+  }
+  if (!body.empty()) {
+    out.push_back('\n');
+    out.append(body);
+  }
+  return out;
+}
+
+std::string ErrorResponse(const Status& status) {
+  std::string msg = status.message();
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + std::string(StatusCodeToString(status.code())) + " " + msg;
+}
+
+Status ParsedResponse::ToStatus() const {
+  if (ok) return Status::OK();
+  if (code == "InvalidArgument") return Status::InvalidArgument(detail);
+  if (code == "NotFound") return Status::NotFound(detail);
+  if (code == "AlreadyExists") return Status::AlreadyExists(detail);
+  if (code == "OutOfRange") return Status::OutOfRange(detail);
+  if (code == "Corruption") return Status::Corruption(detail);
+  if (code == "NotSupported") return Status::NotSupported(detail);
+  if (code == "ParseError") return Status::ParseError(detail);
+  if (code == "IOError") return Status::IOError(detail);
+  return Status::Internal(code + ": " + detail);
+}
+
+Result<ParsedResponse> ParseResponse(std::string_view payload) {
+  std::string_view body;
+  std::string_view line = SplitFirstLine(payload, &body);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  ParsedResponse out;
+  out.body = std::string(body);
+  if (line == "OK" || StartsWith(line, "OK ")) {
+    out.ok = true;
+    if (line.size() > 3) out.detail = std::string(line.substr(3));
+    return out;
+  }
+  if (StartsWith(line, "ERR ")) {
+    const std::string_view rest = line.substr(4);
+    const size_t sp = rest.find(' ');
+    out.ok = false;
+    out.code = std::string(rest.substr(0, sp));
+    if (sp != std::string_view::npos) {
+      out.detail = std::string(rest.substr(sp + 1));
+    }
+    if (out.code.empty()) {
+      return Status::Corruption("response status line carries no code");
+    }
+    return out;
+  }
+  return Status::Corruption("response payload has no OK/ERR status line");
+}
+
+namespace {
+
+/// Per-command instruments, resolved once (dynamic names cannot use the
+/// LAZYXML_METRIC_* function-local-static macros).
+struct CmdInstruments {
+  obs::Counter* count;
+  obs::Histogram* us;
+};
+
+CmdInstruments& InstrumentsFor(CommandKind kind) {
+  static std::array<CmdInstruments, 13> all = [] {
+    std::array<CmdInstruments, 13> a{};
+    auto& reg = obs::MetricsRegistry::Global();
+    for (size_t i = 0; i < a.size(); ++i) {
+      const std::string base =
+          "server.cmd." +
+          std::string(CommandKindName(static_cast<CommandKind>(i)));
+      a[i].count = &reg.GetCounter(base);
+      a[i].us = &reg.GetHistogram(base + "_us");
+    }
+    return a;
+  }();
+  return all[static_cast<size_t>(kind)];
+}
+
+ExecuteOutcome Fail(const Status& status) {
+  ExecuteOutcome out;
+  out.response = ErrorResponse(status);
+  out.error = true;
+  return out;
+}
+
+ExecuteOutcome RunCommand(ServerEngine* engine, SessionContext* session,
+                          const Command& cmd) {
+  ExecuteOutcome out;
+  switch (cmd.kind) {
+    case CommandKind::kLoad: {
+      if (session->in_batch()) {
+        return Fail(Status::InvalidArgument(
+            "LOAD inside a batch is not supported (its position depends on "
+            "ops not applied yet); use INSERT <gp>"));
+      }
+      uint64_t gp = 0;
+      auto r = engine->Append(cmd.body, &gp);
+      if (!r.ok()) return Fail(r.status());
+      out.response = OkResponse(
+          StringPrintf("SID %llu GP %llu LEN %zu",
+                       static_cast<unsigned long long>(r.ValueOrDie()),
+                       static_cast<unsigned long long>(gp), cmd.body.size()));
+      return out;
+    }
+    case CommandKind::kInsert: {
+      if (session->in_batch()) {
+        auto q = session->BufferOp(UpdateOp::Insert(cmd.body, cmd.gp));
+        if (!q.ok()) return Fail(q.status());
+        out.response = OkResponse(
+            StringPrintf("QUEUED %zu", q.ValueOrDie() + 1));
+        return out;
+      }
+      auto r = engine->Insert(cmd.body, cmd.gp);
+      if (!r.ok()) return Fail(r.status());
+      out.response = OkResponse(StringPrintf(
+          "SID %llu", static_cast<unsigned long long>(r.ValueOrDie())));
+      return out;
+    }
+    case CommandKind::kRemove: {
+      if (session->in_batch()) {
+        auto q = session->BufferOp(UpdateOp::Remove(cmd.gp, cmd.length));
+        if (!q.ok()) return Fail(q.status());
+        out.response = OkResponse(
+            StringPrintf("QUEUED %zu", q.ValueOrDie() + 1));
+        return out;
+      }
+      Status s = engine->Remove(cmd.gp, cmd.length);
+      if (!s.ok()) return Fail(s);
+      out.response = OkResponse();
+      return out;
+    }
+    case CommandKind::kBatchBegin: {
+      Status s = session->BeginBatch();
+      if (!s.ok()) return Fail(s);
+      out.response = OkResponse("BATCH");
+      return out;
+    }
+    case CommandKind::kBatchCommit: {
+      if (!session->in_batch()) {
+        return Fail(Status::InvalidArgument("no batch open"));
+      }
+      const std::vector<UpdateOp> ops = session->TakeBatch();
+      BatchStats stats;
+      Status s = engine->ApplyBatch(ops, &stats);
+      if (!s.ok()) {
+        // Prefix semantics (core/lazy_database.h): report how far it got.
+        return Fail(s.WithContext(StringPrintf(
+            "batch failed after %zu/%zu ops", stats.applied, stats.ops)));
+      }
+      std::string sids;
+      for (SegmentId sid : stats.sids) {
+        if (!sids.empty()) sids.push_back(' ');
+        sids += std::to_string(sid);
+      }
+      out.response = OkResponse(
+          StringPrintf("APPLIED %zu CANCELLED %zu", stats.applied,
+                       stats.cancelled_pairs),
+          sids.empty() ? std::string() : "SIDS " + sids);
+      return out;
+    }
+    case CommandKind::kBatchAbort: {
+      if (!session->in_batch()) {
+        return Fail(Status::InvalidArgument("no batch open"));
+      }
+      LAZYXML_METRIC_COUNTER(aborted, "server.batches_aborted");
+      aborted.Increment();
+      out.response =
+          OkResponse(StringPrintf("DISCARDED %zu", session->AbortBatch()));
+      return out;
+    }
+    case CommandKind::kPath: {
+      auto r = engine->Path(cmd.expr);
+      if (!r.ok()) return Fail(r.status());
+      const PathQueryResult& pr = r.ValueOrDie();
+      std::string body;
+      const size_t cap = session->limits().max_result_elements;
+      const size_t listed = std::min(cap, pr.elements.size());
+      for (size_t i = 0; i < listed; ++i) {
+        body += StringPrintf(
+            "%llu %llu\n",
+            static_cast<unsigned long long>(pr.elements[i].sid),
+            static_cast<unsigned long long>(pr.elements[i].start));
+      }
+      out.response = OkResponse(
+          StringPrintf("COUNT %zu PAIRS %llu LISTED %zu", pr.elements.size(),
+                       static_cast<unsigned long long>(pr.intermediate_pairs),
+                       listed),
+          body);
+      return out;
+    }
+    case CommandKind::kTwig: {
+      auto r = engine->Twig(cmd.expr);
+      if (!r.ok()) return Fail(r.status());
+      const TwigQueryResult& tr = r.ValueOrDie();
+      std::string body;
+      const size_t cap = session->limits().max_result_elements;
+      const size_t listed = std::min(cap, tr.elements.size());
+      for (size_t i = 0; i < listed; ++i) {
+        body += StringPrintf(
+            "%llu %llu\n",
+            static_cast<unsigned long long>(tr.elements[i].sid),
+            static_cast<unsigned long long>(tr.elements[i].start));
+      }
+      out.response = OkResponse(
+          StringPrintf("COUNT %zu JOINS %llu LISTED %zu", tr.elements.size(),
+                       static_cast<unsigned long long>(tr.joins), listed),
+          body);
+      return out;
+    }
+    case CommandKind::kFreeze: {
+      Status s = engine->Freeze();
+      if (!s.ok()) return Fail(s);
+      out.response = OkResponse();
+      return out;
+    }
+    case CommandKind::kCompact: {
+      Status s = engine->Compact();
+      if (!s.ok()) return Fail(s);
+      out.response = OkResponse();
+      return out;
+    }
+    case CommandKind::kCheck: {
+      auto r = engine->Check();
+      if (!r.ok()) return Fail(r.status());
+      const check::CheckReport& report = r.ValueOrDie();
+      out.response = OkResponse(
+          StringPrintf("ERRORS %zu WARNINGS %zu", report.errors(),
+                       report.warnings()),
+          report.errors() + report.warnings() == 0 ? std::string_view()
+                                                   : report.ToString());
+      return out;
+    }
+    case CommandKind::kMetrics: {
+      const obs::MetricsSnapshot snap = engine->Metrics();
+      out.response = OkResponse(
+          cmd.metrics_json ? "JSON" : "TEXT",
+          cmd.metrics_json ? snap.ExportJson() : snap.ExportText());
+      return out;
+    }
+    case CommandKind::kQuit: {
+      out.response = OkResponse("BYE");
+      out.close = true;
+      return out;
+    }
+  }
+  return Fail(Status::Internal("unhandled command kind"));
+}
+
+}  // namespace
+
+ExecuteOutcome ExecuteCommand(ServerEngine* engine, SessionContext* session,
+                              const Command& cmd) {
+  LAZYXML_METRIC_HISTOGRAM(request_us, "server.request_us");
+  CmdInstruments& per_cmd = InstrumentsFor(cmd.kind);
+  per_cmd.count->Increment();
+  ExecuteOutcome out;
+  {
+    obs::ScopedLatency overall(request_us);
+    obs::ScopedLatency cmd_latency(*per_cmd.us);
+    out = RunCommand(engine, session, cmd);
+  }
+  ++session->requests_served;
+  return out;
+}
+
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,120 @@
+#include "server/engine.h"
+
+#include <mutex>
+#include <utility>
+
+namespace lazyxml {
+namespace server {
+
+Result<std::unique_ptr<ServerEngine>> ServerEngine::Open(
+    ServerEngineOptions options) {
+  if (options.data_dir.empty()) {
+    auto mem = std::make_unique<ConcurrentLazyDatabase>(options.db);
+    return std::unique_ptr<ServerEngine>(new ServerEngine(std::move(mem)));
+  }
+  options.durable.db = options.db;
+  LAZYXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableLazyDatabase> dur,
+      DurableLazyDatabase::Open(options.data_dir, options.durable));
+  // The effective mode comes from the opened database (an existing
+  // directory's snapshot wins over the requested options).
+  const bool lazy_static =
+      dur->database().update_log().mode() == LogMode::kLazyStatic;
+  return std::unique_ptr<ServerEngine>(
+      new ServerEngine(std::move(dur), lazy_static));
+}
+
+Result<SegmentId> ServerEngine::Append(std::string_view text,
+                                       uint64_t* gp_out) {
+  if (mem_ != nullptr) return mem_->AppendDocument(text, gp_out);
+  std::unique_lock lock(dur_mu_);
+  const uint64_t gp = dur_->database().update_log().super_document_length();
+  auto r = dur_->InsertSegment(text, gp);
+  dur_->database().InvalidateScanCache();
+  if (r.ok() && gp_out != nullptr) *gp_out = gp;
+  return r;
+}
+
+Result<SegmentId> ServerEngine::Insert(std::string_view text, uint64_t gp) {
+  if (mem_ != nullptr) return mem_->InsertSegment(text, gp);
+  std::unique_lock lock(dur_mu_);
+  auto r = dur_->InsertSegment(text, gp);
+  dur_->database().InvalidateScanCache();
+  return r;
+}
+
+Status ServerEngine::Remove(uint64_t gp, uint64_t length) {
+  if (mem_ != nullptr) return mem_->RemoveSegment(gp, length);
+  std::unique_lock lock(dur_mu_);
+  Status s = dur_->RemoveSegment(gp, length);
+  dur_->database().InvalidateScanCache();
+  return s;
+}
+
+Status ServerEngine::ApplyBatch(std::span<const UpdateOp> ops,
+                                BatchStats* stats_out) {
+  if (mem_ != nullptr) return mem_->ApplyBatch(ops, stats_out);
+  std::unique_lock lock(dur_mu_);
+  Status s = dur_->ApplyBatch(ops, stats_out);
+  dur_->database().InvalidateScanCache();
+  return s;
+}
+
+Status ServerEngine::Compact() {
+  if (mem_ != nullptr) return mem_->CompactAll();
+  std::unique_lock lock(dur_mu_);
+  Status s = dur_->CompactAll();
+  dur_->database().InvalidateScanCache();
+  return s;
+}
+
+Status ServerEngine::Freeze() {
+  if (mem_ != nullptr) {
+    mem_->Freeze();
+    return Status::OK();
+  }
+  std::unique_lock lock(dur_mu_);
+  return dur_->Freeze();
+}
+
+Result<PathQueryResult> ServerEngine::Path(std::string_view expr) {
+  if (mem_ != nullptr) return mem_->Path(expr);
+  if (dur_lazy_static_) {
+    // An LS query freezes (and journals the freeze point) — exclusive.
+    std::unique_lock lock(dur_mu_);
+    LAZYXML_RETURN_NOT_OK(dur_->Freeze());
+    return EvaluatePath(&dur_->database(), expr);
+  }
+  std::shared_lock lock(dur_mu_);
+  return EvaluatePath(&dur_->database(), expr);
+}
+
+Result<TwigQueryResult> ServerEngine::Twig(std::string_view expr) {
+  if (mem_ != nullptr) return mem_->Twig(expr);
+  if (dur_lazy_static_) {
+    std::unique_lock lock(dur_mu_);
+    LAZYXML_RETURN_NOT_OK(dur_->Freeze());
+    return EvaluateTwig(&dur_->database(), expr);
+  }
+  std::shared_lock lock(dur_mu_);
+  return EvaluateTwig(&dur_->database(), expr);
+}
+
+Result<check::CheckReport> ServerEngine::Check() {
+  check::Checker checker;
+  if (mem_ != nullptr) {
+    return mem_->WithExclusive(
+        [&checker](LazyDatabase& db) { return checker.Check(db); });
+  }
+  std::unique_lock lock(dur_mu_);
+  return checker.Check(*dur_);
+}
+
+LazyDatabaseStats ServerEngine::Stats() {
+  if (mem_ != nullptr) return mem_->Stats();
+  std::shared_lock lock(dur_mu_);
+  return dur_->database().Stats();
+}
+
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,105 @@
+// ServerEngine: the one database handle the server's command executor
+// talks to, uniform over the two deployment shapes:
+//
+//   in-memory   wraps ConcurrentLazyDatabase directly — its
+//               writer-priority TicketSharedMutex discipline is exactly
+//               what concurrent sessions need;
+//   durable     wraps DurableLazyDatabase (which is deliberately not
+//               thread-safe; storage/durable_database.h) and applies the
+//               *same* locking discipline here: updates and maintenance
+//               exclusive, queries shared in LD mode, exclusive in LS
+//               mode (where a query journals the freeze, i.e. mutates).
+//
+// Command execution (server/command.cc) calls only this class, so the
+// wire/command layers never care which shape is behind them.
+
+#ifndef LAZYXML_SERVER_ENGINE_H_
+#define LAZYXML_SERVER_ENGINE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "check/checker.h"
+#include "common/result.h"
+#include "common/ticket_rwlock.h"
+#include "core/concurrent_database.h"
+#include "core/lazy_database.h"
+#include "core/path_query.h"
+#include "core/twig_query.h"
+#include "core/update_batch.h"
+#include "obs/metrics.h"
+#include "storage/durable_database.h"
+
+namespace lazyxml {
+namespace server {
+
+struct ServerEngineOptions {
+  /// In-memory database tuning (mode, tree options, query options).
+  LazyDatabaseOptions db;
+  /// Non-empty: open a DurableLazyDatabase on this directory instead of
+  /// an in-memory ConcurrentLazyDatabase.
+  std::string data_dir;
+  /// Durable-mode knobs (wal sync policy etc.); `durable.db` is
+  /// overwritten by `db` so the two shapes share one tuning block.
+  DurableOptions durable;
+};
+
+class ServerEngine {
+ public:
+  /// Builds the in-memory engine or opens the durable directory.
+  static Result<std::unique_ptr<ServerEngine>> Open(ServerEngineOptions options);
+
+  ServerEngine(const ServerEngine&) = delete;
+  ServerEngine& operator=(const ServerEngine&) = delete;
+
+  bool durable() const { return dur_ != nullptr; }
+
+  // -- Updates (exclusive) ----------------------------------------------------
+
+  /// LOAD: insert at the current end of the super document, atomically
+  /// with reading that end. `*gp_out` receives the position used.
+  Result<SegmentId> Append(std::string_view text, uint64_t* gp_out);
+
+  Result<SegmentId> Insert(std::string_view text, uint64_t gp);
+  Status Remove(uint64_t gp, uint64_t length);
+  Status ApplyBatch(std::span<const UpdateOp> ops, BatchStats* stats_out);
+  Status Compact();
+  Status Freeze();
+
+  // -- Queries ----------------------------------------------------------------
+
+  Result<PathQueryResult> Path(std::string_view expr);
+  Result<TwigQueryResult> Twig(std::string_view expr);
+
+  // -- Introspection ----------------------------------------------------------
+
+  /// Full consistency scrub (in durable mode including the WAL/snapshot
+  /// cross-check). Exclusive: scrubbing a moving store reports phantoms.
+  Result<check::CheckReport> Check();
+
+  LazyDatabaseStats Stats();
+  obs::MetricsSnapshot Metrics() const {
+    return obs::MetricsRegistry::Global().Snapshot();
+  }
+
+ private:
+  explicit ServerEngine(std::unique_ptr<ConcurrentLazyDatabase> mem)
+      : mem_(std::move(mem)) {}
+  ServerEngine(std::unique_ptr<DurableLazyDatabase> dur, bool lazy_static)
+      : dur_(std::move(dur)), dur_lazy_static_(lazy_static) {}
+
+  // Exactly one of the two is set.
+  std::unique_ptr<ConcurrentLazyDatabase> mem_;
+  std::unique_ptr<DurableLazyDatabase> dur_;
+  /// Durable-mode lock (same discipline as ConcurrentLazyDatabase).
+  TicketSharedMutex dur_mu_;
+  bool dur_lazy_static_ = false;
+};
+
+}  // namespace server
+}  // namespace lazyxml
+
+#endif  // LAZYXML_SERVER_ENGINE_H_

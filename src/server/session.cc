@@ -1,0 +1,53 @@
+#include "server/session.h"
+
+#include <string>
+
+namespace lazyxml {
+namespace server {
+
+Status SessionContext::BeginBatch() {
+  if (in_batch_) {
+    return Status::InvalidArgument(
+        "BATCH BEGIN while a batch is already open (COMMIT or ABORT first)");
+  }
+  in_batch_ = true;
+  pending_.clear();
+  pending_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<size_t> SessionContext::BufferOp(UpdateOp op) {
+  if (!in_batch_) {
+    return Status::InvalidArgument("no batch open (BATCH BEGIN first)");
+  }
+  if (pending_.size() >= limits_.max_batch_ops) {
+    return Status::InvalidArgument(
+        "batch op cap reached (" + std::to_string(limits_.max_batch_ops) +
+        " ops buffered)");
+  }
+  if (pending_bytes_ + op.text.size() > limits_.max_batch_bytes) {
+    return Status::InvalidArgument(
+        "batch byte cap reached (" + std::to_string(limits_.max_batch_bytes) +
+        " bytes)");
+  }
+  pending_bytes_ += op.text.size();
+  pending_.push_back(std::move(op));
+  return pending_.size() - 1;
+}
+
+std::vector<UpdateOp> SessionContext::TakeBatch() {
+  in_batch_ = false;
+  pending_bytes_ = 0;
+  return std::move(pending_);
+}
+
+size_t SessionContext::AbortBatch() {
+  const size_t n = pending_.size();
+  in_batch_ = false;
+  pending_.clear();
+  pending_bytes_ = 0;
+  return n;
+}
+
+}  // namespace server
+}  // namespace lazyxml

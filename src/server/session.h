@@ -1,0 +1,83 @@
+// SessionContext: the per-client state the server keeps between
+// requests — identity, the pending BATCH buffer, and per-session query
+// limits. A session lives exactly as long as its connection: an abrupt
+// disconnect destroys the context, so a half-built batch is simply
+// dropped without ever touching the database (no sid is burned, no WAL
+// record written — tested in tests/server/session_test.cc).
+//
+// Threading: a session is only ever touched by its connection's single
+// in-flight request (the server dispatches one request per session at a
+// time) and by the event-loop thread between requests, so it needs no
+// internal locking.
+
+#ifndef LAZYXML_SERVER_SESSION_H_
+#define LAZYXML_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/update_batch.h"
+
+namespace lazyxml {
+namespace server {
+
+/// Per-session resource and result caps ("query options" a client gets,
+/// as opposed to the database-global QueryOptions).
+struct SessionLimits {
+  /// Ops a BATCH may buffer before COMMIT.
+  size_t max_batch_ops = 65536;
+  /// Total text bytes a BATCH may buffer.
+  size_t max_batch_bytes = 64u << 20;
+  /// Element rows listed in a PATH/TWIG response body (the count in the
+  /// status line is always exact).
+  size_t max_result_elements = 1000;
+};
+
+class SessionContext {
+ public:
+  SessionContext(uint64_t id, SessionLimits limits)
+      : id_(id), limits_(limits) {}
+  SessionContext(const SessionContext&) = delete;
+  SessionContext& operator=(const SessionContext&) = delete;
+
+  uint64_t id() const { return id_; }
+  const SessionLimits& limits() const { return limits_; }
+
+  // -- BATCH buffering ---------------------------------------------------------
+
+  bool in_batch() const { return in_batch_; }
+  size_t pending_ops() const { return pending_.size(); }
+  size_t pending_bytes() const { return pending_bytes_; }
+
+  /// BATCH BEGIN. Fails if a batch is already open.
+  Status BeginBatch();
+
+  /// Buffers one op; returns the op's 0-based position in the batch.
+  /// Fails when no batch is open or a cap is hit (the batch stays open —
+  /// the client may still COMMIT or ABORT what fit).
+  Result<size_t> BufferOp(UpdateOp op);
+
+  /// BATCH COMMIT: closes the batch and hands the ops to the caller.
+  std::vector<UpdateOp> TakeBatch();
+
+  /// BATCH ABORT: discards the buffer. Returns how many ops died.
+  size_t AbortBatch();
+
+  // -- Bookkeeping -------------------------------------------------------------
+
+  uint64_t requests_served = 0;
+
+ private:
+  const uint64_t id_;
+  const SessionLimits limits_;
+  bool in_batch_ = false;
+  std::vector<UpdateOp> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace server
+}  // namespace lazyxml
+
+#endif  // LAZYXML_SERVER_SESSION_H_

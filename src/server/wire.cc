@@ -1,0 +1,105 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace lazyxml {
+namespace server {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
+
+Result<std::string> EncodeFrame(FrameType type, std::string_view payload,
+                                const WireLimits& limits) {
+  if (payload.size() > limits.max_payload_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the wire cap of " +
+        std::to_string(limits.max_payload_bytes));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);  // flags lo
+  out.push_back(0);  // flags hi
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, crc32c::Mask(crc32c::Value(payload)));
+  out.append(payload);
+  return out;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!failed_.ok()) return failed_;
+  auto fail = [this](Status s) -> Result<std::optional<Frame>> {
+    failed_ = std::move(s);
+    return failed_;
+  };
+
+  if (buffered_bytes() < kFrameHeaderBytes) return std::optional<Frame>();
+  const char* h = buf_.data() + pos_;
+
+  // Header validation before any payload is waited for: a corrupt header
+  // must not make the decoder buffer an attacker-chosen length.
+  if (GetU32(h) != kWireMagic) {
+    return fail(Status::Corruption("wire frame: bad magic"));
+  }
+  const uint8_t version = static_cast<uint8_t>(h[4]);
+  if (version != kWireVersion) {
+    return fail(Status::NotSupported(
+        "wire frame: unsupported version " + std::to_string(version)));
+  }
+  const uint8_t type = static_cast<uint8_t>(h[5]);
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return fail(Status::Corruption("wire frame: unknown frame type " +
+                                   std::to_string(type)));
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    return fail(Status::Corruption("wire frame: nonzero reserved flags"));
+  }
+  const uint32_t len = GetU32(h + 8);
+  if (len > limits_.max_payload_bytes) {
+    return fail(Status::InvalidArgument(
+        "wire frame: payload length " + std::to_string(len) +
+        " exceeds the cap of " + std::to_string(limits_.max_payload_bytes)));
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + len) return std::optional<Frame>();
+
+  const char* payload = buf_.data() + pos_ + kFrameHeaderBytes;
+  const uint32_t expect = crc32c::Unmask(GetU32(h + 12));
+  if (crc32c::Value(payload, len) != expect) {
+    return fail(Status::Corruption("wire frame: payload CRC mismatch"));
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(payload, len);
+  pos_ += kFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,94 @@
+// Wire protocol for the lazyxml server: length-prefixed, CRC-checked
+// binary frames carrying text payloads (commands out, responses back).
+//
+// Frame layout (little-endian, 16-byte header; docs/SERVER.md):
+//
+//   offset  size  field
+//   0       4     magic 0x4C585731 ("LXW1" read as bytes 31 57 58 4C)
+//   4       1     version (kWireVersion)
+//   5       1     frame type (FrameType: 1 request, 2 response)
+//   6       2     flags (reserved, must be zero)
+//   8       4     payload length N (capped by WireLimits)
+//   12      4     masked CRC32C of the payload (common/crc32c.h masking,
+//                 same scheme as the WAL frames)
+//   16      N     payload bytes
+//
+// Decoding applies the ParseOptions resource-guard philosophy: every
+// header field is validated before a single payload byte is buffered
+// beyond the cap, so a malicious length can never balloon memory, and a
+// bit-flipped header or payload is rejected as a *fatal* protocol error
+// (the connection is closed — framing can no longer be trusted).
+
+#ifndef LAZYXML_SERVER_WIRE_H_
+#define LAZYXML_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace lazyxml {
+namespace server {
+
+inline constexpr uint32_t kWireMagic = 0x4C585731;  // "LXW1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Who is speaking. A server rejects anything but kRequest; a client
+/// rejects anything but kResponse.
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Hard resource caps on the framing layer.
+struct WireLimits {
+  /// Maximum payload bytes per frame. Oversized lengths are rejected
+  /// from the header alone, before any payload is read.
+  uint32_t max_payload_bytes = 16u << 20;
+};
+
+/// Encodes one frame. InvalidArgument when the payload exceeds the cap.
+Result<std::string> EncodeFrame(FrameType type, std::string_view payload,
+                                const WireLimits& limits = {});
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Incremental frame decoder over an arbitrary byte-chunk stream.
+///
+/// Feed() buffers bytes; Next() yields complete frames. Three outcomes:
+///   OK + frame      a complete, CRC-verified frame;
+///   OK + nullopt    need more bytes;
+///   error Status    fatal protocol violation (bad magic/version/flags/
+///                   type, oversized length, CRC mismatch) — the caller
+///                   must drop the connection, resync is impossible.
+/// After an error every further Next() returns the same error.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(WireLimits limits = {}) : limits_(limits) {}
+
+  void Feed(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
+
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by a returned frame.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  WireLimits limits_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted as frames complete
+  Status failed_;   // sticky fatal error
+};
+
+}  // namespace server
+}  // namespace lazyxml
+
+#endif  // LAZYXML_SERVER_WIRE_H_

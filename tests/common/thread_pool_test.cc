@@ -85,6 +85,42 @@ TEST(ThreadPoolTest, RepeatedWavesStaySound) {
   }
 }
 
+TEST(ThreadPoolTest, WaitIdleObservesEverySubmittedTask) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+    // Every task of this round finished — not merely been claimed —
+    // before WaitIdle returned.
+    ASSERT_EQ(ran.load(), (round + 1) * 32);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, WaitIdleSeesTasksSubmittedByTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &ran] {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Tasks spawned by tasks keep pending_+active_ nonzero until the whole
+  // tree has run; WaitIdle must not return at a transient zero between a
+  // parent finishing and its child being counted.
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ThreadPoolTest, SubmitFromWithinTask) {
   std::atomic<int> ran{0};
   {

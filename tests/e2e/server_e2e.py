@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""End-to-end test of lazyxml_server over its real wire protocol.
+
+Starts the server binary on a unix socket with a durable data dir, then
+drives it from this script with an independent implementation of the
+frame format (magic, version, CRC32C + LevelDB-style masking) — so a
+framing bug in the C++ client library cannot mask a framing bug in the
+server.
+
+Scenarios:
+  1. basic session: LOAD, PATH, TWIG, CHECK, METRICS;
+  2. a swarm of concurrent clients (default 8) loading documents;
+  3. an abrupt disconnect mid-BATCH (the batch must vanish without
+     burning a sid);
+  4. protocol abuse: garbage bytes get a framed ERR then a hangup;
+  5. clean SIGTERM shutdown (exit code 0), then recovery: a fresh server
+     on the same data dir still sees every committed document.
+
+Usage: server_e2e.py --server <path-to-lazyxml_server> [--clients N]
+"""
+
+import argparse
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# ---------------------------------------------------------------------------
+# CRC32C (Castagnoli, reflected 0x82F63B78) — table-driven, independent
+# of the C++ implementation.
+
+_CRC_TABLE = []
+for _i in range(256):
+    _c = _i
+    for _ in range(8):
+        _c = (_c >> 1) ^ 0x82F63B78 if _c & 1 else _c >> 1
+    _CRC_TABLE.append(_c)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for b in data:
+        crc = _CRC_TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+MASK_DELTA = 0xA282EAD8
+
+
+def mask(crc: int) -> int:
+    return (((crc >> 15) | (crc << 17)) + MASK_DELTA) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Wire frames
+
+MAGIC = 0x4C585731  # "LXW1"
+VERSION = 1
+T_REQUEST = 1
+T_RESPONSE = 2
+HEADER = struct.Struct("<IBBHII")  # magic, version, type, flags, len, crc
+
+
+def encode_frame(payload: bytes, ftype: int = T_REQUEST) -> bytes:
+    return HEADER.pack(MAGIC, VERSION, ftype, 0, len(payload),
+                       mask(crc32c(payload))) + payload
+
+
+class Conn:
+    """One blocking client session."""
+
+    def __init__(self, path: str):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def close(self):
+        self.sock.close()
+
+    def _read_frame(self) -> bytes:
+        while True:
+            if len(self.buf) >= HEADER.size:
+                magic, ver, ftype, flags, n, crc = HEADER.unpack(
+                    self.buf[:HEADER.size])
+                assert magic == MAGIC, f"bad magic {magic:#x}"
+                assert ver == VERSION and ftype == T_RESPONSE and flags == 0
+                if len(self.buf) >= HEADER.size + n:
+                    payload = self.buf[HEADER.size:HEADER.size + n]
+                    self.buf = self.buf[HEADER.size + n:]
+                    assert mask(crc32c(payload)) == crc, "payload CRC mismatch"
+                    return payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server hung up mid-frame")
+            self.buf += chunk
+
+    def call(self, payload: str) -> tuple[bool, str, str]:
+        """Returns (ok, status-line detail, body)."""
+        self.sock.sendall(encode_frame(payload.encode()))
+        resp = self._read_frame().decode()
+        line, _, body = resp.partition("\n")
+        if line == "OK" or line.startswith("OK "):
+            return True, line[3:], body
+        assert line.startswith("ERR "), f"unparseable status line {line!r}"
+        return False, line[4:], body
+
+    def ok(self, payload: str) -> tuple[str, str]:
+        good, detail, body = self.call(payload)
+        assert good, f"{payload.splitlines()[0]} failed: {detail}"
+        return detail, body
+
+
+def detail_field(detail: str, key: str) -> int:
+    toks = detail.split()
+    return int(toks[toks.index(key) + 1])
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+
+def scenario_basic(sock_path: str):
+    c = Conn(sock_path)
+    detail, _ = c.ok("LOAD\n<site><person><name>alice</name></person>"
+                     "<person><name>bob</name></person></site>")
+    assert detail_field(detail, "GP") == 0, detail
+    detail, body = c.ok("PATH person/name")
+    assert detail_field(detail, "COUNT") == 2, detail
+    assert len(body.splitlines()) == 2, body
+    detail, _ = c.ok("TWIG site//name")
+    assert detail_field(detail, "COUNT") == 2, detail
+    detail, _ = c.ok("CHECK")
+    assert detail == "ERRORS 0 WARNINGS 0", detail
+    _, body = c.ok("METRICS TEXT")
+    assert "server.requests" in body, "metrics dump lacks server counters"
+    detail, _ = c.ok("QUIT")
+    assert detail == "BYE", detail
+    c.close()
+    print("  basic session: ok")
+
+
+def scenario_swarm(sock_path: str, clients: int, loads_each: int) -> int:
+    errors = []
+
+    def worker(idx: int):
+        try:
+            c = Conn(sock_path)
+            for i in range(loads_each):
+                doc = f"<doc><client{idx}/><op{i}/></doc>"
+                c.ok(f"LOAD\n{doc}")
+            c.ok("QUIT")
+            c.close()
+        except Exception as exc:  # noqa: BLE001 — report, don't hang
+            errors.append(f"client {idx}: {exc!r}")
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, "\n".join(errors)
+
+    c = Conn(sock_path)
+    detail, _ = c.ok("PATH doc")
+    total = clients * loads_each
+    assert detail_field(detail, "COUNT") == total, detail
+    detail, _ = c.ok("CHECK")
+    assert detail == "ERRORS 0 WARNINGS 0", detail
+    c.ok("QUIT")
+    c.close()
+    print(f"  swarm of {clients} concurrent clients: ok "
+          f"({total} documents, checker clean)")
+    return total
+
+
+def scenario_abrupt_batch(sock_path: str):
+    steady = Conn(sock_path)
+    sid_before = detail_field(steady.ok("LOAD\n<mark/>")[0], "SID")
+
+    rude = Conn(sock_path)
+    rude.ok("BATCH BEGIN")
+    detail, _ = rude.ok("INSERT 0\n<never/>")
+    assert detail == "QUEUED 1", detail
+    rude.close()  # no COMMIT, no QUIT — just gone
+
+    time.sleep(0.2)  # let the server reap the session
+    detail, _ = steady.ok("PATH never")
+    assert detail_field(detail, "COUNT") == 0, "discarded batch leaked ops"
+    detail, _ = steady.ok("CHECK")
+    assert detail == "ERRORS 0 WARNINGS 0", detail
+    sid_after = detail_field(steady.ok("LOAD\n<mark2/>")[0], "SID")
+    assert sid_after == sid_before + 1, (
+        f"abandoned batch burned sids: {sid_before} -> {sid_after}")
+    steady.ok("QUIT")
+    steady.close()
+    print("  abrupt disconnect mid-batch: ok (no sid burned)")
+
+
+def scenario_garbage(sock_path: str):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sock_path)
+    s.sendall(b"GET / HTTP/1.1\r\n\r\n")
+    got = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        got += chunk
+    assert len(got) >= HEADER.size, "no error frame before hangup"
+    _, _, ftype, _, n, _ = HEADER.unpack(got[:HEADER.size])
+    assert ftype == T_RESPONSE
+    payload = got[HEADER.size:HEADER.size + n].decode()
+    assert payload.startswith("ERR "), payload
+    s.close()
+    print(f"  garbage bytes: ok (framed {payload.split(chr(10))[0]!r}, "
+          "then hangup)")
+
+
+def start_server(server_bin: str, sock_path: str, data_dir: str):
+    proc = subprocess.Popen(
+        [server_bin, "--socket", sock_path, "--data-dir", data_dir,
+         "--sync", "batch"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            try:
+                Conn(sock_path).close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode()
+            raise RuntimeError(f"server died on startup:\n{out}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server never opened its socket")
+
+
+def stop_server(proc) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError("server ignored SIGTERM for 30s")
+    out = proc.stdout.read().decode()
+    assert rc == 0, f"server exited {rc}:\n{out}"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--server", required=True)
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--loads-each", type=int, default=6)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="lazyxml_e2e_") as tmp:
+        sock_path = os.path.join(tmp, "srv.sock")
+        data_dir = os.path.join(tmp, "data")
+        os.mkdir(data_dir)
+
+        proc = start_server(args.server, sock_path, data_dir)
+        print("server up; running scenarios")
+        try:
+            scenario_basic(sock_path)
+            total = scenario_swarm(sock_path, args.clients, args.loads_each)
+            scenario_abrupt_batch(sock_path)
+            scenario_garbage(sock_path)
+        finally:
+            stop_server(proc)
+        print("  clean SIGTERM shutdown: ok (exit 0)")
+
+        # Recovery: a fresh server on the same directory still sees every
+        # committed document (WAL + snapshot round trip through restart).
+        proc = start_server(args.server, sock_path, data_dir)
+        try:
+            c = Conn(sock_path)
+            detail, _ = c.ok("PATH doc")
+            assert detail_field(detail, "COUNT") == total, detail
+            detail, _ = c.ok("CHECK")
+            assert detail == "ERRORS 0 WARNINGS 0", detail
+            c.ok("QUIT")
+            c.close()
+        finally:
+            stop_server(proc)
+        print(f"  restart recovery: ok ({total} documents survived)")
+
+    print("server e2e: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

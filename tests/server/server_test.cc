@@ -1,0 +1,522 @@
+// Socket-level tests of the Server: real connections through the Client
+// library (and raw sockets where the client is deliberately rude).
+// Everything runs on loopback TCP with an ephemeral port or a unix
+// socket in the test temp dir, so parallel test invocations don't fight.
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "core/snapshot.h"
+#include "server/client.h"
+#include "server/engine.h"
+#include "storage/durable_database.h"
+
+namespace lazyxml {
+namespace server {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lazyxml_server_" + name;
+  EXPECT_TRUE(CreateDirIfMissing(dir).ok());
+  auto names = ListDirectory(dir);
+  EXPECT_TRUE(names.ok());
+  for (const auto& n : names.ValueOrDie()) {
+    EXPECT_TRUE(RemoveFileIfExists(dir + "/" + n).ok());
+  }
+  return dir;
+}
+
+/// Spins until `pred` holds or ~5s pass (socket teardown is asynchronous
+/// relative to the test thread).
+template <typename Pred>
+bool Eventually(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartTcp(ServerOptions options = {}) {
+    auto e = ServerEngine::Open({});
+    ASSERT_TRUE(e.ok());
+    engine_ = std::move(e).ValueOrDie();
+    options.tcp = true;
+    options.tcp_port = 0;
+    server_ = std::make_unique<Server>(engine_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client Connect() {
+    auto c = Client::ConnectTcpEndpoint("127.0.0.1", server_->tcp_port());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).ValueOrDie();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<ServerEngine> engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, LoadQueryCheckOverTcp) {
+  StartTcp();
+  Client c = Connect();
+  auto sid = c.Load("<a><b>x</b><b>y</b></a>");
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  auto count = c.Path("a/b", &rows);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 2u);
+  EXPECT_EQ(rows.size(), 2u);
+
+  auto twig = c.Twig("a//b");
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig.ValueOrDie(), 2u);
+
+  auto check = c.Check();
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+  EXPECT_TRUE(c.Quit().ok());
+}
+
+TEST_F(ServerTest, UnixSocketAndPollBackend) {
+  const std::string dir = FreshDir("poll");
+  ServerOptions options;
+  options.unix_path = dir + "/srv.sock";
+  options.force_poll = true;  // exercise the portable backend
+  auto e = ServerEngine::Open({});
+  ASSERT_TRUE(e.ok());
+  engine_ = std::move(e).ValueOrDie();
+  server_ = std::make_unique<Server>(engine_.get(), options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto c = Client::ConnectUnixEndpoint(options.unix_path);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_TRUE(c.ValueOrDie().Load("<a><b/></a>").ok());
+  auto count = c.ValueOrDie().Path("a/b");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 1u);
+  EXPECT_TRUE(c.ValueOrDie().Quit().ok());
+}
+
+TEST_F(ServerTest, ServerSideErrorsAreTyped) {
+  StartTcp();
+  Client c = Connect();
+  // Remove from an empty super document: OutOfRange from the engine.
+  Status s = c.Remove(100, 5);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange) << s.ToString();
+  // The connection survives a server-side error.
+  EXPECT_TRUE(c.Load("<a/>").ok());
+}
+
+TEST_F(ServerTest, GarbageBytesGetErrorFrameThenClose) {
+  StartTcp();
+  auto fd = ConnectTcp("127.0.0.1", server_->tcp_port());
+  ASSERT_TRUE(fd.ok());
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(
+      WriteSome(fd.ValueOrDie().get(), garbage, sizeof garbage - 1).ok());
+  // The server answers with a framed ERR, then hangs up.
+  FrameDecoder dec;
+  char buf[1024];
+  bool got_frame = false;
+  bool got_eof = false;
+  for (int i = 0; i < 500 && !got_eof; ++i) {
+    auto r = ReadSome(fd.ValueOrDie().get(), buf, sizeof buf);
+    if (!r.ok()) break;
+    if (r.ValueOrDie().n > 0) {
+      dec.Feed(std::string_view(buf, r.ValueOrDie().n));
+      auto next = dec.Next();
+      if (next.ok() && next.ValueOrDie().has_value()) {
+        got_frame = true;
+        auto resp = ParseResponse(next.ValueOrDie()->payload);
+        ASSERT_TRUE(resp.ok());
+        EXPECT_FALSE(resp.ValueOrDie().ok);
+      }
+    }
+    if (r.ValueOrDie().eof) got_eof = true;
+    if (r.ValueOrDie().would_block) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(got_frame);
+  EXPECT_TRUE(got_eof);
+}
+
+TEST_F(ServerTest, ConnectionCapSendsErrorFrame) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartTcp(options);
+  Client first = Connect();
+  ASSERT_TRUE(first.Load("<a/>").ok());  // session is established
+
+  // The second connection is rejected with a proper error frame — read
+  // it raw, without sending anything.
+  auto fd = ConnectTcp("127.0.0.1", server_->tcp_port());
+  ASSERT_TRUE(fd.ok());
+  FrameDecoder dec;
+  char buf[1024];
+  bool got_reject = false;
+  for (int i = 0; i < 500 && !got_reject; ++i) {
+    auto r = ReadSome(fd.ValueOrDie().get(), buf, sizeof buf);
+    ASSERT_TRUE(r.ok());
+    if (r.ValueOrDie().n > 0) {
+      dec.Feed(std::string_view(buf, r.ValueOrDie().n));
+      auto next = dec.Next();
+      ASSERT_TRUE(next.ok());
+      if (next.ValueOrDie().has_value()) {
+        auto resp = ParseResponse(next.ValueOrDie()->payload);
+        ASSERT_TRUE(resp.ok());
+        EXPECT_FALSE(resp.ValueOrDie().ok);
+        EXPECT_NE(resp.ValueOrDie().detail.find("connection limit"),
+                  std::string::npos);
+        got_reject = true;
+      }
+    }
+    if (r.ValueOrDie().eof) break;
+    if (r.ValueOrDie().would_block) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(got_reject);
+
+  // The first session keeps working; once it leaves, a new one fits.
+  ASSERT_TRUE(first.Quit().ok());
+  ASSERT_TRUE(Eventually([&] { return server_->active_sessions() == 0; }));
+  Client second = Connect();
+  EXPECT_TRUE(second.Load("<b/>").ok());
+}
+
+TEST_F(ServerTest, AbruptDisconnectMidBatchDiscardsIt) {
+  StartTcp();
+  Client steady = Connect();
+  auto sid_before = steady.Load("<a><b/></a>");
+  ASSERT_TRUE(sid_before.ok());
+
+  {
+    Client rude = Connect();
+    ASSERT_TRUE(rude.BatchBegin().ok());
+    ASSERT_TRUE(rude.BatchAdd(/*insert=*/true, 3, 0, "<c></c>").ok());
+    // Destructor closes the socket with the batch still open.
+  }
+  ASSERT_TRUE(Eventually([&] { return server_->active_sessions() == 1; }));
+
+  // The half-built batch never touched the store: no <c> anywhere, the
+  // checker is clean, and no sid was burned (the next load is exactly
+  // sid_before + 1).
+  auto count = steady.Path("a/c");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 0u);
+  auto check = steady.Check();
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+  auto sid_after = steady.Load("<d></d>");
+  ASSERT_TRUE(sid_after.ok());
+  EXPECT_EQ(sid_after.ValueOrDie(), sid_before.ValueOrDie() + 1);
+}
+
+TEST_F(ServerTest, DisconnectWhileRequestInFlight) {
+  StartTcp();
+  // Fire a request and slam the connection before the response arrives;
+  // the server must not crash or leak the in-flight completion.
+  for (int i = 0; i < 10; ++i) {
+    auto fd = ConnectTcp("127.0.0.1", server_->tcp_port());
+    ASSERT_TRUE(fd.ok());
+    auto frame = EncodeFrame(FrameType::kRequest, "LOAD\n<a><b/><b/></a>");
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(WriteSome(fd.ValueOrDie().get(),
+                          frame.ValueOrDie().data(),
+                          frame.ValueOrDie().size())
+                    .ok());
+    fd.ValueOrDie().reset();  // gone before the reply
+  }
+  ASSERT_TRUE(Eventually([&] { return server_->active_sessions() == 0; }));
+  Client c = Connect();
+  auto check = c.Check();
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+}
+
+TEST_F(ServerTest, TwoClientsRacingWritesStaySerialized) {
+  StartTcp();
+  constexpr int kClients = 8;
+  constexpr int kLoadsEach = 12;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = Client::ConnectTcpEndpoint("127.0.0.1", server_->tcp_port());
+      if (!c.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kLoadsEach; ++i) {
+        const std::string doc =
+            "<doc><t" + std::to_string(t) + "/></doc>";
+        if (!c.ValueOrDie().Load(doc).ok()) ++failures;
+      }
+      c.ValueOrDie().Quit().ok();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Client c = Connect();
+  auto count = c.Path("doc");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(),
+            static_cast<uint64_t>(kClients * kLoadsEach));
+  auto check = c.Check();
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+}
+
+TEST_F(ServerTest, RepeatedStartStopOnOneServer) {
+  auto e = ServerEngine::Open({});
+  ASSERT_TRUE(e.ok());
+  engine_ = std::move(e).ValueOrDie();
+  ServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;
+  server_ = std::make_unique<Server>(engine_.get(), options);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(server_->Start().ok()) << "round " << round;
+    EXPECT_FALSE(server_->Start().ok());  // double start refused
+    Client c = Connect();
+    ASSERT_TRUE(c.Load("<r/>").ok());
+    server_->Stop();
+    server_->Stop();  // idempotent
+    EXPECT_FALSE(server_->running());
+  }
+  // Data written across all rounds survived (one engine underneath).
+  ASSERT_TRUE(server_->Start().ok());
+  Client c = Connect();
+  auto count = c.Path("r");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 3u);
+}
+
+TEST_F(ServerTest, StopWithBusyConnectionsDrains) {
+  StartTcp();
+  // Park several sessions with queued work, then Stop underneath them.
+  std::vector<Client> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(Connect());
+    ASSERT_TRUE(clients.back().Load("<a><b/></a>").ok());
+  }
+  server_->Stop();
+  EXPECT_EQ(server_->active_sessions(), 0u);
+}
+
+TEST(ServerOwnedPoolTest, OwnPoolIsDrainedOnStop) {
+  auto e = ServerEngine::Open({});
+  ASSERT_TRUE(e.ok());
+  ServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;
+  options.num_threads = 2;  // own pool instead of ThreadPool::Shared()
+  Server srv(e.ValueOrDie().get(), options);
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(srv.Start().ok());
+    auto c = Client::ConnectTcpEndpoint("127.0.0.1", srv.tcp_port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.ValueOrDie().Load("<a/>").ok());
+    srv.Stop();
+  }
+}
+
+// -- Durable engine behind the server ----------------------------------------
+
+TEST(ServerDurableTest, ConcurrentLoadsRecoverByteIdentical) {
+  const std::string dir = FreshDir("dur_concurrent");
+  ServerEngineOptions eng_options;
+  eng_options.data_dir = dir;
+  auto e = ServerEngine::Open(eng_options);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+
+  ServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;
+  Server srv(e.ValueOrDie().get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // N concurrent clients load distinct documents; every response records
+  // the (sid, gp, text) the server actually applied.
+  constexpr int kClients = 8;
+  constexpr int kLoadsEach = 6;
+  struct AppliedOp {
+    uint64_t sid;
+    uint64_t gp;
+    std::string text;
+  };
+  std::vector<std::vector<AppliedOp>> per_client(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = Client::ConnectTcpEndpoint("127.0.0.1", srv.tcp_port());
+      if (!c.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kLoadsEach; ++i) {
+        const std::string doc = "<doc><client" + std::to_string(t) +
+                                "/><op" + std::to_string(i) + "/></doc>";
+        auto resp = c.ValueOrDie().CallChecked("LOAD\n" + doc);
+        if (!resp.ok()) {
+          ++failures;
+          continue;
+        }
+        AppliedOp op;
+        op.text = doc;
+        auto grab = [&](const char* key, uint64_t* out) {
+          const std::string& d = resp.ValueOrDie().detail;
+          const size_t at = d.find(key);
+          if (at == std::string::npos) return false;
+          *out = std::strtoull(d.c_str() + at + std::strlen(key), nullptr, 10);
+          return true;
+        };
+        if (!grab("SID ", &op.sid) || !grab("GP ", &op.gp)) {
+          ++failures;
+          continue;
+        }
+        per_client[t].push_back(std::move(op));
+      }
+      c.ValueOrDie().Quit().ok();
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Checker-clean through the server before shutdown.
+  {
+    auto c = Client::ConnectTcpEndpoint("127.0.0.1", srv.tcp_port());
+    ASSERT_TRUE(c.ok());
+    auto check = c.ValueOrDie().Check();
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+  }
+  srv.Stop();
+  e.ValueOrDie().reset();  // release the directory
+
+  // Recover the directory the server wrote.
+  auto recovered = DurableLazyDatabase::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto recovered_bytes =
+      SerializeDatabase(recovered.ValueOrDie()->database());
+  ASSERT_TRUE(recovered_bytes.ok());
+
+  // Apply the exact op sequence the server reported — ordered by sid,
+  // which is the serialization order the engine chose — to a fresh
+  // in-process database. Same ops, same order => byte-identical state.
+  std::vector<AppliedOp> ordered;
+  for (auto& ops : per_client) {
+    for (auto& op : ops) ordered.push_back(std::move(op));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const AppliedOp& a, const AppliedOp& b) {
+              return a.sid < b.sid;
+            });
+  ASSERT_EQ(ordered.size(),
+            static_cast<size_t>(kClients * kLoadsEach));
+  LazyDatabase replay;
+  for (const AppliedOp& op : ordered) {
+    auto sid = replay.InsertSegment(op.text, op.gp);
+    ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+    EXPECT_EQ(sid.ValueOrDie(), op.sid);
+  }
+  auto replay_bytes = SerializeDatabase(replay);
+  ASSERT_TRUE(replay_bytes.ok());
+  EXPECT_EQ(recovered_bytes.ValueOrDie(), replay_bytes.ValueOrDie());
+}
+
+TEST(ServerDurableTest, ScriptedSessionMatchesInProcess) {
+  // One client runs a deterministic mixed script against a durable
+  // server; the same script applied in-process must leave byte-identical
+  // serialized state after recovery.
+  const std::string server_dir = FreshDir("dur_script_srv");
+
+  auto run_script = [](auto&& insert, auto&& remove, auto&& batch) {
+    insert("<list><item>one</item></list>", 0);
+    insert("<item>two</item>", 6);
+    remove(6, 16);  // take <item>two</item> back out
+    batch();
+  };
+
+  {
+    ServerEngineOptions eng_options;
+    eng_options.data_dir = server_dir;
+    auto e = ServerEngine::Open(eng_options);
+    ASSERT_TRUE(e.ok());
+    ServerOptions options;
+    options.tcp = true;
+    Server srv(e.ValueOrDie().get(), options);
+    ASSERT_TRUE(srv.Start().ok());
+    auto conn = Client::ConnectTcpEndpoint("127.0.0.1", srv.tcp_port());
+    ASSERT_TRUE(conn.ok());
+    Client& c = conn.ValueOrDie();
+    run_script(
+        [&](std::string_view text, uint64_t gp) {
+          ASSERT_TRUE(c.Insert(gp, text).ok());
+        },
+        [&](uint64_t gp, uint64_t len) {
+          ASSERT_TRUE(c.Remove(gp, len).ok());
+        },
+        [&] {
+          ASSERT_TRUE(c.BatchBegin().ok());
+          ASSERT_TRUE(c.BatchAdd(true, 6, 0, "<item>three</item>").ok());
+          ASSERT_TRUE(c.BatchAdd(false, 24, 16, "").ok());
+          ASSERT_TRUE(c.BatchCommit().ok());
+        });
+    auto check = c.Check();
+    ASSERT_TRUE(check.ok());
+    EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
+    srv.Stop();
+  }
+
+  // The same ops, straight into an in-process database.
+  LazyDatabase direct;
+  run_script(
+      [&](std::string_view text, uint64_t gp) {
+        ASSERT_TRUE(direct.InsertSegment(text, gp).ok());
+      },
+      [&](uint64_t gp, uint64_t len) {
+        ASSERT_TRUE(direct.RemoveSegment(gp, len).ok());
+      },
+      [&] {
+        std::vector<UpdateOp> ops;
+        ops.push_back(UpdateOp::Insert("<item>three</item>", 6));
+        ops.push_back(UpdateOp::Remove(24, 16));
+        ASSERT_TRUE(direct.ApplyBatch(ops, nullptr).ok());
+      });
+
+  auto recovered = DurableLazyDatabase::Open(server_dir);
+  ASSERT_TRUE(recovered.ok());
+  auto server_bytes = SerializeDatabase(recovered.ValueOrDie()->database());
+  auto direct_bytes = SerializeDatabase(direct);
+  ASSERT_TRUE(server_bytes.ok());
+  ASSERT_TRUE(direct_bytes.ok());
+  EXPECT_EQ(server_bytes.ValueOrDie(), direct_bytes.ValueOrDie());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,76 @@
+#include "server/session.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace server {
+namespace {
+
+TEST(SessionTest, BatchLifecycle) {
+  SessionContext s(7, {});
+  EXPECT_EQ(s.id(), 7u);
+  EXPECT_FALSE(s.in_batch());
+
+  ASSERT_TRUE(s.BeginBatch().ok());
+  EXPECT_TRUE(s.in_batch());
+  EXPECT_FALSE(s.BeginBatch().ok());  // nesting is not a thing
+
+  auto p0 = s.BufferOp(UpdateOp::Insert("<a/>", 0));
+  auto p1 = s.BufferOp(UpdateOp::Remove(2, 2));
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(p0.ValueOrDie(), 0u);
+  EXPECT_EQ(p1.ValueOrDie(), 1u);
+  EXPECT_EQ(s.pending_ops(), 2u);
+
+  const std::vector<UpdateOp> ops = s.TakeBatch();
+  EXPECT_EQ(ops.size(), 2u);
+  EXPECT_FALSE(s.in_batch());
+  EXPECT_EQ(s.pending_ops(), 0u);
+}
+
+TEST(SessionTest, BufferWithoutBatchFails) {
+  SessionContext s(1, {});
+  EXPECT_FALSE(s.BufferOp(UpdateOp::Insert("<a/>", 0)).ok());
+}
+
+TEST(SessionTest, AbortReportsAndClears) {
+  SessionContext s(1, {});
+  ASSERT_TRUE(s.BeginBatch().ok());
+  ASSERT_TRUE(s.BufferOp(UpdateOp::Insert("<a/>", 0)).ok());
+  ASSERT_TRUE(s.BufferOp(UpdateOp::Insert("<b/>", 0)).ok());
+  EXPECT_EQ(s.AbortBatch(), 2u);
+  EXPECT_FALSE(s.in_batch());
+  // A fresh batch starts clean.
+  ASSERT_TRUE(s.BeginBatch().ok());
+  EXPECT_EQ(s.pending_ops(), 0u);
+}
+
+TEST(SessionTest, OpCountCapLeavesBatchOpen) {
+  SessionLimits limits;
+  limits.max_batch_ops = 2;
+  SessionContext s(1, limits);
+  ASSERT_TRUE(s.BeginBatch().ok());
+  ASSERT_TRUE(s.BufferOp(UpdateOp::Insert("<a/>", 0)).ok());
+  ASSERT_TRUE(s.BufferOp(UpdateOp::Insert("<b/>", 0)).ok());
+  EXPECT_FALSE(s.BufferOp(UpdateOp::Insert("<c/>", 0)).ok());
+  // The client may still COMMIT (or ABORT) what fit.
+  EXPECT_TRUE(s.in_batch());
+  EXPECT_EQ(s.TakeBatch().size(), 2u);
+}
+
+TEST(SessionTest, ByteCapCountsInsertText) {
+  SessionLimits limits;
+  limits.max_batch_bytes = 10;
+  SessionContext s(1, limits);
+  ASSERT_TRUE(s.BeginBatch().ok());
+  ASSERT_TRUE(s.BufferOp(UpdateOp::Insert("<aaaa/>", 0)).ok());  // 7 bytes
+  EXPECT_FALSE(s.BufferOp(UpdateOp::Insert("<bbbb/>", 0)).ok());
+  EXPECT_EQ(s.pending_bytes(), 7u);
+  // Removes carry no text, so they still fit.
+  EXPECT_TRUE(s.BufferOp(UpdateOp::Remove(0, 3)).ok());
+  EXPECT_TRUE(s.in_batch());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace lazyxml

@@ -1,0 +1,191 @@
+#include "server/wire.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lazyxml {
+namespace server {
+namespace {
+
+TEST(WireTest, RoundTripOneFrame) {
+  auto enc = EncodeFrame(FrameType::kRequest, "PATH a/b");
+  ASSERT_TRUE(enc.ok());
+  const std::string& bytes = enc.ValueOrDie();
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 8);
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  auto next = dec.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.ValueOrDie().has_value());
+  EXPECT_EQ(next.ValueOrDie()->type, FrameType::kRequest);
+  EXPECT_EQ(next.ValueOrDie()->payload, "PATH a/b");
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+
+  auto again = dec.Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.ValueOrDie().has_value());
+}
+
+TEST(WireTest, EmptyPayloadIsLegal) {
+  auto enc = EncodeFrame(FrameType::kResponse, "");
+  ASSERT_TRUE(enc.ok());
+  FrameDecoder dec;
+  dec.Feed(enc.ValueOrDie());
+  auto next = dec.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.ValueOrDie().has_value());
+  EXPECT_EQ(next.ValueOrDie()->type, FrameType::kResponse);
+  EXPECT_TRUE(next.ValueOrDie()->payload.empty());
+}
+
+TEST(WireTest, ByteAtATimeFeedStillDecodes) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  FrameDecoder dec;
+  for (char c : enc.ValueOrDie()) {
+    auto next = dec.Next();
+    ASSERT_TRUE(next.ok());
+    dec.Feed(std::string_view(&c, 1));
+  }
+  auto next = dec.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.ValueOrDie().has_value());
+  EXPECT_EQ(next.ValueOrDie()->payload, "CHECK");
+}
+
+TEST(WireTest, BackToBackFramesInOneChunk) {
+  auto a = EncodeFrame(FrameType::kRequest, "first");
+  auto b = EncodeFrame(FrameType::kRequest, "second");
+  ASSERT_TRUE(a.ok() && b.ok());
+  FrameDecoder dec;
+  dec.Feed(a.ValueOrDie() + b.ValueOrDie());
+  auto f1 = dec.Next();
+  auto f2 = dec.Next();
+  auto f3 = dec.Next();
+  ASSERT_TRUE(f1.ok() && f2.ok() && f3.ok());
+  ASSERT_TRUE(f1.ValueOrDie().has_value());
+  ASSERT_TRUE(f2.ValueOrDie().has_value());
+  EXPECT_EQ(f1.ValueOrDie()->payload, "first");
+  EXPECT_EQ(f2.ValueOrDie()->payload, "second");
+  EXPECT_FALSE(f3.ValueOrDie().has_value());
+}
+
+TEST(WireTest, TruncatedFrameIsJustIncomplete) {
+  auto enc = EncodeFrame(FrameType::kRequest, "PATH a/b");
+  ASSERT_TRUE(enc.ok());
+  FrameDecoder dec;
+  dec.Feed(std::string_view(enc.ValueOrDie()).substr(
+      0, enc.ValueOrDie().size() - 1));
+  auto next = dec.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.ValueOrDie().has_value());  // waits for the last byte
+}
+
+TEST(WireTest, BadMagicIsFatal) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  bytes[0] ^= 0x01;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  auto next = dec.Next();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(WireTest, BadVersionIsFatal) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  bytes[4] = 99;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(WireTest, BadTypeIsFatal) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  bytes[5] = 7;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(WireTest, NonZeroFlagsAreFatal) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  bytes[6] = 1;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(WireTest, OversizedLengthRejectedFromHeaderAlone) {
+  auto enc = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  // Patch the length field to 2 GiB; no payload follows, but the header
+  // alone must kill the connection (resource-guard: never buffer toward
+  // a hostile length).
+  bytes[8] = 0;
+  bytes[9] = 0;
+  bytes[10] = 0;
+  bytes[11] = static_cast<char>(0x80);
+  FrameDecoder dec;
+  dec.Feed(std::string_view(bytes).substr(0, kFrameHeaderBytes));
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(WireTest, PayloadAboveCapDoesNotEncode) {
+  WireLimits tiny;
+  tiny.max_payload_bytes = 8;
+  EXPECT_FALSE(EncodeFrame(FrameType::kRequest, "123456789", tiny).ok());
+  EXPECT_TRUE(EncodeFrame(FrameType::kRequest, "12345678", tiny).ok());
+}
+
+TEST(WireTest, FlippedPayloadBitFailsCrc) {
+  auto enc = EncodeFrame(FrameType::kRequest, "PATH a/b");
+  ASSERT_TRUE(enc.ok());
+  std::string bytes = enc.ValueOrDie();
+  bytes[kFrameHeaderBytes + 3] ^= 0x10;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  auto next = dec.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, ErrorIsSticky) {
+  auto good = EncodeFrame(FrameType::kRequest, "CHECK");
+  ASSERT_TRUE(good.ok());
+  std::string bad = good.ValueOrDie();
+  bad[0] ^= 0xFF;
+  FrameDecoder dec;
+  dec.Feed(bad);
+  EXPECT_FALSE(dec.Next().ok());
+  dec.Feed(good.ValueOrDie());  // resync is impossible by design
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(WireTest, ManyFramesCompactTheBuffer) {
+  FrameDecoder dec;
+  const std::string payload(1000, 'x');
+  for (int i = 0; i < 64; ++i) {
+    auto enc = EncodeFrame(FrameType::kRequest, payload);
+    ASSERT_TRUE(enc.ok());
+    dec.Feed(enc.ValueOrDie());
+    auto next = dec.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.ValueOrDie().has_value());
+    EXPECT_EQ(next.ValueOrDie()->payload.size(), payload.size());
+    EXPECT_EQ(dec.buffered_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace lazyxml
