@@ -165,6 +165,137 @@ void BM_ServerPath(benchmark::State& state) { RunSwarm(state, Op::kPath); }
 void BM_ServerTwig(benchmark::State& state) { RunSwarm(state, Op::kTwig); }
 void BM_ServerMixed(benchmark::State& state) { RunSwarm(state, Op::kMixed); }
 
+/// Open-loop overload: raw connections firehose pipelined PATH frames
+/// past a deliberately low shed watermark — they do not wait for
+/// responses, so offered load is decoupled from service rate (the
+/// closed-loop swarm above can never overload the server; an open loop
+/// does). Meanwhile two well-behaved retrying clients ride through the
+/// storm. Reported:
+///
+///   * shed_rate        fraction of overdrive requests answered
+///                      `ERR Unavailable` (typed, never dropped);
+///   * accepted_p99_us  round-trip p99 of the retrying clients'
+///                      *successful* calls — bounded-latency-under-
+///                      overload is the point of shedding;
+///   * retries/timeouts client.retries_total / client.timeouts_total
+///                      deltas across the run.
+void BM_ServerOverdrive(benchmark::State& state) {
+  const size_t overdrive_conns = static_cast<size_t>(state.range(0));
+  constexpr size_t kBurstFrames = 512;
+
+  ServerEngineOptions eng;
+  auto engine = ServerEngine::Open(std::move(eng)).ValueOrDie();
+  ServerOptions opt;
+  static std::atomic<uint64_t> counter{0};
+  opt.unix_path = "/tmp/lazyxml_bench_overdrive_" + std::to_string(getpid()) +
+                  "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+  opt.max_pending_requests = 256;  // let one session pipeline deep
+  opt.shed_pending_requests = 64;  // ...and the server shed early
+  auto server = std::make_unique<Server>(engine.get(), opt);
+  LAZYXML_CHECK(server->Start().ok());
+  {
+    auto c = Client::ConnectUnixEndpoint(server->unix_path()).ValueOrDie();
+    for (int i = 0; i < 64; ++i) LAZYXML_CHECK(c.Load(kDocument).ok());
+    LAZYXML_CHECK(c.Quit().ok());
+  }
+
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, "PATH person/name").ValueOrDie();
+  const uint64_t retries_before =
+      obs::MetricsRegistry::Global().Snapshot().counters["client.retries_total"];
+  const uint64_t timeouts_before =
+      obs::MetricsRegistry::Global().Snapshot().counters["client.timeouts_total"];
+
+  std::atomic<uint64_t> accepted{0}, shed{0};
+  std::mutex mu;
+  std::vector<double> accepted_lat_us;
+
+  for (auto _ : state) {
+    std::atomic<bool> storm_over{false};
+    std::vector<std::thread> threads;
+    // The firehoses: write a whole burst, then drain its responses and
+    // tally the typed verdicts. Every request gets an answer.
+    for (size_t i = 0; i < overdrive_conns; ++i) {
+      threads.emplace_back([&] {
+        auto fd = ConnectUnixTimed(server->unix_path(), 5000).ValueOrDie();
+        LAZYXML_CHECK(SetBlocking(fd.get()).ok());
+        std::string burst;
+        for (size_t k = 0; k < kBurstFrames; ++k) burst += frame;
+        size_t off = 0;
+        while (off < burst.size()) {
+          auto w = WriteSome(fd.get(), burst.data() + off,
+                             burst.size() - off);
+          LAZYXML_CHECK(w.ok());
+          off += w.ValueOrDie().n;
+        }
+        FrameDecoder decoder;
+        char buf[65536];
+        size_t answered = 0;
+        while (answered < kBurstFrames) {
+          auto fr = decoder.Next();
+          LAZYXML_CHECK(fr.ok());
+          if (fr.ValueOrDie().has_value()) {
+            auto parsed = ParseResponse(fr.ValueOrDie()->payload);
+            LAZYXML_CHECK(parsed.ok());
+            if (parsed.ValueOrDie().ok) {
+              accepted.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              shed.fetch_add(1, std::memory_order_relaxed);
+            }
+            ++answered;
+            continue;
+          }
+          auto r = ReadSome(fd.get(), buf, sizeof(buf));
+          LAZYXML_CHECK(r.ok() && !r.ValueOrDie().eof);
+          decoder.Feed(std::string_view(buf, r.ValueOrDie().n));
+        }
+      });
+    }
+    // The survivors: retrying clients that must keep completing calls
+    // (with bounded latency) while the storm rages.
+    std::vector<std::thread> good;
+    for (int i = 0; i < 2; ++i) {
+      good.emplace_back([&] {
+        ClientOptions copt;
+        copt.max_attempts = 16;
+        copt.backoff.initial_ms = 1;
+        copt.backoff.max_ms = 8;
+        auto c =
+            Client::ConnectUnixEndpoint(server->unix_path(), copt).ValueOrDie();
+        std::vector<double> lat;
+        using clock = std::chrono::steady_clock;
+        while (!storm_over.load(std::memory_order_acquire)) {
+          const auto t0 = clock::now();
+          LAZYXML_CHECK(c.Path("person/name").ok());
+          lat.push_back(std::chrono::duration<double, std::micro>(
+                            clock::now() - t0)
+                            .count());
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        accepted_lat_us.insert(accepted_lat_us.end(), lat.begin(), lat.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    storm_over.store(true, std::memory_order_release);
+    for (auto& t : good) t.join();
+  }
+
+  const double total =
+      static_cast<double>(accepted.load() + shed.load());
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+  state.counters["shed_rate"] =
+      total > 0 ? static_cast<double>(shed.load()) / total : 0.0;
+  state.counters["shed_requests"] = static_cast<double>(shed.load());
+  state.counters["accepted_p99_us"] = Percentile(accepted_lat_us, 0.99);
+  auto snap = obs::MetricsRegistry::Global().Snapshot();
+  state.counters["client_retries"] = static_cast<double>(
+      snap.counters["client.retries_total"] - retries_before);
+  state.counters["client_timeouts"] = static_cast<double>(
+      snap.counters["client.timeouts_total"] - timeouts_before);
+  state.SetLabel("open-loop overdrive");
+  server->Stop();
+}
+
 // Rates against wall clock: the work happens on the swarm threads and
 // in the server, not on the benchmark's main thread.
 BENCHMARK(BM_ServerLoad)->Arg(1)->Arg(4)->Arg(8)
@@ -175,6 +306,8 @@ BENCHMARK(BM_ServerTwig)->Arg(1)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServerMixed)->Arg(4)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServerOverdrive)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 }  // namespace server

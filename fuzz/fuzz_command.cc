@@ -1,0 +1,82 @@
+// Fuzz target: the command layer end to end — ParseCommand over hostile
+// text, then ExecuteCommand against a real in-memory engine and session.
+// Whatever the input, execution must never crash, hang, or corrupt the
+// store, and every response it produces must be well-formed: a payload
+// ParseResponse accepts, with the outcome's error flag agreeing with the
+// response's OK/ERR status line.
+//
+// The input is a stream of command payloads (knob-steered chunking, so
+// the fuzzer controls where payload boundaries fall — mid-verb, mid-body,
+// mid-number). Grammar limits are knob-steered too, keeping the
+// "line too long" / "expr too long" rejections reachable from small
+// inputs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fuzz_common.h"
+#include "server/command.h"
+#include "server/engine.h"
+#include "server/session.h"
+
+using namespace lazyxml;
+using namespace lazyxml::server;
+using lazyxml_fuzz::ByteStream;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Knob bytes (not stream bytes): grammar caps and payload chunking.
+  ByteStream knobs(data, size);
+  CommandLimits limits;
+  limits.max_command_line_bytes = 32 + 4u * knobs.NextByte();
+  limits.max_expr_bytes = 16 + knobs.NextByte();
+  const size_t chunk = 1 + knobs.NextByte() % 199;
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  bytes.remove_prefix(size < 3 ? size : 3);
+
+  auto engine = ServerEngine::Open({});
+  FUZZ_ASSERT(engine.ok());
+  auto session = std::make_unique<SessionContext>(1, SessionLimits{});
+  uint64_t next_session_id = 2;
+
+  int executed = 0;
+  for (size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::string_view payload = bytes.substr(off, chunk);
+    auto cmd = ParseCommand(payload, limits);
+    if (!cmd.ok()) {
+      // Rejections must still produce a well-formed ERR payload.
+      auto err = ParseResponse(ErrorResponse(cmd.status()));
+      FUZZ_ASSERT(err.ok());
+      FUZZ_ASSERT(!err.ValueOrDie().ok);
+      continue;
+    }
+    FUZZ_ASSERT(!CommandKindName(cmd.ValueOrDie().kind).empty());
+
+    ExecuteOutcome outcome =
+        ExecuteCommand(engine.ValueOrDie().get(), session.get(),
+                       cmd.ValueOrDie());
+    auto resp = ParseResponse(outcome.response);
+    FUZZ_ASSERT(resp.ok());
+    FUZZ_ASSERT(resp.ValueOrDie().ok == !outcome.error);
+    if (outcome.error) {
+      // Every ERR must reconstruct into a non-ok typed Status — the
+      // client's retry taxonomy depends on the code surviving the trip.
+      FUZZ_ASSERT(!resp.ValueOrDie().ToStatus().ok());
+    }
+    if (outcome.close) {
+      // QUIT ends the session; a fresh one picks up, like a reconnect.
+      session = std::make_unique<SessionContext>(next_session_id++,
+                                                 SessionLimits{});
+    }
+
+    // Bound per-input work: executing updates against an ever-growing
+    // store makes long inputs quadratically slow, so periodically swap
+    // in a fresh engine (also exercises open/teardown).
+    if (++executed % 64 == 0) {
+      engine = ServerEngine::Open({});
+      FUZZ_ASSERT(engine.ok());
+    }
+  }
+  return 0;
+}

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   }
   namespace fs = std::filesystem;
   const fs::path out(argv[1]);
-  for (const char* sub : {"parser", "wal", "snapshot", "ops", "wire"}) {
+  for (const char* sub :
+       {"parser", "wal", "snapshot", "ops", "wire", "command"}) {
     std::error_code ec;
     fs::create_directories(out / sub, ec);
     if (ec) {
@@ -112,6 +113,28 @@ int main(int argc, char** argv) {
                         frame(FrameType::kResponse,
                               "ERR OutOfRange gp beyond end") +
                         frame(FrameType::kResponse, "OK COUNT 2\n1 3\n1 7\n"));
+  }
+
+  // Command seeds: the fuzz_command knobs are three leading bytes
+  // (grammar caps + chunking); the rest is command text chunked by the
+  // third knob. The session mirrors examples/server_session.sh — load,
+  // query, batch, admin, quit — so mutation starts from every verb.
+  {
+    // \x40 → 288-byte line cap, \x20 → 48-byte expr cap, \x3F → 64-byte
+    // chunks, so each padded command below is exactly one chunk.
+    const std::string knobs = "\x40\x20\x3F";
+    auto pad = [](std::string payload) {
+      payload.resize(64, ' ');
+      return payload;
+    };
+    ok &= WriteFile(out / "command" / "session.bin",
+                    knobs + pad("LOAD\n<site><people><person/></people></site>") +
+                        pad("PATH site//person") +
+                        pad("TWIG people[person]") +
+                        pad("BATCH BEGIN") + pad("INSERT 6\n<open_auction/>") +
+                        pad("REMOVE 6 14") + pad("BATCH COMMIT") +
+                        pad("BATCH ABORT") + pad("FREEZE") + pad("COMPACT") +
+                        pad("CHECK") + pad("METRICS JSON") + pad("QUIT"));
   }
 
   if (!ok) {

@@ -1,0 +1,333 @@
+#include "common/chaos_socket.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/random.h"
+
+namespace lazyxml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kPipeBufferCap = 64 * 1024;
+
+// Per-connection seed mix: distinct streams per connection, stable
+// across runs for the same (proxy seed, accept index).
+uint64_t ConnSeed(uint64_t proxy_seed, uint64_t conn_id) {
+  return proxy_seed ^ ((conn_id + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+std::string_view ChaosFaultKindName(ChaosProxy::FaultKind kind) {
+  switch (kind) {
+    case ChaosProxy::FaultKind::kSplit:
+      return "split";
+    case ChaosProxy::FaultKind::kStall:
+      return "stall";
+    case ChaosProxy::FaultKind::kTrickle:
+      return "trickle";
+    case ChaosProxy::FaultKind::kClose:
+      return "close";
+    case ChaosProxy::FaultKind::kRst:
+      return "rst";
+  }
+  return "unknown";
+}
+
+// One forwarding direction of a proxied connection.
+struct ChaosProxy::Pipe {
+  std::string buf;         // bytes read from src, not yet written to dst
+  size_t pos = 0;          // write cursor into buf
+  uint64_t forwarded = 0;  // total bytes delivered to dst
+  uint64_t next_fault_at = 0;
+  FaultKind next_kind = FaultKind::kSplit;
+  bool fault_armed = false;
+  Clock::time_point stall_until{};
+  bool stalled = false;
+  uint32_t trickle_left = 0;
+  bool src_eof = false;
+  bool dst_shutdown = false;
+};
+
+struct ChaosProxy::Conn {
+  Conn(uint64_t id_in, UniqueFd client_in, UniqueFd server_in, uint64_t seed)
+      : id(id_in),
+        client(std::move(client_in)),
+        server(std::move(server_in)),
+        rng(seed) {}
+
+  uint64_t id;
+  UniqueFd client;
+  UniqueFd server;
+  Random rng;
+  Pipe c2s;
+  Pipe s2c;
+  bool dead = false;
+};
+
+ChaosProxy::ChaosProxy(Options options, UniqueFd listener,
+                       std::string backend_path, uint16_t backend_port)
+    : options_(options),
+      listener_(std::move(listener)),
+      backend_path_(std::move(backend_path)),
+      backend_port_(backend_port) {}
+
+Result<std::unique_ptr<ChaosProxy>> ChaosProxy::StartUnix(
+    const std::string& listen_path, const std::string& backend_path,
+    const Options& options) {
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd listener, ListenUnix(listen_path));
+  LAZYXML_RETURN_NOT_OK(SetNonBlocking(listener.get()));
+  std::unique_ptr<ChaosProxy> proxy(
+      new ChaosProxy(options, std::move(listener), backend_path, 0));
+  LAZYXML_ASSIGN_OR_RETURN(proxy->wake_, CreateWakePipe());
+  proxy->thread_ = std::thread(&ChaosProxy::Run, proxy.get());
+  return proxy;
+}
+
+Result<std::unique_ptr<ChaosProxy>> ChaosProxy::StartTcp(
+    uint16_t listen_port, uint16_t backend_port, const Options& options) {
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd listener,
+                           ListenTcp("127.0.0.1", listen_port));
+  LAZYXML_RETURN_NOT_OK(SetNonBlocking(listener.get()));
+  LAZYXML_ASSIGN_OR_RETURN(uint16_t bound, LocalPort(listener.get()));
+  std::unique_ptr<ChaosProxy> proxy(
+      new ChaosProxy(options, std::move(listener), "", backend_port));
+  proxy->listen_port_ = bound;
+  LAZYXML_ASSIGN_OR_RETURN(proxy->wake_, CreateWakePipe());
+  proxy->thread_ = std::thread(&ChaosProxy::Run, proxy.get());
+  return proxy;
+}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+void ChaosProxy::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_) {
+      // Already stopping/stopped; fall through to the join below so a
+      // concurrent Stop still waits for the thread.
+    }
+    stop_requested_ = true;
+  }
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<ChaosProxy::FaultEvent> ChaosProxy::Schedule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_;
+}
+
+uint64_t ChaosProxy::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_snapshot_;
+}
+
+void ChaosProxy::ArmNextFault(Conn& conn, Pipe& pipe) {
+  uint64_t lo = options_.min_fault_gap_bytes;
+  uint64_t hi = options_.max_fault_gap_bytes;
+  if (hi < lo) hi = lo;
+  uint64_t gap = lo + conn.rng.Uniform(hi - lo + 1);
+  if (gap == 0) gap = 1;
+  pipe.next_fault_at = pipe.forwarded + gap;
+
+  uint64_t total = options_.weight_split + options_.weight_stall +
+                   options_.weight_trickle + options_.weight_close +
+                   options_.weight_rst;
+  if (total == 0) {
+    pipe.fault_armed = false;
+    return;
+  }
+  uint64_t r = conn.rng.Uniform(total);
+  if (r < options_.weight_split) {
+    pipe.next_kind = FaultKind::kSplit;
+  } else if ((r -= options_.weight_split) < options_.weight_stall) {
+    pipe.next_kind = FaultKind::kStall;
+  } else if ((r -= options_.weight_stall) < options_.weight_trickle) {
+    pipe.next_kind = FaultKind::kTrickle;
+  } else if ((r -= options_.weight_trickle) < options_.weight_close) {
+    pipe.next_kind = FaultKind::kClose;
+  } else {
+    pipe.next_kind = FaultKind::kRst;
+  }
+  pipe.fault_armed = true;
+}
+
+void ChaosProxy::KillConn(Conn& conn, bool rst) {
+  if (rst && conn.client.valid()) {
+    // SO_LINGER with zero timeout turns close() into an RST: the client
+    // observes ECONNRESET instead of an orderly FIN.
+    struct linger lin;
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    (void)::setsockopt(conn.client.get(), SOL_SOCKET, SO_LINGER, &lin,
+                       sizeof(lin));
+  }
+  conn.client.reset();
+  conn.server.reset();
+  conn.dead = true;
+}
+
+// Moves bytes src → buf → dst for one direction. Returns false when the
+// connection was terminated by a fault or a peer error.
+bool ChaosProxy::ServicePipe(Conn& conn, Pipe& pipe, Direction dir) {
+  int src = dir == Direction::kClientToServer ? conn.client.get()
+                                              : conn.server.get();
+  int dst = dir == Direction::kClientToServer ? conn.server.get()
+                                              : conn.client.get();
+  if (src < 0 || dst < 0) return false;
+
+  if (pipe.stalled) {
+    if (Clock::now() < pipe.stall_until) return true;
+    pipe.stalled = false;
+  }
+
+  // Refill from src while there is buffer room.
+  if (!pipe.src_eof && pipe.buf.size() - pipe.pos < kPipeBufferCap) {
+    char tmp[16 * 1024];
+    auto r = ReadSome(src, tmp, sizeof(tmp));
+    if (!r.ok()) {
+      KillConn(conn, false);
+      return false;
+    }
+    if (r.ValueOrDie().eof) pipe.src_eof = true;
+    if (r.ValueOrDie().n > 0) pipe.buf.append(tmp, r.ValueOrDie().n);
+  }
+  if (pipe.pos > 0 && pipe.pos == pipe.buf.size()) {
+    pipe.buf.clear();
+    pipe.pos = 0;
+  }
+
+  size_t avail = pipe.buf.size() - pipe.pos;
+  if (avail == 0) {
+    if (pipe.src_eof && !pipe.dst_shutdown) {
+      (void)::shutdown(dst, SHUT_WR);
+      pipe.dst_shutdown = true;
+    }
+    return true;
+  }
+
+  size_t cap = avail;
+  if (pipe.fault_armed) {
+    uint64_t until_fault = pipe.next_fault_at - pipe.forwarded;
+    if (until_fault < cap) cap = static_cast<size_t>(until_fault);
+  }
+  if (pipe.trickle_left > 0 && cap > 1) cap = 1;
+
+  auto w = WriteSome(dst, pipe.buf.data() + pipe.pos, cap);
+  if (!w.ok()) {
+    KillConn(conn, false);
+    return false;
+  }
+  pipe.pos += w.ValueOrDie().n;
+  pipe.forwarded += w.ValueOrDie().n;
+  if (pipe.trickle_left > 0 && w.ValueOrDie().n > 0) --pipe.trickle_left;
+
+  if (pipe.fault_armed && pipe.forwarded == pipe.next_fault_at) {
+    FaultKind kind = pipe.next_kind;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      schedule_.push_back(FaultEvent{conn.id, dir, pipe.forwarded, kind});
+    }
+    ArmNextFault(conn, pipe);
+    switch (kind) {
+      case FaultKind::kSplit:
+        // The write above was already capped at the fault offset; the
+        // remaining bytes go out on a later tick in a separate send —
+        // a forced mid-frame boundary.
+        break;
+      case FaultKind::kStall:
+        pipe.stalled = true;
+        pipe.stall_until =
+            Clock::now() + std::chrono::milliseconds(options_.stall_ms);
+        break;
+      case FaultKind::kTrickle:
+        pipe.trickle_left = options_.trickle_bytes;
+        break;
+      case FaultKind::kClose:
+        KillConn(conn, false);
+        return false;
+      case FaultKind::kRst:
+        KillConn(conn, true);
+        return false;
+    }
+  }
+  return true;
+}
+
+void ChaosProxy::ServiceConn(Conn& conn) {
+  if (conn.dead) return;
+  if (!ServicePipe(conn, conn.c2s, Direction::kClientToServer)) return;
+  if (!ServicePipe(conn, conn.s2c, Direction::kServerToClient)) return;
+  if (conn.c2s.dst_shutdown && conn.s2c.dst_shutdown) {
+    conn.client.reset();
+    conn.server.reset();
+    conn.dead = true;
+  }
+}
+
+void ChaosProxy::Run() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+    }
+
+    std::vector<pollfd> pfds;
+    pfds.push_back(pollfd{wake_.read_end.get(), POLLIN, 0});
+    pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    for (const auto& conn : conns_) {
+      if (conn->dead) continue;
+      pfds.push_back(pollfd{conn->client.get(), POLLIN, 0});
+      pfds.push_back(pollfd{conn->server.get(), POLLIN, 0});
+    }
+    // A short tick (rather than event-exact timers) services stalls,
+    // trickles, and retries of full send buffers; chaos tests are not
+    // latency-sensitive.
+    (void)::poll(pfds.data(), pfds.size(), 5);
+    DrainWakePipe(wake_.read_end.get());
+
+    // Accept every pending client and dial the backend for each.
+    for (;;) {
+      auto accepted = AcceptConnection(listener_.get());
+      if (!accepted.ok() || !accepted.ValueOrDie().valid()) break;
+      Result<UniqueFd> backend =
+          backend_path_.empty()
+              ? ConnectTcp("127.0.0.1", backend_port_)
+              : ConnectUnix(backend_path_);
+      if (!backend.ok()) {
+        // Backend down: drop the client on the floor — from its side
+        // this is indistinguishable from a crashed server.
+        continue;
+      }
+      (void)SetNonBlocking(accepted.ValueOrDie().get());
+      (void)SetNonBlocking(backend.ValueOrDie().get());
+      uint64_t id = accepted_++;
+      auto conn = std::make_unique<Conn>(id, std::move(accepted.ValueOrDie()),
+                                         std::move(backend.ValueOrDie()),
+                                         ConnSeed(options_.seed, id));
+      ArmNextFault(*conn, conn->c2s);
+      ArmNextFault(*conn, conn->s2c);
+      conns_.push_back(std::move(conn));
+      std::lock_guard<std::mutex> lock(mu_);
+      accepted_snapshot_ = accepted_;
+    }
+
+    for (auto& conn : conns_) ServiceConn(*conn);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->dead;
+                                }),
+                 conns_.end());
+  }
+  conns_.clear();
+}
+
+}  // namespace lazyxml

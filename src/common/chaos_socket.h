@@ -1,0 +1,146 @@
+// ChaosProxy: a seeded, deterministic socket fault injector for tests.
+//
+// The proxy sits between a client and a real server (both over unix
+// sockets or TCP) and forwards bytes — except where its fault schedule
+// says otherwise. Faults are drawn from a per-connection xoroshiro128++
+// stream seeded from (options.seed, connection index), and every fault
+// fires at a byte *offset* in the forwarded stream, never at a wall
+//-clock time. That makes the schedule a pure function of the seed and
+// the bytes the endpoints actually exchange: the same seed and the same
+// client workload produce the same faults at the same positions, no
+// matter how the OS chunks reads — the property the determinism test in
+// tests/server/chaos_test.cc asserts on the recorded schedule.
+//
+// Injected faults:
+//   kSplit   — force a write boundary at this offset (partial write /
+//              mid-frame delivery; the bytes after it arrive later)
+//   kStall   — hold this direction for stall_ms (read stall)
+//   kTrickle — deliver the next trickle_bytes one byte per loop tick
+//   kClose   — orderly FIN of both sides mid-stream
+//   kRst     — SO_LINGER(0) + close: the client sees ECONNRESET
+//
+// This is the socket-layer sibling of the WAL's byte-level fault
+// harness (PR 1): same philosophy — deterministic, replayable damage —
+// one layer up the stack.
+
+#ifndef LAZYXML_COMMON_CHAOS_SOCKET_H_
+#define LAZYXML_COMMON_CHAOS_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+
+namespace lazyxml {
+
+class ChaosProxy {
+ public:
+  enum class FaultKind : uint8_t {
+    kSplit = 0,
+    kStall = 1,
+    kTrickle = 2,
+    kClose = 3,
+    kRst = 4,
+  };
+
+  enum class Direction : uint8_t {
+    kClientToServer = 0,
+    kServerToClient = 1,
+  };
+
+  /// One applied fault, recorded in accept order. Two runs with the same
+  /// seed and client workload produce identical schedules.
+  struct FaultEvent {
+    uint64_t conn = 0;      ///< connection index, counted from 0 in accept order
+    Direction dir = Direction::kClientToServer;
+    uint64_t offset = 0;    ///< forwarded-byte offset the fault fired at
+    FaultKind kind = FaultKind::kSplit;
+  };
+
+  struct Options {
+    uint64_t seed = 1;
+    /// A fault fires every Uniform[min_fault_gap_bytes, max_fault_gap_bytes]
+    /// forwarded bytes, per direction.
+    uint32_t min_fault_gap_bytes = 64;
+    uint32_t max_fault_gap_bytes = 2048;
+    int stall_ms = 20;           ///< duration of a kStall
+    uint32_t trickle_bytes = 16; ///< bytes delivered one-per-tick by kTrickle
+    /// Relative weights for the fault kinds; a zero weight disables the
+    /// kind. kClose/kRst terminate the connection, so tests that need
+    /// long-lived streams set those to zero.
+    uint32_t weight_split = 4;
+    uint32_t weight_stall = 2;
+    uint32_t weight_trickle = 2;
+    uint32_t weight_close = 1;
+    uint32_t weight_rst = 1;
+  };
+
+  /// Listens on unix socket `listen_path`; each accepted connection
+  /// dials backend `backend_path`. Runs its own poll thread.
+  static Result<std::unique_ptr<ChaosProxy>> StartUnix(
+      const std::string& listen_path, const std::string& backend_path,
+      const Options& options);
+
+  /// Listens on 127.0.0.1:`listen_port` (0 = ephemeral, see listen_port());
+  /// each accepted connection dials 127.0.0.1:`backend_port`.
+  static Result<std::unique_ptr<ChaosProxy>> StartTcp(
+      uint16_t listen_port, uint16_t backend_port, const Options& options);
+
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Stops the poll thread and closes every connection. Idempotent.
+  void Stop();
+
+  /// The port StartTcp actually bound (when listen_port was 0).
+  uint16_t listen_port() const { return listen_port_; }
+
+  /// Snapshot of every fault applied so far, in application order.
+  std::vector<FaultEvent> Schedule() const;
+
+  /// Connections accepted so far.
+  uint64_t connections_accepted() const;
+
+ private:
+  ChaosProxy(Options options, UniqueFd listener, std::string backend_path,
+             uint16_t backend_port);
+
+  struct Pipe;
+  struct Conn;
+
+  void Run();
+  void ServiceConn(Conn& conn);
+  bool ServicePipe(Conn& conn, Pipe& pipe, Direction dir);
+  void ArmNextFault(Conn& conn, Pipe& pipe);
+  void KillConn(Conn& conn, bool rst);
+
+  Options options_;
+  UniqueFd listener_;
+  std::string backend_path_;  // empty → TCP backend
+  uint16_t backend_port_ = 0;
+  uint16_t listen_port_ = 0;
+
+  WakePipe wake_;
+  std::thread thread_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  uint64_t accepted_ = 0;
+  bool stop_requested_ = false;
+
+  mutable std::mutex mu_;  // guards schedule_, accepted_snapshot_, stop flag
+  std::vector<FaultEvent> schedule_;
+  uint64_t accepted_snapshot_ = 0;
+};
+
+/// Stable names for logs/tests ("split", "stall", ...).
+std::string_view ChaosFaultKindName(ChaosProxy::FaultKind kind);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_COMMON_CHAOS_SOCKET_H_

@@ -2,10 +2,12 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,6 +18,18 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Failures meaning "the peer is gone / refusing" rather than "this host's
+// I/O stack broke" are Unavailable: a retry against a restarted or
+// less-loaded server can legitimately succeed.
+Status PeerErrno(const char* what) {
+  if (errno == ECONNRESET || errno == EPIPE || errno == ECONNREFUSED ||
+      errno == ECONNABORTED || errno == ENOTCONN || errno == ETIMEDOUT) {
+    return Status::Unavailable(std::string(what) + ": " +
+                               std::strerror(errno));
+  }
+  return Errno(what);
 }
 
 Result<UniqueFd> NewSocket(int domain) {
@@ -102,6 +116,58 @@ Result<UniqueFd> ConnectUnix(const std::string& path) {
   return fd;
 }
 
+namespace {
+
+// Finishes a non-blocking connect under a deadline: poll for
+// writability, then read SO_ERROR for the actual verdict.
+Result<UniqueFd> FinishTimedConnect(UniqueFd fd, int rc, int timeout_ms) {
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return PeerErrno("connect");
+    }
+    LAZYXML_ASSIGN_OR_RETURN(bool ready,
+                             WaitWritable(fd.get(), timeout_ms));
+    if (!ready) return Status::DeadlineExceeded("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      return PeerErrno("connect");
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<UniqueFd> ConnectTcpTimed(const std::string& host, uint16_t port,
+                                 int timeout_ms) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddress(host, port));
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_INET));
+  int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  LAZYXML_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  return FinishTimedConnect(std::move(fd), rc, timeout_ms);
+}
+
+Result<UniqueFd> ConnectUnixTimed(const std::string& path, int timeout_ms) {
+  LAZYXML_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
+  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, NewSocket(AF_UNIX));
+  LAZYXML_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  return FinishTimedConnect(std::move(fd), rc, timeout_ms);
+}
+
 Result<UniqueFd> AcceptConnection(int listen_fd) {
   for (;;) {
     int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
@@ -137,6 +203,50 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
+Status SetBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// poll(2) for `events` with EINTR retried against the remaining budget.
+// POLLERR/POLLHUP count as ready: the follow-up read/write surfaces the
+// real error (or eof), which is what callers want to observe.
+Result<bool> WaitFor(int fd, short events, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  for (;;) {
+    int budget = -1;
+    if (timeout_ms > 0) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      budget = left > 0 ? static_cast<int>(left) : 0;
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Result<bool> WaitReadable(int fd, int timeout_ms) {
+  return WaitFor(fd, POLLIN, timeout_ms);
+}
+
+Result<bool> WaitWritable(int fd, int timeout_ms) {
+  return WaitFor(fd, POLLOUT, timeout_ms);
+}
+
 Result<ReadOutcome> ReadSome(int fd, char* buf, size_t cap) {
   ReadOutcome out;
   for (;;) {
@@ -154,7 +264,7 @@ Result<ReadOutcome> ReadSome(int fd, char* buf, size_t cap) {
       out.would_block = true;
       return out;
     }
-    return Errno("read");
+    return PeerErrno("read");
   }
 }
 
@@ -171,7 +281,7 @@ Result<WriteOutcome> WriteSome(int fd, const char* buf, size_t len) {
       out.would_block = true;
       return out;
     }
-    return Errno("send");
+    return PeerErrno("send");
   }
   return out;
 }

@@ -72,6 +72,17 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
 /// Connects (blocking) to a unix-domain listener.
 Result<UniqueFd> ConnectUnix(const std::string& path);
 
+/// Connects to a TCP listener with a bounded wait: non-blocking
+/// connect(2), poll for writability, then SO_ERROR. The returned fd is
+/// left NON-blocking (callers pair it with WaitReadable/WaitWritable).
+/// timeout_ms <= 0 waits forever. Timeout → DeadlineExceeded; refused /
+/// reset → Unavailable.
+Result<UniqueFd> ConnectTcpTimed(const std::string& host, uint16_t port,
+                                 int timeout_ms);
+
+/// ConnectTcpTimed for a unix-domain listener.
+Result<UniqueFd> ConnectUnixTimed(const std::string& path, int timeout_ms);
+
 /// Accepts one pending connection from a (non-blocking) listener.
 /// OK with an invalid fd means "no connection pending" (EAGAIN).
 Result<UniqueFd> AcceptConnection(int listen_fd);
@@ -82,6 +93,18 @@ Result<uint16_t> LocalPort(int fd);
 /// Switches `fd` to non-blocking mode.
 Status SetNonBlocking(int fd);
 
+/// Switches `fd` back to blocking mode.
+Status SetBlocking(int fd);
+
+/// Blocks until `fd` is readable (or has an error/hangup pending, which
+/// a subsequent read will surface), at most `timeout_ms` milliseconds.
+/// Returns true when ready, false on timeout. timeout_ms <= 0 waits
+/// forever. EINTR is retried with the remaining budget.
+Result<bool> WaitReadable(int fd, int timeout_ms);
+
+/// WaitReadable for writability.
+Result<bool> WaitWritable(int fd, int timeout_ms);
+
 /// Outcome of one non-blocking read.
 struct ReadOutcome {
   size_t n = 0;             ///< bytes read into the buffer
@@ -90,7 +113,8 @@ struct ReadOutcome {
 };
 
 /// Reads up to `cap` bytes. EINTR is retried; EAGAIN comes back as
-/// would_block, a zero-byte read as eof, anything else as IOError.
+/// would_block, a zero-byte read as eof, ECONNRESET as Unavailable,
+/// anything else as IOError.
 Result<ReadOutcome> ReadSome(int fd, char* buf, size_t cap);
 
 /// Outcome of one non-blocking write.
@@ -100,7 +124,8 @@ struct WriteOutcome {
 };
 
 /// Writes up to `len` bytes. EINTR retried, EAGAIN → would_block,
-/// EPIPE/ECONNRESET and friends → IOError. SIGPIPE is suppressed
+/// EPIPE/ECONNRESET (peer gone: retryable against a restarted server) →
+/// Unavailable, anything else → IOError. SIGPIPE is suppressed
 /// (MSG_NOSIGNAL).
 Result<WriteOutcome> WriteSome(int fd, const char* buf, size_t len);
 

@@ -24,6 +24,12 @@ enum class StatusCode : int {
   kParseError = 7,        ///< XML text is not well formed.
   kInternal = 8,          ///< Bug in this library.
   kIOError = 9,           ///< Filesystem / device failure (durability layer).
+  kDeadlineExceeded = 10, ///< A time budget ran out before the work started
+                          ///< or finished (server request deadlines, client
+                          ///< I/O timeouts). Retryable.
+  kUnavailable = 11,      ///< The peer exists but cannot serve right now:
+                          ///< overload shedding, a reset/closed connection.
+                          ///< Retryable (see docs/SERVER.md "Error taxonomy").
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -83,6 +89,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -109,6 +121,10 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

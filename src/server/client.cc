@@ -1,9 +1,12 @@
 #include "server/client.h"
 
 #include <charconv>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace lazyxml {
 namespace server {
@@ -67,40 +70,108 @@ Status ParseRows(std::string_view body,
 
 }  // namespace
 
+using Clock = std::chrono::steady_clock;
+
+Client::Client(UniqueFd fd, ClientOptions options, Endpoint endpoint)
+    : fd_(std::move(fd)),
+      options_(std::move(options)),
+      endpoint_(std::move(endpoint)),
+      decoder_(options_.wire),
+      jitter_rng_(options_.jitter_seed) {}
+
 Result<Client> Client::ConnectTcpEndpoint(const std::string& host,
-                                          uint16_t port, WireLimits limits) {
-  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
-  return Client(std::move(fd), limits);
+                                          uint16_t port,
+                                          ClientOptions options) {
+  LAZYXML_ASSIGN_OR_RETURN(
+      UniqueFd fd, ConnectTcpTimed(host, port, options.connect_timeout_ms));
+  Endpoint ep;
+  ep.tcp = true;
+  ep.host = host;
+  ep.port = port;
+  return Client(std::move(fd), std::move(options), std::move(ep));
 }
 
 Result<Client> Client::ConnectUnixEndpoint(const std::string& path,
-                                           WireLimits limits) {
-  LAZYXML_ASSIGN_OR_RETURN(UniqueFd fd, ConnectUnix(path));
-  return Client(std::move(fd), limits);
+                                           ClientOptions options) {
+  LAZYXML_ASSIGN_OR_RETURN(
+      UniqueFd fd, ConnectUnixTimed(path, options.connect_timeout_ms));
+  Endpoint ep;
+  ep.path = path;
+  return Client(std::move(fd), std::move(options), std::move(ep));
 }
 
-Status Client::WriteAll(std::string_view bytes) {
+Status Client::Reconnect() {
+  LAZYXML_METRIC_COUNTER(reconnects, "client.reconnects_total");
+  fd_.reset();
+  decoder_ = FrameDecoder(options_.wire);  // a fresh byte stream
+  Result<UniqueFd> fd =
+      endpoint_.tcp
+          ? ConnectTcpTimed(endpoint_.host, endpoint_.port,
+                            options_.connect_timeout_ms)
+          : ConnectUnixTimed(endpoint_.path, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(fd).ValueOrDie();
+  reconnects.Increment();
+  return Status::OK();
+}
+
+int Client::WaitBudgetMs(Clock::time_point deadline) const {
+  int budget = options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
+  if (deadline != Clock::time_point::max()) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    // Never 0: WaitReadable/WaitWritable treat <= 0 as "wait forever".
+    if (left < 1) left = 1;
+    if (budget < 0 || left < budget) budget = static_cast<int>(left);
+  }
+  return budget;
+}
+
+Status Client::WriteAll(std::string_view bytes, Clock::time_point deadline) {
+  LAZYXML_METRIC_COUNTER(timeouts, "client.timeouts_total");
   size_t off = 0;
   while (off < bytes.size()) {
     auto w = WriteSome(fd_.get(), bytes.data() + off, bytes.size() - off);
-    LAZYXML_RETURN_NOT_OK(w.status());
-    // The socket is blocking, so would_block cannot persist; a zero-byte
-    // non-blocking write would loop, guard anyway.
-    if (w.ValueOrDie().n == 0 && w.ValueOrDie().would_block) {
-      return Status::IOError("short write on blocking client socket");
+    if (!w.ok()) {
+      fd_.reset();
+      return w.status();
     }
     off += w.ValueOrDie().n;
+    if (off == bytes.size()) break;
+    if (w.ValueOrDie().would_block) {
+      const int budget = WaitBudgetMs(deadline);
+      auto ready = WaitWritable(fd_.get(), budget);
+      if (!ready.ok()) {
+        fd_.reset();
+        return ready.status();
+      }
+      if (!ready.ValueOrDie()) {
+        // The frame is part-sent: this connection's byte stream is
+        // poisoned, drop it so a retry starts clean.
+        timeouts.Increment();
+        fd_.reset();
+        return Status::DeadlineExceeded("write timed out after " +
+                                        std::to_string(budget) + "ms");
+      }
+    }
   }
   return Status::OK();
 }
 
 Result<ParsedResponse> Client::Call(std::string_view payload) {
+  LAZYXML_METRIC_COUNTER(timeouts, "client.timeouts_total");
   if (!fd_.valid()) {
-    return Status::InvalidArgument("client is not connected");
+    return Status::Unavailable("client is not connected");
   }
+  const Clock::time_point deadline =
+      options_.call_timeout_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(options_.call_timeout_ms)
+          : Clock::time_point::max();
   LAZYXML_ASSIGN_OR_RETURN(
-      std::string frame, EncodeFrame(FrameType::kRequest, payload, limits_));
-  LAZYXML_RETURN_NOT_OK(WriteAll(frame));
+      std::string frame,
+      EncodeFrame(FrameType::kRequest, payload, options_.wire));
+  LAZYXML_RETURN_NOT_OK(WriteAll(frame, deadline));
   char buf[4096];
   for (;;) {
     auto next = decoder_.Next();
@@ -113,14 +184,33 @@ Result<ParsedResponse> Client::Call(std::string_view payload) {
       return ParseResponse(f.payload);
     }
     auto r = ReadSome(fd_.get(), buf, sizeof buf);
-    LAZYXML_RETURN_NOT_OK(r.status());
+    if (!r.ok()) {
+      fd_.reset();
+      return r.status();
+    }
     if (r.ValueOrDie().n > 0) {
       decoder_.Feed(std::string_view(buf, r.ValueOrDie().n));
       continue;
     }
     if (r.ValueOrDie().eof) {
       fd_.reset();
-      return Status::IOError("server closed the connection mid-response");
+      return Status::Unavailable("server closed the connection mid-response");
+    }
+    if (r.ValueOrDie().would_block) {
+      const int budget = WaitBudgetMs(deadline);
+      auto ready = WaitReadable(fd_.get(), budget);
+      if (!ready.ok()) {
+        fd_.reset();
+        return ready.status();
+      }
+      if (!ready.ValueOrDie()) {
+        // An unread response may still arrive later and would desync
+        // request/response matching — poison the connection.
+        timeouts.Increment();
+        fd_.reset();
+        return Status::DeadlineExceeded("response timed out after " +
+                                        std::to_string(budget) + "ms");
+      }
     }
   }
 }
@@ -131,26 +221,87 @@ Result<ParsedResponse> Client::CallChecked(std::string_view payload) {
   return resp;
 }
 
+void Client::SleepBackoff(int attempt) {
+  const BackoffPolicy& b = options_.backoff;
+  double delay = static_cast<double>(b.initial_ms) *
+                 std::pow(b.multiplier, attempt - 1);
+  if (delay > b.max_ms) delay = b.max_ms;
+  if (b.jitter > 0) delay *= 1.0 - b.jitter * jitter_rng_.NextDouble();
+  if (delay < 1) delay = 1;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(delay)));
+}
+
+Result<ParsedResponse> Client::CallWithRetry(std::string_view payload,
+                                             bool idempotent) {
+  LAZYXML_METRIC_COUNTER(retries, "client.retries_total");
+  const int attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      retries.Increment();
+      SleepBackoff(attempt - 1);
+    }
+    if (!fd_.valid()) {
+      last = Reconnect();
+      if (!last.ok()) continue;
+    }
+    auto r = Call(payload);
+    if (r.ok()) {
+      const ParsedResponse& resp = r.ValueOrDie();
+      if (!resp.ok) {
+        Status server_status = resp.ToStatus();
+        // Typed server rejections (shed / expired in queue) happen
+        // before the engine runs, so re-sending is safe even for
+        // mutations.
+        if (server_status.IsUnavailable() ||
+            server_status.IsDeadlineExceeded()) {
+          last = std::move(server_status);
+          continue;
+        }
+        return server_status;  // a real error: surface it
+      }
+      return r;
+    }
+    last = r.status();
+    // Transport failure: the request's fate is unknown — it may have
+    // executed and only the response was lost. Only idempotent commands
+    // (or explicit opt-in) may re-send.
+    const bool retryable_transport =
+        last.IsUnavailable() || last.IsDeadlineExceeded() || last.IsIOError();
+    if (!retryable_transport) return last;
+    if (!idempotent && !options_.retry_mutations) return last;
+  }
+  return last;
+}
+
 Result<uint64_t> Client::Load(std::string_view xml) {
   std::string payload = "LOAD\n";
   payload.append(xml);
-  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, CallChecked(payload));
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
+                           CallWithRetry(payload, /*idempotent=*/false));
   return DetailField(resp.detail, "SID");
 }
 
 Result<uint64_t> Client::Insert(uint64_t gp, std::string_view xml) {
   std::string payload = "INSERT " + std::to_string(gp) + "\n";
   payload.append(xml);
-  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp, CallChecked(payload));
+  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
+                           CallWithRetry(payload, /*idempotent=*/false));
   return DetailField(resp.detail, "SID");
 }
 
 Status Client::Remove(uint64_t gp, uint64_t length) {
-  return CallChecked("REMOVE " + std::to_string(gp) + " " +
-                     std::to_string(length))
+  return CallWithRetry("REMOVE " + std::to_string(gp) + " " +
+                           std::to_string(length),
+                       /*idempotent=*/false)
       .status();
 }
 
+// BATCH verbs are session state, not engine state, but a reconnect
+// silently discards an open batch — so they never retry on transport
+// failure either (a fresh connection would accept BATCH COMMIT with an
+// empty buffer and lie about it).
 Status Client::BatchBegin() { return CallChecked("BATCH BEGIN").status(); }
 
 Status Client::BatchAdd(bool insert, uint64_t gp, uint64_t length,
@@ -173,8 +324,9 @@ Status Client::BatchAbort() { return CallChecked("BATCH ABORT").status(); }
 Result<uint64_t> Client::Path(
     std::string_view expr,
     std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
-  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
-                           CallChecked("PATH " + std::string(expr)));
+  LAZYXML_ASSIGN_OR_RETURN(
+      ParsedResponse resp,
+      CallWithRetry("PATH " + std::string(expr), /*idempotent=*/true));
   if (rows_out != nullptr) {
     LAZYXML_RETURN_NOT_OK(ParseRows(resp.body, rows_out));
   }
@@ -184,8 +336,9 @@ Result<uint64_t> Client::Path(
 Result<uint64_t> Client::Twig(
     std::string_view expr,
     std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
-  LAZYXML_ASSIGN_OR_RETURN(ParsedResponse resp,
-                           CallChecked("TWIG " + std::string(expr)));
+  LAZYXML_ASSIGN_OR_RETURN(
+      ParsedResponse resp,
+      CallWithRetry("TWIG " + std::string(expr), /*idempotent=*/true));
   if (rows_out != nullptr) {
     LAZYXML_RETURN_NOT_OK(ParseRows(resp.body, rows_out));
   }
@@ -196,18 +349,25 @@ Status Client::Freeze() { return CallChecked("FREEZE").status(); }
 
 Status Client::Compact() { return CallChecked("COMPACT").status(); }
 
-Result<ParsedResponse> Client::Check() { return CallChecked("CHECK"); }
+Result<ParsedResponse> Client::Check() {
+  return CallWithRetry("CHECK", /*idempotent=*/true);
+}
 
 Result<std::string> Client::Metrics(bool json) {
   LAZYXML_ASSIGN_OR_RETURN(
       ParsedResponse resp,
-      CallChecked(json ? std::string_view("METRICS JSON")
-                       : std::string_view("METRICS TEXT")));
+      CallWithRetry(json ? "METRICS JSON" : "METRICS TEXT",
+                    /*idempotent=*/true));
   return std::move(resp.body);
 }
 
 Status Client::Quit() {
+  if (!fd_.valid()) return Status::OK();  // already torn down
   Status s = CallChecked("QUIT").status();
+  // A server shutting down can close the socket before (or instead of)
+  // the BYE reply — ECONNRESET/EPIPE/eof here all mean the session is
+  // down, which is exactly what QUIT asked for.
+  if (s.IsUnavailable()) s = Status::OK();
   fd_.reset();
   return s;
 }

@@ -95,6 +95,37 @@ std::string_view CommandKindName(CommandKind kind) {
   return "unknown";
 }
 
+DeadlineClass DeadlineClassOf(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kPath:
+    case CommandKind::kTwig:
+    case CommandKind::kMetrics:
+      return DeadlineClass::kQuery;
+    case CommandKind::kLoad:
+    case CommandKind::kInsert:
+    case CommandKind::kRemove:
+    case CommandKind::kBatchBegin:
+    case CommandKind::kBatchCommit:
+    case CommandKind::kBatchAbort:
+      return DeadlineClass::kUpdate;
+    case CommandKind::kFreeze:
+    case CommandKind::kCompact:
+    case CommandKind::kCheck:
+    case CommandKind::kQuit:
+      return DeadlineClass::kAdmin;
+  }
+  return DeadlineClass::kAdmin;
+}
+
+std::string_view DeadlineClassName(DeadlineClass cls) {
+  switch (cls) {
+    case DeadlineClass::kQuery: return "query";
+    case DeadlineClass::kUpdate: return "update";
+    case DeadlineClass::kAdmin: return "admin";
+  }
+  return "unknown";
+}
+
 Result<Command> ParseCommand(std::string_view payload,
                              const CommandLimits& limits) {
   std::string_view body;
@@ -214,6 +245,8 @@ Status ParsedResponse::ToStatus() const {
   if (code == "NotSupported") return Status::NotSupported(detail);
   if (code == "ParseError") return Status::ParseError(detail);
   if (code == "IOError") return Status::IOError(detail);
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(detail);
+  if (code == "Unavailable") return Status::Unavailable(detail);
   return Status::Internal(code + ": " + detail);
 }
 

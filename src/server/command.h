@@ -55,6 +55,21 @@ enum class CommandKind : uint8_t {
 /// server.cmd.<name> metric suffix and in traces.
 std::string_view CommandKindName(CommandKind kind);
 
+/// Which per-request deadline budget a command draws from
+/// (ServerOptions::Deadlines). Queries are cheap and latency-sensitive;
+/// updates may group-commit; admin verbs (FREEZE/COMPACT/CHECK) can
+/// legitimately run long.
+enum class DeadlineClass : uint8_t {
+  kQuery = 0,
+  kUpdate = 1,
+  kAdmin = 2,
+};
+
+DeadlineClass DeadlineClassOf(CommandKind kind);
+
+/// "query" / "update" / "admin" — for error messages and docs.
+std::string_view DeadlineClassName(DeadlineClass cls);
+
 /// One parsed command.
 struct Command {
   CommandKind kind = CommandKind::kQuit;

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #ifdef __linux__
 #include <sys/epoll.h>
 #endif
@@ -22,6 +23,13 @@ namespace {
 constexpr uint64_t kWakeTag = 0;
 constexpr uint64_t kTcpTag = 1;
 constexpr uint64_t kUnixTag = 2;
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MsUntil(Clock::time_point when, Clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(when - now)
+      .count();
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -171,9 +179,19 @@ struct Server::Connection {
   SessionContext session;
   FrameDecoder decoder;
 
+  /// One decoded-but-unanswered request. `arrival` starts the deadline
+  /// budget; `shed` marks a request admission control already rejected —
+  /// its ERR Unavailable response is emitted at dispatch, in order, so
+  /// response/request correlation survives overload.
+  struct PendingRequest {
+    std::string payload;
+    Clock::time_point arrival;
+    bool shed = false;
+  };
+
   /// Decoded request payloads not yet dispatched (bounded by
   /// max_pending_requests via read pausing).
-  std::deque<std::string> requests;
+  std::deque<PendingRequest> requests;
   /// True while one request of this session runs on the pool.
   bool executing = false;
 
@@ -185,6 +203,13 @@ struct Server::Connection {
   bool read_interest = true;
   bool write_interest = false;
   bool paused_for_backpressure = false;
+
+  // Reaper bookkeeping (loop thread only).
+  Clock::time_point last_activity{};       ///< bytes read / request done
+  Clock::time_point last_write_progress{}; ///< output bytes accepted
+  /// Earliest armed heap entry; max() = none. Bounds the heap to one
+  /// live entry per connection.
+  Clock::time_point armed_deadline = Clock::time_point::max();
 };
 
 // ---------------------------------------------------------------------------
@@ -290,6 +315,9 @@ void Server::Stop() {
   active_sessions_.store(0, std::memory_order_release);
   done_.clear();
   inflight_ = 0;
+  pending_requests_total_ = 0;
+  buffered_out_total_ = 0;
+  session_deadlines_ = {};
   listeners_closed_ = false;
   running_.store(false, std::memory_order_release);
 }
@@ -310,6 +338,7 @@ void Server::CloseListeners() {
 void Server::EventLoop() {
   for (;;) {
     ProcessCompletions();
+    RunReaper();
     ReapDead();
     if (stop_requested_.load(std::memory_order_acquire)) {
       CloseListeners();
@@ -320,8 +349,12 @@ void Server::EventLoop() {
       }
       if (drained) break;
     }
-    auto events = poller_->Wait(
-        stop_requested_.load(std::memory_order_acquire) ? 20 : -1);
+    int timeout_ms = NextReaperTimeoutMs();
+    if (stop_requested_.load(std::memory_order_acquire) &&
+        (timeout_ms < 0 || timeout_ms > 20)) {
+      timeout_ms = 20;
+    }
+    auto events = poller_->Wait(timeout_ms);
     if (!events.ok()) break;  // poller broke; drain via the stop path
     for (const Poller::Event& ev : events.ValueOrDie()) {
       if (ev.tag == kWakeTag) {
@@ -348,15 +381,33 @@ void Server::EventLoop() {
       if (ev.readable && !conn->dead) HandleReadable(conn);
     }
   }
-  // Drain path: flush whatever responses fit without blocking, then
-  // close everything.
+  // Drain path: every in-flight request has been answered into its
+  // output buffer by now; give the buffers a bounded window to reach
+  // the sockets, then close everything.
+  DrainOutputsBeforeExit();
   for (auto& [id, conn] : connections_) {
     if (!conn->dead) {
-      FlushOutput(conn.get());
       CloseConnection(conn.get(), /*abrupt=*/false);
     }
   }
   connections_.clear();
+}
+
+void Server::DrainOutputsBeforeExit() {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (;;) {
+    bool pending = false;
+    for (auto& [id, conn] : connections_) {
+      if (conn->dead) continue;
+      FlushOutput(conn.get());
+      if (!conn->dead && conn->out.size() > conn->out_pos) pending = true;
+    }
+    if (!pending || Clock::now() >= deadline) break;
+    // Brief nap instead of re-registering writable interest: shutdown is
+    // not a hot path, and the bound above keeps Stop() prompt.
+    (void)::poll(nullptr, 0, 2);
+  }
 }
 
 void Server::AcceptAll(int listen_fd) {
@@ -391,12 +442,21 @@ void Server::AcceptAll(int listen_fd) {
     }
 
     if (!SetNonBlocking(fd.get()).ok()) continue;
+    if (options_.socket_send_buffer_bytes > 0) {
+      (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF,
+                         &options_.socket_send_buffer_bytes,
+                         sizeof(options_.socket_send_buffer_bytes));
+    }
     const uint64_t id = next_conn_id_++;
     auto conn = std::make_unique<Connection>(id, std::move(fd), options_);
     if (!poller_->Add(conn->fd.get(), id, true, false).ok()) continue;
     accepted.Increment();
     active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    conn->last_activity = Clock::now();
+    conn->last_write_progress = conn->last_activity;
+    Connection* raw = conn.get();
     connections_.emplace(id, std::move(conn));
+    ArmSessionDeadline(raw);
   }
 }
 
@@ -404,6 +464,7 @@ void Server::AcceptAll(int listen_fd) {
 /// to the per-session bound. Returns false on a fatal protocol error
 /// (`*error_payload` then holds the ERR response to send before close).
 bool Server::DrainDecoder(Connection* conn, std::string* error_payload) {
+  LAZYXML_METRIC_COUNTER(shed_total, "server.shed_total");
   while (conn->requests.size() < options_.max_pending_requests) {
     auto fr = conn->decoder.Next();
     if (!fr.ok()) {
@@ -417,7 +478,26 @@ bool Server::DrainDecoder(Connection* conn, std::string* error_payload) {
           ErrorResponse(Status::InvalidArgument("expected a request frame"));
       return false;
     }
-    conn->requests.push_back(std::move(frame.payload));
+    Connection::PendingRequest req;
+    req.payload = std::move(frame.payload);
+    req.arrival = Clock::now();
+    // Admission control: over a watermark, the request is marked shed at
+    // decode time and answered ERR Unavailable at dispatch time — the
+    // response still goes out in arrival order, so clients can correlate
+    // it, and the engine never sees the work.
+    const bool over_pending =
+        options_.shed_pending_requests > 0 &&
+        pending_requests_total_ >= options_.shed_pending_requests;
+    const bool over_bytes =
+        options_.shed_buffered_bytes > 0 &&
+        buffered_out_total_ >= options_.shed_buffered_bytes;
+    if (over_pending || over_bytes) {
+      req.shed = true;
+      shed_total.Increment();
+      ++conn->session.requests_shed;
+    }
+    conn->requests.push_back(std::move(req));
+    ++pending_requests_total_;
   }
   return true;
 }
@@ -443,6 +523,7 @@ void Server::HandleReadable(Connection* conn) {
     const ReadOutcome& ro = r.ValueOrDie();
     if (ro.n > 0) {
       bytes_read.Add(ro.n);
+      conn->last_activity = Clock::now();
       conn->decoder.Feed(std::string_view(buf.data(), ro.n));
       std::string error_payload;
       if (!DrainDecoder(conn, &error_payload)) {
@@ -485,10 +566,39 @@ void Server::HandleWritable(Connection* conn) {
 void Server::DispatchNext(Connection* conn) {
   if (conn->executing || conn->dead || conn->want_close) return;
   if (stop_requested_.load(std::memory_order_acquire)) return;
-  if (conn->requests.empty()) return;
 
-  std::string payload = std::move(conn->requests.front());
+  // Requests admission control already rejected are answered here, in
+  // arrival order, without a pool round-trip. Answering sheds can empty
+  // the queue while complete frames still sit in the decoder (reading
+  // pauses at the queue cap, so no readable event is coming and no
+  // worker completion is in flight to pull them) — drain again before
+  // concluding there is nothing to do.
+  while (true) {
+    while (!conn->requests.empty() && conn->requests.front().shed) {
+      conn->requests.pop_front();
+      --pending_requests_total_;
+      EnqueueResponse(
+          conn, ErrorResponse(Status::Unavailable(
+                    "server overloaded, retry with backoff (pending=" +
+                    std::to_string(pending_requests_total_) + " buffered=" +
+                    std::to_string(buffered_out_total_) + "B)")));
+    }
+    if (!conn->requests.empty()) break;
+    std::string error_payload;
+    if (!DrainDecoder(conn, &error_payload)) {
+      LAZYXML_METRIC_COUNTER(protocol_errors, "server.protocol_errors");
+      protocol_errors.Increment();
+      EnqueueResponse(conn, error_payload);
+      conn->want_close = true;
+      return;
+    }
+    if (conn->requests.empty()) return;  // decoder truly dry (or partial)
+  }
+
+  std::string payload = std::move(conn->requests.front().payload);
+  const Clock::time_point arrival = conn->requests.front().arrival;
   conn->requests.pop_front();
+  --pending_requests_total_;
   conn->executing = true;
   {
     std::lock_guard<std::mutex> l(done_mu_);
@@ -499,9 +609,11 @@ void Server::DispatchNext(Connection* conn) {
   // Connection object outlives the task: it is reaped only when a
   // completion for it has been processed (executing back to false).
   pool_->Submit([this, id = conn->id, session = &conn->session,
-                 payload = std::move(payload)]() {
+                 payload = std::move(payload), arrival]() {
     LAZYXML_METRIC_COUNTER(requests, "server.requests");
     LAZYXML_METRIC_COUNTER(request_errors, "server.request_errors");
+    LAZYXML_METRIC_COUNTER(deadline_exceeded,
+                           "server.deadline_exceeded_total");
     requests.Increment();
     Completion done;
     done.conn_id = id;
@@ -510,11 +622,32 @@ void Server::DispatchNext(Connection* conn) {
       request_errors.Increment();
       done.response = ErrorResponse(parsed.status());
     } else {
-      ExecuteOutcome out = ExecuteCommand(engine_, session,
-                                          parsed.ValueOrDie());
-      if (out.error) request_errors.Increment();
-      done.response = std::move(out.response);
-      done.close = out.close;
+      // Deadline gate: the budget is per command class and covers queue
+      // wait. An expired request dies here — parsed but never executed.
+      const DeadlineClass cls = DeadlineClassOf(parsed.ValueOrDie().kind);
+      uint32_t budget_ms = 0;
+      switch (cls) {
+        case DeadlineClass::kQuery: budget_ms = options_.deadline.query_ms; break;
+        case DeadlineClass::kUpdate: budget_ms = options_.deadline.update_ms; break;
+        case DeadlineClass::kAdmin: budget_ms = options_.deadline.admin_ms; break;
+      }
+      const int64_t waited_ms = MsUntil(Clock::now(), arrival);
+      if (budget_ms > 0 && waited_ms > static_cast<int64_t>(budget_ms)) {
+        deadline_exceeded.Increment();
+        request_errors.Increment();
+        ++session->requests_expired;
+        done.response = ErrorResponse(Status::DeadlineExceeded(
+            std::string(CommandKindName(parsed.ValueOrDie().kind)) +
+            " waited " + std::to_string(waited_ms) + "ms, over the " +
+            std::string(DeadlineClassName(cls)) + " budget of " +
+            std::to_string(budget_ms) + "ms"));
+      } else {
+        ExecuteOutcome out = ExecuteCommand(engine_, session,
+                                            parsed.ValueOrDie());
+        if (out.error) request_errors.Increment();
+        done.response = std::move(out.response);
+        done.close = out.close;
+      }
     }
     {
       // Push, decrement, and wake under one lock: the event loop's exit
@@ -540,6 +673,7 @@ void Server::ProcessCompletions() {
     Connection* conn = it->second.get();
     conn->executing = false;
     if (conn->dead) continue;  // reaped by ReapDead
+    conn->last_activity = Clock::now();
     EnqueueResponse(conn, done.response);
     if (done.close) conn->want_close = true;
     if (!conn->want_close) {
@@ -580,7 +714,14 @@ void Server::EnqueueResponse(Connection* conn, std::string_view payload) {
         options_.wire);
     if (!frame.ok()) return;
   }
+  if (conn->out.size() == conn->out_pos) {
+    // Output transitions empty → pending: the write-stall clock starts
+    // now, not at the last time this client drained something.
+    conn->last_write_progress = Clock::now();
+  }
   conn->out.append(frame.ValueOrDie());
+  buffered_out_total_ += frame.ValueOrDie().size();
+  ArmSessionDeadline(conn);
 }
 
 void Server::FlushOutput(Connection* conn) {
@@ -596,6 +737,9 @@ void Server::FlushOutput(Connection* conn) {
   }
   bytes_written.Add(w.ValueOrDie().n);
   conn->out_pos += w.ValueOrDie().n;
+  buffered_out_total_ -= std::min(buffered_out_total_,
+                                  static_cast<size_t>(w.ValueOrDie().n));
+  if (w.ValueOrDie().n > 0) conn->last_write_progress = Clock::now();
   if (conn->out_pos == conn->out.size()) {
     conn->out.clear();
     conn->out_pos = 0;
@@ -639,10 +783,100 @@ void Server::CloseConnection(Connection* conn, bool abrupt) {
   poller_->Remove(conn->fd.get());
   conn->fd.reset();
   conn->dead = true;
+  pending_requests_total_ -=
+      std::min(pending_requests_total_, conn->requests.size());
+  buffered_out_total_ -=
+      std::min(buffered_out_total_, conn->out.size() - conn->out_pos);
   conn->requests.clear();
   conn->out.clear();
   conn->out_pos = 0;
   active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Server::ArmSessionDeadline(Connection* conn) {
+  if (conn->dead) return;
+  auto candidate = Clock::time_point::max();
+  if (options_.idle_timeout_ms > 0) {
+    candidate = conn->last_activity +
+                std::chrono::milliseconds(options_.idle_timeout_ms);
+  }
+  if (options_.write_stall_timeout_ms > 0 &&
+      conn->out.size() > conn->out_pos) {
+    candidate = std::min(
+        candidate, conn->last_write_progress + std::chrono::milliseconds(
+                                                   options_.write_stall_timeout_ms));
+  }
+  if (candidate == Clock::time_point::max()) return;
+  // An earlier live entry already covers this connection; it re-arms on
+  // pop. Keeps the heap at ~1 entry per connection.
+  if (candidate >= conn->armed_deadline) return;
+  conn->armed_deadline = candidate;
+  session_deadlines_.push(SessionDeadline{candidate, conn->id});
+}
+
+int Server::NextReaperTimeoutMs() const {
+  if (session_deadlines_.empty()) return -1;
+  int64_t ms = MsUntil(session_deadlines_.top().when, Clock::now());
+  if (ms < 0) ms = 0;
+  if (ms > 60000) ms = 60000;
+  // Round up: waking a hair early would spin on a not-yet-expired top.
+  return static_cast<int>(ms) + 1;
+}
+
+void Server::RunReaper() {
+  if (session_deadlines_.empty()) return;
+  LAZYXML_METRIC_COUNTER(reaped_idle, "server.sessions_reaped_idle");
+  LAZYXML_METRIC_COUNTER(reaped_slow, "server.sessions_reaped_slow");
+  const auto now = Clock::now();
+  while (!session_deadlines_.empty() &&
+         session_deadlines_.top().when <= now) {
+    const SessionDeadline entry = session_deadlines_.top();
+    session_deadlines_.pop();
+    auto it = connections_.find(entry.conn_id);
+    if (it == connections_.end()) continue;
+    Connection* conn = it->second.get();
+    if (conn->dead) continue;
+    if (entry.when != conn->armed_deadline) continue;  // superseded entry
+    conn->armed_deadline = Clock::time_point::max();
+
+    if (options_.write_stall_timeout_ms > 0 &&
+        conn->out.size() > conn->out_pos &&
+        now >= conn->last_write_progress +
+                   std::chrono::milliseconds(options_.write_stall_timeout_ms)) {
+      // Slow or dead client pinning output memory: nothing to say to it
+      // (its receive path is the problem), just cut it loose.
+      reaped_slow.Increment();
+      CloseConnection(conn, /*abrupt=*/true);
+      continue;
+    }
+
+    const bool idle_eligible = !conn->executing && conn->requests.empty() &&
+                               conn->out.size() == conn->out_pos &&
+                               !conn->want_close;
+    if (options_.idle_timeout_ms > 0 && idle_eligible &&
+        now >= conn->last_activity +
+                   std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      reaped_idle.Increment();
+      // One best-effort goodbye frame: a live-but-quiet client gets a
+      // typed, retryable reason instead of a bare FIN.
+      auto frame = EncodeFrame(
+          FrameType::kResponse,
+          ErrorResponse(Status::Unavailable(
+              "idle session reaped after " +
+              std::to_string(options_.idle_timeout_ms) + "ms (" +
+              conn->session.DescribeActivity() + ")")),
+          options_.wire);
+      if (frame.ok()) {
+        (void)WriteSome(conn->fd.get(), frame.ValueOrDie().data(),
+                        frame.ValueOrDie().size());
+      }
+      CloseConnection(conn, /*abrupt=*/false);
+      continue;
+    }
+
+    // The deadline moved (activity since arming): re-arm at the new one.
+    ArmSessionDeadline(conn);
+  }
 }
 
 void Server::ReapDead() {

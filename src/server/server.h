@@ -22,12 +22,14 @@
 #define LAZYXML_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,6 +69,42 @@ struct ServerOptions {
   WireLimits wire;
   CommandLimits command;
   SessionLimits session;
+
+  /// Per-request deadlines in milliseconds by command class; 0 disables
+  /// a class. The budget starts the moment the request frame is decoded
+  /// — a request still waiting past its budget when a worker picks it up
+  /// is answered `ERR DeadlineExceeded` without ever touching the
+  /// engine, so a backlog cannot snowball into work nobody wants.
+  struct Deadlines {
+    uint32_t query_ms = 30000;   ///< PATH / TWIG / METRICS
+    uint32_t update_ms = 60000;  ///< LOAD / INSERT / REMOVE / BATCH *
+    uint32_t admin_ms = 0;       ///< FREEZE / COMPACT / CHECK / QUIT
+  };
+  Deadlines deadline;
+
+  /// Admission control (overload shedding). When the total
+  /// decoded-but-unanswered requests across every session, or the total
+  /// buffered response bytes, sit at or above a watermark, each newly
+  /// decoded request is answered `ERR Unavailable` in arrival order
+  /// instead of being queued for execution — a typed, retryable
+  /// rejection, never a silent drop. 0 disables a watermark.
+  size_t shed_pending_requests = 4096;
+  size_t shed_buffered_bytes = 512u << 20;
+
+  /// Reap a session with no traffic, no queued or executing request, and
+  /// no unsent output for this long (one best-effort `ERR Unavailable`
+  /// frame, then close). 0 = never. Driven off the Poller::Wait timeout
+  /// via a min-heap of session deadlines — no reaper thread.
+  uint32_t idle_timeout_ms = 0;
+  /// Close a session whose pending output makes no progress for this
+  /// long — a slow or dead client pinning buffer memory. 0 = never.
+  uint32_t write_stall_timeout_ms = 0;
+  /// How long Stop() keeps flushing already-computed responses before
+  /// closing sockets (in-flight requests are always answered first).
+  uint32_t drain_timeout_ms = 1000;
+  /// When > 0, applied to each accepted socket as SO_SNDBUF — a tuning /
+  /// testing knob that makes slow-client write stalls reproducible.
+  int socket_send_buffer_bytes = 0;
 
   /// Worker threads executing requests. 0 = the process-wide
   /// ThreadPool::Shared(); > 0 = a pool owned (and drained) by this
@@ -119,9 +157,27 @@ class Server {
     bool close = false;
   };
 
+  struct SessionDeadline {
+    std::chrono::steady_clock::time_point when;
+    uint64_t conn_id = 0;
+    bool operator>(const SessionDeadline& other) const {
+      return when > other.when;
+    }
+  };
+
   void EventLoop();
   void AcceptAll(int listen_fd);
   bool DrainDecoder(Connection* conn, std::string* error_payload);
+  /// Pushes a heap entry for `conn`'s earliest idle / write-stall
+  /// deadline (at most one live entry per connection).
+  void ArmSessionDeadline(Connection* conn);
+  /// Reaps every session whose deadline has truly expired; stale heap
+  /// entries re-arm themselves. Runs on the loop thread each wakeup.
+  void RunReaper();
+  /// Poll timeout to the nearest session deadline (-1 = no deadline).
+  int NextReaperTimeoutMs() const;
+  /// Bounded best-effort flush of buffered responses at shutdown.
+  void DrainOutputsBeforeExit();
   void HandleReadable(Connection* conn);
   void HandleWritable(Connection* conn);
   void DispatchNext(Connection* conn);
@@ -155,6 +211,18 @@ class Server {
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 16;  // ids below 16 tag listeners + wake pipe
   std::atomic<size_t> active_sessions_{0};
+
+  // Admission-control totals, maintained incrementally by the loop
+  // thread (decode / dispatch / enqueue / flush / close).
+  size_t pending_requests_total_ = 0;
+  size_t buffered_out_total_ = 0;
+
+  // Min-heap of session idle / write-stall deadlines. Entries are lazy:
+  // a popped entry whose connection has been active since simply re-arms
+  // at the new deadline.
+  std::priority_queue<SessionDeadline, std::vector<SessionDeadline>,
+                      std::greater<SessionDeadline>>
+      session_deadlines_;
 
   // Worker → event-loop handoff. inflight_ counts dispatched requests
   // whose completion has not yet been *pushed*; the loop only exits once

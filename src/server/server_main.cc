@@ -35,7 +35,18 @@ void Usage(const char* argv0) {
                "  --threads <n>          own worker pool of n threads\n"
                "                         (0 = shared process pool)\n"
                "  --max-connections <n>  session cap (default 256)\n"
-               "  --force-poll           use poll(2) even where epoll exists\n",
+               "  --force-poll           use poll(2) even where epoll exists\n"
+               "  --deadline-query-ms <n>   query budget (0 = none)\n"
+               "  --deadline-update-ms <n>  update budget (0 = none)\n"
+               "  --deadline-admin-ms <n>   admin budget (0 = none)\n"
+               "  --shed-pending <n>     shed above n queued requests "
+               "(0 = off)\n"
+               "  --shed-bytes <n>       shed above n buffered response "
+               "bytes (0 = off)\n"
+               "  --idle-timeout-ms <n>  reap idle sessions (0 = never)\n"
+               "  --write-stall-ms <n>   drop stalled slow clients "
+               "(0 = never)\n"
+               "  --drain-ms <n>         shutdown response-flush budget\n",
                argv0);
 }
 
@@ -105,6 +116,30 @@ int main(int argc, char** argv) {
           std::atoi(need_value("--max-connections")));
     } else if (arg == "--force-poll") {
       options.force_poll = true;
+    } else if (arg == "--deadline-query-ms") {
+      options.deadline.query_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--deadline-query-ms")));
+    } else if (arg == "--deadline-update-ms") {
+      options.deadline.update_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--deadline-update-ms")));
+    } else if (arg == "--deadline-admin-ms") {
+      options.deadline.admin_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--deadline-admin-ms")));
+    } else if (arg == "--shed-pending") {
+      options.shed_pending_requests = static_cast<size_t>(
+          std::atoll(need_value("--shed-pending")));
+    } else if (arg == "--shed-bytes") {
+      options.shed_buffered_bytes = static_cast<size_t>(
+          std::atoll(need_value("--shed-bytes")));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--idle-timeout-ms")));
+    } else if (arg == "--write-stall-ms") {
+      options.write_stall_timeout_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--write-stall-ms")));
+    } else if (arg == "--drain-ms") {
+      options.drain_timeout_ms = static_cast<uint32_t>(
+          std::atoi(need_value("--drain-ms")));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

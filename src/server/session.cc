@@ -49,5 +49,15 @@ size_t SessionContext::AbortBatch() {
   return n;
 }
 
+std::string SessionContext::DescribeActivity() const {
+  std::string out = "served " + std::to_string(requests_served);
+  out += ", shed " + std::to_string(requests_shed);
+  out += ", expired " + std::to_string(requests_expired);
+  if (in_batch_) {
+    out += ", batch open (" + std::to_string(pending_.size()) + " ops)";
+  }
+  return out;
+}
+
 }  // namespace server
 }  // namespace lazyxml

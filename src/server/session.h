@@ -68,6 +68,16 @@ class SessionContext {
   // -- Bookkeeping -------------------------------------------------------------
 
   uint64_t requests_served = 0;
+  /// Requests answered `ERR Unavailable` by admission control before
+  /// reaching the engine (overload shedding).
+  uint64_t requests_shed = 0;
+  /// Requests answered `ERR DeadlineExceeded` because their budget ran
+  /// out while they waited in the dispatch queue.
+  uint64_t requests_expired = 0;
+
+  /// One-line activity summary for reap/drain diagnostics, e.g.
+  /// "served 12, shed 1, expired 0, batch open (3 ops)".
+  std::string DescribeActivity() const;
 
  private:
   const uint64_t id_;

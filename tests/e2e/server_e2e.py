@@ -14,9 +14,15 @@ Scenarios:
      burning a sid);
   4. protocol abuse: garbage bytes get a framed ERR then a hangup;
   5. clean SIGTERM shutdown (exit code 0), then recovery: a fresh server
-     on the same data dir still sees every committed document.
+     on the same data dir still sees every committed document;
+  6. kill -9 mid-swarm (--sync every-record): restart on the same data
+     dir, the scrubber comes back clean, and the committed prefix is
+     durable — every acknowledged LOAD survived, nothing beyond what was
+     sent appears. With --torture-secs N the crash/restart cycle loops
+     for ~N seconds (the CI chaos job runs 60).
 
 Usage: server_e2e.py --server <path-to-lazyxml_server> [--clients N]
+                     [--torture-secs N]
 """
 
 import argparse
@@ -221,10 +227,77 @@ def scenario_garbage(sock_path: str):
           "then hangup)")
 
 
-def start_server(server_bin: str, sock_path: str, data_dir: str):
+def scenario_kill9(server_bin: str, sock_path: str, data_dir: str,
+                   rnd: int, swarm: int = 4) -> tuple[int, int, int]:
+    """One crash round: swarm of writers, SIGKILL mid-traffic, restart,
+    committed-prefix assertion. Returns (acked, sent, recovered) for the
+    round's tag. Runs with --sync every-record so an acked LOAD is a
+    durability promise, not a hope.
+    """
+    proc = start_server(server_bin, sock_path, data_dir,
+                        sync="every-record")
+    tag = f"k9r{rnd}"
+    lock = threading.Lock()
+    acked = 0
+    sent = 0
+    stop = threading.Event()
+
+    def writer(idx: int):
+        nonlocal acked, sent
+        try:
+            c = Conn(sock_path)
+            c.sock.settimeout(10)
+            while not stop.is_set():
+                with lock:
+                    sent += 1
+                c.ok(f"LOAD\n<{tag}><m/></{tag}>")
+                with lock:
+                    acked += 1
+        except Exception:  # noqa: BLE001 — the kill is the point
+            pass
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(swarm)]
+    for t in threads:
+        t.start()
+    time.sleep(0.3)
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    proc.stdout.close()
+    stop.set()
+    for t in threads:
+        t.join()
+
+    # Restart on the wreckage: recovery must repair the torn WAL tail,
+    # keep every acknowledged record, and scrub clean.
+    proc = start_server(server_bin, sock_path, data_dir,
+                        sync="every-record")
+    try:
+        c = Conn(sock_path)
+        detail, _ = c.ok(f"PATH {tag}/m")
+        recovered = detail_field(detail, "COUNT")
+        assert recovered >= acked, (
+            f"round {rnd}: lost acknowledged records "
+            f"(acked {acked}, recovered {recovered})")
+        assert recovered <= sent, (
+            f"round {rnd}: recovery invented records "
+            f"(sent {sent}, recovered {recovered})")
+        detail, _ = c.ok("CHECK")
+        assert detail == "ERRORS 0 WARNINGS 0", f"round {rnd}: {detail}"
+        c.ok("QUIT")
+        c.close()
+    finally:
+        stop_server(proc)
+    return acked, sent, recovered
+
+
+def start_server(server_bin: str, sock_path: str, data_dir: str,
+                 sync: str = "batch"):
+    if os.path.exists(sock_path):
+        os.unlink(sock_path)  # stale socket from a killed predecessor
     proc = subprocess.Popen(
         [server_bin, "--socket", sock_path, "--data-dir", data_dir,
-         "--sync", "batch"],
+         "--sync", sync],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
     for _ in range(200):
         if os.path.exists(sock_path):
@@ -257,6 +330,9 @@ def main() -> int:
     ap.add_argument("--server", required=True)
     ap.add_argument("--clients", type=int, default=8)
     ap.add_argument("--loads-each", type=int, default=6)
+    ap.add_argument("--torture-secs", type=float, default=0,
+                    help="keep crash/restart cycling for ~N seconds "
+                         "(0 = one kill-9 round)")
     args = ap.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="lazyxml_e2e_") as tmp:
@@ -289,6 +365,26 @@ def main() -> int:
         finally:
             stop_server(proc)
         print(f"  restart recovery: ok ({total} documents survived)")
+
+        # Kill -9 torture: crash mid-swarm, restart, committed prefix
+        # must be durable and the scrubber clean — every round, on the
+        # same increasingly-scarred data directory.
+        k9_sock = os.path.join(tmp, "k9.sock")
+        k9_dir = os.path.join(tmp, "k9data")
+        os.mkdir(k9_dir)
+        deadline = time.monotonic() + args.torture_secs
+        rnd = 0
+        total_acked = 0
+        while True:
+            acked, sent, recovered = scenario_kill9(
+                args.server, k9_sock, k9_dir, rnd)
+            total_acked += acked
+            rnd += 1
+            if time.monotonic() >= deadline:
+                break
+        assert total_acked > 0, "kill-9 swarm never got a single ack"
+        print(f"  kill -9 torture: ok ({rnd} round(s), "
+              f"{total_acked} acked loads all survived, checker clean)")
 
     print("server e2e: all scenarios passed")
     return 0
