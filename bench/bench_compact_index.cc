@@ -1,0 +1,241 @@
+// Succinct frozen element index (core/compact_index.h): space and join
+// throughput of the compact columnar representation against the B+-tree
+// it re-packs, on an XMark document chopped into segments.
+//
+// Three series (docs/COMPACT_INDEX.md quotes these in EXPERIMENTS.md):
+//   * BM_FreezeBuild      — one-time Encode cost of Freeze() and the
+//                           compression ratio (tree bytes / compact bytes;
+//                           the ISSUE 8 acceptance bar is >= 3x);
+//   * BM_XMarkJoin/<rep>  — the Fig. 14/15 XMark join set under tree
+//                           scans (rep=tree) vs block cursors
+//                           (rep=compact), same shared scan-cache budget,
+//                           pair counts asserted identical;
+//   * BM_StraddleSkips    — a low-cross ancestor//descendant pair where
+//                           most blocks provably hold no straddler: the
+//                           skip-header test prunes them undecoded
+//                           (blocks_skipped counter is the evidence).
+//
+//   LAZYXML_XMARK_PERSONS=25000 ./bench_compact_index   # bigger doc
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/compact_index.h"
+#include "xmlgen/chopper.h"
+#include "xmlgen/xmark_generator.h"
+
+namespace lazyxml {
+
+bool g_quick = false;
+
+namespace {
+
+uint32_t NumPersons() {
+  const char* env = std::getenv("LAZYXML_XMARK_PERSONS");
+  if (env != nullptr) return static_cast<uint32_t>(std::atoi(env));
+  return g_quick ? 1000 : 8000;
+}
+
+struct Fixture {
+  std::unique_ptr<LazyDatabase> db;
+  size_t tree_bytes = 0;
+  size_t compact_bytes = 0;
+};
+
+const Fixture& GetFixture() {
+  static Fixture* f = [] {
+    auto* fx = new Fixture();
+    XMarkConfig cfg;
+    cfg.num_persons = NumPersons();
+    cfg.num_items = cfg.num_persons / 5;
+    cfg.num_open_auctions = cfg.num_persons / 4;
+    cfg.profile_probability = 1.0;
+    cfg.watches_probability = 1.0;
+    cfg.min_phones = 1;
+    cfg.max_phones = 4;
+    cfg.min_interests = 1;
+    cfg.max_interests = 6;
+    cfg.min_watches = 1;
+    cfg.max_watches = 8;
+    auto doc = XMarkGenerator(cfg).Generate();
+    LAZYXML_CHECK(doc.ok());
+    ChopConfig chop;
+    chop.num_segments = 100;
+    chop.shape = ErTreeShape::kBalanced;
+    auto plan = BuildChopPlan(doc.ValueOrDie(), chop);
+    LAZYXML_CHECK(plan.ok());
+    fx->db = bench::BuildDatabase(plan.ValueOrDie().insertions,
+                                  LogMode::kLazyDynamic);
+    fx->db->Freeze();
+    fx->tree_bytes = fx->db->element_index().MemoryBytes();
+    auto compact = CompactElementIndex::Build(fx->db->element_index());
+    LAZYXML_CHECK(compact.ok());
+    fx->compact_bytes = compact.ValueOrDie()->MemoryBytes();
+    return fx;
+  }();
+  return *f;
+}
+
+// One-time build cost of the compact index (what Freeze() adds when
+// QueryOptions::use_compact_index is set), plus the space story.
+void BM_FreezeBuild(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const ElementIndex& index = f.db->element_index();
+  size_t compact_bytes = 0;
+  for (auto _ : state) {
+    auto compact = CompactElementIndex::Build(index);
+    LAZYXML_CHECK(compact.ok());
+    compact_bytes = compact.ValueOrDie()->MemoryBytes();
+    benchmark::DoNotOptimize(compact_bytes);
+  }
+  state.counters["records"] = static_cast<double>(index.size());
+  state.counters["tree_bytes"] = static_cast<double>(f.tree_bytes);
+  state.counters["compact_bytes"] = static_cast<double>(compact_bytes);
+  state.counters["compression_ratio"] =
+      static_cast<double>(f.tree_bytes) / static_cast<double>(compact_bytes);
+  state.counters["tree_bytes_per_record"] =
+      static_cast<double>(f.tree_bytes) / static_cast<double>(index.size());
+  state.counters["compact_bytes_per_record"] =
+      static_cast<double>(compact_bytes) / static_cast<double>(index.size());
+}
+
+// The XMark join set under both representations at the same cache
+// budget. arg: 0 = tree scans, 1 = compact block cursors.
+void BM_XMarkJoin(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const bool use_compact = state.range(0) == 1;
+  QueryOptions q;
+  q.cache_bytes = 8u << 20;
+  q.use_compact_index = use_compact;
+  f.db->SetQueryOptions(q);
+
+  static size_t tree_pairs = 0;  // representation-identity oracle
+  size_t pairs = 0;
+  uint64_t skipped = 0;
+  uint64_t fetched = 0;
+  for (auto _ : state) {
+    pairs = 0;
+    skipped = 0;
+    fetched = 0;
+    for (const auto& [anc, desc] :
+         {std::pair{"person", "phone"}, {"profile", "interest"},
+          {"watches", "watch"}, {"person", "watch"},
+          {"person", "interest"}}) {
+      auto r = f.db->JoinByName(anc, desc);
+      LAZYXML_CHECK(r.ok());
+      pairs += r.ValueOrDie().pairs.size();
+      skipped += r.ValueOrDie().stats.blocks_skipped;
+      fetched += r.ValueOrDie().stats.elements_fetched;
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  if (!use_compact) {
+    tree_pairs = pairs;
+  } else if (tree_pairs != 0) {
+    LAZYXML_CHECK(pairs == tree_pairs);  // byte-identical contract
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["blocks_skipped"] = static_cast<double>(skipped);
+  state.counters["elements_fetched"] = static_cast<double>(fetched);
+  state.SetLabel(use_compact ? "compact" : "tree");
+}
+
+// Straddle skipping needs multi-block ancestor lists whose spans exclude
+// the segment's few splice positions — a low-cross workload with dense
+// per-segment lists, which the join-workload generator produces directly
+// (XMark's chopped lists are mostly single-block at bench scale). With
+// no cache every round pays the straddle filter, so the skip headers are
+// on the critical path: tree filters record-by-record, compact prunes
+// whole blocks undecoded.
+void BM_StraddleSkips(benchmark::State& state) {
+  // One database per cross-percentage, built lazily and kept for the
+  // paired tree/compact runs.
+  static std::map<int, LazyDatabase*> dbs;
+  const int cross_pct = static_cast<int>(state.range(1));
+  LazyDatabase*& db = dbs[cross_pct];
+  if (db == nullptr) {
+    JoinWorkloadConfig cfg;
+    cfg.num_segments = 8;
+    cfg.shape = ErTreeShape::kBalanced;
+    cfg.total_joins = g_quick ? 2000 : 20000;
+    cfg.cross_fraction = cross_pct / 100.0;
+    cfg.num_a_elements = g_quick ? 20000 : 200000;
+    cfg.num_d_elements = g_quick ? 20000 : 200000;
+    auto plan = BuildJoinWorkload(cfg);
+    LAZYXML_CHECK(plan.ok());
+    auto built = bench::BuildDatabase(plan.ValueOrDie().insertions,
+                                      LogMode::kLazyDynamic);
+    built->Freeze();
+    db = built.release();
+  }
+  const bool use_compact = state.range(0) == 1;
+  QueryOptions q;
+  q.cache_bytes = 0;  // no cache: every round pays the straddle filter
+  q.use_compact_index = use_compact;
+  db->SetQueryOptions(q);
+
+  static std::map<int, size_t> tree_pairs;  // per-cross identity oracle
+  size_t pairs = 0;
+  uint64_t skipped = 0;
+  for (auto _ : state) {
+    auto r = db->JoinByName("A", "D");
+    LAZYXML_CHECK(r.ok());
+    pairs = r.ValueOrDie().pairs.size();
+    skipped = r.ValueOrDie().stats.blocks_skipped;
+    benchmark::DoNotOptimize(pairs);
+  }
+  if (!use_compact) {
+    tree_pairs[cross_pct] = pairs;
+  } else {
+    if (tree_pairs[cross_pct] != 0) {
+      LAZYXML_CHECK(pairs == tree_pairs[cross_pct]);
+    }
+    // At the lowest cross share most blocks provably hold no straddler;
+    // the headers must actually prune there.
+    if (cross_pct <= 5) LAZYXML_CHECK(skipped > 0);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["blocks_skipped"] = static_cast<double>(skipped);
+  state.SetLabel(std::string(use_compact ? "compact" : "tree") + "/cross=" +
+                 std::to_string(cross_pct) + "%");
+}
+
+BENCHMARK(BM_FreezeBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XMarkJoin)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StraddleSkips)
+    ->Args({0, 5})
+    ->Args({1, 5})
+    ->Args({0, 20})
+    ->Args({1, 20})
+    ->Args({0, 60})
+    ->Args({1, 60})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyxml
+
+// Custom main: google-benchmark rejects flags it does not know, so the
+// CI smoke mode's --quick is stripped (and applied) before Initialize.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      lazyxml::g_quick = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

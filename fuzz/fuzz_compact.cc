@@ -1,0 +1,145 @@
+// Compact-index fuzz target, two phases per input:
+//
+// 1. Decoder hardening: the raw bytes are fed to
+//    CompactTagScan::DeserializeFrom. Arbitrary garbage must be rejected
+//    with a clean Status — never a crash, never an out-of-bounds read
+//    (header-declared counts and byte ranges are attacker-controlled and
+//    must be bounds-checked against the actual stream). An input that
+//    DOES deserialize has passed full validation, so every stronger
+//    oracle must then hold: Validate() clean, DecodeAll succeeds, the
+//    decoded records are strictly ascending with end > start, and every
+//    block header exactly describes its records.
+//
+// 2. Re-encode oracle: the decoded records (or, when phase 1 rejects the
+//    input, a structure-aware list synthesized from the same bytes) are
+//    re-encoded with Encode and decoded again — the compact format must
+//    round-trip losslessly, and serialize -> deserialize -> decode must
+//    reproduce the records byte-for-byte.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serial.h"
+#include "core/compact_index.h"
+#include "fuzz_common.h"
+
+using namespace lazyxml;
+using lazyxml_fuzz::ByteStream;
+
+namespace {
+
+bool SameRecords(const std::vector<LocalElement>& a,
+                 const std::vector<LocalElement>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != b[i].start || a[i].end != b[i].end ||
+        a[i].level != b[i].level) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Every invariant a successfully deserialized scan has promised.
+void CheckDecoded(const CompactTagScan& scan,
+                  std::vector<LocalElement>* out) {
+  FUZZ_ASSERT(scan.Validate().ok());
+  FUZZ_ASSERT(scan.DecodeAll(out).ok());
+  FUZZ_ASSERT(out->size() == scan.count());
+  size_t pos = 0;
+  LocalElement buf[kCompactBlockMaxRecords];
+  for (size_t b = 0; b < scan.num_blocks(); ++b) {
+    const CompactBlockHeader& hdr = scan.header(b);
+    FUZZ_ASSERT(hdr.count >= 1 && hdr.count <= kCompactBlockMaxRecords);
+    FUZZ_ASSERT(scan.DecodeBlock(b, buf).ok());
+    uint64_t max_end = 0;
+    for (uint32_t i = 0; i < hdr.count; ++i) {
+      const LocalElement& e = buf[i];
+      FUZZ_ASSERT(e.end > e.start);
+      if (pos > 0) FUZZ_ASSERT(e.start > (*out)[pos - 1].start);
+      FUZZ_ASSERT(e.start == (*out)[pos].start);
+      FUZZ_ASSERT(e.end == (*out)[pos].end);
+      if (max_end < e.end) max_end = e.end;
+      ++pos;
+    }
+    FUZZ_ASSERT(hdr.first_start == buf[0].start);
+    FUZZ_ASSERT(hdr.max_end == max_end);
+  }
+  FUZZ_ASSERT(pos == out->size());
+}
+
+void ReencodeOracle(const std::vector<LocalElement>& records) {
+  auto encoded = CompactTagScan::Encode(records);
+  FUZZ_ASSERT(encoded.ok());  // valid lists always encode
+  std::vector<LocalElement> again;
+  CheckDecoded(encoded.ValueOrDie(), &again);
+  FUZZ_ASSERT(SameRecords(records, again));
+
+  ByteWriter w;
+  encoded.ValueOrDie().SerializeTo(&w);
+  const std::string blob = w.TakeBuffer();
+  ByteReader r(blob);
+  auto restored = CompactTagScan::DeserializeFrom(&r);
+  FUZZ_ASSERT(restored.ok());
+  FUZZ_ASSERT(r.AtEnd());
+  std::vector<LocalElement> once_more;
+  CheckDecoded(restored.ValueOrDie(), &once_more);
+  FUZZ_ASSERT(SameRecords(records, once_more));
+}
+
+// A valid list synthesized from the input bytes: strictly ascending
+// starts, positive extents, byte-controlled sizes so mutation explores
+// block boundaries (multiples of kCompactBlockMaxRecords, the 4 KiB byte
+// target, huge extents that inflate varints).
+std::vector<LocalElement> SynthesizeList(ByteStream* in) {
+  const size_t count = static_cast<size_t>(in->NextByte()) * 24 + 1;
+  std::vector<LocalElement> records;
+  records.reserve(count);
+  uint64_t start = in->NextByte();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t delta = 1, extent = 1, level = 0;
+    switch (in->NextByte() % 4) {
+      case 0:
+        break;  // dense run: 1-byte varints
+      case 1:
+        delta = 1 + in->NextBelow(1 << 14);
+        extent = 1 + in->NextBelow(1 << 14);
+        level = in->NextByte();
+        break;
+      case 2:  // varint-width stress: multi-byte everything
+        delta = 1 + in->NextBelow(uint64_t{1} << 40);
+        extent = 1 + in->NextBelow(uint64_t{1} << 40);
+        level = in->NextBelow(uint64_t{0xFFFFFFFF});
+        break;
+      case 3:  // extent at the signed ceiling (zigzag edge)
+        extent = static_cast<uint64_t>(
+            (uint64_t{1} << 62) + in->NextBelow(1 << 10));
+        break;
+    }
+    records.push_back(
+        LocalElement{start, start + extent, static_cast<uint32_t>(level)});
+    start += delta;
+  }
+  return records;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Phase 1: the raw input as a hostile serialized scan.
+  ByteReader r(std::string_view(reinterpret_cast<const char*>(data), size));
+  auto parsed = CompactTagScan::DeserializeFrom(&r);
+  if (parsed.ok()) {
+    std::vector<LocalElement> records;
+    CheckDecoded(parsed.ValueOrDie(), &records);
+    ReencodeOracle(records);
+    return 0;
+  }
+
+  // Phase 2: the same bytes as encoder decisions.
+  ByteStream in(data, size);
+  ReencodeOracle(SynthesizeList(&in));
+  return 0;
+}

@@ -489,17 +489,57 @@ Status LazyDatabase::CompactAll() {
   return Status::OK();
 }
 
+void LazyDatabase::Freeze() {
+  log_.Freeze();
+  // Build failures (only possible on a corrupt element index) surface on
+  // the next JoinByName, which runs EnsureCompactIndex with a Status
+  // return; Freeze keeps its historical void signature.
+  (void)EnsureCompactIndex();
+}
+
+Status LazyDatabase::EnsureCompactIndex() {
+  if (!options_.query.use_compact_index) return Status::OK();
+  if (compact_index_ != nullptr && compact_built_epoch_ == mutation_epoch_) {
+    return Status::OK();
+  }
+  LAZYXML_METRIC_HISTOGRAM(build_hist, "compact.build_us");
+  obs::ScopedLatency build_latency(build_hist);
+  LAZYXML_ASSIGN_OR_RETURN(compact_index_, CompactElementIndex::Build(index_));
+  compact_built_epoch_ = mutation_epoch_;
+  LAZYXML_METRIC_GAUGE(raw_gauge, "index.frozen_raw_bytes");
+  LAZYXML_METRIC_GAUGE(compact_gauge, "index.frozen_compact_bytes");
+  raw_gauge.Set(static_cast<double>(index_.MemoryBytes()));
+  compact_gauge.Set(static_cast<double>(compact_index_->MemoryBytes()));
+  return Status::OK();
+}
+
+void LazyDatabase::AdoptCompactIndex(
+    std::shared_ptr<const CompactElementIndex> compact) {
+  compact_index_ = std::move(compact);
+  compact_built_epoch_ = mutation_epoch_;
+  if (compact_index_ != nullptr) {
+    LAZYXML_METRIC_GAUGE(raw_gauge, "index.frozen_raw_bytes");
+    LAZYXML_METRIC_GAUGE(compact_gauge, "index.frozen_compact_bytes");
+    raw_gauge.Set(static_cast<double>(index_.MemoryBytes()));
+    compact_gauge.Set(static_cast<double>(compact_index_->MemoryBytes()));
+  }
+}
+
 Result<LazyJoinResult> LazyDatabase::JoinByName(
     std::string_view ancestor_tag, std::string_view descendant_tag,
     const LazyJoinOptions& options) {
   log_.Freeze();  // no-op in LD / when already clean
+  LAZYXML_RETURN_NOT_OK(EnsureCompactIndex());
   auto a = dict_.Lookup(ancestor_tag);
   auto d = dict_.Lookup(descendant_tag);
   if (!a.ok() || !d.ok()) return LazyJoinResult{};  // unknown tag: empty
   ParallelJoinOptions popts;
   popts.join = options;
   return ParallelLazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), popts,
-                          query_pool_, scan_cache_.get(), mutation_epoch_);
+                          query_pool_, scan_cache_.get(), mutation_epoch_,
+                          options_.query.use_compact_index
+                              ? compact_index()
+                              : nullptr);
 }
 
 Result<JoinPair> LazyDatabase::ToGlobalPair(const LazyJoinPair& pair) const {

@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/compact_index.h"
 #include "core/element_index.h"
 #include "core/lazy_join.h"
 #include "core/parallel_join.h"
@@ -141,7 +142,9 @@ class LazyDatabase {
   Result<JoinPair> ToGlobalPair(const LazyJoinPair& pair) const;
 
   /// LS mode: performs the pre-query work explicitly (benches time it).
-  void Freeze() { log_.Freeze(); }
+  /// When QueryOptions::use_compact_index is set this includes building
+  /// the succinct frozen element index (rebuilt only after mutations).
+  void Freeze();
 
   // -- Query execution ---------------------------------------------------------
 
@@ -174,6 +177,20 @@ class LazyDatabase {
   const UpdateLog& update_log() const { return log_; }
   const ElementIndex& element_index() const { return index_; }
   const TagDict& tag_dict() const { return dict_; }
+
+  /// The succinct frozen element index, or nullptr when none has been
+  /// built for the *current* mutation epoch (any mutation stales it; it
+  /// is rebuilt by the next Freeze()/join with use_compact_index set).
+  const CompactElementIndex* compact_index() const {
+    return compact_built_epoch_ == mutation_epoch_ ? compact_index_.get()
+                                                   : nullptr;
+  }
+
+  /// Installs an externally built compact index for the current state
+  /// (snapshot restore; also how tests inject a mismatching index to
+  /// exercise the scrubber). The caller asserts it is record-for-record
+  /// equal to element_index() — CheckInvariants verifies (I-COMPACT).
+  void AdoptCompactIndex(std::shared_ptr<const CompactElementIndex> compact);
 
   /// Mutable access for snapshot restore (core/snapshot.h); not part of
   /// the stable API — going around the facade invalidates its invariants
@@ -223,6 +240,11 @@ class LazyDatabase {
   /// RemoveSegment minus the epoch bump / capture / paranoid check.
   Status RemoveSegmentImpl(uint64_t gp, uint64_t length);
 
+  /// Builds (or rebuilds, after mutations) the compact index when
+  /// QueryOptions::use_compact_index is set; no-op otherwise. Updates the
+  /// index.frozen_{raw,compact}_bytes gauges on build.
+  Status EnsureCompactIndex();
+
   LazyDatabaseOptions options_;
   UpdateLog log_;
   ElementIndex index_;
@@ -234,6 +256,11 @@ class LazyDatabase {
   ThreadPool* query_pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<ElementScanCache> scan_cache_;  // null when cache_bytes == 0
+  /// Succinct frozen element index (core/compact_index.h), fresh iff
+  /// compact_built_epoch_ == mutation_epoch_. shared_ptr: a snapshot
+  /// serializer or in-flight query may outlive a rebuild.
+  std::shared_ptr<const CompactElementIndex> compact_index_;
+  uint64_t compact_built_epoch_ = 0;
 };
 
 }  // namespace lazyxml

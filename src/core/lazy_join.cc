@@ -52,6 +52,42 @@ bool SpliceMemo::Find(const std::vector<SegmentId>& path, SegmentId anc,
   return true;
 }
 
+BlockCursor::BlockCursor(CompactScanHandle scan, uint64_t* fetched)
+    : scan_(std::move(scan)), fetched_(fetched) {
+  if (scan_ == nullptr || scan_->count() == 0) return;
+  size_ = scan_->count();
+  prefix_.reserve(scan_->num_blocks());
+  uint64_t running = 0;
+  for (size_t b = 0; b < scan_->num_blocks(); ++b) {
+    running += scan_->header(b).count;
+    prefix_.push_back(running);
+  }
+  buf_.resize(kCompactBlockMaxRecords);
+}
+
+const LocalElement& BlockCursor::Load(size_t i) {
+  LAZYXML_CHECK(scan_ != nullptr && i < size_);
+  const size_t b = static_cast<size_t>(
+      std::upper_bound(prefix_.begin(), prefix_.end(), i) - prefix_.begin());
+  {
+    LAZYXML_METRIC_HISTOGRAM(decode_hist, "compact.decode_us");
+    obs::ScopedLatency decode_latency(decode_hist);
+    // The compact index is validated at build / snapshot load (invariant
+    // I-COMPACT), so a decode failure here is memory corruption, not bad
+    // input — fail hard rather than emit a wrong join.
+    LAZYXML_CHECK(scan_->DecodeBlock(b, buf_.data()).ok());
+  }
+  const CompactBlockHeader& hdr = scan_->header(b);
+  cur_hi_ = prefix_[b];
+  cur_lo_ = cur_hi_ - hdr.count;
+  // Store-read accounting mirrors ScanFetcher::Fetch: a decoded block is
+  // a real backing-store read (see lazy_join.h on elements_fetched).
+  if (fetched_ != nullptr) *fetched_ += hdr.count;
+  LAZYXML_METRIC_COUNTER(fetched_counter, "join.elements_fetched");
+  fetched_counter.Add(hdr.count);
+  return buf_[i - cur_lo_];
+}
+
 ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
                                LazyJoinStats* stats) {
   // One slot per tag role: slot 0 serves the first tid seen (both roles of
@@ -62,6 +98,34 @@ ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
   if (slot.scan != nullptr && slot.tid == tid && slot.sid == sid) {
     ++stats->scan_cache_hits;
     return slot.scan;
+  }
+  if (compact_ != nullptr) {
+    // Compact mode: decode the whole list from the in-memory compact
+    // store. Decoded raw lists go through the shared cache exactly like
+    // tree-mode scans: a hot list is then decoded once per epoch, so at
+    // an equal cache budget compact-scan joins run the same hit path as
+    // tree-scan joins — the cache budget, not the representation, bounds
+    // how much decoded data stays resident next to the compressed index.
+    if (cache_ != nullptr) {
+      if (ElementScan hit = cache_->Get(tid, sid, epoch_)) {
+        ++stats->scan_cache_hits;
+        slot = Slot{tid, sid, hit};
+        return hit;
+      }
+    }
+    auto fresh = std::make_shared<std::vector<LocalElement>>();
+    if (CompactScanHandle list = compact_->GetList(tid, sid)) {
+      LAZYXML_METRIC_HISTOGRAM(decode_hist, "compact.decode_us");
+      obs::ScopedLatency decode_latency(decode_hist);
+      LAZYXML_CHECK(list->DecodeAll(fresh.get()).ok());
+    }
+    LAZYXML_METRIC_COUNTER(fetched_counter, "join.elements_fetched");
+    fetched_counter.Add(fresh->size());
+    stats->elements_fetched += fresh->size();
+    ElementScan scan = std::move(fresh);
+    if (cache_ != nullptr) cache_->Put(tid, sid, epoch_, scan);
+    slot = Slot{tid, sid, scan};
+    return scan;
   }
   if (cache_ != nullptr) {
     if (ElementScan hit = cache_->Get(tid, sid, epoch_)) {
@@ -87,19 +151,81 @@ ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
 ElementScan ScanFetcher::FetchFiltered(TagId tid, const SegmentNode& seg,
                                        LazyJoinStats* stats) {
   if (cache_ != nullptr) {
-    if (ElementScan hit =
-            cache_->Get(tid, seg.sid, epoch_, ScanKind::kStraddle)) {
+    if (compact_ != nullptr) {
+      // Compact mode caches filtered scans *compressed* — the budget then
+      // admits more straddler lists by the compression ratio.
+      if (CompactScanHandle hit =
+              cache_->GetCompact(tid, seg.sid, epoch_, ScanKind::kStraddle)) {
+        ++stats->scan_cache_hits;
+        auto decoded = std::make_shared<std::vector<LocalElement>>();
+        LAZYXML_METRIC_HISTOGRAM(decode_hist, "compact.decode_us");
+        obs::ScopedLatency decode_latency(decode_hist);
+        LAZYXML_CHECK(hit->DecodeAll(decoded.get()).ok());
+        return decoded;
+      }
+    } else if (ElementScan hit =
+                   cache_->Get(tid, seg.sid, epoch_, ScanKind::kStraddle)) {
       ++stats->scan_cache_hits;
       return hit;
     }
   }
   LAZYXML_METRIC_COUNTER(straddle_counter, "join.straddle_filters");
   straddle_counter.Increment();
-  ElementScan raw = Fetch(tid, seg.sid, stats);
   std::vector<uint64_t> splices;
   splices.reserve(seg.children.size());
   for (const SegmentNode* c : seg.children) splices.push_back(c->lp);
   auto filtered = std::make_shared<std::vector<LocalElement>>();
+
+  if (compact_ != nullptr) {
+    // Filter block-at-a-time straight off the compressed stream. A
+    // straddler needs some splice p with start < p < end; every record of
+    // a block has start >= header.first_start and end <= header.max_end,
+    // so a block can only hold one if some splice lies in the open
+    // interval (first_start, max_end) — otherwise skip it undecoded.
+    if (CompactScanHandle list = compact_->GetList(tid, seg.sid);
+        list != nullptr && !splices.empty()) {
+      LAZYXML_METRIC_COUNTER(skip_counter, "join.blocks_skipped_total");
+      LAZYXML_METRIC_COUNTER(fetched_counter, "join.elements_fetched");
+      LAZYXML_METRIC_HISTOGRAM(decode_hist, "compact.decode_us");
+      LocalElement buf[kCompactBlockMaxRecords];
+      for (size_t b = 0; b < list->num_blocks(); ++b) {
+        const CompactBlockHeader& hdr = list->header(b);
+        auto it = std::upper_bound(splices.begin(), splices.end(),
+                                   hdr.first_start);
+        if (it == splices.end() || *it >= hdr.max_end) {
+          ++stats->blocks_skipped;
+          skip_counter.Increment();
+          continue;
+        }
+        {
+          obs::ScopedLatency decode_latency(decode_hist);
+          LAZYXML_CHECK(list->DecodeBlock(b, buf).ok());
+        }
+        fetched_counter.Add(hdr.count);
+        stats->elements_fetched += hdr.count;
+        for (uint32_t i = 0; i < hdr.count; ++i) {
+          const LocalElement& a = buf[i];
+          auto jt = std::upper_bound(splices.begin(), splices.end(), a.start);
+          if (jt != splices.end() && *jt < a.end) filtered->push_back(a);
+        }
+      }
+    }
+    ElementScan scan = std::move(filtered);
+    if (cache_ != nullptr) {
+      // Re-encode the (typically tiny) straddler list; filtered scans are
+      // strictly-ascending sub-sequences of a valid list, so Encode cannot
+      // fail on them.
+      auto encoded = CompactTagScan::Encode(*scan);
+      LAZYXML_CHECK(encoded.ok());
+      cache_->PutCompact(tid, seg.sid, epoch_,
+                         std::make_shared<const CompactTagScan>(
+                             std::move(encoded).ValueOrDie()),
+                         ScanKind::kStraddle);
+    }
+    return scan;
+  }
+
+  ElementScan raw = Fetch(tid, seg.sid, stats);
   for (const LocalElement& a : *raw) {
     auto it = std::upper_bound(splices.begin(), splices.end(), a.start);
     if (it != splices.end() && *it < a.end) filtered->push_back(a);
@@ -111,10 +237,17 @@ ElementScan ScanFetcher::FetchFiltered(TagId tid, const SegmentNode& seg,
   return scan;
 }
 
+BlockCursor ScanFetcher::FetchCursor(TagId tid, SegmentId sid,
+                                     LazyJoinStats* stats) {
+  LAZYXML_DCHECK(compact_ != nullptr);
+  return BlockCursor(compact_->GetList(tid, sid), &stats->elements_fetched);
+}
+
 Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
                           TagId ancestor_tid, TagId descendant_tid,
                           const LazyJoinOptions& options,
                           ElementScanCache* cache, uint64_t cache_epoch,
+                          const CompactElementIndex* compact,
                           JoinContext* ctx, bool* empty) {
   if (!log.frozen()) {
     return Status::Internal("LazyJoin on an unfrozen LS update log");
@@ -124,6 +257,7 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
   }
   ctx->log = &log;
   ctx->index = &index;
+  ctx->compact = compact;
   ctx->ancestor_tid = ancestor_tid;
   ctx->descendant_tid = descendant_tid;
   ctx->options = options;
@@ -142,15 +276,23 @@ namespace {
 
 struct StackEntry {
   const SegmentNode* seg = nullptr;
-  /// Shared scan: unfiltered, or straddle-filtered under optimize_stack.
-  /// Never mutated, so it is safe to share across partitions and queries;
-  /// the prune state lives in `live`, per entry.
+  /// Materialized scan: unfiltered tree scan, or the straddle-filtered
+  /// list under optimize_stack (both modes). Never mutated, so it is safe
+  /// to share across partitions and queries; the prune state lives in
+  /// `live`, per entry. Null when the entry reads through `cursor`.
   ElementScan scan;
-  size_t live = 0;        // prune cursor into elems()
+  /// Compact-mode unfiltered entry: block-at-a-time decoding cursor
+  /// (positions match the materialized scan record-for-record, so the
+  /// loops below are representation-agnostic).
+  BlockCursor cursor;
+  size_t live = 0;        // prune cursor into the element positions
   uint64_t cached_p = 0;  // splice pos toward the entry above
   bool has_cached_p = false;
 
-  const std::vector<LocalElement>& elems() const { return *scan; }
+  size_t count() const { return scan != nullptr ? scan->size() : cursor.size(); }
+  const LocalElement& At(size_t i) {
+    return scan != nullptr ? (*scan)[i] : cursor.At(i);
+  }
 };
 
 // Fetches + (when optimizing) straddle-filters the stack entry for SL_A
@@ -160,11 +302,15 @@ StackEntry MakeStackEntry(const JoinContext& ctx, ScanFetcher* fetcher,
                           size_t idx, LazyJoinStats* stats) {
   StackEntry entry;
   entry.seg = ctx.sl_a.nodes[idx];
-  entry.scan =
-      ctx.options.optimize_stack
-          ? fetcher->FetchFiltered(ctx.ancestor_tid, *entry.seg, stats)
-          : fetcher->Fetch(ctx.ancestor_tid, ctx.sl_a.entries[idx].sid(),
-                           stats);
+  if (ctx.options.optimize_stack) {
+    entry.scan = fetcher->FetchFiltered(ctx.ancestor_tid, *entry.seg, stats);
+  } else if (ctx.compact != nullptr) {
+    entry.cursor = fetcher->FetchCursor(
+        ctx.ancestor_tid, ctx.sl_a.entries[idx].sid(), stats);
+  } else {
+    entry.scan =
+        fetcher->Fetch(ctx.ancestor_tid, ctx.sl_a.entries[idx].sid(), stats);
+  }
   return entry;
 }
 
@@ -184,7 +330,7 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
   const std::span<const TagListEntry> sl_d = ctx.sl_d.entries;
   const LazyJoinOptions& options = ctx.options;
   LazyJoinStats& stats = out->stats;
-  ScanFetcher fetcher(ctx.index, ctx.cache, ctx.cache_epoch);
+  ScanFetcher fetcher(ctx.index, ctx.cache, ctx.cache_epoch, ctx.compact);
   SpliceMemo memo(&ctx.resolver);
 
   // Seed reconstruction: rebuild the entries live at round d_begin. Their
@@ -239,7 +385,7 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
         continue;
       }
       StackEntry entry = MakeStackEntry(ctx, &fetcher, ia - 1, &stats);
-      if (options.optimize_stack && entry.scan->empty()) {
+      if (options.optimize_stack && entry.count() == 0) {
         ++stats.segments_skipped;
         continue;
       }
@@ -255,9 +401,8 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
           below.cached_p = p;
           below.has_cached_p = true;
           if (options.optimize_stack) {
-            const auto& belems = below.elems();
-            while (below.live < belems.size() &&
-                   belems[below.live].end <= p) {
+            const size_t bn = below.count();
+            while (below.live < bn && below.At(below.live).end <= p) {
               ++below.live;
             }
           }
@@ -287,9 +432,11 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
         if (!memo.Find(de.path, e.seg->sid, &p)) continue;
       }
       const bool is_top = (si + 1 == stack.size());
-      const auto& elems = e.elems();
-      for (size_t ei = e.live; ei < elems.size(); ++ei) {
-        const LocalElement& a = elems[ei];
+      const size_t en = e.count();
+      for (size_t ei = e.live; ei < en; ++ei) {
+        // Copy, not reference: a cursor-backed entry's At() buffer is
+        // re-filled on the next block load.
+        const LocalElement a = e.At(ei);
         if (a.start >= p) break;  // frozen order: no later element straddles
         if (a.end <= p) {
           if (options.optimize_stack && is_top && ei == e.live) {
@@ -337,7 +484,8 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
 Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
                                 const ElementIndex& index, TagId ancestor_tid,
                                 TagId descendant_tid,
-                                const LazyJoinOptions& options) {
+                                const LazyJoinOptions& options,
+                                const CompactElementIndex* compact) {
   obs::TraceSpan query_span("join.query");
   LAZYXML_METRIC_COUNTER(queries_counter, "join.queries");
   queries_counter.Increment();
@@ -347,7 +495,7 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
     obs::TraceSpan prepare_span("join.prepare");
     LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
         log, index, ancestor_tid, descendant_tid, options,
-        /*cache=*/nullptr, /*cache_epoch=*/0, &ctx, &empty));
+        /*cache=*/nullptr, /*cache_epoch=*/0, compact, &ctx, &empty));
   }
   LazyJoinResult out;
   if (empty) return out;

@@ -34,6 +34,8 @@
 
 namespace lazyxml {
 
+class CompactElementIndex;  // core/compact_index.h
+
 /// Lazy-Join knobs.
 struct LazyJoinOptions {
   /// Emit only parent-child pairs (containment + level difference 1).
@@ -75,8 +77,9 @@ struct LazyJoinStats {
   uint64_t in_segment_pairs = 0;
   uint64_t segments_pushed = 0;
   uint64_t segments_skipped = 0;  ///< A-segments never pushed
-  uint64_t elements_fetched = 0;  ///< element-index records read
+  uint64_t elements_fetched = 0;  ///< element-index records read/decoded
   uint64_t scan_cache_hits = 0;   ///< scans served without an index read
+  uint64_t blocks_skipped = 0;    ///< compact blocks skipped by header test
   uint64_t partitions = 1;        ///< executor partitions (1 = serial)
 };
 
@@ -88,10 +91,16 @@ struct LazyJoinResult {
 
 /// Joins `ancestor_tid` // `descendant_tid` over the log + element index.
 /// The log must be serviceable (LD always; LS after Freeze()).
+///
+/// When `compact` is non-null, element scans are decoded from it instead
+/// of the B+-tree; it must be record-for-record equal to `index`
+/// (invariant I-COMPACT, see docs/COMPACT_INDEX.md), under which the
+/// output is byte-identical to the tree-scan run.
 Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
                                 const ElementIndex& index,
                                 TagId ancestor_tid, TagId descendant_tid,
-                                const LazyJoinOptions& options = {});
+                                const LazyJoinOptions& options = {},
+                                const CompactElementIndex* compact = nullptr);
 
 }  // namespace lazyxml
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/compact_index.h"
 #include "core/element_index.h"
 #include "core/lazy_join.h"
 #include "core/scan_cache.h"
@@ -89,16 +90,60 @@ class SpliceMemo {
   std::unordered_map<SegmentId, uint64_t> pos_;
 };
 
+/// A lazily decoding cursor over one compact list: materializes one
+/// block at a time into a bounded buffer (kCompactBlockMaxRecords
+/// records), so an unfiltered stack entry never holds a whole decoded
+/// list. Indexing is by record position — the same positions the
+/// materialized scan has — so the kernel's loops, prune cursors and
+/// partition seeds are identical under either representation (the
+/// serial-equivalence argument of docs/PARALLELISM.md carries over
+/// verbatim; see docs/COMPACT_INDEX.md).
+class BlockCursor {
+ public:
+  BlockCursor() = default;
+  /// `fetched` (may be null) accumulates records decoded from the store,
+  /// mirroring LazyJoinStats::elements_fetched semantics lazily: only
+  /// blocks actually touched count.
+  explicit BlockCursor(CompactScanHandle scan, uint64_t* fetched = nullptr);
+
+  size_t size() const { return size_; }
+
+  /// Element at record position `i` (< size()); decodes the containing
+  /// block only when `i` leaves the currently buffered block.
+  const LocalElement& At(size_t i) {
+    if (i >= cur_lo_ && i < cur_hi_) return buf_[i - cur_lo_];
+    return Load(i);
+  }
+
+ private:
+  const LocalElement& Load(size_t i);
+
+  CompactScanHandle scan_;
+  uint64_t* fetched_ = nullptr;
+  std::vector<uint64_t> prefix_;  ///< cumulative record count per block
+  std::vector<LocalElement> buf_;
+  size_t size_ = 0;
+  size_t cur_lo_ = 0;
+  size_t cur_hi_ = 0;  ///< record range of the buffered block (empty: 0,0)
+};
+
 /// Element-scan reads for one partition run: shared cache first (when
 /// configured), then a two-slot per-query fallback (one slot per tag
-/// role), then the element index. Only index reads count into
-/// `stats->elements_fetched`; any cache hit counts into
-/// `stats->scan_cache_hits`.
+/// role), then the backing store — the element-index B+-tree, or the
+/// compact index when `compact` is non-null. Only store reads (tree
+/// scans / block decodes) count into `stats->elements_fetched`; any
+/// cache hit counts into `stats->scan_cache_hits`.
+///
+/// In compact mode raw lists are decoded straight from the compact
+/// index (which is itself in memory — re-caching them would duplicate
+/// bytes), and straddle-filtered lists are cached *compressed*
+/// (re-encoded blocks under ScanKind::kStraddle), so the shared cache's
+/// effective capacity in records grows by the compression ratio.
 class ScanFetcher {
  public:
   ScanFetcher(const ElementIndex* index, ElementScanCache* cache,
-              uint64_t epoch)
-      : index_(index), cache_(cache), epoch_(epoch) {}
+              uint64_t epoch, const CompactElementIndex* compact = nullptr)
+      : index_(index), cache_(cache), epoch_(epoch), compact_(compact) {}
 
   ElementScan Fetch(TagId tid, SegmentId sid, LazyJoinStats* stats);
 
@@ -106,14 +151,22 @@ class ScanFetcher {
   /// one child splice position), shared through the cache under
   /// ScanKind::kStraddle — the filtered scan is a pure function of
   /// (tid, sid) at a fixed epoch, so partitions seeding the same segment
-  /// compute it once instead of once each.
+  /// compute it once instead of once each. In compact mode the filter
+  /// consults each block's skip header first and skips provably
+  /// straddler-free blocks without decoding them
+  /// (stats->blocks_skipped / join.blocks_skipped_total).
   ElementScan FetchFiltered(TagId tid, const SegmentNode& seg,
                             LazyJoinStats* stats);
+
+  /// A block-at-a-time cursor over the raw (tid, sid) list (compact mode
+  /// only; the unfiltered ablation path uses it for stack entries).
+  BlockCursor FetchCursor(TagId tid, SegmentId sid, LazyJoinStats* stats);
 
  private:
   const ElementIndex* index_;
   ElementScanCache* cache_;
   uint64_t epoch_;
+  const CompactElementIndex* compact_;
   struct Slot {
     TagId tid = 0;
     SegmentId sid = 0;
@@ -126,6 +179,10 @@ class ScanFetcher {
 struct JoinContext {
   const UpdateLog* log = nullptr;
   const ElementIndex* index = nullptr;
+  /// Non-null selects compact scans (QueryOptions::use_compact_index).
+  /// Must be record-for-record equal to *index (invariant I-COMPACT) —
+  /// the join output is then byte-identical under either representation.
+  const CompactElementIndex* compact = nullptr;
   TagId ancestor_tid = 0;
   TagId descendant_tid = 0;
   LazyJoinOptions options;
@@ -142,6 +199,7 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
                           TagId ancestor_tid, TagId descendant_tid,
                           const LazyJoinOptions& options,
                           ElementScanCache* cache, uint64_t cache_epoch,
+                          const CompactElementIndex* compact,
                           JoinContext* ctx, bool* empty);
 
 /// One partition of descendant rounds plus the kernel state at its start.

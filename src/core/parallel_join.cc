@@ -124,7 +124,8 @@ std::vector<PartitionSeed> PartitionRounds(const JoinContext& ctx,
 Result<LazyJoinResult> ParallelLazyJoin(
     const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
     TagId descendant_tid, const ParallelJoinOptions& options,
-    ThreadPool* pool, ElementScanCache* cache, uint64_t cache_epoch) {
+    ThreadPool* pool, ElementScanCache* cache, uint64_t cache_epoch,
+    const CompactElementIndex* compact) {
   obs::TraceSpan query_span("join.query");
   LAZYXML_METRIC_COUNTER(queries_counter, "join.queries");
   LAZYXML_METRIC_COUNTER(partitions_counter, "join.partitions");
@@ -137,7 +138,7 @@ Result<LazyJoinResult> ParallelLazyJoin(
     obs::TraceSpan prepare_span("join.prepare");
     LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
         log, index, ancestor_tid, descendant_tid, options.join, cache,
-        cache_epoch, &ctx, &empty));
+        cache_epoch, compact, &ctx, &empty));
   }
   LazyJoinResult out;
   if (empty) return out;
@@ -187,6 +188,7 @@ Result<LazyJoinResult> ParallelLazyJoin(
     out.stats.segments_skipped += r.stats.segments_skipped;
     out.stats.elements_fetched += r.stats.elements_fetched;
     out.stats.scan_cache_hits += r.stats.scan_cache_hits;
+    out.stats.blocks_skipped += r.stats.blocks_skipped;
   }
   out.stats.partitions = seeds.size();
   return out;

@@ -41,6 +41,11 @@ struct QueryOptions {
   size_t num_threads = 1;
   /// Byte budget of the shared element-scan cache. 0 disables it.
   size_t cache_bytes = 0;
+  /// Serve join element scans from the succinct frozen index
+  /// (core/compact_index.h) instead of the B+-tree. Built lazily at
+  /// Freeze()/first join and kept while the database is unmutated; join
+  /// output is byte-identical either way (A/B measurement flag).
+  bool use_compact_index = false;
 };
 
 /// Tuning for the partitioned executor.
@@ -57,12 +62,14 @@ struct ParallelJoinOptions {
 /// partitions on `pool` (serial when pool is null or single-threaded) and
 /// reading element scans through `cache` when non-null (`cache_epoch` is
 /// the database mutation epoch the caller observed; see
-/// core/scan_cache.h). Output is byte-identical to the serial LazyJoin.
+/// core/scan_cache.h). When `compact` is non-null, scans are decoded from
+/// it instead of the B+-tree (see core/lazy_join.h). Output is
+/// byte-identical to the serial LazyJoin in either representation.
 Result<LazyJoinResult> ParallelLazyJoin(
     const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
     TagId descendant_tid, const ParallelJoinOptions& options = {},
     ThreadPool* pool = nullptr, ElementScanCache* cache = nullptr,
-    uint64_t cache_epoch = 0);
+    uint64_t cache_epoch = 0, const CompactElementIndex* compact = nullptr);
 
 }  // namespace lazyxml
 

@@ -66,12 +66,52 @@ ElementScan ElementScanCache::Get(TagId tid, SegmentId sid, uint64_t epoch,
   return it->second->scan;
 }
 
+CompactScanHandle ElementScanCache::GetCompact(TagId tid, SegmentId sid,
+                                               uint64_t epoch, ScanKind kind) {
+  const Key key{tid, sid, epoch,
+                static_cast<uint32_t>(kind) | kCompactKindBit};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> l(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    shard.misses.fetch_add(1, kRelaxed);
+    RegistryMirror::Get().misses.Increment();
+    return nullptr;
+  }
+  shard.hits.fetch_add(1, kRelaxed);
+  RegistryMirror::Get().hits.Increment();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->compact;
+}
+
 void ElementScanCache::Put(TagId tid, SegmentId sid, uint64_t epoch,
                            ElementScan scan, ScanKind kind) {
   if (scan == nullptr) return;
-  const size_t bytes = ElementScanBytes(*scan) + sizeof(Entry);
+  Entry entry;
+  entry.key = Key{tid, sid, epoch, static_cast<uint32_t>(kind)};
+  entry.bytes = ElementScanBytes(*scan) + sizeof(Entry);
+  entry.scan = std::move(scan);
+  PutEntry(std::move(entry));
+}
+
+void ElementScanCache::PutCompact(TagId tid, SegmentId sid, uint64_t epoch,
+                                  CompactScanHandle scan, ScanKind kind) {
+  if (scan == nullptr) return;
+  Entry entry;
+  entry.key =
+      Key{tid, sid, epoch, static_cast<uint32_t>(kind) | kCompactKindBit};
+  // Charge what is actually resident: the encoded blocks and their skip
+  // headers, not count * sizeof(LocalElement) — the budget then admits
+  // more records by exactly the compression ratio.
+  entry.bytes = scan->MemoryBytes() + sizeof(Entry);
+  entry.compact = std::move(scan);
+  PutEntry(std::move(entry));
+}
+
+void ElementScanCache::PutEntry(Entry entry) {
+  const size_t bytes = entry.bytes;
   if (bytes > per_shard_budget_) return;  // would evict a whole shard
-  const Key key{tid, sid, epoch, static_cast<uint32_t>(kind)};
+  const Key key = entry.key;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> l(shard.mu);
   auto it = shard.map.find(key);
@@ -97,7 +137,7 @@ void ElementScanCache::Put(TagId tid, SegmentId sid, uint64_t epoch,
     RegistryMirror::Get().admission_rejects.Increment();
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(scan), bytes});
+  shard.lru.push_front(std::move(entry));
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   shard.insertions.fetch_add(1, kRelaxed);

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/compact_index.h"
 #include "core/element_index.h"
 #include "core/segment.h"
 #include "xml/tag_dict.h"
@@ -97,6 +98,20 @@ class ElementScanCache {
   void Put(TagId tid, SegmentId sid, uint64_t epoch, ElementScan scan,
            ScanKind kind = ScanKind::kRaw);
 
+  /// The *compressed* scan cached for (tid, sid) at `epoch`, or nullptr.
+  /// Compressed and decoded entries live under distinct keys, so a mixed
+  /// workload (A/B flag flips) can never alias them. Thread-safe.
+  CompactScanHandle GetCompact(TagId tid, SegmentId sid, uint64_t epoch,
+                               ScanKind kind = ScanKind::kRaw);
+
+  /// Caches a compressed scan. The entry is charged its *actual* stored
+  /// bytes — encoded blocks + skip headers (CompactTagScan::MemoryBytes)
+  /// — not count * sizeof(LocalElement), so a fixed cache_bytes budget
+  /// holds more records by exactly the compression ratio. Same admission
+  /// and eviction rules as Put. Thread-safe.
+  void PutCompact(TagId tid, SegmentId sid, uint64_t epoch,
+                  CompactScanHandle scan, ScanKind kind = ScanKind::kRaw);
+
   /// Drops every entry (all epochs). Readers holding scans are unaffected.
   void Invalidate();
 
@@ -140,9 +155,14 @@ class ElementScanCache {
   };
   struct Entry {
     Key key;
-    ElementScan scan;
-    size_t bytes = 0;
+    ElementScan scan;            ///< decoded representation (or null)
+    CompactScanHandle compact;   ///< compressed representation (or null)
+    size_t bytes = 0;            ///< actual stored footprint of the above
   };
+
+  /// Bit folded into Key::kind so compressed entries can never be
+  /// returned to a decoded Get (and vice versa).
+  static constexpr uint32_t kCompactKindBit = 0x100;
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recent
@@ -164,6 +184,11 @@ class ElementScanCache {
   Shard& ShardFor(const Key& k) {
     return *shards_[KeyHash{}(k) & shard_mask_];
   }
+
+  /// Shared fill path of Put/PutCompact: admission sampling, LRU insert,
+  /// budget eviction. `entry.bytes` must already hold the entry's actual
+  /// stored footprint.
+  void PutEntry(Entry entry);
 
   ElementScanCacheOptions options_;
   size_t shard_mask_ = 0;

@@ -11,7 +11,9 @@ namespace {
 constexpr char kMagic[] = "LZXMLSNP";
 // v2 adds the sid counter after the mode byte (sid-exact restores, which
 // WAL replay depends on); v1 files still load, deriving it as max(sid)+1.
-constexpr uint32_t kVersion = 2;
+// v3 appends an optional compact-index section (u8 flag + blob) after the
+// tag-list entries; v1/v2 files still load and rebuild it on demand.
+constexpr uint32_t kVersion = 3;
 
 void SerializeSegment(const SegmentNode& node, const ElementIndex& index,
                       ByteWriter* w) {
@@ -103,6 +105,13 @@ Result<std::string> SerializeDatabase(const LazyDatabase& db) {
     for (SegmentId sid : e.path) w.PutU64(sid);
     return true;
   });
+
+  // Compact-index section: serialized only when one is built AND fresh
+  // (compact_index() is epoch-gated), so a snapshot can never resurrect
+  // a compact index that disagrees with the records above.
+  const CompactElementIndex* compact = db.compact_index();
+  w.PutU8(compact != nullptr ? 1 : 0);
+  if (compact != nullptr) compact->SerializeTo(&w);
   return w.TakeBuffer();
 }
 
@@ -114,7 +123,7 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
     return Status::Corruption("not a lazyxml snapshot (bad magic)");
   }
   LAZYXML_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::NotSupported(
         StringPrintf("snapshot version %u not supported", version));
   }
@@ -232,12 +241,27 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
             .AddEntry(tid, std::move(path), count, log)
             .WithContext("restoring tag-list"));
   }
+  std::shared_ptr<const CompactElementIndex> compact;
+  if (version >= 3) {
+    LAZYXML_ASSIGN_OR_RETURN(uint8_t has_compact, r.GetU8());
+    if (has_compact > 1) {
+      return Status::Corruption("bad compact-index flag");
+    }
+    if (has_compact == 1) {
+      LAZYXML_ASSIGN_OR_RETURN(compact,
+                               CompactElementIndex::DeserializeFrom(&r));
+    }
+  }
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after snapshot");
   }
   if (next_sid != 0) {
     LAZYXML_RETURN_NOT_OK(log.RestoreNextSid(next_sid));
   }
+  // Adopt after the last mutable accessor touch (each bump stales the
+  // adoption epoch) and before CheckInvariants, whose compact validator
+  // then cross-proves the restored blocks against the restored B+-tree.
+  if (compact != nullptr) db->AdoptCompactIndex(std::move(compact));
   LAZYXML_RETURN_NOT_OK(
       db->CheckInvariants().WithContext("snapshot failed validation"));
   return db;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/compact_index.h"
 #include "core/lazy_database.h"
 #include "core/lazy_join.h"
 #include "core/scan_cache.h"
@@ -26,13 +28,18 @@ namespace {
 
 struct EquivalenceReport {
   uint64_t max_partitions = 1;  // largest split any combination produced
+  uint64_t blocks_skipped = 0;  // compact blocks the skip headers pruned
 };
 
-// Runs anc//desc serially and under {2,4,8} threads x {no cache, cache},
-// asserting pair-for-pair identical output. Partition boundaries are
-// forced aggressively (min_rounds_per_task = 1) so even small documents
-// split. elements_fetched is intentionally NOT compared: partition
-// boundaries legitimately re-fetch seed scans (docs/PARALLELISM.md).
+// Runs anc//desc serially and under {2,4,8} threads x {no cache, cache}
+// x {tree scans, compact block cursors}, asserting pair-for-pair
+// identical output against the tree-scan serial kernel. Partition
+// boundaries are forced aggressively (min_rounds_per_task = 1) so even
+// small documents split. elements_fetched is intentionally NOT compared:
+// partition boundaries legitimately re-fetch seed scans
+// (docs/PARALLELISM.md), and the compact representation counts block
+// decodes, not records. blocks_skipped is accumulated, not compared: a
+// cache hit legitimately elides the whole straddle filter.
 void ExpectParallelMatchesSerial(LazyDatabase* db, const std::string& anc,
                                  const std::string& desc,
                                  const LazyJoinOptions& jopts,
@@ -48,37 +55,65 @@ void ExpectParallelMatchesSerial(LazyDatabase* db, const std::string& anc,
   ASSERT_TRUE(serial_r.ok()) << serial_r.status().ToString();
   const LazyJoinResult& serial = serial_r.ValueOrDie();
 
-  for (size_t threads : {2u, 4u, 8u}) {
-    for (bool with_cache : {false, true}) {
-      ThreadPool pool(threads);
-      ElementScanCacheOptions copts;
-      copts.capacity_bytes = 4u << 20;
-      ElementScanCache cache(copts);
-      ParallelJoinOptions popts;
-      popts.join = jopts;
-      popts.min_rounds_per_task = 1;
-      auto par_r = ParallelLazyJoin(log, index, a.ValueOrDie(),
-                                    d.ValueOrDie(), popts, &pool,
-                                    with_cache ? &cache : nullptr,
-                                    db->mutation_epoch());
-      ASSERT_TRUE(par_r.ok()) << par_r.status().ToString();
-      const LazyJoinResult& par = par_r.ValueOrDie();
-      ASSERT_EQ(par.pairs.size(), serial.pairs.size())
-          << anc << "//" << desc << " threads=" << threads
-          << " cache=" << with_cache;
-      for (size_t i = 0; i < serial.pairs.size(); ++i) {
-        ASSERT_TRUE(par.pairs[i] == serial.pairs[i])
-            << "pair #" << i << " differs, threads=" << threads
-            << " cache=" << with_cache;
-      }
-      EXPECT_EQ(par.stats.cross_segment_pairs,
-                serial.stats.cross_segment_pairs);
-      EXPECT_EQ(par.stats.in_segment_pairs, serial.stats.in_segment_pairs);
-      EXPECT_EQ(par.stats.segments_pushed, serial.stats.segments_pushed);
-      EXPECT_EQ(par.stats.segments_skipped, serial.stats.segments_skipped);
-      if (report != nullptr) {
-        report->max_partitions =
-            std::max(report->max_partitions, par.stats.partitions);
+  // The compact serial kernel must be byte-identical to the tree serial
+  // kernel and agree on every representation-independent statistic.
+  auto compact_r = CompactElementIndex::Build(index);
+  ASSERT_TRUE(compact_r.ok()) << compact_r.status().ToString();
+  const std::shared_ptr<const CompactElementIndex> compact =
+      compact_r.ValueOrDie();
+  auto serial_c_r = LazyJoin(log, index, a.ValueOrDie(), d.ValueOrDie(),
+                             jopts, compact.get());
+  ASSERT_TRUE(serial_c_r.ok()) << serial_c_r.status().ToString();
+  const LazyJoinResult& serial_c = serial_c_r.ValueOrDie();
+  ASSERT_EQ(serial_c.pairs.size(), serial.pairs.size()) << anc << "//" << desc;
+  for (size_t i = 0; i < serial.pairs.size(); ++i) {
+    ASSERT_TRUE(serial_c.pairs[i] == serial.pairs[i])
+        << "compact serial pair #" << i << " differs";
+  }
+  EXPECT_EQ(serial_c.stats.cross_segment_pairs,
+            serial.stats.cross_segment_pairs);
+  EXPECT_EQ(serial_c.stats.in_segment_pairs, serial.stats.in_segment_pairs);
+  EXPECT_EQ(serial_c.stats.segments_pushed, serial.stats.segments_pushed);
+  EXPECT_EQ(serial_c.stats.segments_skipped, serial.stats.segments_skipped);
+  if (report != nullptr) {
+    report->blocks_skipped += serial_c.stats.blocks_skipped;
+  }
+
+  for (bool use_compact : {false, true}) {
+    for (size_t threads : {2u, 4u, 8u}) {
+      for (bool with_cache : {false, true}) {
+        ThreadPool pool(threads);
+        ElementScanCacheOptions copts;
+        copts.capacity_bytes = 4u << 20;
+        ElementScanCache cache(copts);
+        ParallelJoinOptions popts;
+        popts.join = jopts;
+        popts.min_rounds_per_task = 1;
+        auto par_r = ParallelLazyJoin(log, index, a.ValueOrDie(),
+                                      d.ValueOrDie(), popts, &pool,
+                                      with_cache ? &cache : nullptr,
+                                      db->mutation_epoch(),
+                                      use_compact ? compact.get() : nullptr);
+        ASSERT_TRUE(par_r.ok()) << par_r.status().ToString();
+        const LazyJoinResult& par = par_r.ValueOrDie();
+        ASSERT_EQ(par.pairs.size(), serial.pairs.size())
+            << anc << "//" << desc << " threads=" << threads
+            << " cache=" << with_cache << " compact=" << use_compact;
+        for (size_t i = 0; i < serial.pairs.size(); ++i) {
+          ASSERT_TRUE(par.pairs[i] == serial.pairs[i])
+              << "pair #" << i << " differs, threads=" << threads
+              << " cache=" << with_cache << " compact=" << use_compact;
+        }
+        EXPECT_EQ(par.stats.cross_segment_pairs,
+                  serial.stats.cross_segment_pairs);
+        EXPECT_EQ(par.stats.in_segment_pairs, serial.stats.in_segment_pairs);
+        EXPECT_EQ(par.stats.segments_pushed, serial.stats.segments_pushed);
+        EXPECT_EQ(par.stats.segments_skipped, serial.stats.segments_skipped);
+        if (report != nullptr) {
+          report->max_partitions =
+              std::max(report->max_partitions, par.stats.partitions);
+          report->blocks_skipped += par.stats.blocks_skipped;
+        }
       }
     }
   }
@@ -296,6 +331,57 @@ TEST(ParallelJoinTest, SetQueryOptionsReconfigures) {
   // scan_cache_hits may still be non-zero: the per-query fetch slots
   // (in-segment -> push reuse) count there even without the shared cache.
   EXPECT_EQ(back.ValueOrDie().pairs.size(), serial.ValueOrDie().pairs.size());
+}
+
+TEST(ParallelJoinTest, CompactFacadeByteIdenticalAndSkipsBlocks) {
+  // Low-cross workload with multi-block lists: most compact blocks hold
+  // no splice in (first_start, max_end), so the straddle filter must
+  // prune blocks without decoding them — the whole point of the skip
+  // headers (ISSUE 8 acceptance: blocks_skipped > 0, identical output).
+  LazyDatabase db;
+  std::string shadow;
+  JoinWorkloadConfig config;
+  config.num_segments = 6;
+  config.shape = ErTreeShape::kBalanced;
+  config.total_joins = 2000;
+  config.cross_fraction = 0.05;
+  config.num_a_elements = 12000;
+  config.num_d_elements = 12000;
+  BuildWorkload(&db, &shadow, config);
+
+  auto tree = db.JoinByName("A", "D");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree.ValueOrDie().stats.blocks_skipped, 0u);
+
+  QueryOptions q;
+  q.use_compact_index = true;
+  db.SetQueryOptions(q);
+  EXPECT_EQ(db.compact_index(), nullptr) << "not built until Freeze/join";
+  auto compact = db.JoinByName("A", "D");
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  ASSERT_NE(db.compact_index(), nullptr);
+
+  ASSERT_EQ(compact.ValueOrDie().pairs.size(), tree.ValueOrDie().pairs.size());
+  for (size_t i = 0; i < tree.ValueOrDie().pairs.size(); ++i) {
+    ASSERT_TRUE(compact.ValueOrDie().pairs[i] == tree.ValueOrDie().pairs[i])
+        << "pair #" << i;
+  }
+  EXPECT_GT(compact.ValueOrDie().stats.blocks_skipped, 0u);
+
+  // Canonicalized output against the text oracle, both representations.
+  auto g_tree = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(g_tree.ok());
+  EXPECT_EQ(g_tree.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+
+  // A mutation stales the compact index; the next join transparently
+  // rebuilds it and still matches.
+  ASSERT_TRUE(db.InsertSegment("<A><D/></A>", 0).ok());
+  EXPECT_EQ(db.compact_index(), nullptr);
+  shadow.insert(0, "<A><D/></A>");
+  auto after = db.JoinGlobal("A", "D");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie(), testutil::OracleJoin(shadow, "A", "D"));
+  EXPECT_NE(db.compact_index(), nullptr);
 }
 
 }  // namespace

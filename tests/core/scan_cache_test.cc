@@ -1,10 +1,14 @@
 #include "core/scan_cache.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "core/compact_index.h"
 
 namespace lazyxml {
 namespace {
@@ -211,6 +215,74 @@ TEST(ScanCacheTest, StatsReadersRacingWritersSeeMonotonicCounters) {
   const ElementScanCacheStats end = cache.Stats();
   EXPECT_EQ(end.insertions,
             end.entries + end.evictions + end.invalidations);
+}
+
+CompactScanHandle MakeCompact(size_t count, uint64_t base = 0) {
+  auto encoded = CompactTagScan::Encode(*MakeScan(count, base));
+  EXPECT_TRUE(encoded.ok());
+  return std::make_shared<const CompactTagScan>(
+      std::move(encoded).ValueOrDie());
+}
+
+TEST(ScanCacheTest, CompactEntriesKeyedSeparatelyFromDecoded) {
+  ElementScanCache cache;
+  cache.Put(1, 2, 0, MakeScan(10), ScanKind::kStraddle);
+  cache.PutCompact(1, 2, 0, MakeCompact(10), ScanKind::kStraddle);
+  // Same (tid, sid, epoch, kind) in both representations: both resident,
+  // each Get returns its own representation (kCompactKindBit keying).
+  EXPECT_NE(cache.Get(1, 2, 0, ScanKind::kStraddle), nullptr);
+  EXPECT_NE(cache.GetCompact(1, 2, 0, ScanKind::kStraddle), nullptr);
+  EXPECT_EQ(cache.GetCompact(1, 3, 0, ScanKind::kStraddle), nullptr);
+  EXPECT_EQ(cache.GetCompact(1, 2, 1, ScanKind::kStraddle), nullptr);
+}
+
+TEST(ScanCacheTest, CompactEntriesChargedCompressedBytes) {
+  // Satellite regression (ISSUE 8): a compressed entry must be charged
+  // its compressed footprint, so a fixed byte budget holds several times
+  // more records than it would hold decoded.
+  const size_t kRecords = 1000;
+  const size_t decoded_bytes = ElementScanBytes(*MakeScan(kRecords));
+  ElementScanCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_bytes = 2 * decoded_bytes;  // two decoded scans' worth
+  ElementScanCache cache(opts);
+
+  // The compact encoding of the same records is itself >= 3x smaller...
+  ASSERT_LT(MakeCompact(kRecords)->MemoryBytes() * 3, decoded_bytes);
+  // ...so at least 6 compact copies fit where 2 decoded ones would.
+  for (uint64_t sid = 0; sid < 6; ++sid) {
+    cache.PutCompact(1, sid, 0, MakeCompact(kRecords, 10'000 * sid));
+  }
+  const ElementScanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 6u) << "compact entries over-charged";
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, opts.capacity_bytes);
+  for (uint64_t sid = 0; sid < 6; ++sid) {
+    ASSERT_NE(cache.GetCompact(1, sid, 0), nullptr) << sid;
+  }
+
+  // Control: the same residency is impossible under decoded accounting.
+  ElementScanCache decoded_cache(opts);
+  for (uint64_t sid = 0; sid < 6; ++sid) {
+    decoded_cache.Put(1, sid, 0, MakeScan(kRecords, 10'000 * sid));
+  }
+  EXPECT_LT(decoded_cache.Stats().entries, 6u);
+}
+
+TEST(ScanCacheTest, CompactRoundTripPreservesRecords) {
+  ElementScanCache cache;
+  cache.PutCompact(3, 4, 9, MakeCompact(257, 42));
+  CompactScanHandle hit = cache.GetCompact(3, 4, 9);
+  ASSERT_NE(hit, nullptr);
+  std::vector<LocalElement> decoded;
+  ASSERT_TRUE(hit->DecodeAll(&decoded).ok());
+  const ElementScan want = MakeScan(257, 42);
+  ASSERT_EQ(decoded.size(), want->size());
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].start, (*want)[i].start) << i;
+    EXPECT_EQ(decoded[i].end, (*want)[i].end) << i;
+    EXPECT_EQ(decoded[i].level, (*want)[i].level) << i;
+  }
 }
 
 }  // namespace

@@ -187,5 +187,81 @@ TEST(SnapshotTest, RandomByteFlipsNeverCrash) {
   }
 }
 
+// A database whose query options build the compact index at Freeze().
+std::unique_ptr<LazyDatabase> BuildCompactSample(std::string* shadow) {
+  LazyDatabaseOptions opts;
+  opts.query.use_compact_index = true;
+  auto db = std::make_unique<LazyDatabase>(opts);
+  auto insert = [&](std::string_view text, uint64_t gp) {
+    EXPECT_TRUE(db->InsertSegment(text, gp).ok());
+    testutil::SpliceInsert(shadow, text, gp);
+  };
+  insert("<a><b/><w></w><b/></a>", 0);
+  insert("<c><b/><d/></c>", 10);
+  insert("<d></d>", 13);
+  db->Freeze();
+  return db;
+}
+
+TEST(SnapshotTest, V3RoundTripPreservesCompactIndex) {
+  std::string shadow;
+  auto db = BuildCompactSample(&shadow);
+  ASSERT_NE(db->compact_index(), nullptr) << "Freeze must build it";
+
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  // The compact index travels with the snapshot: present immediately,
+  // no rebuild, record-for-record equal to the restored tree (the
+  // scrubber's I-COMPACT section proves it via CheckInvariants).
+  ASSERT_NE(restored->compact_index(), nullptr);
+  EXPECT_EQ(restored->compact_index()->total_records(),
+            restored->element_index().size());
+  ASSERT_TRUE(restored->CheckInvariants().ok());
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+
+  // Truncations inside the trailing compact section fail cleanly (the
+  // deserializer fully validates every block before adopting).
+  for (size_t back = 1; back < 20 && back < blob.size(); ++back) {
+    auto r = DeserializeDatabase(
+        std::string_view(blob).substr(0, blob.size() - back));
+    EXPECT_FALSE(r.ok()) << "cut " << back << " bytes off the tail";
+  }
+}
+
+TEST(SnapshotTest, SnapshotWithoutCompactIndexLoadsWithoutOne) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  EXPECT_EQ(db->compact_index(), nullptr);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  auto restored = DeserializeDatabase(blob).ValueOrDie();
+  EXPECT_EQ(restored->compact_index(), nullptr);
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+}
+
+TEST(SnapshotTest, Version2SnapshotsStillLoad) {
+  // A v3 snapshot without a compact index is exactly a v2 snapshot plus
+  // one trailing zero byte — strip it and patch the version field to
+  // reconstruct a byte-exact legacy blob. It must keep loading.
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  ASSERT_EQ(blob.back(), '\0') << "no compact index -> flag byte 0";
+  std::string v2 = blob.substr(0, blob.size() - 1);
+  v2[16] = 2;  // version field (little-endian u32 low byte)
+  auto restored = DeserializeDatabase(v2).ValueOrDie();
+  EXPECT_EQ(restored->compact_index(), nullptr);
+  ASSERT_TRUE(restored->CheckInvariants().ok());
+  ExpectEquivalent(db.get(), restored.get(), shadow);
+}
+
+TEST(SnapshotTest, BadCompactFlagRejected) {
+  std::string shadow;
+  auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
+  auto blob = SerializeDatabase(*db).ValueOrDie();
+  std::string tampered = blob;
+  tampered.back() = 7;  // flag must be 0 or 1
+  EXPECT_TRUE(DeserializeDatabase(tampered).status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace lazyxml
