@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   const fs::path out(argv[1]);
   for (const char* sub :
-       {"parser", "wal", "snapshot", "ops", "wire", "command", "compact"}) {
+       {"parser", "wal", "snapshot", "ops", "wire", "command", "compact",
+        "xpath"}) {
     std::error_code ec;
     fs::create_directories(out / sub, ec);
     if (ec) {
@@ -164,6 +165,18 @@ int main(int argc, char** argv) {
     }
     ok &= WriteFile(out / "compact" / "decisions.bin", decisions);
   }
+
+  // XPath seeds: valid expressions over the fuzz_xpath document's tags
+  // (site/people/person/profile/interest/keyword/watch/items/item), so
+  // mutation starts from inputs that reach the evaluation oracle, plus
+  // one that the summary proves empty with zero scans.
+  ok &= WriteFile(out / "xpath" / "twig.xpath",
+                  "//person[profile]/watch");
+  ok &= WriteFile(out / "xpath" / "nested.xpath",
+                  "site/people//person[interest[keyword]][watch]/*");
+  ok &= WriteFile(out / "xpath" / "wild.xpath", "*[*]//interest");
+  ok &= WriteFile(out / "xpath" / "empty-proof.xpath",
+                  "//watch//person");
 
   if (!ok) {
     std::fprintf(stderr, "seed generation failed\n");

@@ -461,6 +461,49 @@ inline Result<CheckReport> CheckDatabase(const LazyDatabase& db) {
     report.BumpChecksRun();
   }
 
+  // ---- (b6) path summary ↔ live structure (invariant I-SUMMARY) ----------
+  // When a summary is installed for the current epoch, its canonical form
+  // (every node's root path, element count, and per-segment breakdown)
+  // must equal one rebuilt from scratch against the live update log and
+  // element index — that equality is what makes summary-pruned joins
+  // byte-identical to unpruned ones (docs/PATH_SUMMARY.md).
+  if (const PathSummary* summary = db.path_summary()) {
+    auto rebuilt = LazyDatabase::BuildPathSummary(db.update_log(), index);
+    if (!rebuilt.ok()) {
+      report.AddError("path_summary", "rebuild-failure",
+                      "summary rebuild failed: " +
+                          rebuilt.status().ToString());
+    } else {
+      const std::vector<std::string> live = summary->CanonicalLines();
+      const std::vector<std::string> want =
+          rebuilt.ValueOrDie()->CanonicalLines();
+      report.BumpObjectsScanned();
+      if (live != want) {
+        std::set<std::string> live_set(live.begin(), live.end());
+        std::set<std::string> want_set(want.begin(), want.end());
+        for (const std::string& line : live) {
+          if (want_set.find(line) == want_set.end()) {
+            report.AddError("path_summary", "phantom-path",
+                            "summary holds '" + line +
+                                "' absent from a fresh rebuild");
+          }
+        }
+        for (const std::string& line : want) {
+          if (live_set.find(line) == live_set.end()) {
+            report.AddError("path_summary", "missing-path",
+                            "fresh rebuild holds '" + line +
+                                "' absent from the summary");
+          }
+        }
+        if (live_set == want_set) {
+          report.AddError("path_summary", "order-mismatch",
+                          "summary canonical lines are mis-ordered");
+        }
+      }
+    }
+    report.BumpChecksRun();
+  }
+
   return report;
 }
 

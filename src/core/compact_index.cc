@@ -1,6 +1,8 @@
 #include "core/compact_index.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -17,7 +19,7 @@ void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
-bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+bool GetVarintScalar(const uint8_t** p, const uint8_t* end, uint64_t* v) {
   uint64_t result = 0;
   int shift = 0;
   const uint8_t* cur = *p;
@@ -34,6 +36,41 @@ bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
     shift += 7;
   }
   return false;  // truncated, or longer than 10 bytes
+}
+
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  const uint8_t* cur = *p;
+  // Single-byte encodings dominate delta/extent/level streams; answer
+  // them with one load before any SWAR setup.
+  if (cur < end && *cur < 0x80) {
+    *v = *cur;
+    *p = cur + 1;
+    return true;
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    if (end - cur >= 8) {
+      uint64_t word;
+      std::memcpy(&word, cur, 8);
+      const uint64_t stops = ~word & 0x8080808080808080ull;
+      if (stops != 0) {
+        // Terminator within the loaded word: n encoded bytes (1..8), so
+        // the value fits in 56 bits and no length/top-bit checks apply.
+        const int n = std::countr_zero(stops) / 8 + 1;
+        if (n < 8) word &= (uint64_t{1} << (8 * n)) - 1;
+        // Fold the per-byte 7-bit groups pairwise: 8x7 -> 4x14 -> 2x28
+        // -> 1x56 bits.
+        uint64_t x = word & 0x7f7f7f7f7f7f7f7full;
+        x = (x & 0x007f007f007f007full) | ((x & 0x7f007f007f007f00ull) >> 1);
+        x = (x & 0x00003fff00003fffull) | ((x & 0x3fff00003fff0000ull) >> 2);
+        x = (x & 0x000000000fffffffull) | ((x & 0x0fffffff00000000ull) >> 4);
+        *p = cur + n;
+        *v = x;
+        return true;
+      }
+      // 9-10-byte encodings (values above 2^56) are rare: scalar.
+    }
+  }
+  return GetVarintScalar(p, end, v);
 }
 
 }  // namespace compactenc

@@ -71,8 +71,16 @@ namespace compactenc {
 void PutVarint(std::vector<uint8_t>* out, uint64_t v);
 
 /// Bounds-checked varint read: advances *p past the encoding on success.
-/// Fails on truncation and on encodings longer than 10 bytes.
+/// Fails on truncation and on encodings longer than 10 bytes. Dispatches
+/// to a SWAR fast path (one 8-byte load locates the terminator, three
+/// shift-mask folds gather the 7-bit groups) when at least 8 bytes
+/// remain; falls back to the scalar loop near the buffer tail, for
+/// 9-10-byte encodings, and on big-endian targets.
 bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* v);
+
+/// The portable scalar decode loop — same contract as GetVarint. Kept
+/// callable so bench_compact_index can report the scalar-vs-SWAR delta.
+bool GetVarintScalar(const uint8_t** p, const uint8_t* end, uint64_t* v);
 
 inline uint64_t ZigzagEncode(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^

@@ -27,6 +27,7 @@
 #include "core/lazy_database.h"
 #include "core/path_query.h"
 #include "core/twig_query.h"
+#include "query/xpath.h"
 
 namespace lazyxml {
 
@@ -149,6 +150,19 @@ class ConcurrentLazyDatabase {
     }
     std::shared_lock lock(mu_);
     return EvaluateTwig(&db_, expr);
+  }
+
+  /// XPath-subset query (query/xpath.h). The evaluator only CONSULTS
+  /// the epoch-gated path summary (it never rebuilds one), so the
+  /// shared-lock path is race-free in LD mode; callers must link
+  /// lazyxml_query.
+  Result<XPathResult> Xpath(std::string_view expr) {
+    if (lazy_static_) {
+      std::unique_lock lock(mu_);
+      return EvaluateXPath(&db_, expr);
+    }
+    std::shared_lock lock(mu_);
+    return EvaluateXPath(&db_, expr);
   }
 
   LazyDatabaseStats Stats() {

@@ -61,6 +61,10 @@ void LazyDatabase::SetQueryOptions(const QueryOptions& query) {
     copts.capacity_bytes = query.cache_bytes;
     scan_cache_ = std::make_unique<ElementScanCache>(copts);
   }
+  // Build failures (corrupt structure) surface on the scrubber / the
+  // next restore; a failed build just leaves the summary stale, which
+  // silently disables pruning.
+  (void)EnsurePathSummary();
 }
 
 ElementScan LazyDatabase::GetScan(TagId tid, SegmentId sid) {
@@ -82,8 +86,13 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
   // Bumped up front: cached scans must not survive even a partially
   // applied mutation (spurious bumps on the failure paths are harmless).
   ++mutation_epoch_;
-  LAZYXML_ASSIGN_OR_RETURN(SegmentId sid,
-                           InsertSegmentImpl(text, gp, nullptr));
+  SummaryBeginMutation();
+  Result<SegmentId> r = InsertSegmentImpl(text, gp, nullptr);
+  // Committed even on failure: a pre-mutation failure (parse error) left
+  // tracking armed and the summary still matches the unchanged state; a
+  // mid-mutation failure disarmed it, leaving the summary stale.
+  SummaryCommit();
+  LAZYXML_ASSIGN_OR_RETURN(SegmentId sid, std::move(r));
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnInsertSegment(sid, text, gp));
   }
@@ -103,6 +112,10 @@ Result<SegmentId> LazyDatabase::InsertSegmentImpl(
   }
   ParsedFragment parsed = std::move(parsed_r).ValueOrDie();
 
+  // First structural mutation: disarm summary tracking until the
+  // maintenance at the end of this method succeeds.
+  const bool summary_was_tracking = summary_track_;
+  summary_track_ = false;
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::InsertInfo info,
                            log_.AddSegment(gp, text.size()));
 
@@ -132,6 +145,7 @@ Result<SegmentId> LazyDatabase::InsertSegmentImpl(
       e.start = r.start;
       e.end = r.end;
       e.level = r.level;
+      e.tid = r.tid;
       e.parent = stack.empty() ? kNoParentEntry : stack.back();
       info.node->summary.push_back(e);
       stack.push_back(i);
@@ -158,12 +172,24 @@ Result<SegmentId> LazyDatabase::InsertSegmentImpl(
     LAZYXML_RETURN_NOT_OK(
         log_.tag_list().AddEntry(tid, info.path, count, log_));
   }
+
+  if (summary_was_tracking) {
+    LAZYXML_METRIC_HISTOGRAM(update_hist, "summary.update_us");
+    obs::ScopedLatency update_latency(update_hist);
+    const uint32_t ctx = SummaryContextOf(*info.parent, info.frozen_point);
+    if (SummaryAddSegment(*info.node, ctx)) summary_track_ = true;
+    // else: unattributable (stale pre-v4 entries at the splice point) —
+    // tracking stays off, the summary goes stale instead of wrong.
+  }
   return info.sid;
 }
 
 Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
   ++mutation_epoch_;
-  LAZYXML_RETURN_NOT_OK(RemoveSegmentImpl(gp, length));
+  SummaryBeginMutation();
+  Status st = RemoveSegmentImpl(gp, length);
+  SummaryCommit();
+  LAZYXML_RETURN_NOT_OK(st);
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnRemoveRange(gp, length));
   }
@@ -173,6 +199,43 @@ Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
 Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::RemovalEffects effects,
                            log_.CollectRemovalEffects(gp, length));
+
+  // Summary decrements are resolved *before* anything is deleted (the
+  // element records and nesting chains must still be readable) and
+  // applied only after the whole removal succeeded. The partial filter
+  // is exactly ElementIndex::DeleteRange's entirely-inside predicate:
+  // start >= begin && end <= end implies the other two half-tests.
+  const bool summary_was_tracking = summary_track_;
+  summary_track_ = false;
+  std::vector<std::pair<uint32_t, SegmentId>> summary_decrements;
+  bool summary_ok = summary_was_tracking;
+  if (summary_was_tracking) {
+    LAZYXML_METRIC_HISTOGRAM(update_hist, "summary.update_us");
+    obs::ScopedLatency update_latency(update_hist);
+    for (const auto& partial : effects.partial) {
+      const SegmentNode* seg = log_.NodeOf(partial.sid);
+      if (seg == nullptr) {
+        summary_ok = false;
+        break;
+      }
+      for (TagId tid : partial.tags) {
+        for (const LocalElement& el : index_.GetElements(tid, partial.sid)) {
+          if (el.start < partial.frozen_begin || el.end > partial.frozen_end) {
+            continue;
+          }
+          const uint32_t node = SummaryNodeOfElement(*seg, el.start);
+          if (node == PathSummary::kNoNode) {
+            summary_ok = false;
+            break;
+          }
+          summary_decrements.emplace_back(node, partial.sid);
+        }
+        if (!summary_ok) break;
+      }
+      if (!summary_ok) break;
+    }
+  }
+
   // Element index first (it needs the pre-removal frozen intervals), then
   // the tag-list (it needs the per-tag deletion counts and the
   // pre-removal global positions), then the tree mutation.
@@ -194,7 +257,22 @@ Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
           log_.tag_list().RemoveOccurrences(tid, full.sid, count, log_));
     }
   }
-  return log_.ApplyRemoval(effects);
+  LAZYXML_RETURN_NOT_OK(log_.ApplyRemoval(effects));
+
+  if (summary_ok) {
+    LAZYXML_METRIC_HISTOGRAM(update_hist, "summary.update_us");
+    obs::ScopedLatency update_latency(update_hist);
+    for (const auto& [node, sid] : summary_decrements) {
+      // An underflow here is a real divergence (the I-SUMMARY scrubber
+      // flags the same state); surface it like ParanoidCheck would.
+      LAZYXML_RETURN_NOT_OK(summary_->RemoveElement(node, sid));
+    }
+    for (const auto& full : effects.full) {
+      summary_->RemoveSegmentAll(full.sid);
+    }
+    summary_track_ = true;
+  }
+  return Status::OK();
 }
 
 Result<BatchStats> LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops) {
@@ -215,8 +293,13 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
   stats.sids.assign(ops.size(), 0);
   if (ops.empty()) return Status::OK();
   ++mutation_epoch_;
+  SummaryBeginMutation();
   if (capture_ != nullptr) {
-    LAZYXML_RETURN_NOT_OK(capture_->OnBatchBegin(ops.size()));
+    Status begin_status = capture_->OnBatchBegin(ops.size());
+    if (!begin_status.ok()) {
+      SummaryCommit();  // nothing mutated yet: summary still matches
+      return begin_status;
+    }
   }
 
   // Plan cancellations: an insert immediately followed by a remove of
@@ -350,6 +433,12 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
   Status flush_status = flush();
   Status end_status =
       capture_ != nullptr ? capture_->OnBatchEnd() : Status::OK();
+  // A failed deferred flush leaves the element index short of what the
+  // per-op maintenance already counted — the summary must go stale too.
+  if (!flush_status.ok()) summary_track_ = false;
+  // Committed on every outcome: each op's Impl kept tracking armed only
+  // while the summary matched the applied prefix (prefix semantics).
+  SummaryCommit();
   if (rejected_records > 0) {
     // The rejected op's deferred records were applied by the flush (a
     // sequential InsertSegment writes the element index before the
@@ -391,7 +480,8 @@ Status LazyDatabase::ApplyPlan(std::span<const SegmentInsertion> plan) {
 }
 
 Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
-  ++mutation_epoch_;
+  // Validation precedes the epoch bump so a rejected collapse does not
+  // stale the path summary (cached scans are unaffected either way).
   SegmentNode* top = log_.NodeOf(sid);
   if (top == nullptr) {
     return Status::NotFound("segment does not exist");
@@ -399,6 +489,10 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
   if (top->sid == kRootSegmentId) {
     return Status::InvalidArgument("cannot collapse the dummy root");
   }
+  ++mutation_epoch_;
+  SummaryBeginMutation();
+  const bool summary_was_tracking = summary_track_;
+  summary_track_ = false;
   const uint64_t base_gp = top->gp;
 
   // 1. Globalize every element of the subtree into the new segment's
@@ -459,6 +553,7 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
       e.start = r.start;
       e.end = r.end;
       e.level = r.level;
+      e.tid = r.tid;
       e.parent = stack.empty() ? kNoParentEntry : stack.back();
       info.node->summary.push_back(e);
       stack.push_back(i);
@@ -472,9 +567,24 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
     LAZYXML_RETURN_NOT_OK(
         log_.tag_list().AddEntry(tid, info.path, count, log_));
   }
+
+  if (summary_was_tracking) {
+    // A collapse moves elements between segments without changing any
+    // root-to-tag path: retire the old segments' attributions wholesale,
+    // then re-attribute everything through the new segment's nesting
+    // summary (same paths, new sid in the seg_counts).
+    LAZYXML_METRIC_HISTOGRAM(update_hist, "summary.update_us");
+    obs::ScopedLatency update_latency(update_hist);
+    for (const auto& [old_sid, tags] : old_segments) {
+      summary_->RemoveSegmentAll(old_sid);
+    }
+    const uint32_t ctx = SummaryContextOf(*info.parent, info.frozen_point);
+    if (SummaryAddSegment(*info.node, ctx)) summary_track_ = true;
+  }
   if (capture_ != nullptr) {
     LAZYXML_RETURN_NOT_OK(capture_->OnCollapseSubtree(sid, info.sid));
   }
+  SummaryCommit();
   LAZYXML_RETURN_NOT_OK(ParanoidCheck(*this));
   return info.sid;
 }
@@ -495,6 +605,162 @@ void LazyDatabase::Freeze() {
   // the next JoinByName, which runs EnsureCompactIndex with a Status
   // return; Freeze keeps its historical void signature.
   (void)EnsureCompactIndex();
+  (void)EnsurePathSummary();
+}
+
+Status LazyDatabase::EnsurePathSummary() {
+  if (!options_.query.use_path_summary) return Status::OK();
+  if (summary_ != nullptr && summary_built_epoch_ == mutation_epoch_) {
+    return Status::OK();
+  }
+  LAZYXML_METRIC_HISTOGRAM(build_hist, "summary.build_us");
+  obs::ScopedLatency build_latency(build_hist);
+  LAZYXML_ASSIGN_OR_RETURN(summary_, BuildPathSummary(log_, index_));
+  summary_built_epoch_ = mutation_epoch_;
+  LAZYXML_METRIC_GAUGE(nodes_gauge, "summary.nodes");
+  LAZYXML_METRIC_GAUGE(bytes_gauge, "summary.bytes");
+  nodes_gauge.Set(static_cast<double>(summary_->num_nodes()));
+  bytes_gauge.Set(static_cast<double>(summary_->MemoryBytes()));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PathSummary>> LazyDatabase::BuildPathSummary(
+    const UpdateLog& log, const ElementIndex& index) {
+  auto summary = std::make_unique<PathSummary>();
+  summary->SetSegmentContext(kRootSegmentId, PathSummary::kRootNode);
+
+  // Innermost own-element entry of `s` strictly containing frozen `f`
+  // (index into s.summary), or kNoParentEntry. Same walk as
+  // SegmentNode::LevelAt.
+  const auto innermost = [](const SegmentNode& s, uint64_t f) -> uint32_t {
+    auto it = std::lower_bound(
+        s.summary.begin(), s.summary.end(), f,
+        [](const NestingEntry& e, uint64_t t) { return e.start < t; });
+    if (it == s.summary.begin()) return kNoParentEntry;
+    uint32_t j = static_cast<uint32_t>(it - s.summary.begin()) - 1;
+    while (j != kNoParentEntry) {
+      if (s.summary[j].end > f) return j;
+      j = s.summary[j].parent;
+    }
+    return kNoParentEntry;
+  };
+
+  struct Frame {
+    const SegmentNode* seg;
+    uint32_t ctx;
+  };
+  std::vector<Frame> work{{log.root(), PathSummary::kRootNode}};
+  std::vector<uint32_t> node_of;
+  while (!work.empty()) {
+    const auto [seg, ctx] = work.back();
+    work.pop_back();
+    summary->SetSegmentContext(seg->sid, ctx);
+
+    // Summary node per nesting entry. Entries are in preorder, so every
+    // parent is resolved before its children. Stale entries (pre-v4
+    // snapshot restore) carry kNoEntryTag and map to kNoNode — harmless
+    // unless a *live* record or splice point hangs off one, which the
+    // checks below turn into a hard error.
+    node_of.assign(seg->summary.size(), PathSummary::kNoNode);
+    for (uint32_t i = 0; i < seg->summary.size(); ++i) {
+      const NestingEntry& e = seg->summary[i];
+      const uint32_t base =
+          e.parent == kNoParentEntry ? ctx : node_of[e.parent];
+      if (base == PathSummary::kNoNode || e.tid == kNoEntryTag) continue;
+      node_of[i] = summary->Extend(base, e.tid);
+    }
+
+    for (TagId tid : seg->distinct_tags) {
+      for (const LocalElement& el : index.GetElements(tid, seg->sid)) {
+        auto it = std::lower_bound(
+            seg->summary.begin(), seg->summary.end(), el.start,
+            [](const NestingEntry& e, uint64_t t) { return e.start < t; });
+        if (it == seg->summary.end() || it->start != el.start ||
+            it->tid != tid) {
+          return Status::Internal(
+              "path summary build: element record without a matching "
+              "nesting entry");
+        }
+        const uint32_t idx =
+            static_cast<uint32_t>(it - seg->summary.begin());
+        if (node_of[idx] == PathSummary::kNoNode) {
+          return Status::Internal(
+              "path summary build: live element on an unattributable "
+              "nesting chain");
+        }
+        summary->AddElement(node_of[idx], seg->sid);
+      }
+    }
+
+    for (const SegmentNode* c : seg->children) {
+      const uint32_t entry = innermost(*seg, c->lp);
+      uint32_t cctx = ctx;
+      if (entry != kNoParentEntry) {
+        cctx = node_of[entry];
+        if (cctx == PathSummary::kNoNode) {
+          return Status::Internal(
+              "path summary build: splice point inside an unattributable "
+              "nesting chain");
+        }
+      }
+      work.push_back(Frame{c, cctx});
+    }
+  }
+  return summary;
+}
+
+uint32_t LazyDatabase::SummaryContextOf(const SegmentNode& parent,
+                                        uint64_t lp) {
+  uint32_t node = summary_->SegmentContext(parent.sid);
+  if (node == PathSummary::kNoNode) return PathSummary::kNoNode;
+  for (TagId tid : parent.AncestorTagsAt(lp)) {
+    if (tid == kNoEntryTag) return PathSummary::kNoNode;
+    node = summary_->Extend(node, tid);
+  }
+  return node;
+}
+
+bool LazyDatabase::SummaryAddSegment(const SegmentNode& seg, uint32_t ctx) {
+  if (ctx == PathSummary::kNoNode) return false;
+  summary_->SetSegmentContext(seg.sid, ctx);
+  std::vector<uint32_t> node_of(seg.summary.size(), PathSummary::kNoNode);
+  for (uint32_t i = 0; i < seg.summary.size(); ++i) {
+    const NestingEntry& e = seg.summary[i];
+    const uint32_t base = e.parent == kNoParentEntry ? ctx : node_of[e.parent];
+    // A freshly built nesting summary (insert / collapse) covers exactly
+    // the live elements, every entry with a real tag — anything else
+    // means the summary cannot be maintained.
+    if (base == PathSummary::kNoNode || e.tid == kNoEntryTag) return false;
+    node_of[i] = summary_->Extend(base, e.tid);
+    summary_->AddElement(node_of[i], seg.sid);
+  }
+  return true;
+}
+
+uint32_t LazyDatabase::SummaryNodeOfElement(const SegmentNode& seg,
+                                            uint64_t start) {
+  const uint32_t ctx = summary_->SegmentContext(seg.sid);
+  if (ctx == PathSummary::kNoNode) return PathSummary::kNoNode;
+  auto it = std::lower_bound(
+      seg.summary.begin(), seg.summary.end(), start,
+      [](const NestingEntry& e, uint64_t t) { return e.start < t; });
+  if (it == seg.summary.end() || it->start != start) {
+    return PathSummary::kNoNode;
+  }
+  // Tag chain outermost-first: entry start offsets are unique within a
+  // segment, so the exact-start entry IS the element's entry, and live
+  // entries only have live ancestors.
+  std::vector<TagId> tags;
+  for (uint32_t j = static_cast<uint32_t>(it - seg.summary.begin());
+       j != kNoParentEntry; j = seg.summary[j].parent) {
+    if (seg.summary[j].tid == kNoEntryTag) return PathSummary::kNoNode;
+    tags.push_back(seg.summary[j].tid);
+  }
+  uint32_t node = ctx;
+  for (auto rit = tags.rbegin(); rit != tags.rend(); ++rit) {
+    node = summary_->Extend(node, *rit);
+  }
+  return node;
 }
 
 Status LazyDatabase::EnsureCompactIndex() {
@@ -533,9 +799,46 @@ Result<LazyJoinResult> LazyDatabase::JoinByName(
   auto a = dict_.Lookup(ancestor_tag);
   auto d = dict_.Lookup(descendant_tag);
   if (!a.ok() || !d.ok()) return LazyJoinResult{};  // unknown tag: empty
+  const TagId atid = a.ValueOrDie();
+  const TagId dtid = d.ValueOrDie();
+
+  // Path-summary pruning. Consult-only: a stale summary yields nullptr
+  // and the join simply runs unpruned — never rebuilt here, because this
+  // path executes under ConcurrentLazyDatabase's *shared* lock (rebuilds
+  // happen in Freeze / SetQueryOptions / restore, all exclusive).
+  JoinPrune prune;
+  if (const PathSummary* ps = path_summary()) {
+    prune = ps->ComputeJoinPrune(atid, dtid, options.parent_child);
+  }
+  LazyJoinOptions jopts = options;
+  if (prune.usable) {
+    if (prune.provably_empty) {
+      // Answered in O(summary): no tag list is scanned, no element is
+      // fetched. The stats report what the unpruned join would have had
+      // to consider.
+      LazyJoinResult out;
+      for (const TagListEntry& e : log_.tag_list().EntriesFor(atid)) {
+        ++out.stats.segments_pruned;
+        out.stats.elements_skipped += e.count;
+      }
+      for (const TagListEntry& e : log_.tag_list().EntriesFor(dtid)) {
+        ++out.stats.segments_pruned;
+        out.stats.elements_skipped += e.count;
+      }
+      LAZYXML_METRIC_COUNTER(pruned_joins, "query.joins_pruned_total");
+      LAZYXML_METRIC_COUNTER(pruned_segs, "query.segments_pruned_total");
+      LAZYXML_METRIC_COUNTER(skipped, "query.elements_skipped_total");
+      pruned_joins.Increment();
+      pruned_segs.Add(out.stats.segments_pruned);
+      skipped.Add(out.stats.elements_skipped);
+      return out;
+    }
+    jopts.ancestor_sid_filter = &prune.ancestor_sids;
+    jopts.descendant_sid_filter = &prune.descendant_sids;
+  }
   ParallelJoinOptions popts;
-  popts.join = options;
-  return ParallelLazyJoin(log_, index_, a.ValueOrDie(), d.ValueOrDie(), popts,
+  popts.join = jopts;
+  return ParallelLazyJoin(log_, index_, atid, dtid, popts,
                           query_pool_, scan_cache_.get(), mutation_epoch_,
                           options_.query.use_compact_index
                               ? compact_index()

@@ -32,6 +32,7 @@
 #include "core/update_log.h"
 #include "join/global_element.h"
 #include "obs/metrics.h"
+#include "query/path_summary.h"
 #include "xml/tag_dict.h"
 #include "xmlgen/join_workload.h"
 
@@ -192,6 +193,33 @@ class LazyDatabase {
   /// equal to element_index() — CheckInvariants verifies (I-COMPACT).
   void AdoptCompactIndex(std::shared_ptr<const CompactElementIndex> compact);
 
+  /// The path summary (DataGuide), or nullptr when disabled
+  /// (QueryOptions::use_path_summary) or stale for the current mutation
+  /// epoch. Incremental maintenance keeps it fresh through every facade
+  /// update in steady state; it goes stale only after a mutable_*
+  /// bypass, a failed mid-mutation op, or an unattributable structure
+  /// (pre-v4 snapshot entries) — a stale summary silently disables
+  /// pruning, it is never consulted (see docs/PATH_SUMMARY.md).
+  const PathSummary* path_summary() const {
+    return options_.query.use_path_summary && summary_ != nullptr &&
+                   summary_built_epoch_ == mutation_epoch_
+               ? summary_.get()
+               : nullptr;
+  }
+
+  /// Builds (or rebuilds, after the summary went stale) the path summary
+  /// when QueryOptions::use_path_summary is set; no-op otherwise. Called
+  /// from Freeze(), SetQueryOptions and snapshot restore — deliberately
+  /// NOT from the join path, which runs under ConcurrentLazyDatabase's
+  /// shared lock and must never mutate the facade.
+  Status EnsurePathSummary();
+
+  /// Builds a summary from a live traversal of the ER-tree + element
+  /// index (the I-SUMMARY scrubber compares this against the maintained
+  /// one via PathSummary::CanonicalLines).
+  static Result<std::unique_ptr<PathSummary>> BuildPathSummary(
+      const UpdateLog& log, const ElementIndex& index);
+
   /// Mutable access for snapshot restore (core/snapshot.h); not part of
   /// the stable API — going around the facade invalidates its invariants
   /// unless you restore a complete consistent state. Each accessor bumps
@@ -245,6 +273,39 @@ class LazyDatabase {
   /// index.frozen_{raw,compact}_bytes gauges on build.
   Status EnsureCompactIndex();
 
+  // -- Path-summary incremental maintenance ------------------------------------
+  //
+  // Wrappers call SummaryBeginMutation() right after bumping the epoch
+  // (arming tracking iff the summary was fresh before the bump) and
+  // SummaryCommit() before returning (re-stamping the summary iff
+  // tracking survived). The Impl methods disarm tracking just before
+  // their first structural mutation and re-arm it only after successful
+  // maintenance, so any failure between mutation and maintenance leaves
+  // the summary stale — never wrong.
+
+  void SummaryBeginMutation() {
+    summary_track_ = options_.query.use_path_summary && summary_ != nullptr &&
+                     summary_built_epoch_ + 1 == mutation_epoch_;
+  }
+  void SummaryCommit() {
+    if (summary_track_) summary_built_epoch_ = mutation_epoch_;
+    summary_track_ = false;
+  }
+
+  /// Summary node of a splice point: the parent segment's context node
+  /// extended along the parent's own-element chain containing `lp`.
+  /// kNoNode when unattributable (stale pre-v4 entries).
+  uint32_t SummaryContextOf(const SegmentNode& parent, uint64_t lp);
+
+  /// Attributes every nesting-summary entry of `seg` under context node
+  /// `ctx` and records the segment context. False when unattributable
+  /// (the caller then leaves the summary stale).
+  bool SummaryAddSegment(const SegmentNode& seg, uint32_t ctx);
+
+  /// Summary node of the live element starting at frozen `start` of
+  /// `seg`, or kNoNode.
+  uint32_t SummaryNodeOfElement(const SegmentNode& seg, uint64_t start);
+
   LazyDatabaseOptions options_;
   UpdateLog log_;
   ElementIndex index_;
@@ -261,6 +322,12 @@ class LazyDatabase {
   /// serializer or in-flight query may outlive a rebuild.
   std::shared_ptr<const CompactElementIndex> compact_index_;
   uint64_t compact_built_epoch_ = 0;
+  /// The path summary (query/path_summary.h), fresh iff
+  /// summary_built_epoch_ == mutation_epoch_ (see path_summary()).
+  std::unique_ptr<PathSummary> summary_;
+  uint64_t summary_built_epoch_ = 0;
+  /// Armed per mutating op; see SummaryBeginMutation/SummaryCommit.
+  bool summary_track_ = false;
 };
 
 }  // namespace lazyxml

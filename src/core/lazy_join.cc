@@ -263,8 +263,36 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
   ctx->options = options;
   ctx->cache = cache;
   ctx->cache_epoch = cache_epoch;
-  const auto sl_a = log.tag_list().EntriesFor(ancestor_tid);
-  const auto sl_d = log.tag_list().EntriesFor(descendant_tid);
+  std::span<const TagListEntry> sl_a = log.tag_list().EntriesFor(ancestor_tid);
+  std::span<const TagListEntry> sl_d = log.tag_list().EntriesFor(descendant_tid);
+  // Path-summary sid filters: drop entries whose segment provably cannot
+  // contribute a pair, before anything is resolved or fetched. The
+  // survivors keep their tag-list order, so the kernel sees the same
+  // laminar segment geometry minus pairless segments — output is
+  // byte-identical to the unpruned run (docs/PATH_SUMMARY.md).
+  const auto apply_filter = [ctx](std::span<const TagListEntry> list,
+                                  const std::unordered_set<SegmentId>* keep,
+                                  std::vector<TagListEntry>* storage) {
+    if (keep == nullptr) return list;
+    storage->reserve(list.size());
+    for (const TagListEntry& e : list) {
+      if (keep->count(e.sid()) != 0) {
+        storage->push_back(e);
+      } else {
+        ++ctx->segments_pruned;
+        ctx->elements_skipped += e.count;
+      }
+    }
+    return std::span<const TagListEntry>(*storage);
+  };
+  sl_a = apply_filter(sl_a, options.ancestor_sid_filter, &ctx->filtered_a);
+  sl_d = apply_filter(sl_d, options.descendant_sid_filter, &ctx->filtered_d);
+  if (ctx->segments_pruned > 0) {
+    LAZYXML_METRIC_COUNTER(pruned_counter, "query.segments_pruned_total");
+    LAZYXML_METRIC_COUNTER(skipped_counter, "query.elements_skipped_total");
+    pruned_counter.Add(ctx->segments_pruned);
+    skipped_counter.Add(ctx->elements_skipped);
+  }
   *empty = sl_a.empty() || sl_d.empty();
   if (*empty) return Status::OK();
   LAZYXML_RETURN_NOT_OK(ctx->resolver.ResolveList(log, sl_a, &ctx->sl_a));
@@ -498,6 +526,8 @@ Result<LazyJoinResult> LazyJoin(const UpdateLog& log,
         /*cache=*/nullptr, /*cache_epoch=*/0, compact, &ctx, &empty));
   }
   LazyJoinResult out;
+  out.stats.segments_pruned = ctx.segments_pruned;
+  out.stats.elements_skipped = ctx.elements_skipped;
   if (empty) return out;
   internal::PartitionSeed whole;
   whole.d_begin = 0;

@@ -25,6 +25,7 @@
 #define LAZYXML_CORE_LAZY_JOIN_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,16 @@ struct LazyJoinOptions {
   /// The Fig. 9 stack optimizations; off = the unoptimized §4.2 variant
   /// (ablation).
   bool optimize_stack = true;
+  /// Path-summary pruning (query/path_summary.h): when non-null, only
+  /// tag-list entries whose sid is in the set are scanned. The caller
+  /// (LazyDatabase::JoinByName) derives the sets from a *fresh* summary,
+  /// which proves entries outside them cannot contribute a pair — the
+  /// pruned output is byte-identical to the unpruned one (the dropped
+  /// entries' relative order is unchanged, and the kernel's stack
+  /// geometry over the survivors is the same laminar family; see
+  /// docs/PATH_SUMMARY.md). Both sets must outlive the join call.
+  const std::unordered_set<SegmentId>* ancestor_sid_filter = nullptr;
+  const std::unordered_set<SegmentId>* descendant_sid_filter = nullptr;
 };
 
 /// One join result in lazy coordinates: elements identified by
@@ -81,6 +92,11 @@ struct LazyJoinStats {
   uint64_t scan_cache_hits = 0;   ///< scans served without an index read
   uint64_t blocks_skipped = 0;    ///< compact blocks skipped by header test
   uint64_t partitions = 1;        ///< executor partitions (1 = serial)
+  /// Tag-list entries dropped by the path-summary sid filters before any
+  /// scan was fetched (both roles), and the element occurrences those
+  /// entries carried (elements the pruned run will never fetch).
+  uint64_t segments_pruned = 0;
+  uint64_t elements_skipped = 0;
 };
 
 /// Result of a Lazy-Join.

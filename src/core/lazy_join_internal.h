@@ -191,6 +191,14 @@ struct JoinContext {
   SegmentResolver resolver;
   ResolvedEntries sl_a;
   ResolvedEntries sl_d;
+  /// Backing storage for the filtered entry spans when a sid filter is
+  /// set (sl_a/sl_d.entries then view these instead of the tag-list).
+  std::vector<TagListEntry> filtered_a;
+  std::vector<TagListEntry> filtered_d;
+  /// Filter accounting, set by PrepareJoinContext (the drivers copy it
+  /// into the result stats — it is per-query, not per-partition).
+  uint64_t segments_pruned = 0;
+  uint64_t elements_skipped = 0;
 };
 
 /// Validates log state (frozen, sorted) and batch-resolves both lists.

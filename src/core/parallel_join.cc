@@ -141,6 +141,8 @@ Result<LazyJoinResult> ParallelLazyJoin(
         cache_epoch, compact, &ctx, &empty));
   }
   LazyJoinResult out;
+  out.stats.segments_pruned = ctx.segments_pruned;
+  out.stats.elements_skipped = ctx.elements_skipped;
   if (empty) return out;
 
   const size_t n = ctx.sl_d.entries.size();

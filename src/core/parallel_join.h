@@ -46,6 +46,11 @@ struct QueryOptions {
   /// Freeze()/first join and kept while the database is unmutated; join
   /// output is byte-identical either way (A/B measurement flag).
   bool use_compact_index = false;
+  /// Consult the path summary (query/path_summary.h) before each join:
+  /// provably-empty joins return without touching a tag list, other
+  /// joins scan only summary-qualified segments. Output is byte-identical
+  /// either way (A/B measurement flag; see docs/PATH_SUMMARY.md).
+  bool use_path_summary = true;
 };
 
 /// Tuning for the partitioned executor.

@@ -86,6 +86,28 @@ uint32_t SegmentNode::LevelAt(uint64_t f, uint32_t fallback) const {
   return fallback;
 }
 
+std::vector<TagId> SegmentNode::AncestorTagsAt(uint64_t f) const {
+  std::vector<TagId> tags;
+  auto it = std::lower_bound(
+      summary.begin(), summary.end(), f,
+      [](const NestingEntry& e, uint64_t target) { return e.start < target; });
+  if (it == summary.begin()) return tags;
+  uint32_t j = static_cast<uint32_t>(it - summary.begin()) - 1;
+  // Same walk as LevelAt, but once the innermost container is found every
+  // entry further up the chain contains f too (intervals nest).
+  while (j != kNoParentEntry) {
+    if (summary[j].end > f) {
+      for (; j != kNoParentEntry; j = summary[j].parent) {
+        tags.push_back(summary[j].tid);
+      }
+      std::reverse(tags.begin(), tags.end());
+      return tags;
+    }
+    j = summary[j].parent;
+  }
+  return tags;
+}
+
 void SegmentNode::AddGap(uint64_t begin, uint64_t end) {
   if (begin >= end) return;
   FrozenGap g{begin, end};

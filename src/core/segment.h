@@ -61,9 +61,14 @@ struct NestingEntry {
   uint32_t parent = 0xffffffffu;
   /// Absolute level in the super document.
   uint32_t level = 0;
+  /// Tag of the element (kNoEntryTag on entries restored from pre-v4
+  /// snapshots whose element record no longer exists — such entries are
+  /// stale, i.e. never on the ancestor chain of a reachable offset).
+  TagId tid = 0xffffffffu;
 };
 
 inline constexpr uint32_t kNoParentEntry = 0xffffffffu;
+inline constexpr TagId kNoEntryTag = 0xffffffffu;
 
 /// One segment (ER-tree node / SB-tree leaf).
 struct SegmentNode {
@@ -125,6 +130,11 @@ struct SegmentNode {
   /// Level of the innermost own element whose frozen interval strictly
   /// contains `f`, or `fallback` when no own element contains it.
   uint32_t LevelAt(uint64_t f, uint32_t fallback) const;
+
+  /// Tags of the own elements whose frozen intervals strictly contain
+  /// `f`, outermost first — the within-segment suffix of the root-to-tag
+  /// path of a splice point at `f` (query/path_summary.h).
+  std::vector<TagId> AncestorTagsAt(uint64_t f) const;
 
   /// Approximate heap footprint of this node (for Fig. 11; excludes the
   /// nesting summary, which is element- not segment-proportional and is

@@ -1,5 +1,7 @@
 #include "core/snapshot.h"
 
+#include <map>
+
 #include "common/file_io.h"
 #include "common/serial.h"
 #include "common/strings.h"
@@ -13,7 +15,12 @@ constexpr char kMagic[] = "LZXMLSNP";
 // WAL replay depends on); v1 files still load, deriving it as max(sid)+1.
 // v3 appends an optional compact-index section (u8 flag + blob) after the
 // tag-list entries; v1/v2 files still load and rebuild it on demand.
-constexpr uint32_t kVersion = 3;
+// v4 adds the element tag to every nesting-summary entry (the path
+// summary attributes elements to root-to-tag paths through the summary
+// chains); v1-v3 files still load, backfilling the tags from the
+// segment's element records (entries with no surviving record are stale
+// and get kNoEntryTag — they are never on a reachable ancestor chain).
+constexpr uint32_t kVersion = 4;
 
 void SerializeSegment(const SegmentNode& node, const ElementIndex& index,
                       ByteWriter* w) {
@@ -36,6 +43,7 @@ void SerializeSegment(const SegmentNode& node, const ElementIndex& index,
     w->PutU64(e.end);
     w->PutU32(e.parent);
     w->PutU32(e.level);
+    w->PutU32(e.tid);
   }
   // Element records, grouped by tag.
   for (TagId tid : node.distinct_tags) {
@@ -191,11 +199,18 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
       LAZYXML_ASSIGN_OR_RETURN(e.end, r.GetU64());
       LAZYXML_ASSIGN_OR_RETURN(e.parent, r.GetU32());
       LAZYXML_ASSIGN_OR_RETURN(e.level, r.GetU32());
+      if (version >= 4) {
+        LAZYXML_ASSIGN_OR_RETURN(e.tid, r.GetU32());
+        if (e.tid != kNoEntryTag && e.tid >= dict.size()) {
+          return Status::Corruption("summary entry with unknown tag id");
+        }
+      }
       if (e.parent != kNoParentEntry && e.parent >= i) {
         return Status::Corruption("summary parent out of order");
       }
       node->summary.push_back(e);
     }
+    const size_t seg_records_begin = all_records.size();
     for (TagId tid : node->distinct_tags) {
       LAZYXML_ASSIGN_OR_RETURN(uint64_t num_elems, r.GetU64());
       if (num_elems > r.remaining() / 20) {
@@ -212,6 +227,21 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
           return Status::Corruption("bad element interval");
         }
         all_records.push_back(rec);
+      }
+    }
+    if (version < 4 && !node->summary.empty()) {
+      // Backfill the entry tags from the element records just read:
+      // within one segment element starts are unique, so the start is
+      // the join key. A start with no surviving record marks a stale
+      // entry (its element was removed) — provably never on the
+      // ancestor chain of a reachable offset, so kNoEntryTag is safe.
+      std::map<uint64_t, TagId> tid_by_start;
+      for (size_t i = seg_records_begin; i < all_records.size(); ++i) {
+        tid_by_start[all_records[i].start] = all_records[i].tid;
+      }
+      for (NestingEntry& e : node->summary) {
+        auto it = tid_by_start.find(e.start);
+        e.tid = it != tid_by_start.end() ? it->second : kNoEntryTag;
       }
     }
   }
@@ -262,6 +292,11 @@ Result<std::unique_ptr<LazyDatabase>> DeserializeDatabase(
   // adoption epoch) and before CheckInvariants, whose compact validator
   // then cross-proves the restored blocks against the restored B+-tree.
   if (compact != nullptr) db->AdoptCompactIndex(std::move(compact));
+  // Rebuild the path summary against the restored state (the mutable
+  // accessor bumps staled the one built at construction). Restore runs
+  // with exclusive ownership, so the rebuild is race-free here.
+  LAZYXML_RETURN_NOT_OK(db->EnsurePathSummary().WithContext(
+      "rebuilding path summary after restore"));
   LAZYXML_RETURN_NOT_OK(
       db->CheckInvariants().WithContext("snapshot failed validation"));
   return db;

@@ -1,0 +1,109 @@
+// XPath-subset queries over the lazy store.
+//
+// Grammar (a strict superset of the path/twig syntaxes in
+// core/path_query.h and core/twig_query.h, adding wildcards):
+//
+//   xpath     := axis? step (axis step)*
+//   axis      := '//' | '/'
+//   step      := nametest predicate*
+//   nametest  := '*' | tagname
+//   predicate := '[' xpath ']'            (structural existence test)
+//
+// As in EvaluatePath, the axis *into the first step* is ignored: the
+// first step selects all elements of its name test anywhere in the super
+// document (every query is implicitly rooted at the dummy root with a
+// descendant axis). Inside a predicate, an omitted leading axis means
+// descendant ('person[profile]' == 'person[.//profile]' in full XPath).
+//
+// Compilation targets the existing Lazy-Join machinery: each axis edge
+// becomes one LazyDatabase::JoinByName per (context tag, step tag) pair
+// — which prunes through the path summary internally — and predicates
+// become backward semi-joins over the same plans. Before any join runs,
+// the whole pattern (predicates included) is matched against the path
+// summary (query/path_summary.h) when one is fresh:
+//  * a pattern reaching no summary node is answered empty with ZERO tag
+//    list scans (XPathResult::summary_empty);
+//  * wildcard steps expand to exactly the tags the summary proved can
+//    occur at that pattern position (without a summary: every tag);
+//  * predicates are reordered most-selective-first by the summary's
+//    qualifying counts (pure existence tests commute).
+// The result is byte-identical with and without the summary — pruning
+// only removes provably pairless work (docs/PATH_SUMMARY.md).
+
+#ifndef LAZYXML_QUERY_XPATH_H_
+#define LAZYXML_QUERY_XPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lazy_database.h"
+#include "join/global_element.h"
+
+namespace lazyxml {
+
+/// One step of a parsed XPath expression.
+struct XPathStep {
+  /// Name test; empty iff `wildcard`.
+  std::string name;
+  bool wildcard = false;
+  /// Axis leading into this step: true for '//', false for '/'. Ignored
+  /// on the first step of the outermost path; inside predicates the
+  /// first step's axis is relative to the context element.
+  bool descendant_axis = true;
+  /// Structural predicates, each a relative path evaluated for
+  /// existence at this step's elements.
+  std::vector<std::vector<XPathStep>> predicates;
+};
+
+/// Parse limits (inputs come over the wire / from the fuzzer).
+inline constexpr size_t kMaxXPathLength = 4096;
+inline constexpr size_t kMaxXPathPredicateDepth = 16;
+inline constexpr size_t kMaxXPathSteps = 256;
+
+/// Parses the grammar above; InvalidArgument with a position-annotated
+/// message on malformed input.
+Result<std::vector<XPathStep>> ParseXPath(std::string_view expr);
+
+/// Serializes a parsed path back to canonical text (tests/fuzzing:
+/// parse(Format(p)) == p).
+std::string FormatXPath(const std::vector<XPathStep>& steps);
+
+/// XPath evaluation result.
+struct XPathResult {
+  /// Matching final-step elements in global coordinates, sorted,
+  /// deduplicated.
+  std::vector<GlobalElement> elements;
+  /// Lazy-Joins executed (0 when the summary answered the query).
+  uint64_t joins_executed = 0;
+  /// Join pairs materialized across all edges (work measure).
+  uint64_t intermediate_pairs = 0;
+  /// True when the path summary proved the answer empty before any tag
+  /// list was scanned.
+  bool summary_empty = false;
+  /// Aggregated pruning counters from the underlying joins (plus the
+  /// whole lists skipped on a summary_empty answer; see LazyJoinStats).
+  uint64_t segments_pruned = 0;
+  uint64_t elements_skipped = 0;
+};
+
+/// Evaluates `steps` over `db` by compiling to Lazy-Join plans.
+Result<XPathResult> EvaluateXPath(LazyDatabase* db,
+                                  const std::vector<XPathStep>& steps,
+                                  const LazyJoinOptions& options = {});
+
+/// Convenience: parse + evaluate.
+Result<XPathResult> EvaluateXPath(LazyDatabase* db, std::string_view expr,
+                                  const LazyJoinOptions& options = {});
+
+/// Oracle: evaluates `steps` by materializing every element of the super
+/// document and walking the tree directly — no joins, no summary, no
+/// pruning. Quadratic; for tests and the fuzz compile-oracle only.
+Result<std::vector<GlobalElement>> EvaluateXPathNaive(
+    LazyDatabase* db, const std::vector<XPathStep>& steps);
+
+}  // namespace lazyxml
+
+#endif  // LAZYXML_QUERY_XPATH_H_

@@ -345,6 +345,18 @@ Result<uint64_t> Client::Twig(
   return DetailField(resp.detail, "COUNT");
 }
 
+Result<uint64_t> Client::Xpath(
+    std::string_view expr,
+    std::vector<std::pair<uint64_t, uint64_t>>* rows_out) {
+  LAZYXML_ASSIGN_OR_RETURN(
+      ParsedResponse resp,
+      CallWithRetry("XPATH " + std::string(expr), /*idempotent=*/true));
+  if (rows_out != nullptr) {
+    LAZYXML_RETURN_NOT_OK(ParseRows(resp.body, rows_out));
+  }
+  return DetailField(resp.detail, "COUNT");
+}
+
 Status Client::Freeze() { return CallChecked("FREEZE").status(); }
 
 Status Client::Compact() { return CallChecked("COMPACT").status(); }

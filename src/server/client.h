@@ -123,6 +123,10 @@ class Client {
   Result<uint64_t> Twig(std::string_view expr,
                         std::vector<std::pair<uint64_t, uint64_t>>* rows_out =
                             nullptr);
+  /// XPATH: rows are "start end" pairs in global coordinates.
+  Result<uint64_t> Xpath(std::string_view expr,
+                         std::vector<std::pair<uint64_t, uint64_t>>* rows_out =
+                             nullptr);
   Status Freeze();
   Status Compact();
   /// Returns the full CHECK response ("ERRORS n WARNINGS m" + report).

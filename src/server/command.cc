@@ -86,6 +86,7 @@ std::string_view CommandKindName(CommandKind kind) {
     case CommandKind::kBatchAbort: return "batch_abort";
     case CommandKind::kPath: return "path";
     case CommandKind::kTwig: return "twig";
+    case CommandKind::kXPath: return "xpath";
     case CommandKind::kFreeze: return "freeze";
     case CommandKind::kCompact: return "compact";
     case CommandKind::kCheck: return "check";
@@ -99,6 +100,7 @@ DeadlineClass DeadlineClassOf(CommandKind kind) {
   switch (kind) {
     case CommandKind::kPath:
     case CommandKind::kTwig:
+    case CommandKind::kXPath:
     case CommandKind::kMetrics:
       return DeadlineClass::kQuery;
     case CommandKind::kLoad:
@@ -186,6 +188,12 @@ Result<Command> ParseCommand(std::string_view payload,
     LAZYXML_ASSIGN_OR_RETURN(cmd.expr,
                              ExprArg(tokens, limits, "TWIG <expr>"));
     cmd.kind = CommandKind::kTwig;
+    return cmd;
+  }
+  if (verb == "XPATH") {
+    LAZYXML_ASSIGN_OR_RETURN(cmd.expr,
+                             ExprArg(tokens, limits, "XPATH <expr>"));
+    cmd.kind = CommandKind::kXPath;
     return cmd;
   }
   if (verb == "FREEZE" || verb == "COMPACT" || verb == "CHECK" ||
@@ -287,8 +295,8 @@ struct CmdInstruments {
 };
 
 CmdInstruments& InstrumentsFor(CommandKind kind) {
-  static std::array<CmdInstruments, 13> all = [] {
-    std::array<CmdInstruments, 13> a{};
+  static std::array<CmdInstruments, 14> all = [] {
+    std::array<CmdInstruments, 14> a{};
     auto& reg = obs::MetricsRegistry::Global();
     for (size_t i = 0; i < a.size(); ++i) {
       const std::string base =
@@ -430,6 +438,32 @@ ExecuteOutcome RunCommand(ServerEngine* engine, SessionContext* session,
       out.response = OkResponse(
           StringPrintf("COUNT %zu JOINS %llu LISTED %zu", tr.elements.size(),
                        static_cast<unsigned long long>(tr.joins), listed),
+          body);
+      return out;
+    }
+    case CommandKind::kXPath: {
+      auto r = engine->Xpath(cmd.expr);
+      if (!r.ok()) return Fail(r.status());
+      const XPathResult& xr = r.ValueOrDie();
+      std::string body;
+      const size_t cap = session->limits().max_result_elements;
+      const size_t listed = std::min(cap, xr.elements.size());
+      for (size_t i = 0; i < listed; ++i) {
+        body += StringPrintf(
+            "%llu %llu\n",
+            static_cast<unsigned long long>(xr.elements[i].start),
+            static_cast<unsigned long long>(xr.elements[i].end));
+      }
+      out.response = OkResponse(
+          StringPrintf(
+              "COUNT %zu JOINS %llu PAIRS %llu PRUNED %llu SKIPPED %llu "
+              "EMPTYPROOF %d LISTED %zu",
+              xr.elements.size(),
+              static_cast<unsigned long long>(xr.joins_executed),
+              static_cast<unsigned long long>(xr.intermediate_pairs),
+              static_cast<unsigned long long>(xr.segments_pruned),
+              static_cast<unsigned long long>(xr.elements_skipped),
+              xr.summary_empty ? 1 : 0, listed),
           body);
       return out;
     }

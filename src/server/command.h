@@ -14,6 +14,8 @@
 //   BATCH ABORT           discard the buffered batch
 //   PATH <expr>           path query, e.g. PATH person//profile/interest
 //   TWIG <expr>           twig query, e.g. TWIG person[profile]//watch
+//   XPATH <expr>          XPath-subset query (wildcards, nested
+//                         predicates), e.g. XPATH //person[.//watch]/*
 //   FREEZE                LS mode: freeze the update log now
 //   COMPACT               collapse every top-level segment (CompactAll)
 //   CHECK                 run the consistency scrubber, report findings
@@ -44,6 +46,7 @@ enum class CommandKind : uint8_t {
   kBatchAbort,
   kPath,
   kTwig,
+  kXPath,
   kFreeze,
   kCompact,
   kCheck,
@@ -75,7 +78,7 @@ struct Command {
   CommandKind kind = CommandKind::kQuit;
   uint64_t gp = 0;           ///< INSERT / REMOVE
   uint64_t length = 0;       ///< REMOVE
-  std::string expr;          ///< PATH / TWIG expression
+  std::string expr;          ///< PATH / TWIG / XPATH expression
   std::string body;          ///< LOAD / INSERT document text
   bool metrics_json = false; ///< METRICS JSON
 };

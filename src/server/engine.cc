@@ -100,6 +100,17 @@ Result<TwigQueryResult> ServerEngine::Twig(std::string_view expr) {
   return EvaluateTwig(&dur_->database(), expr);
 }
 
+Result<XPathResult> ServerEngine::Xpath(std::string_view expr) {
+  if (mem_ != nullptr) return mem_->Xpath(expr);
+  if (dur_lazy_static_) {
+    std::unique_lock lock(dur_mu_);
+    LAZYXML_RETURN_NOT_OK(dur_->Freeze());
+    return EvaluateXPath(&dur_->database(), expr);
+  }
+  std::shared_lock lock(dur_mu_);
+  return EvaluateXPath(&dur_->database(), expr);
+}
+
 Result<check::CheckReport> ServerEngine::Check() {
   check::Checker checker;
   if (mem_ != nullptr) {

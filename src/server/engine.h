@@ -31,6 +31,7 @@
 #include "core/twig_query.h"
 #include "core/update_batch.h"
 #include "obs/metrics.h"
+#include "query/xpath.h"
 #include "storage/durable_database.h"
 
 namespace lazyxml {
@@ -73,6 +74,7 @@ class ServerEngine {
 
   Result<PathQueryResult> Path(std::string_view expr);
   Result<TwigQueryResult> Twig(std::string_view expr);
+  Result<XPathResult> Xpath(std::string_view expr);
 
   // -- Introspection ----------------------------------------------------------
 

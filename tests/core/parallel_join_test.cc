@@ -19,6 +19,7 @@
 #include "core/lazy_database.h"
 #include "core/lazy_join.h"
 #include "core/scan_cache.h"
+#include "query/path_summary.h"
 #include "tests/testutil.h"
 #include "xml/parser.h"
 #include "xmlgen/join_workload.h"
@@ -113,6 +114,64 @@ void ExpectParallelMatchesSerial(LazyDatabase* db, const std::string& anc,
           report->max_partitions =
               std::max(report->max_partitions, par.stats.partitions);
           report->blocks_skipped += par.stats.blocks_skipped;
+        }
+      }
+    }
+  }
+
+  // Pruning axis: restrict both tag lists to the summary-qualified
+  // segments (what JoinByName does when the path summary is fresh) and
+  // re-run serial + parallel x cache x compact. Pair output must stay
+  // byte-identical — pruning only drops provably pairless entries
+  // (docs/PATH_SUMMARY.md); per-segment stats legitimately shrink, so
+  // only pairs are compared.
+  auto summary_r = LazyDatabase::BuildPathSummary(log, index);
+  ASSERT_TRUE(summary_r.ok()) << summary_r.status().ToString();
+  const JoinPrune prune = summary_r.ValueOrDie()->ComputeJoinPrune(
+      a.ValueOrDie(), d.ValueOrDie(), jopts.parent_child);
+  ASSERT_TRUE(prune.usable);
+  if (prune.provably_empty) {
+    EXPECT_TRUE(serial.pairs.empty())
+        << anc << "//" << desc << " proved empty but the kernel found pairs";
+    return;
+  }
+  LazyJoinOptions pruned_opts = jopts;
+  pruned_opts.ancestor_sid_filter = &prune.ancestor_sids;
+  pruned_opts.descendant_sid_filter = &prune.descendant_sids;
+  auto pruned_serial_r =
+      LazyJoin(log, index, a.ValueOrDie(), d.ValueOrDie(), pruned_opts);
+  ASSERT_TRUE(pruned_serial_r.ok()) << pruned_serial_r.status().ToString();
+  const LazyJoinResult& pruned_serial = pruned_serial_r.ValueOrDie();
+  ASSERT_EQ(pruned_serial.pairs.size(), serial.pairs.size())
+      << anc << "//" << desc << " pruned serial";
+  for (size_t i = 0; i < serial.pairs.size(); ++i) {
+    ASSERT_TRUE(pruned_serial.pairs[i] == serial.pairs[i])
+        << "pruned serial pair #" << i << " differs";
+  }
+  for (bool use_compact : {false, true}) {
+    for (size_t threads : {2u, 8u}) {
+      for (bool with_cache : {false, true}) {
+        ThreadPool pool(threads);
+        ElementScanCacheOptions copts;
+        copts.capacity_bytes = 4u << 20;
+        ElementScanCache cache(copts);
+        ParallelJoinOptions popts;
+        popts.join = pruned_opts;
+        popts.min_rounds_per_task = 1;
+        auto par_r = ParallelLazyJoin(log, index, a.ValueOrDie(),
+                                      d.ValueOrDie(), popts, &pool,
+                                      with_cache ? &cache : nullptr,
+                                      db->mutation_epoch(),
+                                      use_compact ? compact.get() : nullptr);
+        ASSERT_TRUE(par_r.ok()) << par_r.status().ToString();
+        const LazyJoinResult& par = par_r.ValueOrDie();
+        ASSERT_EQ(par.pairs.size(), serial.pairs.size())
+            << anc << "//" << desc << " pruned threads=" << threads
+            << " cache=" << with_cache << " compact=" << use_compact;
+        for (size_t i = 0; i < serial.pairs.size(); ++i) {
+          ASSERT_TRUE(par.pairs[i] == serial.pairs[i])
+              << "pruned pair #" << i << " differs, threads=" << threads
+              << " cache=" << with_cache << " compact=" << use_compact;
         }
       }
     }

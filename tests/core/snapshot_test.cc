@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/serial.h"
 #include "core/path_query.h"
 #include "tests/testutil.h"
 #include "xmlgen/chopper.h"
@@ -238,16 +239,82 @@ TEST(SnapshotTest, SnapshotWithoutCompactIndexLoadsWithoutOne) {
   ExpectEquivalent(db.get(), restored.get(), shadow);
 }
 
+// Transcodes a current-version blob (no compact index) to the v2
+// layout: v3 added the trailing compact-index flag byte and v4 added a
+// tag id to every nesting summary entry; everything else is
+// byte-identical. Reconstructing the legacy blob structurally keeps the
+// compatibility test honest as the format grows.
+std::string TranscodeToV2(std::string_view blob) {
+  ByteReader r(blob);
+  ByteWriter w;
+  w.PutString(r.GetString().ValueOrDie());      // magic
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 4u);       // source version
+  w.PutU32(2);
+  w.PutU8(r.GetU8().ValueOrDie());              // mode
+  w.PutU64(r.GetU64().ValueOrDie());            // next_sid
+  const uint32_t num_tags = r.GetU32().ValueOrDie();
+  w.PutU32(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    w.PutString(r.GetString().ValueOrDie());
+  }
+  w.PutU64(r.GetU64().ValueOrDie());            // super-document length
+  const uint64_t num_segments = r.GetU64().ValueOrDie();
+  w.PutU64(num_segments);
+  for (uint64_t s = 0; s < num_segments; ++s) {
+    for (int i = 0; i < 5; ++i) {                // sid, parent, gp, l, lp
+      w.PutU64(r.GetU64().ValueOrDie());
+    }
+    w.PutU32(r.GetU32().ValueOrDie());          // base_level
+    const uint64_t num_gaps = r.GetU64().ValueOrDie();
+    w.PutU64(num_gaps);
+    for (uint64_t g = 0; g < 2 * num_gaps; ++g) {
+      w.PutU64(r.GetU64().ValueOrDie());
+    }
+    const uint32_t num_dtags = r.GetU32().ValueOrDie();
+    w.PutU32(num_dtags);
+    for (uint32_t t = 0; t < num_dtags; ++t) {
+      w.PutU32(r.GetU32().ValueOrDie());
+    }
+    const uint64_t num_summary = r.GetU64().ValueOrDie();
+    w.PutU64(num_summary);
+    for (uint64_t i = 0; i < num_summary; ++i) {
+      w.PutU64(r.GetU64().ValueOrDie());        // start
+      w.PutU64(r.GetU64().ValueOrDie());        // end
+      w.PutU32(r.GetU32().ValueOrDie());        // parent
+      w.PutU32(r.GetU32().ValueOrDie());        // level
+      (void)r.GetU32().ValueOrDie();            // tid: v4-only, dropped
+    }
+    for (uint32_t t = 0; t < num_dtags; ++t) {
+      const uint64_t num_elems = r.GetU64().ValueOrDie();
+      w.PutU64(num_elems);
+      for (uint64_t i = 0; i < num_elems; ++i) {
+        w.PutU64(r.GetU64().ValueOrDie());      // start
+        w.PutU64(r.GetU64().ValueOrDie());      // end
+        w.PutU32(r.GetU32().ValueOrDie());      // level
+      }
+    }
+  }
+  const uint64_t num_entries = r.GetU64().ValueOrDie();
+  w.PutU64(num_entries);
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    w.PutU32(r.GetU32().ValueOrDie());          // tid
+    w.PutU64(r.GetU64().ValueOrDie());          // count
+    const uint32_t path_len = r.GetU32().ValueOrDie();
+    w.PutU32(path_len);
+    for (uint32_t p = 0; p < path_len; ++p) {
+      w.PutU64(r.GetU64().ValueOrDie());
+    }
+  }
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 0u);        // compact flag: v3-only
+  EXPECT_TRUE(r.AtEnd());
+  return w.TakeBuffer();
+}
+
 TEST(SnapshotTest, Version2SnapshotsStillLoad) {
-  // A v3 snapshot without a compact index is exactly a v2 snapshot plus
-  // one trailing zero byte — strip it and patch the version field to
-  // reconstruct a byte-exact legacy blob. It must keep loading.
   std::string shadow;
   auto db = BuildSample(LogMode::kLazyDynamic, &shadow);
   auto blob = SerializeDatabase(*db).ValueOrDie();
-  ASSERT_EQ(blob.back(), '\0') << "no compact index -> flag byte 0";
-  std::string v2 = blob.substr(0, blob.size() - 1);
-  v2[16] = 2;  // version field (little-endian u32 low byte)
+  const std::string v2 = TranscodeToV2(blob);
   auto restored = DeserializeDatabase(v2).ValueOrDie();
   EXPECT_EQ(restored->compact_index(), nullptr);
   ASSERT_TRUE(restored->CheckInvariants().ok());

@@ -139,6 +139,20 @@ def scenario_basic(sock_path: str):
     assert len(body.splitlines()) == 2, body
     detail, _ = c.ok("TWIG site//name")
     assert detail_field(detail, "COUNT") == 2, detail
+    detail, body = c.ok("XPATH person[name]")
+    assert detail_field(detail, "COUNT") == 2, detail
+    assert detail_field(detail, "EMPTYPROOF") == 0, detail
+    assert len(body.splitlines()) == 2, body
+    # name//person holds no elements; the path summary proves it without
+    # running a single join.
+    detail, body = c.ok("XPATH name//person")
+    assert detail_field(detail, "COUNT") == 0, detail
+    assert detail_field(detail, "JOINS") == 0, detail
+    assert detail_field(detail, "EMPTYPROOF") == 1, detail
+    assert body == "", body
+    # Malformed expressions are typed rejections, not dropped sessions.
+    good, detail, _ = c.call("XPATH person[[")
+    assert not good and detail.startswith("InvalidArgument"), detail
     detail, _ = c.ok("CHECK")
     assert detail == "ERRORS 0 WARNINGS 0", detail
     _, body = c.ok("METRICS TEXT")

@@ -69,6 +69,15 @@ TEST(CommandParseTest, PathAndTwigTakeOneExpr) {
   EXPECT_FALSE(ParseCommand("PATH a b").ok());
 }
 
+TEST(CommandParseTest, XpathTakesOneExpr) {
+  auto r = ParseCommand("XPATH site/people//person[interest[keyword]]/*");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().kind, CommandKind::kXPath);
+  EXPECT_EQ(r.ValueOrDie().expr, "site/people//person[interest[keyword]]/*");
+  EXPECT_FALSE(ParseCommand("XPATH").ok());
+  EXPECT_FALSE(ParseCommand("XPATH a b").ok());
+}
+
 TEST(CommandParseTest, MetricsVariants) {
   EXPECT_FALSE(ParseCommand("METRICS").ValueOrDie().metrics_json);
   EXPECT_FALSE(ParseCommand("METRICS TEXT").ValueOrDie().metrics_json);
@@ -244,6 +253,40 @@ TEST_F(CommandExecTest, ResultListingIsCappedButCountExact) {
   int rows = 0;
   for (char c : path.body) rows += c == '\n';
   EXPECT_EQ(rows, 3);
+}
+
+TEST_F(CommandExecTest, XpathQueriesWithPredicatesAndEmptyProof) {
+  RunOk("LOAD\n<site><person><profile/><watch/></person><person><watch/>"
+        "</person></site>");
+  // Both persons carry a watch; only one has a profile.
+  const ParsedResponse all = RunOk("XPATH person/watch");
+  EXPECT_EQ(all.detail.substr(0, 8), "COUNT 2 ");
+  EXPECT_NE(all.detail.find("EMPTYPROOF 0"), std::string::npos) << all.detail;
+  const ParsedResponse pred = RunOk("XPATH person[profile]/watch");
+  EXPECT_EQ(pred.detail.substr(0, 8), "COUNT 1 ");
+  // Body rows are "start end" pairs, one per element.
+  int rows = 0;
+  for (char c : pred.body) rows += c == '\n';
+  EXPECT_EQ(rows, 1);
+
+  // watch//person is summary-provably empty: answered with zero joins.
+  const ParsedResponse empty = RunOk("XPATH watch//person");
+  EXPECT_EQ(empty.detail.substr(0, 8), "COUNT 0 ");
+  EXPECT_NE(empty.detail.find("JOINS 0"), std::string::npos) << empty.detail;
+  EXPECT_NE(empty.detail.find("EMPTYPROOF 1"), std::string::npos)
+      << empty.detail;
+}
+
+TEST_F(CommandExecTest, XpathParseErrorsAreTypedInvalidArgument) {
+  RunOk("LOAD\n<a><b/></a>");
+  const ExecuteOutcome out = Run("XPATH a[[");
+  EXPECT_TRUE(out.error);
+  auto parsed = ParseResponse(out.response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.ValueOrDie().ok);
+  EXPECT_EQ(parsed.ValueOrDie().code, "InvalidArgument");
+  EXPECT_NE(parsed.ValueOrDie().detail.find("offset"), std::string::npos)
+      << parsed.ValueOrDie().detail;
 }
 
 TEST_F(CommandExecTest, QuitAsksForClose) {

@@ -90,6 +90,20 @@ TEST_F(ServerTest, LoadQueryCheckOverTcp) {
   ASSERT_TRUE(twig.ok());
   EXPECT_EQ(twig.ValueOrDie(), 2u);
 
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  auto xpath = c.Xpath("a[b]/b", &spans);
+  ASSERT_TRUE(xpath.ok()) << xpath.status().ToString();
+  EXPECT_EQ(xpath.ValueOrDie(), 2u);
+  EXPECT_EQ(spans.size(), 2u);
+  // b//a is summary-provably empty; a malformed expression is a typed
+  // rejection, not a dropped connection.
+  auto empty = c.Xpath("b//a");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.ValueOrDie(), 0u);
+  auto bad = c.Xpath("a[[");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument()) << bad.status().ToString();
+
   auto check = c.Check();
   ASSERT_TRUE(check.ok());
   EXPECT_EQ(check.ValueOrDie().detail, "ERRORS 0 WARNINGS 0");
