@@ -296,6 +296,87 @@ void BM_ServerOverdrive(benchmark::State& state) {
   server->Stop();
 }
 
+/// Readers racing one bulk BATCH COMMIT (docs/MVCC.md). N query clients
+/// run PATH in a closed loop while a writer client commits a batch of
+/// kBatchOps inserts. Arg = --batch-chunk-ops equivalent: 0 applies the
+/// batch atomically under one exclusive acquisition (readers stall for
+/// the whole commit), n > 0 splits it into n-op chunks with the write
+/// lock dropped between chunks, admitting readers mid-batch. Reported:
+///
+///   * reads_during_batch  PATH round-trips completed while the commit
+///                         was in flight (the chunking win: ~0 atomic,
+///                         hundreds chunked);
+///   * batch_ms            wall time of the BATCH COMMIT itself (the
+///                         price paid: extra lock hand-offs).
+void BM_ServerChunkedBatchReaders(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatchOps = 1024;
+  constexpr size_t kReaders = 4;
+
+  ServerEngineOptions eng;
+  eng.batch_chunk_ops = chunk;
+  auto engine = ServerEngine::Open(std::move(eng)).ValueOrDie();
+  ServerOptions opt;
+  static std::atomic<uint64_t> counter{0};
+  opt.unix_path = "/tmp/lazyxml_bench_chunked_" + std::to_string(getpid()) +
+                  "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+  opt.num_threads = kReaders + 1;  // a stalled commit must not hog dispatch
+  auto server = std::make_unique<Server>(engine.get(), opt);
+  LAZYXML_CHECK(server->Start().ok());
+
+  std::vector<Client> clients;
+  for (size_t i = 0; i < kReaders + 1; ++i) {
+    clients.push_back(
+        Client::ConnectUnixEndpoint(server->unix_path()).ValueOrDie());
+  }
+  for (int i = 0; i < 64; ++i) LAZYXML_CHECK(clients[0].Load(kDocument).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> batch_in_flight{false};
+  std::atomic<uint64_t> reads_during{0};
+  double batch_ms_total = 0.0;
+  using clock = std::chrono::steady_clock;
+
+  for (auto _ : state) {
+    stop.store(false);
+    std::vector<std::thread> readers;
+    for (size_t i = 0; i < kReaders; ++i) {
+      readers.emplace_back([&, i] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          LAZYXML_CHECK(clients[1 + i].Path("person/name").ok());
+          if (batch_in_flight.load(std::memory_order_relaxed)) {
+            reads_during.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    Client& writer = clients[0];
+    LAZYXML_CHECK(writer.BatchBegin().ok());
+    for (size_t i = 0; i < kBatchOps; ++i) {
+      LAZYXML_CHECK(writer.BatchAdd(/*insert=*/true, /*gp=*/0,
+                                    /*length=*/0, kDocument).ok());
+    }
+    const auto t0 = clock::now();
+    batch_in_flight.store(true, std::memory_order_relaxed);
+    LAZYXML_CHECK(writer.BatchCommit().ValueOrDie() == kBatchOps);
+    batch_in_flight.store(false, std::memory_order_relaxed);
+    batch_ms_total +=
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    stop.store(true);
+    for (auto& t : readers) t.join();
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatchOps));
+  state.counters["reads_during_batch"] =
+      static_cast<double>(reads_during.load()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["batch_ms"] =
+      batch_ms_total / static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.SetLabel(chunk == 0 ? "atomic batch" : "chunked batch");
+  server->Stop();
+}
+
 // Rates against wall clock: the work happens on the swarm threads and
 // in the server, not on the benchmark's main thread.
 BENCHMARK(BM_ServerLoad)->Arg(1)->Arg(4)->Arg(8)
@@ -307,6 +388,8 @@ BENCHMARK(BM_ServerTwig)->Arg(1)->Arg(8)
 BENCHMARK(BM_ServerMixed)->Arg(4)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServerOverdrive)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_ServerChunkedBatchReaders)->Arg(0)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace

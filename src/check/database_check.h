@@ -504,6 +504,18 @@ inline Result<CheckReport> CheckDatabase(const LazyDatabase& db) {
     report.BumpChecksRun();
   }
 
+  // ---- (b7) MVCC version store (invariant I-MVCC) ------------------------
+  // Retired pre-image chains must ascend strictly by retire epoch, hold no
+  // version that no open view can reach, and every cached snapshot must be
+  // pinned by a live view (docs/MVCC.md).
+  {
+    Status mvcc = db.mvcc().CheckInvariants();
+    if (!mvcc.ok()) {
+      report.AddError("mvcc", "self-check", mvcc.ToString());
+    }
+    report.BumpChecksRun();
+  }
+
   return report;
 }
 

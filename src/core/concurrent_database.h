@@ -3,11 +3,20 @@
 // The paper names concurrency as future work (§6). This wrapper provides
 // the sound baseline a deployment needs: a reader-writer lock where
 // structural updates and maintenance are exclusive and queries run
-// concurrently. One subtlety: in LS mode a "query" performs the deferred
-// freeze (sorting the tag-list, building the segment B+-tree), i.e. it
-// mutates — so LS queries take the exclusive lock, while LD queries,
-// which touch nothing mutable, share it. Segment-granular locking
-// (disjoint segments commute) is the natural next refinement.
+// concurrently. Queries route by LazyDatabase::QueryNeedsExclusive():
+// they share the lock whenever the state is already serviceable and take
+// it exclusively only while deferred pre-query work is pending — an LS
+// freeze, a stale compact index or path summary rebuild. In particular
+// an LS database pays one exclusive freeze after a write burst and every
+// later query runs shared (queries no longer serialize forever just
+// because the *mode* is LS).
+//
+// Snapshot isolation (docs/MVCC.md): OpenView() pins the current state
+// and returns a ReadView whose queries all observe exactly that state —
+// even while later writers commit. Combined with SetBatchChunkOps, which
+// splits large ApplyBatch calls into bounded chunks with the lock
+// dropped between them, readers are admitted *during* a bulk load
+// instead of stalling behind it.
 //
 // Liveness: the lock is a TicketSharedMutex (common/ticket_rwlock.h),
 // a writer-priority ticket gate — a pending writer closes admission to
@@ -18,14 +27,19 @@
 #ifndef LAZYXML_CORE_CONCURRENT_DATABASE_H_
 #define LAZYXML_CORE_CONCURRENT_DATABASE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <string_view>
+#include <utility>
 
 #include "common/result.h"
+#include "common/strings.h"
 #include "common/ticket_rwlock.h"
 #include "core/lazy_database.h"
 #include "core/path_query.h"
+#include "core/read_view.h"
 #include "core/twig_query.h"
 #include "query/xpath.h"
 
@@ -35,55 +49,134 @@ namespace lazyxml {
 class ConcurrentLazyDatabase {
  public:
   explicit ConcurrentLazyDatabase(LazyDatabaseOptions options = {})
-      : db_(options), lazy_static_(options.mode == LogMode::kLazyStatic) {}
+      : db_(options) {}
   ConcurrentLazyDatabase(const ConcurrentLazyDatabase&) = delete;
   ConcurrentLazyDatabase& operator=(const ConcurrentLazyDatabase&) = delete;
+
+ private:
+  /// Caller holds the exclusive lock. See the class comment on updates.
+  void MaybePurgeLocked(uint64_t epoch_before) {
+    if (db_.mutation_epoch() != epoch_before && !db_.HasOpenViews()) {
+      db_.InvalidateScanCache();
+    }
+  }
+
+  /// Shared-lock fast path when no deferred pre-query work is pending;
+  /// exclusive fallback performs it (Freeze) and runs the query while
+  /// still holding the lock. (Defined before its callers: the deduced
+  /// `auto` return type needs the body visible at each call site.)
+  template <typename Fn>
+  auto ReadQuery(Fn&& fn) {
+    {
+      std::shared_lock lock(mu_);
+      if (!db_.QueryNeedsExclusive()) return fn(db_);
+    }
+    std::unique_lock lock(mu_);
+    db_.Freeze();
+    return fn(db_);
+  }
+
+ public:
 
   // -- Updates (exclusive) ----------------------------------------------------
   //
   // Each writer eagerly purges the shared element-scan cache while it
-  // holds the exclusive lock. The epoch keying alone already guarantees
-  // no stale scan is ever served (the mutation bumps the epoch before any
-  // reader can re-acquire the lock); the purge reclaims the memory of the
-  // now-unreachable entries instead of letting them age out of the LRU.
+  // holds the exclusive lock — but only when the write actually advanced
+  // the mutation epoch (a rejected op provably changed nothing, so every
+  // cached scan is still valid and purging it would only cost the next
+  // reader its hits) and no read view is open (views serve their pinned
+  // epoch through the same cache; the epoch keying already guarantees
+  // correctness either way, the purge is purely a memory-reclaim).
 
   Result<SegmentId> InsertSegment(std::string_view text, uint64_t gp) {
     std::unique_lock lock(mu_);
+    const uint64_t before = db_.mutation_epoch();
     auto r = db_.InsertSegment(text, gp);
-    db_.InvalidateScanCache();
+    MaybePurgeLocked(before);
     return r;
   }
 
   Status RemoveSegment(uint64_t gp, uint64_t length) {
     std::unique_lock lock(mu_);
+    const uint64_t before = db_.mutation_epoch();
     auto r = db_.RemoveSegment(gp, length);
-    db_.InvalidateScanCache();
+    MaybePurgeLocked(before);
     return r;
   }
 
-  /// Applies the whole batch under ONE writer-priority lock acquisition
-  /// (and one cache purge) — N singleton updates would pay the ticket
-  /// gate N times and drain readers between every op.
+  /// Applies the batch as one or more exclusive acquisitions. With
+  /// chunking off (the default) the whole batch runs under ONE
+  /// writer-priority acquisition — N singleton updates would pay the
+  /// ticket gate N times. With SetBatchChunkOps(n > 0) the batch is
+  /// split into chunks of at most n ops and the lock is dropped between
+  /// chunks, so pending readers (including open ReadViews, which observe
+  /// none of the chunks) are admitted mid-batch. Prefix semantics
+  /// compose across chunks (I-BATCH): on a failure the applied prefix —
+  /// full chunks plus the failing chunk's applied prefix — stays, and
+  /// `*stats_out` covers exactly that prefix. Note a cancelling
+  /// insert/remove pair split across a chunk boundary is applied
+  /// structurally rather than short-circuited (same final state; the
+  /// cancelled_pairs stat may differ from the unchunked run).
   Result<BatchStats> ApplyBatch(std::span<const UpdateOp> ops) {
-    std::unique_lock lock(mu_);
-    auto r = db_.ApplyBatch(ops);
-    db_.InvalidateScanCache();
-    return r;
+    BatchStats stats;
+    LAZYXML_RETURN_NOT_OK(ApplyBatch(ops, &stats));
+    return stats;
   }
 
   /// Stats-out form: `*stats_out` covers exactly the applied prefix even
   /// when the batch fails (core/lazy_database.h).
   Status ApplyBatch(std::span<const UpdateOp> ops, BatchStats* stats_out) {
-    std::unique_lock lock(mu_);
-    Status s = db_.ApplyBatch(ops, stats_out);
-    db_.InvalidateScanCache();
-    return s;
+    const size_t chunk = batch_chunk_ops_.load(std::memory_order_relaxed);
+    if (chunk == 0 || ops.size() <= chunk) {
+      std::unique_lock lock(mu_);
+      const uint64_t before = db_.mutation_epoch();
+      Status s = db_.ApplyBatch(ops, stats_out);
+      MaybePurgeLocked(before);
+      return s;
+    }
+    BatchStats total;
+    total.ops = ops.size();
+    total.sids.assign(ops.size(), 0);
+    Status status;
+    for (size_t off = 0; off < ops.size() && status.ok(); off += chunk) {
+      const size_t n = std::min(chunk, ops.size() - off);
+      BatchStats cs;
+      {
+        std::unique_lock lock(mu_);
+        const uint64_t before = db_.mutation_epoch();
+        status = db_.ApplyBatch(ops.subspan(off, n), &cs);
+        MaybePurgeLocked(before);
+      }  // lock dropped: queued readers are admitted before the next chunk
+      total.applied += cs.applied;
+      total.cancelled_pairs += cs.cancelled_pairs;
+      total.index_flushes += cs.index_flushes;
+      total.index_records += cs.index_records;
+      for (size_t i = 0; i < cs.sids.size(); ++i) {
+        total.sids[off + i] = cs.sids[i];
+      }
+      if (!status.ok()) {
+        status = status.WithContext(
+            StringPrintf("applying batch chunk at offset %zu", off));
+      }
+    }
+    if (stats_out != nullptr) *stats_out = total;
+    return status;
+  }
+
+  /// Chunk size for ApplyBatch; 0 (the default) applies each batch whole
+  /// under one acquisition. Takes effect on the next ApplyBatch call.
+  void SetBatchChunkOps(size_t ops_per_chunk) {
+    batch_chunk_ops_.store(ops_per_chunk, std::memory_order_relaxed);
+  }
+  size_t batch_chunk_ops() const {
+    return batch_chunk_ops_.load(std::memory_order_relaxed);
   }
 
   Status CompactAll() {
     std::unique_lock lock(mu_);
+    const uint64_t before = db_.mutation_epoch();
     auto r = db_.CompactAll();
-    db_.InvalidateScanCache();
+    MaybePurgeLocked(before);
     return r;
   }
 
@@ -96,79 +189,81 @@ class ConcurrentLazyDatabase {
                                    uint64_t* gp_out = nullptr) {
     std::unique_lock lock(mu_);
     const uint64_t gp = db_.update_log().super_document_length();
+    const uint64_t before = db_.mutation_epoch();
     auto r = db_.InsertSegment(text, gp);
-    db_.InvalidateScanCache();
+    MaybePurgeLocked(before);
     if (r.ok() && gp_out != nullptr) *gp_out = gp;
     return r;
   }
 
-  /// Performs the LS-mode freeze eagerly (exclusive: it sorts the
-  /// tag-list and builds the segment B+-tree). No-op when already frozen
-  /// or in LD mode, matching LazyDatabase::Freeze.
+  /// Performs the deferred pre-query work eagerly (exclusive: LS freeze,
+  /// compact/summary builds). No-op when nothing is pending, matching
+  /// LazyDatabase::Freeze.
   void Freeze() {
     std::unique_lock lock(mu_);
     db_.Freeze();
   }
 
-  // -- Queries (shared in LD; exclusive in LS, where they freeze) -----------
+  // -- Queries (shared once serviceable; exclusive only to freeze) -----------
 
   Result<LazyJoinResult> JoinByName(std::string_view anc,
                                     std::string_view desc,
                                     const LazyJoinOptions& options = {}) {
-    if (lazy_static_) {
-      std::unique_lock lock(mu_);
-      return db_.JoinByName(anc, desc, options);
-    }
-    std::shared_lock lock(mu_);
-    return db_.JoinByName(anc, desc, options);
+    return ReadQuery(
+        [&](LazyDatabase& db) { return db.JoinByName(anc, desc, options); });
   }
 
   Result<std::vector<JoinPair>> JoinGlobal(std::string_view anc,
                                            std::string_view desc,
                                            const LazyJoinOptions& options = {}) {
-    if (lazy_static_) {
-      std::unique_lock lock(mu_);
-      return db_.JoinGlobal(anc, desc, options);
-    }
-    std::shared_lock lock(mu_);
-    return db_.JoinGlobal(anc, desc, options);
+    return ReadQuery(
+        [&](LazyDatabase& db) { return db.JoinGlobal(anc, desc, options); });
   }
 
   Result<PathQueryResult> Path(std::string_view expr) {
-    if (lazy_static_) {
-      std::unique_lock lock(mu_);
-      return EvaluatePath(&db_, expr);
-    }
-    std::shared_lock lock(mu_);
-    return EvaluatePath(&db_, expr);
+    return ReadQuery([&](LazyDatabase& db) { return EvaluatePath(&db, expr); });
   }
 
   Result<TwigQueryResult> Twig(std::string_view expr) {
-    if (lazy_static_) {
-      std::unique_lock lock(mu_);
-      return EvaluateTwig(&db_, expr);
-    }
-    std::shared_lock lock(mu_);
-    return EvaluateTwig(&db_, expr);
+    return ReadQuery([&](LazyDatabase& db) { return EvaluateTwig(&db, expr); });
   }
 
   /// XPath-subset query (query/xpath.h). The evaluator only CONSULTS
   /// the epoch-gated path summary (it never rebuilds one), so the
-  /// shared-lock path is race-free in LD mode; callers must link
-  /// lazyxml_query.
+  /// shared-lock path is race-free; callers must link lazyxml_query.
   Result<XPathResult> Xpath(std::string_view expr) {
-    if (lazy_static_) {
-      std::unique_lock lock(mu_);
-      return EvaluateXPath(&db_, expr);
+    return ReadQuery(
+        [&](LazyDatabase& db) { return EvaluateXPath(&db, expr); });
+  }
+
+  /// Pins the current state and returns a snapshot-isolated ReadView
+  /// (docs/MVCC.md): every query through the view observes exactly the
+  /// pinned state, even while later writers (including chunked batches)
+  /// commit. Shared-lock fast path when the state is serviceable;
+  /// exclusive only to perform the deferred freeze first.
+  Result<ReadView> OpenView() {
+    {
+      std::shared_lock lock(mu_);
+      if (!db_.QueryNeedsExclusive()) {
+        LAZYXML_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotReader> reader,
+                                 db_.OpenReadView());
+        return ReadView(&mu_, std::move(reader));
+      }
     }
-    std::shared_lock lock(mu_);
-    return EvaluateXPath(&db_, expr);
+    std::unique_lock lock(mu_);
+    LAZYXML_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotReader> reader,
+                             db_.OpenReadView());
+    return ReadView(&mu_, std::move(reader));
   }
 
   LazyDatabaseStats Stats() {
     std::shared_lock lock(mu_);
     return db_.Stats();
   }
+
+  /// MVCC counters (open views, retained/retired versions); lock-free —
+  /// MvccState is internally synchronized.
+  MvccStats MvccStatsSnapshot() const { return db_.mvcc().Stats(); }
 
   /// Snapshot of the process-wide metrics registry (docs/OBSERVABILITY.md).
   /// Lock-free: the registry snapshots its own sharded atomics, so a
@@ -205,7 +300,7 @@ class ConcurrentLazyDatabase {
  private:
   TicketSharedMutex mu_;
   LazyDatabase db_;
-  const bool lazy_static_;
+  std::atomic<size_t> batch_chunk_ops_{0};
 };
 
 }  // namespace lazyxml

@@ -84,10 +84,14 @@ ElementScan LazyDatabase::GetScan(TagId tid, SegmentId sid) {
 Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
                                               uint64_t gp) {
   // Bumped up front: cached scans must not survive even a partially
-  // applied mutation (spurious bumps on the failure paths are harmless).
+  // applied mutation. A failure *before* the first structural mutation
+  // rolls the bump back — the state is provably unchanged, so cached
+  // scans (and their eviction history) survive a rejected op.
   ++mutation_epoch_;
   SummaryBeginMutation();
-  Result<SegmentId> r = InsertSegmentImpl(text, gp, nullptr);
+  bool mutated = false;
+  Result<SegmentId> r = InsertSegmentImpl(text, gp, nullptr, &mutated);
+  if (!r.ok() && !mutated) --mutation_epoch_;
   // Committed even on failure: a pre-mutation failure (parse error) left
   // tracking armed and the summary still matches the unchanged state; a
   // mid-mutation failure disarmed it, leaving the summary stale.
@@ -102,7 +106,7 @@ Result<SegmentId> LazyDatabase::InsertSegment(std::string_view text,
 
 Result<SegmentId> LazyDatabase::InsertSegmentImpl(
     std::string_view text, uint64_t gp,
-    std::vector<ElementIndexRecord>* deferred) {
+    std::vector<ElementIndexRecord>* deferred, bool* mutated) {
   // Parse first: a malformed segment must not touch any structure.
   ParseOptions popts;
   popts.require_single_root = true;
@@ -113,9 +117,12 @@ Result<SegmentId> LazyDatabase::InsertSegmentImpl(
   ParsedFragment parsed = std::move(parsed_r).ValueOrDie();
 
   // First structural mutation: disarm summary tracking until the
-  // maintenance at the end of this method succeeds.
+  // maintenance at the end of this method succeeds. (AddSegment is
+  // conservatively counted as mutating even when it rejects the
+  // position — the epoch bump then stays, which is always safe.)
   const bool summary_was_tracking = summary_track_;
   summary_track_ = false;
+  if (mutated != nullptr) *mutated = true;
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::InsertInfo info,
                            log_.AddSegment(gp, text.size()));
 
@@ -187,7 +194,11 @@ Result<SegmentId> LazyDatabase::InsertSegmentImpl(
 Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
   ++mutation_epoch_;
   SummaryBeginMutation();
-  Status st = RemoveSegmentImpl(gp, length);
+  bool mutated = false;
+  Status st = RemoveSegmentImpl(gp, length, &mutated);
+  // A rejected removal (out of bounds, element split) fails in the
+  // read-only pre-pass: nothing changed, cached scans stay valid.
+  if (!st.ok() && !mutated) --mutation_epoch_;
   SummaryCommit();
   LAZYXML_RETURN_NOT_OK(st);
   if (capture_ != nullptr) {
@@ -196,7 +207,8 @@ Status LazyDatabase::RemoveSegment(uint64_t gp, uint64_t length) {
   return ParanoidCheck(*this);
 }
 
-Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
+Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length,
+                                       bool* mutated) {
   LAZYXML_ASSIGN_OR_RETURN(UpdateLog::RemovalEffects effects,
                            log_.CollectRemovalEffects(gp, length));
 
@@ -233,6 +245,27 @@ Status LazyDatabase::RemoveSegmentImpl(uint64_t gp, uint64_t length) {
         if (!summary_ok) break;
       }
       if (!summary_ok) break;
+    }
+  }
+
+  if (mutated != nullptr) *mutated = true;
+  // MVCC: every (tag, segment) list this removal touches diverges from
+  // its state at earlier epochs — capture the pre-images now, while the
+  // index still holds them, for any open pinned view (docs/MVCC.md).
+  if (mvcc_.HasOpenViews()) {
+    for (const auto& partial : effects.partial) {
+      for (TagId tid : partial.tags) {
+        mvcc_.CaptureScan(tid, partial.sid, mutation_epoch_,
+                          std::make_shared<std::vector<LocalElement>>(
+                              index_.GetElements(tid, partial.sid)));
+      }
+    }
+    for (const auto& full : effects.full) {
+      for (TagId tid : full.tags) {
+        mvcc_.CaptureScan(tid, full.sid, mutation_epoch_,
+                          std::make_shared<std::vector<LocalElement>>(
+                              index_.GetElements(tid, full.sid)));
+      }
     }
   }
 
@@ -294,10 +327,15 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
   if (ops.empty()) return Status::OK();
   ++mutation_epoch_;
   SummaryBeginMutation();
+  // Set at the first structural mutation (or burned sid) of any op; a
+  // batch failing with it still false provably changed nothing, so the
+  // epoch bump is rolled back and cached scans survive.
+  bool batch_mutated = false;
   if (capture_ != nullptr) {
     Status begin_status = capture_->OnBatchBegin(ops.size());
     if (!begin_status.ok()) {
-      SummaryCommit();  // nothing mutated yet: summary still matches
+      --mutation_epoch_;  // nothing mutated: cached scans stay valid
+      SummaryCommit();    // and the summary still matches
       return begin_status;
     }
   }
@@ -378,6 +416,7 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
           break;
         }
         const SegmentId sid = log_.AllocateSid();
+        batch_mutated = true;  // the burned sid is observable state
         stats.sids[i] = sid;
         if (capture_ != nullptr) {
           op_status = capture_->OnInsertSegment(sid, op.text, op.gp);
@@ -398,7 +437,9 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
     }
     if (op.kind == UpdateOp::Kind::kInsert) {
       const size_t pending_before = pending.size();
-      auto r = InsertSegmentImpl(op.text, op.gp, &pending);
+      bool op_mutated = false;
+      auto r = InsertSegmentImpl(op.text, op.gp, &pending, &op_mutated);
+      batch_mutated |= op_mutated;
       if (!r.ok()) {
         op_status = r.status();
         rejected_records = pending.size() - pending_before;
@@ -416,7 +457,9 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
       // Removals read the element index; the deferred run must land first.
       op_status = flush();
       if (!op_status.ok()) break;
-      op_status = RemoveSegmentImpl(op.gp, op.length);
+      bool op_mutated = false;
+      op_status = RemoveSegmentImpl(op.gp, op.length, &op_mutated);
+      batch_mutated |= op_mutated;
       if (op_status.ok() && capture_ != nullptr) {
         op_status = capture_->OnRemoveRange(op.gp, op.length);
       }
@@ -436,6 +479,14 @@ Status LazyDatabase::ApplyBatch(std::span<const UpdateOp> ops,
   // A failed deferred flush leaves the element index short of what the
   // per-op maintenance already counted — the summary must go stale too.
   if (!flush_status.ok()) summary_track_ = false;
+  // A batch that failed before any structural mutation (first op's parse
+  // or bounds error, capture rejection before any sid) changed nothing:
+  // roll the epoch back so cached scans survive. Must precede
+  // SummaryCommit, which stamps the (restored) epoch.
+  if (!batch_mutated &&
+      (!op_status.ok() || !flush_status.ok() || !end_status.ok())) {
+    --mutation_epoch_;
+  }
   // Committed on every outcome: each op's Impl kept tracking armed only
   // while the summary matched the applied prefix (prefix semantics).
   SummaryCommit();
@@ -524,6 +575,18 @@ Result<SegmentId> LazyDatabase::CollapseSubtree(SegmentId sid) {
             [](const NewRecord& a, const NewRecord& b) {
               return a.rec.start < b.rec.start;
             });
+
+  // MVCC: the old segments' element lists die below — capture their
+  // pre-images for any open pinned view before the index forgets them.
+  if (mvcc_.HasOpenViews()) {
+    for (const auto& [old_sid, tags] : old_segments) {
+      for (TagId tid : tags) {
+        mvcc_.CaptureScan(tid, old_sid, mutation_epoch_,
+                          std::make_shared<std::vector<LocalElement>>(
+                              index_.GetElements(tid, old_sid)));
+      }
+    }
+  }
 
   // 2. Retire the old records and tag-list entries (resolver still knows
   //    the old segments at this point).
@@ -845,52 +908,44 @@ Result<LazyJoinResult> LazyDatabase::JoinByName(
                               : nullptr);
 }
 
-Result<JoinPair> LazyDatabase::ToGlobalPair(const LazyJoinPair& pair) const {
-  SegmentNode* a = log_.NodeOf(pair.ancestor_sid);
-  SegmentNode* d = log_.NodeOf(pair.descendant_sid);
-  if (a == nullptr || d == nullptr) {
-    return Status::NotFound("join pair references a dead segment");
+bool LazyDatabase::QueryNeedsExclusive() const {
+  if (!log_.frozen() || !log_.tag_list().sorted()) return true;
+  if (options_.query.use_compact_index &&
+      (compact_index_ == nullptr ||
+       compact_built_epoch_ != mutation_epoch_)) {
+    return true;
   }
-  return JoinPair{a->FrozenToGlobal(pair.ancestor_start, true),
-                  d->FrozenToGlobal(pair.descendant_start, true)};
+  if (options_.query.use_path_summary &&
+      (summary_ == nullptr || summary_built_epoch_ != mutation_epoch_)) {
+    return true;
+  }
+  return false;
 }
 
-Result<std::vector<JoinPair>> LazyDatabase::JoinGlobal(
-    std::string_view ancestor_tag, std::string_view descendant_tag,
-    const LazyJoinOptions& options) {
-  LAZYXML_ASSIGN_OR_RETURN(LazyJoinResult lazy,
-                           JoinByName(ancestor_tag, descendant_tag, options));
-  std::vector<JoinPair> out;
-  out.reserve(lazy.pairs.size());
-  for (const LazyJoinPair& p : lazy.pairs) {
-    LAZYXML_ASSIGN_OR_RETURN(JoinPair g, ToGlobalPair(p));
-    out.push_back(g);
+Result<std::unique_ptr<SnapshotReader>> LazyDatabase::OpenReadView() {
+  // No-ops when the state is already serviceable (the shared-lock fast
+  // path of ConcurrentLazyDatabase::OpenView relies on exactly that).
+  Freeze();
+  if (!log_.frozen() || !log_.tag_list().sorted()) {
+    return Status::Internal("cannot pin a view on an unserviceable log");
   }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-Result<std::vector<GlobalElement>> LazyDatabase::MaterializeGlobalElements(
-    std::string_view tag) {
-  log_.Freeze();
-  auto tid_r = dict_.Lookup(tag);
-  if (!tid_r.ok()) return std::vector<GlobalElement>{};
-  const TagId tid = tid_r.ValueOrDie();
-  std::vector<GlobalElement> out;
-  for (const TagListEntry& e : log_.tag_list().EntriesFor(tid)) {
-    SegmentNode* node = log_.NodeOf(e.sid());
-    if (node == nullptr) {
-      return Status::Internal("tag-list references a dead segment");
+  LAZYXML_METRIC_HISTOGRAM(pin_hist, "mvcc.pin_us");
+  obs::ScopedLatency pin_latency(pin_hist);
+  std::shared_ptr<const ReadSnapshot> snap = mvcc_.Pin(mutation_epoch_);
+  if (snap == nullptr) {
+    auto fresh = std::make_shared<ReadSnapshot>();
+    fresh->epoch = mutation_epoch_;
+    fresh->log = log_.Clone();
+    fresh->dict = &dict_;
+    if (const PathSummary* ps = path_summary()) {
+      fresh->summary = std::make_unique<const PathSummary>(*ps);
     }
-    ElementScan scan = GetScan(tid, e.sid());
-    for (const LocalElement& el : *scan) {
-      out.push_back(GlobalElement{node->FrozenToGlobal(el.start, true),
-                                  node->FrozenToGlobal(el.end, false),
-                                  el.level});
-    }
+    if (compact_index() != nullptr) fresh->compact = compact_index_;
+    snap = mvcc_.PinNew(std::move(fresh));
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return std::make_unique<SnapshotReader>(&mvcc_, std::move(snap), &index_,
+                                          scan_cache_.get(), query_pool_,
+                                          options_.query);
 }
 
 LazyDatabaseStats LazyDatabase::Stats() const {

@@ -26,6 +26,8 @@
 #include "core/element_index.h"
 #include "core/lazy_join.h"
 #include "core/parallel_join.h"
+#include "core/query_facade.h"
+#include "core/read_view.h"
 #include "core/scan_cache.h"
 #include "core/update_batch.h"
 #include "core/update_capture.h"
@@ -62,7 +64,7 @@ struct LazyDatabaseStats {
 };
 
 /// The lazy XML database.
-class LazyDatabase {
+class LazyDatabase : public QueryFacade {
  public:
   explicit LazyDatabase(LazyDatabaseOptions options = {});
   LazyDatabase(const LazyDatabase&) = delete;
@@ -126,26 +128,39 @@ class LazyDatabase {
   /// at query time in §5.3.
   Result<LazyJoinResult> JoinByName(std::string_view ancestor_tag,
                                     std::string_view descendant_tag,
-                                    const LazyJoinOptions& options = {});
+                                    const LazyJoinOptions& options = {}) override;
 
-  /// Same join, results canonicalized to global start offsets and sorted
-  /// (for cross-implementation comparisons).
-  Result<std::vector<JoinPair>> JoinGlobal(std::string_view ancestor_tag,
-                                           std::string_view descendant_tag,
-                                           const LazyJoinOptions& options = {});
-
-  /// All elements with `tag` in global coordinates, document order — the
-  /// input a traditional (STD) join consumes.
-  Result<std::vector<GlobalElement>> MaterializeGlobalElements(
-      std::string_view tag);
-
-  /// Canonicalizes one lazy pair to global start offsets.
-  Result<JoinPair> ToGlobalPair(const LazyJoinPair& pair) const;
+  // JoinGlobal / MaterializeGlobalElements / ToGlobalPair are inherited
+  // from QueryFacade, implemented once over the virtuals below.
 
   /// LS mode: performs the pre-query work explicitly (benches time it).
   /// When QueryOptions::use_compact_index is set this includes building
   /// the succinct frozen element index (rebuilt only after mutations).
-  void Freeze();
+  void Freeze() override;
+
+  // -- Snapshot-isolated reads (docs/MVCC.md) ----------------------------------
+
+  /// Pins the current state and returns its reader. The state must be
+  /// (or is made, via Freeze) query-serviceable first, so in concurrent
+  /// use the caller routes through the QueryNeedsExclusive predicate
+  /// (ConcurrentLazyDatabase::OpenView does). The reader answers every
+  /// query as of this exact epoch while later writes proceed; it must
+  /// not outlive the database.
+  Result<std::unique_ptr<SnapshotReader>> OpenReadView();
+
+  /// True when a query (or OpenReadView) would have to mutate the facade
+  /// first: LS log not frozen / tag-list unsorted, or an enabled compact
+  /// index or path summary is stale for the current epoch. Concurrent
+  /// wrappers use this to route reads to the exclusive lock exactly when
+  /// the deferred work is pending — afterwards reads share the lock
+  /// again (the post-freeze downgrade fix).
+  bool QueryNeedsExclusive() const;
+
+  /// True when any read view is currently open.
+  bool HasOpenViews() const { return mvcc_.HasOpenViews(); }
+
+  /// The MVCC version store / view registry (stats + I-MVCC scrubber).
+  const MvccState& mvcc() const { return mvcc_; }
 
   // -- Query execution ---------------------------------------------------------
 
@@ -157,7 +172,7 @@ class LazyDatabase {
   /// One (tag, segment) element scan, served from the shared scan cache
   /// at the current mutation epoch when configured (always safe: a stale
   /// epoch can never match).
-  ElementScan GetScan(TagId tid, SegmentId sid);
+  ElementScan GetScan(TagId tid, SegmentId sid) override;
 
   /// Monotonic counter bumped by every mutating facade operation; scan
   /// cache entries are keyed by it (core/scan_cache.h).
@@ -175,9 +190,9 @@ class LazyDatabase {
 
   // -- Introspection -----------------------------------------------------------
 
-  const UpdateLog& update_log() const { return log_; }
+  const UpdateLog& update_log() const override { return log_; }
   const ElementIndex& element_index() const { return index_; }
-  const TagDict& tag_dict() const { return dict_; }
+  const TagDict& tag_dict() const override { return dict_; }
 
   /// The succinct frozen element index, or nullptr when none has been
   /// built for the *current* mutation epoch (any mutation stales it; it
@@ -200,7 +215,7 @@ class LazyDatabase {
   /// bypass, a failed mid-mutation op, or an unattributable structure
   /// (pre-v4 snapshot entries) — a stale summary silently disables
   /// pruning, it is never consulted (see docs/PATH_SUMMARY.md).
-  const PathSummary* path_summary() const {
+  const PathSummary* path_summary() const override {
     return options_.query.use_path_summary && summary_ != nullptr &&
                    summary_built_epoch_ == mutation_epoch_
                ? summary_.get()
@@ -224,17 +239,22 @@ class LazyDatabase {
   /// the stable API — going around the facade invalidates its invariants
   /// unless you restore a complete consistent state. Each accessor bumps
   /// the mutation epoch so cached scans recorded before the bypass can
-  /// never be served afterwards.
+  /// never be served afterwards, and poisons any open read view — a
+  /// bypass mutation cannot capture pre-images, so views pinned before
+  /// it would otherwise read silently inconsistent state (docs/MVCC.md).
   UpdateLog& mutable_update_log() {
     ++mutation_epoch_;
+    mvcc_.Poison();
     return log_;
   }
   ElementIndex& mutable_element_index() {
     ++mutation_epoch_;
+    mvcc_.Poison();
     return index_;
   }
   TagDict& mutable_tag_dict() {
     ++mutation_epoch_;
+    mvcc_.Poison();
     return dict_;
   }
 
@@ -262,11 +282,16 @@ class LazyDatabase {
   /// the element-index records are appended there instead of applied —
   /// legal because nothing on the insert path reads the element index,
   /// so a run of inserts can flush once via InsertRecordsBatch.
+  /// `*mutated` (may be null) is set just before the first structural
+  /// mutation: a failure with it still false provably changed nothing,
+  /// so the wrapper rolls the epoch bump back and cached scans survive.
   Result<SegmentId> InsertSegmentImpl(std::string_view text, uint64_t gp,
-                                      std::vector<ElementIndexRecord>* deferred);
+                                      std::vector<ElementIndexRecord>* deferred,
+                                      bool* mutated);
 
   /// RemoveSegment minus the epoch bump / capture / paranoid check.
-  Status RemoveSegmentImpl(uint64_t gp, uint64_t length);
+  /// Same `*mutated` contract as InsertSegmentImpl.
+  Status RemoveSegmentImpl(uint64_t gp, uint64_t length, bool* mutated);
 
   /// Builds (or rebuilds, after mutations) the compact index when
   /// QueryOptions::use_compact_index is set; no-op otherwise. Updates the
@@ -328,6 +353,10 @@ class LazyDatabase {
   uint64_t summary_built_epoch_ = 0;
   /// Armed per mutating op; see SummaryBeginMutation/SummaryCommit.
   bool summary_track_ = false;
+  /// MVCC version store + view registry (docs/MVCC.md). Internally
+  /// synchronized; writers capture retired (tag, segment) pre-images
+  /// into it when views are open.
+  MvccState mvcc_;
 };
 
 }  // namespace lazyxml

@@ -134,8 +134,15 @@ ElementScan ScanFetcher::Fetch(TagId tid, SegmentId sid,
       return hit;
     }
   }
-  auto fresh =
-      std::make_shared<std::vector<LocalElement>>(index_->GetElements(tid, sid));
+  // Pinned-epoch view queries: a list retired after the view's epoch is
+  // served from the version store's pre-image; untouched lists fall
+  // through to the live index (docs/MVCC.md). Both count as store reads.
+  ElementScan fresh;
+  if (versions_ != nullptr) fresh = versions_->ScanAt(tid, sid);
+  if (fresh == nullptr) {
+    fresh = std::make_shared<std::vector<LocalElement>>(
+        index_->GetElements(tid, sid));
+  }
   // The registry mirrors LazyJoinStats here, at the single point a real
   // index read happens — the same place the per-query counter increments,
   // so the two can never drift (the elements_fetched double-count class).
@@ -248,7 +255,8 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
                           const LazyJoinOptions& options,
                           ElementScanCache* cache, uint64_t cache_epoch,
                           const CompactElementIndex* compact,
-                          JoinContext* ctx, bool* empty) {
+                          JoinContext* ctx, bool* empty,
+                          const ScanVersionSource* versions) {
   if (!log.frozen()) {
     return Status::Internal("LazyJoin on an unfrozen LS update log");
   }
@@ -263,6 +271,7 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
   ctx->options = options;
   ctx->cache = cache;
   ctx->cache_epoch = cache_epoch;
+  ctx->versions = versions;
   std::span<const TagListEntry> sl_a = log.tag_list().EntriesFor(ancestor_tid);
   std::span<const TagListEntry> sl_d = log.tag_list().EntriesFor(descendant_tid);
   // Path-summary sid filters: drop entries whose segment provably cannot
@@ -358,7 +367,8 @@ Status RunJoinPartition(const JoinContext& ctx, const PartitionSeed& seed,
   const std::span<const TagListEntry> sl_d = ctx.sl_d.entries;
   const LazyJoinOptions& options = ctx.options;
   LazyJoinStats& stats = out->stats;
-  ScanFetcher fetcher(ctx.index, ctx.cache, ctx.cache_epoch, ctx.compact);
+  ScanFetcher fetcher(ctx.index, ctx.cache, ctx.cache_epoch, ctx.compact,
+                      ctx.versions);
   SpliceMemo memo(&ctx.resolver);
 
   // Seed reconstruction: rebuild the entries live at round d_begin. Their

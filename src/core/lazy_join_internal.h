@@ -141,9 +141,19 @@ class BlockCursor {
 /// effective capacity in records grows by the compression ratio.
 class ScanFetcher {
  public:
+  /// `versions` (may be null) overrides tree-store reads for pinned-epoch
+  /// view queries (docs/MVCC.md): a list retired after the view's epoch is
+  /// served from the version store instead of the live index. Compact-mode
+  /// reads never consult it — a snapshot only carries a compact index that
+  /// was built at exactly its epoch, and compact indexes are immutable.
   ScanFetcher(const ElementIndex* index, ElementScanCache* cache,
-              uint64_t epoch, const CompactElementIndex* compact = nullptr)
-      : index_(index), cache_(cache), epoch_(epoch), compact_(compact) {}
+              uint64_t epoch, const CompactElementIndex* compact = nullptr,
+              const ScanVersionSource* versions = nullptr)
+      : index_(index),
+        cache_(cache),
+        epoch_(epoch),
+        compact_(compact),
+        versions_(versions) {}
 
   ElementScan Fetch(TagId tid, SegmentId sid, LazyJoinStats* stats);
 
@@ -167,6 +177,7 @@ class ScanFetcher {
   ElementScanCache* cache_;
   uint64_t epoch_;
   const CompactElementIndex* compact_;
+  const ScanVersionSource* versions_;
   struct Slot {
     TagId tid = 0;
     SegmentId sid = 0;
@@ -188,6 +199,9 @@ struct JoinContext {
   LazyJoinOptions options;
   ElementScanCache* cache = nullptr;  ///< may be null
   uint64_t cache_epoch = 0;
+  /// Non-null for pinned-epoch view queries: overrides tree-store scan
+  /// reads for (tag, sid) lists retired after the epoch (docs/MVCC.md).
+  const ScanVersionSource* versions = nullptr;
   SegmentResolver resolver;
   ResolvedEntries sl_a;
   ResolvedEntries sl_d;
@@ -208,7 +222,8 @@ Status PrepareJoinContext(const UpdateLog& log, const ElementIndex& index,
                           const LazyJoinOptions& options,
                           ElementScanCache* cache, uint64_t cache_epoch,
                           const CompactElementIndex* compact,
-                          JoinContext* ctx, bool* empty);
+                          JoinContext* ctx, bool* empty,
+                          const ScanVersionSource* versions = nullptr);
 
 /// One partition of descendant rounds plus the kernel state at its start.
 struct PartitionSeed {

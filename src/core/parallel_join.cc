@@ -125,7 +125,7 @@ Result<LazyJoinResult> ParallelLazyJoin(
     const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
     TagId descendant_tid, const ParallelJoinOptions& options,
     ThreadPool* pool, ElementScanCache* cache, uint64_t cache_epoch,
-    const CompactElementIndex* compact) {
+    const CompactElementIndex* compact, const ScanVersionSource* versions) {
   obs::TraceSpan query_span("join.query");
   LAZYXML_METRIC_COUNTER(queries_counter, "join.queries");
   LAZYXML_METRIC_COUNTER(partitions_counter, "join.partitions");
@@ -138,7 +138,7 @@ Result<LazyJoinResult> ParallelLazyJoin(
     obs::TraceSpan prepare_span("join.prepare");
     LAZYXML_RETURN_NOT_OK(internal::PrepareJoinContext(
         log, index, ancestor_tid, descendant_tid, options.join, cache,
-        cache_epoch, compact, &ctx, &empty));
+        cache_epoch, compact, &ctx, &empty, versions));
   }
   LazyJoinResult out;
   out.stats.segments_pruned = ctx.segments_pruned;

@@ -68,13 +68,17 @@ struct ParallelJoinOptions {
 /// reading element scans through `cache` when non-null (`cache_epoch` is
 /// the database mutation epoch the caller observed; see
 /// core/scan_cache.h). When `compact` is non-null, scans are decoded from
-/// it instead of the B+-tree (see core/lazy_join.h). Output is
-/// byte-identical to the serial LazyJoin in either representation.
+/// it instead of the B+-tree (see core/lazy_join.h). When `versions` is
+/// non-null (pinned-epoch view queries, docs/MVCC.md), tree-store scan
+/// reads consult it first so lists retired after the view's epoch are
+/// served from their captured pre-images. Output is byte-identical to the
+/// serial LazyJoin in either representation.
 Result<LazyJoinResult> ParallelLazyJoin(
     const UpdateLog& log, const ElementIndex& index, TagId ancestor_tid,
     TagId descendant_tid, const ParallelJoinOptions& options = {},
     ThreadPool* pool = nullptr, ElementScanCache* cache = nullptr,
-    uint64_t cache_epoch = 0, const CompactElementIndex* compact = nullptr);
+    uint64_t cache_epoch = 0, const CompactElementIndex* compact = nullptr,
+    const ScanVersionSource* versions = nullptr);
 
 }  // namespace lazyxml
 

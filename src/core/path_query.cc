@@ -63,7 +63,7 @@ Result<std::vector<PathStep>> ParsePathExpression(std::string_view expr) {
   return steps;
 }
 
-Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
+Result<PathQueryResult> EvaluatePath(QueryFacade* db,
                                      const std::vector<PathStep>& steps,
                                      const LazyJoinOptions& options) {
   if (db == nullptr) {
@@ -82,8 +82,8 @@ Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
     if (!tid.ok()) return out;  // unknown tag: empty result
     for (const TagListEntry& e :
          db->update_log().tag_list().EntriesFor(tid.ValueOrDie())) {
-      for (const LocalElement& el :
-           db->element_index().GetElements(tid.ValueOrDie(), e.sid())) {
+      ElementScan scan = db->GetScan(tid.ValueOrDie(), e.sid());
+      for (const LocalElement& el : *scan) {
         out.elements.push_back(LazyElementRef{e.sid(), el.start});
       }
     }
@@ -118,7 +118,7 @@ Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
   return out;
 }
 
-Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
+Result<PathQueryResult> EvaluatePath(QueryFacade* db, std::string_view expr,
                                      const LazyJoinOptions& options) {
   LAZYXML_ASSIGN_OR_RETURN(std::vector<PathStep> steps,
                            ParsePathExpression(expr));
@@ -126,7 +126,7 @@ Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
 }
 
 Result<std::vector<GlobalElement>> EvaluatePathHolistic(
-    LazyDatabase* db, const std::vector<PathStep>& steps) {
+    QueryFacade* db, const std::vector<PathStep>& steps) {
   if (db == nullptr) {
     return Status::InvalidArgument("EvaluatePathHolistic: null database");
   }
@@ -141,7 +141,7 @@ Result<std::vector<GlobalElement>> EvaluatePathHolistic(
 }
 
 Result<std::vector<GlobalElement>> EvaluatePathHolistic(
-    LazyDatabase* db, std::string_view expr) {
+    QueryFacade* db, std::string_view expr) {
   LAZYXML_ASSIGN_OR_RETURN(std::vector<PathStep> steps,
                            ParsePathExpression(expr));
   return EvaluatePathHolistic(db, steps);

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/lazy_database.h"
+#include "core/query_facade.h"
 #include "join/path_stack.h"
 
 namespace lazyxml {
@@ -57,12 +57,12 @@ struct PathQueryResult {
 };
 
 /// Evaluates a parsed path over `db` by chaining Lazy-Joins.
-Result<PathQueryResult> EvaluatePath(LazyDatabase* db,
+Result<PathQueryResult> EvaluatePath(QueryFacade* db,
                                      const std::vector<PathStep>& steps,
                                      const LazyJoinOptions& options = {});
 
 /// Convenience: parse + evaluate.
-Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
+Result<PathQueryResult> EvaluatePath(QueryFacade* db, std::string_view expr,
                                      const LazyJoinOptions& options = {});
 
 /// Alternative strategy: evaluates the path holistically with PathStack
@@ -71,9 +71,9 @@ Result<PathQueryResult> EvaluatePath(LazyDatabase* db, std::string_view expr,
 /// matching final-step elements with global labels. Used as a
 /// cross-check and raced against the pipeline in bench_ablation.
 Result<std::vector<GlobalElement>> EvaluatePathHolistic(
-    LazyDatabase* db, const std::vector<PathStep>& steps);
+    QueryFacade* db, const std::vector<PathStep>& steps);
 Result<std::vector<GlobalElement>> EvaluatePathHolistic(
-    LazyDatabase* db, std::string_view expr);
+    QueryFacade* db, std::string_view expr);
 
 }  // namespace lazyxml
 

@@ -1,0 +1,46 @@
+#include "core/query_facade.h"
+
+#include <algorithm>
+
+namespace lazyxml {
+
+Result<std::vector<JoinPair>> QueryFacade::JoinGlobal(
+    std::string_view ancestor_tag, std::string_view descendant_tag,
+    const LazyJoinOptions& options) {
+  LAZYXML_ASSIGN_OR_RETURN(LazyJoinResult lazy,
+                           JoinByName(ancestor_tag, descendant_tag, options));
+  std::vector<JoinPair> out;
+  out.reserve(lazy.pairs.size());
+  for (const LazyJoinPair& p : lazy.pairs) {
+    LAZYXML_ASSIGN_OR_RETURN(JoinPair g, ToGlobalPair(p));
+    out.push_back(g);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<GlobalElement>> QueryFacade::MaterializeGlobalElements(
+    std::string_view tag) {
+  Freeze();
+  const UpdateLog& log = update_log();
+  auto tid_r = tag_dict().Lookup(tag);
+  if (!tid_r.ok()) return std::vector<GlobalElement>{};
+  const TagId tid = tid_r.ValueOrDie();
+  std::vector<GlobalElement> out;
+  for (const TagListEntry& e : log.tag_list().EntriesFor(tid)) {
+    SegmentNode* node = log.NodeOf(e.sid());
+    if (node == nullptr) {
+      return Status::Internal("tag-list references a dead segment");
+    }
+    ElementScan scan = GetScan(tid, e.sid());
+    for (const LocalElement& el : *scan) {
+      out.push_back(GlobalElement{node->FrozenToGlobal(el.start, true),
+                                  node->FrozenToGlobal(el.end, false),
+                                  el.level});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lazyxml

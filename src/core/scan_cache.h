@@ -49,6 +49,21 @@ namespace lazyxml {
 /// An immutable, shareable element scan.
 using ElementScan = std::shared_ptr<const std::vector<LocalElement>>;
 
+/// Pinned-epoch override source for element scans (docs/MVCC.md). A join
+/// running against a historical read view consults one of these before
+/// the live element index: a (tag, segment) list that has been mutated
+/// *after* the view's epoch is served from the retired pre-image the
+/// writer captured, while untouched lists — element-index records are
+/// write-once per segment and delete-only afterwards — fall through to
+/// the live index, which still holds exactly their pinned-epoch state.
+class ScanVersionSource {
+ public:
+  virtual ~ScanVersionSource() = default;
+  /// The raw (tid, sid) scan as of the pinned epoch, or nullptr when the
+  /// live element index is still exact for that epoch.
+  virtual ElementScan ScanAt(TagId tid, SegmentId sid) const = 0;
+};
+
 /// Cache configuration.
 struct ElementScanCacheOptions {
   /// Total byte budget across all shards (approximate; per-shard budgets

@@ -100,7 +100,7 @@ Result<std::unique_ptr<TwigNode>> ParseRelPath(Cursor* c, int depth) {
 
 class TwigEvaluator {
  public:
-  TwigEvaluator(LazyDatabase* db, const LazyJoinOptions& options)
+  TwigEvaluator(QueryFacade* db, const LazyJoinOptions& options)
       : db_(db), options_(options) {}
 
   Result<TwigQueryResult> Run(const TwigNode& root) {
@@ -206,7 +206,7 @@ class TwigEvaluator {
     return set;
   }
 
-  LazyDatabase* db_;
+  QueryFacade* db_;
   LazyJoinOptions options_;
   std::map<std::tuple<std::string, std::string, bool>, JoinCacheEntry>
       join_cache_;
@@ -232,7 +232,7 @@ Result<std::unique_ptr<TwigNode>> ParseTwigExpression(std::string_view expr) {
   return root;
 }
 
-Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, const TwigNode& root,
+Result<TwigQueryResult> EvaluateTwig(QueryFacade* db, const TwigNode& root,
                                      const LazyJoinOptions& options) {
   if (db == nullptr) {
     return Status::InvalidArgument("EvaluateTwig: null database");
@@ -241,7 +241,7 @@ Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, const TwigNode& root,
   return eval.Run(root);
 }
 
-Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, std::string_view expr,
+Result<TwigQueryResult> EvaluateTwig(QueryFacade* db, std::string_view expr,
                                      const LazyJoinOptions& options) {
   LAZYXML_ASSIGN_OR_RETURN(auto root, ParseTwigExpression(expr));
   return EvaluateTwig(db, *root, options);

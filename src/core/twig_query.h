@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/lazy_database.h"
+#include "core/query_facade.h"
 #include "core/path_query.h"
 
 namespace lazyxml {
@@ -59,11 +59,11 @@ struct TwigQueryResult {
 };
 
 /// Evaluates a parsed twig over `db`.
-Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, const TwigNode& root,
+Result<TwigQueryResult> EvaluateTwig(QueryFacade* db, const TwigNode& root,
                                      const LazyJoinOptions& options = {});
 
 /// Convenience: parse + evaluate.
-Result<TwigQueryResult> EvaluateTwig(LazyDatabase* db, std::string_view expr,
+Result<TwigQueryResult> EvaluateTwig(QueryFacade* db, std::string_view expr,
                                      const LazyJoinOptions& options = {});
 
 }  // namespace lazyxml

@@ -385,6 +385,33 @@ void UpdateLog::Freeze() {
   tag_list_.Freeze(*this);
 }
 
+std::unique_ptr<UpdateLog> UpdateLog::Clone() const {
+  LAZYXML_CHECK(frozen());
+  auto clone = std::make_unique<UpdateLog>(options_);
+  clone->nodes_.clear();  // drop the constructor's fresh root
+  std::unordered_map<const SegmentNode*, SegmentNode*> remap;
+  remap.reserve(nodes_.size());
+  for (const auto& [sid, node] : nodes_) {
+    auto copy = std::make_unique<SegmentNode>(*node);
+    remap.emplace(node.get(), copy.get());
+    clone->nodes_.emplace(sid, std::move(copy));
+  }
+  for (auto& [sid, node] : clone->nodes_) {
+    if (node->parent != nullptr) node->parent = remap.at(node->parent);
+    for (SegmentNode*& child : node->children) child = remap.at(child);
+  }
+  clone->root_ = remap.at(root_);
+  clone->next_sid_ = next_sid_;
+  clone->tag_list_ = tag_list_;
+  std::vector<std::pair<SegmentId, SegmentNode*>> sorted;
+  sorted.reserve(clone->nodes_.size());
+  for (auto& [sid, node] : clone->nodes_) sorted.emplace_back(sid, node.get());
+  std::sort(sorted.begin(), sorted.end());
+  LAZYXML_CHECK(clone->sb_tree_.BuildFrom(std::move(sorted)).ok());
+  clone->sb_dirty_ = false;
+  return clone;
+}
+
 size_t UpdateLog::SbTreeMemoryBytes() const {
   size_t bytes = sb_tree_.MemoryBytes();
   for (const auto& [sid, node] : nodes_) bytes += node->MemoryBytes();

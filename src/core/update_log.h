@@ -182,6 +182,14 @@ class UpdateLog : public SegmentGpResolver {
   /// LS mode: builds the sid B+-tree and sorts the tag-list. No-op in LD.
   void Freeze();
 
+  /// Deep copy of the whole log: every segment node (with parent/child
+  /// links re-targeted at the copies), the tag-list, the sid counter and
+  /// a bulk-rebuilt sid B+-tree. The log must be frozen — clones back
+  /// MVCC read snapshots (docs/MVCC.md), which are only pinned on frozen,
+  /// query-serviceable state. O(N) in segments + tag-list entries, the
+  /// same asymptotic cost as one positional update's gp sweep.
+  std::unique_ptr<UpdateLog> Clone() const;
+
   /// True when FindSegment / tag-list reads are serviceable.
   bool frozen() const {
     return options_.mode == LogMode::kLazyDynamic || !sb_dirty_;

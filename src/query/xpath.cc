@@ -218,7 +218,7 @@ using StartSet = std::unordered_set<uint64_t>;
 using TagSets = std::unordered_map<TagId, StartSet>;
 
 struct Evaluator {
-  LazyDatabase* db = nullptr;
+  QueryFacade* db = nullptr;
   LazyJoinOptions options;  // parent_child overridden per edge
   const PathSummary* summary = nullptr;
   XPathResult result;
@@ -457,7 +457,7 @@ std::string FormatXPath(const std::vector<XPathStep>& steps) {
   return out;
 }
 
-Result<XPathResult> EvaluateXPath(LazyDatabase* db,
+Result<XPathResult> EvaluateXPath(QueryFacade* db,
                                   const std::vector<XPathStep>& steps,
                                   const LazyJoinOptions& options) {
   if (steps.empty()) {
@@ -484,14 +484,14 @@ Result<XPathResult> EvaluateXPath(LazyDatabase* db,
   return std::move(ev.result);
 }
 
-Result<XPathResult> EvaluateXPath(LazyDatabase* db, std::string_view expr,
+Result<XPathResult> EvaluateXPath(QueryFacade* db, std::string_view expr,
                                   const LazyJoinOptions& options) {
   LAZYXML_ASSIGN_OR_RETURN(std::vector<XPathStep> steps, ParseXPath(expr));
   return EvaluateXPath(db, steps, options);
 }
 
 Result<std::vector<GlobalElement>> EvaluateXPathNaive(
-    LazyDatabase* db, const std::vector<XPathStep>& steps) {
+    QueryFacade* db, const std::vector<XPathStep>& steps) {
   if (steps.empty()) {
     return Status::InvalidArgument("xpath: empty expression");
   }

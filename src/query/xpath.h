@@ -16,7 +16,7 @@
 // descendant ('person[profile]' == 'person[.//profile]' in full XPath).
 //
 // Compilation targets the existing Lazy-Join machinery: each axis edge
-// becomes one LazyDatabase::JoinByName per (context tag, step tag) pair
+// becomes one QueryFacade::JoinByName per (context tag, step tag) pair
 // — which prunes through the path summary internally — and predicates
 // become backward semi-joins over the same plans. Before any join runs,
 // the whole pattern (predicates included) is matched against the path
@@ -39,7 +39,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/lazy_database.h"
+#include "core/query_facade.h"
 #include "join/global_element.h"
 
 namespace lazyxml {
@@ -90,19 +90,19 @@ struct XPathResult {
 };
 
 /// Evaluates `steps` over `db` by compiling to Lazy-Join plans.
-Result<XPathResult> EvaluateXPath(LazyDatabase* db,
+Result<XPathResult> EvaluateXPath(QueryFacade* db,
                                   const std::vector<XPathStep>& steps,
                                   const LazyJoinOptions& options = {});
 
 /// Convenience: parse + evaluate.
-Result<XPathResult> EvaluateXPath(LazyDatabase* db, std::string_view expr,
+Result<XPathResult> EvaluateXPath(QueryFacade* db, std::string_view expr,
                                   const LazyJoinOptions& options = {});
 
 /// Oracle: evaluates `steps` by materializing every element of the super
 /// document and walking the tree directly — no joins, no summary, no
 /// pruning. Quadratic; for tests and the fuzz compile-oracle only.
 Result<std::vector<GlobalElement>> EvaluateXPathNaive(
-    LazyDatabase* db, const std::vector<XPathStep>& steps);
+    QueryFacade* db, const std::vector<XPathStep>& steps);
 
 }  // namespace lazyxml
 

@@ -10,6 +10,7 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Open(
     ServerEngineOptions options) {
   if (options.data_dir.empty()) {
     auto mem = std::make_unique<ConcurrentLazyDatabase>(options.db);
+    mem->SetBatchChunkOps(options.batch_chunk_ops);
     return std::unique_ptr<ServerEngine>(new ServerEngine(std::move(mem)));
   }
   options.durable.db = options.db;

@@ -46,6 +46,12 @@ struct ServerEngineOptions {
   /// Durable-mode knobs (wal sync policy etc.); `durable.db` is
   /// overwritten by `db` so the two shapes share one tuning block.
   DurableOptions durable;
+  /// In-memory shape only: split each BATCH into chunks of at most this
+  /// many ops with the write lock dropped between chunks, so queries and
+  /// open read views are admitted mid-batch instead of stalling behind a
+  /// bulk load (docs/MVCC.md). 0 = apply each batch whole. Ignored in
+  /// durable mode, where the WAL batch record is deliberately atomic.
+  size_t batch_chunk_ops = 0;
 };
 
 class ServerEngine {

@@ -32,6 +32,9 @@ void Usage(const char* argv0) {
                "  --mode <ld|ls>         lazy-dynamic or lazy-static "
                "(new stores)\n"
                "  --sync <never|every-record|batch>  WAL sync policy\n"
+               "  --batch-chunk-ops <n>  split BATCH into n-op chunks so "
+               "queries run mid-batch\n"
+               "                         (in-memory only; 0 = atomic batch)\n"
                "  --threads <n>          own worker pool of n threads\n"
                "                         (0 = shared process pool)\n"
                "  --max-connections <n>  session cap (default 256)\n"
@@ -108,6 +111,9 @@ int main(int argc, char** argv) {
                      sync.c_str());
         return 2;
       }
+    } else if (arg == "--batch-chunk-ops") {
+      engine_options.batch_chunk_ops = static_cast<size_t>(
+          std::atoll(need_value("--batch-chunk-ops")));
     } else if (arg == "--threads") {
       options.num_threads = static_cast<size_t>(
           std::atoi(need_value("--threads")));

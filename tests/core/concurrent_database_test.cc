@@ -185,6 +185,93 @@ TEST(ConcurrentDatabaseTest, WritersPurgeScanCache) {
   EXPECT_EQ(after.ValueOrDie().pairs.size(), 3u);
 }
 
+// Regression: writers used to purge the scan cache unconditionally, so
+// a REJECTED write (which provably changed nothing — it does not even
+// advance the mutation epoch) threw away a fully warm cache for
+// nothing. Purge only when the epoch actually moved.
+TEST(ConcurrentDatabaseTest, FailedWritesLeaveScanCacheWarm) {
+  LazyDatabaseOptions opts;
+  opts.query.cache_bytes = 1u << 20;
+  ConcurrentLazyDatabase db(opts);
+  ASSERT_TRUE(db.InsertSegment("<seg><A><D/></A><W></W></seg>", 0).ok());
+
+  // Warm the cache.
+  ASSERT_EQ(db.JoinByName("A", "D").ValueOrDie().pairs.size(), 1u);
+  const ElementScanCache* cache = db.UnsynchronizedAccess().scan_cache();
+  ASSERT_NE(cache, nullptr);
+  const auto warm = cache->Stats();
+  ASSERT_GT(warm.entries, 0u);
+
+  // A malformed insert and an out-of-bounds remove (both rejected before
+  // any structural mutation), plus a batch whose first op is rejected.
+  EXPECT_FALSE(db.InsertSegment("<unclosed>", 19).ok());
+  EXPECT_FALSE(db.RemoveSegment(1u << 20, 4).ok());
+  std::vector<UpdateOp> bad;
+  bad.push_back(UpdateOp::Remove(1u << 20, 4));
+  BatchStats stats;
+  EXPECT_FALSE(db.ApplyBatch(bad, &stats).ok());
+
+  EXPECT_EQ(cache->Stats().entries, warm.entries);
+  // The warm entries still serve hits...
+  auto again = db.JoinByName("A", "D");
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again.ValueOrDie().stats.scan_cache_hits, 0u);
+  // ...and a SUCCESSFUL write still purges eagerly.
+  ASSERT_TRUE(db.InsertSegment("<D/>", 19).ok());
+  EXPECT_EQ(cache->Stats().entries, 0u);
+  EXPECT_EQ(db.JoinByName("A", "D").ValueOrDie().pairs.size(), 1u);
+}
+
+// Regression: LS-mode queries used to take the exclusive lock forever,
+// merely because the MODE was LS. After the deferred freeze is done an
+// LS query touches nothing mutable, so it must run shared — the
+// QueryNeedsExclusive predicate routes it. The storm would deadlock
+// nothing either way; what it proves is that a frozen LS database
+// sustains fully concurrent readers (plus open views) without failures.
+TEST(ConcurrentDatabaseTest, LazyStaticPostFreezeReaderStorm) {
+  LazyDatabaseOptions opts;
+  opts.mode = LogMode::kLazyStatic;
+  ConcurrentLazyDatabase db(opts);
+  std::string top = "<seg>";
+  for (int i = 0; i < 200; ++i) top += "<A><D/></A>";
+  top += "</seg>";
+  ASSERT_TRUE(db.InsertSegment(top, 0).ok());
+
+  // Before the freeze the deferred work is pending: exclusive route.
+  EXPECT_TRUE(db.UnsynchronizedAccess().QueryNeedsExclusive());
+  db.Freeze();
+  // After it, nothing mutable remains on the query path: shared route.
+  EXPECT_FALSE(db.UnsynchronizedAccess().QueryNeedsExclusive());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&db, &failures] {
+      for (int i = 0; i < 50; ++i) {
+        auto r = db.JoinByName("A", "D");
+        if (!r.ok() || r.ValueOrDie().pairs.size() != 200) ++failures;
+        auto p = db.Path("seg//A");
+        if (!p.ok() || p.ValueOrDie().elements.size() != 200) ++failures;
+        auto v = db.OpenView();
+        if (!v.ok() ||
+            v.ValueOrDie().JoinByName("A", "D").ValueOrDie().pairs.size() !=
+                200) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // An update re-dirties the log: back to the exclusive route until the
+  // next freeze.
+  ASSERT_TRUE(db.InsertSegment("<D/>", 8).ok());  // inside the first <A>
+  EXPECT_TRUE(db.UnsynchronizedAccess().QueryNeedsExclusive());
+  EXPECT_EQ(db.JoinByName("A", "D").ValueOrDie().pairs.size(), 201u);
+  EXPECT_FALSE(db.UnsynchronizedAccess().QueryNeedsExclusive());
+  EXPECT_TRUE(db.CheckInvariants().ok());
+}
+
 TEST(ConcurrentDatabaseTest, CachedParallelQueriesUnderConcurrentWrites) {
   // Readers race a writer with the pool + cache enabled; every join must
   // observe some consistent document state (pair counts can only be one

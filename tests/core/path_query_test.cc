@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/lazy_database.h"
 #include "tests/testutil.h"
 #include "xmlgen/chopper.h"
 #include "xmlgen/synthetic_generator.h"

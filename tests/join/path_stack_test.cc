@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/lazy_database.h"
 #include "core/path_query.h"
 #include "tests/testutil.h"
 #include "xmlgen/chopper.h"
